@@ -1,0 +1,446 @@
+//! Refinement-criterion evaluation and mesh adaptation.
+//!
+//! Flash-X (via PARAMESH) refines where a Löhner-style second-derivative
+//! error estimator exceeds a cutoff and coarsens where it falls below a
+//! lower cutoff, while enforcing 2:1 level balance between neighbors.
+//! The estimator reads the *solution values* — which is exactly why
+//! aggressive truncation perturbs the refinement pattern in the paper
+//! (Fig. 7: "the AMR algorithm ... notices imprecise blocks and decides to
+//! refine them", and the Sod small-mantissa anomaly in §6.1).
+
+use crate::guard::{fill_guards, BcSpec};
+use crate::mesh::{BlockIdx, BlockPos, Mesh};
+
+/// Adaptation policy.
+#[derive(Clone, Debug)]
+pub struct AdaptSpec {
+    /// Variables the estimator inspects.
+    pub vars: Vec<usize>,
+    /// Refine when the block error exceeds this (Flash-X default 0.8).
+    pub refine_cutoff: f64,
+    /// Derefine when the block error is below this (Flash-X default 0.2).
+    pub derefine_cutoff: f64,
+    /// Löhner noise filter (Flash-X default 0.01).
+    pub filter: f64,
+}
+
+impl Default for AdaptSpec {
+    fn default() -> Self {
+        AdaptSpec { vars: vec![0], refine_cutoff: 0.8, derefine_cutoff: 0.2, filter: 0.01 }
+    }
+}
+
+/// Result of one adaptation sweep.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AdaptResult {
+    /// Blocks refined.
+    pub refined: usize,
+    /// Parents coarsened.
+    pub coarsened: usize,
+}
+
+/// Löhner error indicator for one variable over a block's interior:
+/// the maximum over cells of the normalized second difference.
+pub fn block_error(mesh: &Mesh, idx: BlockIdx, var: usize, filter: f64) -> f64 {
+    let b = mesh.block(idx);
+    let (nx, ny, ng) = (mesh.params.nx, mesh.params.ny, mesh.params.ng);
+    let at = |i: usize, j: usize| b.data[mesh.index(var, i, j)];
+    let mut emax: f64 = 0.0;
+    for j in ng..ng + ny {
+        for i in ng..ng + nx {
+            let c = at(i, j);
+            let (w, e) = (at(i - 1, j), at(i + 1, j));
+            let (s, n) = (at(i, j - 1), at(i, j + 1));
+            let d2x = e - 2.0 * c + w;
+            let d2y = n - 2.0 * c + s;
+            let dx1 = (e - c).abs() + (c - w).abs() + filter * (e.abs() + 2.0 * c.abs() + w.abs());
+            let dy1 = (n - c).abs() + (c - s).abs() + filter * (n.abs() + 2.0 * c.abs() + s.abs());
+            let num = d2x * d2x + d2y * d2y;
+            let den = dx1 * dx1 + dy1 * dy1;
+            let err = if den > 0.0 { (num / den).sqrt() } else { 0.0 };
+            if err > emax {
+                emax = err;
+            }
+        }
+    }
+    emax
+}
+
+/// Maximum Löhner error across the spec's variables.
+pub fn block_error_multi(mesh: &Mesh, idx: BlockIdx, spec: &AdaptSpec) -> f64 {
+    spec.vars
+        .iter()
+        .map(|&v| block_error(mesh, idx, v, spec.filter))
+        .fold(0.0, f64::max)
+}
+
+/// The 8 neighbor positions of a block (faces + corners), unclamped.
+fn neighbor_positions(mesh: &Mesh, pos: BlockPos) -> Vec<BlockPos> {
+    let wx = mesh.params.nbx as i64 * (1i64 << (pos.level - 1));
+    let wy = mesh.params.nby as i64 * (1i64 << (pos.level - 1));
+    let mut out = Vec::with_capacity(8);
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            if dx == 0 && dy == 0 {
+                continue;
+            }
+            let nx = pos.ix as i64 + dx;
+            let ny = pos.iy as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= wx || ny >= wy {
+                continue;
+            }
+            out.push(BlockPos { level: pos.level, ix: nx as u32, iy: ny as u32 });
+        }
+    }
+    out
+}
+
+/// Finest leaf level present at or below the subtree rooted at `pos`
+/// (returns `None` if no block exists there).
+fn leaf_level_at(mesh: &Mesh, pos: BlockPos) -> Option<u32> {
+    let idx = mesh.find(pos)?;
+    let b = mesh.block(idx);
+    match b.children {
+        None => Some(b.pos.level),
+        Some(kids) => kids
+            .iter()
+            .filter_map(|&k| {
+                let kb = mesh.block(k);
+                leaf_level_at(mesh, kb.pos)
+            })
+            .max(),
+    }
+}
+
+/// Per-block adaptation decision for [`adapt_with`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Split the block.
+    Refine,
+    /// Keep as is.
+    Keep,
+    /// Candidate for merging back into its parent.
+    Derefine,
+}
+
+/// One adaptation sweep: estimate, enforce 2:1 balance, refine, coarsen.
+///
+/// Guard cells are (re)filled first because the estimator stencil reads
+/// them.
+pub fn adapt(mesh: &mut Mesh, spec: &AdaptSpec, bc: &BcSpec) -> AdaptResult {
+    let spec = spec.clone();
+    adapt_with(mesh, bc, move |mesh, idx| {
+        let err = block_error_multi(mesh, idx, &spec);
+        if err > spec.refine_cutoff {
+            Decision::Refine
+        } else if err < spec.derefine_cutoff {
+            Decision::Derefine
+        } else {
+            Decision::Keep
+        }
+    })
+}
+
+/// Adaptation sweep with a caller-supplied criterion (e.g. the interface-
+/// distance bands of the Bubble workload, where AMR "dynamically refines
+/// the mesh near the interface", paper Fig. 1).
+pub fn adapt_with(
+    mesh: &mut Mesh,
+    bc: &BcSpec,
+    criterion: impl Fn(&Mesh, BlockIdx) -> Decision,
+) -> AdaptResult {
+    fill_guards(mesh, bc);
+    let leaves = mesh.leaves();
+    let mut refine_marks: Vec<bool> = vec![false; mesh.blocks.len()];
+    let mut derefine_marks: Vec<bool> = vec![false; mesh.blocks.len()];
+    for &idx in &leaves {
+        let level = mesh.block(idx).pos.level;
+        match criterion(mesh, idx) {
+            Decision::Refine if level < mesh.params.max_level => refine_marks[idx] = true,
+            Decision::Derefine if level > 1 => derefine_marks[idx] = true,
+            _ => {}
+        }
+    }
+    // Enforce 2:1 balance: a leaf marked for refinement to level l+1 forces
+    // any neighbor whose leaf is at level l-1 to refine as well. Iterate to
+    // a fixpoint (levels are bounded, so this terminates).
+    loop {
+        let mut changed = false;
+        for idx in 0..mesh.blocks.len() {
+            if !refine_marks.get(idx).copied().unwrap_or(false) {
+                continue;
+            }
+            let pos = match &mesh.blocks[idx] {
+                Some(b) if b.children.is_none() => b.pos,
+                _ => continue,
+            };
+            for npos in neighbor_positions(mesh, pos) {
+                if mesh.find(npos).is_some() {
+                    continue; // neighbor at same level (or finer): fine
+                }
+                // Neighbor lives at the parent level: it must refine too.
+                let ppos =
+                    BlockPos { level: npos.level - 1, ix: npos.ix / 2, iy: npos.iy / 2 };
+                if let Some(pidx) = mesh.find(ppos) {
+                    if mesh.block(pidx).children.is_none() && !refine_marks[pidx] {
+                        refine_marks[pidx] = true;
+                        derefine_marks[pidx] = false;
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    // Apply refinements.
+    let mut result = AdaptResult::default();
+    for idx in 0..refine_marks.len() {
+        if refine_marks[idx] {
+            if let Some(b) = &mesh.blocks[idx] {
+                if b.children.is_none() && b.pos.level < mesh.params.max_level {
+                    mesh.refine(idx);
+                    result.refined += 1;
+                }
+            }
+        }
+    }
+    // Coarsening: all four siblings must want it, and the result must not
+    // break 2:1 balance with any neighbor's finest leaf.
+    let mut parents: Vec<BlockIdx> = Vec::new();
+    for idx in 0..derefine_marks.len() {
+        if !derefine_marks[idx] {
+            continue;
+        }
+        let parent = match &mesh.blocks[idx] {
+            Some(b) if b.children.is_none() => match b.parent {
+                Some(p) => p,
+                None => continue,
+            },
+            _ => continue,
+        };
+        if parents.contains(&parent) {
+            continue;
+        }
+        let kids = match mesh.block(parent).children {
+            Some(k) => k,
+            None => continue,
+        };
+        let all_marked = kids
+            .iter()
+            .all(|&k| mesh.blocks[k].as_ref().map_or(false, |b| b.children.is_none()) && derefine_marks[k]);
+        if !all_marked {
+            continue;
+        }
+        // Balance check: after coarsening, the parent is a leaf at level
+        // l-1; no neighbor subtree may hold a leaf deeper than l.
+        let ppos = mesh.block(parent).pos;
+        let ok = neighbor_positions(mesh, ppos).into_iter().all(|npos| {
+            match leaf_level_at(mesh, npos) {
+                Some(deepest) => deepest <= ppos.level + 1,
+                None => {
+                    // Neighbor is itself part of a coarser block: fine.
+                    true
+                }
+            }
+        });
+        if ok {
+            parents.push(parent);
+        }
+    }
+    for parent in parents {
+        mesh.coarsen(parent);
+        result.coarsened += 1;
+    }
+    result
+}
+
+/// Iteratively adapt the mesh to an initial condition: apply `init`,
+/// adapt, re-apply, until the structure stabilizes or `max_iters` is hit.
+/// This is the Flash-X initialization loop that puts the finest blocks on
+/// the initial shock/interface.
+pub fn init_with_refinement(
+    mesh: &mut Mesh,
+    spec: &AdaptSpec,
+    bc: &BcSpec,
+    max_iters: usize,
+    init: impl Fn(f64, f64, usize) -> f64,
+) {
+    mesh.fill_initial(&init);
+    for _ in 0..max_iters {
+        let r = adapt(mesh, spec, bc);
+        mesh.fill_initial(&init);
+        if r.refined == 0 && r.coarsened == 0 {
+            break;
+        }
+    }
+    fill_guards(mesh, bc);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::MeshParams;
+
+    fn params(max_level: u32) -> MeshParams {
+        MeshParams {
+            nx: 8,
+            ny: 8,
+            ng: 2,
+            nvar: 1,
+            nbx: 2,
+            nby: 2,
+            max_level,
+            domain: (0.0, 1.0, 0.0, 1.0),
+        }
+    }
+
+    fn step_ic(x: f64, _y: f64, _v: usize) -> f64 {
+        // Step inside root column 1 (of 4) so far-away roots stay coarse.
+        if x < 0.3 {
+            1.0
+        } else {
+            0.1
+        }
+    }
+
+    fn wide_params(max_level: u32) -> MeshParams {
+        MeshParams {
+            nx: 8,
+            ny: 8,
+            ng: 2,
+            nvar: 1,
+            nbx: 4,
+            nby: 4,
+            max_level,
+            domain: (0.0, 1.0, 0.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn smooth_field_has_small_error() {
+        let mut m = Mesh::new(params(3));
+        m.fill_initial(|x, y, _| 1.0 + 0.01 * x + 0.02 * y);
+        fill_guards(&mut m, &BcSpec::all_outflow(1));
+        for idx in m.leaves() {
+            let e = block_error(&m, idx, 0, 0.01);
+            assert!(e < 0.1, "smooth block error {e}");
+        }
+    }
+
+    #[test]
+    fn discontinuity_has_large_error() {
+        let mut m = Mesh::new(params(3));
+        m.fill_initial(step_ic);
+        fill_guards(&mut m, &BcSpec::all_outflow(1));
+        let emax: f64 = m
+            .leaves()
+            .iter()
+            .map(|&i| block_error(&m, i, 0, 0.01))
+            .fold(0.0, f64::max);
+        assert!(emax > 0.8, "discontinuity error {emax}");
+    }
+
+    #[test]
+    fn adapt_refines_along_discontinuity_only() {
+        let mut m = Mesh::new(wide_params(3));
+        let spec = AdaptSpec::default();
+        let bc = BcSpec::all_outflow(1);
+        init_with_refinement(&mut m, &spec, &bc, 5, step_ic);
+        assert_eq!(m.current_max_level(), 3);
+        // Blocks away from x = 0.3 stay coarse.
+        let mut coarse_far = 0;
+        let mut fine_near = 0;
+        for idx in m.leaves() {
+            let b = m.block(idx);
+            let (ox, _) = m.block_origin(b.pos);
+            let (wx, _) = m.block_size(b.pos.level);
+            let touches = ox <= 0.3 && ox + wx >= 0.3;
+            if touches && b.pos.level == 3 {
+                fine_near += 1;
+            }
+            if !touches && b.pos.level == 1 {
+                coarse_far += 1;
+            }
+        }
+        assert!(fine_near >= 2, "shock blocks refined to max level");
+        assert!(coarse_far >= 1, "quiescent blocks remain coarse");
+    }
+
+    #[test]
+    fn balance_is_enforced() {
+        let mut m = Mesh::new(params(4));
+        let spec = AdaptSpec::default();
+        let bc = BcSpec::all_outflow(1);
+        init_with_refinement(&mut m, &spec, &bc, 6, |x, y, _| {
+            // Sharp circular feature.
+            let r = ((x - 0.5).powi(2) + (y - 0.5).powi(2)).sqrt();
+            if r < 0.25 {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        // Check 2:1: every leaf's face neighbors differ by at most 1 level.
+        for idx in m.leaves() {
+            let pos = m.block(idx).pos;
+            for npos in neighbor_positions(&m, pos) {
+                if let Some(deepest) = leaf_level_at(&m, npos) {
+                    assert!(
+                        deepest <= pos.level + 1,
+                        "balance violated: {:?} (leaf l{}) vs {:?} leaf l{}",
+                        pos,
+                        pos.level,
+                        npos,
+                        deepest
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn derefine_after_feature_leaves() {
+        let mut m = Mesh::new(params(3));
+        let spec = AdaptSpec::default();
+        let bc = BcSpec::all_outflow(1);
+        init_with_refinement(&mut m, &spec, &bc, 5, step_ic);
+        let refined_leaves = m.leaf_count();
+        assert!(refined_leaves > 4);
+        // Replace with a uniform field: everything should coarsen back.
+        m.fill_initial(|_, _, _| 1.0);
+        for _ in 0..5 {
+            adapt(&mut m, &spec, &bc);
+            m.fill_initial(|_, _, _| 1.0);
+        }
+        assert_eq!(m.leaf_count(), 4, "uniform field coarsens to the root grid");
+    }
+
+    #[test]
+    fn truncation_noise_triggers_refinement() {
+        // The Fig. 7b anomaly mechanism: quantizing the solution to very
+        // few mantissa bits creates step noise that the Löhner estimator
+        // sees as structure, inflating the leaf count.
+        let mut m = Mesh::new(params(3));
+        let spec = AdaptSpec::default();
+        let bc = BcSpec::all_outflow(1);
+        let smooth = |x: f64, y: f64, _: usize| 1.0 + 0.3 * (3.0 * x).sin() * (2.0 * y).cos();
+        init_with_refinement(&mut m, &spec, &bc, 5, smooth);
+        let baseline = m.leaf_count();
+        // Quantize to a 2-bit mantissa: steps of 0.25 in [1,2), large
+        // against the Löhner noise filter.
+        let q = |v: f64| {
+            let bits = v.to_bits();
+            f64::from_bits(bits & !((1u64 << 50) - 1))
+        };
+        let mut m2 = Mesh::new(params(3));
+        init_with_refinement(&mut m2, &spec, &bc, 5, move |x, y, v| q(smooth(x, y, v)));
+        assert!(
+            m2.leaf_count() > baseline,
+            "quantized field refines more: {} vs {}",
+            m2.leaf_count(),
+            baseline
+        );
+    }
+}

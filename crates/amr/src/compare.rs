@@ -1,0 +1,200 @@
+//! `sfocu`-style solution comparison.
+//!
+//! Flash-X ships a "serial output comparison utility" (`sfocu`) that
+//! computes error norms between a checkpoint and a reference solution; the
+//! paper's Fig. 7 plots its L1 density error. Two adaptively-refined meshes
+//! generally have *different* block structures (truncation perturbs
+//! refinement!), so we compare by sampling both solutions onto a common
+//! uniform grid at the finest level's resolution.
+
+use crate::mesh::{BlockPos, Mesh};
+
+/// Error norms between two sampled fields.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Norms {
+    /// Relative L1: `sum |a-b| / sum |b|`.
+    pub l1: f64,
+    /// Relative L2: `sqrt(sum (a-b)^2) / sqrt(sum b^2)`.
+    pub l2: f64,
+    /// Max-norm of the difference.
+    pub linf: f64,
+    /// Max-norm of the reference (for scale).
+    pub ref_linf: f64,
+}
+
+/// Sample one variable of the mesh onto a uniform `nx x ny` grid of cell
+/// centers (piecewise-constant from the containing leaf cell).
+pub fn sample_uniform(mesh: &Mesh, var: usize, nx: usize, ny: usize) -> Vec<f64> {
+    let (x0, x1, y0, y1) = mesh.params.domain;
+    let dx = (x1 - x0) / nx as f64;
+    let dy = (y1 - y0) / ny as f64;
+    let mut out = vec![0.0; nx * ny];
+    for j in 0..ny {
+        for i in 0..nx {
+            let x = x0 + (i as f64 + 0.5) * dx;
+            let y = y0 + (j as f64 + 0.5) * dy;
+            out[j * nx + i] = sample_point(mesh, var, x, y);
+        }
+    }
+    out
+}
+
+/// Value of `var` at physical point (x, y), from the containing leaf cell.
+pub fn sample_point(mesh: &Mesh, var: usize, x: f64, y: f64) -> f64 {
+    let (x0, x1, y0, y1) = mesh.params.domain;
+    let xc = x.clamp(x0, x1 - 1e-12 * (x1 - x0));
+    let yc = y.clamp(y0, y1 - 1e-12 * (y1 - y0));
+    // Root block.
+    let fx = (xc - x0) / (x1 - x0) * mesh.params.nbx as f64;
+    let fy = (yc - y0) / (y1 - y0) * mesh.params.nby as f64;
+    let mut pos = BlockPos { level: 1, ix: fx as u32, iy: fy as u32 };
+    let mut idx = mesh.find(pos).expect("root block missing");
+    // Descend to the containing leaf.
+    loop {
+        let b = mesh.block(idx);
+        match b.children {
+            None => break,
+            Some(kids) => {
+                let (ox, oy) = mesh.block_origin(pos);
+                let (wx, wy) = mesh.block_size(pos.level);
+                let cx = (xc - ox) >= wx * 0.5;
+                let cy = (yc - oy) >= wy * 0.5;
+                let k = (cy as usize) * 2 + cx as usize;
+                idx = kids[k];
+                pos = mesh.block(idx).pos;
+            }
+        }
+    }
+    let b = mesh.block(idx);
+    let (ox, oy) = mesh.block_origin(pos);
+    let (dx, dy) = mesh.cell_size(pos.level);
+    let ci = (((xc - ox) / dx) as usize).min(mesh.params.nx - 1);
+    let cj = (((yc - oy) / dy) as usize).min(mesh.params.ny - 1);
+    b.data[mesh.index_int(var, ci, cj)]
+}
+
+/// Norms between two sampled arrays (`b` is the reference).
+pub fn norms(a: &[f64], b: &[f64]) -> Norms {
+    assert_eq!(a.len(), b.len());
+    let mut sum_abs = 0.0;
+    let mut sum_ref = 0.0;
+    let mut sum_sq = 0.0;
+    let mut sum_ref_sq = 0.0;
+    let mut linf: f64 = 0.0;
+    let mut ref_linf: f64 = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = (x - y).abs();
+        sum_abs += d;
+        sum_ref += y.abs();
+        sum_sq += d * d;
+        sum_ref_sq += y * y;
+        linf = linf.max(d);
+        ref_linf = ref_linf.max(y.abs());
+    }
+    Norms {
+        l1: if sum_ref > 0.0 { sum_abs / sum_ref } else { sum_abs },
+        l2: if sum_ref_sq > 0.0 { (sum_sq / sum_ref_sq).sqrt() } else { sum_sq.sqrt() },
+        linf,
+        ref_linf,
+    }
+}
+
+/// sfocu: compare a variable between two meshes (possibly with different
+/// refinement structure), sampling at the reference's finest resolution.
+pub fn sfocu(mesh: &Mesh, reference: &Mesh, var: usize) -> Norms {
+    let level = reference.current_max_level().max(mesh.current_max_level());
+    let nx = reference.params.nbx * reference.params.nx * (1 << (level - 1) as usize);
+    let ny = reference.params.nby * reference.params.ny * (1 << (level - 1) as usize);
+    // Cap the sampling grid to keep comparisons cheap at deep refinement.
+    let cap = 1024;
+    let (nx, ny) = (nx.min(cap), ny.min(cap));
+    let a = sample_uniform(mesh, var, nx, ny);
+    let b = sample_uniform(reference, var, nx, ny);
+    norms(&a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::MeshParams;
+
+    fn params() -> MeshParams {
+        MeshParams {
+            nx: 8,
+            ny: 8,
+            ng: 2,
+            nvar: 1,
+            nbx: 2,
+            nby: 2,
+            max_level: 3,
+            domain: (0.0, 1.0, 0.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn identical_meshes_compare_to_zero() {
+        let mut m = Mesh::new(params());
+        m.fill_initial(|x, y, _| x * y + 1.0);
+        let n = sfocu(&m, &m, 0);
+        assert_eq!(n.l1, 0.0);
+        assert_eq!(n.l2, 0.0);
+        assert_eq!(n.linf, 0.0);
+    }
+
+    #[test]
+    fn sample_point_descends_refined_blocks() {
+        let mut m = Mesh::new(params());
+        m.fill_initial(|x, _, _| x);
+        let idx = m.find(BlockPos { level: 1, ix: 0, iy: 0 }).unwrap();
+        crate::guard::fill_guards(&mut m, &crate::guard::BcSpec::all_outflow(1));
+        m.refine(idx);
+        // A point deep in the refined region reads child data.
+        let v = sample_point(&m, 0, 0.1, 0.1);
+        assert!((v - 0.1).abs() < 0.05, "sampled {v}");
+        // A point in an unrefined block reads level-1 data.
+        let v2 = sample_point(&m, 0, 0.9, 0.9);
+        assert!((v2 - 0.9).abs() < 0.05);
+    }
+
+    #[test]
+    fn perturbation_shows_up_in_norms() {
+        let mut a = Mesh::new(params());
+        let mut b = Mesh::new(params());
+        a.fill_initial(|x, y, _| (x + y).sin() + 2.0);
+        b.fill_initial(|x, y, _| (x + y).sin() + 2.0);
+        // Perturb one block of `a`.
+        let idx = a.find(BlockPos { level: 1, ix: 1, iy: 1 }).unwrap();
+        let f = a.index_int(0, 3, 3);
+        a.block_mut(idx).data[f] += 0.1;
+        let n = sfocu(&a, &b, 0);
+        assert!(n.l1 > 0.0 && n.l1 < 1e-2);
+        assert!(n.linf > 0.09 && n.linf < 0.11);
+    }
+
+    #[test]
+    fn structurally_different_meshes_compare() {
+        let mut a = Mesh::new(params());
+        let mut b = Mesh::new(params());
+        a.fill_initial(|x, y, _| x + y);
+        b.fill_initial(|x, y, _| x + y);
+        crate::guard::fill_guards(&mut a, &crate::guard::BcSpec::all_outflow(1));
+        let idx = a.find(BlockPos { level: 1, ix: 0, iy: 0 }).unwrap();
+        a.refine(idx);
+        // Piecewise-constant sampling reads cell means, so a refined mesh
+        // and a coarse mesh differ by O(dx) on a sloped field even when
+        // the underlying solution is identical — a small structural floor,
+        // the same floor sfocu sees when truncation perturbs refinement.
+        let n = sfocu(&a, &b, 0);
+        assert!(n.l1 > 0.0 && n.l1 < 0.01, "l1 = {}", n.l1);
+    }
+
+    #[test]
+    fn norms_of_known_difference() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![1.0, 1.0, 3.0];
+        let n = norms(&a, &b);
+        assert!((n.l1 - 1.0 / 5.0).abs() < 1e-15);
+        assert_eq!(n.linf, 1.0);
+        assert_eq!(n.ref_linf, 3.0);
+    }
+}

@@ -1,0 +1,217 @@
+//! Property-based tests of the AMR invariants: tree consistency,
+//! conservation under prolongation/restriction, guard-fill exactness on
+//! linear fields, and 2:1 balance after arbitrary adaptation histories.
+
+use amr::{
+    adapt, fill_guards, init_with_refinement, AdaptSpec, BcSpec, BlockPos, Mesh, MeshParams,
+};
+use proptest::prelude::*;
+
+fn params(max_level: u32, nbx: usize) -> MeshParams {
+    MeshParams {
+        nx: 8,
+        ny: 8,
+        ng: 2,
+        nvar: 1,
+        nbx,
+        nby: nbx,
+        max_level,
+        domain: (0.0, 1.0, 0.0, 1.0),
+    }
+}
+
+/// Check the structural invariants every mesh must satisfy.
+fn check_tree(m: &Mesh) {
+    let mut seen_positions = std::collections::HashSet::new();
+    for idx in m.all_blocks() {
+        let b = m.block(idx);
+        assert!(seen_positions.insert(b.pos), "duplicate position {:?}", b.pos);
+        assert!(m.find(b.pos) == Some(idx), "lookup consistent");
+        if let Some(kids) = b.children {
+            for (k, &kid) in kids.iter().enumerate() {
+                let kb = m.block(kid);
+                assert_eq!(kb.parent, Some(idx));
+                assert_eq!(kb.pos.level, b.pos.level + 1);
+                assert_eq!(kb.pos.ix, 2 * b.pos.ix + (k % 2) as u32);
+                assert_eq!(kb.pos.iy, 2 * b.pos.iy + (k / 2) as u32);
+            }
+        }
+    }
+    // Leaves tile the domain: total leaf area equals the domain area.
+    let mut area = 0.0;
+    for idx in m.leaves() {
+        let b = m.block(idx);
+        let (wx, wy) = m.block_size(b.pos.level);
+        area += wx * wy;
+    }
+    let (x0, x1, y0, y1) = m.params.domain;
+    let want = (x1 - x0) * (y1 - y0);
+    assert!((area - want).abs() < 1e-12, "leaf tiling area {area} vs {want}");
+}
+
+/// Face-neighbor level difference is at most 1 for every leaf.
+fn check_balance(m: &Mesh) {
+    for idx in m.leaves() {
+        let pos = m.block(idx).pos;
+        let width = m.params.nbx as i64 * (1i64 << (pos.level - 1));
+        for (dx, dy) in [(-1i64, 0i64), (1, 0), (0, -1), (0, 1)] {
+            let nx = pos.ix as i64 + dx;
+            let ny = pos.iy as i64 + dy;
+            if nx < 0 || ny < 0 || nx >= width || ny >= width {
+                continue;
+            }
+            // Find the finest leaf overlapping this neighbor position.
+            let mut found = false;
+            for dl in 0..=2i64 {
+                let level = pos.level as i64 - dl;
+                if level < 1 {
+                    break;
+                }
+                let shift = dl as u32;
+                let p = BlockPos {
+                    level: level as u32,
+                    ix: (nx >> shift) as u32,
+                    iy: (ny >> shift) as u32,
+                };
+                if let Some(nidx) = m.find(p) {
+                    if m.block(nidx).children.is_none() {
+                        assert!(
+                            dl <= 1,
+                            "face balance violated: {:?} leaf vs coarser leaf {:?}",
+                            pos,
+                            p
+                        );
+                    }
+                    found = true;
+                    break;
+                }
+            }
+            assert!(found || pos.level == 1, "neighbor region exists");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Arbitrary sequences of feature positions drive adaptation; the tree
+    /// stays consistent and balanced throughout.
+    #[test]
+    fn adapt_keeps_tree_invariants(
+        centers in prop::collection::vec((0.05f64..0.95, 0.05f64..0.95), 1..5),
+        max_level in 2u32..4,
+    ) {
+        let mut m = Mesh::new(params(max_level, 2));
+        let spec = AdaptSpec::default();
+        let bc = BcSpec::all_outflow(1);
+        for (cx, cy) in centers {
+            // A sharp bump at (cx, cy): forces refinement there, lets the
+            // previous feature's blocks coarsen.
+            m.fill_initial(|x, y, _| {
+                let r2 = (x - cx).powi(2) + (y - cy).powi(2);
+                if r2 < 0.01 { 1.0 } else { 0.0 }
+            });
+            for _ in 0..3 {
+                adapt(&mut m, &spec, &bc);
+                m.fill_initial(|x, y, _| {
+                    let r2 = (x - cx).powi(2) + (y - cy).powi(2);
+                    if r2 < 0.01 { 1.0 } else { 0.0 }
+                });
+            }
+            check_tree(&m);
+            check_balance(&m);
+        }
+    }
+
+    /// Guard fill reproduces affine fields exactly on faces for any
+    /// refinement pattern produced by adaptation.
+    #[test]
+    fn guard_fill_exact_on_affine_fields(
+        cx in 0.1f64..0.9,
+        cy in 0.1f64..0.9,
+        a in -3.0f64..3.0,
+        b in -3.0f64..3.0,
+        c in -1.0f64..1.0,
+    ) {
+        let mut m = Mesh::new(params(3, 2));
+        let spec = AdaptSpec::default();
+        let bc = BcSpec::all_outflow(1);
+        init_with_refinement(&mut m, &spec, &bc, 4, |x, y, _| {
+            let r2 = (x - cx).powi(2) + (y - cy).powi(2);
+            if r2 < 0.02 { 1.0 } else { 0.0 }
+        });
+        // Replace the data with an affine field and refill guards.
+        m.fill_initial(move |x, y, _| a * x + b * y + c);
+        fill_guards(&mut m, &bc);
+        let ng = m.params.ng;
+        for idx in m.leaves() {
+            let blk = m.block(idx);
+            let (dx, dy) = m.cell_size(blk.pos.level);
+            let (ox, oy) = m.block_origin(blk.pos);
+            // Check face guards (not corners) inside the domain.
+            for j in 0..m.params.ny {
+                for i in [ng - 1, ng + m.params.nx] {
+                    let x = ox + (i as f64 - ng as f64 + 0.5) * dx;
+                    let y = oy + (j as f64 + 0.5) * dy;
+                    if x <= 0.0 || x >= 1.0 { continue; }
+                    let got = blk.data[m.index(0, i, j + ng)];
+                    let want = a * x + b * y + c;
+                    prop_assert!((got - want).abs() < 1e-11,
+                        "x-face guard at {:?} ({i},{j}): {got} vs {want}", blk.pos);
+                }
+            }
+            for i in 0..m.params.nx {
+                for j in [ng - 1, ng + m.params.ny] {
+                    let x = ox + (i as f64 + 0.5) * dx;
+                    let y = oy + (j as f64 - ng as f64 + 0.5) * dy;
+                    if y <= 0.0 || y >= 1.0 { continue; }
+                    let got = blk.data[m.index(0, i + ng, j)];
+                    let want = a * x + b * y + c;
+                    prop_assert!((got - want).abs() < 1e-11,
+                        "y-face guard at {:?} ({i},{j}): {got} vs {want}", blk.pos);
+                }
+            }
+        }
+    }
+
+    /// Refine + coarsen conserves the integral of any field.
+    #[test]
+    fn refine_coarsen_conserves_integral(
+        seedx in 0.0f64..10.0,
+        seedy in 0.0f64..10.0,
+        pick in 0usize..4,
+    ) {
+        let mut m = Mesh::new(params(3, 2));
+        m.fill_initial(|x, y, _| (seedx * x).sin() + (seedy * y).cos() + 2.0);
+        fill_guards(&mut m, &BcSpec::all_outflow(1));
+        let before = m.integrate(0);
+        let roots: Vec<_> = m.leaves();
+        let idx = roots[pick % roots.len()];
+        m.refine(idx);
+        let mid = m.integrate(0);
+        prop_assert!((before - mid).abs() < 1e-12 * before.abs().max(1.0));
+        m.coarsen(idx);
+        let after = m.integrate(0);
+        prop_assert!((before - after).abs() < 1e-12 * before.abs().max(1.0));
+        check_tree(&m);
+    }
+
+    /// Sampling a piecewise-constant-stored field returns values from the
+    /// data's range (no interpolation overshoot, no out-of-bounds reads).
+    #[test]
+    fn sample_point_within_data_range(
+        px in 0.0f64..1.0,
+        py in 0.0f64..1.0,
+        refine_corner in proptest::bool::ANY,
+    ) {
+        let mut m = Mesh::new(params(2, 2));
+        m.fill_initial(|x, y, _| x + 10.0 * y);
+        fill_guards(&mut m, &BcSpec::all_outflow(1));
+        if refine_corner {
+            let idx = m.find(BlockPos { level: 1, ix: 0, iy: 0 }).unwrap();
+            m.refine(idx);
+        }
+        let v = amr::sample_point(&m, 0, px, py);
+        prop_assert!((-1.0..=12.0).contains(&v), "sample {v} at ({px},{py})");
+    }
+}

@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the emulation paths — the per-operation
+//! costs behind Table 3: native hardware vs the optimised SoftFloat
+//! scratch path vs the naive BigFloat-per-op path vs mem-mode.
+
+use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raptor_core::{Config, EmulPath, OpKind, Session};
+
+fn bench_paths(c: &mut Criterion) {
+    let fmt = Format::new(11, 12);
+    let rm = RoundMode::NearestEven;
+    let mut g = c.benchmark_group("op_paths");
+    g.bench_function("native_f64_add", |b| {
+        b.iter(|| black_box(black_box(0.1) + black_box(0.7)))
+    });
+    g.bench_function("format_round_f64", |b| {
+        b.iter(|| black_box(fmt.round_f64(black_box(0.1234567), rm)))
+    });
+    g.bench_function("soft_add_format", |b| {
+        let x = SoftFloat::from_f64(0.1);
+        let y = SoftFloat::from_f64(0.7);
+        b.iter(|| black_box(fmt.add(black_box(&x), black_box(&y), rm)))
+    });
+    g.bench_function("big_add_naive", |b| {
+        b.iter(|| {
+            let x = BigFloat::from_f64(black_box(0.1));
+            let y = BigFloat::from_f64(black_box(0.7));
+            black_box(fmt.round_soft(&x.add(&y, 13, rm).to_soft(), rm))
+        })
+    });
+    g.bench_function("soft_sqrt", |b| {
+        let x = SoftFloat::from_f64(2.0);
+        b.iter(|| black_box(fmt.sqrt(black_box(&x), rm)))
+    });
+    g.finish();
+}
+
+fn bench_runtime_dispatch(c: &mut Criterion) {
+    let fmt = Format::new(11, 12);
+    let mut g = c.benchmark_group("runtime_dispatch");
+    g.bench_function("no_session_passthrough", |b| {
+        b.iter(|| black_box(raptor_core::ops::op2(OpKind::Add, black_box(0.1), black_box(0.7))))
+    });
+    for (label, path) in [("opmode_soft", EmulPath::Soft), ("opmode_big", EmulPath::Big)] {
+        g.bench_function(label, |b| {
+            let sess = Session::new(Config::op_all(fmt).with_path(path)).unwrap();
+            let _g = sess.install();
+            b.iter(|| black_box(raptor_core::ops::op2(OpKind::Add, black_box(0.1), black_box(0.7))));
+        });
+    }
+    g.bench_function("opmode_native_fp32", |b| {
+        let sess = Session::new(Config::op_all(Format::FP32)).unwrap();
+        let _g = sess.install();
+        b.iter(|| black_box(raptor_core::ops::op2(OpKind::Mul, black_box(0.1), black_box(0.7))));
+    });
+    g.bench_function("memmode_op", |b| {
+        let sess = Session::new(Config::mem_functions(fmt, ["K"], 1e-6)).unwrap();
+        let _g = sess.install();
+        let _r = raptor_core::region("K");
+        b.iter(|| {
+            let h = black_box(raptor_core::ops::op2(OpKind::Add, black_box(0.1), black_box(0.7)));
+            // Keep the slab bounded.
+            sess.mem_clear_slab();
+            h
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
+    targets = bench_paths, bench_runtime_dispatch
+);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 7a: Sedov blast — L1 density error and op counts vs mantissa
+//! bits, for refinement cutoffs M-0 (truncate everything) through M-3.
+//!
+//! Expected shape (paper §6.1): excluding the finest AMR level (M-1) drops
+//! the error by many orders of magnitude for small mantissas; M-2 barely
+//! changes it further; the truncated-op fraction shrinks from >80% (M-0)
+//! toward <1% (M-3); op counts fluctuate at very small mantissas because
+//! truncation noise triggers extra refinement.
+
+use hydro::Problem;
+use raptor_bench::*;
+
+fn main() {
+    let max_level = bench_max_level();
+    let t_end = bench_t_end(Problem::Sedov);
+    eprintln!("fig7a: Sedov, M = {max_level}, t_end = {t_end}");
+    let reference = run_reference(Problem::Sedov, max_level, t_end);
+    eprintln!(
+        "reference done: {} leaves, t = {:.4}",
+        reference.mesh.leaf_count(),
+        reference.t
+    );
+    let mut points = Vec::new();
+    let max_cutoff = max_level.min(3);
+    for cutoff in 0..=max_cutoff {
+        for &m in &mantissa_sweep() {
+            let p = run_truncated_point(Problem::Sedov, max_level, t_end, m, cutoff, &reference);
+            eprintln!(
+                "  M-{cutoff} m={m:>2}: L1 {:.3e}, trunc {:.1}%",
+                p.l1,
+                100.0 * p.trunc_frac
+            );
+            points.push(p);
+        }
+    }
+    print_sweep("Fig 7a: Sedov truncation sweep", &points);
+    print_csv(&points);
+    // Headline check: the M-1 error for small mantissas improves by orders
+    // of magnitude over M-0 (the 7-orders drop in the paper).
+    let small_m = mantissa_sweep()[0];
+    let e0 = points.iter().find(|p| p.cutoff == 0 && p.mantissa == small_m).unwrap().l1;
+    let e1 = points.iter().find(|p| p.cutoff == 1 && p.mantissa == small_m).unwrap().l1;
+    println!(
+        "headline: m={small_m} M-0 err {e0:.3e} vs M-1 err {e1:.3e} (improvement {:.1} orders)",
+        (e0 / e1.max(1e-300)).log10()
+    );
+}

@@ -1,0 +1,59 @@
+//! Figure 8: estimated speedup of Sod for different truncation strategies
+//! under the §7.2 hardware model, in compute-bound and memory-bound
+//! scenarios.
+//!
+//! Runs the Fig. 7b-style sweep collecting op/byte counters, then applies
+//! the co-design model. Expected shape: M-0 peaks around 3-4x at fp16-like
+//! widths (compute-bound; ~2x memory-bound); M-1/M-2 progressively lower;
+//! irregularities at tiny mantissas where AMR inflates the op counts —
+//! for M-1 the extra refinement can even produce a net *slowdown*.
+
+use bigfloat::Format;
+use codesign::{estimate_speedup, Machine};
+use hydro::Problem;
+use raptor_bench::*;
+
+fn main() {
+    let max_level = bench_max_level();
+    let t_end = bench_t_end(Problem::Sod);
+    let machine = Machine::default();
+    eprintln!("fig8: Sod sweep for the co-design model, M = {max_level}");
+    let reference = run_reference(Problem::Sod, max_level, t_end);
+    println!("== Fig 8: estimated Sod speedup (hardware model, FPnew densities) ==");
+    println!(
+        "{:>6} {:>9} {:>14} {:>14} {:>14}",
+        "cutoff", "mantissa", "compute-bound", "memory-bound", "roofline"
+    );
+    let mut csv = Vec::new();
+    let max_cutoff = max_level.min(2);
+    for cutoff in 0..=max_cutoff {
+        for &m in &mantissa_sweep() {
+            let p = run_truncated_point(Problem::Sod, max_level, t_end, m, cutoff, &reference);
+            // The truncated unit runs at the swept format's width: exponent
+            // shrinks with the mantissa like real packed formats would.
+            let fmt = Format::new(if m <= 10 { 5 } else { 11 }, m);
+            let mut counters = raptor_core::Counters::default();
+            counters.trunc.add = (p.trunc_gops * 1e9) as u64;
+            counters.full.add = (p.full_gops * 1e9) as u64;
+            counters.trunc_bytes = p.trunc_bytes;
+            counters.full_bytes = p.full_bytes;
+            let s = estimate_speedup(&machine, fmt, &counters);
+            println!(
+                "{:>6} {:>9} {:>14.3} {:>14.3} {:>14}",
+                format!("M-{cutoff}"),
+                m,
+                s.compute_bound,
+                s.memory_bound,
+                if s.compute_bound_applies { "compute" } else { "memory" }
+            );
+            csv.push(format!(
+                "csv,{cutoff},{m},{},{},{}",
+                s.compute_bound, s.memory_bound, s.compute_bound_applies
+            ));
+        }
+    }
+    println!("csv,cutoff,mantissa,compute_speedup,memory_speedup,compute_bound");
+    for line in csv {
+        println!("{line}");
+    }
+}

@@ -1,0 +1,84 @@
+//! Table 2: numerically debugging Sedov with mem-mode.
+//!
+//! The WENO ("Spark-like") hydro solver is truncated module-by-module with
+//! a *fixed timestep* (so dynamic time-stepping cannot compensate), and
+//! mem-mode's per-location deviation flags guide which module to fence
+//! back to full precision. Rows mirror the paper: Baseline (truncate all
+//! of Hydro), exclude {recon}, exclude {recon, riemann}, exclude
+//! {recon, update} — reporting L1 errors for density and x-velocity plus
+//! the truncated-op fraction.
+
+use bigfloat::Format;
+use hydro::{Problem, ReconKind, DENS, MOMX};
+use raptor_core::{Config, Session, Tracked};
+
+fn run_case(exclusions: &[&str], fixed_dt: f64, t_end: f64, reference: &hydro::Simulation) -> (f64, f64, f64, Vec<String>) {
+    let fmt = Format::new(11, 12); // the Table 2/3 12-bit mantissa config
+    let cfg = Config::mem_functions(fmt, ["Hydro"], 1e-4)
+        .with_exclude(exclusions.iter().map(|s| s.to_string()))
+        .with_counting();
+    let sess = Session::new(cfg).expect("valid config");
+    let mut sim = hydro::setup(Problem::Sedov, 2, 8, ReconKind::Weno5);
+    sim.fixed_dt = Some(fixed_dt);
+    sim.adapt_every = 0; // fixed mesh: isolate the numerics like the paper
+    sim.run::<Tracked>(t_end, 100_000, 1, Some(&sess));
+    let dens = amr::sfocu(&sim.mesh, &reference.mesh, DENS).l1;
+    let velx = amr::sfocu(&sim.mesh, &reference.mesh, MOMX).l1;
+    let frac = sess.counters().truncated_fraction();
+    let flags: Vec<String> = sess
+        .mem_flags()
+        .iter()
+        .filter(|f| f.stats.flags > 0)
+        .take(5)
+        .map(|f| format!("{} ({} flags, max dev {:.1e})", f.loc, f.stats.flags, f.stats.max_dev))
+        .collect();
+    (dens, velx, frac, flags)
+}
+
+fn main() {
+    let t_end = 0.02;
+    let mut reference = hydro::setup(Problem::Sedov, 2, 8, ReconKind::Weno5);
+    // Fixed dt from the initial state, shared by every run.
+    let fixed_dt = hydro::compute_dt::<f64, _>(&reference.mesh, &reference.eos, &reference.hydro);
+    reference.fixed_dt = Some(fixed_dt);
+    reference.adapt_every = 0;
+    reference.run::<f64>(t_end, 100_000, 1, None);
+    eprintln!("reference done at t = {:.4} (dt = {fixed_dt:.3e})", reference.t);
+
+    println!("== Table 2: mem-mode debugging of Sedov (Spark/WENO solver, 12-bit mantissa) ==");
+    println!(
+        "{:<28} {:>12} {:>12} {:>10}",
+        "Excluded modules", "L1(density)", "L1(x-mom)", "trunc %"
+    );
+    let cases: &[(&str, &[&str])] = &[
+        ("Baseline", &[]),
+        ("Recon", &["Hydro/recon"]),
+        ("Recon, Riemann", &["Hydro/recon", "Hydro/riemann"]),
+        ("Recon, Update", &["Hydro/recon", "Hydro/update"]),
+    ];
+    let mut rows = Vec::new();
+    for (label, excl) in cases {
+        let (dens, velx, frac, flags) = run_case(excl, fixed_dt, t_end, &reference);
+        println!(
+            "{:<28} {:>12.3e} {:>12.3e} {:>9.1}%",
+            label,
+            dens,
+            velx,
+            100.0 * frac
+        );
+        for f in &flags {
+            println!("    flagged: {f}");
+        }
+        rows.push((label.to_string(), dens, velx, frac));
+    }
+    println!();
+    println!(
+        "paper shape: excluding Recon lowers the error slightly and drops the truncated-op \
+         share sharply; adding Riemann to the exclusions *worsens* the error; adding Update \
+         leaves it nearly unchanged."
+    );
+    println!("csv,excluded,l1_dens,l1_momx,trunc_frac");
+    for (label, d, v, f) in rows {
+        println!("csv,{label},{d:e},{v:e},{f}");
+    }
+}

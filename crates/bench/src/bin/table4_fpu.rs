@@ -1,0 +1,22 @@
+//! Table 4: performance density of FPUs for various precisions (FPnew
+//! data), plus the extrapolation used by the co-design model.
+
+use bigfloat::Format;
+use codesign::{perf_density_extrapolated, table4_rows};
+
+fn main() {
+    println!("== Table 4: FPU performance density (FPnew data) ==");
+    for row in table4_rows() {
+        println!("{row}");
+    }
+    println!();
+    println!("extrapolated densities for intermediate formats:");
+    for (e, m) in [(11u32, 36u32), (11, 20), (8, 12), (5, 14), (11, 12)] {
+        let f = Format::new(e, m);
+        println!(
+            "  e{e}m{m} (width {:>2} bits): density {:.2}",
+            f.storage_bits(),
+            perf_density_extrapolated(f)
+        );
+    }
+}

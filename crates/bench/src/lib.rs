@@ -1,0 +1,207 @@
+//! # raptor-bench — experiment harnesses for every table and figure
+//!
+//! One binary per paper artefact (see DESIGN.md §5 for the full index):
+//!
+//! | binary            | artefact |
+//! |-------------------|----------|
+//! | `fig7a_sedov`     | Fig. 7a — Sedov L1 error + op counts vs mantissa, cutoffs M-0..M-3 |
+//! | `fig7b_sod`       | Fig. 7b — Sod, cutoffs M-0..M-2, small-mantissa AMR anomaly |
+//! | `fig1_bubble`     | Fig. 1 — bubble interface under truncation strategies |
+//! | `cellular_eos`    | §6.1 — Cellular EOS Newton convergence vs mantissa (Hypothesis 2) |
+//! | `table2_memmode`  | Table 2 — mem-mode debugging of Sedov with module exclusions |
+//! | `table3_overhead` | Table 3 — runtime overhead, naive vs opt, counting, mem-mode |
+//! | `table4_fpu`      | Table 4 — FPU performance density |
+//! | `fig8_speedup`    | Fig. 8 — estimated Sod speedup (compute/memory bound) |
+//!
+//! Scale knobs come from environment variables so `cargo run --release`
+//! finishes in minutes while `RAPTOR_BENCH_FULL=1` gets closer to the
+//! paper's resolutions.
+
+use bigfloat::Format;
+use hydro::{Problem, ReconKind, DENS};
+use raptor_core::{Config, Session, Tracked};
+
+/// Mantissa-bit sweep used by the Fig. 7 x-axis.
+pub fn mantissa_sweep() -> Vec<u32> {
+    if full_scale() {
+        vec![4, 5, 6, 8, 10, 12, 14, 16, 20, 24, 28, 32, 36, 44, 52]
+    } else {
+        vec![4, 6, 8, 12, 16, 24, 36, 52]
+    }
+}
+
+/// Whether the harness runs at (closer to) paper scale.
+pub fn full_scale() -> bool {
+    std::env::var("RAPTOR_BENCH_FULL").is_ok()
+}
+
+/// Maximum refinement level for the hydro sweeps.
+pub fn bench_max_level() -> u32 {
+    std::env::var("RAPTOR_BENCH_LEVEL").ok().and_then(|v| v.parse().ok()).unwrap_or(
+        if full_scale() {
+            4
+        } else {
+            3
+        },
+    )
+}
+
+/// Root-block grid for the hydro sweeps (4x4 keeps genuinely coarse
+/// level-1 leaves away from the feature, which M-2/M-3 need).
+pub fn bench_roots() -> usize {
+    std::env::var("RAPTOR_BENCH_ROOTS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// End time for the hydro sweeps.
+pub fn bench_t_end(problem: Problem) -> f64 {
+    let default = match problem {
+        Problem::Sedov => {
+            if full_scale() {
+                0.08
+            } else {
+                0.05
+            }
+        }
+        Problem::Sod => {
+            if full_scale() {
+                0.2
+            } else {
+                0.15
+            }
+        }
+    };
+    std::env::var("RAPTOR_BENCH_TEND").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// One data point of a Fig. 7 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// Cutoff l in "M - l".
+    pub cutoff: u32,
+    /// Mantissa bits.
+    pub mantissa: u32,
+    /// Relative L1 density error vs the full-precision reference (sfocu).
+    pub l1: f64,
+    /// Max-norm error.
+    pub linf: f64,
+    /// Truncated giga-ops.
+    pub trunc_gops: f64,
+    /// Full-precision giga-ops.
+    pub full_gops: f64,
+    /// Truncated / total ops.
+    pub trunc_frac: f64,
+    /// Leaf blocks at the end of the run (the Fig. 7b anomaly indicator).
+    pub leaves: usize,
+    /// Truncated bytes (memory model input).
+    pub trunc_bytes: u64,
+    /// Full-precision bytes.
+    pub full_bytes: u64,
+}
+
+/// Run the reference (f64) simulation for a problem.
+pub fn run_reference(problem: Problem, max_level: u32, t_end: f64) -> hydro::Simulation {
+    let mut sim = hydro::setup_with_roots(problem, max_level, 8, ReconKind::Plm, bench_roots());
+    sim.run::<f64>(t_end, 100_000, threads(), None);
+    sim
+}
+
+fn threads() -> usize {
+    std::env::var("RAPTOR_BENCH_THREADS").ok().and_then(|v| v.parse().ok()).unwrap_or(4)
+}
+
+/// Run one truncated simulation and measure it against the reference.
+pub fn run_truncated_point(
+    problem: Problem,
+    max_level: u32,
+    t_end: f64,
+    mantissa: u32,
+    cutoff: u32,
+    reference: &hydro::Simulation,
+) -> SweepPoint {
+    let fmt = Format::new(11, mantissa);
+    let cfg = Config::op_files(fmt, ["Hydro"])
+        .with_cutoff(max_level, cutoff)
+        .with_counting();
+    let sess = Session::new(cfg).expect("valid config");
+    let mut sim = hydro::setup_with_roots(problem, max_level, 8, ReconKind::Plm, bench_roots());
+    sim.run::<Tracked>(t_end, 100_000, threads(), Some(&sess));
+    let norms = amr::sfocu(&sim.mesh, &reference.mesh, DENS);
+    let c = sess.counters();
+    let (tg, fg) = c.giga_ops();
+    SweepPoint {
+        cutoff,
+        mantissa,
+        l1: norms.l1,
+        linf: norms.linf,
+        trunc_gops: tg,
+        full_gops: fg,
+        trunc_frac: c.truncated_fraction(),
+        leaves: sim.mesh.leaf_count(),
+        trunc_bytes: c.trunc_bytes,
+        full_bytes: c.full_bytes,
+    }
+}
+
+/// Render a sweep as the textual analog of a Fig. 7 panel.
+pub fn print_sweep(title: &str, points: &[SweepPoint]) {
+    println!("== {title} ==");
+    println!(
+        "{:>6} {:>9} {:>12} {:>12} {:>11} {:>11} {:>7} {:>7}",
+        "cutoff", "mantissa", "L1_err", "Linf_err", "trunc_Gops", "full_Gops", "frac%", "leaves"
+    );
+    for p in points {
+        println!(
+            "{:>6} {:>9} {:>12.4e} {:>12.4e} {:>11.4} {:>11.4} {:>7.1} {:>7}",
+            format!("M-{}", p.cutoff),
+            p.mantissa,
+            p.l1,
+            p.linf,
+            p.trunc_gops,
+            p.full_gops,
+            100.0 * p.trunc_frac,
+            p.leaves
+        );
+    }
+}
+
+/// Emit a machine-readable CSV alongside the pretty table.
+pub fn print_csv(points: &[SweepPoint]) {
+    println!("csv,cutoff,mantissa,l1,linf,trunc_gops,full_gops,trunc_frac,leaves,trunc_bytes,full_bytes");
+    for p in points {
+        println!(
+            "csv,{},{},{:e},{:e},{},{},{},{},{},{}",
+            p.cutoff,
+            p.mantissa,
+            p.l1,
+            p.linf,
+            p.trunc_gops,
+            p.full_gops,
+            p.trunc_frac,
+            p.leaves,
+            p.trunc_bytes,
+            p.full_bytes
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_point_smoke() {
+        // Tiny end-to-end smoke: one truncated point against a reference.
+        let reference = run_reference(Problem::Sod, 2, 0.01);
+        let p = run_truncated_point(Problem::Sod, 2, 0.01, 8, 0, &reference);
+        assert!(p.l1 > 0.0 && p.l1 < 1.0);
+        assert!(p.trunc_frac > 0.5);
+        assert!(p.trunc_gops > 0.0);
+    }
+
+    #[test]
+    fn mantissa_sweep_is_sorted_and_bounded() {
+        let s = mantissa_sweep();
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        assert!(*s.first().unwrap() >= 4 && *s.last().unwrap() == 52);
+    }
+}

@@ -1,0 +1,942 @@
+//! [`BigFloat`]: arbitrary-precision, correctly-rounded binary floating
+//! point backed by a heap-allocated limb vector.
+//!
+//! This is the analog of an `mpfr_t`: each value owns an allocation sized to
+//! its precision, which is exactly what makes RAPTOR's *naive* op-mode
+//! runtime slow (one `mpfr_init2`/`mpfr_clear` pair per operation, Fig. 5a)
+//! and what the scratch-pad optimisation (Fig. 4b) avoids. The RAPTOR-rs
+//! runtime uses [`crate::SoftFloat`] on the optimised path and `BigFloat`
+//! on the naive path and for precisions above 64 bits.
+//!
+//! Representation: `value = (-1)^sign * (L / 2^(64*n - 1)) * 2^exp` where
+//! `L` is the little-endian limb vector of length `n`, normalized so the
+//! most significant bit of the top limb is set; the magnitude therefore
+//! lies in `[2^exp, 2^(exp+1))`.
+
+use crate::round::RoundMode;
+use crate::soft::{Class, SoftFloat};
+
+/// Arbitrary-precision floating-point value.
+#[derive(Clone, Debug)]
+pub struct BigFloat {
+    sign: bool,
+    class: Class,
+    exp: i64,
+    limbs: Vec<u64>,
+}
+
+// ---------------------------------------------------------------------------
+// Limb-vector helpers (little-endian, most-significant limb last)
+// ---------------------------------------------------------------------------
+
+/// Compare magnitudes of two equal-length normalized limb vectors.
+fn cmp_limbs(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    debug_assert_eq!(a.len(), b.len());
+    for i in (0..a.len()).rev() {
+        match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// In-place addition `a += b`; returns the carry out.
+fn add_limbs(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut carry = false;
+    for i in 0..a.len() {
+        let (s1, c1) = a[i].overflowing_add(b[i]);
+        let (s2, c2) = s1.overflowing_add(carry as u64);
+        a[i] = s2;
+        carry = c1 | c2;
+    }
+    carry
+}
+
+/// In-place subtraction `a -= b` (requires `a >= b`); returns borrow (false).
+fn sub_limbs(a: &mut [u64], b: &[u64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut borrow = false;
+    for i in 0..a.len() {
+        let (d1, b1) = a[i].overflowing_sub(b[i]);
+        let (d2, b2) = d1.overflowing_sub(borrow as u64);
+        a[i] = d2;
+        borrow = b1 | b2;
+    }
+    borrow
+}
+
+/// Subtract 1 from the limb vector (used for the sticky-borrow trick).
+fn dec_limbs(a: &mut [u64]) {
+    for limb in a.iter_mut() {
+        let (d, borrow) = limb.overflowing_sub(1);
+        *limb = d;
+        if !borrow {
+            return;
+        }
+    }
+}
+
+/// Logical right shift by `n` bits; returns true if any shifted-out bit was 1.
+fn shr_limbs(a: &mut Vec<u64>, n: u32) -> bool {
+    if n == 0 {
+        return false;
+    }
+    let limb_shift = (n / 64) as usize;
+    let bit_shift = n % 64;
+    let mut sticky = false;
+    if limb_shift >= a.len() {
+        sticky = a.iter().any(|&l| l != 0);
+        a.iter_mut().for_each(|l| *l = 0);
+        return sticky;
+    }
+    for &l in &a[..limb_shift] {
+        sticky |= l != 0;
+    }
+    a.drain(..limb_shift);
+    a.extend(std::iter::repeat(0).take(limb_shift));
+    if bit_shift > 0 {
+        let mut carry = 0u64;
+        for i in (0..a.len()).rev() {
+            let new = (a[i] >> bit_shift) | carry;
+            carry = a[i] << (64 - bit_shift);
+            if i == 0 {
+                sticky |= a[i] & ((1u64 << bit_shift) - 1) != 0;
+            }
+            a[i] = new;
+        }
+    }
+    sticky
+}
+
+/// Logical left shift by `n < 64` bits (must not overflow the top limb).
+fn shl_limbs_small(a: &mut [u64], n: u32) {
+    if n == 0 {
+        return;
+    }
+    debug_assert!(n < 64);
+    debug_assert!(a.last().map_or(true, |&t| t >> (64 - n) == 0));
+    let mut carry = 0u64;
+    for limb in a.iter_mut() {
+        let new = (*limb << n) | carry;
+        carry = *limb >> (64 - n);
+        *limb = new;
+    }
+}
+
+/// Leading zero bits of the full vector (vector must be nonzero).
+fn leading_zeros(a: &[u64]) -> u32 {
+    let mut lz = 0;
+    for i in (0..a.len()).rev() {
+        if a[i] == 0 {
+            lz += 64;
+        } else {
+            return lz + a[i].leading_zeros();
+        }
+    }
+    lz
+}
+
+/// Exact schoolbook multiplication; returns a vector of `a.len() + b.len()`.
+fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
+    let mut out = vec![0u64; a.len() + b.len()];
+    for (i, &ai) in a.iter().enumerate() {
+        if ai == 0 {
+            continue;
+        }
+        let mut carry = 0u128;
+        for (j, &bj) in b.iter().enumerate() {
+            let cur = out[i + j] as u128 + (ai as u128) * (bj as u128) + carry;
+            out[i + j] = cur as u64;
+            carry = cur >> 64;
+        }
+        let mut k = i + b.len();
+        while carry != 0 {
+            let cur = out[k] as u128 + carry;
+            out[k] = cur as u64;
+            carry = cur >> 64;
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Round a normalized limb vector (MSB of top limb set) to `prec` bits.
+///
+/// Returns the rounded vector (limb count `ceil(prec/64)`, top-aligned) and
+/// the exponent increment.
+fn round_limbs(
+    mut a: Vec<u64>,
+    prec: u32,
+    sign: bool,
+    extra_sticky: bool,
+    mode: RoundMode,
+) -> (Vec<u64>, i64) {
+    let total_bits = 64 * a.len() as u32;
+    debug_assert!(a.last().map_or(false, |&t| t >> 63 == 1));
+    debug_assert!(prec >= 1);
+    let out_limbs = ((prec + 63) / 64) as usize;
+    if prec >= total_bits {
+        // Pad with zero limbs at the bottom.
+        let mut out = vec![0u64; out_limbs - a.len()];
+        out.extend_from_slice(&a);
+        return (out, 0);
+    }
+    let drop = total_bits - prec; // number of low bits to discard
+    // Guard bit is the highest discarded bit.
+    let gpos = drop - 1;
+    let guard = (a[(gpos / 64) as usize] >> (gpos % 64)) & 1 == 1;
+    let mut sticky = extra_sticky;
+    if !sticky {
+        'outer: for i in 0..((gpos / 64) as usize + 1) {
+            let limb = a[i];
+            let masked = if i == (gpos / 64) as usize {
+                limb & ((1u64 << (gpos % 64)) - 1).wrapping_sub(0)
+            } else {
+                limb
+            };
+            if masked != 0 {
+                sticky = true;
+                break 'outer;
+            }
+        }
+    }
+    // Clear the discarded bits.
+    let full_zero_limbs = (drop / 64) as usize;
+    for limb in a.iter_mut().take(full_zero_limbs) {
+        *limb = 0;
+    }
+    let rem = drop % 64;
+    if rem > 0 {
+        a[full_zero_limbs] &= !((1u64 << rem) - 1);
+    }
+    let lsb_pos = drop;
+    let lsb_odd = (a[(lsb_pos / 64) as usize] >> (lsb_pos % 64)) & 1 == 1;
+    let mut exp_inc = 0i64;
+    if mode.round_up(sign, lsb_odd, guard, sticky) {
+        // Add one ulp at position `drop`.
+        let limb_idx = (drop / 64) as usize;
+        let bit = 1u64 << (drop % 64);
+        let mut carry;
+        {
+            let (s, c) = a[limb_idx].overflowing_add(bit);
+            a[limb_idx] = s;
+            carry = c;
+        }
+        let mut k = limb_idx + 1;
+        while carry && k < a.len() {
+            let (s, c) = a[k].overflowing_add(1);
+            a[k] = s;
+            carry = c;
+            k += 1;
+        }
+        if carry {
+            // 0.111... -> 1.000...: significand becomes 2^total_bits.
+            a.iter_mut().for_each(|l| *l = 0);
+            *a.last_mut().unwrap() = 1 << 63;
+            exp_inc = 1;
+        }
+    }
+    // Truncate the vector to the output limb count (low limbs are zero).
+    let keep_from = a.len() - out_limbs;
+    debug_assert!(a[..keep_from].iter().all(|&l| l == 0) || exp_inc == 1);
+    let out = a[keep_from..].to_vec();
+    (out, exp_inc)
+}
+
+impl BigFloat {
+    // ----- constructors -----------------------------------------------------
+
+    /// Positive zero.
+    pub fn zero() -> Self {
+        BigFloat { sign: false, class: Class::Zero, exp: 0, limbs: Vec::new() }
+    }
+
+    /// Canonical NaN.
+    pub fn nan() -> Self {
+        BigFloat { sign: false, class: Class::Nan, exp: 0, limbs: Vec::new() }
+    }
+
+    /// Signed infinity.
+    pub fn infinity(sign: bool) -> Self {
+        BigFloat { sign, class: Class::Inf, exp: 0, limbs: Vec::new() }
+    }
+
+    /// Exact conversion from a [`SoftFloat`].
+    pub fn from_soft(x: &SoftFloat) -> Self {
+        match x.class() {
+            Class::Zero => {
+                let mut z = BigFloat::zero();
+                z.sign = x.sign();
+                z
+            }
+            Class::Inf => BigFloat::infinity(x.sign()),
+            Class::Nan => BigFloat::nan(),
+            Class::Normal => BigFloat {
+                sign: x.sign(),
+                class: Class::Normal,
+                exp: x.exponent() as i64,
+                limbs: vec![x.significand()],
+            },
+        }
+    }
+
+    /// Exact conversion from `f64`.
+    pub fn from_f64(x: f64) -> Self {
+        BigFloat::from_soft(&SoftFloat::from_f64(x))
+    }
+
+    /// Round to a [`SoftFloat`] (nearest-even at 64 bits, which is exact
+    /// whenever this value has ≤ 64 significant bits).
+    pub fn to_soft(&self) -> SoftFloat {
+        match self.class {
+            Class::Zero => {
+                if self.sign {
+                    SoftFloat::neg_zero()
+                } else {
+                    SoftFloat::zero()
+                }
+            }
+            Class::Inf => SoftFloat::infinity(self.sign),
+            Class::Nan => SoftFloat::nan(),
+            Class::Normal => {
+                let top = *self.limbs.last().unwrap();
+                let sticky = self.limbs[..self.limbs.len() - 1].iter().any(|&l| l != 0);
+                let exp32 = self.exp.clamp(i32::MIN as i64, i32::MAX as i64) as i32;
+                if !sticky {
+                    SoftFloat::from_parts(self.sign, exp32, top)
+                } else {
+                    // Round the 64 kept bits by the sticky tail (RNE).
+                    let v = SoftFloat::from_parts(self.sign, exp32, top);
+                    // At 64 bits, a sticky tail below the lsb cannot change
+                    // the nearest-even result unless we sit exactly between
+                    // representables, which requires guard=1: the tail's top
+                    // bit. Conservatively re-round through 64-bit prec:
+                    let guard = self.limbs[self.limbs.len() - 2] >> 63 == 1;
+                    let tail_sticky = self.limbs[..self.limbs.len() - 1]
+                        .iter()
+                        .enumerate()
+                        .any(|(i, &l)| {
+                            if i == self.limbs.len() - 2 {
+                                l << 1 != 0
+                            } else {
+                                l != 0
+                            }
+                        });
+                    if guard && (tail_sticky || top & 1 == 1) {
+                        let (sum, carry) = top.overflowing_add(1);
+                        if carry {
+                            SoftFloat::from_parts(self.sign, exp32 + 1, 1 << 63)
+                        } else {
+                            SoftFloat::from_parts(self.sign, exp32, sum)
+                        }
+                    } else {
+                        v
+                    }
+                }
+            }
+        }
+    }
+
+    /// Round to `f64`.
+    pub fn to_f64(&self) -> f64 {
+        self.to_soft().to_f64()
+    }
+
+    // ----- accessors ---------------------------------------------------------
+
+    /// Classification.
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Sign (true = negative).
+    pub fn sign(&self) -> bool {
+        self.sign
+    }
+
+    /// Unbiased exponent (`floor(log2 |x|)`).
+    pub fn exponent(&self) -> i64 {
+        self.exp
+    }
+
+    /// Current significand width in bits (a multiple of 64).
+    pub fn width_bits(&self) -> u32 {
+        64 * self.limbs.len() as u32
+    }
+
+    /// True if NaN.
+    pub fn is_nan(&self) -> bool {
+        self.class == Class::Nan
+    }
+
+    /// True if ±0.
+    pub fn is_zero(&self) -> bool {
+        self.class == Class::Zero
+    }
+
+    /// Negation (exact).
+    pub fn neg(&self) -> Self {
+        let mut r = self.clone();
+        if r.class != Class::Nan {
+            r.sign = !r.sign;
+        }
+        r
+    }
+
+    /// Absolute value (exact).
+    pub fn abs(&self) -> Self {
+        let mut r = self.clone();
+        if r.class != Class::Nan {
+            r.sign = false;
+        }
+        r
+    }
+
+    /// IEEE comparison (None for NaN operands; -0 == +0).
+    pub fn partial_cmp_ieee(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        use core::cmp::Ordering::*;
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        let sgn = |b: &BigFloat| -> i32 {
+            match b.class {
+                Class::Zero => 0,
+                Class::Inf | Class::Normal => {
+                    if b.sign {
+                        -1
+                    } else {
+                        1
+                    }
+                }
+                Class::Nan => unreachable!(),
+            }
+        };
+        let (sa, sb) = (sgn(self), sgn(other));
+        if sa != sb {
+            return Some(sa.cmp(&sb));
+        }
+        if sa == 0 {
+            return Some(Equal);
+        }
+        // Same nonzero sign: compare magnitudes.
+        let mag = match (self.class, other.class) {
+            (Class::Inf, Class::Inf) => Equal,
+            (Class::Inf, _) => Greater,
+            (_, Class::Inf) => Less,
+            _ => {
+                if self.exp != other.exp {
+                    self.exp.cmp(&other.exp)
+                } else {
+                    // Align widths for comparison.
+                    let n = self.limbs.len().max(other.limbs.len());
+                    let pad = |v: &[u64]| {
+                        let mut p = vec![0u64; n - v.len()];
+                        p.extend_from_slice(v);
+                        p
+                    };
+                    cmp_limbs(&pad(&self.limbs), &pad(&other.limbs))
+                }
+            }
+        };
+        Some(if sa > 0 { mag } else { mag.reverse() })
+    }
+
+    // ----- rounding ------------------------------------------------------------
+
+    /// Round this value to `prec` significand bits.
+    pub fn round_to_prec(&self, prec: u32, mode: RoundMode) -> Self {
+        assert!(prec >= 1);
+        if self.class != Class::Normal {
+            return self.clone();
+        }
+        let (limbs, inc) = round_limbs(self.limbs.clone(), prec, self.sign, false, mode);
+        BigFloat { sign: self.sign, class: Class::Normal, exp: self.exp + inc, limbs }
+    }
+
+    // ----- arithmetic ------------------------------------------------------------
+
+    /// Correctly-rounded addition into `prec` bits.
+    pub fn add(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.add_signed(other, prec, mode, false)
+    }
+
+    /// Correctly-rounded subtraction into `prec` bits.
+    pub fn sub(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.add_signed(other, prec, mode, true)
+    }
+
+    fn add_signed(&self, other: &Self, prec: u32, mode: RoundMode, negate_b: bool) -> Self {
+        use Class::*;
+        assert!(prec >= 1);
+        let b_sign = other.sign ^ (negate_b && other.class != Nan);
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Inf, Inf) => {
+                if self.sign == b_sign {
+                    BigFloat::infinity(self.sign)
+                } else {
+                    BigFloat::nan()
+                }
+            }
+            (Inf, _) => BigFloat::infinity(self.sign),
+            (_, Inf) => BigFloat::infinity(b_sign),
+            (Zero, Zero) => {
+                if self.sign && b_sign {
+                    let mut z = BigFloat::zero();
+                    z.sign = true;
+                    z
+                } else if self.sign != b_sign && mode == RoundMode::Down {
+                    let mut z = BigFloat::zero();
+                    z.sign = true;
+                    z
+                } else {
+                    BigFloat::zero()
+                }
+            }
+            (Zero, Normal) => {
+                let mut b = other.clone();
+                b.sign = b_sign;
+                b.round_to_prec(prec, mode)
+            }
+            (Normal, Zero) => self.round_to_prec(prec, mode),
+            (Normal, Normal) => {
+                let mut a = self.clone();
+                let mut b = other.clone();
+                b.sign = b_sign;
+                let a_mag_lt = matches!(
+                    a.abs().partial_cmp_ieee(&b.abs()),
+                    Some(core::cmp::Ordering::Less)
+                );
+                if a_mag_lt {
+                    core::mem::swap(&mut a, &mut b);
+                }
+                let d = (a.exp - b.exp) as u64;
+                // Working window: enough bits for the result precision plus
+                // one carry bit and guard/sticky space.
+                let win_bits = (prec as usize + 2).max(64 * a.limbs.len()).max(64 * b.limbs.len()) + 66;
+                let win_limbs = (win_bits + 63) / 64;
+                // Place A top-aligned one bit down (headroom for carry).
+                let mut av = vec![0u64; win_limbs];
+                let abits = 64 * a.limbs.len();
+                // Copy a into the top of av, shifted right by 1 for headroom.
+                for (i, &l) in a.limbs.iter().enumerate() {
+                    av[win_limbs - a.limbs.len() + i] = l;
+                }
+                let _ = abits;
+                let mut sticky = shr_limbs(&mut av, 1);
+                debug_assert!(!sticky);
+                // Place B likewise, then shift right by d.
+                let mut bv = vec![0u64; win_limbs];
+                for (i, &l) in b.limbs.iter().enumerate() {
+                    bv[win_limbs - b.limbs.len() + i] = l;
+                }
+                let bshift = 1u64.saturating_add(d);
+                sticky = if bshift >= (64 * win_limbs) as u64 {
+                    let any = bv.iter().any(|&l| l != 0);
+                    bv.iter_mut().for_each(|l| *l = 0);
+                    any
+                } else {
+                    shr_limbs(&mut bv, bshift as u32)
+                };
+                let res_sign;
+                if a.sign == b.sign {
+                    res_sign = a.sign;
+                    let carry = add_limbs(&mut av, &bv);
+                    debug_assert!(!carry, "headroom bit prevents carry-out");
+                } else {
+                    res_sign = a.sign;
+                    if sticky {
+                        // borrow trick: subtract one extra ulp, keep sticky
+                        dec_limbs(&mut av);
+                    }
+                    let borrow = sub_limbs(&mut av, &bv);
+                    debug_assert!(!borrow, "|a| >= |b| guaranteed");
+                }
+                if av.iter().all(|&l| l == 0) {
+                    return if mode == RoundMode::Down {
+                        let mut z = BigFloat::zero();
+                        z.sign = true;
+                        z
+                    } else {
+                        BigFloat::zero()
+                    };
+                }
+                // Normalize: top-align.
+                let lz = leading_zeros(&av);
+                // Exponent of the top bit of the window is a.exp + 1 (we
+                // shifted A down by one for headroom).
+                let res_exp = a.exp + 1 - lz as i64;
+                // Shift left by lz (may cross limbs).
+                let limb_up = (lz / 64) as usize;
+                if limb_up > 0 {
+                    av.drain(av.len() - limb_up..);
+                    let mut pre = vec![0u64; limb_up];
+                    pre.extend_from_slice(&av);
+                    av = pre;
+                }
+                shl_limbs_small(&mut av, lz % 64);
+                let (limbs, inc) = round_limbs(av, prec, res_sign, sticky, mode);
+                BigFloat { sign: res_sign, class: Normal, exp: res_exp + inc, limbs }
+            }
+        }
+    }
+
+    /// Correctly-rounded multiplication into `prec` bits.
+    pub fn mul(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        use Class::*;
+        assert!(prec >= 1);
+        let sign = self.sign ^ other.sign;
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Inf, Zero) | (Zero, Inf) => BigFloat::nan(),
+            (Inf, _) | (_, Inf) => BigFloat::infinity(sign),
+            (Zero, _) | (_, Zero) => {
+                let mut z = BigFloat::zero();
+                z.sign = sign;
+                z
+            }
+            (Normal, Normal) => {
+                let mut p = mul_limbs(&self.limbs, &other.limbs);
+                // Top bit is at position 64*n-1 or 64*n-2.
+                let lz = leading_zeros(&p);
+                debug_assert!(lz <= 1);
+                let res_exp = self.exp + other.exp + 1 - lz as i64;
+                shl_limbs_small(&mut p, lz);
+                let (limbs, inc) = round_limbs(p, prec, sign, false, mode);
+                BigFloat { sign, class: Normal, exp: res_exp + inc, limbs }
+            }
+        }
+    }
+
+    /// Correctly-rounded division into `prec` bits (bitwise long division).
+    pub fn div(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        use Class::*;
+        assert!(prec >= 1);
+        let sign = self.sign ^ other.sign;
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Inf, Inf) | (Zero, Zero) => BigFloat::nan(),
+            (Inf, _) => BigFloat::infinity(sign),
+            (_, Inf) | (Zero, _) => {
+                let mut z = BigFloat::zero();
+                z.sign = sign;
+                z
+            }
+            (_, Zero) => BigFloat::infinity(sign),
+            (Normal, Normal) => {
+                // Align numerator and denominator to a common width.
+                let n = self.limbs.len().max(other.limbs.len());
+                let widen = |v: &[u64]| {
+                    let mut w = vec![0u64; n - v.len()];
+                    w.extend_from_slice(v);
+                    w
+                };
+                let mut rem = widen(&self.limbs);
+                let den = widen(&other.limbs);
+                // First quotient bit: compare magnitudes.
+                let mut res_exp = self.exp - other.exp;
+                if cmp_limbs(&rem, &den) == core::cmp::Ordering::Less {
+                    res_exp -= 1;
+                    // rem <<= 1 (top bit is zero before shift? rem top bit
+                    // is set; shifting would overflow — instead halve den?)
+                    // Use the standard scheme below which shifts rem each
+                    // step with headroom: extend by one limb.
+                }
+                // Extend with a headroom limb for shifting.
+                rem.push(0);
+                let mut den2 = den.clone();
+                den2.push(0);
+                // Pre-shift: if rem < den, shift rem once (consumed the
+                // exponent decrement above).
+                if res_exp != self.exp - other.exp {
+                    shl_limbs_small(&mut rem, 1);
+                }
+                let qbits = prec + 2;
+                let out_limbs = ((qbits + 63) / 64) as usize;
+                let mut q = vec![0u64; out_limbs];
+                for i in 0..qbits {
+                    // Current bit position from the top: bit index (qbits-1-i).
+                    if cmp_limbs(&rem, &den2) != core::cmp::Ordering::Less {
+                        sub_limbs(&mut rem, &den2);
+                        let pos = (out_limbs * 64) as u32 - 1 - i;
+                        q[(pos / 64) as usize] |= 1 << (pos % 64);
+                    }
+                    if i + 1 < qbits {
+                        shl_limbs_small(&mut rem, 1);
+                    }
+                }
+                let sticky = rem.iter().any(|&l| l != 0);
+                // q's top bit is set (we arranged rem >= den at step 0).
+                debug_assert!(q.last().map_or(false, |&t| t >> 63 == 1));
+                let (limbs, inc) = round_limbs(q, prec, sign, sticky, mode);
+                BigFloat { sign, class: Normal, exp: res_exp + inc, limbs }
+            }
+        }
+    }
+
+    /// Correctly-rounded square root into `prec` bits (binary digit
+    /// recurrence).
+    pub fn sqrt(&self, prec: u32, mode: RoundMode) -> Self {
+        use Class::*;
+        assert!(prec >= 1);
+        match self.class {
+            Nan => BigFloat::nan(),
+            Zero => self.clone(),
+            Inf => {
+                if self.sign {
+                    BigFloat::nan()
+                } else {
+                    self.clone()
+                }
+            }
+            Normal => {
+                if self.sign {
+                    return BigFloat::nan();
+                }
+                // Integer method: write x = S * 2^t where S is the
+                // significand as an integer (bit length 64n, top bit set)
+                // and t = exp - (64n - 1) is the exponent of its lsb.
+                // Choose I = S << s0 with (t - s0) even and bitlen(I) >=
+                // 2*(prec+2), then sqrt(x) = sqrt(I) * 2^((t - s0)/2) and
+                // floor(sqrt(I)) provides >= prec+2 true root bits plus a
+                // sticky remainder — enough for correct rounding.
+                let qbits = prec + 2;
+                let n = self.limbs.len();
+                let l_bits = 64 * n as u32;
+                let t = self.exp - (l_bits as i64 - 1);
+                let t_odd = t.rem_euclid(2) == 1;
+                let base_bits = l_bits + t_odd as u32;
+                let extra = if 2 * qbits > base_bits { 2 * qbits - base_bits } else { 0 };
+                let extra = extra + (extra & 1); // keep parity even
+                let s0 = t_odd as u32 + extra;
+                let t2 = (t - (t_odd as i64) - extra as i64) / 2;
+                // Build I = S << s0 in a wide buffer.
+                let tot_bits = l_bits + s0;
+                let tot_limbs = ((tot_bits + 63) / 64) as usize + 1;
+                let mut i_vec = vec![0u64; tot_limbs];
+                let limb_off = (s0 / 64) as usize;
+                let bit_off = s0 % 64;
+                for (idx, &limb) in self.limbs.iter().enumerate() {
+                    let lo = (limb << bit_off) | 0;
+                    i_vec[idx + limb_off] |= lo;
+                    if bit_off > 0 {
+                        i_vec[idx + limb_off + 1] |= limb >> (64 - bit_off);
+                    }
+                }
+                // Integer sqrt of i_vec via bitwise method.
+                let (root, rem_nz) = isqrt_limbs(&i_vec);
+                // root value: sqrt(S * 2^s0); x = I * 2^(2*t2) so
+                // sqrt(x) = root * 2^t2 (plus fractional correction in rem).
+                // Normalize root into a BigFloat.
+                let rlz = leading_zeros(&root);
+                let rbits = 64 * root.len() as u32 - rlz;
+                debug_assert!(rbits >= qbits, "computed enough root bits");
+                let mut rv = root.clone();
+                // top-align
+                let limb_up = (rlz / 64) as usize;
+                if limb_up > 0 {
+                    rv.drain(rv.len() - limb_up..);
+                    let mut pre = vec![0u64; limb_up];
+                    pre.extend_from_slice(&rv);
+                    rv = pre;
+                }
+                shl_limbs_small(&mut rv, rlz % 64);
+                let res_exp = t2 + (rbits as i64 - 1);
+                let (limbs, inc) = round_limbs(rv, prec, false, rem_nz, mode);
+                BigFloat { sign: false, class: Normal, exp: res_exp + inc, limbs }
+            }
+        }
+    }
+}
+
+/// Bitwise integer square root over limb vectors: returns
+/// `(floor(sqrt(x)), remainder != 0)`.
+fn isqrt_limbs(x: &[u64]) -> (Vec<u64>, bool) {
+    let n = x.len();
+    let total_bits = 64 * n as u32;
+    let mut rem = x.to_vec();
+    let mut root = vec![0u64; n];
+    // Highest even bit position <= msb.
+    let lz = if rem.iter().all(|&l| l == 0) {
+        return (root, false);
+    } else {
+        leading_zeros(&rem)
+    };
+    let msb = total_bits - 1 - lz;
+    let mut shift = msb & !1; // largest even position
+    // "bit" = 1 << shift, iterate downward.
+    // We avoid big temporaries by testing candidate = root + bit via
+    // dedicated compare-and-subtract on (root << 1 | bit-aligned) forms.
+    // Classic algorithm:
+    //   while bit != 0:
+    //     if rem >= root + bit: rem -= root + bit; root = root/2 + bit
+    //     else: root = root/2
+    //     bit >>= 2
+    // with all quantities as limb vectors.
+    let set_bit = |v: &mut [u64], pos: u32| v[(pos / 64) as usize] |= 1 << (pos % 64);
+    loop {
+        // candidate = root + bit (root has no bits below `shift+1`? In this
+        // scheme root accumulates shifted; just do full-vector arithmetic.)
+        let mut cand = root.clone();
+        let mut carry_vec = vec![0u64; n];
+        set_bit(&mut carry_vec, shift);
+        let c = add_limbs(&mut cand, &carry_vec);
+        debug_assert!(!c);
+        if cmp_limbs(&rem, &cand) != core::cmp::Ordering::Less {
+            sub_limbs(&mut rem, &cand);
+            // root = root/2 + bit
+            shr_limbs_slice(&mut root);
+            set_bit(&mut root, shift);
+        } else {
+            shr_limbs_slice(&mut root);
+        }
+        if shift < 2 {
+            break;
+        }
+        shift -= 2;
+    }
+    let rem_nz = rem.iter().any(|&l| l != 0);
+    (root, rem_nz)
+}
+
+/// In-place right shift by one bit over a limb slice.
+fn shr_limbs_slice(a: &mut [u64]) {
+    let mut carry = 0u64;
+    for i in (0..a.len()).rev() {
+        let new = (a[i] >> 1) | carry;
+        carry = a[i] << 63;
+        a[i] = new;
+    }
+}
+
+impl PartialEq for BigFloat {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(self.partial_cmp_ieee(other), Some(core::cmp::Ordering::Equal))
+    }
+}
+
+impl PartialOrd for BigFloat {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.partial_cmp_ieee(other)
+    }
+}
+
+impl core::fmt::Display for BigFloat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bf(x: f64) -> BigFloat {
+        BigFloat::from_f64(x)
+    }
+
+    #[test]
+    fn roundtrip_f64() {
+        for &x in &[0.0, 1.0, -1.5, 0.1, 1e300, -1e-300, f64::MIN_POSITIVE] {
+            assert_eq!(bf(x).to_f64().to_bits(), x.to_bits());
+        }
+    }
+
+    #[test]
+    fn add_matches_f64_at_53() {
+        let cases = [(1.0, 2.0), (0.1, 0.2), (1e16, 1.0), (1.5, -1.5), (3.0, -2.9999999999999996)];
+        for (a, b) in cases {
+            let r = bf(a).add(&bf(b), 53, RoundMode::NearestEven).to_f64();
+            assert_eq!(r.to_bits(), (a + b).to_bits(), "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn mul_div_match_f64_at_53() {
+        let cases = [(3.0, 7.0), (0.1, 0.2), (1e100, 1e-100), (-2.5, 4.125)];
+        for (a, b) in cases {
+            let m = bf(a).mul(&bf(b), 53, RoundMode::NearestEven).to_f64();
+            assert_eq!(m.to_bits(), (a * b).to_bits(), "{a} * {b}");
+            let d = bf(a).div(&bf(b), 53, RoundMode::NearestEven).to_f64();
+            assert_eq!(d.to_bits(), (a / b).to_bits(), "{a} / {b}");
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_f64_at_53() {
+        for &x in &[2.0, 3.0, 0.5, 7.0, 1e10, 12345.6789, 0.001] {
+            let r = bf(x).sqrt(53, RoundMode::NearestEven).to_f64();
+            assert_eq!(r.to_bits(), x.sqrt().to_bits(), "sqrt {x}");
+        }
+    }
+
+    #[test]
+    fn high_precision_exceeds_f64() {
+        // (1 + 2^-80) - 1 at 128-bit precision recovers 2^-80 exactly.
+        let one = bf(1.0);
+        let tiny = bf(2f64.powi(-80));
+        let sum = one.add(&tiny, 128, RoundMode::NearestEven);
+        let diff = sum.sub(&one, 128, RoundMode::NearestEven);
+        assert_eq!(diff.to_f64(), 2f64.powi(-80));
+        // In f64 the same computation collapses to zero.
+        assert_eq!((1.0 + 2f64.powi(-80)) - 1.0, 0.0);
+    }
+
+    #[test]
+    fn division_high_precision_one_third() {
+        // 1/3 at 128 bits should be much closer than 1/3 at 24 bits.
+        let one = bf(1.0);
+        let three = bf(3.0);
+        let q128 = one.div(&three, 128, RoundMode::NearestEven);
+        let q24 = one.div(&three, 24, RoundMode::NearestEven);
+        let e128 = q128.mul(&three, 192, RoundMode::NearestEven).sub(&one, 192, RoundMode::NearestEven);
+        let e24 = q24.mul(&three, 192, RoundMode::NearestEven).sub(&one, 192, RoundMode::NearestEven);
+        assert!(e128.to_f64().abs() < e24.to_f64().abs());
+        assert!(e128.to_f64().abs() < 1e-38);
+    }
+
+    #[test]
+    fn sqrt_high_precision_squares_back() {
+        let two = bf(2.0);
+        let r = two.sqrt(192, RoundMode::NearestEven);
+        let sq = r.mul(&r, 256, RoundMode::NearestEven);
+        let err = sq.sub(&two, 256, RoundMode::NearestEven).to_f64().abs();
+        assert!(err < 1e-55, "sqrt(2)^2 error {err}");
+    }
+
+    #[test]
+    fn special_values() {
+        assert!(BigFloat::nan().add(&bf(1.0), 53, RoundMode::NearestEven).is_nan());
+        assert!(bf(-1.0).sqrt(53, RoundMode::NearestEven).is_nan());
+        assert!(BigFloat::infinity(false)
+            .sub(&BigFloat::infinity(false), 53, RoundMode::NearestEven)
+            .is_nan());
+        assert_eq!(bf(1.0).div(&BigFloat::zero(), 53, RoundMode::NearestEven).to_f64(), f64::INFINITY);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert!(bf(1.0) < bf(2.0));
+        assert!(bf(-1.0) > bf(-2.0));
+        assert_eq!(bf(0.0), bf(-0.0));
+        assert!(BigFloat::nan().partial_cmp(&bf(0.0)).is_none());
+    }
+
+    #[test]
+    fn low_precision_rounding() {
+        // 1.0 + 0.5 at 1-bit precision: 1.5 rounds to 2.0 (even).
+        let r = bf(1.0).add(&bf(0.5), 1, RoundMode::NearestEven).to_f64();
+        assert_eq!(r, 2.0);
+        let r = bf(1.0).add(&bf(0.5), 1, RoundMode::TowardZero).to_f64();
+        assert_eq!(r, 1.0);
+    }
+
+    #[test]
+    fn soft_round_trip() {
+        let s = SoftFloat::from_f64(std::f64::consts::PI);
+        let b = BigFloat::from_soft(&s);
+        assert_eq!(b.to_soft().to_f64(), std::f64::consts::PI);
+    }
+}

@@ -1,0 +1,165 @@
+//! Rounding directions and the shared round-from-parts primitive.
+
+/// IEEE-754 rounding directions, mirroring MPFR's `mpfr_rnd_t`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Default)]
+pub enum RoundMode {
+    /// Round to nearest, ties to even (`MPFR_RNDN`). The default everywhere.
+    #[default]
+    NearestEven,
+    /// Round toward zero (`MPFR_RNDZ`). This is literal "truncation".
+    TowardZero,
+    /// Round toward `+inf` (`MPFR_RNDU`).
+    Up,
+    /// Round toward `-inf` (`MPFR_RNDD`).
+    Down,
+    /// Round to nearest, ties away from zero (`MPFR_RNDA` nearest variant).
+    NearestAway,
+}
+
+impl RoundMode {
+    /// Decide whether a truncated magnitude must be incremented by one ulp.
+    ///
+    /// * `sign` — true if the value is negative.
+    /// * `lsb_odd` — true if the least significant *kept* bit is 1.
+    /// * `guard` — the first discarded bit.
+    /// * `sticky` — OR of all further discarded bits.
+    #[inline]
+    pub fn round_up(self, sign: bool, lsb_odd: bool, guard: bool, sticky: bool) -> bool {
+        match self {
+            RoundMode::NearestEven => guard && (sticky || lsb_odd),
+            RoundMode::NearestAway => guard,
+            RoundMode::TowardZero => false,
+            RoundMode::Up => !sign && (guard || sticky),
+            RoundMode::Down => sign && (guard || sticky),
+        }
+    }
+
+    /// Whether this mode is one of the round-to-nearest variants.
+    #[inline]
+    pub fn is_nearest(self) -> bool {
+        matches!(self, RoundMode::NearestEven | RoundMode::NearestAway)
+    }
+}
+
+/// Round a 64-bit normalized significand (MSB set) to `prec` bits.
+///
+/// `extra_sticky` carries discarded bits from a wider intermediate result.
+/// Returns the rounded significand (still normalized to 64 bits, i.e. the
+/// kept `prec` bits live in the *top* of the word and the rest is zero) and
+/// the exponent increment (1 if rounding carried out of the top bit).
+#[inline]
+pub fn round_sig64(
+    sig: u64,
+    prec: u32,
+    sign: bool,
+    extra_sticky: bool,
+    mode: RoundMode,
+) -> (u64, i32, bool) {
+    debug_assert!(prec >= 1 && prec <= 64);
+    debug_assert!(sig == 0 || sig >> 63 == 1, "significand not normalized");
+    if prec == 64 {
+        // Nothing to discard at this level; only extra_sticky describes
+        // lower-order bits, which by definition cannot round a full-width
+        // significand here (the caller has already folded guard into sig).
+        let inexact = extra_sticky;
+        return (sig, 0, inexact);
+    }
+    let drop = 64 - prec;
+    let kept = sig >> drop << drop;
+    let guard = (sig >> (drop - 1)) & 1 == 1;
+    let below_mask = if drop >= 2 { (1u64 << (drop - 1)) - 1 } else { 0 };
+    let sticky = (sig & below_mask) != 0 || extra_sticky;
+    let lsb_odd = (sig >> drop) & 1 == 1;
+    let inexact = guard || sticky;
+    if mode.round_up(sign, lsb_odd, guard, sticky) {
+        let (sum, carry) = kept.overflowing_add(1u64 << drop);
+        if carry {
+            // 0.111..1 rounded up to 1.000..0: renormalize.
+            (1u64 << 63, 1, inexact)
+        } else {
+            (sum, 0, inexact)
+        }
+    } else {
+        (kept, 0, inexact)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_even_midpoint_ties_to_even() {
+        // sig = 1.1000... with prec 1: tie, lsb is 1 (odd) -> round up.
+        let sig = 0b11u64 << 62;
+        let (r, exp_inc, inexact) = round_sig64(sig, 1, false, false, RoundMode::NearestEven);
+        assert_eq!(r, 1 << 63);
+        assert_eq!(exp_inc, 1);
+        assert!(inexact);
+    }
+
+    #[test]
+    fn nearest_even_midpoint_keeps_even() {
+        // sig = 1.0 1000... with prec 2: tie, kept lsb is 0 -> stay.
+        let sig = (0b101u64) << 61;
+        let (r, exp_inc, _) = round_sig64(sig, 2, false, false, RoundMode::NearestEven);
+        assert_eq!(r, 0b10u64 << 62);
+        assert_eq!(exp_inc, 0);
+    }
+
+    #[test]
+    fn toward_zero_never_increments() {
+        let sig = u64::MAX;
+        let (r, exp_inc, inexact) = round_sig64(sig, 8, true, true, RoundMode::TowardZero);
+        assert_eq!(r, 0xFFu64 << 56);
+        assert_eq!(exp_inc, 0);
+        assert!(inexact);
+    }
+
+    #[test]
+    fn up_mode_depends_on_sign() {
+        let sig = (1u64 << 63) | 1; // tiny fraction beyond prec
+        let (rp, _, _) = round_sig64(sig, 4, false, false, RoundMode::Up);
+        assert!(rp > sig >> 60 << 60 || rp == (0b1001u64 << 60));
+        let (rn, _, _) = round_sig64(sig, 4, true, false, RoundMode::Up);
+        assert_eq!(rn, 1u64 << 63);
+    }
+
+    #[test]
+    fn down_mode_mirrors_up() {
+        let sig = (1u64 << 63) | 1;
+        let (rn, _, _) = round_sig64(sig, 4, true, false, RoundMode::Down);
+        assert!(rn > 1u64 << 63);
+        let (rp, _, _) = round_sig64(sig, 4, false, false, RoundMode::Down);
+        assert_eq!(rp, 1u64 << 63);
+    }
+
+    #[test]
+    fn exact_values_report_exact() {
+        let sig = 0b1010u64 << 60;
+        let (r, inc, inexact) = round_sig64(sig, 4, false, false, RoundMode::NearestEven);
+        assert_eq!(r, sig);
+        assert_eq!(inc, 0);
+        assert!(!inexact);
+    }
+
+    #[test]
+    fn full_width_sticky_reports_inexact() {
+        let sig = 1u64 << 63;
+        let (r, inc, inexact) = round_sig64(sig, 64, false, true, RoundMode::NearestEven);
+        assert_eq!(r, sig);
+        assert_eq!(inc, 0);
+        assert!(inexact);
+    }
+
+    #[test]
+    fn nearest_away_rounds_ties_up() {
+        let sig = 0b11u64 << 62; // tie at prec 1
+        let (r, inc, _) = round_sig64(sig, 1, false, false, RoundMode::NearestAway);
+        assert_eq!((r, inc), (1u64 << 63, 1));
+        // Even when kept lsb is even, away-from-zero still rounds the tie up.
+        let sig2 = 0b101u64 << 61;
+        let (r2, inc2, _) = round_sig64(sig2, 2, false, false, RoundMode::NearestAway);
+        assert_eq!((r2, inc2), (0b11u64 << 62, 0));
+    }
+}

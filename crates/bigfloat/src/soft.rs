@@ -1,0 +1,1044 @@
+//! [`SoftFloat`]: an allocation-free, correctly-rounded binary float with up
+//! to 64 significand bits and an (effectively) unbounded exponent.
+//!
+//! The representation mirrors what MPFR stores per variable: a sign, a
+//! classification, a normalized significand and an exponent. A stored value
+//! is always *exact*; precision only enters when an operation rounds its
+//! result (`prec` and `mode` arguments), exactly like MPFR's
+//! `mpfr_add(rop, a, b, rnd)` rounding into `rop`'s precision.
+//!
+//! Value of a `Normal`: `(-1)^sign * (sig / 2^63) * 2^exp` with
+//! `sig ∈ [2^63, 2^64)`, i.e. the magnitude lies in `[2^exp, 2^(exp+1))`.
+
+use crate::round::RoundMode;
+
+/// Floating-point classification, analogous to `mpfr_*_p` predicates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Class {
+    /// Signed zero.
+    Zero,
+    /// Normalized finite nonzero value.
+    Normal,
+    /// Signed infinity.
+    Inf,
+    /// Not-a-number (single canonical NaN; payloads are not preserved).
+    Nan,
+}
+
+/// Software floating-point value with ≤ 64 significand bits.
+#[derive(Clone, Copy, Debug)]
+pub struct SoftFloat {
+    sign: bool,
+    class: Class,
+    exp: i32,
+    sig: u64,
+}
+
+/// Round a 128-bit significand normalized to bit 127 down to `prec` bits.
+///
+/// Returns the significand re-normalized to bit 63 (with only the top `prec`
+/// bits possibly nonzero), the exponent increment caused by rounding carry,
+/// and whether the result is inexact.
+#[inline]
+fn round_sig128(
+    sig: u128,
+    prec: u32,
+    sign: bool,
+    extra_sticky: bool,
+    mode: RoundMode,
+) -> (u64, i32, bool) {
+    debug_assert!((1..=64).contains(&prec));
+    debug_assert!(sig >> 127 == 1, "significand not normalized to bit 127");
+    let drop = 128 - prec;
+    let kept = (sig >> drop) as u64;
+    let guard = (sig >> (drop - 1)) & 1 == 1;
+    let below = sig & ((1u128 << (drop - 1)) - 1);
+    let sticky = below != 0 || extra_sticky;
+    let inexact = guard || sticky;
+    let lsb_odd = kept & 1 == 1;
+    let shift = 64 - prec;
+    if mode.round_up(sign, lsb_odd, guard, sticky) {
+        let up = kept.wrapping_add(1);
+        if prec == 64 {
+            if up == 0 {
+                (1u64 << 63, 1, inexact)
+            } else {
+                (up, 0, inexact)
+            }
+        } else if up >> prec != 0 {
+            (1u64 << 63, 1, inexact)
+        } else {
+            (up << shift, 0, inexact)
+        }
+    } else {
+        (kept << shift, 0, inexact)
+    }
+}
+
+/// Integer square root of a `u128` by Newton iteration from an `f64` seed.
+fn isqrt128(x: u128) -> u128 {
+    if x == 0 {
+        return 0;
+    }
+    // f64 seed is good to ~52 bits; two Newton steps reach full precision.
+    let mut r = (x as f64).sqrt() as u128;
+    if r == 0 {
+        r = 1;
+    }
+    for _ in 0..4 {
+        let q = x / r;
+        r = (r + q) / 2;
+    }
+    // Final fix-up: ensure r = floor(sqrt(x)).
+    while r.checked_mul(r).map_or(true, |rr| rr > x) {
+        r -= 1;
+    }
+    while (r + 1).checked_mul(r + 1).map_or(false, |rr| rr <= x) {
+        r += 1;
+    }
+    r
+}
+
+impl SoftFloat {
+    // ----- constructors ---------------------------------------------------
+
+    /// Positive zero.
+    #[inline]
+    pub const fn zero() -> Self {
+        SoftFloat { sign: false, class: Class::Zero, exp: 0, sig: 0 }
+    }
+
+    /// Negative zero.
+    #[inline]
+    pub const fn neg_zero() -> Self {
+        SoftFloat { sign: true, class: Class::Zero, exp: 0, sig: 0 }
+    }
+
+    /// Exactly 1.0.
+    #[inline]
+    pub const fn one() -> Self {
+        SoftFloat { sign: false, class: Class::Normal, exp: 0, sig: 1 << 63 }
+    }
+
+    /// Signed infinity.
+    #[inline]
+    pub const fn infinity(sign: bool) -> Self {
+        SoftFloat { sign, class: Class::Inf, exp: 0, sig: 0 }
+    }
+
+    /// Canonical NaN.
+    #[inline]
+    pub const fn nan() -> Self {
+        SoftFloat { sign: false, class: Class::Nan, exp: 0, sig: 0 }
+    }
+
+    /// Build from raw normalized parts (internal and test use).
+    ///
+    /// `sig` must have its most significant bit set.
+    #[inline]
+    pub fn from_parts(sign: bool, exp: i32, sig: u64) -> Self {
+        assert!(sig >> 63 == 1, "from_parts requires a normalized significand");
+        SoftFloat { sign, class: Class::Normal, exp, sig }
+    }
+
+    /// Convert an `f64` exactly (every finite f64 fits in 53 ≤ 64 bits).
+    pub fn from_f64(x: f64) -> Self {
+        let bits = x.to_bits();
+        let sign = bits >> 63 == 1;
+        let biased = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        match biased {
+            0x7FF => {
+                if frac == 0 {
+                    SoftFloat::infinity(sign)
+                } else {
+                    SoftFloat::nan()
+                }
+            }
+            0 => {
+                if frac == 0 {
+                    if sign {
+                        SoftFloat::neg_zero()
+                    } else {
+                        SoftFloat::zero()
+                    }
+                } else {
+                    // Subnormal: value = frac * 2^-1074; the MSB of frac is
+                    // at bit (63 - lz), so exp = (63 - lz) - 1074.
+                    let lz = frac.leading_zeros();
+                    let sig = frac << lz;
+                    let exp = -1011 - lz as i32;
+                    SoftFloat { sign, class: Class::Normal, exp, sig }
+                }
+            }
+            _ => {
+                let sig = (1u64 << 63) | (frac << 11);
+                let exp = biased - 1023;
+                SoftFloat { sign, class: Class::Normal, exp, sig }
+            }
+        }
+    }
+
+    /// Convert an `f32` exactly.
+    #[inline]
+    pub fn from_f32(x: f32) -> Self {
+        SoftFloat::from_f64(x as f64)
+    }
+
+    /// Convert a signed integer exactly when it fits 64 significand bits.
+    pub fn from_i64(v: i64) -> Self {
+        if v == 0 {
+            return SoftFloat::zero();
+        }
+        let sign = v < 0;
+        let mag = v.unsigned_abs();
+        let lz = mag.leading_zeros();
+        SoftFloat { sign, class: Class::Normal, exp: 63 - lz as i32, sig: mag << lz }
+    }
+
+    // ----- accessors -------------------------------------------------------
+
+    /// Classification of this value.
+    #[inline]
+    pub fn class(&self) -> Class {
+        self.class
+    }
+
+    /// Sign bit (true = negative). Meaningful for zero and infinity too.
+    #[inline]
+    pub fn sign(&self) -> bool {
+        self.sign
+    }
+
+    /// Unbiased exponent (`floor(log2 |x|)`); only meaningful for `Normal`.
+    #[inline]
+    pub fn exponent(&self) -> i32 {
+        self.exp
+    }
+
+    /// Normalized significand with the MSB at bit 63; only for `Normal`.
+    #[inline]
+    pub fn significand(&self) -> u64 {
+        self.sig
+    }
+
+    /// True for zero of either sign.
+    #[inline]
+    pub fn is_zero(&self) -> bool {
+        self.class == Class::Zero
+    }
+
+    /// True for NaN.
+    #[inline]
+    pub fn is_nan(&self) -> bool {
+        self.class == Class::Nan
+    }
+
+    /// True for ±inf.
+    #[inline]
+    pub fn is_inf(&self) -> bool {
+        self.class == Class::Inf
+    }
+
+    /// True for zero or normal (not inf/NaN).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        matches!(self.class, Class::Zero | Class::Normal)
+    }
+
+    // ----- conversions out -------------------------------------------------
+
+    /// Round to the nearest `f64` (ties to even), honoring f64's exponent
+    /// range (overflow to ±inf, gradual underflow, subnormals).
+    pub fn to_f64(&self) -> f64 {
+        self.to_f64_rnd(RoundMode::NearestEven)
+    }
+
+    /// Round to `f64` in the given direction.
+    pub fn to_f64_rnd(&self, mode: RoundMode) -> f64 {
+        match self.class {
+            Class::Nan => f64::NAN,
+            Class::Inf => {
+                if self.sign {
+                    f64::NEG_INFINITY
+                } else {
+                    f64::INFINITY
+                }
+            }
+            Class::Zero => {
+                if self.sign {
+                    -0.0
+                } else {
+                    0.0
+                }
+            }
+            Class::Normal => {
+                if self.exp > 1023 {
+                    return overflow_f64(self.sign, mode);
+                }
+                // Effective precision: 53 for normals, fewer below 2^-1022.
+                let prec = if self.exp >= -1022 {
+                    53
+                } else {
+                    let loss = -1022 - self.exp;
+                    if loss >= 53 + 64 {
+                        // Way below the smallest subnormal: rounds to 0
+                        // (or the minimum subnormal for directed modes).
+                        return underflow_f64(self.sign, mode, true);
+                    }
+                    53 - loss
+                };
+                if prec <= 0 {
+                    // Magnitude below half the smallest subnormal? Decide by
+                    // rounding at 1 bit at exponent -1074.
+                    return round_tiny_f64(self, mode);
+                }
+                let sig128 = (self.sig as u128) << 64;
+                let (rsig, inc, _) =
+                    round_sig128(sig128, prec as u32, self.sign, false, mode);
+                let exp = self.exp + inc;
+                if exp > 1023 {
+                    return overflow_f64(self.sign, mode);
+                }
+                assemble_f64(self.sign, exp, rsig)
+            }
+        }
+    }
+
+    // ----- sign manipulation ------------------------------------------------
+
+    /// Negation (exact).
+    #[inline]
+    pub fn neg(&self) -> Self {
+        let mut r = *self;
+        if r.class != Class::Nan {
+            r.sign = !r.sign;
+        }
+        r
+    }
+
+    /// Absolute value (exact).
+    #[inline]
+    pub fn abs(&self) -> Self {
+        let mut r = *self;
+        if r.class != Class::Nan {
+            r.sign = false;
+        }
+        r
+    }
+
+    /// Copy the sign of `other` onto `self`.
+    #[inline]
+    pub fn copysign(&self, other: &Self) -> Self {
+        let mut r = *self;
+        if r.class != Class::Nan {
+            r.sign = other.sign;
+        }
+        r
+    }
+
+    /// Exact multiplication by `2^k`.
+    #[inline]
+    pub fn scale2(&self, k: i32) -> Self {
+        let mut r = *self;
+        if r.class == Class::Normal {
+            r.exp += k;
+        }
+        r
+    }
+
+    // ----- comparison -------------------------------------------------------
+
+    /// IEEE comparison: `None` when either operand is NaN; `-0 == +0`.
+    pub fn partial_cmp_ieee(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        use core::cmp::Ordering::*;
+        if self.is_nan() || other.is_nan() {
+            return None;
+        }
+        let a_key = self.order_key();
+        let b_key = other.order_key();
+        Some(if a_key < b_key {
+            Less
+        } else if a_key > b_key {
+            Greater
+        } else {
+            Equal
+        })
+    }
+
+    /// Monotone ordering key: zero (either sign) maps to 0, positives map to
+    /// positive keys increasing with magnitude, negatives to negative keys.
+    fn order_key(&self) -> i128 {
+        match self.class {
+            Class::Zero => 0,
+            Class::Inf => {
+                if self.sign {
+                    i128::MIN + 1
+                } else {
+                    i128::MAX
+                }
+            }
+            Class::Normal => {
+                // (exp, sig) lexicographic, fits easily in i128.
+                let mag = ((self.exp as i128 + (1 << 40)) << 64) | self.sig as i128;
+                if self.sign {
+                    -mag
+                } else {
+                    mag
+                }
+            }
+            Class::Nan => unreachable!("NaN handled by caller"),
+        }
+    }
+
+    // ----- rounding ----------------------------------------------------------
+
+    /// Round this (exact) value to `prec` significand bits.
+    pub fn round_to_prec(&self, prec: u32, mode: RoundMode) -> Self {
+        self.round_to_prec_sticky(prec, false, mode)
+    }
+
+    /// Round to `prec` bits treating this value as a truncation of a longer
+    /// one: `sticky` marks discarded lower-order bits (used by the
+    /// single-rounding [`crate::Format`] operations).
+    pub fn round_to_prec_sticky(&self, prec: u32, sticky: bool, mode: RoundMode) -> Self {
+        assert!((1..=64).contains(&prec), "precision out of range: {prec}");
+        if self.class != Class::Normal {
+            return *self;
+        }
+        let sig128 = (self.sig as u128) << 64;
+        let (sig, inc, _) = round_sig128(sig128, prec, self.sign, sticky, mode);
+        SoftFloat { sign: self.sign, class: Class::Normal, exp: self.exp + inc, sig }
+    }
+
+    /// Addition truncated toward zero at 64 bits, plus an inexact flag.
+    ///
+    /// The pair `(value, inexact)` captures the exact result for any
+    /// re-rounding at ≤ 63 bits: all kept bits are present and `inexact`
+    /// plays the role of the sticky tail. This powers the single-rounding
+    /// format ops in [`crate::Format`].
+    pub fn add_rz64(&self, other: &Self) -> (Self, bool) {
+        let r = self.add(other, 64, RoundMode::TowardZero);
+        let inexact = !r.is_nan() && !self.add(other, 64, RoundMode::Up).bit_identical(&r);
+        (r, inexact)
+    }
+
+    /// Subtraction truncated toward zero at 64 bits, plus an inexact flag.
+    pub fn sub_rz64(&self, other: &Self) -> (Self, bool) {
+        self.add_rz64(&other.neg())
+    }
+
+    /// Multiplication truncated toward zero at 64 bits, plus inexact flag.
+    pub fn mul_rz64(&self, other: &Self) -> (Self, bool) {
+        let r = self.mul(other, 64, RoundMode::TowardZero);
+        let inexact = !r.is_nan() && !self.mul(other, 64, RoundMode::Up).bit_identical(&r);
+        (r, inexact)
+    }
+
+    /// Division truncated toward zero at 64 bits, plus inexact flag.
+    pub fn div_rz64(&self, other: &Self) -> (Self, bool) {
+        let r = self.div(other, 64, RoundMode::TowardZero);
+        let inexact = !r.is_nan() && !self.div(other, 64, RoundMode::Up).bit_identical(&r);
+        (r, inexact)
+    }
+
+    /// Square root truncated toward zero at 63 bits, plus inexact flag.
+    pub fn sqrt_rz63(&self) -> (Self, bool) {
+        let r = self.sqrt(63, RoundMode::TowardZero);
+        let inexact = !r.is_nan() && !self.sqrt(63, RoundMode::Up).bit_identical(&r);
+        (r, inexact)
+    }
+
+    /// Bitwise identity (distinguishes -0 from +0; NaN equals NaN).
+    pub fn bit_identical(&self, other: &Self) -> bool {
+        self.class == other.class
+            && self.sign == other.sign
+            && (self.class != Class::Normal || (self.exp == other.exp && self.sig == other.sig))
+    }
+
+    /// Round to a full IEEE target format (precision *and* exponent range):
+    /// see [`crate::Format::round_soft`].
+    pub fn round_to_format(&self, fmt: crate::Format, mode: RoundMode) -> Self {
+        fmt.round_soft(self, mode)
+    }
+
+    // ----- arithmetic ---------------------------------------------------------
+
+    /// Correctly-rounded addition into `prec` bits.
+    pub fn add(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.add_signed(other, prec, mode, false)
+    }
+
+    /// Correctly-rounded subtraction into `prec` bits.
+    pub fn sub(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.add_signed(other, prec, mode, true)
+    }
+
+    fn add_signed(&self, other: &Self, prec: u32, mode: RoundMode, negate_b: bool) -> Self {
+        assert!((1..=64).contains(&prec), "precision out of range: {prec}");
+        use Class::*;
+        let b_sign = other.sign ^ (negate_b && other.class != Nan);
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => SoftFloat::nan(),
+            (Inf, Inf) => {
+                if self.sign == b_sign {
+                    SoftFloat::infinity(self.sign)
+                } else {
+                    SoftFloat::nan()
+                }
+            }
+            (Inf, _) => SoftFloat::infinity(self.sign),
+            (_, Inf) => SoftFloat::infinity(b_sign),
+            (Zero, Zero) => {
+                if self.sign && b_sign {
+                    SoftFloat::neg_zero()
+                } else if self.sign != b_sign {
+                    // +0 + -0: sign depends on rounding direction.
+                    if mode == RoundMode::Down {
+                        SoftFloat::neg_zero()
+                    } else {
+                        SoftFloat::zero()
+                    }
+                } else {
+                    SoftFloat::zero()
+                }
+            }
+            (Zero, Normal) => {
+                let mut b = *other;
+                b.sign = b_sign;
+                b.round_to_prec(prec, mode)
+            }
+            (Normal, Zero) => self.round_to_prec(prec, mode),
+            (Normal, Normal) => {
+                let (mut a, mut b) = (*self, *other);
+                b.sign = b_sign;
+                // Order by magnitude: |a| >= |b|.
+                if (a.exp, a.sig) < (b.exp, b.sig) {
+                    core::mem::swap(&mut a, &mut b);
+                }
+                let d = (a.exp - b.exp) as u32;
+                let ah = (a.sig as u128) << 63; // MSB at 126
+                let (bh, mut sticky) = if d == 0 {
+                    ((b.sig as u128) << 63, false)
+                } else if d <= 126 {
+                    let full = (b.sig as u128) << 63;
+                    (full >> d, full & ((1u128 << d) - 1) != 0)
+                } else {
+                    (0u128, true)
+                };
+                if a.sign == b.sign {
+                    let s = ah + bh;
+                    let (s128, res_exp) = if s >> 127 != 0 {
+                        (s, a.exp + 1)
+                    } else {
+                        (s << 1, a.exp)
+                    };
+                    let (sig, inc, _) = round_sig128(s128, prec, a.sign, sticky, mode);
+                    SoftFloat { sign: a.sign, class: Normal, exp: res_exp + inc, sig }
+                } else {
+                    // |a| >= |b|; result takes a's sign.
+                    let mut s = ah - bh;
+                    if sticky {
+                        // True value is s - fraction; borrow one ulp at the
+                        // bottom and keep sticky set.
+                        s -= 1;
+                        if s == 0 {
+                            // Cannot happen: sticky implies d >= 1, so
+                            // cancellation leaves at least the borrowed bits.
+                            sticky = false;
+                        }
+                    }
+                    if s == 0 {
+                        return if mode == RoundMode::Down {
+                            SoftFloat::neg_zero()
+                        } else {
+                            SoftFloat::zero()
+                        };
+                    }
+                    let lz = s.leading_zeros();
+                    let s128 = s << lz;
+                    let res_exp = a.exp + 1 - lz as i32;
+                    let (sig, inc, _) = round_sig128(s128, prec, a.sign, sticky, mode);
+                    SoftFloat { sign: a.sign, class: Normal, exp: res_exp + inc, sig }
+                }
+            }
+        }
+    }
+
+    /// Correctly-rounded multiplication into `prec` bits.
+    pub fn mul(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        assert!((1..=64).contains(&prec), "precision out of range: {prec}");
+        use Class::*;
+        let sign = self.sign ^ other.sign;
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => SoftFloat::nan(),
+            (Inf, Zero) | (Zero, Inf) => SoftFloat::nan(),
+            (Inf, _) | (_, Inf) => SoftFloat::infinity(sign),
+            (Zero, _) | (_, Zero) => {
+                if sign {
+                    SoftFloat::neg_zero()
+                } else {
+                    SoftFloat::zero()
+                }
+            }
+            (Normal, Normal) => {
+                let p = (self.sig as u128) * (other.sig as u128); // [2^126, 2^128)
+                let (p128, res_exp) = if p >> 127 != 0 {
+                    (p, self.exp + other.exp + 1)
+                } else {
+                    (p << 1, self.exp + other.exp)
+                };
+                let (sig, inc, _) = round_sig128(p128, prec, sign, false, mode);
+                SoftFloat { sign, class: Normal, exp: res_exp + inc, sig }
+            }
+        }
+    }
+
+    /// Correctly-rounded division into `prec` bits.
+    pub fn div(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        assert!((1..=64).contains(&prec), "precision out of range: {prec}");
+        use Class::*;
+        let sign = self.sign ^ other.sign;
+        match (self.class, other.class) {
+            (Nan, _) | (_, Nan) => SoftFloat::nan(),
+            (Inf, Inf) | (Zero, Zero) => SoftFloat::nan(),
+            (Inf, _) => SoftFloat::infinity(sign),
+            (_, Inf) => {
+                if sign {
+                    SoftFloat::neg_zero()
+                } else {
+                    SoftFloat::zero()
+                }
+            }
+            (Zero, _) => {
+                if sign {
+                    SoftFloat::neg_zero()
+                } else {
+                    SoftFloat::zero()
+                }
+            }
+            (_, Zero) => SoftFloat::infinity(sign),
+            (Normal, Normal) => {
+                let num = (self.sig as u128) << 64;
+                let den = other.sig as u128;
+                let mut q = num / den;
+                let mut r = num % den;
+                let (p128, res_exp);
+                if q >> 64 != 0 {
+                    // 65-bit quotient: bits below bit 63 of (q<<63) are true
+                    // quotient bits; the remainder feeds sticky.
+                    p128 = q << 63;
+                    res_exp = self.exp - other.exp;
+                } else {
+                    // Exactly 64 quotient bits; generate one more true bit.
+                    let r2 = r << 1;
+                    let bit = (r2 >= den) as u128;
+                    r = r2 - bit * den;
+                    q = (q << 1) | bit;
+                    p128 = q << 63;
+                    res_exp = self.exp - other.exp - 1;
+                }
+                let sticky = r != 0;
+                let (sig, inc, _) = round_sig128(p128, prec, sign, sticky, mode);
+                SoftFloat { sign, class: Normal, exp: res_exp + inc, sig }
+            }
+        }
+    }
+
+    /// Correctly-rounded square root into `prec` bits.
+    ///
+    /// Correct rounding holds for `prec <= 63`; callers needing more use
+    /// [`crate::BigFloat::sqrt`]. All RAPTOR experiments use `prec <= 53`.
+    pub fn sqrt(&self, prec: u32, mode: RoundMode) -> Self {
+        assert!((1..=63).contains(&prec), "SoftFloat::sqrt supports prec 1..=63");
+        use Class::*;
+        match self.class {
+            Nan => SoftFloat::nan(),
+            Zero => *self,
+            Inf => {
+                if self.sign {
+                    SoftFloat::nan()
+                } else {
+                    *self
+                }
+            }
+            Normal => {
+                if self.sign {
+                    return SoftFloat::nan();
+                }
+                // Write x = m * 2^(2k) with m in [1,4):
+                //   exp even: m = sig/2^63 in [1,2), k = exp/2, X = sig<<63
+                //   exp odd:  m = sig/2^62 in [2,4), k = (exp-1)/2, X = sig<<64
+                // so that X = m * 2^126 and sqrt(X) = sqrt(m) * 2^63 lies in
+                // [2^63, 2^64): already a normalized 64-bit significand.
+                let (x, k) = if self.exp & 1 == 0 {
+                    ((self.sig as u128) << 63, self.exp / 2)
+                } else {
+                    ((self.sig as u128) << 64, (self.exp - 1) / 2)
+                };
+                let s = isqrt128(x);
+                debug_assert!(s >= 1 << 63 && s < 1 << 64);
+                let rem = x - s * s;
+                let sticky = rem != 0;
+                // s holds 64 true square-root bits; rem != 0 marks "more
+                // bits follow". Correct rounding is therefore decidable for
+                // prec <= 63 (guard bit lives inside s).
+                let (sig, inc, _) = round_sig128((s as u128) << 64, prec, false, sticky, mode);
+                SoftFloat { sign: false, class: Normal, exp: k + inc, sig }
+            }
+        }
+    }
+
+    /// Fused multiply-add `self * b + c`, correctly rounded once into `prec`
+    /// bits. Routed through [`crate::BigFloat`] for the exact product-sum.
+    pub fn fma(&self, b: &Self, c: &Self, prec: u32, mode: RoundMode) -> Self {
+        use crate::big::BigFloat;
+        let ba = BigFloat::from_soft(self);
+        let bb = BigFloat::from_soft(b);
+        let bc = BigFloat::from_soft(c);
+        let prod = ba.mul(&bb, 128, RoundMode::NearestEven); // exact: 64+64 bits
+        let sum = prod.add(&bc, prec, mode);
+        sum.to_soft()
+    }
+
+    /// IEEE minNum: the smaller operand, NaN ignored if the other is a number.
+    pub fn min(&self, other: &Self) -> Self {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => SoftFloat::nan(),
+            (true, false) => *other,
+            (false, true) => *self,
+            (false, false) => match self.partial_cmp_ieee(other) {
+                Some(core::cmp::Ordering::Greater) => *other,
+                _ => *self,
+            },
+        }
+    }
+
+    /// IEEE maxNum.
+    pub fn max(&self, other: &Self) -> Self {
+        match (self.is_nan(), other.is_nan()) {
+            (true, true) => SoftFloat::nan(),
+            (true, false) => *other,
+            (false, true) => *self,
+            (false, false) => match self.partial_cmp_ieee(other) {
+                Some(core::cmp::Ordering::Less) => *other,
+                _ => *self,
+            },
+        }
+    }
+}
+
+impl PartialEq for SoftFloat {
+    fn eq(&self, other: &Self) -> bool {
+        matches!(self.partial_cmp_ieee(other), Some(core::cmp::Ordering::Equal))
+    }
+}
+
+impl PartialOrd for SoftFloat {
+    fn partial_cmp(&self, other: &Self) -> Option<core::cmp::Ordering> {
+        self.partial_cmp_ieee(other)
+    }
+}
+
+impl Default for SoftFloat {
+    fn default() -> Self {
+        SoftFloat::zero()
+    }
+}
+
+impl core::fmt::Display for SoftFloat {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+fn overflow_f64(sign: bool, mode: RoundMode) -> f64 {
+    let inf = if sign { f64::NEG_INFINITY } else { f64::INFINITY };
+    let maxf = if sign { -f64::MAX } else { f64::MAX };
+    match mode {
+        RoundMode::NearestEven | RoundMode::NearestAway => inf,
+        RoundMode::TowardZero => maxf,
+        RoundMode::Up => {
+            if sign {
+                maxf
+            } else {
+                inf
+            }
+        }
+        RoundMode::Down => {
+            if sign {
+                inf
+            } else {
+                maxf
+            }
+        }
+    }
+}
+
+fn underflow_f64(sign: bool, mode: RoundMode, _deep: bool) -> f64 {
+    let zero = if sign { -0.0 } else { 0.0 };
+    let minsub = f64::from_bits(1);
+    match mode {
+        RoundMode::Up if !sign => minsub,
+        RoundMode::Down if sign => -minsub,
+        _ => zero,
+    }
+}
+
+fn round_tiny_f64(x: &SoftFloat, mode: RoundMode) -> f64 {
+    // |x| < 2^-1074 region boundary handling: compare against half the
+    // minimum subnormal (2^-1075).
+    let minsub = f64::from_bits(1);
+    let half_exp = -1075;
+    let sign = x.sign();
+    let at_least_half = x.exponent() > half_exp
+        || (x.exponent() == half_exp && x.significand() > 1 << 63)
+        || (x.exponent() == half_exp && x.significand() == 1 << 63);
+    let exactly_half = x.exponent() == half_exp && x.significand() == 1 << 63;
+    match mode {
+        RoundMode::NearestEven => {
+            if at_least_half && !exactly_half {
+                if sign {
+                    -minsub
+                } else {
+                    minsub
+                }
+            } else if sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        RoundMode::NearestAway => {
+            if at_least_half {
+                if sign {
+                    -minsub
+                } else {
+                    minsub
+                }
+            } else if sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        RoundMode::TowardZero => {
+            if sign {
+                -0.0
+            } else {
+                0.0
+            }
+        }
+        RoundMode::Up => {
+            if sign {
+                -0.0
+            } else {
+                minsub
+            }
+        }
+        RoundMode::Down => {
+            if sign {
+                -minsub
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+fn assemble_f64(sign: bool, exp: i32, sig: u64) -> f64 {
+    // sig normalized at bit 63, rounded to <= 53 bits already.
+    debug_assert!(sig >> 63 == 1);
+    let bits = if exp >= -1022 {
+        let frac = (sig << 1) >> 12; // drop implicit bit, keep 52
+        ((sign as u64) << 63) | (((exp + 1023) as u64) << 52) | frac
+    } else {
+        // Subnormal: F * 2^-1074 = (sig / 2^63) * 2^exp  =>  F = sig >> (-exp - 1011).
+        let shift = (-exp - 1011) as u32;
+        let frac = if shift >= 64 { 0 } else { sig >> shift };
+        ((sign as u64) << 63) | frac
+    };
+    f64::from_bits(bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(x: f64) -> SoftFloat {
+        SoftFloat::from_f64(x)
+    }
+
+    #[test]
+    fn f64_roundtrip_exact() {
+        for &x in &[
+            0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 3.141592653589793, 1e-300, -1e300,
+            f64::MIN_POSITIVE, f64::MAX, f64::from_bits(1), 6.02214076e23,
+        ] {
+            let s = sf(x);
+            assert_eq!(s.to_f64().to_bits(), x.to_bits(), "roundtrip {x}");
+        }
+        assert!(sf(f64::NAN).to_f64().is_nan());
+        assert_eq!(sf(f64::INFINITY).to_f64(), f64::INFINITY);
+        assert_eq!(sf(f64::NEG_INFINITY).to_f64(), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn add_matches_hardware_f64() {
+        let cases = [
+            (1.0, 2.0),
+            (0.1, 0.2),
+            (1e16, 1.0),
+            (1e-300, 1e-300),
+            (1.5, -1.5),
+            (3.0, -2.9999999999999996),
+            (f64::MAX, f64::MAX / 2.0),
+            (1.0, f64::EPSILON / 2.0),
+        ];
+        for (a, b) in cases {
+            let r = sf(a).add(&sf(b), 53, RoundMode::NearestEven).to_f64();
+            assert_eq!(r.to_bits(), (a + b).to_bits(), "{a} + {b}");
+        }
+    }
+
+    #[test]
+    fn mul_div_match_hardware_f64() {
+        let cases = [
+            (3.0, 7.0),
+            (0.1, 0.2),
+            (1e155, 1e150),
+            (1e-160, 1e-160),
+            (-2.5, 4.125),
+            (1.0000000000000002, 0.9999999999999999),
+        ];
+        for (a, b) in cases {
+            let m = sf(a).mul(&sf(b), 53, RoundMode::NearestEven).to_f64();
+            assert_eq!(m.to_bits(), (a * b).to_bits(), "{a} * {b}");
+            let d = sf(a).div(&sf(b), 53, RoundMode::NearestEven).to_f64();
+            assert_eq!(d.to_bits(), (a / b).to_bits(), "{a} / {b}");
+        }
+    }
+
+    #[test]
+    fn sqrt_matches_hardware_f64() {
+        for &x in &[2.0, 3.0, 0.5, 1e300, 1e-300, 7.0, 12345.6789, 0.1] {
+            let r = sf(x).sqrt(53, RoundMode::NearestEven).to_f64();
+            assert_eq!(r.to_bits(), x.sqrt().to_bits(), "sqrt {x}");
+        }
+        assert!(sf(-1.0).sqrt(53, RoundMode::NearestEven).is_nan());
+        assert_eq!(sf(0.0).sqrt(53, RoundMode::NearestEven).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn low_precision_addition_loses_small_addend() {
+        // At 11-bit precision (fp16-ish significand), 1 + 1/4096 == 1.
+        let one = sf(1.0);
+        let tiny = sf(1.0 / 4096.0);
+        let r = one.add(&tiny, 11, RoundMode::NearestEven);
+        assert_eq!(r.to_f64(), 1.0);
+        // But at 13+ bits the addend survives.
+        let r2 = one.add(&tiny, 13, RoundMode::NearestEven);
+        assert!(r2.to_f64() > 1.0);
+    }
+
+    #[test]
+    fn subtraction_cancellation_is_exact() {
+        // Sterbenz: a/2 <= b <= 2a implies a-b exact at any precision.
+        let a = sf(1.0000001);
+        let b = sf(1.0);
+        let r = a.sub(&b, 53, RoundMode::NearestEven).to_f64();
+        assert_eq!(r, 1.0000001 - 1.0);
+    }
+
+    #[test]
+    fn signed_zero_semantics() {
+        let pz = sf(0.0);
+        let nz = sf(-0.0);
+        assert_eq!(pz.add(&nz, 53, RoundMode::NearestEven).to_f64().to_bits(), 0.0f64.to_bits());
+        assert_eq!(
+            pz.add(&nz, 53, RoundMode::Down).to_f64().to_bits(),
+            (-0.0f64).to_bits()
+        );
+        assert_eq!(nz.add(&nz, 53, RoundMode::NearestEven).to_f64().to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn special_value_propagation() {
+        let inf = SoftFloat::infinity(false);
+        let ninf = SoftFloat::infinity(true);
+        assert!(inf.add(&ninf, 53, RoundMode::NearestEven).is_nan());
+        assert!(inf.mul(&sf(0.0), 53, RoundMode::NearestEven).is_nan());
+        assert!(sf(0.0).div(&sf(0.0), 53, RoundMode::NearestEven).is_nan());
+        assert!(sf(1.0).div(&sf(0.0), 53, RoundMode::NearestEven).is_inf());
+        assert_eq!(
+            sf(-1.0).div(&sf(0.0), 53, RoundMode::NearestEven).to_f64(),
+            f64::NEG_INFINITY
+        );
+        assert!(SoftFloat::nan().add(&sf(1.0), 53, RoundMode::NearestEven).is_nan());
+    }
+
+    #[test]
+    fn directed_rounding_brackets_nearest() {
+        let a = sf(0.1);
+        let b = sf(0.2);
+        for prec in [5u32, 11, 24, 53] {
+            let dn = a.add(&b, prec, RoundMode::Down).to_f64();
+            let up = a.add(&b, prec, RoundMode::Up).to_f64();
+            let ne = a.add(&b, prec, RoundMode::NearestEven).to_f64();
+            assert!(dn <= ne && ne <= up, "prec {prec}: {dn} <= {ne} <= {up}");
+            assert!(up - dn > 0.0, "0.3 is not exactly representable");
+        }
+    }
+
+    #[test]
+    fn comparisons_follow_ieee() {
+        assert_eq!(sf(0.0), sf(-0.0));
+        assert!(sf(1.0) < sf(2.0));
+        assert!(sf(-1.0) > sf(-2.0));
+        assert!(sf(f64::NAN).partial_cmp(&sf(1.0)).is_none());
+        assert!(SoftFloat::infinity(true) < sf(-1e308));
+    }
+
+    #[test]
+    fn fma_is_single_rounding() {
+        // a*b + c where a*b rounds badly in two steps.
+        let a = sf(1.0 + f64::EPSILON);
+        let b = sf(1.0 + f64::EPSILON);
+        let c = sf(-1.0);
+        let fused = a.fma(&b, &c, 53, RoundMode::NearestEven).to_f64();
+        let expect = (1.0 + f64::EPSILON).mul_add(1.0 + f64::EPSILON, -1.0);
+        assert_eq!(fused.to_bits(), expect.to_bits());
+    }
+
+    #[test]
+    fn min_max_ignore_single_nan() {
+        assert_eq!(sf(1.0).min(&SoftFloat::nan()).to_f64(), 1.0);
+        assert_eq!(SoftFloat::nan().max(&sf(2.0)).to_f64(), 2.0);
+        assert!(SoftFloat::nan().min(&SoftFloat::nan()).is_nan());
+        assert_eq!(sf(1.0).min(&sf(2.0)).to_f64(), 1.0);
+        assert_eq!(sf(1.0).max(&sf(2.0)).to_f64(), 2.0);
+    }
+
+    #[test]
+    fn from_i64_exact() {
+        for &v in &[0i64, 1, -1, 42, -12345, i64::MAX, i64::MIN + 1] {
+            assert_eq!(SoftFloat::from_i64(v).to_f64(), v as f64);
+        }
+    }
+
+    #[test]
+    fn subnormal_f64_output() {
+        // A value that lands in f64's subnormal range.
+        let tiny = sf(f64::MIN_POSITIVE).mul(&sf(0.5), 53, RoundMode::NearestEven);
+        assert_eq!(tiny.to_f64(), f64::MIN_POSITIVE / 2.0);
+        let tinier = sf(f64::from_bits(1));
+        assert_eq!(tinier.to_f64().to_bits(), 1);
+    }
+
+    #[test]
+    fn scale2_is_exact() {
+        let x = sf(3.0);
+        assert_eq!(x.scale2(4).to_f64(), 48.0);
+        assert_eq!(x.scale2(-4).to_f64(), 3.0 / 16.0);
+    }
+}

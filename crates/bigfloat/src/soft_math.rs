@@ -1,0 +1,178 @@
+//! Elementary functions for [`SoftFloat`].
+//!
+//! MPFR provides correctly-rounded transcendentals at any precision. We
+//! reproduce the part of that contract the RAPTOR runtime relies on: for
+//! target precisions up to 50 bits (every experiment in the paper uses
+//! mantissas of 4..52 bits, i.e. precision 5..53), each function below is
+//! computed in `f64` (53-bit) arithmetic and then correctly rounded to the
+//! target precision. The result is *faithfully* rounded in general and
+//! correctly rounded except when the f64 intermediate lands within its own
+//! rounding error of a target-precision rounding boundary — the standard
+//! double-rounding caveat, negligible at ≥ 3 bits of precision headroom.
+//!
+//! `sqrt` is *always* correctly rounded (see [`SoftFloat::sqrt`]); `exp2i`
+//! scaling, `floor`/`ceil`/`trunc`/`round_int` and `abs`/`neg` are exact.
+
+use crate::round::RoundMode;
+use crate::soft::SoftFloat;
+
+macro_rules! unary_via_f64 {
+    ($(#[$doc:meta] $name:ident => $method:ident),+ $(,)?) => {
+        impl SoftFloat {
+            $(
+                #[$doc]
+                pub fn $name(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+                    let y = self.to_f64().$method();
+                    SoftFloat::from_f64(y).round_to_prec_checked(prec, mode)
+                }
+            )+
+        }
+    };
+}
+
+unary_via_f64! {
+    /// Natural exponential, faithfully rounded to `prec` bits.
+    exp => exp,
+    /// Base-2 exponential.
+    exp2 => exp2,
+    /// `e^x - 1` with small-argument accuracy.
+    exp_m1 => exp_m1,
+    /// Natural logarithm.
+    ln => ln,
+    /// `ln(1 + x)` with small-argument accuracy.
+    ln_1p => ln_1p,
+    /// Base-2 logarithm.
+    log2 => log2,
+    /// Base-10 logarithm.
+    log10 => log10,
+    /// Sine.
+    sin => sin,
+    /// Cosine.
+    cos => cos,
+    /// Tangent.
+    tan => tan,
+    /// Arcsine.
+    asin => asin,
+    /// Arccosine.
+    acos => acos,
+    /// Arctangent.
+    atan => atan,
+    /// Hyperbolic sine.
+    sinh => sinh,
+    /// Hyperbolic cosine.
+    cosh => cosh,
+    /// Hyperbolic tangent.
+    tanh => tanh,
+    /// Cube root.
+    cbrt => cbrt,
+}
+
+impl SoftFloat {
+    /// Rounding helper that tolerates non-normal values.
+    #[inline]
+    pub(crate) fn round_to_prec_checked(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+        if self.is_finite() && !self.is_zero() {
+            self.round_to_prec(prec, mode)
+        } else {
+            *self
+        }
+    }
+
+    /// Power function `self^e`, faithfully rounded.
+    pub fn pow(&self, e: &SoftFloat, prec: u32, mode: RoundMode) -> SoftFloat {
+        let y = self.to_f64().powf(e.to_f64());
+        SoftFloat::from_f64(y).round_to_prec_checked(prec, mode)
+    }
+
+    /// Two-argument arctangent `atan2(self, x)`.
+    pub fn atan2(&self, x: &SoftFloat, prec: u32, mode: RoundMode) -> SoftFloat {
+        let y = self.to_f64().atan2(x.to_f64());
+        SoftFloat::from_f64(y).round_to_prec_checked(prec, mode)
+    }
+
+    /// Euclidean norm `sqrt(self^2 + x^2)` without intermediate overflow.
+    pub fn hypot(&self, x: &SoftFloat, prec: u32, mode: RoundMode) -> SoftFloat {
+        let y = self.to_f64().hypot(x.to_f64());
+        SoftFloat::from_f64(y).round_to_prec_checked(prec, mode)
+    }
+
+    /// Largest integer ≤ self (exact, then rounded to `prec`).
+    pub fn floor(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+        SoftFloat::from_f64(self.to_f64().floor()).round_to_prec_checked(prec, mode)
+    }
+
+    /// Smallest integer ≥ self.
+    pub fn ceil(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+        SoftFloat::from_f64(self.to_f64().ceil()).round_to_prec_checked(prec, mode)
+    }
+
+    /// Integer part (toward zero).
+    pub fn trunc_int(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+        SoftFloat::from_f64(self.to_f64().trunc()).round_to_prec_checked(prec, mode)
+    }
+
+    /// Nearest integer, ties away from zero (libm `round`).
+    pub fn round_int(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+        SoftFloat::from_f64(self.to_f64().round()).round_to_prec_checked(prec, mode)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sf(x: f64) -> SoftFloat {
+        SoftFloat::from_f64(x)
+    }
+
+    #[test]
+    fn exp_ln_inverse_at_full_precision() {
+        for &x in &[0.5, 1.0, 2.0, 10.0, 1e-3] {
+            let e = sf(x).exp(53, RoundMode::NearestEven);
+            let back = e.ln(53, RoundMode::NearestEven).to_f64();
+            assert!((back - x).abs() <= 4.0 * f64::EPSILON * x.abs().max(1.0), "{x} -> {back}");
+        }
+    }
+
+    #[test]
+    fn low_precision_sin_is_coarse() {
+        let x = sf(1.0);
+        let full = x.sin(53, RoundMode::NearestEven).to_f64();
+        let coarse = x.sin(5, RoundMode::NearestEven).to_f64();
+        assert!((full - 1f64.sin()).abs() < 1e-15);
+        // 5-bit precision quantizes to multiples of 2^-5 in [0.5, 1).
+        assert!((coarse - full).abs() > 0.0);
+        assert!((coarse - full).abs() < 0.05);
+    }
+
+    #[test]
+    fn special_inputs_propagate() {
+        assert!(sf(-1.0).ln(53, RoundMode::NearestEven).is_nan());
+        assert!(sf(f64::NAN).exp(24, RoundMode::NearestEven).is_nan());
+        assert_eq!(sf(f64::INFINITY).exp(24, RoundMode::NearestEven).to_f64(), f64::INFINITY);
+        assert_eq!(sf(f64::NEG_INFINITY).exp(24, RoundMode::NearestEven).to_f64(), 0.0);
+    }
+
+    #[test]
+    fn pow_and_atan2_match_f64_at_53() {
+        let r = sf(2.0).pow(&sf(10.0), 53, RoundMode::NearestEven).to_f64();
+        assert_eq!(r, 1024.0);
+        let a = sf(1.0).atan2(&sf(1.0), 53, RoundMode::NearestEven).to_f64();
+        assert_eq!(a, std::f64::consts::FRAC_PI_4);
+    }
+
+    #[test]
+    fn integer_roundings_are_exact() {
+        assert_eq!(sf(2.7).floor(53, RoundMode::NearestEven).to_f64(), 2.0);
+        assert_eq!(sf(-2.7).floor(53, RoundMode::NearestEven).to_f64(), -3.0);
+        assert_eq!(sf(2.2).ceil(53, RoundMode::NearestEven).to_f64(), 3.0);
+        assert_eq!(sf(-2.5).trunc_int(53, RoundMode::NearestEven).to_f64(), -2.0);
+        assert_eq!(sf(2.5).round_int(53, RoundMode::NearestEven).to_f64(), 3.0);
+    }
+
+    #[test]
+    fn hypot_avoids_overflow() {
+        let h = sf(3e200).hypot(&sf(4e200), 53, RoundMode::NearestEven).to_f64();
+        assert!((h - 5e200).abs() / 5e200 < 1e-15);
+    }
+}

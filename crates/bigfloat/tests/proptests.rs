@@ -1,0 +1,207 @@
+//! Property-based tests for the MPFR-substitute numeric core.
+//!
+//! The strongest oracle available offline is the hardware itself: at
+//! precision 53 with results inside the normal range, `SoftFloat` and
+//! `BigFloat` arithmetic must agree bit-for-bit with `f64`, and at
+//! precision 24 with `Format::FP32` they must agree with `f32` casts.
+
+use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
+use proptest::prelude::*;
+
+/// Finite f64s whose magnitude keeps products/quotients far from the
+/// subnormal and overflow ranges (double-rounding there is expected and
+/// handled by Format, not by raw prec-53 arithmetic).
+fn moderate_f64() -> impl Strategy<Value = f64> {
+    (any::<i8>(), any::<u64>()).prop_map(|(e, m)| {
+        let exp = (e as i32).clamp(-120, 120);
+        let frac = (m >> 12) | (1 << 52);
+        let x = (frac as f64) * 2f64.powi(exp - 52);
+        if m & 1 == 1 {
+            -x
+        } else {
+            x
+        }
+    })
+}
+
+fn any_mode() -> impl Strategy<Value = RoundMode> {
+    prop_oneof![
+        Just(RoundMode::NearestEven),
+        Just(RoundMode::TowardZero),
+        Just(RoundMode::Up),
+        Just(RoundMode::Down),
+        Just(RoundMode::NearestAway),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2000))]
+
+    #[test]
+    fn soft_add_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let r = SoftFloat::from_f64(a)
+            .add(&SoftFloat::from_f64(b), 53, RoundMode::NearestEven)
+            .to_f64();
+        prop_assert_eq!(r.to_bits(), (a + b).to_bits());
+    }
+
+    #[test]
+    fn soft_sub_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let r = SoftFloat::from_f64(a)
+            .sub(&SoftFloat::from_f64(b), 53, RoundMode::NearestEven)
+            .to_f64();
+        prop_assert_eq!(r.to_bits(), (a - b).to_bits());
+    }
+
+    #[test]
+    fn soft_mul_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let r = SoftFloat::from_f64(a)
+            .mul(&SoftFloat::from_f64(b), 53, RoundMode::NearestEven)
+            .to_f64();
+        prop_assert_eq!(r.to_bits(), (a * b).to_bits());
+    }
+
+    #[test]
+    fn soft_div_matches_f64(a in moderate_f64(), b in moderate_f64()) {
+        let r = SoftFloat::from_f64(a)
+            .div(&SoftFloat::from_f64(b), 53, RoundMode::NearestEven)
+            .to_f64();
+        prop_assert_eq!(r.to_bits(), (a / b).to_bits());
+    }
+
+    #[test]
+    fn soft_sqrt_matches_f64(a in moderate_f64()) {
+        let a = a.abs();
+        let r = SoftFloat::from_f64(a).sqrt(53, RoundMode::NearestEven).to_f64();
+        prop_assert_eq!(r.to_bits(), a.sqrt().to_bits());
+    }
+
+    #[test]
+    fn big_matches_soft_all_ops(a in moderate_f64(), b in moderate_f64(),
+                                prec in 2u32..=53, mode in any_mode()) {
+        let (sa, sb) = (SoftFloat::from_f64(a), SoftFloat::from_f64(b));
+        let (ba, bb) = (BigFloat::from_f64(a), BigFloat::from_f64(b));
+        prop_assert_eq!(
+            sa.add(&sb, prec, mode).to_f64().to_bits(),
+            ba.add(&bb, prec, mode).to_f64().to_bits(),
+            "add prec={} mode={:?}", prec, mode
+        );
+        prop_assert_eq!(
+            sa.mul(&sb, prec, mode).to_f64().to_bits(),
+            ba.mul(&bb, prec, mode).to_f64().to_bits(),
+            "mul prec={} mode={:?}", prec, mode
+        );
+        prop_assert_eq!(
+            sa.div(&sb, prec, mode).to_f64().to_bits(),
+            ba.div(&bb, prec, mode).to_f64().to_bits(),
+            "div prec={} mode={:?}", prec, mode
+        );
+        let aa = sa.abs();
+        prop_assert_eq!(
+            aa.sqrt(prec, mode).to_f64().to_bits(),
+            ba.abs().sqrt(prec, mode).to_f64().to_bits(),
+            "sqrt prec={} mode={:?}", prec, mode
+        );
+    }
+
+    #[test]
+    fn fp32_format_matches_hardware(a in moderate_f64()) {
+        let ours = Format::FP32.round_f64(a, RoundMode::NearestEven);
+        prop_assert_eq!(ours.to_bits(), (a as f32 as f64).to_bits());
+    }
+
+    #[test]
+    fn fp32_ops_match_hardware_f32(a in moderate_f64(), b in moderate_f64()) {
+        // op-mode semantics at (8,23): round operands, op at prec 24,
+        // round result == hardware f32 arithmetic (for in-range values).
+        let fmt = Format::FP32;
+        let fa = a as f32;
+        let fb = b as f32;
+        if !fa.is_finite() || !fb.is_finite() { return Ok(()); }
+        let sa = SoftFloat::from_f64(fmt.round_f64(a, RoundMode::NearestEven));
+        let sb = SoftFloat::from_f64(fmt.round_f64(b, RoundMode::NearestEven));
+        let sum = fmt.add(&sa, &sb, RoundMode::NearestEven);
+        prop_assert_eq!(sum.to_f64().to_bits(), ((fa + fb) as f64).to_bits());
+        let prod = fmt.mul(&sa, &sb, RoundMode::NearestEven);
+        prop_assert_eq!(prod.to_f64().to_bits(), ((fa * fb) as f64).to_bits());
+        let quot = fmt.div(&sa, &sb, RoundMode::NearestEven);
+        prop_assert_eq!(quot.to_f64().to_bits(), ((fa / fb) as f64).to_bits());
+        let root = fmt.sqrt(&sa.abs(), RoundMode::NearestEven);
+        prop_assert_eq!(root.to_f64().to_bits(), ((fa.abs().sqrt()) as f64).to_bits());
+    }
+
+    #[test]
+    fn rne_fast_path_matches_soft_path(a in any::<u64>(), e in 2u32..=11, m in 1u32..=52) {
+        let x = f64::from_bits(a);
+        if !x.is_finite() { return Ok(()); }
+        let fmt = Format::new(e, m);
+        let fast = fmt.round_f64(x, RoundMode::NearestEven);
+        let slow = fmt
+            .round_soft(&SoftFloat::from_f64(x), RoundMode::NearestEven)
+            .to_f64();
+        prop_assert_eq!(fast.to_bits(), slow.to_bits(),
+            "format e{}m{} value {:e}", e, m, x);
+    }
+
+    #[test]
+    fn format_rounding_is_idempotent(a in moderate_f64(), e in 3u32..=11, m in 1u32..=52,
+                                     mode in any_mode()) {
+        let fmt = Format::new(e, m);
+        let once = fmt.round_f64(a, mode);
+        if once.is_finite() {
+            let twice = fmt.round_f64(once, mode);
+            prop_assert_eq!(once.to_bits(), twice.to_bits());
+        }
+    }
+
+    #[test]
+    fn directed_modes_bracket_nearest(a in moderate_f64(), b in moderate_f64(),
+                                      prec in 2u32..=53) {
+        let (sa, sb) = (SoftFloat::from_f64(a), SoftFloat::from_f64(b));
+        let dn = sa.add(&sb, prec, RoundMode::Down).to_f64();
+        let ne = sa.add(&sb, prec, RoundMode::NearestEven).to_f64();
+        let up = sa.add(&sb, prec, RoundMode::Up).to_f64();
+        prop_assert!(dn <= ne && ne <= up, "{} <= {} <= {}", dn, ne, up);
+    }
+
+    #[test]
+    fn format_rounding_is_monotone(a in moderate_f64(), b in moderate_f64(),
+                                   e in 3u32..=11, m in 1u32..=52) {
+        let fmt = Format::new(e, m);
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let rlo = fmt.round_f64(lo, RoundMode::NearestEven);
+        let rhi = fmt.round_f64(hi, RoundMode::NearestEven);
+        prop_assert!(rlo <= rhi, "round({}) = {} > round({}) = {}", lo, rlo, hi, rhi);
+    }
+
+    #[test]
+    fn truncation_error_bounded_by_ulp(a in moderate_f64(), m in 1u32..=52) {
+        let fmt = Format::new(11, m);
+        let r = fmt.round_f64(a, RoundMode::NearestEven);
+        // Relative error bounded by 2^-(m+1) for values in the normal range.
+        let rel = ((r - a) / a).abs();
+        prop_assert!(rel <= 2f64.powi(-(m as i32 + 1)) * 1.0000001,
+            "m={} rel={}", m, rel);
+    }
+
+    #[test]
+    fn big_high_precision_is_more_accurate(a in moderate_f64()) {
+        // Computing a/7*7 at 160 bits then rounding beats f64 arithmetic
+        // error-wise or ties it.
+        let ba = BigFloat::from_f64(a);
+        let seven = BigFloat::from_f64(7.0);
+        let q = ba.div(&seven, 160, RoundMode::NearestEven);
+        let back = q.mul(&seven, 160, RoundMode::NearestEven);
+        let err_big = back.sub(&ba, 160, RoundMode::NearestEven).to_f64().abs();
+        let err_f64 = (a / 7.0 * 7.0 - a).abs();
+        prop_assert!(err_big <= err_f64 + f64::EPSILON * a.abs());
+    }
+
+    #[test]
+    fn soft_fma_matches_hardware(a in moderate_f64(), b in moderate_f64(), c in moderate_f64()) {
+        let r = SoftFloat::from_f64(a)
+            .fma(&SoftFloat::from_f64(b), &SoftFloat::from_f64(c), 53, RoundMode::NearestEven)
+            .to_f64();
+        prop_assert_eq!(r.to_bits(), a.mul_add(b, c).to_bits());
+    }
+}

@@ -1,0 +1,309 @@
+//! # codesign — FPU performance-density model and speedup estimation
+//!
+//! Paper §7.2: RAPTOR's op/byte counters feed a simple hardware model that
+//! predicts the speedup of truncated workloads on a hypothetical CPU with
+//! one double-precision FPU and one lower-precision FPU sharing a fixed
+//! chip area:
+//!
+//! * **Table 4** — performance density (GFLOP/s per kGE) of FPnew FPUs at
+//!   fp64/fp32/fp16/fp8, plus extrapolation to arbitrary formats;
+//! * area split `A_dbl : A_low` calibrated to a 1:2 double:single compute
+//!   ratio (Fugaku's A64FX);
+//! * compute-bound time `Σ N_i / (A_i · P_i)`, memory-bound time linear in
+//!   bytes moved, and a roofline test at 1024 GB/s (Fig. 8).
+
+#![warn(missing_docs)]
+
+use bigfloat::Format;
+use raptor_core::Counters;
+
+/// One row of the FPnew data (paper Table 4).
+#[derive(Clone, Copy, Debug)]
+pub struct FpuRow {
+    /// Format name.
+    pub name: &'static str,
+    /// Exponent/mantissa widths.
+    pub format: Format,
+    /// Throughput in GFLOP/s.
+    pub gflops: f64,
+    /// Area in kGE (kilo gate equivalents).
+    pub area_kge: f64,
+}
+
+/// The published FPnew numbers (Mach et al. 2021, as quoted in Table 4).
+pub const FPNEW: [FpuRow; 4] = [
+    FpuRow { name: "fp64", format: Format::FP64, gflops: 3.17, area_kge: 53.0 },
+    FpuRow { name: "fp32", format: Format::FP32, gflops: 6.33, area_kge: 40.0 },
+    FpuRow { name: "fp16", format: Format::FP16, gflops: 12.67, area_kge: 29.0 },
+    FpuRow { name: "fp8", format: Format::FP8_E5M2, gflops: 25.33, area_kge: 23.0 },
+];
+
+/// Performance density (GFLOP/s per kGE), normalized so fp64 = 1.0.
+pub fn perf_density_normalized(row: &FpuRow) -> f64 {
+    let fp64 = FPNEW[0].gflops / FPNEW[0].area_kge;
+    (row.gflops / row.area_kge) / fp64
+}
+
+/// Extrapolated performance density (normalized to fp64 = 1) for an
+/// arbitrary format.
+///
+/// The FPnew data is extremely well described by a power law in the
+/// storage width `w = 1 + e + m`: throughput doubles per halving
+/// (`gflops ∝ 64/w`) while area shrinks sub-linearly; fitting
+/// `density ∝ (64/w)^alpha` to Table 4 gives `alpha ≈ 1.4`.
+pub fn perf_density_extrapolated(format: Format) -> f64 {
+    let w = format.storage_bits() as f64;
+    // Fit alpha to the fp16 point: density(16) = 7.30 => alpha = ln(7.30)/ln(4).
+    let alpha = (7.30f64).ln() / (4.0f64).ln();
+    (64.0 / w).powf(alpha)
+}
+
+/// The hypothetical processor of §7.2.
+#[derive(Clone, Copy, Debug)]
+pub struct Machine {
+    /// Total chip area budget for FP units (arbitrary units).
+    pub fp_area: f64,
+    /// Peak double-precision throughput density (ops/s per unit area,
+    /// arbitrary scale — only ratios matter for speedups).
+    pub p_dbl: f64,
+    /// Memory bandwidth in bytes/s (Fugaku-like 1024 GB/s).
+    pub bandwidth: f64,
+    /// Double : low-precision peak compute ratio used to split the area
+    /// (1:2, like A64FX's double:single ratio).
+    pub compute_ratio: f64,
+}
+
+impl Default for Machine {
+    fn default() -> Self {
+        Machine { fp_area: 1.0, p_dbl: 1.0, bandwidth: 1024e9, compute_ratio: 2.0 }
+    }
+}
+
+/// Area split and per-precision peak throughput for a given low format.
+#[derive(Clone, Copy, Debug)]
+pub struct FpuConfig {
+    /// Area fraction of the double unit.
+    pub a_dbl: f64,
+    /// Area fraction of the low-precision unit.
+    pub a_low: f64,
+    /// Density of the double unit (normalized).
+    pub p_dbl: f64,
+    /// Density of the low-precision unit (normalized).
+    pub p_low: f64,
+}
+
+impl Machine {
+    /// Area split and throughputs for a `low`-format companion unit.
+    ///
+    /// Following §7.2, the split is calibrated *once* against single
+    /// precision — `A_low · P_fp32 = ratio · A_dbl · P_dbl` (A64FX's 1:2
+    /// double:single peaks), giving the paper's `A_dbl : A_low = 1.39` —
+    /// and then "the areas dedicated to each unit remain the same" when
+    /// the low unit is swapped to another format.
+    pub fn fpu_config(&self, low: Format) -> FpuConfig {
+        let p_dbl = self.p_dbl;
+        let p32 = self.p_dbl * perf_density_extrapolated(Format::FP32);
+        // a_low / a_dbl = ratio * p_dbl / p32.
+        let k = self.compute_ratio * p_dbl / p32;
+        let a_dbl = self.fp_area / (1.0 + k);
+        let a_low = self.fp_area - a_dbl;
+        let p_low = self.p_dbl * perf_density_extrapolated(low);
+        FpuConfig { a_dbl, a_low, p_dbl, p_low }
+    }
+
+    /// Compute-bound execution time (arbitrary units): no parallelism
+    /// across units (`Σ N_i / (A_i P_i)`).
+    pub fn compute_time(&self, low: Format, n_dbl: f64, n_low: f64) -> f64 {
+        let cfg = self.fpu_config(low);
+        n_dbl / (cfg.a_dbl * cfg.p_dbl) + n_low / (cfg.a_low * cfg.p_low)
+    }
+
+    /// Memory-bound execution time: linear in bytes moved.
+    pub fn memory_time(&self, bytes: f64) -> f64 {
+        bytes / self.bandwidth
+    }
+
+    /// Roofline decision: compute-bound iff operational intensity
+    /// (flops/byte at full precision) exceeds peak/bandwidth.
+    pub fn is_compute_bound(&self, flops: f64, bytes: f64) -> bool {
+        // Express peak in the same arbitrary units as p_dbl by anchoring
+        // p_dbl to a Fugaku-like 3.4 TFLOP/s double peak.
+        let peak_dbl_flops = 3.4e12;
+        let intensity = flops / bytes.max(1.0);
+        intensity > peak_dbl_flops / self.bandwidth
+    }
+}
+
+/// Estimated speedups for a truncated run vs the all-double baseline
+/// (Fig. 8's two panels).
+#[derive(Clone, Copy, Debug)]
+pub struct SpeedupEstimate {
+    /// Speedup if the code is compute-bound.
+    pub compute_bound: f64,
+    /// Speedup if the code is memory-bound.
+    pub memory_bound: f64,
+    /// Roofline's verdict for this workload.
+    pub compute_bound_applies: bool,
+}
+
+/// Build the Fig. 8 estimate from RAPTOR counters.
+///
+/// * compute: baseline = all ops on the double unit; truncated = truncated
+///   ops on the low unit, rest on the double unit.
+/// * memory: baseline = all traffic at 8 B/value; truncated = the
+///   counter-recorded byte mix.
+pub fn estimate_speedup(machine: &Machine, low: Format, counters: &Counters) -> SpeedupEstimate {
+    let n_low = counters.trunc.total() as f64;
+    let n_dbl = counters.full.total() as f64;
+    let t_base = machine.compute_time(low, n_low + n_dbl, 0.0);
+    let t_trunc = machine.compute_time(low, n_dbl, n_low);
+    let compute = t_base / t_trunc;
+
+    let bytes_trunc = counters.trunc_bytes as f64 + counters.full_bytes as f64;
+    // Baseline traffic: every truncated value would have been 8 bytes.
+    let values_trunc = counters.trunc_bytes as f64 / low.storage_bytes() as f64;
+    let bytes_base = values_trunc * 8.0 + counters.full_bytes as f64;
+    let memory = machine.memory_time(bytes_base) / machine.memory_time(bytes_trunc.max(1.0));
+
+    let flops = (n_low + n_dbl).max(1.0);
+    SpeedupEstimate {
+        compute_bound: compute,
+        memory_bound: memory,
+        compute_bound_applies: machine.is_compute_bound(flops, bytes_base),
+    }
+}
+
+/// Render Table 4 (data + normalized density) as text rows.
+pub fn table4_rows() -> Vec<String> {
+    FPNEW
+        .iter()
+        .map(|r| {
+            format!(
+                "{:<6} ({:>2}, {:>2})  {:>6.2} GFLOP/s  {:>4.0} kGE  density {:>5.2}",
+                r.name,
+                r.format.exp_bits(),
+                r.format.man_bits(),
+                r.gflops,
+                r.area_kge,
+                perf_density_normalized(r)
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raptor_core::OpCounts;
+
+    #[test]
+    fn table4_densities_match_paper() {
+        // Paper Table 4: normalized perf densities 1.00 / 2.65 / 7.30 / 18.41.
+        let want = [1.00, 2.65, 7.30, 18.41];
+        for (row, w) in FPNEW.iter().zip(want) {
+            let d = perf_density_normalized(row);
+            assert!((d - w).abs() / w < 0.01, "{}: {d} vs {w}", row.name);
+        }
+    }
+
+    #[test]
+    fn extrapolation_reproduces_anchor_points() {
+        assert!((perf_density_extrapolated(Format::FP64) - 1.0).abs() < 1e-12);
+        let d16 = perf_density_extrapolated(Format::FP16);
+        assert!((d16 - 7.30).abs() / 7.30 < 1e-6);
+        let d32 = perf_density_extrapolated(Format::FP32);
+        assert!((d32 - 2.65).abs() / 2.65 < 0.08, "fp32 {d32}");
+        let d8 = perf_density_extrapolated(Format::FP8_E5M2);
+        assert!((d8 - 18.41).abs() / 18.41 < 0.15, "fp8 {d8}");
+        // Monotone in width.
+        let d12 = perf_density_extrapolated(Format::new(11, 12));
+        assert!(d12 > 2.65 && d12 < 18.41);
+    }
+
+    #[test]
+    fn area_ratio_matches_paper() {
+        // Paper: with densities from Table 4 and a 1:2 compute ratio,
+        // A_dbl : A_low = 1.39 (calibrated with the single-precision unit
+        // and reused for all formats).
+        let m = Machine::default();
+        let cfg = m.fpu_config(Format::FP16);
+        let ratio = cfg.a_dbl / cfg.a_low;
+        assert!((ratio - 1.39).abs() < 0.15, "area ratio {ratio}");
+        // Same split regardless of the requested low format.
+        let cfg8 = m.fpu_config(Format::FP8_E5M2);
+        assert!((cfg8.a_dbl - cfg.a_dbl).abs() < 1e-12);
+    }
+
+    #[test]
+    fn full_truncation_speedup_in_paper_range() {
+        // Paper Fig. 8: full truncation predicts ~3.7x at fp16 and ~2.2x
+        // at fp32 in the compute-bound scenario (with ~86% truncated ops;
+        // at 100% the cap is higher). Check the shape with an 85/15 mix.
+        let m = Machine::default();
+        let mut c = Counters::default();
+        c.trunc = OpCounts { add: 850_000, ..Default::default() };
+        c.full = OpCounts { add: 150_000, ..Default::default() };
+        c.trunc_bytes = 2 * 850_000;
+        c.full_bytes = 8 * 150_000;
+        let s16 = estimate_speedup(&m, Format::FP16, &c);
+        assert!(s16.compute_bound > 2.0 && s16.compute_bound < 6.0,
+            "fp16 speedup {}", s16.compute_bound);
+        let s32 = estimate_speedup(&m, Format::FP32, &c);
+        assert!(s32.compute_bound > 1.5 && s32.compute_bound < s16.compute_bound,
+            "fp32 speedup {}", s32.compute_bound);
+        // Memory-bound panel is more modest (paper: 2.2x fp16, 1.6x fp32).
+        assert!(s16.memory_bound > 1.5 && s16.memory_bound < 4.0,
+            "fp16 mem speedup {}", s16.memory_bound);
+        assert!(s32.memory_bound < s16.memory_bound);
+    }
+
+    #[test]
+    fn no_truncation_means_no_speedup() {
+        let m = Machine::default();
+        let mut c = Counters::default();
+        c.full = OpCounts { mul: 1_000_000, ..Default::default() };
+        c.full_bytes = 8_000_000;
+        let s = estimate_speedup(&m, Format::FP16, &c);
+        // Baseline uses the same double unit: ratio 1 exactly.
+        assert!((s.compute_bound - 1.0).abs() < 1e-12);
+        assert!((s.memory_bound - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn smaller_truncated_share_means_smaller_speedup() {
+        // Fig. 8: M-1 and M-2 speedups below M-0 because fewer ops are
+        // truncated.
+        let m = Machine::default();
+        let mk = |frac: f64| {
+            let mut c = Counters::default();
+            let total = 1_000_000u64;
+            let t = (frac * total as f64) as u64;
+            c.trunc = OpCounts { add: t, ..Default::default() };
+            c.full = OpCounts { add: total - t, ..Default::default() };
+            c.trunc_bytes = 2 * t;
+            c.full_bytes = 8 * (total - t);
+            estimate_speedup(&m, Format::FP16, &c).compute_bound
+        };
+        let s_m0 = mk(0.86);
+        let s_m1 = mk(0.31);
+        let s_m2 = mk(0.14);
+        assert!(s_m0 > s_m1 && s_m1 > s_m2, "{s_m0} > {s_m1} > {s_m2}");
+    }
+
+    #[test]
+    fn roofline_classification() {
+        let m = Machine::default();
+        // High operational intensity: compute-bound.
+        assert!(m.is_compute_bound(1e12, 1e7));
+        // Streaming workload: memory-bound.
+        assert!(!m.is_compute_bound(1e9, 1e9));
+    }
+
+    #[test]
+    fn table4_renders() {
+        let rows = table4_rows();
+        assert_eq!(rows.len(), 4);
+        assert!(rows[0].contains("fp64"));
+        assert!(rows[3].contains("18.4"));
+    }
+}

@@ -1,0 +1,317 @@
+//! The **Cellular** detonation workload (paper §4.2, §6.1): compressible
+//! hydro + table-EOS + stiff carbon burning.
+//!
+//! "The domain is initialized with pure carbon which is perturbed to
+//! ignite the nuclear fuel, producing an over-driven detonation that
+//! propagates along the x-axis." Our substitute couples the `hydro` solver
+//! to [`TableHelmholtz`] (the interpolated EOS with Newton temperature
+//! inversion) and the [`crate::burn`] network by operator splitting, on a
+//! thin 2-D domain.
+//!
+//! The experiment truncates the **EOS module only** and watches the
+//! Newton inversion fail below ~40 mantissa bits — falsifying
+//! Hypothesis 2 ("the EOS is table-based and therefore the most likely
+//! candidate for reducing precision").
+
+use crate::burn::{burn_cell, BurnCfg};
+use crate::newton::{invert_temperature, NewtonCfg, NewtonResult};
+use crate::table::EosTable;
+use hydro::{Eos, HydroParams, ReconKind, RiemannKind};
+use amr::{BcSpec, Mesh, MeshParams};
+use raptor_core::{region, Real, Session};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Mesh variable index of the carbon mass fraction (after the 4 hydro
+/// variables).
+pub const XCARBON: usize = hydro::NVAR;
+
+/// Hydro-facing adapter over the table + Newton inversion.
+///
+/// Every `pressure`/`sound_speed` call performs the table inversion in the
+/// `Eos` region; failed inversions are counted (the real code aborts the
+/// run — we keep going so a sweep can report the failure statistics).
+pub struct TableHelmholtz {
+    /// The tabulated EOS.
+    pub table: EosTable,
+    /// Newton configuration.
+    pub newton: NewtonCfg,
+    /// Inversions attempted.
+    pub calls: AtomicU64,
+    /// Inversions that failed to converge.
+    pub failures: AtomicU64,
+    /// Iterations accumulated (for mean-iteration statistics).
+    pub iters: AtomicU64,
+}
+
+impl TableHelmholtz {
+    /// Build with the default Cellular-regime table.
+    pub fn new() -> Self {
+        TableHelmholtz {
+            table: EosTable::cellular_default(),
+            newton: NewtonCfg::default(),
+            calls: AtomicU64::new(0),
+            failures: AtomicU64::new(0),
+            iters: AtomicU64::new(0),
+        }
+    }
+
+    /// Reset statistics.
+    pub fn reset_stats(&self) {
+        self.calls.store(0, Ordering::Relaxed);
+        self.failures.store(0, Ordering::Relaxed);
+        self.iters.store(0, Ordering::Relaxed);
+    }
+
+    /// (calls, failures, mean iterations).
+    pub fn stats(&self) -> (u64, u64, f64) {
+        let c = self.calls.load(Ordering::Relaxed);
+        let f = self.failures.load(Ordering::Relaxed);
+        let i = self.iters.load(Ordering::Relaxed);
+        (c, f, if c > 0 { i as f64 / c as f64 } else { 0.0 })
+    }
+
+    fn invert<R: Real>(&self, rho: R, eint: R) -> NewtonResult<R> {
+        let guess = R::from_f64(3e8);
+        let r = invert_temperature(&self.table, rho, eint, guess, &self.newton);
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.iters.fetch_add(r.iters as u64, Ordering::Relaxed);
+        if !r.converged {
+            self.failures.fetch_add(1, Ordering::Relaxed);
+        }
+        r
+    }
+}
+
+impl Default for TableHelmholtz {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Eos for TableHelmholtz {
+    fn pressure<R: Real>(&self, rho: R, eint: R) -> R {
+        let _r = region("Eos/helmholtz");
+        let t = self.invert(rho, eint).t;
+        self.table.pres_of(rho, t)
+    }
+
+    fn eint<R: Real>(&self, rho: R, p: R) -> R {
+        let _r = region("Eos/helmholtz");
+        // Invert p(rho, T) = p via Newton on the pressure interpolant,
+        // then evaluate e. A coarse bisection seed keeps it robust.
+        let (t_lo, t_hi) = self.table.t_bounds();
+        let mut lo = R::from_f64(t_lo);
+        let mut hi = R::from_f64(t_hi);
+        for _ in 0..60 {
+            let mid = (lo + hi) * R::half();
+            if self.table.pres_of(rho, mid) < p {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let t = (lo + hi) * R::half();
+        self.table.eint_of(rho, t)
+    }
+
+    fn sound_speed<R: Real>(&self, rho: R, p: R) -> R {
+        let _r = region("Eos/helmholtz");
+        // Effective Gamma1 from the local thermodynamics: Gamma1 ~
+        // 1 + p / (rho e); robust for the ion+radiation mixture.
+        let eint = self.eint(rho, p);
+        let gamma1 = R::one() + p / (rho * eint);
+        (gamma1 * p / rho).sqrt()
+    }
+}
+
+/// Cellular simulation state.
+pub struct Cellular {
+    /// Mesh: 4 hydro variables + carbon fraction.
+    pub mesh: Mesh,
+    /// Boundary conditions.
+    pub bc: BcSpec,
+    /// Hydro parameters.
+    pub hydro: HydroParams,
+    /// EOS with statistics.
+    pub eos: TableHelmholtz,
+    /// Burn network.
+    pub burn: BurnCfg,
+    /// Time.
+    pub t: f64,
+    /// Steps taken.
+    pub nstep: usize,
+}
+
+/// Ambient / ignition conditions.
+#[derive(Clone, Copy, Debug)]
+pub struct CellularInit {
+    /// Ambient density (g/cc).
+    pub rho0: f64,
+    /// Ambient temperature (K).
+    pub t0: f64,
+    /// Ignition temperature in the perturbed strip (K).
+    pub t_ignite: f64,
+    /// Width of the ignition strip (fraction of the domain).
+    pub strip: f64,
+}
+
+impl Default for CellularInit {
+    fn default() -> Self {
+        CellularInit { rho0: 1e7, t0: 2e8, t_ignite: 4e9, strip: 0.1 }
+    }
+}
+
+/// Build the Cellular workload on a thin 2-D domain.
+pub fn setup_cellular(nx_blocks: usize, nx_per_block: usize, init: CellularInit) -> Cellular {
+    let params = MeshParams {
+        nx: nx_per_block,
+        ny: nx_per_block,
+        ng: 2,
+        nvar: hydro::NVAR + 1,
+        nbx: nx_blocks,
+        nby: 1,
+        max_level: 1,
+        domain: (0.0, nx_blocks as f64, 0.0, 1.0),
+    };
+    let mut mesh = Mesh::new(params);
+    let eos = TableHelmholtz::new();
+    let table = &eos.table;
+    let (x0, x1, _, _) = params.domain;
+    let strip_end = x0 + init.strip * (x1 - x0);
+    mesh.fill_initial(|x, _y, var| {
+        let t = if x < strip_end { init.t_ignite } else { init.t0 };
+        let rho = init.rho0;
+        let e = table.eint_of(rho, t);
+        match var {
+            hydro::DENS => rho,
+            hydro::MOMX | hydro::MOMY => 0.0,
+            hydro::ENER => rho * e,
+            _ => 1.0, // pure carbon
+        }
+    });
+    Cellular {
+        mesh,
+        bc: BcSpec::all_outflow(hydro::NVAR + 1),
+        hydro: HydroParams {
+            recon: ReconKind::Plm,
+            riemann: RiemannKind::Hll,
+            cfl: 0.3,
+            ..Default::default()
+        },
+        eos,
+        burn: BurnCfg::default(),
+        t: 0.0,
+        nstep: 0,
+    }
+}
+
+impl Cellular {
+    /// Advance `n` steps: hydro sweep then burn source, operator-split.
+    pub fn run<R: Real>(&mut self, n: usize, session: Option<&Session>) {
+        for s in 0..n {
+            let dt = hydro::compute_dt::<f64, _>(&self.mesh, &self.eos, &self.hydro);
+            hydro::step::<R, _>(
+                &mut self.mesh,
+                &self.bc,
+                &self.eos,
+                &self.hydro,
+                dt,
+                1,
+                session,
+                s % 2 == 1,
+            );
+            self.burn_sweep::<R>(dt, session);
+            self.t += dt;
+            self.nstep += 1;
+        }
+    }
+
+    /// Apply the burn network cell-by-cell (the `Burn` module).
+    fn burn_sweep<R: Real>(&mut self, dt: f64, session: Option<&Session>) {
+        let lay = hydro::Layout::of(&self.mesh);
+        let eos = &self.eos;
+        let burn = self.burn;
+        let mesh = &mut self.mesh;
+        amr::seq_leaves(mesh, |_geom, blk| {
+            let _g = session.map(|s| s.install());
+            let _r = region("Burn");
+            for j in 0..lay.ny {
+                for i in 0..lay.nx {
+                    let (pi, pj) = (i + lay.ng, j + lay.ng);
+                    let rho = blk.data[lay.at(hydro::DENS, pi, pj)];
+                    let ener = blk.data[lay.at(hydro::ENER, pi, pj)];
+                    let mx = blk.data[lay.at(hydro::MOMX, pi, pj)];
+                    let my = blk.data[lay.at(hydro::MOMY, pi, pj)];
+                    let x = blk.data[lay.at(XCARBON, pi, pj)];
+                    let ke = 0.5 * (mx * mx + my * my) / rho;
+                    let eint = (ener - ke) / rho;
+                    let eint = eint.max(1e-30);
+                    // Temperature via the (possibly truncated) EOS.
+                    let t: f64 = Real::to_f64(eos.invert(R::from_f64(rho), R::from_f64(eint)).t);
+                    let r = burn_cell::<R>(&burn, R::from_f64(x), R::from_f64(t), dt);
+                    blk.data[lay.at(XCARBON, pi, pj)] = Real::to_f64(r.x);
+                    blk.data[lay.at(hydro::ENER, pi, pj)] = ener + rho * Real::to_f64(r.de);
+                }
+            }
+        });
+    }
+
+    /// Position of the burn front: rightmost x where X < 0.5.
+    pub fn front_position(&self, samples: usize) -> f64 {
+        let (x0, x1, _, _) = self.mesh.params.domain;
+        let mut front = x0;
+        for i in 0..samples {
+            let x = x0 + (x1 - x0) * (i as f64 + 0.5) / samples as f64;
+            let xc = amr::sample_point(&self.mesh, XCARBON, x, 0.5);
+            if xc < 0.5 {
+                front = x;
+            }
+        }
+        front
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detonation_front_propagates() {
+        let mut sim = setup_cellular(4, 8, CellularInit::default());
+        let f0 = sim.front_position(64);
+        sim.run::<f64>(12, None);
+        let f1 = sim.front_position(64);
+        assert!(f1 > f0, "front moved: {f0} -> {f1}");
+        let (calls, fails, _) = sim.eos.stats();
+        assert!(calls > 1000, "EOS exercised: {calls}");
+        assert_eq!(fails, 0, "full precision never fails");
+    }
+
+    #[test]
+    fn truncated_eos_fails_newton_but_burn_region_untouched() {
+        use bigfloat::Format;
+        use raptor_core::{Config, Tracked};
+        let mut sim = setup_cellular(2, 8, CellularInit::default());
+        // Truncate ONLY the EOS module to 20 bits: Hypothesis 2 setup.
+        let sess = Session::new(Config::op_files(Format::new(11, 20), ["Eos"])).unwrap();
+        sim.run::<Tracked>(3, Some(&sess));
+        let (calls, fails, _) = sim.eos.stats();
+        assert!(calls > 0);
+        assert!(
+            fails * 2 > calls,
+            "most inversions fail at 20 bits: {fails}/{calls}"
+        );
+    }
+
+    #[test]
+    fn truncated_eos_at_48_bits_converges() {
+        use bigfloat::Format;
+        use raptor_core::{Config, Tracked};
+        let mut sim = setup_cellular(2, 8, CellularInit::default());
+        let sess = Session::new(Config::op_files(Format::new(11, 48), ["Eos"])).unwrap();
+        sim.run::<Tracked>(3, Some(&sess));
+        let (calls, fails, _) = sim.eos.stats();
+        assert!(calls > 0);
+        assert_eq!(fails, 0, "48-bit EOS converges: {fails}/{calls}");
+    }
+}

@@ -1,0 +1,212 @@
+//! Newton–Raphson temperature inversion of the tabulated EOS — the
+//! numerical heart of Hypothesis 2.
+//!
+//! Hydro evolves (ρ, e); the table is indexed by (ρ, T). Every EOS call
+//! therefore solves `e(ρ, T) = e_target` for T by Newton iteration on the
+//! interpolant. The paper found that this iteration "does not converge
+//! within the specified number of iterations when the mantissa is
+//! truncated to less than 42 bits" — the residual `|e(T) - e_target|`
+//! cannot shrink below the truncated format's rounding granularity, which
+//! exceeds the convergence tolerance. Lowering the tolerance or raising
+//! the iteration cap does not help (§6.1), which is exactly the behaviour
+//! this module reproduces.
+
+use crate::table::EosTable;
+use raptor_core::{region, Real};
+
+/// Newton solver configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct NewtonCfg {
+    /// Relative tolerance on the energy residual. The Flash-X Helmholtz
+    /// default is ~1e-12 relative — below the rounding granularity of any
+    /// mantissa shorter than ~40 bits.
+    pub tol: f64,
+    /// Maximum iterations.
+    pub max_iter: usize,
+}
+
+impl Default for NewtonCfg {
+    fn default() -> Self {
+        NewtonCfg { tol: 1e-12, max_iter: 40 }
+    }
+}
+
+/// Outcome of one inversion.
+#[derive(Clone, Copy, Debug)]
+pub struct NewtonResult<R: Real> {
+    /// Final temperature iterate.
+    pub t: R,
+    /// Iterations used.
+    pub iters: usize,
+    /// Whether the residual met the tolerance.
+    pub converged: bool,
+    /// Final relative residual.
+    pub resid: f64,
+}
+
+/// Invert `e(rho, T) = e_target` for T starting from `t_guess`.
+///
+/// Runs inside the `Eos/newton` region so EOS-module truncation (the
+/// Cellular experiment) covers it.
+pub fn invert_temperature<R: Real>(
+    table: &EosTable,
+    rho: R,
+    e_target: R,
+    t_guess: R,
+    cfg: &NewtonCfg,
+) -> NewtonResult<R> {
+    let _r = region("Eos/newton");
+    let (t_lo, t_hi) = table.t_bounds();
+    let mut t = t_guess;
+    let tol = R::from_f64(cfg.tol);
+    let mut resid = f64::MAX;
+    for it in 0..cfg.max_iter {
+        let e = table.eint_of(rho, t);
+        let diff = e - e_target;
+        let rel = (diff / e_target).abs();
+        resid = rel.to_f64();
+        if rel < tol {
+            return NewtonResult { t, iters: it, converged: true, resid };
+        }
+        let dedt = table.de_dt(rho, t);
+        let step = diff / dedt;
+        // Damped update, clamped to the table range.
+        let mut t_new = t - step;
+        let half = R::half();
+        if t_new.to_f64() <= t_lo {
+            t_new = (t + R::from_f64(t_lo)) * half;
+        }
+        if t_new.to_f64() >= t_hi {
+            t_new = (t + R::from_f64(t_hi)) * half;
+        }
+        t = t_new;
+    }
+    NewtonResult { t, iters: cfg.max_iter, converged: false, resid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::model_eint;
+    use bigfloat::Format;
+    use raptor_core::{Config, Session, Tracked};
+
+    #[test]
+    fn full_precision_converges_quadratically() {
+        let tab = EosTable::cellular_default();
+        let rho = 1e6;
+        let t_true = 3.7e8;
+        let e_target: f64 = tab.eint_of(rho, t_true);
+        let r = invert_temperature(&tab, rho, e_target, 1e8, &NewtonCfg::default());
+        assert!(r.converged, "resid {}", r.resid);
+        assert!(r.iters < 15, "iters {}", r.iters);
+        assert!((r.t - t_true).abs() / t_true < 1e-9, "t {}", r.t);
+    }
+
+    #[test]
+    fn converges_from_poor_guesses_across_regime() {
+        let tab = EosTable::cellular_default();
+        for &rho in &[1e5, 1e6, 1e8] {
+            for &t_true in &[5e7, 1e8, 1e9, 5e9] {
+                let e: f64 = tab.eint_of(rho, t_true);
+                for &guess in &[2e7, 1e9, 8e9] {
+                    let r = invert_temperature(&tab, rho, e, guess, &NewtonCfg::default());
+                    assert!(r.converged, "rho {rho} T {t_true} guess {guess}: resid {}", r.resid);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_below_40_bits_breaks_convergence() {
+        // Hypothesis 2's falsification: the same inversion that converges
+        // in a dozen iterations at full precision cannot converge once the
+        // EOS arithmetic is truncated below ~40 mantissa bits, because the
+        // residual floor (rounding granularity) exceeds the tolerance.
+        let tab = EosTable::cellular_default();
+        let rho = 1e6;
+        let t_true = 3.7e8;
+        let e_target = model_eint(rho, t_true);
+        let run = |mant: u32| -> bool {
+            let sess = Session::new(
+                Config::op_files(Format::new(11, mant), ["Eos"]),
+            )
+            .unwrap();
+            let _g = sess.install();
+            let r = invert_temperature(
+                &tab,
+                Tracked::from_f64(rho),
+                Tracked::from_f64(e_target),
+                Tracked::from_f64(1e8),
+                &NewtonCfg::default(),
+            );
+            r.converged
+        };
+        assert!(run(52), "52-bit converges");
+        assert!(run(48), "48-bit converges");
+        assert!(!run(30), "30-bit must fail");
+        assert!(!run(20), "20-bit must fail");
+    }
+
+    #[test]
+    fn loosening_tolerance_does_not_rescue_very_low_precision() {
+        // §6.1: "we decrease the tolerance for convergence and increase
+        // the permitted number of iterations. Yet, we fail to get
+        // convergence for any meaningful workload."  At 12 bits, even
+        // tol = 1e-4 with 10x iterations stays non-convergent for typical
+        // states because Newton *oscillates* on the quantized interpolant.
+        let tab = EosTable::cellular_default();
+        let rho = 1e6;
+        let e_target = model_eint(rho, 3.7e8);
+        let sess = Session::new(
+            Config::op_files(Format::new(11, 8), ["Eos"]),
+        )
+        .unwrap();
+        let _g = sess.install();
+        let cfg = NewtonCfg { tol: 1e-6, max_iter: 400 };
+        let r = invert_temperature(
+            &tab,
+            Tracked::from_f64(rho),
+            Tracked::from_f64(e_target),
+            Tracked::from_f64(1e8),
+            &cfg,
+        );
+        assert!(!r.converged, "8-bit EOS must not reach 1e-6: resid {}", r.resid);
+    }
+
+    #[test]
+    fn convergence_threshold_is_near_tolerance_bits() {
+        // The failure boundary tracks -log2(tol): with tol = 1e-12 the
+        // threshold sits around 40 mantissa bits (the paper reports 42 on
+        // the real Helmholtz table).
+        let tab = EosTable::cellular_default();
+        let rho = 1e6;
+        let e_target = model_eint(rho, 3.7e8);
+        let converges = |mant: u32| {
+            let sess =
+                Session::new(Config::op_files(Format::new(11, mant), ["Eos"])).unwrap();
+            let _g = sess.install();
+            invert_temperature(
+                &tab,
+                Tracked::from_f64(rho),
+                Tracked::from_f64(e_target),
+                Tracked::from_f64(1e8),
+                &NewtonCfg::default(),
+            )
+            .converged
+        };
+        // Find the boundary.
+        let mut threshold = None;
+        for m in (20..=52).rev() {
+            if !converges(m) {
+                threshold = Some(m + 1);
+                break;
+            }
+        }
+        let th = threshold.expect("a failure threshold exists");
+        assert!(
+            (36..=48).contains(&th),
+            "threshold {th} should sit near 40 bits (paper: 42)"
+        );
+    }
+}

@@ -1,0 +1,268 @@
+//! Problem setups and the simulation driver: the **Sedov** blast wave and
+//! **Sod** shock tube workloads of the paper (§4.2, Fig. 6) plus a generic
+//! time-stepping loop with AMR regridding.
+
+use crate::recon::ReconKind;
+use crate::state::{prim_to_cons, GammaLaw, Prim, DENS, ENER, MOMX, MOMY, NVAR};
+use crate::sweep::{compute_dt, step, HydroParams};
+use amr::{init_with_refinement, AdaptSpec, BcSpec, Mesh, MeshParams};
+use raptor_core::{Real, Session};
+
+/// A fully-specified hydro simulation.
+pub struct Simulation {
+    /// The adaptive mesh carrying conserved variables.
+    pub mesh: Mesh,
+    /// Boundary conditions.
+    pub bc: BcSpec,
+    /// Adaptation policy.
+    pub adapt: AdaptSpec,
+    /// Solver parameters.
+    pub hydro: HydroParams,
+    /// Equation of state.
+    pub eos: GammaLaw,
+    /// Current time.
+    pub t: f64,
+    /// Steps taken.
+    pub nstep: usize,
+    /// Regrid cadence (steps); 0 disables adaptation during evolution.
+    pub adapt_every: usize,
+    /// Optional fixed timestep (the Table 2 experiment fixes dt "to ensure
+    /// that the dynamic time-stepping algorithm does not compensate for
+    /// inaccuracies").
+    pub fixed_dt: Option<f64>,
+}
+
+/// Workload selector for the compressible experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Problem {
+    /// Sedov-Taylor point blast: radial shock, quiescent far field
+    /// (Hypothesis 1: coarse blocks tolerate truncation well).
+    Sedov,
+    /// Sod shock tube: planar shock + rarefaction spanning the domain
+    /// (Hypothesis 1: less shock localization, truncation hurts more).
+    Sod,
+}
+
+/// Build the initial condition function for a problem (values are
+/// *conserved* variables).
+pub fn initial_condition(problem: Problem, gamma: f64, r_init: f64) -> impl Fn(f64, f64, usize) -> f64 {
+    move |x, y, var| {
+        let eos = GammaLaw { gamma };
+        let w = match problem {
+            Problem::Sod => Prim {
+                rho: if x < 0.5 { 1.0 } else { 0.125 },
+                vx: 0.0,
+                vy: 0.0,
+                p: if x < 0.5 { 1.0 } else { 0.1 },
+            },
+            Problem::Sedov => {
+                let r2 = (x - 0.5) * (x - 0.5) + (y - 0.5) * (y - 0.5);
+                let p = if r2 < r_init * r_init {
+                    // Total blast energy E = 1 deposited uniformly in the
+                    // initial circle.
+                    (gamma - 1.0) / (std::f64::consts::PI * r_init * r_init)
+                } else {
+                    1e-5
+                };
+                Prim { rho: 1.0, vx: 0.0, vy: 0.0, p }
+            }
+        };
+        let u = prim_to_cons(w, &eos);
+        match var {
+            DENS => u.rho,
+            MOMX => u.mx,
+            MOMY => u.my,
+            ENER => u.e,
+            _ => 0.0,
+        }
+    }
+}
+
+/// Construct a simulation for a problem at the given maximum refinement
+/// level. `nx_per_block` cells per block per side, 2x2 root blocks.
+pub fn setup(problem: Problem, max_level: u32, nx_per_block: usize, recon: ReconKind) -> Simulation {
+    setup_with_roots(problem, max_level, nx_per_block, recon, 2)
+}
+
+/// [`setup`] with an explicit root-block grid (`nbx` x `nbx`). More roots
+/// leave genuinely coarse level-1 leaves far from the feature, which the
+/// M-2/M-3 cutoff experiments need.
+pub fn setup_with_roots(
+    problem: Problem,
+    max_level: u32,
+    nx_per_block: usize,
+    recon: ReconKind,
+    nbx: usize,
+) -> Simulation {
+    let params = MeshParams {
+        nx: nx_per_block,
+        ny: nx_per_block,
+        ng: recon.guard_cells(),
+        nvar: NVAR,
+        nbx,
+        nby: nbx,
+        max_level,
+        domain: (0.0, 1.0, 0.0, 1.0),
+    };
+    let gamma = 1.4;
+    let mut mesh = Mesh::new(params);
+    let bc = BcSpec::all_outflow(NVAR);
+    // Refine on density and energy.
+    let adapt = AdaptSpec { vars: vec![DENS, ENER], ..Default::default() };
+    // Sedov's initial spike must be resolvable at the finest level.
+    let (dx_f, _) = mesh.cell_size(max_level);
+    let r_init = 3.5 * dx_f;
+    let init = initial_condition(problem, gamma, r_init);
+    init_with_refinement(&mut mesh, &adapt, &bc, (max_level + 2) as usize, init);
+    Simulation {
+        mesh,
+        bc,
+        adapt,
+        hydro: HydroParams { recon, ..Default::default() },
+        eos: GammaLaw { gamma },
+        t: 0.0,
+        nstep: 0,
+        adapt_every: 2,
+        fixed_dt: None,
+    }
+}
+
+impl Simulation {
+    /// Advance to `t_end` (bounded by `max_steps`), instantiated with the
+    /// numeric type `R` and an optional RAPTOR session.
+    pub fn run<R: Real>(
+        &mut self,
+        t_end: f64,
+        max_steps: usize,
+        threads: usize,
+        session: Option<&Session>,
+    ) {
+        while self.t < t_end && self.nstep < max_steps {
+            let dt = match self.fixed_dt {
+                Some(dt) => dt,
+                None => {
+                    // Driver dt under the session so it is counted as
+                    // full-precision work (Fig. 7 bars).
+                    let _g = session.map(|s| s.install());
+                    compute_dt::<R, _>(&self.mesh, &self.eos, &self.hydro)
+                }
+            };
+            let dt = dt.min(t_end - self.t).max(1e-12);
+            step::<R, _>(
+                &mut self.mesh,
+                &self.bc,
+                &self.eos,
+                &self.hydro,
+                dt,
+                threads,
+                session,
+                self.nstep % 2 == 1,
+            );
+            self.t += dt;
+            self.nstep += 1;
+            if self.adapt_every > 0 && self.nstep % self.adapt_every == 0 {
+                amr::adapt(&mut self.mesh, &self.adapt, &self.bc);
+            }
+        }
+    }
+
+    /// Density field sampled on a uniform grid (for comparisons/plots).
+    pub fn density_field(&self, n: usize) -> Vec<f64> {
+        amr::sample_uniform(&self.mesh, DENS, n, n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amr::sfocu;
+
+    #[test]
+    fn sedov_initializes_refined_at_center() {
+        let sim = setup(Problem::Sedov, 3, 8, ReconKind::Plm);
+        assert_eq!(sim.mesh.current_max_level(), 3);
+        // Center blocks refined, corner blocks coarse.
+        let corner = amr::sample_point(&sim.mesh, DENS, 0.05, 0.05);
+        assert!((corner - 1.0).abs() < 1e-12);
+        let center_p_region = amr::sample_point(&sim.mesh, ENER, 0.5, 0.5);
+        assert!(center_p_region > 1.0, "blast energy present: {center_p_region}");
+    }
+
+    #[test]
+    fn sedov_shock_expands_radially() {
+        let mut sim = setup(Problem::Sedov, 3, 8, ReconKind::Plm);
+        sim.run::<f64>(0.02, 500, 2, None);
+        assert!(sim.t >= 0.02);
+        // Density peak forms away from the center (shock shell).
+        let line: Vec<f64> = (0..64)
+            .map(|i| amr::sample_point(&sim.mesh, DENS, 0.5 + 0.45 * i as f64 / 63.0, 0.5))
+            .collect();
+        let peak_pos = line
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak_pos > 2, "shock shell moved off center (peak at {peak_pos})");
+        let peak = line[peak_pos];
+        assert!(peak > 1.5, "compression at the shock: {peak}");
+        // Symmetry: the four axis-aligned probes agree.
+        let r = 0.45 * peak_pos as f64 / 63.0;
+        let right = amr::sample_point(&sim.mesh, DENS, 0.5 + r, 0.5);
+        let left = amr::sample_point(&sim.mesh, DENS, 0.5 - r, 0.5);
+        let up = amr::sample_point(&sim.mesh, DENS, 0.5, 0.5 + r);
+        assert!((right - left).abs() < 0.1 * right, "x symmetry {right} vs {left}");
+        assert!((right - up).abs() < 0.1 * right, "xy symmetry {right} vs {up}");
+    }
+
+    #[test]
+    fn sod_truncated_vs_reference_error_grows_with_fewer_bits() {
+        use bigfloat::Format;
+        use raptor_core::{Config, Tracked};
+        let t_end = 0.05;
+        let mut reference = setup(Problem::Sod, 2, 8, ReconKind::Plm);
+        reference.run::<f64>(t_end, 200, 1, None);
+        let mut errs = Vec::new();
+        for m in [4u32, 12, 30] {
+            let mut trunc = setup(Problem::Sod, 2, 8, ReconKind::Plm);
+            let sess =
+                Session::new(Config::op_files(Format::new(11, m), ["Hydro"])).unwrap();
+            trunc.run::<Tracked>(t_end, 200, 1, Some(&sess));
+            let n = sfocu(&trunc.mesh, &reference.mesh, DENS);
+            errs.push(n.l1);
+        }
+        assert!(
+            errs[0] > errs[1] && errs[1] > errs[2],
+            "error decreases with mantissa bits: {errs:?}"
+        );
+        assert!(errs[2] < 1e-4, "30-bit run is close to reference: {}", errs[2]);
+        assert!(errs[0] > 1e-3, "4-bit run is visibly wrong: {}", errs[0]);
+    }
+
+    #[test]
+    fn cutoff_strategy_reduces_error_and_truncated_fraction() {
+        use bigfloat::Format;
+        use raptor_core::{Config, Tracked};
+        let t_end = 0.03;
+        let mut reference = setup(Problem::Sedov, 3, 8, ReconKind::Plm);
+        reference.run::<f64>(t_end, 300, 1, None);
+        let fmt = Format::new(11, 8);
+        let mut results = Vec::new();
+        for cutoff in [0u32, 1, 2] {
+            let mut trunc = setup(Problem::Sedov, 3, 8, ReconKind::Plm);
+            let cfg = Config::op_files(fmt, ["Hydro"])
+                .with_cutoff(3, cutoff)
+                .with_counting();
+            let sess = Session::new(cfg).unwrap();
+            trunc.run::<Tracked>(t_end, 300, 1, Some(&sess));
+            let n = sfocu(&trunc.mesh, &reference.mesh, DENS);
+            let frac = sess.counters().truncated_fraction();
+            results.push((n.l1, frac));
+        }
+        // Truncated fraction shrinks as the cutoff spares finer levels.
+        assert!(results[0].1 > results[1].1 && results[1].1 > results[2].1,
+            "fractions: {results:?}");
+        // Error does not increase when sparing the finest levels.
+        assert!(results[2].0 <= results[0].0 * 1.5, "errors: {results:?}");
+    }
+}

@@ -1,0 +1,189 @@
+//! Approximate Riemann solvers: HLL and HLLC.
+//!
+//! The `Hydro/riemann` region ("the Riemann solver handles discontinuous
+//! solutions in shocks", paper §6.3). Table 2 shows that *excluding* it
+//! from truncation — counter-intuitively — worsens the Sedov error, one of
+//! the paper's key observations about non-obvious truncation behaviour.
+
+use crate::state::{physical_flux, prim_to_cons, Cons, Eos, Prim};
+use raptor_core::Real;
+
+/// Riemann solver selection.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RiemannKind {
+    /// Two-wave HLL (diffusive but very robust).
+    Hll,
+    /// Three-wave HLLC (resolves contact discontinuities).
+    Hllc,
+}
+
+/// Davis wave-speed estimates.
+#[inline]
+fn wave_speeds<R: Real, E: Eos>(wl: Prim<R>, wr: Prim<R>, eos: &E, axis: usize) -> (R, R) {
+    let cl = eos.sound_speed(wl.rho, wl.p);
+    let cr = eos.sound_speed(wr.rho, wr.p);
+    let (ul, ur) = if axis == 0 { (wl.vx, wr.vx) } else { (wl.vy, wr.vy) };
+    let sl = (ul - cl).min(ur - cr);
+    let sr = (ul + cl).max(ur + cr);
+    (sl, sr)
+}
+
+/// HLL numerical flux at an interface.
+pub fn hll_flux<R: Real, E: Eos>(wl: Prim<R>, wr: Prim<R>, eos: &E, axis: usize) -> Cons<R> {
+    let (sl, sr) = wave_speeds(wl, wr, eos, axis);
+    let fl = physical_flux(wl, eos, axis);
+    let fr = physical_flux(wr, eos, axis);
+    let z = R::zero();
+    if sl >= z {
+        return fl;
+    }
+    if sr <= z {
+        return fr;
+    }
+    let ul = prim_to_cons(wl, eos);
+    let ur = prim_to_cons(wr, eos);
+    let inv = R::one() / (sr - sl);
+    Cons {
+        rho: (fl.rho * sr - fr.rho * sl + sr * sl * (ur.rho - ul.rho)) * inv,
+        mx: (fl.mx * sr - fr.mx * sl + sr * sl * (ur.mx - ul.mx)) * inv,
+        my: (fl.my * sr - fr.my * sl + sr * sl * (ur.my - ul.my)) * inv,
+        e: (fl.e * sr - fr.e * sl + sr * sl * (ur.e - ul.e)) * inv,
+    }
+}
+
+/// HLLC numerical flux at an interface (Toro's formulation).
+pub fn hllc_flux<R: Real, E: Eos>(wl: Prim<R>, wr: Prim<R>, eos: &E, axis: usize) -> Cons<R> {
+    let (sl, sr) = wave_speeds(wl, wr, eos, axis);
+    let z = R::zero();
+    let fl = physical_flux(wl, eos, axis);
+    let fr = physical_flux(wr, eos, axis);
+    if sl >= z {
+        return fl;
+    }
+    if sr <= z {
+        return fr;
+    }
+    let ul = prim_to_cons(wl, eos);
+    let ur = prim_to_cons(wr, eos);
+    let (unl, unr) = if axis == 0 { (wl.vx, wr.vx) } else { (wl.vy, wr.vy) };
+    // Contact wave speed.
+    let num = wr.p - wl.p + wl.rho * unl * (sl - unl) - wr.rho * unr * (sr - unr);
+    let den = wl.rho * (sl - unl) - wr.rho * (sr - unr);
+    let sm = num / den;
+    // Star-region states.
+    let star = |w: Prim<R>, u: Cons<R>, s: R, un: R| -> Cons<R> {
+        let factor = w.rho * (s - un) / (s - sm);
+        let e_star = u.e / w.rho
+            + (sm - un) * (sm + w.p / (w.rho * (s - un)));
+        match axis {
+            0 => Cons {
+                rho: factor,
+                mx: factor * sm,
+                my: factor * w.vy,
+                e: factor * e_star,
+            },
+            _ => Cons {
+                rho: factor,
+                mx: factor * w.vx,
+                my: factor * sm,
+                e: factor * e_star,
+            },
+        }
+    };
+    if sm >= z {
+        let us = star(wl, ul, sl, unl);
+        fl.add(us.sub(ul).scale(sl))
+    } else {
+        let us = star(wr, ur, sr, unr);
+        fr.add(us.sub(ur).scale(sr))
+    }
+}
+
+/// Dispatch by kind.
+#[inline]
+pub fn riemann_flux<R: Real, E: Eos>(
+    kind: RiemannKind,
+    wl: Prim<R>,
+    wr: Prim<R>,
+    eos: &E,
+    axis: usize,
+) -> Cons<R> {
+    match kind {
+        RiemannKind::Hll => hll_flux(wl, wr, eos, axis),
+        RiemannKind::Hllc => hllc_flux(wl, wr, eos, axis),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::state::GammaLaw;
+
+    fn eos() -> GammaLaw {
+        GammaLaw { gamma: 1.4 }
+    }
+
+    #[test]
+    fn equal_states_give_physical_flux() {
+        let w = Prim { rho: 1.0f64, vx: 0.3, vy: -0.1, p: 0.8 };
+        let f = physical_flux(w, &eos(), 0);
+        for kind in [RiemannKind::Hll, RiemannKind::Hllc] {
+            let g = riemann_flux(kind, w, w, &eos(), 0);
+            assert!((g.rho - f.rho).abs() < 1e-14, "{kind:?}");
+            assert!((g.mx - f.mx).abs() < 1e-13);
+            assert!((g.my - f.my).abs() < 1e-13);
+            assert!((g.e - f.e).abs() < 1e-13);
+        }
+    }
+
+    #[test]
+    fn supersonic_left_state_is_upwinded() {
+        let wl = Prim { rho: 1.0f64, vx: 10.0, vy: 0.0, p: 1.0 };
+        let wr = Prim { rho: 0.5f64, vx: 10.0, vy: 0.0, p: 0.5 };
+        let f = riemann_flux(RiemannKind::Hllc, wl, wr, &eos(), 0);
+        let fl = physical_flux(wl, &eos(), 0);
+        assert_eq!(f.rho, fl.rho);
+        assert_eq!(f.e, fl.e);
+    }
+
+    #[test]
+    fn sod_interface_flux_is_sane() {
+        // Sod's initial states: the interface flux must transport mass
+        // rightward (positive density flux) and be bounded.
+        let wl = Prim { rho: 1.0f64, vx: 0.0, vy: 0.0, p: 1.0 };
+        let wr = Prim { rho: 0.125f64, vx: 0.0, vy: 0.0, p: 0.1 };
+        for kind in [RiemannKind::Hll, RiemannKind::Hllc] {
+            let f = riemann_flux(kind, wl, wr, &eos(), 0);
+            assert!(f.rho > 0.0 && f.rho < 1.0, "{kind:?} rho flux {}", f.rho);
+            assert!(f.mx > 0.0 && f.mx < 2.0);
+        }
+    }
+
+    #[test]
+    fn hllc_preserves_stationary_contact() {
+        // Pure contact discontinuity at rest: HLLC flux must be exactly
+        // zero mass/energy transport; HLL smears it.
+        let wl = Prim { rho: 1.0f64, vx: 0.0, vy: 0.0, p: 1.0 };
+        let wr = Prim { rho: 0.25f64, vx: 0.0, vy: 0.0, p: 1.0 };
+        let fc = riemann_flux(RiemannKind::Hllc, wl, wr, &eos(), 0);
+        assert!(fc.rho.abs() < 1e-14, "HLLC contact mass flux {}", fc.rho);
+        assert!((fc.mx - 1.0).abs() < 1e-14, "momentum flux = pressure");
+        let fh = riemann_flux(RiemannKind::Hll, wl, wr, &eos(), 0);
+        assert!(fh.rho.abs() > 1e-3, "HLL diffuses the contact");
+    }
+
+    #[test]
+    fn y_axis_symmetry() {
+        let wl = Prim { rho: 1.0f64, vx: 0.0, vy: 0.2, p: 1.0 };
+        let wr = Prim { rho: 0.5f64, vx: 0.0, vy: -0.1, p: 0.4 };
+        let fy = riemann_flux(RiemannKind::Hllc, wl, wr, &eos(), 1);
+        // Same problem rotated into x.
+        let rl = Prim { rho: 1.0f64, vx: 0.2, vy: 0.0, p: 1.0 };
+        let rr = Prim { rho: 0.5f64, vx: -0.1, vy: 0.0, p: 0.4 };
+        let fx = riemann_flux(RiemannKind::Hllc, rl, rr, &eos(), 0);
+        assert!((fy.rho - fx.rho).abs() < 1e-14);
+        assert!((fy.my - fx.mx).abs() < 1e-14);
+        assert!((fy.mx - fx.my).abs() < 1e-14);
+        assert!((fy.e - fx.e).abs() < 1e-14);
+    }
+}

@@ -1,0 +1,215 @@
+//! Conserved/primitive state vectors and the gamma-law equation of state.
+//!
+//! Conserved variables (per cell): density, x-momentum, y-momentum, total
+//! energy density. Primitives: density, velocities, pressure. The EOS is a
+//! trait so the Cellular workload can plug in the table-based Helmholtz
+//! substitute from the `eos` crate (paper §4.2, Hypothesis 2).
+
+use raptor_core::Real;
+
+/// Index of the density variable in mesh storage.
+pub const DENS: usize = 0;
+/// Index of x-momentum.
+pub const MOMX: usize = 1;
+/// Index of y-momentum.
+pub const MOMY: usize = 2;
+/// Index of total energy density.
+pub const ENER: usize = 3;
+/// Number of conserved variables.
+pub const NVAR: usize = 4;
+
+/// Conserved state.
+#[derive(Clone, Copy, Debug)]
+pub struct Cons<R: Real> {
+    /// Mass density.
+    pub rho: R,
+    /// x-momentum density.
+    pub mx: R,
+    /// y-momentum density.
+    pub my: R,
+    /// Total energy density.
+    pub e: R,
+}
+
+/// Primitive state.
+#[derive(Clone, Copy, Debug)]
+pub struct Prim<R: Real> {
+    /// Mass density.
+    pub rho: R,
+    /// x-velocity.
+    pub vx: R,
+    /// y-velocity.
+    pub vy: R,
+    /// Pressure.
+    pub p: R,
+}
+
+/// Equation of state abstraction (Flash-X `Eos` unit).
+pub trait Eos: Sync + Send {
+    /// Pressure from density and specific internal energy.
+    fn pressure<R: Real>(&self, rho: R, eint: R) -> R;
+    /// Specific internal energy from density and pressure.
+    fn eint<R: Real>(&self, rho: R, p: R) -> R;
+    /// Adiabatic sound speed from density and pressure.
+    fn sound_speed<R: Real>(&self, rho: R, p: R) -> R;
+}
+
+/// Ideal-gas gamma-law EOS.
+#[derive(Clone, Copy, Debug)]
+pub struct GammaLaw {
+    /// Adiabatic index.
+    pub gamma: f64,
+}
+
+impl Default for GammaLaw {
+    fn default() -> Self {
+        GammaLaw { gamma: 1.4 }
+    }
+}
+
+impl Eos for GammaLaw {
+    #[inline]
+    fn pressure<R: Real>(&self, rho: R, eint: R) -> R {
+        R::from_f64(self.gamma - 1.0) * rho * eint
+    }
+    #[inline]
+    fn eint<R: Real>(&self, rho: R, p: R) -> R {
+        p / (R::from_f64(self.gamma - 1.0) * rho)
+    }
+    #[inline]
+    fn sound_speed<R: Real>(&self, rho: R, p: R) -> R {
+        (R::from_f64(self.gamma) * p / rho).sqrt()
+    }
+}
+
+/// Floors applied during primitive recovery (Flash-X `smlrho`/`smallp`):
+/// essential under aggressive truncation, which can drive density or
+/// pressure negative.
+#[derive(Clone, Copy, Debug)]
+pub struct Floors {
+    /// Minimum density.
+    pub small_rho: f64,
+    /// Minimum pressure.
+    pub small_p: f64,
+}
+
+impl Default for Floors {
+    fn default() -> Self {
+        Floors { small_rho: 1e-12, small_p: 1e-12 }
+    }
+}
+
+/// Convert conserved to primitive, applying floors.
+#[inline]
+pub fn cons_to_prim<R: Real, E: Eos>(u: Cons<R>, eos: &E, fl: &Floors) -> Prim<R> {
+    let rho = u.rho.max(R::from_f64(fl.small_rho));
+    let vx = u.mx / rho;
+    let vy = u.my / rho;
+    let ke = R::half() * rho * (vx * vx + vy * vy);
+    let eint = (u.e - ke) / rho;
+    let p = eos.pressure(rho, eint).max(R::from_f64(fl.small_p));
+    Prim { rho, vx, vy, p }
+}
+
+/// Convert primitive to conserved.
+#[inline]
+pub fn prim_to_cons<R: Real, E: Eos>(w: Prim<R>, eos: &E) -> Cons<R> {
+    let eint = eos.eint(w.rho, w.p);
+    let ke = R::half() * w.rho * (w.vx * w.vx + w.vy * w.vy);
+    Cons { rho: w.rho, mx: w.rho * w.vx, my: w.rho * w.vy, e: w.rho * eint + ke }
+}
+
+/// Physical flux of the Euler equations along an axis (0 = x, 1 = y).
+#[inline]
+pub fn physical_flux<R: Real, E: Eos>(w: Prim<R>, eos: &E, axis: usize) -> Cons<R> {
+    let u = prim_to_cons(w, eos);
+    match axis {
+        0 => Cons {
+            rho: u.rho * w.vx,
+            mx: u.mx * w.vx + w.p,
+            my: u.my * w.vx,
+            e: (u.e + w.p) * w.vx,
+        },
+        _ => Cons {
+            rho: u.rho * w.vy,
+            mx: u.mx * w.vy,
+            my: u.my * w.vy + w.p,
+            e: (u.e + w.p) * w.vy,
+        },
+    }
+}
+
+impl<R: Real> Cons<R> {
+    /// Component-wise addition.
+    #[inline]
+    pub fn add(self, o: Cons<R>) -> Cons<R> {
+        Cons { rho: self.rho + o.rho, mx: self.mx + o.mx, my: self.my + o.my, e: self.e + o.e }
+    }
+
+    /// Component-wise subtraction.
+    #[inline]
+    pub fn sub(self, o: Cons<R>) -> Cons<R> {
+        Cons { rho: self.rho - o.rho, mx: self.mx - o.mx, my: self.my - o.my, e: self.e - o.e }
+    }
+
+    /// Scale by a scalar.
+    #[inline]
+    pub fn scale(self, s: R) -> Cons<R> {
+        Cons { rho: self.rho * s, mx: self.mx * s, my: self.my * s, e: self.e * s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prim_cons_roundtrip() {
+        let eos = GammaLaw::default();
+        let fl = Floors::default();
+        let w = Prim { rho: 1.3f64, vx: 0.5, vy: -0.2, p: 2.1 };
+        let u = prim_to_cons(w, &eos);
+        let w2 = cons_to_prim(u, &eos, &fl);
+        assert!((w.rho - w2.rho).abs() < 1e-14);
+        assert!((w.vx - w2.vx).abs() < 1e-14);
+        assert!((w.vy - w2.vy).abs() < 1e-14);
+        assert!((w.p - w2.p).abs() < 1e-14);
+    }
+
+    #[test]
+    fn sound_speed_ideal_gas() {
+        let eos = GammaLaw { gamma: 1.4 };
+        let c: f64 = eos.sound_speed(1.0, 1.0);
+        assert!((c - 1.4f64.sqrt()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn floors_clamp_negative_states() {
+        let eos = GammaLaw::default();
+        let fl = Floors::default();
+        let u = Cons { rho: -1.0f64, mx: 0.0, my: 0.0, e: -5.0 };
+        let w = cons_to_prim(u, &eos, &fl);
+        assert_eq!(w.rho, fl.small_rho);
+        assert_eq!(w.p, fl.small_p);
+    }
+
+    #[test]
+    fn x_flux_of_static_state_is_pressure_only() {
+        let eos = GammaLaw::default();
+        let w = Prim { rho: 1.0f64, vx: 0.0, vy: 0.0, p: 2.5 };
+        let f = physical_flux(w, &eos, 0);
+        assert_eq!(f.rho, 0.0);
+        assert_eq!(f.mx, 2.5);
+        assert_eq!(f.my, 0.0);
+        assert_eq!(f.e, 0.0);
+    }
+
+    #[test]
+    fn flux_galilean_consistency() {
+        // Mass flux = rho * v in both axes.
+        let eos = GammaLaw::default();
+        let w = Prim { rho: 2.0f64, vx: 3.0, vy: -1.0, p: 1.0 };
+        assert_eq!(physical_flux(w, &eos, 0).rho, 6.0);
+        assert_eq!(physical_flux(w, &eos, 1).rho, -2.0);
+    }
+}

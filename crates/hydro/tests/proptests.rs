@@ -1,0 +1,118 @@
+//! Property-based tests of the hydro solver's physical invariants.
+
+use hydro::{
+    cons_to_prim, hll_flux, hllc_flux, physical_flux, plm_interface, prim_to_cons, weno5_interface,
+    Cons, Eos, Floors, GammaLaw, Prim,
+};
+use proptest::prelude::*;
+
+fn prim_strategy() -> impl Strategy<Value = Prim<f64>> {
+    (0.01f64..100.0, -10.0f64..10.0, -10.0f64..10.0, 0.01f64..100.0)
+        .prop_map(|(rho, vx, vy, p)| Prim { rho, vx, vy, p })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(500))]
+
+    /// prim -> cons -> prim is the identity (within roundoff).
+    #[test]
+    fn state_conversion_roundtrip(w in prim_strategy()) {
+        let eos = GammaLaw::default();
+        let fl = Floors::default();
+        let w2 = cons_to_prim(prim_to_cons(w, &eos), &eos, &fl);
+        prop_assert!((w.rho - w2.rho).abs() / w.rho < 1e-12);
+        prop_assert!((w.vx - w2.vx).abs() < 1e-9 * w.vx.abs().max(1.0));
+        prop_assert!((w.vy - w2.vy).abs() < 1e-9 * w.vy.abs().max(1.0));
+        prop_assert!((w.p - w2.p).abs() / w.p < 1e-9);
+    }
+
+    /// Consistency: both Riemann solvers return the physical flux when the
+    /// left and right states coincide.
+    #[test]
+    fn riemann_consistency(w in prim_strategy()) {
+        let eos = GammaLaw::default();
+        for axis in [0usize, 1] {
+            let f = physical_flux(w, &eos, axis);
+            for flux in [hll_flux(w, w, &eos, axis), hllc_flux(w, w, &eos, axis)] {
+                let scale = f.rho.abs() + f.mx.abs() + f.my.abs() + f.e.abs() + 1.0;
+                prop_assert!((flux.rho - f.rho).abs() / scale < 1e-10);
+                prop_assert!((flux.mx - f.mx).abs() / scale < 1e-10);
+                prop_assert!((flux.my - f.my).abs() / scale < 1e-10);
+                prop_assert!((flux.e - f.e).abs() / scale < 1e-10);
+            }
+        }
+    }
+
+    /// Rotational symmetry: solving along y equals solving the rotated
+    /// problem along x.
+    #[test]
+    fn riemann_rotation_symmetry(wl in prim_strategy(), wr in prim_strategy()) {
+        let eos = GammaLaw::default();
+        let rot = |w: Prim<f64>| Prim { rho: w.rho, vx: w.vy, vy: w.vx, p: w.p };
+        let fy: Cons<f64> = hllc_flux(wl, wr, &eos, 1);
+        let fx: Cons<f64> = hllc_flux(rot(wl), rot(wr), &eos, 0);
+        let scale = fy.rho.abs() + fy.e.abs() + 1.0;
+        prop_assert!((fy.rho - fx.rho).abs() / scale < 1e-10);
+        prop_assert!((fy.mx - fx.my).abs() / scale < 1e-10);
+        prop_assert!((fy.my - fx.mx).abs() / scale < 1e-10);
+        prop_assert!((fy.e - fx.e).abs() / scale < 1e-10);
+    }
+
+    /// Reconstruction never leaves the local data range for monotone input
+    /// (the TVD property of minmod-PLM; WENO5 is essentially non-
+    /// oscillatory: tiny overshoots allowed).
+    #[test]
+    fn plm_is_bounded_by_neighbors(u in prop::collection::vec(-10.0f64..10.0, 4)) {
+        let arr = [u[0], u[1], u[2], u[3]];
+        let (l, r) = plm_interface(arr);
+        let lo = u[1].min(u[2]);
+        let hi = u[1].max(u[2]);
+        // PLM states lie between the adjacent cell means (minmod property)
+        // extended by half a limited slope; conservative bound:
+        let lo2 = u.iter().cloned().fold(f64::MAX, f64::min);
+        let hi2 = u.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(l >= lo2 - 1e-12 && l <= hi2 + 1e-12, "left {l}");
+        prop_assert!(r >= lo2 - 1e-12 && r <= hi2 + 1e-12, "right {r}");
+        let _ = (lo, hi);
+    }
+
+    /// WENO5 overshoot is bounded for arbitrary data.
+    #[test]
+    fn weno5_overshoot_bounded(u in prop::collection::vec(-10.0f64..10.0, 6)) {
+        let arr = [u[0], u[1], u[2], u[3], u[4], u[5]];
+        let (l, r) = weno5_interface(arr);
+        let lo = u.iter().cloned().fold(f64::MAX, f64::min);
+        let hi = u.iter().cloned().fold(f64::MIN, f64::max);
+        let span = (hi - lo).max(1e-12);
+        prop_assert!(l >= lo - 0.4 * span && l <= hi + 0.4 * span, "left {l} of [{lo},{hi}]");
+        prop_assert!(r >= lo - 0.4 * span && r <= hi + 0.4 * span, "right {r} of [{lo},{hi}]");
+    }
+
+    /// Sound speed is positive and scales like sqrt(p/rho).
+    #[test]
+    fn sound_speed_scaling(rho in 0.01f64..100.0, p in 0.01f64..100.0, k in 1.1f64..4.0) {
+        let eos = GammaLaw::default();
+        let c1: f64 = eos.sound_speed(rho, p);
+        prop_assert!(c1 > 0.0);
+        let c2: f64 = eos.sound_speed(rho, p * k * k);
+        prop_assert!((c2 / c1 - k).abs() < 1e-10);
+        let c3: f64 = eos.sound_speed(rho * k * k, p);
+        prop_assert!((c3 * k - c1).abs() / c1 < 1e-10);
+    }
+
+    /// Floors guarantee physical primitives for arbitrary conserved input.
+    #[test]
+    fn floors_always_recover_physical_state(
+        rho in -10.0f64..10.0,
+        mx in -10.0f64..10.0,
+        my in -10.0f64..10.0,
+        e in -10.0f64..10.0,
+    ) {
+        let eos = GammaLaw::default();
+        let fl = Floors::default();
+        let w = cons_to_prim(Cons { rho, mx, my, e }, &eos, &fl);
+        prop_assert!(w.rho >= fl.small_rho);
+        prop_assert!(w.p >= fl.small_p);
+        prop_assert!(w.vx.is_finite() && w.vy.is_finite());
+    }
+}

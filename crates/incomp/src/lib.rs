@@ -1,0 +1,21 @@
+//! # incomp — incompressible multiphase Navier–Stokes on a level set
+//!
+//! The substrate for the paper's rising **Bubble** benchmark (§4.2, §6.2,
+//! Fig. 1): a fractional-step projection method with WENO5 advection,
+//! central diffusion, CSF surface tension, smoothed two-phase properties,
+//! a multigrid pressure solver (the Hypre substitute, never truncated),
+//! PDE level-set reinitialization, and an AMR shadow mesh that provides
+//! the per-cell refinement level for the selective truncation strategies.
+
+#![warn(missing_docs)]
+
+pub mod bubble;
+pub mod mg;
+pub mod solver;
+
+pub use bubble::{interface_deviation, setup_bubble, Bubble};
+pub use mg::{Field, MgStats, Poisson};
+pub use solver::{
+    compute_dt, curvature, delta, density, heaviside, reinitialize, step, viscosity, Grid,
+    InsParams,
+};

@@ -1,0 +1,409 @@
+//! Truncation configuration: what to truncate, where, and how.
+//!
+//! Mirrors RAPTOR's configuration surface (paper §3.1–§3.2 and Fig. 2b):
+//!
+//! * **Scope** — program, file (region-name prefix), or function (exact
+//!   region name). The Rust reproduction identifies code regions by the
+//!   names given to [`crate::region`] guards, e.g. `"Hydro/recon"`;
+//!   a *file* scope is a prefix match (`"Hydro"`), a *function* scope an
+//!   exact match, a *program* scope matches everything.
+//! * **Mode** — [`Mode::Op`] (op-mode) or [`Mode::Mem`] (mem-mode).
+//! * **Format** — the target `(exponent bits, mantissa bits)` pair, e.g.
+//!   `--raptor-truncate-all=64_to_5_14` becomes `Format::new(5, 14)`.
+//! * **Dynamic truncation** — a refinement-level cutoff: truncation is only
+//!   applied when the currently published AMR level is at most `M - l`
+//!   (the paper's "selective truncation with AMR", §6).
+//! * **Exclusions** — regions fenced back to full precision inside a
+//!   truncated scope (the Table 2 mem-mode debugging workflow).
+
+use bigfloat::{Format, RoundMode};
+
+/// Operating mode of the runtime (paper §3.5).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mode {
+    /// Every FP operation is independently truncated; values crossing the
+    /// runtime boundary stay in the original IEEE type.
+    Op,
+    /// Values live in a shadow table (truncated representation + FP64
+    /// shadow); the IEEE bit pattern carries an integer handle. Supports
+    /// precision increase and per-location deviation flags.
+    Mem,
+}
+
+/// Which emulation backend executes truncated operations (paper §3.4,
+/// Table 3's "naive" vs "opt.", plus the native-type fast path).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EmulPath {
+    /// Allocation-free `SoftFloat` scratch arithmetic — the analog of the
+    /// scratch-pad-optimised MPFR runtime (Fig. 4b).
+    Soft,
+    /// Heap-allocating `BigFloat` per operation — the analog of the naive
+    /// `mpfr_init2`/`mpfr_clear`-per-op runtime (Fig. 5a).
+    Big,
+    /// Hardware arithmetic for native formats (f32; f64 is the identity).
+    /// This also models the paper's GPU restriction: on GPUs only native
+    /// types are available because MPFR does not run there (§3.6).
+    Native,
+    /// Choose automatically: `Native` when the format is hardware-native,
+    /// `Soft` otherwise.
+    Auto,
+}
+
+/// Truncation scope (paper Fig. 2b).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// Truncate everywhere (program scope; fully automatic).
+    Program,
+    /// Truncate regions whose name starts with any of these prefixes
+    /// (file scope).
+    Files(Vec<String>),
+    /// Truncate regions whose name equals one of these (function scope);
+    /// the entire call stack below a matching region is truncated.
+    Functions(Vec<String>),
+}
+
+/// Dynamic truncation predicate tied to the AMR hierarchy: truncate only
+/// when the currently published refinement level is at most
+/// `max_level - cutoff` (the paper's M-l strategies).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelCutoff {
+    /// The maximum refinement level `M` of the simulation.
+    pub max_level: u32,
+    /// `l` in "M - l": 0 truncates every level, 1 spares the finest, etc.
+    pub cutoff: u32,
+}
+
+impl LevelCutoff {
+    /// Whether a block at `level` is truncated under this policy.
+    #[inline]
+    pub fn truncates(&self, level: u32) -> bool {
+        level + self.cutoff <= self.max_level
+    }
+}
+
+/// A complete truncation configuration.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Operating mode.
+    pub mode: Mode,
+    /// Target floating-point format.
+    pub format: Format,
+    /// Rounding direction used by the emulated operations.
+    pub round: RoundMode,
+    /// Emulation backend.
+    pub path: EmulPath,
+    /// Scope of truncation.
+    pub scope: Scope,
+    /// Regions excluded from truncation (exact name or prefix followed by
+    /// `/`), evaluated innermost-first against the region stack.
+    pub exclude: Vec<String>,
+    /// Optional AMR-level cutoff (dynamic truncation).
+    pub cutoff: Option<LevelCutoff>,
+    /// Also count full-precision operations and memory traffic (Table 3's
+    /// "with operation counting"; required for Fig. 7 bars and Fig. 8).
+    pub count_full_ops: bool,
+    /// mem-mode: relative deviation threshold above which an operation is
+    /// flagged against its FP64 shadow.
+    pub mem_threshold: f64,
+    /// mem-mode: significand precision of the stored values. Defaults to
+    /// the format's precision but may *exceed* 53 — mem-mode supports
+    /// precision increase (Fig. 2b).
+    pub mem_precision: u32,
+}
+
+impl Config {
+    /// Op-mode config truncating everything to `format` (program scope) —
+    /// the `--raptor-truncate-all` flag.
+    pub fn op_all(format: Format) -> Self {
+        Config {
+            mode: Mode::Op,
+            format,
+            round: RoundMode::NearestEven,
+            path: EmulPath::Auto,
+            scope: Scope::Program,
+            exclude: Vec::new(),
+            cutoff: None,
+            count_full_ops: false,
+            mem_threshold: 1e-6,
+            mem_precision: format.precision(),
+        }
+    }
+
+    /// Op-mode config truncating the named function-scope regions.
+    pub fn op_functions<S: Into<String>>(format: Format, funcs: impl IntoIterator<Item = S>) -> Self {
+        let mut c = Config::op_all(format);
+        c.scope = Scope::Functions(funcs.into_iter().map(Into::into).collect());
+        c
+    }
+
+    /// Op-mode config truncating regions by prefix (file scope).
+    pub fn op_files<S: Into<String>>(format: Format, prefixes: impl IntoIterator<Item = S>) -> Self {
+        let mut c = Config::op_all(format);
+        c.scope = Scope::Files(prefixes.into_iter().map(Into::into).collect());
+        c
+    }
+
+    /// Mem-mode config for the named function-scope regions.
+    ///
+    /// Mem-mode is only available at function scope (paper Fig. 2b: file
+    /// and program scope are N/A because every boundary value would need
+    /// manual conversion).
+    pub fn mem_functions<S: Into<String>>(
+        format: Format,
+        funcs: impl IntoIterator<Item = S>,
+        threshold: f64,
+    ) -> Self {
+        let mut c = Config::op_all(format);
+        c.mode = Mode::Mem;
+        c.scope = Scope::Functions(funcs.into_iter().map(Into::into).collect());
+        c.mem_threshold = threshold;
+        c
+    }
+
+    /// Builder-style: set the AMR level cutoff (dynamic truncation).
+    pub fn with_cutoff(mut self, max_level: u32, cutoff: u32) -> Self {
+        self.cutoff = Some(LevelCutoff { max_level, cutoff });
+        self
+    }
+
+    /// Builder-style: exclude regions from truncation.
+    pub fn with_exclude<S: Into<String>>(mut self, ex: impl IntoIterator<Item = S>) -> Self {
+        self.exclude.extend(ex.into_iter().map(Into::into));
+        self
+    }
+
+    /// Builder-style: enable full-precision op counting.
+    pub fn with_counting(mut self) -> Self {
+        self.count_full_ops = true;
+        self
+    }
+
+    /// Builder-style: select the emulation path.
+    pub fn with_path(mut self, path: EmulPath) -> Self {
+        self.path = path;
+        self
+    }
+
+    /// Builder-style: mem-mode storage precision (allows precision
+    /// *increase* beyond 53 bits).
+    pub fn with_mem_precision(mut self, prec: u32) -> Self {
+        self.mem_precision = prec;
+        self
+    }
+
+    /// Parse a RAPTOR-style truncation spec string — the §3.2 flag surface
+    /// plus the §7.3 "configuration file (similar to profilers)" extension.
+    ///
+    /// Grammar (`;`-separated clauses, first clause mandatory):
+    ///
+    /// ```text
+    /// 64_to_<e>_<m>                  target format (e.g. 64_to_5_14)
+    /// mode=op|mem                    default op
+    /// scope=program|files:<p,...>|functions:<f,...>
+    /// exclude=<region,...>
+    /// cutoff=<M>-<l>                 AMR level cutoff
+    /// count                          enable full-op counting
+    /// threshold=<x>                  mem-mode deviation threshold
+    /// ```
+    ///
+    /// ```
+    /// use raptor_core::{Config, Scope};
+    /// let c = Config::parse_spec(
+    ///     "64_to_5_14; scope=files:Hydro; exclude=Hydro/recon; cutoff=4-1; count"
+    /// ).unwrap();
+    /// assert_eq!(c.format.exp_bits(), 5);
+    /// assert_eq!(c.format.man_bits(), 14);
+    /// assert_eq!(c.scope, Scope::Files(vec!["Hydro".into()]));
+    /// assert!(c.count_full_ops);
+    /// ```
+    pub fn parse_spec(spec: &str) -> Result<Config, String> {
+        let mut clauses = spec.split(';').map(str::trim).filter(|s| !s.is_empty());
+        let fmt_clause = clauses.next().ok_or("empty truncation spec")?;
+        let fmt = parse_format(fmt_clause)?;
+        let mut cfg = Config::op_all(fmt);
+        for clause in clauses {
+            if clause == "count" {
+                cfg.count_full_ops = true;
+            } else if clause == "mode=op" {
+                cfg.mode = Mode::Op;
+            } else if clause == "mode=mem" {
+                cfg.mode = Mode::Mem;
+            } else if let Some(rest) = clause.strip_prefix("scope=") {
+                cfg.scope = if rest == "program" {
+                    Scope::Program
+                } else if let Some(list) = rest.strip_prefix("files:") {
+                    Scope::Files(list.split(',').map(|s| s.trim().to_string()).collect())
+                } else if let Some(list) = rest.strip_prefix("functions:") {
+                    Scope::Functions(list.split(',').map(|s| s.trim().to_string()).collect())
+                } else {
+                    return Err(format!("bad scope clause `{clause}`"));
+                };
+            } else if let Some(list) = clause.strip_prefix("exclude=") {
+                cfg.exclude.extend(list.split(',').map(|s| s.trim().to_string()));
+            } else if let Some(rest) = clause.strip_prefix("cutoff=") {
+                let (m, l) = rest
+                    .split_once('-')
+                    .ok_or_else(|| format!("bad cutoff clause `{clause}` (want M-l)"))?;
+                cfg.cutoff = Some(LevelCutoff {
+                    max_level: m.trim().parse().map_err(|e| format!("cutoff M: {e}"))?,
+                    cutoff: l.trim().parse().map_err(|e| format!("cutoff l: {e}"))?,
+                });
+            } else if let Some(rest) = clause.strip_prefix("threshold=") {
+                cfg.mem_threshold = rest.trim().parse().map_err(|e| format!("threshold: {e}"))?;
+            } else {
+                return Err(format!("unknown clause `{clause}`"));
+            }
+        }
+        cfg.mem_precision = cfg.format.precision();
+        cfg.validate()?;
+        Ok(cfg)
+    }
+
+    /// Validate the configuration against the supported matrix (Fig. 2b).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mode == Mode::Mem && !matches!(self.scope, Scope::Functions(_)) {
+            return Err(
+                "mem-mode is only supported at function scope (Fig. 2b: file/program N/A)"
+                    .to_string(),
+            );
+        }
+        if self.format.precision() > 62 && !self.format.is_native() {
+            return Err(format!(
+                "emulated format {} precision {} exceeds the SoftFloat op path (max 62)",
+                self.format,
+                self.format.precision()
+            ));
+        }
+        if self.mode == Mode::Mem && self.mem_precision < 2 {
+            return Err("mem-mode precision must be at least 2 bits".to_string());
+        }
+        Ok(())
+    }
+
+    /// The effective emulation path after `Auto` resolution.
+    pub fn resolved_path(&self) -> EmulPath {
+        match self.path {
+            EmulPath::Auto => {
+                if self.format.is_native() {
+                    EmulPath::Native
+                } else {
+                    EmulPath::Soft
+                }
+            }
+            p => p,
+        }
+    }
+}
+
+/// Parse `64_to_<e>_<m>` (the `--raptor-truncate-all` format spec).
+fn parse_format(s: &str) -> Result<Format, String> {
+    let rest = s
+        .strip_prefix("64_to_")
+        .ok_or_else(|| format!("bad format spec `{s}` (want 64_to_<e>_<m>)"))?;
+    let (e, m) = rest
+        .split_once('_')
+        .ok_or_else(|| format!("bad format spec `{s}` (want 64_to_<e>_<m>)"))?;
+    let e: u32 = e.trim().parse().map_err(|err| format!("exponent bits: {err}"))?;
+    let m: u32 = m.trim().parse().map_err(|err| format!("mantissa bits: {err}"))?;
+    if !(2..=19).contains(&e) || !(1..=236).contains(&m) {
+        return Err(format!("format widths out of range: e={e} m={m}"));
+    }
+    Ok(Format::new(e, m))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_spec_full_grammar() {
+        let c = Config::parse_spec(
+            "64_to_11_12; mode=op; scope=functions:Hydro/recon,Hydro/update; \
+             exclude=Math/pow; cutoff=5-2; count; threshold=1e-4",
+        )
+        .unwrap();
+        assert_eq!(c.format, Format::new(11, 12));
+        assert_eq!(
+            c.scope,
+            Scope::Functions(vec!["Hydro/recon".into(), "Hydro/update".into()])
+        );
+        assert_eq!(c.exclude, vec!["Math/pow".to_string()]);
+        assert_eq!(c.cutoff, Some(LevelCutoff { max_level: 5, cutoff: 2 }));
+        assert!(c.count_full_ops);
+        assert!((c.mem_threshold - 1e-4).abs() < 1e-18);
+    }
+
+    #[test]
+    fn parse_spec_paper_example() {
+        // The paper's §3.2 flag: --raptor-truncate-all=64_to_5_14.
+        let c = Config::parse_spec("64_to_5_14").unwrap();
+        assert_eq!(c.format.exp_bits(), 5);
+        assert_eq!(c.format.man_bits(), 14);
+        assert_eq!(c.scope, Scope::Program);
+    }
+
+    #[test]
+    fn parse_spec_rejects_garbage() {
+        assert!(Config::parse_spec("").is_err());
+        assert!(Config::parse_spec("32_to_5_8").is_err());
+        assert!(Config::parse_spec("64_to_5").is_err());
+        assert!(Config::parse_spec("64_to_5_8; bogus=1").is_err());
+        assert!(Config::parse_spec("64_to_5_8; cutoff=3").is_err());
+        // mem-mode at program scope violates Fig. 2b.
+        assert!(Config::parse_spec("64_to_5_8; mode=mem").is_err());
+        assert!(Config::parse_spec("64_to_5_8; mode=mem; scope=functions:K").is_ok());
+    }
+
+    #[test]
+    fn level_cutoff_matches_paper_semantics() {
+        // M = 6. M-0: truncate all levels; M-1: spare the finest; ...
+        let m0 = LevelCutoff { max_level: 6, cutoff: 0 };
+        assert!((1..=6).all(|l| m0.truncates(l)));
+        let m1 = LevelCutoff { max_level: 6, cutoff: 1 };
+        assert!((1..=5).all(|l| m1.truncates(l)));
+        assert!(!m1.truncates(6));
+        let m3 = LevelCutoff { max_level: 6, cutoff: 3 };
+        assert!(m3.truncates(3));
+        assert!(!m3.truncates(4));
+    }
+
+    #[test]
+    fn mem_mode_requires_function_scope() {
+        let mut c = Config::mem_functions(Format::FP16, ["Hydro"], 1e-6);
+        assert!(c.validate().is_ok());
+        c.scope = Scope::Program;
+        assert!(c.validate().is_err());
+        c.scope = Scope::Files(vec!["Hydro".into()]);
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn auto_path_resolution() {
+        assert_eq!(Config::op_all(Format::FP32).resolved_path(), EmulPath::Native);
+        assert_eq!(Config::op_all(Format::FP16).resolved_path(), EmulPath::Soft);
+        assert_eq!(
+            Config::op_all(Format::new(5, 14)).resolved_path(),
+            EmulPath::Soft
+        );
+    }
+
+    #[test]
+    fn validate_rejects_oversized_emulated_format() {
+        let c = Config::op_all(Format::new(15, 80));
+        assert!(c.validate().is_err());
+        let ok = Config::op_all(Format::new(11, 52)); // FP64 → native
+        assert!(ok.validate().is_ok());
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = Config::op_files(Format::FP16, ["Hydro"])
+            .with_cutoff(5, 2)
+            .with_exclude(["Hydro/riemann"])
+            .with_counting();
+        assert_eq!(c.scope, Scope::Files(vec!["Hydro".to_string()]));
+        assert_eq!(c.cutoff, Some(LevelCutoff { max_level: 5, cutoff: 2 }));
+        assert!(c.count_full_ops);
+        assert_eq!(c.exclude, vec!["Hydro/riemann".to_string()]);
+    }
+}

@@ -1,0 +1,426 @@
+//! Profiling sessions and the thread-local activation context.
+//!
+//! A [`Session`] owns one truncation [`Config`] plus all data collected
+//! under it (op/memory counters, mem-mode shadow state, warnings). Worker
+//! threads participate by installing the session ([`Session::install`]),
+//! which mirrors how RAPTOR's runtime state is process-global while the
+//! compiler pass decides *statically* which code calls into it — here the
+//! decision is made dynamically from the region stack, which is what the
+//! paper calls scoped truncation ("mark a function/region and the tool
+//! truncates the entire call stack below", Table 1 feature 4).
+
+use crate::config::{Config, Scope};
+use crate::counters::Counters;
+use crate::memmode::MemState;
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::sync::Arc;
+
+pub(crate) struct SessionInner {
+    pub(crate) config: Config,
+    pub(crate) counters: Mutex<Counters>,
+    pub(crate) mem: Mutex<MemState>,
+    pub(crate) warnings: Mutex<Vec<String>>,
+}
+
+/// A profiling session: a validated configuration plus collected data.
+///
+/// Cloning is cheap (`Arc`); clones share counters and mem-mode state, so a
+/// session can be installed on many worker threads (the OpenMP-compatibility
+/// story of §3.6).
+#[derive(Clone)]
+pub struct Session {
+    pub(crate) inner: Arc<SessionInner>,
+}
+
+impl Session {
+    /// Create a session from a validated configuration.
+    pub fn new(config: Config) -> Result<Session, String> {
+        config.validate()?;
+        Ok(Session {
+            inner: Arc::new(SessionInner {
+                config,
+                counters: Mutex::new(Counters::default()),
+                mem: Mutex::new(MemState::default()),
+                warnings: Mutex::new(Vec::new()),
+            }),
+        })
+    }
+
+    /// The configuration this session runs.
+    pub fn config(&self) -> &Config {
+        &self.inner.config
+    }
+
+    /// Install this session on the current thread. Truncation and counting
+    /// happen between this call and the drop of the returned guard.
+    ///
+    /// Panics if another session is already installed on this thread
+    /// (nested profiling sessions are not part of the supported matrix).
+    pub fn install(&self) -> SessionGuard {
+        ACTIVE.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            assert!(slot.is_none(), "a RAPTOR session is already installed on this thread");
+            *slot = Some(ActiveCtx::new(self.clone()));
+        });
+        SessionGuard { _priv: () }
+    }
+
+    /// Snapshot the accumulated counters.
+    ///
+    /// Includes counts already flushed by dropped guards plus the pending
+    /// counts of the *current* thread's live guard (other threads' live
+    /// guards flush on drop).
+    pub fn counters(&self) -> Counters {
+        let mut c = *self.inner.counters.lock();
+        ACTIVE.with(|cell| {
+            if let Some(act) = cell.borrow().as_ref() {
+                if Arc::ptr_eq(&act.sess.inner, &self.inner) {
+                    c.merge(&act.local);
+                }
+            }
+        });
+        c
+    }
+
+    /// Reset counters (all flushed data; the current thread's pending
+    /// counts are also cleared).
+    pub fn reset_counters(&self) {
+        *self.inner.counters.lock() = Counters::default();
+        ACTIVE.with(|cell| {
+            if let Some(act) = cell.borrow_mut().as_mut() {
+                if Arc::ptr_eq(&act.sess.inner, &self.inner) {
+                    act.local = Counters::default();
+                }
+            }
+        });
+    }
+
+    /// Warnings emitted by the runtime (e.g. mem-mode auto-promotions,
+    /// the analog of RAPTOR's "calls to pre-compiled external libraries
+    /// are ignored" warnings).
+    pub fn warnings(&self) -> Vec<String> {
+        self.inner.warnings.lock().clone()
+    }
+
+    pub(crate) fn warn(&self, msg: String) {
+        let mut w = self.inner.warnings.lock();
+        if w.len() < 1000 {
+            w.push(msg);
+        }
+    }
+
+    /// mem-mode: number of live shadow slots.
+    pub fn mem_live_slots(&self) -> usize {
+        self.inner.mem.lock().live_slots()
+    }
+
+    /// mem-mode: clear the shadow slab (call between kernels, after
+    /// post-converting outputs — bounds memory like the paper's per-region
+    /// scratch lifetime).
+    pub fn mem_clear_slab(&self) {
+        self.inner.mem.lock().clear_slab();
+    }
+
+    /// mem-mode: the per-location deviation flag report (the "heatmap of
+    /// code locations that do not react well to truncation", §6.3).
+    pub fn mem_flags(&self) -> Vec<crate::memmode::LocReport> {
+        let mem = self.inner.mem.lock();
+        if mem.auto_promotions > 0 {
+            self.warn(format!(
+                "mem-mode auto-promoted {} raw values that never went through pre() \
+                 (the paper requires explicit boundary conversions, Fig. 3c)",
+                mem.auto_promotions
+            ));
+        }
+        mem.report()
+    }
+
+    /// mem-mode: clear flag statistics.
+    pub fn mem_reset_flags(&self) {
+        self.inner.mem.lock().reset_stats();
+    }
+}
+
+/// RAII guard for an installed session; flushes this thread's counters on
+/// drop.
+pub struct SessionGuard {
+    _priv: (),
+}
+
+impl Drop for SessionGuard {
+    fn drop(&mut self) {
+        ACTIVE.with(|cell| {
+            if let Some(act) = cell.borrow_mut().take() {
+                act.sess.inner.counters.lock().merge(&act.local);
+            }
+        });
+    }
+}
+
+pub(crate) struct ActiveCtx {
+    pub(crate) sess: Session,
+    pub(crate) local: Counters,
+    pub(crate) regions: Vec<&'static str>,
+    pub(crate) level: Option<u32>,
+    /// Cached activation decision, recomputed on region/level change.
+    pub(crate) active: bool,
+}
+
+impl ActiveCtx {
+    fn new(sess: Session) -> Self {
+        let mut ctx = ActiveCtx { sess, local: Counters::default(), regions: Vec::new(), level: None, active: false };
+        ctx.recompute();
+        ctx
+    }
+
+    pub(crate) fn recompute(&mut self) {
+        let cfg = &self.sess.inner.config;
+        self.active = compute_active(cfg, &self.regions, self.level);
+    }
+}
+
+/// Match a region name against a scope pattern: exact, or prefix at a `/`
+/// boundary (so `"Hydro"` matches `"Hydro/recon"` but not `"Hydrox"`).
+fn pattern_matches(region: &str, pat: &str) -> bool {
+    region == pat
+        || (region.len() > pat.len()
+            && region.starts_with(pat)
+            && region.as_bytes()[pat.len()] == b'/')
+}
+
+fn cutoff_ok(cfg: &Config, level: Option<u32>) -> bool {
+    match (cfg.cutoff, level) {
+        (Some(c), Some(l)) => c.truncates(l),
+        // No level published: treat as coarsest (truncate). Ops outside
+        // block loops (e.g. scalar setup code) behave like the paper's
+        // non-mesh code, which full-program truncation does truncate.
+        (Some(_), None) => true,
+        (None, _) => true,
+    }
+}
+
+fn compute_active(cfg: &Config, regions: &[&'static str], level: Option<u32>) -> bool {
+    // Innermost-first: the nearest enclosing include/exclude wins, which
+    // gives the Table 2 workflow (truncate Hydro, fence off Hydro/recon).
+    for r in regions.iter().rev() {
+        if cfg.exclude.iter().any(|e| pattern_matches(r, e)) {
+            return false;
+        }
+        let included = match &cfg.scope {
+            Scope::Program => false, // handled by the default below
+            Scope::Files(prefixes) => prefixes.iter().any(|p| pattern_matches(r, p)),
+            Scope::Functions(names) => names.iter().any(|n| pattern_matches(r, n)),
+        };
+        if included {
+            return cutoff_ok(cfg, level);
+        }
+    }
+    match cfg.scope {
+        Scope::Program => cutoff_ok(cfg, level),
+        _ => false,
+    }
+}
+
+thread_local! {
+    pub(crate) static ACTIVE: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
+}
+
+/// RAII guard marking a named code region (function- or file-scope unit).
+///
+/// The Rust equivalent of RAPTOR's instrumented function boundary: entering
+/// the region pushes the name onto the scope stack; the whole call stack
+/// below inherits the truncation decision.
+pub struct RegionGuard {
+    pushed: bool,
+}
+
+/// Enter a named region. Cheap no-op when no session is installed.
+pub fn region(name: &'static str) -> RegionGuard {
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        if let Some(act) = slot.as_mut() {
+            act.regions.push(name);
+            act.recompute();
+            RegionGuard { pushed: true }
+        } else {
+            RegionGuard { pushed: false }
+        }
+    })
+}
+
+impl Drop for RegionGuard {
+    fn drop(&mut self) {
+        if self.pushed {
+            ACTIVE.with(|cell| {
+                if let Some(act) = cell.borrow_mut().as_mut() {
+                    act.regions.pop();
+                    act.recompute();
+                }
+            });
+        }
+    }
+}
+
+/// Publish the current AMR refinement level (dynamic truncation input).
+/// `None` clears it.
+pub fn set_level(level: Option<u32>) {
+    ACTIVE.with(|cell| {
+        if let Some(act) = cell.borrow_mut().as_mut() {
+            act.level = level;
+            act.recompute();
+        }
+    });
+}
+
+/// Whether truncation is currently active on this thread (for tests and
+/// diagnostics).
+pub fn is_active() -> bool {
+    ACTIVE.with(|cell| cell.borrow().as_ref().map_or(false, |a| a.active))
+}
+
+/// Record `n` field values' worth of memory traffic against the current
+/// activation state (the §3.4 memory model input). Truncated regions move
+/// `format.storage_bytes()` per value; full regions move 8 bytes (f64).
+pub fn count_field_values(n: u64) {
+    ACTIVE.with(|cell| {
+        if let Some(act) = cell.borrow_mut().as_mut() {
+            if act.active {
+                let b = act.sess.inner.config.format.storage_bytes() as u64;
+                act.local.trunc_bytes += n * b;
+            } else {
+                act.local.full_bytes += n * 8;
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfloat::Format;
+
+    #[test]
+    fn program_scope_is_always_active() {
+        let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+        let _g = s.install();
+        assert!(is_active());
+        let _r = region("Anything");
+        assert!(is_active());
+    }
+
+    #[test]
+    fn function_scope_requires_region() {
+        let s = Session::new(Config::op_functions(Format::FP16, ["Hydro/recon"])).unwrap();
+        let _g = s.install();
+        assert!(!is_active());
+        {
+            let _r = region("Hydro/recon");
+            assert!(is_active());
+            {
+                // Call stack below inherits (scoped truncation).
+                let _r2 = region("MathUtil/helper");
+                assert!(is_active());
+            }
+        }
+        assert!(!is_active());
+    }
+
+    #[test]
+    fn file_scope_prefix_matching() {
+        let s = Session::new(Config::op_files(Format::FP16, ["Hydro"])).unwrap();
+        let _g = s.install();
+        {
+            let _r = region("Hydro/riemann");
+            assert!(is_active());
+        }
+        {
+            let _r = region("Hydrox/other");
+            assert!(!is_active(), "prefix must stop at a / boundary");
+        }
+        {
+            let _r = region("Eos/table");
+            assert!(!is_active());
+        }
+    }
+
+    #[test]
+    fn exclusion_fences_inner_regions() {
+        let cfg = Config::op_files(Format::FP16, ["Hydro"]).with_exclude(["Hydro/recon"]);
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let _r = region("Hydro/flux");
+        assert!(is_active());
+        {
+            let _r2 = region("Hydro/recon");
+            assert!(!is_active(), "excluded module runs at full precision");
+            {
+                let _r3 = region("MathUtil/helper");
+                assert!(!is_active(), "exclusion covers the call stack below");
+            }
+        }
+        assert!(is_active());
+    }
+
+    #[test]
+    fn level_cutoff_gates_truncation() {
+        let cfg = Config::op_all(Format::FP16).with_cutoff(4, 1); // M-1
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        set_level(Some(4));
+        assert!(!is_active(), "finest level spared under M-1");
+        set_level(Some(3));
+        assert!(is_active());
+        set_level(None);
+        assert!(is_active(), "no level published => treated as coarse");
+    }
+
+    #[test]
+    fn guard_restores_state() {
+        let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+        {
+            let _g = s.install();
+            assert!(is_active());
+        }
+        assert!(!is_active());
+        // Re-install works after drop.
+        let _g2 = s.install();
+        assert!(is_active());
+    }
+
+    #[test]
+    #[should_panic(expected = "already installed")]
+    fn double_install_panics() {
+        let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+        let _g1 = s.install();
+        let _g2 = s.install();
+    }
+
+    #[test]
+    fn counters_visible_across_threads_after_flush() {
+        let s = Session::new(Config::op_all(Format::FP16).with_counting()).unwrap();
+        let s2 = s.clone();
+        std::thread::spawn(move || {
+            let _g = s2.install();
+            crate::ops::op2(crate::counters::OpKind::Add, 1.0, 2.0);
+        })
+        .join()
+        .unwrap();
+        assert_eq!(s.counters().trunc.add, 1);
+    }
+
+    #[test]
+    fn field_value_counting_uses_format_width() {
+        let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+        let g = s.install();
+        count_field_values(10); // active: 2 bytes each
+        drop(g);
+        let c = s.counters();
+        assert_eq!(c.trunc_bytes, 20);
+        let s2 = Session::new(Config::op_functions(Format::FP16, ["X"])).unwrap();
+        let g2 = s2.install();
+        count_field_values(10); // inactive: 8 bytes each
+        drop(g2);
+        assert_eq!(s2.counters().full_bytes, 80);
+    }
+}

@@ -1,0 +1,160 @@
+//! Operation and memory-traffic counters (paper §3.4).
+//!
+//! The runtime "keeps track of how many floating-point operations are
+//! executed and how much memory is accessed in truncated and non-truncated
+//! regions". These counts draw the stacked bars in Fig. 7 and feed the
+//! co-design speedup model of §7.2 / Fig. 8.
+//!
+//! `Counters` is plain data; accumulation happens in the thread-local
+//! context (cheap, uncontended) and is flushed into the owning
+//! [`crate::Session`] when a profiling guard drops.
+
+/// Kinds of floating-point operations tracked individually.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OpKind {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Square root.
+    Sqrt,
+    /// Fused multiply-add.
+    Fma,
+    /// Any unary/binary math-library call (exp, ln, sin, pow, ...).
+    Math,
+}
+
+/// Per-category operation counts.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct OpCounts {
+    /// Additions.
+    pub add: u64,
+    /// Subtractions.
+    pub sub: u64,
+    /// Multiplications.
+    pub mul: u64,
+    /// Divisions.
+    pub div: u64,
+    /// Square roots.
+    pub sqrt: u64,
+    /// Fused multiply-adds.
+    pub fma: u64,
+    /// Math-library calls.
+    pub math: u64,
+}
+
+impl OpCounts {
+    /// Total floating-point operations.
+    pub fn total(&self) -> u64 {
+        self.add + self.sub + self.mul + self.div + self.sqrt + self.fma + self.math
+    }
+
+    #[inline]
+    pub(crate) fn bump(&mut self, kind: OpKind) {
+        match kind {
+            OpKind::Add => self.add += 1,
+            OpKind::Sub => self.sub += 1,
+            OpKind::Mul => self.mul += 1,
+            OpKind::Div => self.div += 1,
+            OpKind::Sqrt => self.sqrt += 1,
+            OpKind::Fma => self.fma += 1,
+            OpKind::Math => self.math += 1,
+        }
+    }
+
+    pub(crate) fn merge(&mut self, other: &OpCounts) {
+        self.add += other.add;
+        self.sub += other.sub;
+        self.mul += other.mul;
+        self.div += other.div;
+        self.sqrt += other.sqrt;
+        self.fma += other.fma;
+        self.math += other.math;
+    }
+}
+
+/// A snapshot of all counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Counters {
+    /// Operations executed in truncated precision.
+    pub trunc: OpCounts,
+    /// Operations executed at full (original) precision.
+    pub full: OpCounts,
+    /// Bytes of field data touched inside truncated regions.
+    pub trunc_bytes: u64,
+    /// Bytes of field data touched in non-truncated regions.
+    pub full_bytes: u64,
+}
+
+impl Counters {
+    /// Fraction of FP ops that ran truncated (the paper quotes e.g.
+    /// "86.3 % truncated FP ops" in Tables 2–3).
+    pub fn truncated_fraction(&self) -> f64 {
+        let t = self.trunc.total() as f64;
+        let f = self.full.total() as f64;
+        if t + f == 0.0 {
+            0.0
+        } else {
+            t / (t + f)
+        }
+    }
+
+    /// Total FP operations, truncated + full.
+    pub fn total_ops(&self) -> u64 {
+        self.trunc.total() + self.full.total()
+    }
+
+    /// Giga-operations (the Fig. 7 bar unit).
+    pub fn giga_ops(&self) -> (f64, f64) {
+        (self.trunc.total() as f64 / 1e9, self.full.total() as f64 / 1e9)
+    }
+
+    pub(crate) fn merge(&mut self, other: &Counters) {
+        self.trunc.merge(&other.trunc);
+        self.full.merge(&other.full);
+        self.trunc_bytes += other.trunc_bytes;
+        self.full_bytes += other.full_bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_totals() {
+        let mut c = Counters::default();
+        c.trunc.bump(OpKind::Add);
+        c.trunc.bump(OpKind::Sqrt);
+        c.full.bump(OpKind::Mul);
+        assert_eq!(c.trunc.total(), 2);
+        assert_eq!(c.full.total(), 1);
+        assert_eq!(c.total_ops(), 3);
+        assert!((c.truncated_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = Counters::default();
+        a.trunc.bump(OpKind::Div);
+        a.trunc_bytes = 10;
+        let mut b = Counters::default();
+        b.trunc.bump(OpKind::Div);
+        b.full.bump(OpKind::Fma);
+        b.full_bytes = 5;
+        a.merge(&b);
+        assert_eq!(a.trunc.div, 2);
+        assert_eq!(a.full.fma, 1);
+        assert_eq!(a.trunc_bytes, 10);
+        assert_eq!(a.full_bytes, 5);
+    }
+
+    #[test]
+    fn empty_fraction_is_zero() {
+        assert_eq!(Counters::default().truncated_fraction(), 0.0);
+    }
+}

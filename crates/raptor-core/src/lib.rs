@@ -1,0 +1,118 @@
+//! # raptor-core — the RAPTOR numerical-profiling runtime
+//!
+//! A from-scratch Rust reproduction of the tool described in *RAPTOR:
+//! Practical Numerical Profiling of Scientific Applications* (SC '25).
+//! RAPTOR transparently replaces floating-point operations in selected code
+//! regions with operations at a user-chosen precision, to let domain
+//! scientists discover where lowering precision is safe.
+//!
+//! The original is an LLVM instrumentation pass plus an MPFR-backed
+//! runtime; this reproduction expresses the same semantics through a
+//! generic numeric type:
+//!
+//! * write kernels generic over [`Real`];
+//! * instantiate with `f64` for the reference build, with [`Tracked`] for
+//!   the instrumented build;
+//! * describe *what* to truncate with a [`Config`] (format, scope, mode,
+//!   AMR-level cutoff, exclusions) and run under a [`Session`].
+//!
+//! ```
+//! use raptor_core::{Config, Real, Session, Tracked, region};
+//! use bigfloat::Format;
+//!
+//! fn kernel<R: Real>(x: R) -> R {
+//!     let _r = region("Demo/kernel");
+//!     (x * x + R::one()).sqrt()
+//! }
+//!
+//! // Reference (f64) result:
+//! let full = kernel(0.7f64);
+//!
+//! // Truncate the kernel to a 6-bit mantissa (op-mode, function scope):
+//! let sess = Session::new(Config::op_functions(Format::new(11, 6), ["Demo/kernel"])
+//!     .with_counting()).unwrap();
+//! let guard = sess.install();
+//! let trunc = kernel(Tracked::from_f64(0.7)).to_f64();
+//! drop(guard);
+//!
+//! assert_ne!(full, trunc);
+//! assert!((full - trunc).abs() < 1e-2);
+//! assert_eq!(sess.counters().trunc.total(), 3); // mul, add, sqrt
+//! ```
+//!
+//! ## Modes
+//!
+//! * **op-mode** ([`Mode::Op`]): each operation is independently rounded to
+//!   the target format; values crossing the runtime boundary remain plain
+//!   `f64`. Use for full-application truncation sweeps (Fig. 7 of the
+//!   paper).
+//! * **mem-mode** ([`Mode::Mem`]): values are *memorized* in a shadow slab
+//!   at the configured precision together with an FP64 shadow; deviations
+//!   beyond a threshold are flagged per source location (§6.3, Table 2).
+//!   Requires boundary conversions ([`Tracked::mem_pre`] /
+//!   [`Tracked::mem_post`]) and supports precision *increase*.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod context;
+pub mod counters;
+pub mod memmode;
+pub mod ops;
+pub mod real;
+pub mod report;
+
+pub use config::{Config, EmulPath, LevelCutoff, Mode, Scope};
+pub use context::{count_field_values, is_active, region, set_level, RegionGuard, Session, SessionGuard};
+pub use counters::{Counters, OpCounts, OpKind};
+pub use memmode::{LocReport, LocStats, SrcLoc};
+pub use ops::{MathFn, SignOp};
+pub use real::{Real, Tracked};
+pub use report::Report;
+
+// Re-export the numeric substrate for convenience.
+pub use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
+
+/// Run a closure inside a named region (sugar over [`region`]): the Rust
+/// analog of calling a `_raptor_trunc_func_*`-wrapped function (Fig. 3b).
+pub fn truncated<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _g = region(name);
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn truncated_sugar_scopes_like_region() {
+        let sess = Session::new(Config::op_functions(Format::new(11, 4), ["F"])).unwrap();
+        let _g = sess.install();
+        assert!(!is_active());
+        let r = truncated("F", || {
+            assert!(is_active());
+            Tracked::from_f64(0.1) + Tracked::from_f64(0.2)
+        });
+        assert!(!is_active());
+        assert!((r.to_f64() - 0.3).abs() > 1e-6);
+    }
+
+    #[test]
+    fn doc_example_flow() {
+        fn kernel<R: Real>(x: R) -> R {
+            let _r = region("Demo/kernel");
+            (x * x + R::one()).sqrt()
+        }
+        let full = kernel(0.7f64);
+        let sess = Session::new(
+            Config::op_functions(Format::new(11, 6), ["Demo/kernel"]).with_counting(),
+        )
+        .unwrap();
+        let guard = sess.install();
+        let trunc = kernel(Tracked::from_f64(0.7)).to_f64();
+        drop(guard);
+        assert_ne!(full, trunc);
+        assert!((full - trunc).abs() < 1e-2);
+        assert_eq!(sess.counters().trunc.total(), 3);
+    }
+}

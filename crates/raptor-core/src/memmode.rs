@@ -1,0 +1,321 @@
+//! mem-mode: shadow-value storage, handle encoding, and deviation flags
+//! (paper §3.5, Fig. 5b, and the §6.3 debugging workflow).
+//!
+//! In mem-mode a value is not converted back to the carrier type after each
+//! operation. Instead the truncated representation is *memorized* in a slab
+//! and the carrier `f64`'s bit pattern holds an integer handle (the paper
+//! bitcasts an id into the float). Every slot also carries an FP64 shadow
+//! updated at full precision, so each operation can compare its truncated
+//! result against "what the whole application would have computed in FP64"
+//! and flag deviations beyond a threshold, grouped by source location.
+//!
+//! Handles are NaN-boxed: quiet-NaN bit patterns with a distinctive tag
+//! nibble, so stray un-converted values are detectable (the runtime
+//! auto-promotes them and counts the event, where the paper would crash or
+//! warn).
+
+use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
+use std::collections::HashMap;
+
+/// Source location of an instrumented operation (from `#[track_caller]`,
+/// the analog of LLVM debug locations like `"f.cpp:10:11"` in Fig. 4a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SrcLoc {
+    /// Source file path.
+    pub file: &'static str,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+}
+
+impl From<&'static std::panic::Location<'static>> for SrcLoc {
+    fn from(l: &'static std::panic::Location<'static>) -> Self {
+        SrcLoc { file: l.file(), line: l.line(), col: l.column() }
+    }
+}
+
+impl core::fmt::Display for SrcLoc {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{}:{}:{}", self.file, self.line, self.col)
+    }
+}
+
+const HANDLE_TAG: u64 = 0x7FFA_0000_0000_0000;
+const HANDLE_MASK: u64 = 0xFFFF_0000_0000_0000;
+const HANDLE_IDX: u64 = !HANDLE_MASK;
+
+/// Encode a slab index as a NaN-boxed handle.
+#[inline]
+pub(crate) fn encode_handle(idx: usize) -> f64 {
+    debug_assert!((idx as u64) <= HANDLE_IDX);
+    f64::from_bits(HANDLE_TAG | idx as u64)
+}
+
+/// Decode a handle back to a slab index, if the bit pattern is one.
+#[inline]
+pub(crate) fn decode_handle(x: f64) -> Option<usize> {
+    let bits = x.to_bits();
+    if bits & HANDLE_MASK == HANDLE_TAG {
+        Some((bits & HANDLE_IDX) as usize)
+    } else {
+        None
+    }
+}
+
+/// The truncated representation stored per value: allocation-free for
+/// precisions the SoftFloat path covers, limb-based beyond (mem-mode
+/// precision *increase*).
+#[derive(Clone, Debug)]
+pub(crate) enum SlotVal {
+    Soft(SoftFloat),
+    Big(BigFloat),
+}
+
+impl SlotVal {
+    pub(crate) fn to_f64(&self) -> f64 {
+        match self {
+            SlotVal::Soft(s) => s.to_f64(),
+            SlotVal::Big(b) => b.to_f64(),
+        }
+    }
+}
+
+/// One shadow slot: truncated value + FP64 shadow (Fig. 5b's `_raptor_fp`).
+#[derive(Clone, Debug)]
+pub(crate) struct Slot {
+    pub(crate) val: SlotVal,
+    pub(crate) shadow: f64,
+}
+
+/// Per-location flag statistics.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocStats {
+    /// Operations executed at this location.
+    pub ops: u64,
+    /// Operations whose truncated result deviated from the FP64 shadow by
+    /// more than the configured threshold.
+    pub flags: u64,
+    /// Largest relative deviation observed.
+    pub max_dev: f64,
+    /// Sum of relative deviations (for the mean).
+    pub sum_dev: f64,
+}
+
+/// A per-location entry of the mem-mode debugging report.
+#[derive(Clone, Debug)]
+pub struct LocReport {
+    /// Source location.
+    pub loc: SrcLoc,
+    /// Statistics collected at that location.
+    pub stats: LocStats,
+}
+
+impl LocReport {
+    /// Mean relative deviation at this location.
+    pub fn mean_dev(&self) -> f64 {
+        if self.stats.ops == 0 {
+            0.0
+        } else {
+            self.stats.sum_dev / self.stats.ops as f64
+        }
+    }
+}
+
+/// Shared mem-mode state of a session.
+#[derive(Default)]
+pub(crate) struct MemState {
+    pub(crate) slots: Vec<Slot>,
+    pub(crate) stats: HashMap<SrcLoc, LocStats>,
+    pub(crate) auto_promotions: u64,
+}
+
+impl MemState {
+    pub(crate) fn live_slots(&self) -> usize {
+        self.slots.len()
+    }
+
+    pub(crate) fn clear_slab(&mut self) {
+        self.slots.clear();
+    }
+
+    pub(crate) fn reset_stats(&mut self) {
+        self.stats.clear();
+        self.auto_promotions = 0;
+    }
+
+    /// Insert a slot and return its handle.
+    pub(crate) fn push(&mut self, slot: Slot) -> f64 {
+        let idx = self.slots.len();
+        self.slots.push(slot);
+        encode_handle(idx)
+    }
+
+    /// Resolve a carrier value into (truncated value, shadow), auto-
+    /// promoting raw values that never went through `pre()`.
+    pub(crate) fn resolve(
+        &mut self,
+        x: f64,
+        prec: u32,
+        clamp: Option<Format>,
+        round: RoundMode,
+    ) -> (SlotVal, f64) {
+        if let Some(idx) = decode_handle(x) {
+            if let Some(slot) = self.slots.get(idx) {
+                return (slot.val.clone(), slot.shadow);
+            }
+        }
+        self.auto_promotions += 1;
+        (make_val(x, prec, clamp, round), x)
+    }
+
+    /// Record an operation's deviation at a location.
+    pub(crate) fn record(&mut self, loc: SrcLoc, rel_dev: f64, threshold: f64) {
+        let e = self.stats.entry(loc).or_default();
+        e.ops += 1;
+        e.sum_dev += rel_dev;
+        if rel_dev > e.max_dev {
+            e.max_dev = rel_dev;
+        }
+        if rel_dev > threshold {
+            e.flags += 1;
+        }
+    }
+
+    /// Sorted report: most-flagged locations first (the §6.3 heatmap).
+    pub(crate) fn report(&self) -> Vec<LocReport> {
+        let mut v: Vec<LocReport> = self
+            .stats
+            .iter()
+            .map(|(loc, stats)| LocReport { loc: *loc, stats: *stats })
+            .collect();
+        v.sort_by(|a, b| {
+            b.stats
+                .flags
+                .cmp(&a.stats.flags)
+                .then(b.stats.max_dev.partial_cmp(&a.stats.max_dev).unwrap_or(core::cmp::Ordering::Equal))
+                .then(a.loc.cmp(&b.loc))
+        });
+        v
+    }
+}
+
+/// Build a truncated representation of a raw f64 at `prec` bits, optionally
+/// clamped to a format's exponent range.
+pub(crate) fn make_val(x: f64, prec: u32, clamp: Option<Format>, round: RoundMode) -> SlotVal {
+    if prec <= 62 {
+        let s = SoftFloat::from_f64(x);
+        let r = match clamp {
+            Some(fmt) => fmt.round_soft(&s.round_to_prec_checked_pub(prec, round), round),
+            None => s.round_to_prec_checked_pub(prec, round),
+        };
+        SlotVal::Soft(r)
+    } else {
+        SlotVal::Big(BigFloat::from_f64(x).round_to_prec(prec, round))
+    }
+}
+
+/// Relative deviation between a truncated result and its FP64 shadow.
+pub(crate) fn rel_deviation(truncated: f64, shadow: f64) -> f64 {
+    if truncated == shadow {
+        return 0.0;
+    }
+    if truncated.is_nan() && shadow.is_nan() {
+        return 0.0;
+    }
+    if !truncated.is_finite() || !shadow.is_finite() {
+        return f64::INFINITY;
+    }
+    let denom = shadow.abs().max(f64::MIN_POSITIVE.sqrt());
+    (truncated - shadow).abs() / denom
+}
+
+// Small helper so make_val can round non-normal values safely.
+trait RoundChecked {
+    fn round_to_prec_checked_pub(&self, prec: u32, mode: RoundMode) -> SoftFloat;
+}
+
+impl RoundChecked for SoftFloat {
+    fn round_to_prec_checked_pub(&self, prec: u32, mode: RoundMode) -> SoftFloat {
+        if self.is_finite() && !self.is_zero() {
+            self.round_to_prec(prec, mode)
+        } else {
+            *self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_roundtrip_and_detection() {
+        for idx in [0usize, 1, 42, 1 << 20, (1 << 40) + 7] {
+            let h = encode_handle(idx);
+            assert!(h.is_nan(), "handles are NaN-boxed");
+            assert_eq!(decode_handle(h), Some(idx));
+        }
+        assert_eq!(decode_handle(1.5), None);
+        assert_eq!(decode_handle(f64::NAN), None, "genuine NaN is not a handle");
+        assert_eq!(decode_handle(f64::INFINITY), None);
+        assert_eq!(decode_handle(0.0), None);
+    }
+
+    #[test]
+    fn resolve_auto_promotes_raw_values() {
+        let mut m = MemState::default();
+        let (v, sh) = m.resolve(0.1, 11, None, RoundMode::NearestEven);
+        assert_eq!(sh, 0.1);
+        // 0.1 at 11 bits is visibly coarser.
+        assert!((v.to_f64() - 0.1).abs() > 1e-6);
+        assert_eq!(m.auto_promotions, 1);
+    }
+
+    #[test]
+    fn slab_push_and_resolve() {
+        let mut m = MemState::default();
+        let h = m.push(Slot { val: make_val(2.5, 24, None, RoundMode::NearestEven), shadow: 2.5 });
+        let (v, sh) = m.resolve(h, 24, None, RoundMode::NearestEven);
+        assert_eq!(v.to_f64(), 2.5);
+        assert_eq!(sh, 2.5);
+        assert_eq!(m.auto_promotions, 0);
+        assert_eq!(m.live_slots(), 1);
+        m.clear_slab();
+        assert_eq!(m.live_slots(), 0);
+    }
+
+    #[test]
+    fn high_precision_slots_use_bigfloat() {
+        let v = make_val(1.0 / 3.0, 120, None, RoundMode::NearestEven);
+        assert!(matches!(v, SlotVal::Big(_)));
+        let v2 = make_val(1.0 / 3.0, 24, None, RoundMode::NearestEven);
+        assert!(matches!(v2, SlotVal::Soft(_)));
+    }
+
+    #[test]
+    fn deviation_metric() {
+        assert_eq!(rel_deviation(1.0, 1.0), 0.0);
+        assert!((rel_deviation(1.01, 1.0) - 0.01).abs() < 1e-12);
+        assert_eq!(rel_deviation(f64::INFINITY, 1.0), f64::INFINITY);
+        assert_eq!(rel_deviation(f64::NAN, f64::NAN), 0.0);
+    }
+
+    #[test]
+    fn flag_recording_and_report_order() {
+        let mut m = MemState::default();
+        let l1 = SrcLoc { file: "a.rs", line: 1, col: 1 };
+        let l2 = SrcLoc { file: "b.rs", line: 2, col: 2 };
+        m.record(l1, 0.5, 0.1); // flag
+        m.record(l1, 0.0, 0.1);
+        m.record(l2, 0.2, 0.1); // flag
+        m.record(l2, 0.3, 0.1); // flag
+        let rep = m.report();
+        assert_eq!(rep[0].loc, l2);
+        assert_eq!(rep[0].stats.flags, 2);
+        assert_eq!(rep[1].loc, l1);
+        assert_eq!(rep[1].stats.flags, 1);
+        assert_eq!(rep[1].stats.ops, 2);
+        assert!((rep[1].mean_dev() - 0.25).abs() < 1e-12);
+    }
+}

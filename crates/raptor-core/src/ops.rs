@@ -1,0 +1,873 @@
+//! The runtime operations the "instrumented" arithmetic calls into —
+//! the Rust analog of `_raptor_add_f32(a, b, to_e, to_m, loc)` in Fig. 5.
+//!
+//! Every [`crate::Tracked`] arithmetic operator funnels through [`op2`],
+//! [`op_sqrt`], [`op_fma`], [`op_math`] and friends. When no session is
+//! installed, or truncation is not
+//! active for the current region/level, the op executes natively (and is
+//! optionally counted). Otherwise it is dispatched to the configured
+//! emulation path:
+//!
+//! * `Soft` — operands are rounded into the target format and the operation
+//!   is performed by the single-rounding [`Format`] arithmetic (the
+//!   scratch-optimised path; Fig. 4b).
+//! * `Big` — the same computation driven through heap-allocating
+//!   [`BigFloat`] values, one allocation per operand and result, mirroring
+//!   the naive `mpfr_init2`-per-op runtime (Fig. 5a) that Table 3 compares
+//!   against.
+//! * `Native` — hardware f32 (or f64 identity) arithmetic: RAPTOR's
+//!   zero-overhead "hardware types" path, which also models the GPU
+//!   restriction to native formats.
+
+use crate::config::{Config, EmulPath, Mode};
+use crate::context::{ActiveCtx, ACTIVE};
+use crate::counters::OpKind;
+use crate::memmode::{self, rel_deviation, SlotVal, SrcLoc};
+use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
+
+/// Math-library functions the runtime understands (paper §7.3: "not all
+/// elementary functions are implemented, but adding additional functions is
+/// trivial if MPFR already supports them" — same story here with
+/// `SoftFloat`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MathFn {
+    Exp,
+    Exp2,
+    ExpM1,
+    Ln,
+    Ln1p,
+    Log2,
+    Log10,
+    Sin,
+    Cos,
+    Tan,
+    Asin,
+    Acos,
+    Atan,
+    Sinh,
+    Cosh,
+    Tanh,
+    Cbrt,
+    Floor,
+    Ceil,
+    Trunc,
+    Round,
+}
+
+impl MathFn {
+    fn eval_f64(self, x: f64) -> f64 {
+        match self {
+            MathFn::Exp => x.exp(),
+            MathFn::Exp2 => x.exp2(),
+            MathFn::ExpM1 => x.exp_m1(),
+            MathFn::Ln => x.ln(),
+            MathFn::Ln1p => x.ln_1p(),
+            MathFn::Log2 => x.log2(),
+            MathFn::Log10 => x.log10(),
+            MathFn::Sin => x.sin(),
+            MathFn::Cos => x.cos(),
+            MathFn::Tan => x.tan(),
+            MathFn::Asin => x.asin(),
+            MathFn::Acos => x.acos(),
+            MathFn::Atan => x.atan(),
+            MathFn::Sinh => x.sinh(),
+            MathFn::Cosh => x.cosh(),
+            MathFn::Tanh => x.tanh(),
+            MathFn::Cbrt => x.cbrt(),
+            MathFn::Floor => x.floor(),
+            MathFn::Ceil => x.ceil(),
+            MathFn::Trunc => x.trunc(),
+            MathFn::Round => x.round(),
+        }
+    }
+
+    fn eval_soft(self, x: &SoftFloat, prec: u32, rm: RoundMode) -> SoftFloat {
+        match self {
+            MathFn::Exp => x.exp(prec, rm),
+            MathFn::Exp2 => x.exp2(prec, rm),
+            MathFn::ExpM1 => x.exp_m1(prec, rm),
+            MathFn::Ln => x.ln(prec, rm),
+            MathFn::Ln1p => x.ln_1p(prec, rm),
+            MathFn::Log2 => x.log2(prec, rm),
+            MathFn::Log10 => x.log10(prec, rm),
+            MathFn::Sin => x.sin(prec, rm),
+            MathFn::Cos => x.cos(prec, rm),
+            MathFn::Tan => x.tan(prec, rm),
+            MathFn::Asin => x.asin(prec, rm),
+            MathFn::Acos => x.acos(prec, rm),
+            MathFn::Atan => x.atan(prec, rm),
+            MathFn::Sinh => x.sinh(prec, rm),
+            MathFn::Cosh => x.cosh(prec, rm),
+            MathFn::Tanh => x.tanh(prec, rm),
+            MathFn::Cbrt => x.cbrt(prec, rm),
+            MathFn::Floor => x.floor(prec, rm),
+            MathFn::Ceil => x.ceil(prec, rm),
+            MathFn::Trunc => x.trunc_int(prec, rm),
+            MathFn::Round => x.round_int(prec, rm),
+        }
+    }
+}
+
+#[inline]
+fn raw2(kind: OpKind, a: f64, b: f64) -> f64 {
+    match kind {
+        OpKind::Add => a + b,
+        OpKind::Sub => a - b,
+        OpKind::Mul => a * b,
+        OpKind::Div => a / b,
+        _ => unreachable!("raw2 handles binary arithmetic only"),
+    }
+}
+
+/// Binary arithmetic entry point.
+#[inline]
+#[track_caller]
+pub fn op2(kind: OpKind, a: f64, b: f64) -> f64 {
+    let loc = std::panic::Location::caller();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            None => raw2(kind, a, b),
+            Some(act) => {
+                if !act.active {
+                    if act.sess.inner.config.count_full_ops {
+                        act.local.full.bump(kind);
+                    }
+                    return raw2(kind, resolve_in_ctx(act, a), resolve_in_ctx(act, b));
+                }
+                act.local.trunc.bump(kind);
+                let cfg = &act.sess.inner.config;
+                match cfg.mode {
+                    Mode::Op => emulate2(cfg, kind, a, b),
+                    Mode::Mem => mem_op2(act, kind, a, b, loc.into()),
+                }
+            }
+        }
+    })
+}
+
+/// Square-root entry point.
+#[inline]
+#[track_caller]
+pub fn op_sqrt(a: f64) -> f64 {
+    let loc = std::panic::Location::caller();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            None => a.sqrt(),
+            Some(act) => {
+                if !act.active {
+                    if act.sess.inner.config.count_full_ops {
+                        act.local.full.bump(OpKind::Sqrt);
+                    }
+                    return resolve_in_ctx(act, a).sqrt();
+                }
+                act.local.trunc.bump(OpKind::Sqrt);
+                let cfg = &act.sess.inner.config;
+                match cfg.mode {
+                    Mode::Op => emulate_sqrt(cfg, a),
+                    Mode::Mem => mem_sqrt(act, a, loc.into()),
+                }
+            }
+        }
+    })
+}
+
+/// Fused multiply-add entry point (`a * b + c`).
+#[inline]
+#[track_caller]
+pub fn op_fma(a: f64, b: f64, c: f64) -> f64 {
+    let loc = std::panic::Location::caller();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            None => a.mul_add(b, c),
+            Some(act) => {
+                if !act.active {
+                    if act.sess.inner.config.count_full_ops {
+                        act.local.full.bump(OpKind::Fma);
+                    }
+                    return resolve_in_ctx(act, a).mul_add(resolve_in_ctx(act, b), resolve_in_ctx(act, c));
+                }
+                act.local.trunc.bump(OpKind::Fma);
+                let cfg = &act.sess.inner.config;
+                match cfg.mode {
+                    Mode::Op => emulate_fma(cfg, a, b, c),
+                    Mode::Mem => mem_fma(act, a, b, c, loc.into()),
+                }
+            }
+        }
+    })
+}
+
+/// Math-library entry point.
+#[inline]
+#[track_caller]
+pub fn op_math(f: MathFn, a: f64) -> f64 {
+    let loc = std::panic::Location::caller();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            None => f.eval_f64(a),
+            Some(act) => {
+                if !act.active {
+                    if act.sess.inner.config.count_full_ops {
+                        act.local.full.bump(OpKind::Math);
+                    }
+                    return f.eval_f64(resolve_in_ctx(act, a));
+                }
+                act.local.trunc.bump(OpKind::Math);
+                let cfg = &act.sess.inner.config;
+                match cfg.mode {
+                    Mode::Op => emulate_math(cfg, f, a),
+                    Mode::Mem => mem_math(act, f, a, loc.into()),
+                }
+            }
+        }
+    })
+}
+
+/// Binary power `a^b` (counted as a math call).
+#[inline]
+#[track_caller]
+pub fn op_powf(a: f64, b: f64) -> f64 {
+    let loc = std::panic::Location::caller();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            None => a.powf(b),
+            Some(act) => {
+                if !act.active {
+                    if act.sess.inner.config.count_full_ops {
+                        act.local.full.bump(OpKind::Math);
+                    }
+                    return resolve_in_ctx(act, a).powf(resolve_in_ctx(act, b));
+                }
+                act.local.trunc.bump(OpKind::Math);
+                let cfg = &act.sess.inner.config;
+                match cfg.mode {
+                    Mode::Op => {
+                        let rm = cfg.round;
+                        let fmt = cfg.format;
+                        let p = fmt.precision();
+                        match cfg.resolved_path() {
+                            EmulPath::Native => native_pow(fmt, a, b),
+                            _ => {
+                                let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+                                let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
+                                fmt.round_soft(&sa.pow(&sb, p, rm), rm).to_f64()
+                            }
+                        }
+                    }
+                    Mode::Mem => mem_pow(act, a, b, loc.into()),
+                }
+            }
+        }
+    })
+}
+
+/// Exact sign manipulations (not counted as FP ops, never rounded).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SignOp {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+}
+
+/// Sign operation entry point. Exact: no rounding, no op count, no flag —
+/// but in mem-mode it must still produce a fresh shadow slot so the
+/// truncated value and the FP64 shadow both carry the sign change.
+#[inline]
+pub fn op_sign(a: f64, op: SignOp) -> f64 {
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(act) if act.sess.inner.config.mode == Mode::Mem && act.active => {
+                if let Some(idx) = memmode::decode_handle(a) {
+                    let mut mem = act.sess.inner.mem.lock();
+                    if let Some(s) = mem.slots.get(idx) {
+                        let (val, shadow) = match op {
+                            SignOp::Neg => (
+                                match &s.val {
+                                    SlotVal::Soft(x) => SlotVal::Soft(x.neg()),
+                                    SlotVal::Big(b) => SlotVal::Big(b.neg()),
+                                },
+                                -s.shadow,
+                            ),
+                            SignOp::Abs => (
+                                match &s.val {
+                                    SlotVal::Soft(x) => SlotVal::Soft(x.abs()),
+                                    SlotVal::Big(b) => SlotVal::Big(b.abs()),
+                                },
+                                s.shadow.abs(),
+                            ),
+                        };
+                        return mem.push(crate::memmode::Slot { val, shadow });
+                    }
+                }
+                match op {
+                    SignOp::Neg => -a,
+                    SignOp::Abs => a.abs(),
+                }
+            }
+            _ => match op {
+                SignOp::Neg => -a,
+                SignOp::Abs => a.abs(),
+            },
+        }
+    })
+}
+
+/// Two-argument arctangent entry point (quadrant-aware math call).
+#[inline]
+#[track_caller]
+pub fn op_atan2(y: f64, x: f64) -> f64 {
+    let loc = std::panic::Location::caller();
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            None => y.atan2(x),
+            Some(act) => {
+                if !act.active {
+                    if act.sess.inner.config.count_full_ops {
+                        act.local.full.bump(OpKind::Math);
+                    }
+                    return resolve_in_ctx(act, y).atan2(resolve_in_ctx(act, x));
+                }
+                act.local.trunc.bump(OpKind::Math);
+                let cfg = &act.sess.inner.config;
+                let fmt = cfg.format;
+                let rm = cfg.round;
+                match cfg.mode {
+                    Mode::Op => match cfg.resolved_path() {
+                        EmulPath::Native => {
+                            if fmt == Format::FP64 {
+                                y.atan2(x)
+                            } else {
+                                ((y as f32).atan2(x as f32)) as f64
+                            }
+                        }
+                        _ => {
+                            let sy = SoftFloat::from_f64(fmt.round_f64(y, rm));
+                            let sx = SoftFloat::from_f64(fmt.round_f64(x, rm));
+                            fmt.round_soft(&sy.atan2(&sx, fmt.precision(), rm), rm).to_f64()
+                        }
+                    },
+                    Mode::Mem => {
+                        let (prec, clamp, rm, threshold) = mem_params(cfg);
+                        let mut mem = act.sess.inner.mem.lock();
+                        let (vy, shy) = mem.resolve(y, prec, clamp, rm);
+                        let (vx, shx) = mem.resolve(x, prec, clamp, rm);
+                        let shadow = shy.atan2(shx);
+                        let r = vy.to_f64().atan2(vx.to_f64());
+                        let val = memmode::make_val(r, prec, clamp, rm);
+                        mem.record(loc.into(), rel_deviation(val.to_f64(), shadow), threshold);
+                        mem.push(crate::memmode::Slot { val, shadow })
+                    }
+                }
+            }
+        }
+    })
+}
+
+/// Resolve a possible mem-mode handle into its truncated value (identity
+/// for raw values and in op-mode). Used when values escape the truncated
+/// region into untruncated arithmetic or comparisons.
+#[inline]
+pub fn resolve(x: f64) -> f64 {
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(act) if act.sess.inner.config.mode == Mode::Mem => resolve_in_ctx(act, x),
+            _ => x,
+        }
+    })
+}
+
+#[inline]
+fn resolve_in_ctx(act: &mut ActiveCtx, x: f64) -> f64 {
+    if act.sess.inner.config.mode != Mode::Mem {
+        return x;
+    }
+    if memmode::decode_handle(x).is_some() {
+        let mem = act.sess.inner.mem.lock();
+        if let Some(idx) = memmode::decode_handle(x) {
+            if let Some(s) = mem.slots.get(idx) {
+                return s.val.to_f64();
+            }
+        }
+    }
+    x
+}
+
+// ---------------------------------------------------------------------------
+// op-mode emulation
+// ---------------------------------------------------------------------------
+
+fn native2(fmt: Format, kind: OpKind, a: f64, b: f64) -> f64 {
+    if fmt == Format::FP64 {
+        return raw2(kind, a, b);
+    }
+    debug_assert_eq!(fmt, Format::FP32);
+    let (fa, fb) = (a as f32, b as f32);
+    (match kind {
+        OpKind::Add => fa + fb,
+        OpKind::Sub => fa - fb,
+        OpKind::Mul => fa * fb,
+        OpKind::Div => fa / fb,
+        _ => unreachable!(),
+    }) as f64
+}
+
+fn native_pow(fmt: Format, a: f64, b: f64) -> f64 {
+    if fmt == Format::FP64 {
+        a.powf(b)
+    } else {
+        ((a as f32).powf(b as f32)) as f64
+    }
+}
+
+fn emulate2(cfg: &Config, kind: OpKind, a: f64, b: f64) -> f64 {
+    let fmt = cfg.format;
+    let rm = cfg.round;
+    match cfg.resolved_path() {
+        EmulPath::Native => native2(fmt, kind, a, b),
+        EmulPath::Big => {
+            // Naive path: heap-allocated arbitrary-precision values per
+            // operation (mpfr_init2/mpfr_clear analog, Fig. 5a).
+            let p = fmt.precision();
+            let ba = BigFloat::from_f64(fmt.round_f64(a, rm));
+            let bb = BigFloat::from_f64(fmt.round_f64(b, rm));
+            let bc = match kind {
+                OpKind::Add => ba.add(&bb, p, rm),
+                OpKind::Sub => ba.sub(&bb, p, rm),
+                OpKind::Mul => ba.mul(&bb, p, rm),
+                OpKind::Div => ba.div(&bb, p, rm),
+                _ => unreachable!(),
+            };
+            fmt.round_soft(&bc.to_soft(), rm).to_f64()
+        }
+        _ => {
+            // Optimised path: allocation-free single-rounding format ops
+            // (scratch-pad analog, Fig. 4b).
+            let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+            let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
+            let r = match kind {
+                OpKind::Add => fmt.add(&sa, &sb, rm),
+                OpKind::Sub => fmt.sub(&sa, &sb, rm),
+                OpKind::Mul => fmt.mul(&sa, &sb, rm),
+                OpKind::Div => fmt.div(&sa, &sb, rm),
+                _ => unreachable!(),
+            };
+            r.to_f64()
+        }
+    }
+}
+
+fn emulate_sqrt(cfg: &Config, a: f64) -> f64 {
+    let fmt = cfg.format;
+    let rm = cfg.round;
+    match cfg.resolved_path() {
+        EmulPath::Native => {
+            if fmt == Format::FP64 {
+                a.sqrt()
+            } else {
+                ((a as f32).sqrt()) as f64
+            }
+        }
+        EmulPath::Big => {
+            let p = fmt.precision();
+            let ba = BigFloat::from_f64(fmt.round_f64(a, rm));
+            fmt.round_soft(&ba.sqrt(p, rm).to_soft(), rm).to_f64()
+        }
+        _ => {
+            let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+            fmt.sqrt(&sa, rm).to_f64()
+        }
+    }
+}
+
+fn emulate_fma(cfg: &Config, a: f64, b: f64, c: f64) -> f64 {
+    let fmt = cfg.format;
+    let rm = cfg.round;
+    match cfg.resolved_path() {
+        EmulPath::Native => {
+            if fmt == Format::FP64 {
+                a.mul_add(b, c)
+            } else {
+                ((a as f32).mul_add(b as f32, c as f32)) as f64
+            }
+        }
+        _ => {
+            let p = fmt.precision();
+            let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+            let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
+            let sc = SoftFloat::from_f64(fmt.round_f64(c, rm));
+            fmt.round_soft(&sa.fma(&sb, &sc, p, rm), rm).to_f64()
+        }
+    }
+}
+
+fn emulate_math(cfg: &Config, f: MathFn, a: f64) -> f64 {
+    let fmt = cfg.format;
+    let rm = cfg.round;
+    match cfg.resolved_path() {
+        EmulPath::Native => {
+            if fmt == Format::FP64 {
+                f.eval_f64(a)
+            } else {
+                (f.eval_f64((a as f32) as f64) as f32) as f64
+            }
+        }
+        _ => {
+            let p = fmt.precision();
+            let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+            fmt.round_soft(&f.eval_soft(&sa, p, rm), rm).to_f64()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// mem-mode operations
+// ---------------------------------------------------------------------------
+
+fn mem_params(cfg: &Config) -> (u32, Option<Format>, RoundMode, f64) {
+    let clamp = if cfg.mem_precision <= cfg.format.precision() {
+        Some(cfg.format)
+    } else {
+        None
+    };
+    (cfg.mem_precision, clamp, cfg.round, cfg.mem_threshold)
+}
+
+fn slot_op2(
+    kind: OpKind,
+    a: &SlotVal,
+    b: &SlotVal,
+    prec: u32,
+    clamp: Option<Format>,
+    rm: RoundMode,
+) -> SlotVal {
+    match (a, b) {
+        (SlotVal::Soft(x), SlotVal::Soft(y)) if prec <= 62 => {
+            let r = match (kind, clamp) {
+                (OpKind::Add, Some(f)) => f.add(x, y, rm),
+                (OpKind::Sub, Some(f)) => f.sub(x, y, rm),
+                (OpKind::Mul, Some(f)) => f.mul(x, y, rm),
+                (OpKind::Div, Some(f)) => f.div(x, y, rm),
+                (OpKind::Add, None) => x.add(y, prec, rm),
+                (OpKind::Sub, None) => x.sub(y, prec, rm),
+                (OpKind::Mul, None) => x.mul(y, prec, rm),
+                (OpKind::Div, None) => x.div(y, prec, rm),
+                _ => unreachable!(),
+            };
+            SlotVal::Soft(r)
+        }
+        _ => {
+            let bx = slot_to_big(a);
+            let by = slot_to_big(b);
+            let r = match kind {
+                OpKind::Add => bx.add(&by, prec, rm),
+                OpKind::Sub => bx.sub(&by, prec, rm),
+                OpKind::Mul => bx.mul(&by, prec, rm),
+                OpKind::Div => bx.div(&by, prec, rm),
+                _ => unreachable!(),
+            };
+            SlotVal::Big(r)
+        }
+    }
+}
+
+fn slot_to_big(v: &SlotVal) -> BigFloat {
+    match v {
+        SlotVal::Soft(s) => BigFloat::from_soft(s),
+        SlotVal::Big(b) => b.clone(),
+    }
+}
+
+fn mem_op2(act: &mut ActiveCtx, kind: OpKind, a: f64, b: f64, loc: SrcLoc) -> f64 {
+    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
+    let mut mem = act.sess.inner.mem.lock();
+    let (va, sha) = mem.resolve(a, prec, clamp, rm);
+    let (vb, shb) = mem.resolve(b, prec, clamp, rm);
+    let val = slot_op2(kind, &va, &vb, prec, clamp, rm);
+    let shadow = raw2(kind, sha, shb);
+    mem.record(loc, rel_deviation(val.to_f64(), shadow), threshold);
+    mem.push(crate::memmode::Slot { val, shadow })
+}
+
+fn mem_sqrt(act: &mut ActiveCtx, a: f64, loc: SrcLoc) -> f64 {
+    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
+    let mut mem = act.sess.inner.mem.lock();
+    let (va, sha) = mem.resolve(a, prec, clamp, rm);
+    let val = match (&va, prec <= 61) {
+        (SlotVal::Soft(x), true) => {
+            let r = match clamp {
+                Some(f) => f.sqrt(x, rm),
+                None => x.sqrt(prec.min(61), rm),
+            };
+            SlotVal::Soft(r)
+        }
+        _ => SlotVal::Big(slot_to_big(&va).sqrt(prec, rm)),
+    };
+    let shadow = sha.sqrt();
+    mem.record(loc, rel_deviation(val.to_f64(), shadow), threshold);
+    mem.push(crate::memmode::Slot { val, shadow })
+}
+
+fn mem_fma(act: &mut ActiveCtx, a: f64, b: f64, c: f64, loc: SrcLoc) -> f64 {
+    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
+    let mut mem = act.sess.inner.mem.lock();
+    let (va, sha) = mem.resolve(a, prec, clamp, rm);
+    let (vb, shb) = mem.resolve(b, prec, clamp, rm);
+    let (vc, shc) = mem.resolve(c, prec, clamp, rm);
+    let (ba, bb, bc) = (slot_to_big(&va), slot_to_big(&vb), slot_to_big(&vc));
+    let prod = ba.mul(&bb, 2 * prec + 2, rm);
+    let val = SlotVal::Big(prod.add(&bc, prec, rm));
+    let shadow = sha.mul_add(shb, shc);
+    mem.record(loc, rel_deviation(val.to_f64(), shadow), threshold);
+    mem.push(crate::memmode::Slot { val, shadow })
+}
+
+fn mem_math(act: &mut ActiveCtx, f: MathFn, a: f64, loc: SrcLoc) -> f64 {
+    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
+    let mut mem = act.sess.inner.mem.lock();
+    let (va, sha) = mem.resolve(a, prec, clamp, rm);
+    // Math functions at >62-bit precision fall back to 53-bit seeds
+    // (documented limitation; add/mul/div/sqrt stay correctly rounded).
+    let val = match &va {
+        SlotVal::Soft(x) if prec <= 62 => {
+            let r = f.eval_soft(x, prec, rm);
+            SlotVal::Soft(match clamp {
+                Some(fc) => fc.round_soft(&r, rm),
+                None => r,
+            })
+        }
+        _ => {
+            let x = slot_to_big(&va).to_f64();
+            SlotVal::Big(BigFloat::from_f64(f.eval_f64(x)).round_to_prec(prec, rm))
+        }
+    };
+    let shadow = f.eval_f64(sha);
+    mem.record(loc, rel_deviation(val.to_f64(), shadow), threshold);
+    mem.push(crate::memmode::Slot { val, shadow })
+}
+
+fn mem_pow(act: &mut ActiveCtx, a: f64, b: f64, loc: SrcLoc) -> f64 {
+    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
+    let mut mem = act.sess.inner.mem.lock();
+    let (va, sha) = mem.resolve(a, prec, clamp, rm);
+    let (vb, shb) = mem.resolve(b, prec, clamp, rm);
+    let val = match (&va, &vb) {
+        (SlotVal::Soft(x), SlotVal::Soft(y)) if prec <= 62 => {
+            let r = x.pow(y, prec, rm);
+            SlotVal::Soft(match clamp {
+                Some(fc) => fc.round_soft(&r, rm),
+                None => r,
+            })
+        }
+        _ => {
+            let x = slot_to_big(&va).to_f64();
+            let y = slot_to_big(&vb).to_f64();
+            SlotVal::Big(BigFloat::from_f64(x.powf(y)).round_to_prec(prec, rm))
+        }
+    };
+    let shadow = sha.powf(shb);
+    mem.record(loc, rel_deviation(val.to_f64(), shadow), threshold);
+    mem.push(crate::memmode::Slot { val, shadow })
+}
+
+/// mem-mode boundary conversion *into* the truncated region
+/// (`_raptor_pre_c` in Fig. 3c): allocate a shadow slot for `x` and return
+/// its handle.
+pub fn mem_pre(x: f64) -> f64 {
+    ACTIVE.with(|cell| {
+        let mut slot = cell.borrow_mut();
+        match slot.as_mut() {
+            Some(act) if act.sess.inner.config.mode == Mode::Mem => {
+                let (prec, clamp, rm, _) = mem_params(&act.sess.inner.config);
+                let mut mem = act.sess.inner.mem.lock();
+                let val = memmode::make_val(x, prec, clamp, rm);
+                mem.push(crate::memmode::Slot { val, shadow: x })
+            }
+            _ => x,
+        }
+    })
+}
+
+/// mem-mode boundary conversion *out of* the truncated region
+/// (`_raptor_post_c`): materialize the truncated value as a plain f64.
+pub fn mem_post(x: f64) -> f64 {
+    resolve(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::context::Session;
+    use bigfloat::Format;
+
+    #[test]
+    fn no_session_is_passthrough() {
+        assert_eq!(op2(OpKind::Add, 0.1, 0.2), 0.1 + 0.2);
+        assert_eq!(op_sqrt(2.0), 2f64.sqrt());
+        assert_eq!(op_math(MathFn::Sin, 1.0), 1f64.sin());
+    }
+
+    #[test]
+    fn op_mode_truncates_to_format() {
+        let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+        let _g = s.install();
+        // 0.1 + 0.2 in fp16 is visibly coarse.
+        let r = op2(OpKind::Add, 0.1, 0.2);
+        assert!((r - 0.3).abs() > 1e-5, "fp16 result {r} must differ from 0.3");
+        assert!((r - 0.3).abs() < 1e-3);
+        // Overflow behaves like fp16.
+        let big = op2(OpKind::Mul, 300.0, 300.0);
+        assert_eq!(big, f64::INFINITY);
+    }
+
+    #[test]
+    fn op_mode_fp32_native_matches_hardware() {
+        let s = Session::new(Config::op_all(Format::FP32)).unwrap();
+        let _g = s.install();
+        let r = op2(OpKind::Div, 1.0, 3.0);
+        assert_eq!(r, ((1.0f32 / 3.0f32) as f64));
+    }
+
+    #[test]
+    fn soft_and_big_paths_agree() {
+        use crate::config::EmulPath;
+        let fmt = Format::new(11, 12); // the Table 3 12-bit mantissa config
+        let cases = [(0.1, 0.7), (3.5, -1.25), (1e10, 3.0), (2.0, 3.0)];
+        for (a, b) in cases {
+            for kind in [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div] {
+                let s1 = Session::new(Config::op_all(fmt).with_path(EmulPath::Soft)).unwrap();
+                let r_soft = {
+                    let _g = s1.install();
+                    op2(kind, a, b)
+                };
+                let s2 = Session::new(Config::op_all(fmt).with_path(EmulPath::Big)).unwrap();
+                let r_big = {
+                    let _g = s2.install();
+                    op2(kind, a, b)
+                };
+                assert_eq!(r_soft.to_bits(), r_big.to_bits(), "{kind:?} {a} {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn counters_track_trunc_and_full() {
+        let cfg = Config::op_functions(Format::FP16, ["Kern"]).with_counting();
+        let s = Session::new(cfg).unwrap();
+        let g = s.install();
+        op2(OpKind::Add, 1.0, 2.0); // outside region: full
+        {
+            let _r = crate::context::region("Kern");
+            op2(OpKind::Add, 1.0, 2.0); // truncated
+            op2(OpKind::Mul, 1.0, 2.0); // truncated
+        }
+        drop(g);
+        let c = s.counters();
+        assert_eq!(c.full.add, 1);
+        assert_eq!(c.trunc.add, 1);
+        assert_eq!(c.trunc.mul, 1);
+        assert!((c.truncated_fraction() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mem_mode_tracks_and_flags() {
+        let cfg = Config::mem_functions(Format::new(11, 8), ["Kern"], 1e-6);
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let _r = crate::context::region("Kern");
+        // Feed values through pre-conversion, run a small chain.
+        let x = mem_pre(1.0 / 3.0);
+        let y = mem_pre(5.0 / 7.0);
+        let z = op2(OpKind::Mul, x, y);
+        let w = op2(OpKind::Add, z, x);
+        let out = mem_post(w);
+        // Truncated result differs from the f64 chain but is close.
+        let exact = (1.0 / 3.0) * (5.0 / 7.0) + (1.0 / 3.0);
+        assert!((out - exact).abs() > 1e-12, "9-bit chain must deviate");
+        assert!((out - exact).abs() < 1e-2);
+        let flags = s.mem_flags();
+        assert!(!flags.is_empty());
+        assert!(flags.iter().all(|f| f.stats.ops >= 1));
+        // Handles are NaN-boxed while inside the region.
+        assert!(z.is_nan());
+        assert!(!out.is_nan());
+    }
+
+    #[test]
+    fn mem_mode_shadow_tracks_fp64_exactly() {
+        // With a generous threshold nothing is flagged; shadow must equal
+        // the plain f64 chain.
+        let cfg = Config::mem_functions(Format::new(11, 4), ["Kern"], f64::INFINITY);
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let _r = crate::context::region("Kern");
+        let mut h = mem_pre(1.0);
+        let mut plain = 1.0f64;
+        for i in 1..=10 {
+            // Non-dyadic factors so intermediates are never exactly
+            // representable at 5 bits.
+            let k = 1.0 + 1.0 / (3.0 * i as f64);
+            h = op2(OpKind::Mul, h, k);
+            plain *= k;
+        }
+        // The shadow inside the final slot equals the untruncated chain.
+        let mem = s.inner.mem.lock();
+        let idx = crate::memmode::decode_handle(h).unwrap();
+        assert_eq!(mem.slots[idx].shadow, plain);
+        // And the truncated value deviates (4-bit mantissa).
+        assert!((mem.slots[idx].val.to_f64() - plain).abs() > 1e-9);
+    }
+
+    #[test]
+    fn mem_mode_precision_increase() {
+        // Store at 120 bits: a chain that loses bits in f64 keeps them.
+        let cfg = Config::mem_functions(Format::FP64, ["Kern"], f64::INFINITY)
+            .with_mem_precision(120);
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let _r = crate::context::region("Kern");
+        let one = mem_pre(1.0);
+        let tiny = mem_pre(2f64.powi(-70));
+        let sum = op2(OpKind::Add, one, tiny);
+        let diff = op2(OpKind::Sub, sum, one);
+        let out = mem_post(diff);
+        assert_eq!(out, 2f64.powi(-70), "120-bit storage preserves the tiny addend");
+        // The FP64 shadow of the same chain collapses to zero.
+        let mem = s.inner.mem.lock();
+        let idx = crate::memmode::decode_handle(diff).unwrap();
+        assert_eq!(mem.slots[idx].shadow, 0.0);
+    }
+
+    #[test]
+    fn excluded_region_runs_full_precision() {
+        let cfg = Config::op_files(Format::new(11, 4), ["Hydro"]).with_exclude(["Hydro/recon"]);
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let _r = crate::context::region("Hydro/flux");
+        let coarse = op2(OpKind::Add, 0.1, 0.2);
+        assert!((coarse - 0.3).abs() > 1e-6);
+        let _r2 = crate::context::region("Hydro/recon");
+        let fine = op2(OpKind::Add, 0.1, 0.2);
+        assert_eq!(fine, 0.1 + 0.2);
+    }
+
+    #[test]
+    fn rounding_mode_is_honored() {
+        let mut cfg = Config::op_all(Format::new(11, 8));
+        cfg.round = bigfloat::RoundMode::TowardZero;
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let down = op2(OpKind::Add, 1.0, 1e-6);
+        assert_eq!(down, 1.0, "toward-zero drops the tiny addend");
+    }
+}

@@ -1,0 +1,119 @@
+//! Human-readable profiling reports ("RAPTOR ... dumps the collected
+//! statistics when instructed by the user", §6.3).
+
+use crate::context::Session;
+use crate::counters::Counters;
+use crate::memmode::LocReport;
+
+/// Everything a profiling session collected, ready for display.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Human-readable configuration summary.
+    pub config: String,
+    /// Operation and memory counters.
+    pub counters: Counters,
+    /// mem-mode per-location flag statistics (empty in op-mode).
+    pub flags: Vec<LocReport>,
+    /// Runtime warnings.
+    pub warnings: Vec<String>,
+}
+
+impl Session {
+    /// Build a [`Report`] from the session's current state.
+    pub fn report(&self) -> Report {
+        let cfg = self.config();
+        Report {
+            config: format!(
+                "mode={:?} format={} round={:?} path={:?} scope={:?} exclude={:?} cutoff={:?}",
+                cfg.mode, cfg.format, cfg.round, cfg.resolved_path(), cfg.scope, cfg.exclude,
+                cfg.cutoff
+            ),
+            counters: self.counters(),
+            flags: self.mem_flags(),
+            warnings: self.warnings(),
+        }
+    }
+}
+
+impl core::fmt::Display for Report {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        writeln!(f, "RAPTOR profile")?;
+        writeln!(f, "  config: {}", self.config)?;
+        let c = &self.counters;
+        writeln!(
+            f,
+            "  flops: truncated {} ({:.1}%), full {}",
+            c.trunc.total(),
+            100.0 * c.truncated_fraction(),
+            c.full.total()
+        )?;
+        writeln!(
+            f,
+            "    trunc  add {} sub {} mul {} div {} sqrt {} fma {} math {}",
+            c.trunc.add, c.trunc.sub, c.trunc.mul, c.trunc.div, c.trunc.sqrt, c.trunc.fma,
+            c.trunc.math
+        )?;
+        writeln!(
+            f,
+            "    full   add {} sub {} mul {} div {} sqrt {} fma {} math {}",
+            c.full.add, c.full.sub, c.full.mul, c.full.div, c.full.sqrt, c.full.fma, c.full.math
+        )?;
+        writeln!(
+            f,
+            "  memory: truncated {} B, full {} B",
+            c.trunc_bytes, c.full_bytes
+        )?;
+        if !self.flags.is_empty() {
+            writeln!(f, "  mem-mode deviation heatmap (top {}):", self.flags.len().min(10))?;
+            for r in self.flags.iter().take(10) {
+                writeln!(
+                    f,
+                    "    {}  ops {}  flags {}  max_dev {:.3e}  mean_dev {:.3e}",
+                    r.loc, r.stats.ops, r.stats.flags, r.stats.max_dev, r.mean_dev()
+                )?;
+            }
+        }
+        for w in self.warnings.iter().take(5) {
+            writeln!(f, "  warning: {w}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::counters::OpKind;
+    use crate::ops::op2;
+    use bigfloat::Format;
+
+    #[test]
+    fn report_renders_counters_and_config() {
+        let s = Session::new(Config::op_all(Format::FP16).with_counting()).unwrap();
+        {
+            let _g = s.install();
+            op2(OpKind::Add, 1.0, 2.0);
+            op2(OpKind::Div, 1.0, 3.0);
+        }
+        let rep = s.report();
+        let text = format!("{rep}");
+        assert!(text.contains("RAPTOR profile"));
+        assert!(text.contains("e5m10"));
+        assert!(text.contains("truncated 2 (100.0%)"));
+    }
+
+    #[test]
+    fn report_includes_mem_flags() {
+        let s = Session::new(Config::mem_functions(Format::new(11, 4), ["K"], 1e-9)).unwrap();
+        {
+            let _g = s.install();
+            let _r = crate::context::region("K");
+            let x = crate::ops::mem_pre(1.0 / 3.0);
+            let _y = op2(OpKind::Mul, x, x);
+        }
+        let text = format!("{}", s.report());
+        assert!(text.contains("deviation heatmap"), "got: {text}");
+        assert!(text.contains("real.rs") || text.contains("report.rs") || text.contains(":"));
+    }
+}

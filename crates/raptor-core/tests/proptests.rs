@@ -1,0 +1,155 @@
+//! Property-based tests of the runtime's core guarantees.
+
+use bigfloat::Format;
+use proptest::prelude::*;
+use raptor_core::{region, Config, EmulPath, Real, Session, Tracked};
+
+fn moderate() -> impl Strategy<Value = f64> {
+    (-1e6f64..1e6).prop_filter("nonzero-ish", |v| v.abs() > 1e-6)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    /// With no session installed, Tracked is bit-identical to f64 for any
+    /// expression — instrumentation must be observationally free.
+    #[test]
+    fn untruncated_tracked_is_transparent(a in moderate(), b in moderate(), c in moderate()) {
+        let f = |x: f64, y: f64, z: f64| ((x + y) * z - x / y).abs().sqrt();
+        let t = |x: f64, y: f64, z: f64| {
+            let (x, y, z) = (Tracked::from_f64(x), Tracked::from_f64(y), Tracked::from_f64(z));
+            ((x + y) * z - x / y).abs().sqrt().to_f64()
+        };
+        prop_assert_eq!(f(a, b, c).to_bits(), t(a, b, c).to_bits());
+    }
+
+    /// op-mode truncation at m mantissa bits keeps every intermediate
+    /// within relative 2^-m of the f64 chain for well-conditioned ops.
+    #[test]
+    fn truncation_error_is_bounded_per_op(a in 0.1f64..100.0, b in 0.1f64..100.0, m in 8u32..40) {
+        let sess = Session::new(Config::op_all(Format::new(11, m))).unwrap();
+        let _g = sess.install();
+        let s = (Tracked::from_f64(a) * Tracked::from_f64(b)).to_f64();
+        let rel = ((s - a * b) / (a * b)).abs();
+        // Operand rounding + op rounding: 3 roundings, each <= 2^-(m+1).
+        prop_assert!(rel <= 3.0 * 2f64.powi(-(m as i32 + 1)) * 1.01, "rel {rel} at m={m}");
+    }
+
+    /// Truncating at 52 mantissa bits with exponent 11 is the identity.
+    #[test]
+    fn full_width_format_is_identity(a in moderate(), b in moderate()) {
+        let sess = Session::new(Config::op_all(Format::new(11, 52))).unwrap();
+        let _g = sess.install();
+        let t = (Tracked::from_f64(a) + Tracked::from_f64(b)).to_f64();
+        prop_assert_eq!(t.to_bits(), (a + b).to_bits());
+        let t = (Tracked::from_f64(a) / Tracked::from_f64(b)).to_f64();
+        prop_assert_eq!(t.to_bits(), (a / b).to_bits());
+    }
+
+    /// Soft (scratch) and Big (naive) emulation paths agree bitwise.
+    #[test]
+    fn naive_and_opt_paths_bitwise_equal(a in moderate(), b in moderate(), m in 2u32..52) {
+        let fmt = Format::new(11, m);
+        let run = |path: EmulPath| {
+            let sess = Session::new(Config::op_all(fmt).with_path(path)).unwrap();
+            let _g = sess.install();
+            let x = Tracked::from_f64(a);
+            let y = Tracked::from_f64(b);
+            [
+                (x + y).to_f64(),
+                (x - y).to_f64(),
+                (x * y).to_f64(),
+                (x / y).to_f64(),
+            ]
+        };
+        let s = run(EmulPath::Soft);
+        let n = run(EmulPath::Big);
+        for (i, (xs, xn)) in s.iter().zip(&n).enumerate() {
+            prop_assert_eq!(xs.to_bits(), xn.to_bits(), "op {} at m={}", i, m);
+        }
+    }
+
+    /// mem-mode results equal op-mode results for straight-line chains at
+    /// the same precision (paper: both execute the same truncated ops, the
+    /// difference is bookkeeping).
+    #[test]
+    fn mem_and_op_mode_agree_on_chains(a in 0.1f64..10.0, b in 0.1f64..10.0, m in 4u32..30) {
+        let fmt = Format::new(11, m);
+        let op_result = {
+            let sess = Session::new(Config::op_functions(fmt, ["K"])).unwrap();
+            let _g = sess.install();
+            raptor_core::truncated("K", || {
+                let x = Tracked::from_f64(a);
+                let y = Tracked::from_f64(b);
+                ((x + y) * x - y).to_f64()
+            })
+        };
+        let mem_result = {
+            let sess = Session::new(Config::mem_functions(fmt, ["K"], f64::INFINITY)).unwrap();
+            let _g = sess.install();
+            raptor_core::truncated("K", || {
+                let x = Tracked::mem_pre(a);
+                let y = Tracked::mem_pre(b);
+                ((x + y) * x - y).mem_post()
+            })
+        };
+        prop_assert_eq!(op_result.to_bits(), mem_result.to_bits(), "m={}", m);
+    }
+
+    /// Counters: the number of truncated ops equals the ops issued inside
+    /// active regions, independent of values.
+    #[test]
+    fn op_counts_are_exact(vals in prop::collection::vec(moderate(), 2..20)) {
+        let sess = Session::new(
+            Config::op_functions(Format::new(11, 8), ["K"]).with_counting(),
+        ).unwrap();
+        let g = sess.install();
+        let inside = raptor_core::truncated("K", || {
+            let mut acc = Tracked::from_f64(0.0);
+            for &v in &vals {
+                acc = acc + Tracked::from_f64(v); // one add each
+            }
+            acc
+        });
+        // Outside the region: full-precision ops.
+        let _out = inside * Tracked::from_f64(2.0);
+        drop(g);
+        let c = sess.counters();
+        prop_assert_eq!(c.trunc.add as usize, vals.len());
+        prop_assert_eq!(c.full.mul, 1);
+    }
+
+    /// Precision envelope: the error of a single multiply is bounded by
+    /// the format's rounding envelope at every mantissa width (error is
+    /// *not* strictly monotone in m — coarse roundings can cancel luckily —
+    /// but the envelope shrinks by 2x per bit and reaches zero at 52).
+    #[test]
+    fn error_envelope_shrinks_with_bits(a in 0.1f64..100.0, b in 0.1f64..100.0) {
+        let exact = a * b;
+        for m in [4u32, 8, 16, 24, 32, 40] {
+            let sess = Session::new(Config::op_all(Format::new(11, m))).unwrap();
+            let _g = sess.install();
+            let got = (Tracked::from_f64(a) * Tracked::from_f64(b)).to_f64();
+            let rel = ((got - exact) / exact).abs();
+            prop_assert!(rel <= 3.0 * 2f64.powi(-(m as i32 + 1)) * 1.01,
+                "m={m}: rel {rel}");
+        }
+        let sess = Session::new(Config::op_all(Format::new(11, 52))).unwrap();
+        let _g = sess.install();
+        let got = (Tracked::from_f64(a) * Tracked::from_f64(b)).to_f64();
+        prop_assert_eq!(got.to_bits(), exact.to_bits());
+    }
+
+    /// Region scoping is airtight: ops outside any matching region are
+    /// bit-identical to f64 even with a session installed.
+    #[test]
+    fn out_of_scope_ops_are_untouched(a in moderate(), b in moderate()) {
+        let sess = Session::new(Config::op_functions(Format::new(11, 4), ["Kern"])).unwrap();
+        let _g = sess.install();
+        {
+            let _r = region("Other/place");
+            let t = (Tracked::from_f64(a) * Tracked::from_f64(b)).to_f64();
+            prop_assert_eq!(t.to_bits(), (a * b).to_bits());
+        }
+    }
+}

@@ -1,0 +1,618 @@
+//! # raptor-ir — the instrumentation pass on a miniature IR
+//!
+//! RAPTOR's core compiler component is an LLVM-IR instrumentation pass
+//! (paper §3.3, Figs. 2a and 4): given a set of functions the user wants
+//! truncated, the pass (1) walks the call graph to find every transitively
+//! called function, (2) **clones** each of them so unrelated callers keep
+//! full-precision behaviour, (3) rewrites every floating-point operation
+//! in the clones into a call to the RAPTOR runtime carrying the target
+//! format and the source location, and (4) threads a **scratch-pad**
+//! parameter through the cloned signatures so the runtime can reuse
+//! temporary arbitrary-precision variables instead of allocating per
+//! operation (Fig. 4b) — "possible because RAPTOR is implemented as part
+//! of a compiler, and hence we can alter call graphs and function
+//! signatures".
+//!
+//! LLVM itself is unusable offline from pure Rust, so this crate supplies
+//! a small SSA-style IR with exactly the features the pass manipulates —
+//! functions, FP arithmetic, calls, external declarations — plus an
+//! interpreter that executes both original and instrumented modules. The
+//! pass mechanics are reproduced 1:1; the numeric behaviour of the
+//! emitted runtime calls matches `raptor-core`'s op-mode.
+
+#![warn(missing_docs)]
+
+use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// SSA value id (index into the defining function's instruction list;
+/// arguments occupy ids `0..nargs`).
+pub type ValId = usize;
+
+/// Binary floating-point operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    FAdd,
+    FSub,
+    FMul,
+    FDiv,
+}
+
+/// A source location attached to instructions (the `LOC_A = "f.cpp:10:11"`
+/// strings of Fig. 4a).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Loc {
+    /// Pseudo-line within the function body.
+    pub line: u32,
+}
+
+/// One IR instruction.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Inst {
+    /// Floating-point constant.
+    Const(f64),
+    /// Binary FP arithmetic.
+    Bin(BinOp, ValId, ValId),
+    /// Square root (stands in for libm calls the pass recognizes).
+    Sqrt(ValId),
+    /// Call to another function in the module, by name.
+    Call(String, Vec<ValId>),
+    /// Truncated binary op emitted by the pass:
+    /// `_raptor_<op>_f64(a, b, e, m, loc, scratch)`.
+    RuntimeBin(BinOp, ValId, ValId, Format, Loc),
+    /// Truncated sqrt emitted by the pass.
+    RuntimeSqrt(ValId, Format, Loc),
+}
+
+/// A function: `nargs` parameters, a straight-line body, one return value.
+#[derive(Clone, Debug)]
+pub struct Function {
+    /// Symbol name.
+    pub name: String,
+    /// Parameter count.
+    pub nargs: usize,
+    /// Body instructions; instruction `k` defines value `nargs + k`.
+    pub body: Vec<(Inst, Loc)>,
+    /// Returned value id.
+    pub ret: ValId,
+    /// True for declarations without a body (external, pre-compiled
+    /// libraries — the pass cannot instrument them and must warn, §3.3).
+    pub external: bool,
+}
+
+impl Function {
+    /// Builder for a function with `nargs` parameters.
+    pub fn build(name: &str, nargs: usize) -> FunctionBuilder {
+        FunctionBuilder {
+            f: Function {
+                name: name.to_string(),
+                nargs,
+                body: Vec::new(),
+                ret: 0,
+                external: false,
+            },
+        }
+    }
+
+    /// Declare an external function (no body).
+    pub fn external(name: &str, nargs: usize) -> Function {
+        Function { name: name.to_string(), nargs, body: Vec::new(), ret: 0, external: true }
+    }
+}
+
+/// Incremental function builder.
+pub struct FunctionBuilder {
+    f: Function,
+}
+
+impl FunctionBuilder {
+    /// Append an instruction; returns its value id.
+    pub fn push(&mut self, inst: Inst) -> ValId {
+        let line = self.f.body.len() as u32 + 1;
+        self.f.body.push((inst, Loc { line }));
+        self.f.nargs + self.f.body.len() - 1
+    }
+
+    /// Finish, returning `ret`.
+    pub fn ret(mut self, ret: ValId) -> Function {
+        self.f.ret = ret;
+        self.f
+    }
+}
+
+/// A module: an ordered set of functions (the post-LTO merged view of
+/// Fig. 2a, where the pass sees the whole call graph).
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// Functions by definition order.
+    pub funcs: Vec<Function>,
+}
+
+impl Module {
+    /// Add a function.
+    pub fn add(&mut self, f: Function) {
+        assert!(self.get(&f.name).is_none(), "duplicate function {}", f.name);
+        self.funcs.push(f);
+    }
+
+    /// Find a function by name.
+    pub fn get(&self, name: &str) -> Option<&Function> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Direct callees of a function.
+    fn callees(&self, f: &Function) -> BTreeSet<String> {
+        f.body
+            .iter()
+            .filter_map(|(inst, _)| match inst {
+                Inst::Call(name, _) => Some(name.clone()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Transitive closure of callees starting from `roots` (the pass's
+    /// call-graph walk).
+    pub fn transitive_callees(&self, roots: &[&str]) -> BTreeSet<String> {
+        let mut seen: BTreeSet<String> = roots.iter().map(|s| s.to_string()).collect();
+        let mut work: Vec<String> = seen.iter().cloned().collect();
+        while let Some(name) = work.pop() {
+            if let Some(f) = self.get(&name) {
+                for c in self.callees(f) {
+                    if seen.insert(c.clone()) {
+                        work.push(c);
+                    }
+                }
+            }
+        }
+        seen
+    }
+}
+
+/// Naming convention for clones (Fig. 4a's `_foo_trunc_f32_to_5_8`).
+pub fn trunc_name(base: &str, fmt: Format) -> String {
+    format!("_{base}_trunc_f64_to_{}_{}", fmt.exp_bits(), fmt.man_bits())
+}
+
+/// Result of running the pass.
+#[derive(Clone, Debug, Default)]
+pub struct PassReport {
+    /// Functions that were cloned and instrumented.
+    pub instrumented: Vec<String>,
+    /// External callees that could not be instrumented (warned, §3.3:
+    /// "calls to pre-compiled external libraries are ignored and RAPTOR
+    /// emits a warning").
+    pub warnings: Vec<String>,
+}
+
+/// The RAPTOR truncation pass, function scope (op-mode).
+///
+/// Clones every function transitively reachable from `roots`, rewrites FP
+/// arithmetic into runtime calls at `fmt`, and redirects internal calls to
+/// the clones. Original functions are left untouched ("all affected
+/// functions are cloned ... to preserve the behavior of unrelated code").
+pub fn truncate_functions(module: &mut Module, roots: &[&str], fmt: Format) -> PassReport {
+    let targets = module.transitive_callees(roots);
+    let mut report = PassReport::default();
+    let mut clones = Vec::new();
+    for name in &targets {
+        let f = match module.get(name) {
+            Some(f) => f,
+            None => {
+                report.warnings.push(format!("unknown function `{name}` ignored"));
+                continue;
+            }
+        };
+        if f.external {
+            report
+                .warnings
+                .push(format!("external function `{name}` cannot be instrumented; call left at full precision"));
+            continue;
+        }
+        let mut clone = f.clone();
+        clone.name = trunc_name(name, fmt);
+        for (inst, loc) in clone.body.iter_mut() {
+            *inst = match inst.clone() {
+                Inst::Bin(op, a, b) => Inst::RuntimeBin(op, a, b, fmt, *loc),
+                Inst::Sqrt(a) => Inst::RuntimeSqrt(a, fmt, *loc),
+                Inst::Call(callee, args) => {
+                    // Redirect to the callee's clone unless it is external
+                    // or unknown.
+                    let instrumentable = module
+                        .get(&callee)
+                        .map(|c| !c.external)
+                        .unwrap_or(false);
+                    if instrumentable {
+                        Inst::Call(trunc_name(&callee, fmt), args)
+                    } else {
+                        Inst::Call(callee, args)
+                    }
+                }
+                other => other,
+            };
+        }
+        report.instrumented.push(name.clone());
+        clones.push(clone);
+    }
+    for c in clones {
+        module.add(c);
+    }
+    report
+}
+
+/// Multi-format truncation (the §7.3 extension: "deciding the truncation
+/// level at runtime can be achieved by compiling multiple function
+/// pointers for different truncations and conditionally using them").
+///
+/// Runs [`truncate_functions`] once per format; the caller selects a clone
+/// by name at run time via [`trunc_name`].
+pub fn truncate_functions_multi(
+    module: &mut Module,
+    roots: &[&str],
+    formats: &[Format],
+) -> Vec<PassReport> {
+    formats.iter().map(|&fmt| truncate_functions(module, roots, fmt)).collect()
+}
+
+/// Program-scope truncation: instrument *every* defined function
+/// in place (`--raptor-truncate-all`). No cloning is needed because every
+/// caller is truncated too.
+pub fn truncate_all(module: &mut Module, fmt: Format) -> PassReport {
+    let mut report = PassReport::default();
+    for f in module.funcs.iter_mut() {
+        if f.external {
+            report.warnings.push(format!("external function `{}` skipped", f.name));
+            continue;
+        }
+        for (inst, loc) in f.body.iter_mut() {
+            *inst = match inst.clone() {
+                Inst::Bin(op, a, b) => Inst::RuntimeBin(op, a, b, fmt, *loc),
+                Inst::Sqrt(a) => Inst::RuntimeSqrt(a, fmt, *loc),
+                other => other,
+            };
+        }
+        report.instrumented.push(f.name.clone());
+    }
+    report
+}
+
+/// Scratch allocation strategy for the interpreter's runtime calls:
+/// the Table 3 "naive" vs "opt." distinction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScratchMode {
+    /// Allocate arbitrary-precision temporaries per operation
+    /// (`mpfr_init2`/`mpfr_clear` per call, Fig. 5a).
+    NaivePerOp,
+    /// Reuse a scratch pad allocated once per truncated-region entry
+    /// (Fig. 4b).
+    ReusedPad,
+}
+
+/// Execution statistics from the interpreter.
+#[derive(Clone, Debug, Default)]
+pub struct ExecStats {
+    /// Truncated runtime calls executed, by location.
+    pub runtime_calls: BTreeMap<Loc, u64>,
+    /// Full-precision FP instructions executed.
+    pub native_ops: u64,
+    /// Heap allocations attributable to the runtime (naive mode).
+    pub runtime_allocs: u64,
+}
+
+/// IR interpreter with an embedded RAPTOR runtime.
+pub struct Interp<'m> {
+    module: &'m Module,
+    /// Scratch strategy.
+    pub scratch: ScratchMode,
+    /// Statistics.
+    pub stats: ExecStats,
+    /// External function implementations (name -> closure).
+    pub externals: BTreeMap<String, Box<dyn Fn(&[f64]) -> f64>>,
+}
+
+impl<'m> Interp<'m> {
+    /// New interpreter over a module.
+    pub fn new(module: &'m Module, scratch: ScratchMode) -> Interp<'m> {
+        Interp { module, scratch, stats: ExecStats::default(), externals: BTreeMap::new() }
+    }
+
+    /// Provide an implementation for an external declaration.
+    pub fn provide_external(&mut self, name: &str, f: impl Fn(&[f64]) -> f64 + 'static) {
+        self.externals.insert(name.to_string(), Box::new(f));
+    }
+
+    /// Call a function by name.
+    pub fn call(&mut self, name: &str, args: &[f64]) -> f64 {
+        let f = match self.module.get(name) {
+            Some(f) if !f.external => f.clone(),
+            _ => {
+                let ext = self
+                    .externals
+                    .get(name)
+                    .unwrap_or_else(|| panic!("no implementation for external `{name}`"));
+                return ext(args);
+            }
+        };
+        assert_eq!(args.len(), f.nargs, "arity mismatch calling {name}");
+        let mut vals: Vec<f64> = args.to_vec();
+        for (inst, loc) in &f.body {
+            let v = match inst {
+                Inst::Const(c) => *c,
+                Inst::Bin(op, a, b) => {
+                    self.stats.native_ops += 1;
+                    native_bin(*op, vals[*a], vals[*b])
+                }
+                Inst::Sqrt(a) => {
+                    self.stats.native_ops += 1;
+                    vals[*a].sqrt()
+                }
+                Inst::Call(callee, cargs) => {
+                    let argv: Vec<f64> = cargs.iter().map(|&i| vals[i]).collect();
+                    self.call(callee, &argv)
+                }
+                Inst::RuntimeBin(op, a, b, fmt, _) => {
+                    *self.stats.runtime_calls.entry(*loc).or_default() += 1;
+                    self.runtime_bin(*op, vals[*a], vals[*b], *fmt)
+                }
+                Inst::RuntimeSqrt(a, fmt, _) => {
+                    *self.stats.runtime_calls.entry(*loc).or_default() += 1;
+                    self.runtime_sqrt(vals[*a], *fmt)
+                }
+            };
+            vals.push(v);
+        }
+        vals[f.ret]
+    }
+
+    fn runtime_bin(&mut self, op: BinOp, a: f64, b: f64, fmt: Format) -> f64 {
+        let rm = RoundMode::NearestEven;
+        match self.scratch {
+            ScratchMode::ReusedPad => {
+                let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+                let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
+                match op {
+                    BinOp::FAdd => fmt.add(&sa, &sb, rm),
+                    BinOp::FSub => fmt.sub(&sa, &sb, rm),
+                    BinOp::FMul => fmt.mul(&sa, &sb, rm),
+                    BinOp::FDiv => fmt.div(&sa, &sb, rm),
+                }
+                .to_f64()
+            }
+            ScratchMode::NaivePerOp => {
+                // Three fresh heap-backed temporaries per op (ma, mb, mc).
+                self.stats.runtime_allocs += 3;
+                let p = fmt.precision();
+                let ma = BigFloat::from_f64(fmt.round_f64(a, rm));
+                let mb = BigFloat::from_f64(fmt.round_f64(b, rm));
+                let mc = match op {
+                    BinOp::FAdd => ma.add(&mb, p, rm),
+                    BinOp::FSub => ma.sub(&mb, p, rm),
+                    BinOp::FMul => ma.mul(&mb, p, rm),
+                    BinOp::FDiv => ma.div(&mb, p, rm),
+                };
+                fmt.round_soft(&mc.to_soft(), rm).to_f64()
+            }
+        }
+    }
+
+    fn runtime_sqrt(&mut self, a: f64, fmt: Format) -> f64 {
+        let rm = RoundMode::NearestEven;
+        match self.scratch {
+            ScratchMode::ReusedPad => {
+                let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+                fmt.sqrt(&sa, rm).to_f64()
+            }
+            ScratchMode::NaivePerOp => {
+                self.stats.runtime_allocs += 2;
+                let p = fmt.precision();
+                let ma = BigFloat::from_f64(fmt.round_f64(a, rm));
+                fmt.round_soft(&ma.sqrt(p, rm).to_soft(), rm).to_f64()
+            }
+        }
+    }
+}
+
+fn native_bin(op: BinOp, a: f64, b: f64) -> f64 {
+    match op {
+        BinOp::FAdd => a + b,
+        BinOp::FSub => a - b,
+        BinOp::FMul => a * b,
+        BinOp::FDiv => a / b,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build Fig. 3a/4a's example:
+    ///   bar(a, b) = a + b
+    ///   foo(a, b) = sqrt(b) + bar(a, b)
+    ///   unrelated(x) = x * x  (calls bar too, must stay untouched)
+    fn example_module() -> Module {
+        let mut m = Module::default();
+        let mut bar = Function::build("bar", 2);
+        let s = bar.push(Inst::Bin(BinOp::FAdd, 0, 1));
+        m.add(bar.ret(s));
+        let mut foo = Function::build("foo", 2);
+        let sq = foo.push(Inst::Sqrt(1));
+        let call = foo.push(Inst::Call("bar".into(), vec![0, 1]));
+        let sum = foo.push(Inst::Bin(BinOp::FAdd, sq, call));
+        m.add(foo.ret(sum));
+        let mut unrelated = Function::build("unrelated", 1);
+        let c = unrelated.push(Inst::Call("bar".into(), vec![0, 0]));
+        let sq2 = unrelated.push(Inst::Bin(BinOp::FMul, c, c));
+        m.add(unrelated.ret(sq2));
+        m
+    }
+
+    #[test]
+    fn interpreter_executes_plain_ir() {
+        let m = example_module();
+        let mut it = Interp::new(&m, ScratchMode::ReusedPad);
+        let r = it.call("foo", &[3.0, 4.0]);
+        assert_eq!(r, 2.0 + 7.0);
+        assert_eq!(it.call("unrelated", &[3.0]), 36.0);
+        assert!(it.stats.runtime_calls.is_empty());
+        assert!(it.stats.native_ops > 0);
+    }
+
+    #[test]
+    fn pass_clones_transitive_callees() {
+        let mut m = example_module();
+        let fmt = Format::new(5, 8); // Fig. 3's (5, 8)
+        let report = truncate_functions(&mut m, &["foo"], fmt);
+        assert_eq!(report.instrumented, vec!["bar".to_string(), "foo".to_string()]);
+        assert!(report.warnings.is_empty());
+        // Clones exist with the naming convention.
+        assert!(m.get("_foo_trunc_f64_to_5_8").is_some());
+        assert!(m.get("_bar_trunc_f64_to_5_8").is_some());
+        // Originals untouched: no runtime instructions.
+        for name in ["foo", "bar", "unrelated"] {
+            let f = m.get(name).unwrap();
+            assert!(
+                !f.body.iter().any(|(i, _)| matches!(i, Inst::RuntimeBin(..) | Inst::RuntimeSqrt(..))),
+                "{name} must stay clean"
+            );
+        }
+        // The clone's internal call targets the cloned bar.
+        let foo_t = m.get("_foo_trunc_f64_to_5_8").unwrap();
+        assert!(foo_t
+            .body
+            .iter()
+            .any(|(i, _)| matches!(i, Inst::Call(n, _) if n == "_bar_trunc_f64_to_5_8")));
+    }
+
+    #[test]
+    fn truncated_clone_produces_truncated_results() {
+        let mut m = example_module();
+        let fmt = Format::new(11, 8);
+        truncate_functions(&mut m, &["foo"], fmt);
+        let mut it = Interp::new(&m, ScratchMode::ReusedPad);
+        let full = it.call("foo", &[0.1, 0.2]);
+        let trunc = it.call("_foo_trunc_f64_to_11_8", &[0.1, 0.2]);
+        assert_ne!(full.to_bits(), trunc.to_bits());
+        assert!((full - trunc).abs() / full < 1e-2);
+        // Unrelated function still runs at full precision.
+        let u = it.call("unrelated", &[0.1]);
+        assert_eq!(u, (0.1 + 0.1) * (0.1 + 0.1));
+        // Runtime calls were recorded per location.
+        assert!(!it.stats.runtime_calls.is_empty());
+    }
+
+    #[test]
+    fn naive_and_scratch_paths_agree_numerically() {
+        let mut m = example_module();
+        let fmt = Format::new(11, 12);
+        truncate_functions(&mut m, &["foo"], fmt);
+        let name = trunc_name("foo", fmt);
+        let mut naive = Interp::new(&m, ScratchMode::NaivePerOp);
+        let mut opt = Interp::new(&m, ScratchMode::ReusedPad);
+        for (a, b) in [(0.1, 0.7), (3.0, 4.0), (1e10, 2.5), (-2.0, 9.0)] {
+            let rn = naive.call(&name, &[a, b]);
+            let ro = opt.call(&name, &[a, b]);
+            assert_eq!(rn.to_bits(), ro.to_bits(), "({a},{b})");
+        }
+        // But the naive path allocated; the scratch path did not.
+        assert!(naive.stats.runtime_allocs > 0);
+        assert_eq!(opt.stats.runtime_allocs, 0);
+    }
+
+    #[test]
+    fn external_callee_warns_and_is_preserved() {
+        let mut m = example_module();
+        m.add(Function::external("libm_exp", 1));
+        let mut foo2 = Function::build("foo2", 1);
+        let e = foo2.push(Inst::Call("libm_exp".into(), vec![0]));
+        let d = foo2.push(Inst::Bin(BinOp::FMul, e, 0));
+        m.add(foo2.ret(d));
+        let report = truncate_functions(&mut m, &["foo2"], Format::new(11, 8));
+        assert_eq!(report.warnings.len(), 1);
+        assert!(report.warnings[0].contains("libm_exp"));
+        // The clone still calls the external by its original name.
+        let c = m.get(&trunc_name("foo2", Format::new(11, 8))).unwrap();
+        assert!(c.body.iter().any(|(i, _)| matches!(i, Inst::Call(n, _) if n == "libm_exp")));
+        // And executes через the provided implementation.
+        let mut it = Interp::new(&m, ScratchMode::ReusedPad);
+        it.provide_external("libm_exp", |a| a[0].exp());
+        let r = it.call(&trunc_name("foo2", Format::new(11, 8)), &[1.0]);
+        assert!((r - std::f64::consts::E).abs() < 0.02, "truncated mul of exact exp: {r}");
+    }
+
+    #[test]
+    fn program_scope_instruments_everything_in_place() {
+        let mut m = example_module();
+        let report = truncate_all(&mut m, Format::new(11, 6));
+        assert_eq!(report.instrumented.len(), 3);
+        for f in &m.funcs {
+            assert!(
+                !f.body.iter().any(|(i, _)| matches!(i, Inst::Bin(..) | Inst::Sqrt(..))),
+                "{} fully instrumented",
+                f.name
+            );
+        }
+        let mut it = Interp::new(&m, ScratchMode::ReusedPad);
+        let r = it.call("unrelated", &[0.1]);
+        let full: f64 = (0.1 + 0.1) * (0.1 + 0.1);
+        assert_ne!(r.to_bits(), full.to_bits(), "program scope truncates everything");
+    }
+
+    #[test]
+    fn ir_runtime_matches_raptor_core_opmode() {
+        // The IR pass and the Tracked-type runtime must produce identical
+        // numerics for the same op sequence.
+        let fmt = Format::new(11, 8);
+        let mut m = Module::default();
+        let mut f = Function::build("k", 2);
+        let p = f.push(Inst::Bin(BinOp::FMul, 0, 1));
+        let q = f.push(Inst::Bin(BinOp::FAdd, p, 0));
+        let r = f.push(Inst::Sqrt(q));
+        m.add(f.ret(r));
+        truncate_all(&mut m, fmt);
+        let mut it = Interp::new(&m, ScratchMode::ReusedPad);
+        let ir_result = it.call("k", &[0.3, 0.7]);
+        // Same chain through raptor-core.
+        // (x*y + x).sqrt() in op-mode at (11,8).
+        let a = fmt.round_f64(0.3, RoundMode::NearestEven);
+        let b = fmt.round_f64(0.7, RoundMode::NearestEven);
+        let sa = SoftFloat::from_f64(a);
+        let sb = SoftFloat::from_f64(b);
+        let prod = fmt.mul(&sa, &sb, RoundMode::NearestEven);
+        let sum = fmt.add(&prod, &sa, RoundMode::NearestEven);
+        let root = fmt.sqrt(&sum, RoundMode::NearestEven);
+        assert_eq!(ir_result.to_bits(), root.to_f64().to_bits());
+    }
+
+    #[test]
+    fn multi_format_clones_selectable_at_runtime() {
+        // The §7.3 runtime-format-selection recipe: compile clones for
+        // several formats, pick one per call dynamically.
+        let mut m = example_module();
+        let formats = [Format::new(11, 6), Format::new(11, 12), Format::new(11, 24)];
+        let reports = truncate_functions_multi(&mut m, &["foo"], &formats);
+        assert_eq!(reports.len(), 3);
+        let mut it = Interp::new(&m, ScratchMode::ReusedPad);
+        let full = it.call("foo", &[0.1, 0.2]);
+        let mut last_err = f64::MAX;
+        for fmt in formats {
+            // "Conditionally using them": select the clone by name.
+            let clone = trunc_name("foo", fmt);
+            let got = it.call(&clone, &[0.1, 0.2]);
+            let err = (got - full).abs();
+            assert!(err < last_err, "error shrinks with precision: {err} vs {last_err}");
+            assert!(err > 0.0, "every format deviates at {fmt:?}");
+            last_err = err;
+        }
+    }
+
+    #[test]
+    fn call_graph_closure() {
+        let m = example_module();
+        let t = m.transitive_callees(&["foo"]);
+        assert!(t.contains("foo") && t.contains("bar"));
+        assert!(!t.contains("unrelated"));
+        let t2 = m.transitive_callees(&["unrelated"]);
+        assert!(t2.contains("bar"));
+    }
+}

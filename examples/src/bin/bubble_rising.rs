@@ -1,0 +1,73 @@
+//! Domain scenario 3: the rising bubble with selective truncation
+//! (Fig. 1 in miniature), printing an ASCII rendering of the interface
+//! and the AMR level bands.
+//!
+//! ```sh
+//! cargo run --release -p raptor-examples --bin bubble_rising
+//! ```
+
+use bigfloat::Format;
+use incomp::{setup_bubble, InsParams};
+use raptor_core::{Config, Session, Tracked};
+
+fn render(sim: &incomp::Bubble, title: &str) {
+    println!("--- {title}: t = {:.3}, components = {}, centroid y = {:+.3} ---",
+        sim.t, sim.component_count(), sim.centroid().1);
+    let (nx, ny) = (sim.grid.nx, sim.grid.ny);
+    let step = (nx / 48).max(1);
+    for j in (0..ny).step_by(step * 2).rev() {
+        let mut line = String::new();
+        for i in (0..nx).step_by(step) {
+            let phi = sim.grid.phi[sim.grid.at(i as isize, j as isize)];
+            let lvl = sim.level_map[j * nx + i];
+            line.push(if phi > 0.0 {
+                '@' // air
+            } else if phi > -2.0 * sim.grid.h {
+                '+' // interface band
+            } else {
+                // water, shaded by AMR level
+                match lvl {
+                    3.. => ':',
+                    2 => '.',
+                    _ => ' ',
+                }
+            });
+        }
+        println!("|{line}|");
+    }
+}
+
+fn main() {
+    let n = 48;
+    let t_end = 0.5;
+    println!("Rising bubble (Re 35 -> truncated continuation), grid {n}x{}", 3 * n / 2);
+
+    let mut reference = setup_bubble(n, 3, InsParams::default());
+    reference.run::<f64>(t_end, 10_000, None);
+    render(&reference, "fp64 reference");
+
+    for (m, cutoff, label) in [
+        (12u32, 0u32, "12-bit mantissa, truncate everywhere"),
+        (4, 0, "4-bit mantissa, truncate everywhere"),
+        (4, 1, "4-bit mantissa, cutoff M-1 (finest level spared)"),
+    ] {
+        let mut sim = setup_bubble(n, 3, InsParams::default());
+        let cfg = Config::op_files(Format::new(11, m), ["INS/advection", "INS/diffusion"])
+            .with_cutoff(3, cutoff)
+            .with_counting();
+        let sess = Session::new(cfg).unwrap();
+        sim.run::<Tracked>(t_end, 10_000, Some(&sess));
+        render(&sim, label);
+        let pts = sim.interface_points();
+        let ref_pts = reference.interface_points();
+        println!(
+            "    interface deviation vs reference: {:.4e}   truncated ops: {:.1}%",
+            incomp::interface_deviation(&pts, &ref_pts),
+            100.0 * sess.counters().truncated_fraction()
+        );
+    }
+    println!();
+    println!("Like the paper's Fig. 1 insets: moderate precision with selective");
+    println!("truncation preserves the interface; aggressive truncation everywhere");
+    println!("distorts it.");
+}

@@ -1,0 +1,42 @@
+//! Domain scenario 4: hardware co-design advisory (§7.2 in miniature) —
+//! given a workload profile, which low-precision FPU pays off?
+//!
+//! ```sh
+//! cargo run --release -p raptor-examples --bin codesign_advisor
+//! ```
+
+use bigfloat::Format;
+use codesign::{estimate_speedup, perf_density_extrapolated, Machine};
+use hydro::{Problem, ReconKind};
+use raptor_core::{Config, Session, Tracked};
+
+fn main() {
+    println!("Co-design advisor: profile Sod once per candidate format, predict speedup.");
+    let machine = Machine::default();
+    let max_level = 2;
+    let t_end = 0.02;
+    println!(
+        "{:>10} {:>9} {:>13} {:>13} {:>13}",
+        "format", "density", "trunc %", "compute-bnd", "memory-bnd"
+    );
+    for fmt in [Format::FP32, Format::FP16, Format::new(8, 7), Format::new(5, 2)] {
+        let cfg = Config::op_files(fmt, ["Hydro"]).with_counting();
+        let sess = Session::new(cfg).unwrap();
+        let mut sim = hydro::setup(Problem::Sod, max_level, 8, ReconKind::Plm);
+        sim.run::<Tracked>(t_end, 10_000, 2, Some(&sess));
+        let c = sess.counters();
+        let s = estimate_speedup(&machine, fmt, &c);
+        println!(
+            "{:>10} {:>9.2} {:>12.1}% {:>12.2}x {:>12.2}x",
+            format!("{fmt}"),
+            perf_density_extrapolated(fmt),
+            100.0 * c.truncated_fraction(),
+            s.compute_bound,
+            s.memory_bound
+        );
+    }
+    println!();
+    println!("'Collaborating with scientists for gathering data on the numerical");
+    println!("behavior of software can become a powerful way to enable supercomputing");
+    println!("centers to make informed decisions about future procurements.' (§7.2)");
+}

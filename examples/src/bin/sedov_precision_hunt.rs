@@ -1,0 +1,51 @@
+//! Domain scenario 1: hunt for the minimum safe precision of the Sedov
+//! blast's hydro solver using AMR-level-selective truncation — the §6.1
+//! methodology in miniature.
+//!
+//! ```sh
+//! cargo run --release -p raptor-examples --bin sedov_precision_hunt
+//! ```
+
+use bigfloat::Format;
+use hydro::{Problem, ReconKind, DENS};
+use raptor_core::{Config, Session, Tracked};
+
+fn main() {
+    let max_level = 3;
+    let t_end = 0.015;
+    println!("Sedov precision hunt: M = {max_level}, t_end = {t_end}");
+    let mut reference = hydro::setup(Problem::Sedov, max_level, 8, ReconKind::Plm);
+    reference.run::<f64>(t_end, 10_000, 4, None);
+    println!("reference: {} leaf blocks at t = {:.3}", reference.mesh.leaf_count(), reference.t);
+    println!();
+    println!(
+        "{:>9} {:>8} {:>12} {:>9}  verdict",
+        "mantissa", "cutoff", "L1(dens)", "trunc %"
+    );
+    // The scientist's loop: start aggressive, relax until acceptable.
+    let acceptable = 1e-3;
+    for &cutoff in &[0u32, 1, 2] {
+        for &m in &[4u32, 8, 12, 20] {
+            let cfg = Config::op_files(Format::new(11, m), ["Hydro"])
+                .with_cutoff(max_level, cutoff)
+                .with_counting();
+            let sess = Session::new(cfg).unwrap();
+            let mut sim = hydro::setup(Problem::Sedov, max_level, 8, ReconKind::Plm);
+            sim.run::<Tracked>(t_end, 10_000, 4, Some(&sess));
+            let err = amr::sfocu(&sim.mesh, &reference.mesh, DENS).l1;
+            let frac = sess.counters().truncated_fraction();
+            let verdict = if err < acceptable { "OK" } else { "too coarse" };
+            println!(
+                "{:>9} {:>8} {:>12.3e} {:>8.1}%  {verdict}",
+                m,
+                format!("M-{cutoff}"),
+                err,
+                100.0 * frac
+            );
+        }
+    }
+    println!();
+    println!("Reading the table like the paper reads Fig. 7a: sparing the finest AMR");
+    println!("level (M-1) buys orders of magnitude of accuracy at a modest cost in");
+    println!("truncated-operation share.");
+}

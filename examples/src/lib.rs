@@ -1,0 +1,3 @@
+//! Runnable demos for the RAPTOR reproduction — see `src/bin/`:
+//! `quickstart`, `sedov_precision_hunt`, `mem_debug`, `bubble_rising`,
+//! `codesign_advisor`.

@@ -1,0 +1,25 @@
+//! # raptor-rs — facade over the RAPTOR reproduction workspace
+//!
+//! Re-exports every crate of the reproduction of *RAPTOR: Practical
+//! Numerical Profiling of Scientific Applications* (SC '25). See the
+//! individual crates for full documentation:
+//!
+//! * [`raptor_core`] — the profiling runtime (op-mode, mem-mode, scoping)
+//! * [`bigfloat`] — the correctly-rounded arbitrary-precision substrate
+//! * [`raptor_ir`] — the instrumentation pass on a miniature IR
+//! * [`amr`] — block-structured adaptive mesh refinement
+//! * [`hydro`] — compressible Euler (Sedov/Sod workloads)
+//! * [`eos`] — table EOS + Newton inversion + burning (Cellular)
+//! * [`incomp`] — incompressible multiphase flow (Bubble)
+//! * [`minimpi`] — thread-rank message passing
+//! * [`codesign`] — FPU/roofline hardware model
+
+pub use amr;
+pub use bigfloat;
+pub use codesign;
+pub use eos;
+pub use hydro;
+pub use incomp;
+pub use minimpi;
+pub use raptor_core;
+pub use raptor_ir;
