@@ -23,6 +23,7 @@ pub mod compare;
 pub mod guard;
 pub mod mesh;
 pub mod par;
+mod pool;
 
 pub use adapt::{adapt, adapt_with, block_error, init_with_refinement, AdaptResult, AdaptSpec, Decision};
 pub use compare::{norms, sample_point, sample_uniform, sfocu, Norms};

@@ -9,6 +9,8 @@
 //! kernels have.
 
 use crate::mesh::{Block, BlockIdx, Mesh};
+use crate::pool;
+use std::cell::RefCell;
 
 /// Per-leaf geometry handed to kernels.
 #[derive(Clone, Copy, Debug)]
@@ -25,48 +27,77 @@ pub struct LeafGeom {
     pub origin: (f64, f64),
 }
 
-/// Apply `f` to every leaf block, using up to `threads` worker threads.
+thread_local! {
+    /// Reusable leaf work buffer: filled at sweep entry, drained at exit,
+    /// capacity retained across the x/y sweeps of a hydro step (and every
+    /// later sweep on this thread).
+    static WORK_BUF: RefCell<Vec<(LeafGeom, Block)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Pointer wrapper letting pool workers index disjoint work items.
+struct WorkPtr(*mut (LeafGeom, Block));
+// SAFETY: each index is claimed exactly once via the pool's atomic cursor,
+// so no two threads touch the same element.
+unsafe impl Sync for WorkPtr {}
+
+impl WorkPtr {
+    /// # Safety
+    /// `i` must be in bounds and claimed by exactly one thread.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn item(&self, i: usize) -> &mut (LeafGeom, Block) {
+        unsafe { &mut *self.0.add(i) }
+    }
+}
+
+/// Apply `f` to every leaf block, using up to `threads` CPUs (the calling
+/// thread plus persistent pool workers — no per-sweep thread spawns).
 ///
 /// `f` runs with exclusive ownership of the block; it may freely read and
 /// write `block.data`. The mesh structure itself is immutable during the
-/// sweep.
+/// sweep. Zero- and single-leaf meshes (and `threads <= 1`) never touch
+/// the pool.
 pub fn par_leaves<F>(mesh: &mut Mesh, threads: usize, f: F)
 where
     F: Fn(LeafGeom, &mut Block) + Sync,
 {
     let leaves = mesh.leaves();
-    // Move the leaf blocks out.
-    let mut work: Vec<(LeafGeom, Block)> = leaves
-        .iter()
-        .map(|&idx| {
-            let b = mesh.blocks[idx].take().expect("leaf index valid");
+    if leaves.is_empty() {
+        return;
+    }
+    // Single leaf or single thread: run inline, no buffer moves, no pool.
+    if leaves.len() == 1 || threads <= 1 {
+        for idx in leaves {
+            let mut b = mesh.blocks[idx].take().expect("leaf index valid");
             let (dx, dy) = mesh.cell_size(b.pos.level);
             let origin = mesh.block_origin(b.pos);
-            (LeafGeom { idx, level: b.pos.level, dx, dy, origin }, b)
-        })
-        .collect();
-    let threads = threads.max(1).min(work.len().max(1));
-    if threads <= 1 {
-        for (geom, block) in work.iter_mut() {
-            f(*geom, block);
+            f(LeafGeom { idx, level: b.pos.level, dx, dy, origin }, &mut b);
+            mesh.blocks[idx] = Some(b);
         }
-    } else {
-        let chunk = work.len().div_ceil(threads);
-        crossbeam::scope(|s| {
-            for piece in work.chunks_mut(chunk) {
-                s.spawn(|_| {
-                    for (geom, block) in piece.iter_mut() {
-                        f(*geom, block);
-                    }
-                });
-            }
-        })
-        .expect("worker panicked");
+        return;
     }
-    // Move them back.
-    for (geom, block) in work {
+    // Move the leaf blocks out into the reused buffer.
+    let mut work = WORK_BUF.with(|w| std::mem::take(&mut *w.borrow_mut()));
+    debug_assert!(work.is_empty());
+    work.extend(leaves.iter().map(|&idx| {
+        let b = mesh.blocks[idx].take().expect("leaf index valid");
+        let (dx, dy) = mesh.cell_size(b.pos.level);
+        let origin = mesh.block_origin(b.pos);
+        (LeafGeom { idx, level: b.pos.level, dx, dy, origin }, b)
+    }));
+    let threads = threads.min(work.len());
+    let ptr = WorkPtr(work.as_mut_ptr());
+    let n = work.len();
+    pool::run_indexed(n, threads, &move |i| {
+        debug_assert!(i < n);
+        // SAFETY: `i` is claimed exactly once; elements are disjoint.
+        let (geom, block) = unsafe { ptr.item(i) };
+        f(*geom, block);
+    });
+    // Move the blocks back and park the buffer for the next sweep.
+    for (geom, block) in work.drain(..) {
         mesh.blocks[geom.idx] = Some(block);
     }
+    WORK_BUF.with(|w| *w.borrow_mut() = work);
 }
 
 /// Sequential variant with the same signature (useful for deterministic
@@ -128,6 +159,39 @@ mod tests {
             assert_eq!(g.level, blk.pos.level);
             assert!(g.dx > 0.0 && g.dy > 0.0);
         });
+    }
+
+    #[test]
+    fn nested_par_leaves_runs_inline_without_deadlock() {
+        // A kernel that itself sweeps another mesh must not dead-lock on
+        // the persistent pool (re-entry runs inline).
+        let mut outer = Mesh::new(params());
+        par_leaves(&mut outer, 4, |_, blk| {
+            let mut inner = Mesh::new(params());
+            par_leaves(&mut inner, 4, |_, b2| {
+                for v in b2.data.iter_mut() {
+                    *v += 1.0;
+                }
+            });
+            blk.data[0] += 1.0;
+        });
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_kernel() {
+        // A panic inside a kernel propagates, and the *next* sweep works
+        // (no poisoned pool state).
+        let res = std::panic::catch_unwind(|| {
+            let mut m = Mesh::new(params());
+            par_leaves(&mut m, 4, |_, _| panic!("kernel blew up"));
+        });
+        assert!(res.is_err(), "panic must propagate to the submitter");
+        let mut m = Mesh::new(params());
+        let count = std::sync::atomic::AtomicUsize::new(0);
+        par_leaves(&mut m, 4, |_, _| {
+            count.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        assert_eq!(count.into_inner(), m.leaf_count());
     }
 
     #[test]

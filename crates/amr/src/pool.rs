@@ -1,0 +1,210 @@
+//! A persistent worker pool for leaf sweeps.
+//!
+//! The seed implementation spawned a fresh `crossbeam::scope` of OS
+//! threads for *every* directional sweep — two spawns + joins per hydro
+//! step, thousands per run. This pool spawns workers once (growing on
+//! demand up to the largest requested count), parks them on a condvar
+//! between sweeps, and hands each sweep out as an indexed job consumed
+//! through an atomic cursor. The submitting thread participates in the
+//! work, so `threads = n` means `n` CPUs busy, with `n - 1` pool workers.
+//!
+//! Safety: the job closure is type-erased to a raw `'static` pointer, which
+//! is sound because [`WorkerPool::run`] does not return until every worker
+//! has bumped the done-count for the job's generation — the closure (and
+//! everything it borrows) strictly outlives all uses. Worker panics are
+//! caught and re-raised on the submitting thread, matching the join
+//! semantics of the scoped-thread version.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// Type-erased job closure: called with the item index.
+type Task = *const (dyn Fn(usize) + Sync);
+
+struct Job {
+    task: Task,
+    n_items: usize,
+    /// Maximum pool workers that may join this job (the submitting thread
+    /// is always an extra participant).
+    max_workers: usize,
+}
+
+// The raw task pointer is only dereferenced while the submitter blocks in
+// `run`, which keeps the underlying closure alive.
+unsafe impl Send for Job {}
+
+struct PoolState {
+    /// Monotonic job id; workers run one job per bump.
+    generation: u64,
+    job: Option<Job>,
+    /// Workers that have not yet finished the current generation.
+    active: usize,
+    /// Set if any worker panicked inside the job.
+    panicked: bool,
+    /// Total live workers.
+    workers: usize,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    work_cv: Condvar,
+    done_cv: Condvar,
+    cursor: AtomicUsize,
+    /// Participation tickets: workers beyond a job's `max_workers` skip it.
+    tickets: AtomicUsize,
+}
+
+/// The process-wide sweep pool.
+pub(crate) struct WorkerPool {
+    shared: Arc<PoolShared>,
+}
+
+static POOL: OnceLock<Mutex<WorkerPool>> = OnceLock::new();
+
+thread_local! {
+    /// True while this thread is executing sweep items (as submitter or
+    /// pool worker). A nested sweep from inside a kernel must not touch
+    /// the pool — the submitter path would self-deadlock on the pool
+    /// mutex and a worker would starve the outer job — so it runs inline.
+    static IN_SWEEP: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+/// Run `task(i)` for every `i in 0..n_items` on up to `threads` CPUs
+/// (including the calling thread), using the persistent pool.
+///
+/// Concurrent callers are serialized; the mesh-sweep call sites already
+/// hold `&mut Mesh`, so this costs nothing in practice. Re-entrant calls
+/// (a kernel sweeping another mesh) execute inline on the calling thread.
+pub(crate) fn run_indexed(n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    if IN_SWEEP.with(|f| f.get()) {
+        for i in 0..n_items {
+            task(i);
+        }
+        return;
+    }
+    let pool = POOL.get_or_init(|| Mutex::new(WorkerPool::new()));
+    // A kernel panic propagates out of `run` below while this lock is
+    // held; the pool holds no invariant-bearing state, so recover the
+    // poisoned guard instead of failing every later sweep.
+    let pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+    pool.run(n_items, threads, task);
+}
+
+impl WorkerPool {
+    fn new() -> WorkerPool {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState {
+                    generation: 0,
+                    job: None,
+                    active: 0,
+                    panicked: false,
+                    workers: 0,
+                }),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                cursor: AtomicUsize::new(0),
+                tickets: AtomicUsize::new(0),
+            }),
+        }
+    }
+
+    fn spawn_worker(&self, start_generation: u64) {
+        let shared = self.shared.clone();
+        std::thread::Builder::new()
+            .name("raptor-sweep".into())
+            .spawn(move || worker_loop(shared, start_generation))
+            .expect("spawn sweep worker");
+    }
+
+    fn run(&self, n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+        debug_assert!(threads >= 2, "single-threaded sweeps bypass the pool");
+        let want_workers = threads.saturating_sub(1).min(n_items.saturating_sub(1));
+        // SAFETY: see module docs — `run` blocks until all workers are done
+        // with this job, so erasing the lifetime cannot dangle.
+        let task_ptr: Task = unsafe {
+            std::mem::transmute::<&(dyn Fn(usize) + Sync), &'static (dyn Fn(usize) + Sync)>(task)
+        };
+        {
+            let mut st = self.shared.state.lock().unwrap();
+            // Grow the pool before publishing the job: fresh workers start
+            // waiting at the current generation.
+            while st.workers < want_workers {
+                self.spawn_worker(st.generation);
+                st.workers += 1;
+            }
+            self.shared.cursor.store(0, Ordering::Relaxed);
+            self.shared.tickets.store(0, Ordering::Relaxed);
+            st.generation += 1;
+            st.job = Some(Job { task: task_ptr, n_items, max_workers: want_workers });
+            st.active = st.workers;
+            st.panicked = false;
+        }
+        self.shared.work_cv.notify_all();
+        // Participate from the submitting thread.
+        IN_SWEEP.with(|f| f.set(true));
+        let mine = catch_unwind(AssertUnwindSafe(|| loop {
+            let i = self.shared.cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_items {
+                break;
+            }
+            task(i);
+        }));
+        IN_SWEEP.with(|f| f.set(false));
+        // Wait for the workers to drain the job.
+        let mut st = self.shared.state.lock().unwrap();
+        while st.active > 0 {
+            st = self.shared.done_cv.wait(st).unwrap();
+        }
+        st.job = None;
+        let worker_panicked = st.panicked;
+        drop(st);
+        if mine.is_err() || worker_panicked {
+            panic!("worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: Arc<PoolShared>, mut last_generation: u64) {
+    loop {
+        let (task, n_items, max_workers) = {
+            let mut st = shared.state.lock().unwrap();
+            loop {
+                if st.generation != last_generation {
+                    if let Some(job) = &st.job {
+                        last_generation = st.generation;
+                        break (job.task, job.n_items, job.max_workers);
+                    }
+                }
+                st = shared.work_cv.wait(st).unwrap();
+            }
+        };
+        // Honor the job's thread cap: late or surplus workers sit it out.
+        let participating = shared.tickets.fetch_add(1, Ordering::Relaxed) < max_workers;
+        // SAFETY: the submitter keeps the closure alive until this worker
+        // bumps the done-count below.
+        let task: &(dyn Fn(usize) + Sync) = unsafe { &*task };
+        IN_SWEEP.with(|f| f.set(true));
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            if participating {
+                loop {
+                    let i = shared.cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_items {
+                        break;
+                    }
+                    task(i);
+                }
+            }
+        }));
+        IN_SWEEP.with(|f| f.set(false));
+        let mut st = shared.state.lock().unwrap();
+        if result.is_err() {
+            st.panicked = true;
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_all();
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Microbenchmark of a single `Tracked` add/mul/fma through the runtime
+//! dispatch layer — the per-op cost the decision cache exists to shrink.
+//!
+//! Covers the matrix the ISSUE names: op-mode (naive `Big` and optimised
+//! `Soft` paths), mem-mode, and counting-only (an inactive region with
+//! full-op counting), plus the no-session passthrough floor.
+//!
+//! Set `RAPTOR_BENCH_JSON=path.json` to capture the numbers
+//! (`BENCH_dispatch.json` at the repo root holds the committed
+//! before/after pair for the fast-path PR).
+
+use bigfloat::Format;
+use raptor_bench::harness::{black_box, Harness};
+use raptor_core::{region, Config, EmulPath, Real, Session, Tracked};
+
+fn bench_dispatch(c: &mut Harness) {
+    let fmt = Format::new(11, 12);
+    let mut g = c.benchmark_group("dispatch");
+
+    // Floor: no session installed — a plain f64 op plus the dispatch check.
+    g.bench_function("no_session_add", |b| {
+        let x = Tracked::from_f64(0.1);
+        let y = Tracked::from_f64(0.7);
+        b.iter(|| black_box(black_box(x) + black_box(y)))
+    });
+
+    // Op-mode, optimised SoftFloat path (the Table 3 "opt." column).
+    for (label, path) in [("opmode_soft", EmulPath::Soft), ("opmode_big", EmulPath::Big)] {
+        let sess = Session::new(Config::op_all(fmt).with_path(path)).unwrap();
+        let _g = sess.install();
+        let x = Tracked::from_f64(0.1);
+        let y = Tracked::from_f64(0.7);
+        let z = Tracked::from_f64(1.3);
+        g.bench_function(&format!("{label}_add"), |b| {
+            b.iter(|| black_box(black_box(x) + black_box(y)))
+        });
+        g.bench_function(&format!("{label}_mul"), |b| {
+            b.iter(|| black_box(black_box(x) * black_box(y)))
+        });
+        g.bench_function(&format!("{label}_fma"), |b| {
+            b.iter(|| black_box(black_box(x).mul_add(black_box(y), black_box(z))))
+        });
+    }
+
+    // Counting-only: session installed, region NOT truncated, full-op
+    // counting on — the cost added to the untruncated majority of a
+    // file-scoped run (the Fig. 7 "full" bars).
+    {
+        let sess = Session::new(
+            Config::op_functions(fmt, ["NeverEntered"]).with_counting(),
+        )
+        .unwrap();
+        let _g = sess.install();
+        let x = Tracked::from_f64(0.1);
+        let y = Tracked::from_f64(0.7);
+        let z = Tracked::from_f64(1.3);
+        g.bench_function("counting_only_add", |b| {
+            b.iter(|| black_box(black_box(x) + black_box(y)))
+        });
+        g.bench_function("counting_only_mul", |b| {
+            b.iter(|| black_box(black_box(x) * black_box(y)))
+        });
+        g.bench_function("counting_only_fma", |b| {
+            b.iter(|| black_box(black_box(x).mul_add(black_box(y), black_box(z))))
+        });
+    }
+
+    // Mem-mode: shadow-slab op (slab cleared per iteration to stay bounded).
+    {
+        let sess = Session::new(Config::mem_functions(fmt, ["K"], 1e-6)).unwrap();
+        let _g = sess.install();
+        let _r = region("K");
+        let x = Tracked::from_f64(0.1);
+        let y = Tracked::from_f64(0.7);
+        g.bench_function("memmode_add", |b| {
+            b.iter(|| {
+                let h = black_box(black_box(x) + black_box(y));
+                sess.mem_clear_slab();
+                h
+            })
+        });
+    }
+    g.finish();
+}
+
+fn main() {
+    let mut c = Harness::new();
+    bench_dispatch(&mut c);
+    let json = std::env::var("RAPTOR_BENCH_JSON").ok();
+    c.write_json(json.as_deref());
+}

@@ -1,12 +1,12 @@
-//! Criterion microbenchmarks of the emulation paths — the per-operation
+//! Microbenchmarks of the emulation paths — the per-operation
 //! costs behind Table 3: native hardware vs the optimised SoftFloat
 //! scratch path vs the naive BigFloat-per-op path vs mem-mode.
 
 use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raptor_bench::harness::{black_box, Harness};
 use raptor_core::{Config, EmulPath, OpKind, Session};
 
-fn bench_paths(c: &mut Criterion) {
+fn bench_paths(c: &mut Harness) {
     let fmt = Format::new(11, 12);
     let rm = RoundMode::NearestEven;
     let mut g = c.benchmark_group("op_paths");
@@ -35,7 +35,7 @@ fn bench_paths(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_runtime_dispatch(c: &mut Criterion) {
+fn bench_runtime_dispatch(c: &mut Harness) {
     let fmt = Format::new(11, 12);
     let mut g = c.benchmark_group("runtime_dispatch");
     g.bench_function("no_session_passthrough", |b| {
@@ -67,9 +67,8 @@ fn bench_runtime_dispatch(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().sample_size(30).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_paths, bench_runtime_dispatch
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_paths(&mut c);
+    bench_runtime_dispatch(&mut c);
+}

@@ -1,13 +1,13 @@
-//! Criterion benchmarks of the workload substrates: hydro steps (native,
+//! Benchmarks of the workload substrates: hydro steps (native,
 //! instrumented-untruncated, truncated), AMR guard fills, the multigrid
 //! Poisson solve, and the EOS Newton inversion.
 
 use bigfloat::Format;
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use raptor_bench::harness::{black_box, Harness};
 use hydro::{Problem, ReconKind};
 use raptor_core::{Config, Session, Tracked};
 
-fn bench_hydro_step(c: &mut Criterion) {
+fn bench_hydro_step(c: &mut Harness) {
     let mut g = c.benchmark_group("hydro_step");
     g.sample_size(10);
     g.bench_function("sedov_step_f64", |b| {
@@ -44,7 +44,7 @@ fn bench_hydro_step(c: &mut Criterion) {
     g.finish();
 }
 
-fn bench_substrates(c: &mut Criterion) {
+fn bench_substrates(c: &mut Harness) {
     let mut g = c.benchmark_group("substrates");
     g.sample_size(10);
     g.bench_function("guard_fill", |b| {
@@ -90,9 +90,8 @@ fn bench_substrates(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(
-    name = benches;
-    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_millis(500));
-    targets = bench_hydro_step, bench_substrates
-);
-criterion_main!(benches);
+fn main() {
+    let mut c = Harness::new();
+    bench_hydro_step(&mut c);
+    bench_substrates(&mut c);
+}

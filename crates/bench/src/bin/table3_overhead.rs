@@ -10,7 +10,7 @@
 
 use bigfloat::Format;
 use hydro::{Problem, ReconKind};
-use raptor_core::{Config, EmulPath, Mode, Session, Tracked};
+use raptor_core::{Config, EmulPath, Session, Tracked};
 use std::time::Instant;
 
 struct Row {

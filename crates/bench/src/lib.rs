@@ -21,6 +21,8 @@ use bigfloat::Format;
 use hydro::{Problem, ReconKind, DENS};
 use raptor_core::{Config, Session, Tracked};
 
+pub mod harness;
+
 /// Mantissa-bit sweep used by the Fig. 7 x-axis.
 pub fn mantissa_sweep() -> Vec<u32> {
     if full_scale() {

@@ -1,12 +1,20 @@
 //! [`BigFloat`]: arbitrary-precision, correctly-rounded binary floating
-//! point backed by a heap-allocated limb vector.
+//! point with *inline* small-limb storage and a per-thread scratch arena.
 //!
-//! This is the analog of an `mpfr_t`: each value owns an allocation sized to
-//! its precision, which is exactly what makes RAPTOR's *naive* op-mode
-//! runtime slow (one `mpfr_init2`/`mpfr_clear` pair per operation, Fig. 5a)
-//! and what the scratch-pad optimisation (Fig. 4b) avoids. The RAPTOR-rs
-//! runtime uses [`crate::SoftFloat`] on the optimised path and `BigFloat`
-//! on the naive path and for precisions above 64 bits.
+//! This is the analog of an `mpfr_t`. The naive MPFR runtime pays one
+//! `mpfr_init2`/`mpfr_clear` (a heap allocation) per operation (Fig. 5a),
+//! which is exactly what the paper's scratch-pad optimisation (Fig. 4b)
+//! avoids. This implementation makes the same move at the data-structure
+//! level:
+//!
+//! * values with ≤ 2 limbs (≤ 128 significand bits — every `Format` the
+//!   paper uses, up to and including binary128's 113 bits) store their
+//!   limbs **inline** in the value, no heap allocation;
+//! * the working buffers of `add`/`mul`/`div`/`sqrt` (alignment windows,
+//!   double-width products, long-division remainders) come from a
+//!   **per-thread scratch arena** of reusable `Vec<u64>` buffers, so after
+//!   a short warm-up the arithmetic performs zero heap allocations per op
+//!   at paper precisions (verified by `tests/alloc_free.rs`).
 //!
 //! Representation: `value = (-1)^sign * (L / 2^(64*n - 1)) * 2^exp` where
 //! `L` is the little-endian limb vector of length `n`, normalized so the
@@ -15,6 +23,98 @@
 
 use crate::round::RoundMode;
 use crate::soft::{Class, SoftFloat};
+use std::cell::RefCell;
+
+// ---------------------------------------------------------------------------
+// Inline-capable limb storage
+// ---------------------------------------------------------------------------
+
+/// Limbs stored inline up to this count (128 bits ≥ binary128's 113-bit
+/// significand, the largest "paper precision").
+const INLINE_LIMBS: usize = 2;
+
+/// A limb vector with inline storage for small widths.
+#[derive(Clone, Debug)]
+enum LimbBuf {
+    /// ≤ [`INLINE_LIMBS`] limbs, stored in the value itself.
+    Inline { len: u8, data: [u64; INLINE_LIMBS] },
+    /// Wider values spill to the heap (only precisions > 128 bits).
+    Heap(Vec<u64>),
+}
+
+impl LimbBuf {
+    #[inline]
+    const fn empty() -> LimbBuf {
+        LimbBuf::Inline { len: 0, data: [0; INLINE_LIMBS] }
+    }
+
+    #[inline]
+    fn one(limb: u64) -> LimbBuf {
+        LimbBuf::Inline { len: 1, data: [limb, 0] }
+    }
+
+    #[inline]
+    fn from_slice(s: &[u64]) -> LimbBuf {
+        if s.len() <= INLINE_LIMBS {
+            let mut data = [0u64; INLINE_LIMBS];
+            data[..s.len()].copy_from_slice(s);
+            LimbBuf::Inline { len: s.len() as u8, data }
+        } else {
+            LimbBuf::Heap(s.to_vec())
+        }
+    }
+
+    fn zeros(n: usize) -> LimbBuf {
+        if n <= INLINE_LIMBS {
+            LimbBuf::Inline { len: n as u8, data: [0; INLINE_LIMBS] }
+        } else {
+            LimbBuf::Heap(vec![0; n])
+        }
+    }
+}
+
+impl core::ops::Deref for LimbBuf {
+    type Target = [u64];
+    #[inline]
+    fn deref(&self) -> &[u64] {
+        match self {
+            LimbBuf::Inline { len, data } => &data[..*len as usize],
+            LimbBuf::Heap(v) => v,
+        }
+    }
+}
+
+impl core::ops::DerefMut for LimbBuf {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [u64] {
+        match self {
+            LimbBuf::Inline { len, data } => &mut data[..*len as usize],
+            LimbBuf::Heap(v) => v,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Per-thread scratch arena
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Reusable working buffers for `add`/`mul`/`div`/`sqrt` temporaries.
+    /// Buffers keep their capacity between ops, so steady-state arithmetic
+    /// at any fixed precision allocates nothing.
+    static SCRATCH: RefCell<Vec<Vec<u64>>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Borrow one zeroed scratch buffer of length `n` for the duration of `f`.
+#[inline]
+fn with_scratch<R>(n: usize, f: impl FnOnce(&mut Vec<u64>) -> R) -> R {
+    let mut buf = SCRATCH.with(|p| p.borrow_mut().pop()).unwrap_or_default();
+    buf.clear();
+    buf.resize(n, 0);
+    let r = f(&mut buf);
+    SCRATCH.with(|p| p.borrow_mut().push(buf));
+    r
+}
 
 /// Arbitrary-precision floating-point value.
 #[derive(Clone, Debug)]
@@ -22,7 +122,7 @@ pub struct BigFloat {
     sign: bool,
     class: Class,
     exp: i64,
-    limbs: Vec<u64>,
+    limbs: LimbBuf,
 }
 
 // ---------------------------------------------------------------------------
@@ -34,6 +134,22 @@ fn cmp_limbs(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
     debug_assert_eq!(a.len(), b.len());
     for i in (0..a.len()).rev() {
         match a[i].cmp(&b[i]) {
+            core::cmp::Ordering::Equal => continue,
+            o => return o,
+        }
+    }
+    core::cmp::Ordering::Equal
+}
+
+/// Compare magnitudes of two *top-aligned* normalized limb vectors of
+/// possibly different widths (both have the MSB of their top limb set and
+/// the same exponent semantics; missing low limbs count as zero).
+fn cmp_limbs_aligned(a: &[u64], b: &[u64]) -> core::cmp::Ordering {
+    let n = a.len().max(b.len());
+    for i in 0..n {
+        let ai = if i < a.len() { a[a.len() - 1 - i] } else { 0 };
+        let bi = if i < b.len() { b[b.len() - 1 - i] } else { 0 };
+        match ai.cmp(&bi) {
             core::cmp::Ordering::Equal => continue,
             o => return o,
         }
@@ -78,27 +194,35 @@ fn dec_limbs(a: &mut [u64]) {
     }
 }
 
-/// Logical right shift by `n` bits; returns true if any shifted-out bit was 1.
-fn shr_limbs(a: &mut Vec<u64>, n: u32) -> bool {
+/// In-place logical right shift by `n` bits over a fixed-width buffer;
+/// returns true if any shifted-out bit was 1.
+fn shr_limbs(a: &mut [u64], n: u32) -> bool {
     if n == 0 {
         return false;
     }
+    let len = a.len();
     let limb_shift = (n / 64) as usize;
     let bit_shift = n % 64;
     let mut sticky = false;
-    if limb_shift >= a.len() {
+    if limb_shift >= len {
         sticky = a.iter().any(|&l| l != 0);
         a.iter_mut().for_each(|l| *l = 0);
         return sticky;
     }
-    for &l in &a[..limb_shift] {
-        sticky |= l != 0;
+    if limb_shift > 0 {
+        for &l in &a[..limb_shift] {
+            sticky |= l != 0;
+        }
+        for i in 0..len - limb_shift {
+            a[i] = a[i + limb_shift];
+        }
+        for l in &mut a[len - limb_shift..] {
+            *l = 0;
+        }
     }
-    a.drain(..limb_shift);
-    a.extend(std::iter::repeat(0).take(limb_shift));
     if bit_shift > 0 {
         let mut carry = 0u64;
-        for i in (0..a.len()).rev() {
+        for i in (0..len).rev() {
             let new = (a[i] >> bit_shift) | carry;
             carry = a[i] << (64 - bit_shift);
             if i == 0 {
@@ -125,6 +249,22 @@ fn shl_limbs_small(a: &mut [u64], n: u32) {
     }
 }
 
+/// In-place left shift by whole limbs (toward the MSB): the slice version
+/// of "prepend zeros, drop top limbs".
+fn shl_whole_limbs(a: &mut [u64], limb_up: usize) {
+    if limb_up == 0 {
+        return;
+    }
+    let len = a.len();
+    debug_assert!(a[len - limb_up..].iter().all(|&l| l == 0));
+    for i in (limb_up..len).rev() {
+        a[i] = a[i - limb_up];
+    }
+    for l in &mut a[..limb_up] {
+        *l = 0;
+    }
+}
+
 /// Leading zero bits of the full vector (vector must be nonzero).
 fn leading_zeros(a: &[u64]) -> u32 {
     let mut lz = 0;
@@ -138,9 +278,11 @@ fn leading_zeros(a: &[u64]) -> u32 {
     lz
 }
 
-/// Exact schoolbook multiplication; returns a vector of `a.len() + b.len()`.
-fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
-    let mut out = vec![0u64; a.len() + b.len()];
+/// Exact schoolbook multiplication into a scratch buffer sized
+/// `a.len() + b.len()` (must be pre-zeroed).
+fn mul_limbs_into(a: &[u64], b: &[u64], out: &mut [u64]) {
+    debug_assert_eq!(out.len(), a.len() + b.len());
+    debug_assert!(out.iter().all(|&l| l == 0));
     for (i, &ai) in a.iter().enumerate() {
         if ai == 0 {
             continue;
@@ -159,29 +301,30 @@ fn mul_limbs(a: &[u64], b: &[u64]) -> Vec<u64> {
             k += 1;
         }
     }
-    out
 }
 
-/// Round a normalized limb vector (MSB of top limb set) to `prec` bits.
+/// Round a normalized limb slice (MSB of top limb set) to `prec` bits.
 ///
-/// Returns the rounded vector (limb count `ceil(prec/64)`, top-aligned) and
-/// the exponent increment.
+/// Mutates `a` in place and returns the rounded, top-aligned limb buffer
+/// (limb count `ceil(prec/64)`) and the exponent increment. Inline (no
+/// heap) whenever `prec <= 128`.
 fn round_limbs(
-    mut a: Vec<u64>,
+    a: &mut [u64],
     prec: u32,
     sign: bool,
     extra_sticky: bool,
     mode: RoundMode,
-) -> (Vec<u64>, i64) {
+) -> (LimbBuf, i64, bool) {
     let total_bits = 64 * a.len() as u32;
     debug_assert!(a.last().map_or(false, |&t| t >> 63 == 1));
     debug_assert!(prec >= 1);
     let out_limbs = ((prec + 63) / 64) as usize;
     if prec >= total_bits {
         // Pad with zero limbs at the bottom.
-        let mut out = vec![0u64; out_limbs - a.len()];
-        out.extend_from_slice(&a);
-        return (out, 0);
+        let mut out = LimbBuf::zeros(out_limbs);
+        let start = out_limbs - a.len();
+        out[start..].copy_from_slice(a);
+        return (out, 0, extra_sticky);
     }
     let drop = total_bits - prec; // number of low bits to discard
     // Guard bit is the highest discarded bit.
@@ -238,11 +381,18 @@ fn round_limbs(
             exp_inc = 1;
         }
     }
-    // Truncate the vector to the output limb count (low limbs are zero).
+    // Keep the top limbs (low limbs are zero).
     let keep_from = a.len() - out_limbs;
     debug_assert!(a[..keep_from].iter().all(|&l| l == 0) || exp_inc == 1);
-    let out = a[keep_from..].to_vec();
-    (out, exp_inc)
+    (LimbBuf::from_slice(&a[keep_from..]), exp_inc, guard || sticky)
+}
+
+/// `(exp_a, limbs_a) < (exp_b, limbs_b)` by magnitude (both normal).
+fn mag_lt(ae: i64, al: &[u64], be: i64, bl: &[u64]) -> bool {
+    if ae != be {
+        return ae < be;
+    }
+    cmp_limbs_aligned(al, bl) == core::cmp::Ordering::Less
 }
 
 impl BigFloat {
@@ -250,20 +400,20 @@ impl BigFloat {
 
     /// Positive zero.
     pub fn zero() -> Self {
-        BigFloat { sign: false, class: Class::Zero, exp: 0, limbs: Vec::new() }
+        BigFloat { sign: false, class: Class::Zero, exp: 0, limbs: LimbBuf::empty() }
     }
 
     /// Canonical NaN.
     pub fn nan() -> Self {
-        BigFloat { sign: false, class: Class::Nan, exp: 0, limbs: Vec::new() }
+        BigFloat { sign: false, class: Class::Nan, exp: 0, limbs: LimbBuf::empty() }
     }
 
     /// Signed infinity.
     pub fn infinity(sign: bool) -> Self {
-        BigFloat { sign, class: Class::Inf, exp: 0, limbs: Vec::new() }
+        BigFloat { sign, class: Class::Inf, exp: 0, limbs: LimbBuf::empty() }
     }
 
-    /// Exact conversion from a [`SoftFloat`].
+    /// Exact conversion from a [`SoftFloat`] (allocation-free).
     pub fn from_soft(x: &SoftFloat) -> Self {
         match x.class() {
             Class::Zero => {
@@ -277,12 +427,12 @@ impl BigFloat {
                 sign: x.sign(),
                 class: Class::Normal,
                 exp: x.exponent() as i64,
-                limbs: vec![x.significand()],
+                limbs: LimbBuf::one(x.significand()),
             },
         }
     }
 
-    /// Exact conversion from `f64`.
+    /// Exact conversion from `f64` (allocation-free).
     pub fn from_f64(x: f64) -> Self {
         BigFloat::from_soft(&SoftFloat::from_f64(x))
     }
@@ -429,14 +579,7 @@ impl BigFloat {
                 if self.exp != other.exp {
                     self.exp.cmp(&other.exp)
                 } else {
-                    // Align widths for comparison.
-                    let n = self.limbs.len().max(other.limbs.len());
-                    let pad = |v: &[u64]| {
-                        let mut p = vec![0u64; n - v.len()];
-                        p.extend_from_slice(v);
-                        p
-                    };
-                    cmp_limbs(&pad(&self.limbs), &pad(&other.limbs))
+                    cmp_limbs_aligned(&self.limbs, &other.limbs)
                 }
             }
         };
@@ -447,43 +590,62 @@ impl BigFloat {
 
     /// Round this value to `prec` significand bits.
     pub fn round_to_prec(&self, prec: u32, mode: RoundMode) -> Self {
+        self.round_to_prec_ix(prec, mode).0
+    }
+
+    /// [`BigFloat::round_to_prec`] also returning the inexact flag.
+    pub fn round_to_prec_ix(&self, prec: u32, mode: RoundMode) -> (Self, bool) {
         assert!(prec >= 1);
         if self.class != Class::Normal {
-            return self.clone();
+            return (self.clone(), false);
         }
-        let (limbs, inc) = round_limbs(self.limbs.clone(), prec, self.sign, false, mode);
-        BigFloat { sign: self.sign, class: Class::Normal, exp: self.exp + inc, limbs }
+        with_scratch(self.limbs.len(), |work| {
+            work.copy_from_slice(&self.limbs);
+            let (limbs, inc, ix) = round_limbs(work, prec, self.sign, false, mode);
+            (BigFloat { sign: self.sign, class: Class::Normal, exp: self.exp + inc, limbs }, ix)
+        })
     }
 
     // ----- arithmetic ------------------------------------------------------------
 
     /// Correctly-rounded addition into `prec` bits.
     pub fn add(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
-        self.add_signed(other, prec, mode, false)
+        self.add_signed_ix(other, prec, mode, false).0
     }
 
     /// Correctly-rounded subtraction into `prec` bits.
     pub fn sub(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
-        self.add_signed(other, prec, mode, true)
+        self.add_signed_ix(other, prec, mode, true).0
     }
 
-    fn add_signed(&self, other: &Self, prec: u32, mode: RoundMode, negate_b: bool) -> Self {
+    /// [`BigFloat::add`] also returning the inexact flag (the MPFR ternary
+    /// analog — what the naive runtime needs for exact subnormalization).
+    pub fn add_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
+        self.add_signed_ix(other, prec, mode, false)
+    }
+
+    /// [`BigFloat::sub`] also returning the inexact flag.
+    pub fn sub_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
+        self.add_signed_ix(other, prec, mode, true)
+    }
+
+    fn add_signed_ix(&self, other: &Self, prec: u32, mode: RoundMode, negate_b: bool) -> (Self, bool) {
         use Class::*;
         assert!(prec >= 1);
         let b_sign = other.sign ^ (negate_b && other.class != Nan);
         match (self.class, other.class) {
-            (Nan, _) | (_, Nan) => BigFloat::nan(),
+            (Nan, _) | (_, Nan) => (BigFloat::nan(), false),
             (Inf, Inf) => {
                 if self.sign == b_sign {
-                    BigFloat::infinity(self.sign)
+                    (BigFloat::infinity(self.sign), false)
                 } else {
-                    BigFloat::nan()
+                    (BigFloat::nan(), false)
                 }
             }
-            (Inf, _) => BigFloat::infinity(self.sign),
-            (_, Inf) => BigFloat::infinity(b_sign),
+            (Inf, _) => (BigFloat::infinity(self.sign), false),
+            (_, Inf) => (BigFloat::infinity(b_sign), false),
             (Zero, Zero) => {
-                if self.sign && b_sign {
+                let z = if self.sign && b_sign {
                     let mut z = BigFloat::zero();
                     z.sign = true;
                     z
@@ -493,185 +655,184 @@ impl BigFloat {
                     z
                 } else {
                     BigFloat::zero()
-                }
+                };
+                (z, false)
             }
             (Zero, Normal) => {
+                // Set the effective sign first: directed rounding modes
+                // depend on it.
                 let mut b = other.clone();
                 b.sign = b_sign;
-                b.round_to_prec(prec, mode)
+                b.round_to_prec_ix(prec, mode)
             }
-            (Normal, Zero) => self.round_to_prec(prec, mode),
+            (Normal, Zero) => self.round_to_prec_ix(prec, mode),
             (Normal, Normal) => {
-                let mut a = self.clone();
-                let mut b = other.clone();
-                b.sign = b_sign;
-                let a_mag_lt = matches!(
-                    a.abs().partial_cmp_ieee(&b.abs()),
-                    Some(core::cmp::Ordering::Less)
-                );
-                if a_mag_lt {
-                    core::mem::swap(&mut a, &mut b);
-                }
-                let d = (a.exp - b.exp) as u64;
+                // Order by magnitude without cloning: A is the larger.
+                let (ae, al, a_sign, be, bl, b_sgn) =
+                    if mag_lt(self.exp, &self.limbs, other.exp, &other.limbs) {
+                        (other.exp, &*other.limbs, b_sign, self.exp, &*self.limbs, self.sign)
+                    } else {
+                        (self.exp, &*self.limbs, self.sign, other.exp, &*other.limbs, b_sign)
+                    };
+                let d = (ae - be) as u64;
                 // Working window: enough bits for the result precision plus
                 // one carry bit and guard/sticky space.
-                let win_bits = (prec as usize + 2).max(64 * a.limbs.len()).max(64 * b.limbs.len()) + 66;
+                let win_bits = (prec as usize + 2).max(64 * al.len()).max(64 * bl.len()) + 66;
                 let win_limbs = (win_bits + 63) / 64;
-                // Place A top-aligned one bit down (headroom for carry).
-                let mut av = vec![0u64; win_limbs];
-                let abits = 64 * a.limbs.len();
-                // Copy a into the top of av, shifted right by 1 for headroom.
-                for (i, &l) in a.limbs.iter().enumerate() {
-                    av[win_limbs - a.limbs.len() + i] = l;
-                }
-                let _ = abits;
-                let mut sticky = shr_limbs(&mut av, 1);
-                debug_assert!(!sticky);
-                // Place B likewise, then shift right by d.
-                let mut bv = vec![0u64; win_limbs];
-                for (i, &l) in b.limbs.iter().enumerate() {
-                    bv[win_limbs - b.limbs.len() + i] = l;
-                }
-                let bshift = 1u64.saturating_add(d);
-                sticky = if bshift >= (64 * win_limbs) as u64 {
-                    let any = bv.iter().any(|&l| l != 0);
-                    bv.iter_mut().for_each(|l| *l = 0);
-                    any
-                } else {
-                    shr_limbs(&mut bv, bshift as u32)
-                };
-                let res_sign;
-                if a.sign == b.sign {
-                    res_sign = a.sign;
-                    let carry = add_limbs(&mut av, &bv);
-                    debug_assert!(!carry, "headroom bit prevents carry-out");
-                } else {
-                    res_sign = a.sign;
-                    if sticky {
-                        // borrow trick: subtract one extra ulp, keep sticky
-                        dec_limbs(&mut av);
-                    }
-                    let borrow = sub_limbs(&mut av, &bv);
-                    debug_assert!(!borrow, "|a| >= |b| guaranteed");
-                }
-                if av.iter().all(|&l| l == 0) {
-                    return if mode == RoundMode::Down {
-                        let mut z = BigFloat::zero();
-                        z.sign = true;
-                        z
-                    } else {
-                        BigFloat::zero()
-                    };
-                }
-                // Normalize: top-align.
-                let lz = leading_zeros(&av);
-                // Exponent of the top bit of the window is a.exp + 1 (we
-                // shifted A down by one for headroom).
-                let res_exp = a.exp + 1 - lz as i64;
-                // Shift left by lz (may cross limbs).
-                let limb_up = (lz / 64) as usize;
-                if limb_up > 0 {
-                    av.drain(av.len() - limb_up..);
-                    let mut pre = vec![0u64; limb_up];
-                    pre.extend_from_slice(&av);
-                    av = pre;
-                }
-                shl_limbs_small(&mut av, lz % 64);
-                let (limbs, inc) = round_limbs(av, prec, res_sign, sticky, mode);
-                BigFloat { sign: res_sign, class: Normal, exp: res_exp + inc, limbs }
+                with_scratch(win_limbs, |av| {
+                    with_scratch(win_limbs, |bv| {
+                        // Place A top-aligned one bit down (headroom for carry).
+                        for (i, &l) in al.iter().enumerate() {
+                            av[win_limbs - al.len() + i] = l;
+                        }
+                        let mut sticky = shr_limbs(av, 1);
+                        debug_assert!(!sticky);
+                        // Place B likewise, then shift right by d.
+                        for (i, &l) in bl.iter().enumerate() {
+                            bv[win_limbs - bl.len() + i] = l;
+                        }
+                        let bshift = 1u64.saturating_add(d);
+                        sticky = if bshift >= (64 * win_limbs) as u64 {
+                            let any = bv.iter().any(|&l| l != 0);
+                            bv.iter_mut().for_each(|l| *l = 0);
+                            any
+                        } else {
+                            shr_limbs(bv, bshift as u32)
+                        };
+                        let res_sign = a_sign;
+                        if a_sign == b_sgn {
+                            let carry = add_limbs(av, bv);
+                            debug_assert!(!carry, "headroom bit prevents carry-out");
+                        } else {
+                            if sticky {
+                                // borrow trick: subtract one extra ulp, keep sticky
+                                dec_limbs(av);
+                            }
+                            let borrow = sub_limbs(av, bv);
+                            debug_assert!(!borrow, "|a| >= |b| guaranteed");
+                        }
+                        if av.iter().all(|&l| l == 0) {
+                            return if mode == RoundMode::Down {
+                                let mut z = BigFloat::zero();
+                                z.sign = true;
+                                (z, false)
+                            } else {
+                                (BigFloat::zero(), false)
+                            };
+                        }
+                        // Normalize: top-align.
+                        let lz = leading_zeros(av);
+                        // Exponent of the top bit of the window is ae + 1 (we
+                        // shifted A down by one for headroom).
+                        let res_exp = ae + 1 - lz as i64;
+                        shl_whole_limbs(av, (lz / 64) as usize);
+                        shl_limbs_small(av, lz % 64);
+                        let (limbs, inc, ix) = round_limbs(av, prec, res_sign, sticky, mode);
+                        (
+                            BigFloat { sign: res_sign, class: Normal, exp: res_exp + inc, limbs },
+                            ix,
+                        )
+                    })
+                })
             }
         }
     }
 
     /// Correctly-rounded multiplication into `prec` bits.
     pub fn mul(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.mul_ix(other, prec, mode).0
+    }
+
+    /// [`BigFloat::mul`] also returning the inexact flag.
+    pub fn mul_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
         use Class::*;
         assert!(prec >= 1);
         let sign = self.sign ^ other.sign;
         match (self.class, other.class) {
-            (Nan, _) | (_, Nan) => BigFloat::nan(),
-            (Inf, Zero) | (Zero, Inf) => BigFloat::nan(),
-            (Inf, _) | (_, Inf) => BigFloat::infinity(sign),
+            (Nan, _) | (_, Nan) => (BigFloat::nan(), false),
+            (Inf, Zero) | (Zero, Inf) => (BigFloat::nan(), false),
+            (Inf, _) | (_, Inf) => (BigFloat::infinity(sign), false),
             (Zero, _) | (_, Zero) => {
                 let mut z = BigFloat::zero();
                 z.sign = sign;
-                z
+                (z, false)
             }
             (Normal, Normal) => {
-                let mut p = mul_limbs(&self.limbs, &other.limbs);
-                // Top bit is at position 64*n-1 or 64*n-2.
-                let lz = leading_zeros(&p);
-                debug_assert!(lz <= 1);
-                let res_exp = self.exp + other.exp + 1 - lz as i64;
-                shl_limbs_small(&mut p, lz);
-                let (limbs, inc) = round_limbs(p, prec, sign, false, mode);
-                BigFloat { sign, class: Normal, exp: res_exp + inc, limbs }
+                with_scratch(self.limbs.len() + other.limbs.len(), |p| {
+                    mul_limbs_into(&self.limbs, &other.limbs, p);
+                    // Top bit is at position 64*n-1 or 64*n-2.
+                    let lz = leading_zeros(p);
+                    debug_assert!(lz <= 1);
+                    let res_exp = self.exp + other.exp + 1 - lz as i64;
+                    shl_limbs_small(p, lz);
+                    let (limbs, inc, ix) = round_limbs(p, prec, sign, false, mode);
+                    (BigFloat { sign, class: Normal, exp: res_exp + inc, limbs }, ix)
+                })
             }
         }
     }
 
     /// Correctly-rounded division into `prec` bits (bitwise long division).
     pub fn div(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.div_ix(other, prec, mode).0
+    }
+
+    /// [`BigFloat::div`] also returning the inexact flag.
+    pub fn div_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
         use Class::*;
         assert!(prec >= 1);
         let sign = self.sign ^ other.sign;
         match (self.class, other.class) {
-            (Nan, _) | (_, Nan) => BigFloat::nan(),
-            (Inf, Inf) | (Zero, Zero) => BigFloat::nan(),
-            (Inf, _) => BigFloat::infinity(sign),
+            (Nan, _) | (_, Nan) => (BigFloat::nan(), false),
+            (Inf, Inf) | (Zero, Zero) => (BigFloat::nan(), false),
+            (Inf, _) => (BigFloat::infinity(sign), false),
             (_, Inf) | (Zero, _) => {
                 let mut z = BigFloat::zero();
                 z.sign = sign;
-                z
+                (z, false)
             }
-            (_, Zero) => BigFloat::infinity(sign),
+            (_, Zero) => (BigFloat::infinity(sign), false),
             (Normal, Normal) => {
-                // Align numerator and denominator to a common width.
+                // Align numerator and denominator to a common width, with a
+                // headroom limb for shifting.
                 let n = self.limbs.len().max(other.limbs.len());
-                let widen = |v: &[u64]| {
-                    let mut w = vec![0u64; n - v.len()];
-                    w.extend_from_slice(v);
-                    w
-                };
-                let mut rem = widen(&self.limbs);
-                let den = widen(&other.limbs);
-                // First quotient bit: compare magnitudes.
-                let mut res_exp = self.exp - other.exp;
-                if cmp_limbs(&rem, &den) == core::cmp::Ordering::Less {
-                    res_exp -= 1;
-                    // rem <<= 1 (top bit is zero before shift? rem top bit
-                    // is set; shifting would overflow — instead halve den?)
-                    // Use the standard scheme below which shifts rem each
-                    // step with headroom: extend by one limb.
-                }
-                // Extend with a headroom limb for shifting.
-                rem.push(0);
-                let mut den2 = den.clone();
-                den2.push(0);
-                // Pre-shift: if rem < den, shift rem once (consumed the
-                // exponent decrement above).
-                if res_exp != self.exp - other.exp {
-                    shl_limbs_small(&mut rem, 1);
-                }
-                let qbits = prec + 2;
-                let out_limbs = ((qbits + 63) / 64) as usize;
-                let mut q = vec![0u64; out_limbs];
-                for i in 0..qbits {
-                    // Current bit position from the top: bit index (qbits-1-i).
-                    if cmp_limbs(&rem, &den2) != core::cmp::Ordering::Less {
-                        sub_limbs(&mut rem, &den2);
-                        let pos = (out_limbs * 64) as u32 - 1 - i;
-                        q[(pos / 64) as usize] |= 1 << (pos % 64);
-                    }
-                    if i + 1 < qbits {
-                        shl_limbs_small(&mut rem, 1);
-                    }
-                }
-                let sticky = rem.iter().any(|&l| l != 0);
-                // q's top bit is set (we arranged rem >= den at step 0).
-                debug_assert!(q.last().map_or(false, |&t| t >> 63 == 1));
-                let (limbs, inc) = round_limbs(q, prec, sign, sticky, mode);
-                BigFloat { sign, class: Normal, exp: res_exp + inc, limbs }
+                with_scratch(n + 1, |rem| {
+                    with_scratch(n + 1, |den2| {
+                        let qbits = prec + 2;
+                        let out_limbs = ((qbits + 63) / 64) as usize;
+                        with_scratch(out_limbs, |q| {
+                            // rem = numerator, den2 = denominator (top-aligned
+                            // into the common width; low limbs zero).
+                            rem[n - self.limbs.len()..n].copy_from_slice(&self.limbs);
+                            den2[n - other.limbs.len()..n].copy_from_slice(&other.limbs);
+                            // First quotient bit: compare magnitudes.
+                            let mut res_exp = self.exp - other.exp;
+                            if cmp_limbs(&rem[..n], &den2[..n]) == core::cmp::Ordering::Less {
+                                res_exp -= 1;
+                                // Pre-shift rem once (consumed the exponent
+                                // decrement above); the headroom limb absorbs
+                                // the carry.
+                                shl_limbs_small(rem, 1);
+                            }
+                            for i in 0..qbits {
+                                // Current bit position from the top: (qbits-1-i).
+                                if cmp_limbs(rem, den2) != core::cmp::Ordering::Less {
+                                    sub_limbs(rem, den2);
+                                    let pos = (out_limbs * 64) as u32 - 1 - i;
+                                    q[(pos / 64) as usize] |= 1 << (pos % 64);
+                                }
+                                if i + 1 < qbits {
+                                    shl_limbs_small(rem, 1);
+                                }
+                            }
+                            let sticky = rem.iter().any(|&l| l != 0);
+                            // q's top bit is set (we arranged rem >= den at step 0).
+                            debug_assert!(q.last().map_or(false, |&t| t >> 63 == 1));
+                            let (limbs, inc, ix) = round_limbs(q, prec, sign, sticky, mode);
+                            (BigFloat { sign, class: Normal, exp: res_exp + inc, limbs }, ix)
+                        })
+                    })
+                })
             }
         }
     }
@@ -679,21 +840,26 @@ impl BigFloat {
     /// Correctly-rounded square root into `prec` bits (binary digit
     /// recurrence).
     pub fn sqrt(&self, prec: u32, mode: RoundMode) -> Self {
+        self.sqrt_ix(prec, mode).0
+    }
+
+    /// [`BigFloat::sqrt`] also returning the inexact flag.
+    pub fn sqrt_ix(&self, prec: u32, mode: RoundMode) -> (Self, bool) {
         use Class::*;
         assert!(prec >= 1);
         match self.class {
-            Nan => BigFloat::nan(),
-            Zero => self.clone(),
+            Nan => (BigFloat::nan(), false),
+            Zero => (self.clone(), false),
             Inf => {
                 if self.sign {
-                    BigFloat::nan()
+                    (BigFloat::nan(), false)
                 } else {
-                    self.clone()
+                    (self.clone(), false)
                 }
             }
             Normal => {
                 if self.sign {
-                    return BigFloat::nan();
+                    return (BigFloat::nan(), false);
                 }
                 // Integer method: write x = S * 2^t where S is the
                 // significand as an integer (bit length 64n, top bit set)
@@ -715,90 +881,94 @@ impl BigFloat {
                 // Build I = S << s0 in a wide buffer.
                 let tot_bits = l_bits + s0;
                 let tot_limbs = ((tot_bits + 63) / 64) as usize + 1;
-                let mut i_vec = vec![0u64; tot_limbs];
-                let limb_off = (s0 / 64) as usize;
-                let bit_off = s0 % 64;
-                for (idx, &limb) in self.limbs.iter().enumerate() {
-                    let lo = (limb << bit_off) | 0;
-                    i_vec[idx + limb_off] |= lo;
-                    if bit_off > 0 {
-                        i_vec[idx + limb_off + 1] |= limb >> (64 - bit_off);
+                with_scratch(tot_limbs, |i_vec| {
+                    let limb_off = (s0 / 64) as usize;
+                    let bit_off = s0 % 64;
+                    for (idx, &limb) in self.limbs.iter().enumerate() {
+                        i_vec[idx + limb_off] |= limb << bit_off;
+                        if bit_off > 0 {
+                            i_vec[idx + limb_off + 1] |= limb >> (64 - bit_off);
+                        }
                     }
-                }
-                // Integer sqrt of i_vec via bitwise method.
-                let (root, rem_nz) = isqrt_limbs(&i_vec);
-                // root value: sqrt(S * 2^s0); x = I * 2^(2*t2) so
-                // sqrt(x) = root * 2^t2 (plus fractional correction in rem).
-                // Normalize root into a BigFloat.
-                let rlz = leading_zeros(&root);
-                let rbits = 64 * root.len() as u32 - rlz;
-                debug_assert!(rbits >= qbits, "computed enough root bits");
-                let mut rv = root.clone();
-                // top-align
-                let limb_up = (rlz / 64) as usize;
-                if limb_up > 0 {
-                    rv.drain(rv.len() - limb_up..);
-                    let mut pre = vec![0u64; limb_up];
-                    pre.extend_from_slice(&rv);
-                    rv = pre;
-                }
-                shl_limbs_small(&mut rv, rlz % 64);
-                let res_exp = t2 + (rbits as i64 - 1);
-                let (limbs, inc) = round_limbs(rv, prec, false, rem_nz, mode);
-                BigFloat { sign: false, class: Normal, exp: res_exp + inc, limbs }
+                    // Integer sqrt via bitwise method, in scratch buffers.
+                    with_scratch(tot_limbs, |root| {
+                        with_scratch(tot_limbs, |cand| {
+                            let rem_nz = isqrt_limbs(i_vec, root, cand);
+                            // root value: sqrt(S * 2^s0); x = I * 2^(2*t2) so
+                            // sqrt(x) = root * 2^t2 (plus fractional
+                            // correction in rem).
+                            let rlz = leading_zeros(root);
+                            let rbits = 64 * root.len() as u32 - rlz;
+                            debug_assert!(rbits >= qbits, "computed enough root bits");
+                            // Top-align root in place.
+                            shl_whole_limbs(root, (rlz / 64) as usize);
+                            shl_limbs_small(root, rlz % 64);
+                            let res_exp = t2 + (rbits as i64 - 1);
+                            let (limbs, inc, ix) = round_limbs(root, prec, false, rem_nz, mode);
+                            (
+                                BigFloat { sign: false, class: Normal, exp: res_exp + inc, limbs },
+                                ix,
+                            )
+                        })
+                    })
+                })
             }
         }
     }
 }
 
-/// Bitwise integer square root over limb vectors: returns
-/// `(floor(sqrt(x)), remainder != 0)`.
-fn isqrt_limbs(x: &[u64]) -> (Vec<u64>, bool) {
+/// Bitwise integer square root over limb vectors, allocation-free:
+/// on entry `x` holds the radicand; on exit `root` holds
+/// `floor(sqrt(x))` and the return value says whether the remainder was
+/// nonzero. `x` is consumed as the running remainder; `cand` is scratch.
+fn isqrt_limbs(x: &mut [u64], root: &mut [u64], cand: &mut [u64]) -> bool {
     let n = x.len();
+    debug_assert_eq!(root.len(), n);
+    debug_assert_eq!(cand.len(), n);
     let total_bits = 64 * n as u32;
-    let mut rem = x.to_vec();
-    let mut root = vec![0u64; n];
-    // Highest even bit position <= msb.
-    let lz = if rem.iter().all(|&l| l == 0) {
-        return (root, false);
-    } else {
-        leading_zeros(&rem)
-    };
+    root.iter_mut().for_each(|l| *l = 0);
+    if x.iter().all(|&l| l == 0) {
+        return false;
+    }
+    let lz = leading_zeros(x);
     let msb = total_bits - 1 - lz;
     let mut shift = msb & !1; // largest even position
-    // "bit" = 1 << shift, iterate downward.
-    // We avoid big temporaries by testing candidate = root + bit via
-    // dedicated compare-and-subtract on (root << 1 | bit-aligned) forms.
     // Classic algorithm:
     //   while bit != 0:
     //     if rem >= root + bit: rem -= root + bit; root = root/2 + bit
     //     else: root = root/2
     //     bit >>= 2
-    // with all quantities as limb vectors.
+    // with all quantities as limb vectors and `rem` aliasing `x`.
     let set_bit = |v: &mut [u64], pos: u32| v[(pos / 64) as usize] |= 1 << (pos % 64);
     loop {
-        // candidate = root + bit (root has no bits below `shift+1`? In this
-        // scheme root accumulates shifted; just do full-vector arithmetic.)
-        let mut cand = root.clone();
-        let mut carry_vec = vec![0u64; n];
-        set_bit(&mut carry_vec, shift);
-        let c = add_limbs(&mut cand, &carry_vec);
-        debug_assert!(!c);
-        if cmp_limbs(&rem, &cand) != core::cmp::Ordering::Less {
-            sub_limbs(&mut rem, &cand);
+        // cand = root + (1 << shift)
+        cand.copy_from_slice(root);
+        let limb_idx = (shift / 64) as usize;
+        let bit = 1u64 << (shift % 64);
+        let (s, mut carry) = cand[limb_idx].overflowing_add(bit);
+        cand[limb_idx] = s;
+        let mut k = limb_idx + 1;
+        while carry && k < n {
+            let (s2, c2) = cand[k].overflowing_add(1);
+            cand[k] = s2;
+            carry = c2;
+            k += 1;
+        }
+        debug_assert!(!carry);
+        if cmp_limbs(x, cand) != core::cmp::Ordering::Less {
+            sub_limbs(x, cand);
             // root = root/2 + bit
-            shr_limbs_slice(&mut root);
-            set_bit(&mut root, shift);
+            shr_limbs_slice(root);
+            set_bit(root, shift);
         } else {
-            shr_limbs_slice(&mut root);
+            shr_limbs_slice(root);
         }
         if shift < 2 {
             break;
         }
         shift -= 2;
     }
-    let rem_nz = rem.iter().any(|&l| l != 0);
-    (root, rem_nz)
+    x.iter().any(|&l| l != 0)
 }
 
 /// In-place right shift by one bit over a limb slice.
@@ -938,5 +1108,31 @@ mod tests {
         let s = SoftFloat::from_f64(std::f64::consts::PI);
         let b = BigFloat::from_soft(&s);
         assert_eq!(b.to_soft().to_f64(), std::f64::consts::PI);
+    }
+
+    #[test]
+    fn inline_storage_covers_paper_precisions() {
+        // ≤ 128-bit results stay inline; wider spill to the heap.
+        let q113 = bf(1.0).div(&bf(3.0), 113, RoundMode::NearestEven);
+        assert!(matches!(q113.limbs, LimbBuf::Inline { .. }));
+        assert_eq!(q113.width_bits(), 128);
+        let q192 = bf(1.0).div(&bf(3.0), 192, RoundMode::NearestEven);
+        assert!(matches!(q192.limbs, LimbBuf::Heap(_)));
+        // Same numeric results either way at a shared precision.
+        let a = q113.round_to_prec(53, RoundMode::NearestEven).to_f64();
+        let b = q192.round_to_prec(53, RoundMode::NearestEven).to_f64();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    #[test]
+    fn cross_width_arithmetic_mixes_inline_and_heap() {
+        // 192-bit value plus 53-bit value, rounded into 113 bits: exercises
+        // aligned comparison and the scratch window with mixed widths.
+        let third = bf(1.0).div(&bf(3.0), 192, RoundMode::NearestEven);
+        let one = bf(1.0);
+        let s = third.add(&one, 113, RoundMode::NearestEven);
+        assert!((s.to_f64() - (1.0 + 1.0 / 3.0)).abs() < 1e-15);
+        let d = s.sub(&third, 113, RoundMode::NearestEven);
+        assert!((d.to_f64() - 1.0).abs() < 1e-30);
     }
 }

@@ -98,6 +98,35 @@ impl Format {
         *self == Format::FP64 || *self == Format::FP32
     }
 
+    /// Whether round-to-nearest-even double rounding through hardware `f64`
+    /// is *innocuous* for `+`, `-`, `*`, `/`, `sqrt` in this format — i.e.
+    /// `round_fmt(op_f64(a, b)) == round_fmt(exact op)` for all format
+    /// values `a`, `b`.
+    ///
+    /// Conditions (all must hold):
+    /// * Figueroa's bound `2p + 2 <= 53` (`precision() <= 25`), so a
+    ///   53-bit intermediate rounding cannot move the result across a
+    ///   `p`-bit rounding boundary;
+    /// * the format embeds in `f64` (`exp_bits <= 11`, `man_bits <= 52`);
+    /// * every rounding decision boundary of the format — down to half its
+    ///   minimum subnormal at exponent `emin - man_bits - 1` — lies where
+    ///   `f64` still carries `2p + 2` significant bits, so the shrinking
+    ///   `f64` subnormal precision near `2^-1074` cannot corrupt the
+    ///   underflow decisions: `emin - man_bits >= 2p - 1072`.
+    ///
+    /// Every format the paper sweeps (fp8/fp16/bf16, `64_to_5_14`, the
+    /// Table 3 `e11m12`, ...) qualifies; wide-mantissa formats with the
+    /// full 11-bit exponent range (e.g. `e11m24`) fall back to the
+    /// SoftFloat path. Differentially tested against the naive path in
+    /// `raptor-core/tests/fastpath.rs`.
+    #[inline]
+    pub fn double_round_safe(&self) -> bool {
+        let p = self.precision() as i32;
+        p <= 25
+            && self.exp_bits <= 11
+            && self.emin() - self.man_bits as i32 >= 2 * p - 1072
+    }
+
     /// Largest finite value of this format.
     pub fn max_finite(&self) -> f64 {
         let p = self.precision();
@@ -124,6 +153,7 @@ impl Format {
     /// overflow, and gradual underflow.
     ///
     /// Requires `precision() <= 64` (use [`crate::BigFloat`] otherwise).
+    #[inline]
     pub fn round_soft(&self, x: &SoftFloat, mode: RoundMode) -> SoftFloat {
         self.round_soft_sticky(x, false, mode)
     }
@@ -132,6 +162,7 @@ impl Format {
     /// zero of a longer exact value whose discarded tail is summarized by
     /// `sticky`. This is the single-rounding back end for the format-level
     /// arithmetic ops below.
+    #[inline]
     pub fn round_soft_sticky(&self, x: &SoftFloat, sticky: bool, mode: RoundMode) -> SoftFloat {
         let p = self.precision();
         assert!(p <= 64, "format precision exceeds SoftFloat capacity");
@@ -172,20 +203,33 @@ impl Format {
     // ------------------------------------------------------------------
 
     /// `a + b`, correctly rounded once into this format.
+    #[inline]
     pub fn add(&self, a: &SoftFloat, b: &SoftFloat, mode: RoundMode) -> SoftFloat {
         assert!(self.precision() <= 62, "format add requires precision <= 62");
         let (t, ix) = a.add_rz64(b);
+        if t.is_zero() && !ix {
+            // Exact cancellation: the zero's sign depends on the *final*
+            // rounding direction (x + -x is -0 under Down), which the
+            // toward-zero intermediate cannot know. Redo the (cheap,
+            // exact-zero) add under the real mode.
+            return a.add(b, 1, mode);
+        }
         self.round_soft_sticky(&t, ix, mode)
     }
 
     /// `a - b`, correctly rounded once into this format.
+    #[inline]
     pub fn sub(&self, a: &SoftFloat, b: &SoftFloat, mode: RoundMode) -> SoftFloat {
         assert!(self.precision() <= 62, "format sub requires precision <= 62");
         let (t, ix) = a.sub_rz64(b);
+        if t.is_zero() && !ix {
+            return a.sub(b, 1, mode);
+        }
         self.round_soft_sticky(&t, ix, mode)
     }
 
     /// `a * b`, correctly rounded once into this format.
+    #[inline]
     pub fn mul(&self, a: &SoftFloat, b: &SoftFloat, mode: RoundMode) -> SoftFloat {
         assert!(self.precision() <= 62, "format mul requires precision <= 62");
         let (t, ix) = a.mul_rz64(b);
@@ -193,6 +237,7 @@ impl Format {
     }
 
     /// `a / b`, correctly rounded once into this format.
+    #[inline]
     pub fn div(&self, a: &SoftFloat, b: &SoftFloat, mode: RoundMode) -> SoftFloat {
         assert!(self.precision() <= 62, "format div requires precision <= 62");
         let (t, ix) = a.div_rz64(b);
@@ -200,6 +245,7 @@ impl Format {
     }
 
     /// `sqrt(a)`, correctly rounded once into this format.
+    #[inline]
     pub fn sqrt(&self, a: &SoftFloat, mode: RoundMode) -> SoftFloat {
         assert!(self.precision() <= 61, "format sqrt requires precision <= 61");
         let (t, ix) = a.sqrt_rz63();
@@ -282,6 +328,7 @@ impl Format {
     /// crosses the runtime boundary is squeezed into `(e, m)` and widened
     /// back. Requires `man_bits <= 52` and `exp_bits <= 11` so the result is
     /// representable in `f64`.
+    #[inline]
     pub fn round_f64(&self, x: f64, mode: RoundMode) -> f64 {
         assert!(self.man_bits <= 52 && self.exp_bits <= 11);
         if *self == Format::FP64 {
@@ -298,6 +345,7 @@ impl Format {
 
     /// Bit-twiddled round-to-nearest-even path (the common case in the
     /// RAPTOR runtime). Differential-tested against the `SoftFloat` path.
+    #[inline]
     fn round_f64_rne_fast(&self, x: f64) -> f64 {
         let bits = x.to_bits();
         let sign = bits & (1 << 63);
@@ -345,7 +393,12 @@ impl Format {
         // representable (<= 53 bits at lsb exponent >= emin - man_bits
         // >= -1074 for every format this path accepts).
         let res = (rmant as f64) * exp2i(exp - 52 + drop as i32);
-        if res > self.max_finite() {
+        // Overflow check without materializing max_finite (powi is a
+        // function call; this path is the op-mode hot loop): the result
+        // sits on the format's mantissa grid, so it exceeds max_finite
+        // exactly when its unbiased exponent exceeds emax.
+        let e_res = ((res.to_bits() >> 52) & 0x7FF) as i32 - 1023;
+        if e_res > emax {
             return f64::from_bits(sign | f64::INFINITY.to_bits());
         }
         f64::from_bits(res.to_bits() | sign)

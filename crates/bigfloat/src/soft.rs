@@ -401,14 +401,21 @@ impl SoftFloat {
     /// Round to `prec` bits treating this value as a truncation of a longer
     /// one: `sticky` marks discarded lower-order bits (used by the
     /// single-rounding [`crate::Format`] operations).
+    #[inline]
     pub fn round_to_prec_sticky(&self, prec: u32, sticky: bool, mode: RoundMode) -> Self {
+        self.round_to_prec_ix(prec, sticky, mode).0
+    }
+
+    /// Like [`SoftFloat::round_to_prec_sticky`], also returning whether the
+    /// result is inexact (any information was discarded).
+    pub fn round_to_prec_ix(&self, prec: u32, sticky: bool, mode: RoundMode) -> (Self, bool) {
         assert!((1..=64).contains(&prec), "precision out of range: {prec}");
         if self.class != Class::Normal {
-            return *self;
+            return (*self, false);
         }
         let sig128 = (self.sig as u128) << 64;
-        let (sig, inc, _) = round_sig128(sig128, prec, self.sign, sticky, mode);
-        SoftFloat { sign: self.sign, class: Class::Normal, exp: self.exp + inc, sig }
+        let (sig, inc, ix) = round_sig128(sig128, prec, self.sign, sticky, mode);
+        (SoftFloat { sign: self.sign, class: Class::Normal, exp: self.exp + inc, sig }, ix)
     }
 
     /// Addition truncated toward zero at 64 bits, plus an inexact flag.
@@ -417,36 +424,33 @@ impl SoftFloat {
     /// re-rounding at ≤ 63 bits: all kept bits are present and `inexact`
     /// plays the role of the sticky tail. This powers the single-rounding
     /// format ops in [`crate::Format`].
+    #[inline]
     pub fn add_rz64(&self, other: &Self) -> (Self, bool) {
-        let r = self.add(other, 64, RoundMode::TowardZero);
-        let inexact = !r.is_nan() && !self.add(other, 64, RoundMode::Up).bit_identical(&r);
-        (r, inexact)
+        self.add_signed_ix(other, 64, RoundMode::TowardZero, false)
     }
 
     /// Subtraction truncated toward zero at 64 bits, plus an inexact flag.
+    #[inline]
     pub fn sub_rz64(&self, other: &Self) -> (Self, bool) {
-        self.add_rz64(&other.neg())
+        self.add_signed_ix(other, 64, RoundMode::TowardZero, true)
     }
 
     /// Multiplication truncated toward zero at 64 bits, plus inexact flag.
+    #[inline]
     pub fn mul_rz64(&self, other: &Self) -> (Self, bool) {
-        let r = self.mul(other, 64, RoundMode::TowardZero);
-        let inexact = !r.is_nan() && !self.mul(other, 64, RoundMode::Up).bit_identical(&r);
-        (r, inexact)
+        self.mul_ix(other, 64, RoundMode::TowardZero)
     }
 
     /// Division truncated toward zero at 64 bits, plus inexact flag.
+    #[inline]
     pub fn div_rz64(&self, other: &Self) -> (Self, bool) {
-        let r = self.div(other, 64, RoundMode::TowardZero);
-        let inexact = !r.is_nan() && !self.div(other, 64, RoundMode::Up).bit_identical(&r);
-        (r, inexact)
+        self.div_ix(other, 64, RoundMode::TowardZero)
     }
 
     /// Square root truncated toward zero at 63 bits, plus inexact flag.
+    #[inline]
     pub fn sqrt_rz63(&self) -> (Self, bool) {
-        let r = self.sqrt(63, RoundMode::TowardZero);
-        let inexact = !r.is_nan() && !self.sqrt(63, RoundMode::Up).bit_identical(&r);
-        (r, inexact)
+        self.sqrt_ix(63, RoundMode::TowardZero)
     }
 
     /// Bitwise identity (distinguishes -0 from +0; NaN equals NaN).
@@ -465,32 +469,40 @@ impl SoftFloat {
     // ----- arithmetic ---------------------------------------------------------
 
     /// Correctly-rounded addition into `prec` bits.
+    #[inline]
     pub fn add(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
-        self.add_signed(other, prec, mode, false)
+        self.add_signed_ix(other, prec, mode, false).0
     }
 
     /// Correctly-rounded subtraction into `prec` bits.
+    #[inline]
     pub fn sub(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
-        self.add_signed(other, prec, mode, true)
+        self.add_signed_ix(other, prec, mode, true).0
     }
 
-    fn add_signed(&self, other: &Self, prec: u32, mode: RoundMode, negate_b: bool) -> Self {
+    /// [`SoftFloat::add`] also returning the inexact flag.
+    #[inline]
+    pub fn add_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
+        self.add_signed_ix(other, prec, mode, false)
+    }
+
+    fn add_signed_ix(&self, other: &Self, prec: u32, mode: RoundMode, negate_b: bool) -> (Self, bool) {
         assert!((1..=64).contains(&prec), "precision out of range: {prec}");
         use Class::*;
         let b_sign = other.sign ^ (negate_b && other.class != Nan);
         match (self.class, other.class) {
-            (Nan, _) | (_, Nan) => SoftFloat::nan(),
+            (Nan, _) | (_, Nan) => (SoftFloat::nan(), false),
             (Inf, Inf) => {
                 if self.sign == b_sign {
-                    SoftFloat::infinity(self.sign)
+                    (SoftFloat::infinity(self.sign), false)
                 } else {
-                    SoftFloat::nan()
+                    (SoftFloat::nan(), false)
                 }
             }
-            (Inf, _) => SoftFloat::infinity(self.sign),
-            (_, Inf) => SoftFloat::infinity(b_sign),
+            (Inf, _) => (SoftFloat::infinity(self.sign), false),
+            (_, Inf) => (SoftFloat::infinity(b_sign), false),
             (Zero, Zero) => {
-                if self.sign && b_sign {
+                let z = if self.sign && b_sign {
                     SoftFloat::neg_zero()
                 } else if self.sign != b_sign {
                     // +0 + -0: sign depends on rounding direction.
@@ -501,14 +513,15 @@ impl SoftFloat {
                     }
                 } else {
                     SoftFloat::zero()
-                }
+                };
+                (z, false)
             }
             (Zero, Normal) => {
                 let mut b = *other;
                 b.sign = b_sign;
-                b.round_to_prec(prec, mode)
+                b.round_to_prec_ix(prec, false, mode)
             }
-            (Normal, Zero) => self.round_to_prec(prec, mode),
+            (Normal, Zero) => self.round_to_prec_ix(prec, false, mode),
             (Normal, Normal) => {
                 let (mut a, mut b) = (*self, *other);
                 b.sign = b_sign;
@@ -533,8 +546,8 @@ impl SoftFloat {
                     } else {
                         (s << 1, a.exp)
                     };
-                    let (sig, inc, _) = round_sig128(s128, prec, a.sign, sticky, mode);
-                    SoftFloat { sign: a.sign, class: Normal, exp: res_exp + inc, sig }
+                    let (sig, inc, ix) = round_sig128(s128, prec, a.sign, sticky, mode);
+                    (SoftFloat { sign: a.sign, class: Normal, exp: res_exp + inc, sig }, ix)
                 } else {
                     // |a| >= |b|; result takes a's sign.
                     let mut s = ah - bh;
@@ -550,36 +563,39 @@ impl SoftFloat {
                     }
                     if s == 0 {
                         return if mode == RoundMode::Down {
-                            SoftFloat::neg_zero()
+                            (SoftFloat::neg_zero(), false)
                         } else {
-                            SoftFloat::zero()
+                            (SoftFloat::zero(), false)
                         };
                     }
                     let lz = s.leading_zeros();
                     let s128 = s << lz;
                     let res_exp = a.exp + 1 - lz as i32;
-                    let (sig, inc, _) = round_sig128(s128, prec, a.sign, sticky, mode);
-                    SoftFloat { sign: a.sign, class: Normal, exp: res_exp + inc, sig }
+                    let (sig, inc, ix) = round_sig128(s128, prec, a.sign, sticky, mode);
+                    (SoftFloat { sign: a.sign, class: Normal, exp: res_exp + inc, sig }, ix)
                 }
             }
         }
     }
 
     /// Correctly-rounded multiplication into `prec` bits.
+    #[inline]
     pub fn mul(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.mul_ix(other, prec, mode).0
+    }
+
+    /// [`SoftFloat::mul`] also returning the inexact flag.
+    pub fn mul_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
         assert!((1..=64).contains(&prec), "precision out of range: {prec}");
         use Class::*;
         let sign = self.sign ^ other.sign;
         match (self.class, other.class) {
-            (Nan, _) | (_, Nan) => SoftFloat::nan(),
-            (Inf, Zero) | (Zero, Inf) => SoftFloat::nan(),
-            (Inf, _) | (_, Inf) => SoftFloat::infinity(sign),
+            (Nan, _) | (_, Nan) => (SoftFloat::nan(), false),
+            (Inf, Zero) | (Zero, Inf) => (SoftFloat::nan(), false),
+            (Inf, _) | (_, Inf) => (SoftFloat::infinity(sign), false),
             (Zero, _) | (_, Zero) => {
-                if sign {
-                    SoftFloat::neg_zero()
-                } else {
-                    SoftFloat::zero()
-                }
+                let z = if sign { SoftFloat::neg_zero() } else { SoftFloat::zero() };
+                (z, false)
             }
             (Normal, Normal) => {
                 let p = (self.sig as u128) * (other.sig as u128); // [2^126, 2^128)
@@ -588,36 +604,36 @@ impl SoftFloat {
                 } else {
                     (p << 1, self.exp + other.exp)
                 };
-                let (sig, inc, _) = round_sig128(p128, prec, sign, false, mode);
-                SoftFloat { sign, class: Normal, exp: res_exp + inc, sig }
+                let (sig, inc, ix) = round_sig128(p128, prec, sign, false, mode);
+                (SoftFloat { sign, class: Normal, exp: res_exp + inc, sig }, ix)
             }
         }
     }
 
     /// Correctly-rounded division into `prec` bits.
+    #[inline]
     pub fn div(&self, other: &Self, prec: u32, mode: RoundMode) -> Self {
+        self.div_ix(other, prec, mode).0
+    }
+
+    /// [`SoftFloat::div`] also returning the inexact flag.
+    pub fn div_ix(&self, other: &Self, prec: u32, mode: RoundMode) -> (Self, bool) {
         assert!((1..=64).contains(&prec), "precision out of range: {prec}");
         use Class::*;
         let sign = self.sign ^ other.sign;
         match (self.class, other.class) {
-            (Nan, _) | (_, Nan) => SoftFloat::nan(),
-            (Inf, Inf) | (Zero, Zero) => SoftFloat::nan(),
-            (Inf, _) => SoftFloat::infinity(sign),
+            (Nan, _) | (_, Nan) => (SoftFloat::nan(), false),
+            (Inf, Inf) | (Zero, Zero) => (SoftFloat::nan(), false),
+            (Inf, _) => (SoftFloat::infinity(sign), false),
             (_, Inf) => {
-                if sign {
-                    SoftFloat::neg_zero()
-                } else {
-                    SoftFloat::zero()
-                }
+                let z = if sign { SoftFloat::neg_zero() } else { SoftFloat::zero() };
+                (z, false)
             }
             (Zero, _) => {
-                if sign {
-                    SoftFloat::neg_zero()
-                } else {
-                    SoftFloat::zero()
-                }
+                let z = if sign { SoftFloat::neg_zero() } else { SoftFloat::zero() };
+                (z, false)
             }
-            (_, Zero) => SoftFloat::infinity(sign),
+            (_, Zero) => (SoftFloat::infinity(sign), false),
             (Normal, Normal) => {
                 let num = (self.sig as u128) << 64;
                 let den = other.sig as u128;
@@ -639,8 +655,8 @@ impl SoftFloat {
                     res_exp = self.exp - other.exp - 1;
                 }
                 let sticky = r != 0;
-                let (sig, inc, _) = round_sig128(p128, prec, sign, sticky, mode);
-                SoftFloat { sign, class: Normal, exp: res_exp + inc, sig }
+                let (sig, inc, ix) = round_sig128(p128, prec, sign, sticky, mode);
+                (SoftFloat { sign, class: Normal, exp: res_exp + inc, sig }, ix)
             }
         }
     }
@@ -649,22 +665,28 @@ impl SoftFloat {
     ///
     /// Correct rounding holds for `prec <= 63`; callers needing more use
     /// [`crate::BigFloat::sqrt`]. All RAPTOR experiments use `prec <= 53`.
+    #[inline]
     pub fn sqrt(&self, prec: u32, mode: RoundMode) -> Self {
+        self.sqrt_ix(prec, mode).0
+    }
+
+    /// [`SoftFloat::sqrt`] also returning the inexact flag.
+    pub fn sqrt_ix(&self, prec: u32, mode: RoundMode) -> (Self, bool) {
         assert!((1..=63).contains(&prec), "SoftFloat::sqrt supports prec 1..=63");
         use Class::*;
         match self.class {
-            Nan => SoftFloat::nan(),
-            Zero => *self,
+            Nan => (SoftFloat::nan(), false),
+            Zero => (*self, false),
             Inf => {
                 if self.sign {
-                    SoftFloat::nan()
+                    (SoftFloat::nan(), false)
                 } else {
-                    *self
+                    (*self, false)
                 }
             }
             Normal => {
                 if self.sign {
-                    return SoftFloat::nan();
+                    return (SoftFloat::nan(), false);
                 }
                 // Write x = m * 2^(2k) with m in [1,4):
                 //   exp even: m = sig/2^63 in [1,2), k = exp/2, X = sig<<63
@@ -683,8 +705,8 @@ impl SoftFloat {
                 // s holds 64 true square-root bits; rem != 0 marks "more
                 // bits follow". Correct rounding is therefore decidable for
                 // prec <= 63 (guard bit lives inside s).
-                let (sig, inc, _) = round_sig128((s as u128) << 64, prec, false, sticky, mode);
-                SoftFloat { sign: false, class: Normal, exp: k + inc, sig }
+                let (sig, inc, ix) = round_sig128((s as u128) << 64, prec, false, sticky, mode);
+                (SoftFloat { sign: false, class: Normal, exp: k + inc, sig }, ix)
             }
         }
     }
@@ -699,6 +721,18 @@ impl SoftFloat {
         let prod = ba.mul(&bb, 128, RoundMode::NearestEven); // exact: 64+64 bits
         let sum = prod.add(&bc, prec, mode);
         sum.to_soft()
+    }
+
+    /// Fused multiply-add truncated toward zero at 64 bits, plus the
+    /// inexact flag — the single-rounding back end for format-level fma.
+    pub fn fma_rz64(&self, b: &Self, c: &Self) -> (Self, bool) {
+        use crate::big::BigFloat;
+        let ba = BigFloat::from_soft(self);
+        let bb = BigFloat::from_soft(b);
+        let bc = BigFloat::from_soft(c);
+        let prod = ba.mul(&bb, 128, RoundMode::NearestEven); // exact: 64+64 bits
+        let (sum, ix) = prod.add_ix(&bc, 64, RoundMode::TowardZero);
+        (sum.to_soft(), ix)
     }
 
     /// IEEE minNum: the smaller operand, NaN ignored if the other is a number.
@@ -872,7 +906,7 @@ mod tests {
     #[test]
     fn f64_roundtrip_exact() {
         for &x in &[
-            0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 3.141592653589793, 1e-300, -1e300,
+            0.0, -0.0, 1.0, -1.0, 0.5, 2.0, std::f64::consts::PI, 1e-300, -1e300,
             f64::MIN_POSITIVE, f64::MAX, f64::from_bits(1), 6.02214076e23,
         ] {
             let s = sf(x);

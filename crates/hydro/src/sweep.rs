@@ -155,10 +155,11 @@ pub fn sweep_axis<R: Real, E: Eos>(
     session: Option<&Session>,
 ) {
     let lay = Layout::of(mesh);
-    // mem-mode is shared-memory, single-threaded (paper §3.6); its shadow
-    // slab is cleared per block after results are materialized.
+    // mem-mode shadow state is sharded per worker thread (handles never
+    // cross blocks), so the sweep parallelizes like op-mode; each worker's
+    // slab is cleared per block after results are materialized, which also
+    // merges its flag statistics into the session (the sweep barrier).
     let mem_mode = session.map_or(false, |s| s.config().mode == Mode::Mem);
-    let threads = if mem_mode { 1 } else { threads };
     let kernel = |geom: LeafGeom, block: &mut Block| {
         let _guard = session.map(|s| s.install());
         set_level(Some(geom.level));

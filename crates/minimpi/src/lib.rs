@@ -25,8 +25,38 @@
 
 #![warn(missing_docs)]
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// An unbounded, tag-searchable mailbox (the crossbeam-channel substitute:
+/// plain std primitives so the crate builds with no external dependencies).
+struct Mailbox {
+    queue: Mutex<VecDeque<Message>>,
+    ready: Condvar,
+}
+
+impl Mailbox {
+    fn new() -> Mailbox {
+        Mailbox { queue: Mutex::new(VecDeque::new()), ready: Condvar::new() }
+    }
+
+    fn push(&self, msg: Message) {
+        self.queue.lock().unwrap().push_back(msg);
+        self.ready.notify_all();
+    }
+
+    /// Blocking receive of the first message with a matching tag; other
+    /// messages stay queued in arrival order (MPI tag matching).
+    fn pop_tag(&self, tag: u64) -> Message {
+        let mut q = self.queue.lock().unwrap();
+        loop {
+            if let Some(pos) = q.iter().position(|m| m.tag == tag) {
+                return q.remove(pos).expect("position valid");
+            }
+            q = self.ready.wait(q).unwrap();
+        }
+    }
+}
 
 /// A message between ranks.
 struct Message {
@@ -37,7 +67,7 @@ struct Message {
 struct Shared {
     nranks: usize,
     // mailboxes[dst][src]
-    mailboxes: Vec<Vec<(Sender<Message>, Receiver<Message>)>>,
+    mailboxes: Vec<Vec<Mailbox>>,
     barrier: std::sync::Barrier,
     reduce_slots: Mutex<Vec<Vec<f64>>>,
 }
@@ -61,21 +91,13 @@ impl Comm {
 
     /// Send a buffer to `dst` with a tag (non-blocking, buffered).
     pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
-        let ch = &self.shared.mailboxes[dst][self.rank].0;
-        ch.send(Message { tag, data: data.to_vec() }).expect("receiver alive");
+        self.shared.mailboxes[dst][self.rank].push(Message { tag, data: data.to_vec() });
     }
 
-    /// Blocking receive from `src` with a matching tag.
+    /// Blocking receive from `src` with a matching tag; out-of-order tags
+    /// stay queued until their own `recv` (MPI tag matching).
     pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
-        let ch = &self.shared.mailboxes[self.rank][src].1;
-        loop {
-            let msg = ch.recv().expect("sender alive");
-            if msg.tag == tag {
-                return msg.data;
-            }
-            // Out-of-order tag: re-queue (simple, adequate at this scale).
-            self.shared.mailboxes[self.rank][src].0.send(msg).unwrap();
-        }
+        self.shared.mailboxes[self.rank][src].pop_tag(tag).data
     }
 
     /// Synchronize all ranks.
@@ -129,7 +151,7 @@ pub fn run<T: Send>(nranks: usize, f: impl Fn(Comm) -> T + Sync) -> Vec<T> {
     for _dst in 0..nranks {
         let mut row = Vec::with_capacity(nranks);
         for _src in 0..nranks {
-            row.push(unbounded());
+            row.push(Mailbox::new());
         }
         mailboxes.push(row);
     }
@@ -140,18 +162,17 @@ pub fn run<T: Send>(nranks: usize, f: impl Fn(Comm) -> T + Sync) -> Vec<T> {
         reduce_slots: Mutex::new(vec![Vec::new(); nranks]),
     });
     let mut out: Vec<Option<T>> = (0..nranks).map(|_| None).collect();
-    crossbeam::scope(|s| {
+    std::thread::scope(|s| {
         let mut handles = Vec::new();
         for rank in 0..nranks {
             let shared = shared.clone();
             let f = &f;
-            handles.push(s.spawn(move |_| f(Comm { rank, shared })));
+            handles.push(s.spawn(move || f(Comm { rank, shared })));
         }
         for (rank, h) in handles.into_iter().enumerate() {
             out[rank] = Some(h.join().expect("rank panicked"));
         }
-    })
-    .expect("scope");
+    });
     out.into_iter().map(|o| o.unwrap()).collect()
 }
 

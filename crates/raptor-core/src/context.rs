@@ -1,24 +1,41 @@
-//! Profiling sessions and the thread-local activation context.
+//! Profiling sessions, the thread-local activation context, and the
+//! per-thread *decision cache* that makes the instrumented hot path cheap.
 //!
 //! A [`Session`] owns one truncation [`Config`] plus all data collected
-//! under it (op/memory counters, mem-mode shadow state, warnings). Worker
-//! threads participate by installing the session ([`Session::install`]),
-//! which mirrors how RAPTOR's runtime state is process-global while the
-//! compiler pass decides *statically* which code calls into it — here the
-//! decision is made dynamically from the region stack, which is what the
-//! paper calls scoped truncation ("mark a function/region and the tool
-//! truncates the entire call stack below", Table 1 feature 4).
+//! under it (op/memory counters, mem-mode flag statistics, warnings).
+//! Worker threads participate by installing the session
+//! ([`Session::install`]), which mirrors how RAPTOR's runtime state is
+//! process-global while the compiler pass decides *statically* which code
+//! calls into it — here the decision is made dynamically from the region
+//! stack, which is what the paper calls scoped truncation ("mark a
+//! function/region and the tool truncates the entire call stack below",
+//! Table 1 feature 4).
+//!
+//! ## The decision cache
+//!
+//! Resolving "is this op truncated, into what format, and is it counted?"
+//! involves the region stack, the scope/exclusion patterns, and the AMR
+//! level cutoff. None of those change *per operation* — only
+//! [`region`]/[`set_level`]/[`Session::install`] change them. So the
+//! resolved outcome is cached in [`FastPath`]: a `Cell`-based, plain-data
+//! thread local that every instrumented op reads with a single load and
+//! branch. The heavier [`ActiveCtx`] (region stack, mem-mode shard) lives
+//! in a separate `RefCell` thread local that only the *slow* paths touch.
+//! Counters accumulate in unsynchronized per-thread cells and are flushed
+//! into the session under its mutex when the guard drops.
 
-use crate::config::{Config, Scope};
-use crate::counters::Counters;
+use crate::config::{Config, EmulPath, Mode, Scope};
+use crate::counters::{CellCounts, Counters};
 use crate::memmode::MemState;
-use parking_lot::Mutex;
-use std::cell::RefCell;
-use std::sync::Arc;
+use bigfloat::{Format, RoundMode};
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, Mutex};
 
 pub(crate) struct SessionInner {
     pub(crate) config: Config,
     pub(crate) counters: Mutex<Counters>,
+    /// Merged mem-mode statistics (per-thread shards merge in here at
+    /// barriers; see the module docs of [`crate::memmode`]).
     pub(crate) mem: Mutex<MemState>,
     pub(crate) warnings: Mutex<Vec<String>>,
 }
@@ -61,9 +78,20 @@ impl Session {
         ACTIVE.with(|cell| {
             let mut slot = cell.borrow_mut();
             assert!(slot.is_none(), "a RAPTOR session is already installed on this thread");
-            *slot = Some(ActiveCtx::new(self.clone()));
+            let ctx = ActiveCtx::new(self.clone());
+            ctx.publish();
+            *slot = Some(ctx);
         });
         SessionGuard { _priv: () }
+    }
+
+    /// True if this session is the one installed on the current thread.
+    fn installed_here(&self) -> bool {
+        ACTIVE.with(|cell| {
+            cell.borrow()
+                .as_ref()
+                .map_or(false, |act| Arc::ptr_eq(&act.sess.inner, &self.inner))
+        })
     }
 
     /// Snapshot the accumulated counters.
@@ -72,60 +100,77 @@ impl Session {
     /// counts of the *current* thread's live guard (other threads' live
     /// guards flush on drop).
     pub fn counters(&self) -> Counters {
-        let mut c = *self.inner.counters.lock();
-        ACTIVE.with(|cell| {
-            if let Some(act) = cell.borrow().as_ref() {
-                if Arc::ptr_eq(&act.sess.inner, &self.inner) {
-                    c.merge(&act.local);
-                }
-            }
-        });
+        let mut c = *self.inner.counters.lock().unwrap();
+        if self.installed_here() {
+            FAST.with(|f| c.merge(&f.snapshot_counters()));
+        }
         c
     }
 
     /// Reset counters (all flushed data; the current thread's pending
     /// counts are also cleared).
     pub fn reset_counters(&self) {
-        *self.inner.counters.lock() = Counters::default();
-        ACTIVE.with(|cell| {
-            if let Some(act) = cell.borrow_mut().as_mut() {
-                if Arc::ptr_eq(&act.sess.inner, &self.inner) {
-                    act.local = Counters::default();
-                }
-            }
-        });
+        *self.inner.counters.lock().unwrap() = Counters::default();
+        if self.installed_here() {
+            FAST.with(|f| f.clear_counters());
+        }
     }
 
     /// Warnings emitted by the runtime (e.g. mem-mode auto-promotions,
     /// the analog of RAPTOR's "calls to pre-compiled external libraries
     /// are ignored" warnings).
     pub fn warnings(&self) -> Vec<String> {
-        self.inner.warnings.lock().clone()
+        self.inner.warnings.lock().unwrap().clone()
     }
 
     pub(crate) fn warn(&self, msg: String) {
-        let mut w = self.inner.warnings.lock();
+        let mut w = self.inner.warnings.lock().unwrap();
         if w.len() < 1000 {
             w.push(msg);
         }
     }
 
-    /// mem-mode: number of live shadow slots.
+    /// mem-mode: number of live shadow slots in the *current thread's*
+    /// shard (slots are thread-local; see [`crate::memmode`]).
     pub fn mem_live_slots(&self) -> usize {
-        self.inner.mem.lock().live_slots()
+        let mut n = 0;
+        if self.installed_here() {
+            ACTIVE.with(|cell| {
+                if let Some(act) = cell.borrow().as_ref() {
+                    n = act.mem.live_slots();
+                }
+            });
+        }
+        n
     }
 
-    /// mem-mode: clear the shadow slab (call between kernels, after
-    /// post-converting outputs — bounds memory like the paper's per-region
-    /// scratch lifetime).
+    /// mem-mode: clear the current thread's shadow slab (call between
+    /// kernels, after post-converting outputs — bounds memory like the
+    /// paper's per-region scratch lifetime). Flag statistics stay in the
+    /// thread's shard; they merge into the session when the guard drops or
+    /// when [`Session::mem_flags`] is read.
     pub fn mem_clear_slab(&self) {
-        self.inner.mem.lock().clear_slab();
+        if self.installed_here() {
+            ACTIVE.with(|cell| {
+                if let Some(act) = cell.borrow_mut().as_mut() {
+                    act.mem.clear_slab();
+                }
+            });
+        }
     }
 
     /// mem-mode: the per-location deviation flag report (the "heatmap of
     /// code locations that do not react well to truncation", §6.3).
+    /// Merges the current thread's pending shard statistics first.
     pub fn mem_flags(&self) -> Vec<crate::memmode::LocReport> {
-        let mem = self.inner.mem.lock();
+        if self.installed_here() {
+            ACTIVE.with(|cell| {
+                if let Some(act) = cell.borrow_mut().as_mut() {
+                    self.inner.mem.lock().unwrap().merge_stats(&mut act.mem);
+                }
+            });
+        }
+        let mem = self.inner.mem.lock().unwrap();
         if mem.auto_promotions > 0 {
             self.warn(format!(
                 "mem-mode auto-promoted {} raw values that never went through pre() \
@@ -136,14 +181,39 @@ impl Session {
         mem.report()
     }
 
-    /// mem-mode: clear flag statistics.
+    /// mem-mode: clear flag statistics (merged and current-thread pending).
     pub fn mem_reset_flags(&self) {
-        self.inner.mem.lock().reset_stats();
+        self.inner.mem.lock().unwrap().reset_stats();
+        if self.installed_here() {
+            ACTIVE.with(|cell| {
+                if let Some(act) = cell.borrow_mut().as_mut() {
+                    act.mem.reset_stats();
+                }
+            });
+        }
+    }
+
+    /// Test/diagnostic hook: resolve a mem-mode handle in the current
+    /// thread's shard to `(truncated value, fp64 shadow)`.
+    #[doc(hidden)]
+    pub fn debug_mem_slot(&self, handle: f64) -> Option<(f64, f64)> {
+        let idx = crate::memmode::decode_handle(handle)?;
+        let mut out = None;
+        if self.installed_here() {
+            ACTIVE.with(|cell| {
+                if let Some(act) = cell.borrow().as_ref() {
+                    if let Some(s) = act.mem.slots.get(idx) {
+                        out = Some((s.val.to_f64(), s.shadow));
+                    }
+                }
+            });
+        }
+        out
     }
 }
 
-/// RAII guard for an installed session; flushes this thread's counters on
-/// drop.
+/// RAII guard for an installed session; flushes this thread's counters and
+/// mem-mode statistics on drop.
 pub struct SessionGuard {
     _priv: (),
 }
@@ -151,25 +221,122 @@ pub struct SessionGuard {
 impl Drop for SessionGuard {
     fn drop(&mut self) {
         ACTIVE.with(|cell| {
-            if let Some(act) = cell.borrow_mut().take() {
-                act.sess.inner.counters.lock().merge(&act.local);
+            if let Some(mut act) = cell.borrow_mut().take() {
+                FAST.with(|f| {
+                    act.sess
+                        .inner
+                        .counters
+                        .lock()
+                        .unwrap()
+                        .merge(&f.snapshot_counters());
+                    f.clear_counters();
+                    f.dispatch.set(Dispatch::None);
+                });
+                let sess = act.sess.clone();
+                sess.inner.mem.lock().unwrap().merge_stats(&mut act.mem);
             }
         });
     }
 }
 
+// ---------------------------------------------------------------------------
+// The fast path: cached dispatch decision + per-thread counters
+// ---------------------------------------------------------------------------
+
+/// The resolved dispatch decision for the current `(region stack, level)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Dispatch {
+    /// No session installed: raw hardware arithmetic, nothing counted.
+    None,
+    /// Session installed, truncation inactive, counting off.
+    Inactive,
+    /// Session installed, truncation inactive, full-op counting on.
+    InactiveCount,
+    /// Truncation active in op-mode: emulate with the cached parameters.
+    Op,
+    /// mem-mode session (active or not): take the slow path, which needs
+    /// the shadow shard and `#[track_caller]` locations.
+    Mem,
+}
+
+/// Plain-data decision cache + per-thread counters (no `RefCell`).
+pub(crate) struct FastPath {
+    pub(crate) dispatch: Cell<Dispatch>,
+    /// Cached op-mode parameters, valid when `dispatch == Op`.
+    pub(crate) format: Cell<Format>,
+    pub(crate) round: Cell<RoundMode>,
+    pub(crate) path: Cell<EmulPath>,
+    /// `format.storage_bytes()`, for the §3.4 memory model.
+    pub(crate) fmt_bytes: Cell<u64>,
+    /// Per-thread op counts (truncated / full precision).
+    pub(crate) trunc: CellCounts,
+    pub(crate) full: CellCounts,
+    pub(crate) trunc_bytes: Cell<u64>,
+    pub(crate) full_bytes: Cell<u64>,
+}
+
+impl FastPath {
+    const fn new() -> FastPath {
+        FastPath {
+            dispatch: Cell::new(Dispatch::None),
+            format: Cell::new(Format::FP64),
+            round: Cell::new(RoundMode::NearestEven),
+            path: Cell::new(EmulPath::Native),
+            fmt_bytes: Cell::new(8),
+            trunc: CellCounts::new(),
+            full: CellCounts::new(),
+            trunc_bytes: Cell::new(0),
+            full_bytes: Cell::new(0),
+        }
+    }
+
+    pub(crate) fn snapshot_counters(&self) -> Counters {
+        Counters {
+            trunc: self.trunc.snapshot(),
+            full: self.full.snapshot(),
+            trunc_bytes: self.trunc_bytes.get(),
+            full_bytes: self.full_bytes.get(),
+        }
+    }
+
+    pub(crate) fn clear_counters(&self) {
+        self.trunc.clear();
+        self.full.clear();
+        self.trunc_bytes.set(0);
+        self.full_bytes.set(0);
+    }
+}
+
+thread_local! {
+    /// The hot-path decision cache (every instrumented op reads this).
+    pub(crate) static FAST: FastPath = const { FastPath::new() };
+    /// The slow-path context (region stack, level, mem-mode shard).
+    pub(crate) static ACTIVE: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
+}
+
 pub(crate) struct ActiveCtx {
     pub(crate) sess: Session,
-    pub(crate) local: Counters,
     pub(crate) regions: Vec<&'static str>,
     pub(crate) level: Option<u32>,
+    /// Bumped by [`set_level`]; lets a region guard know whether its
+    /// remembered pre-push decision is still valid on drop.
+    pub(crate) level_epoch: u64,
     /// Cached activation decision, recomputed on region/level change.
     pub(crate) active: bool,
+    /// This thread's mem-mode shard (slots + pending flag statistics).
+    pub(crate) mem: MemState,
 }
 
 impl ActiveCtx {
     fn new(sess: Session) -> Self {
-        let mut ctx = ActiveCtx { sess, local: Counters::default(), regions: Vec::new(), level: None, active: false };
+        let mut ctx = ActiveCtx {
+            sess,
+            regions: Vec::new(),
+            level: None,
+            level_epoch: 0,
+            active: false,
+            mem: MemState::default(),
+        };
         ctx.recompute();
         ctx
     }
@@ -177,6 +344,29 @@ impl ActiveCtx {
     pub(crate) fn recompute(&mut self) {
         let cfg = &self.sess.inner.config;
         self.active = compute_active(cfg, &self.regions, self.level);
+    }
+
+    /// Write the resolved decision into the [`FastPath`] cache.
+    pub(crate) fn publish(&self) {
+        let cfg = &self.sess.inner.config;
+        let d = match (cfg.mode, self.active) {
+            (Mode::Mem, _) => Dispatch::Mem,
+            (Mode::Op, true) => Dispatch::Op,
+            (Mode::Op, false) => {
+                if cfg.count_full_ops {
+                    Dispatch::InactiveCount
+                } else {
+                    Dispatch::Inactive
+                }
+            }
+        };
+        FAST.with(|f| {
+            f.dispatch.set(d);
+            f.format.set(cfg.format);
+            f.round.set(cfg.round);
+            f.path.set(cfg.resolved_path());
+            f.fmt_bytes.set(cfg.format.storage_bytes() as u64);
+        });
     }
 }
 
@@ -222,29 +412,37 @@ fn compute_active(cfg: &Config, regions: &[&'static str], level: Option<u32>) ->
     }
 }
 
-thread_local! {
-    pub(crate) static ACTIVE: RefCell<Option<ActiveCtx>> = const { RefCell::new(None) };
-}
-
 /// RAII guard marking a named code region (function- or file-scope unit).
 ///
 /// The Rust equivalent of RAPTOR's instrumented function boundary: entering
 /// the region pushes the name onto the scope stack; the whole call stack
-/// below inherits the truncation decision.
+/// below inherits the truncation decision. The guard remembers the
+/// pre-push activation so dropping restores the cached decision without a
+/// pattern-match recompute.
 pub struct RegionGuard {
     pushed: bool,
+    prev_active: bool,
+    epoch: u64,
 }
 
 /// Enter a named region. Cheap no-op when no session is installed.
 pub fn region(name: &'static str) -> RegionGuard {
+    // Fast reject: no session on this thread.
+    if FAST.with(|f| f.dispatch.get() == Dispatch::None) {
+        return RegionGuard { pushed: false, prev_active: false, epoch: 0 };
+    }
     ACTIVE.with(|cell| {
         let mut slot = cell.borrow_mut();
         if let Some(act) = slot.as_mut() {
+            let prev_active = act.active;
             act.regions.push(name);
             act.recompute();
-            RegionGuard { pushed: true }
+            if act.active != prev_active {
+                act.publish();
+            }
+            RegionGuard { pushed: true, prev_active, epoch: act.level_epoch }
         } else {
-            RegionGuard { pushed: false }
+            RegionGuard { pushed: false, prev_active: false, epoch: 0 }
         }
     })
 }
@@ -255,7 +453,23 @@ impl Drop for RegionGuard {
             ACTIVE.with(|cell| {
                 if let Some(act) = cell.borrow_mut().as_mut() {
                     act.regions.pop();
-                    act.recompute();
+                    if act.level_epoch == self.epoch {
+                        // Level untouched since push: popping restores
+                        // exactly the pre-push decision, no pattern
+                        // re-match needed.
+                        if act.active != self.prev_active {
+                            act.active = self.prev_active;
+                            act.publish();
+                        }
+                    } else {
+                        // The level changed inside this region; the
+                        // remembered decision is stale.
+                        let prev = act.active;
+                        act.recompute();
+                        if act.active != prev {
+                            act.publish();
+                        }
+                    }
                 }
             });
         }
@@ -267,8 +481,13 @@ impl Drop for RegionGuard {
 pub fn set_level(level: Option<u32>) {
     ACTIVE.with(|cell| {
         if let Some(act) = cell.borrow_mut().as_mut() {
+            let prev = act.active;
             act.level = level;
+            act.level_epoch += 1;
             act.recompute();
+            if act.active != prev {
+                act.publish();
+            }
         }
     });
 }
@@ -283,13 +502,18 @@ pub fn is_active() -> bool {
 /// activation state (the §3.4 memory model input). Truncated regions move
 /// `format.storage_bytes()` per value; full regions move 8 bytes (f64).
 pub fn count_field_values(n: u64) {
-    ACTIVE.with(|cell| {
-        if let Some(act) = cell.borrow_mut().as_mut() {
-            if act.active {
-                let b = act.sess.inner.config.format.storage_bytes() as u64;
-                act.local.trunc_bytes += n * b;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None => {}
+        Dispatch::Op => f.trunc_bytes.set(f.trunc_bytes.get() + n * f.fmt_bytes.get()),
+        Dispatch::Inactive | Dispatch::InactiveCount => {
+            f.full_bytes.set(f.full_bytes.get() + n * 8)
+        }
+        Dispatch::Mem => {
+            // mem-mode activation needs the slow context.
+            if is_active() {
+                f.trunc_bytes.set(f.trunc_bytes.get() + n * f.fmt_bytes.get());
             } else {
-                act.local.full_bytes += n * 8;
+                f.full_bytes.set(f.full_bytes.get() + n * 8);
             }
         }
     });
@@ -422,5 +646,37 @@ mod tests {
         count_field_values(10); // inactive: 8 bytes each
         drop(g2);
         assert_eq!(s2.counters().full_bytes, 80);
+    }
+
+    #[test]
+    fn decision_cache_tracks_region_and_level_changes() {
+        let cfg = Config::op_files(Format::FP16, ["Hydro"])
+            .with_cutoff(3, 1)
+            .with_counting();
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let probe = || FAST.with(|f| f.dispatch.get());
+        assert_eq!(probe(), Dispatch::InactiveCount);
+        {
+            let _r = region("Hydro/recon");
+            assert_eq!(probe(), Dispatch::Op);
+            set_level(Some(3)); // finest level spared under M-1
+            assert_eq!(probe(), Dispatch::InactiveCount);
+            set_level(Some(2));
+            assert_eq!(probe(), Dispatch::Op);
+            set_level(None);
+            assert_eq!(probe(), Dispatch::Op);
+        }
+        assert_eq!(probe(), Dispatch::InactiveCount);
+    }
+
+    #[test]
+    fn fast_path_cleared_on_guard_drop() {
+        let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+        {
+            let _g = s.install();
+            assert_eq!(FAST.with(|f| f.dispatch.get()), Dispatch::Op);
+        }
+        assert_eq!(FAST.with(|f| f.dispatch.get()), Dispatch::None);
     }
 }

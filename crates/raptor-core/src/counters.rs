@@ -53,19 +53,6 @@ impl OpCounts {
         self.add + self.sub + self.mul + self.div + self.sqrt + self.fma + self.math
     }
 
-    #[inline]
-    pub(crate) fn bump(&mut self, kind: OpKind) {
-        match kind {
-            OpKind::Add => self.add += 1,
-            OpKind::Sub => self.sub += 1,
-            OpKind::Mul => self.mul += 1,
-            OpKind::Div => self.div += 1,
-            OpKind::Sqrt => self.sqrt += 1,
-            OpKind::Fma => self.fma += 1,
-            OpKind::Math => self.math += 1,
-        }
-    }
-
     pub(crate) fn merge(&mut self, other: &OpCounts) {
         self.add += other.add;
         self.sub += other.sub;
@@ -74,6 +61,74 @@ impl OpCounts {
         self.sqrt += other.sqrt;
         self.fma += other.fma;
         self.math += other.math;
+    }
+}
+
+/// Unsynchronized per-thread accumulation cells mirroring [`OpCounts`].
+///
+/// The runtime hot path bumps these plain `Cell`s (no `RefCell` borrow, no
+/// atomic, no lock); the session guard flushes them into the shared
+/// [`Counters`] under the session mutex when it drops.
+#[derive(Default)]
+pub(crate) struct CellCounts {
+    add: Cell<u64>,
+    sub: Cell<u64>,
+    mul: Cell<u64>,
+    div: Cell<u64>,
+    sqrt: Cell<u64>,
+    fma: Cell<u64>,
+    math: Cell<u64>,
+}
+
+use std::cell::Cell;
+
+impl CellCounts {
+    pub(crate) const fn new() -> CellCounts {
+        CellCounts {
+            add: Cell::new(0),
+            sub: Cell::new(0),
+            mul: Cell::new(0),
+            div: Cell::new(0),
+            sqrt: Cell::new(0),
+            fma: Cell::new(0),
+            math: Cell::new(0),
+        }
+    }
+
+    #[inline(always)]
+    pub(crate) fn bump(&self, kind: OpKind) {
+        let c = match kind {
+            OpKind::Add => &self.add,
+            OpKind::Sub => &self.sub,
+            OpKind::Mul => &self.mul,
+            OpKind::Div => &self.div,
+            OpKind::Sqrt => &self.sqrt,
+            OpKind::Fma => &self.fma,
+            OpKind::Math => &self.math,
+        };
+        c.set(c.get() + 1);
+    }
+
+    pub(crate) fn snapshot(&self) -> OpCounts {
+        OpCounts {
+            add: self.add.get(),
+            sub: self.sub.get(),
+            mul: self.mul.get(),
+            div: self.div.get(),
+            sqrt: self.sqrt.get(),
+            fma: self.fma.get(),
+            math: self.math.get(),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        self.add.set(0);
+        self.sub.set(0);
+        self.mul.set(0);
+        self.div.set(0);
+        self.sqrt.set(0);
+        self.fma.set(0);
+        self.math.set(0);
     }
 }
 
@@ -127,24 +182,28 @@ mod tests {
 
     #[test]
     fn bump_and_totals() {
+        let cells = CellCounts::new();
+        cells.bump(OpKind::Add);
+        cells.bump(OpKind::Sqrt);
         let mut c = Counters::default();
-        c.trunc.bump(OpKind::Add);
-        c.trunc.bump(OpKind::Sqrt);
-        c.full.bump(OpKind::Mul);
+        c.trunc = cells.snapshot();
+        c.full.mul = 1;
         assert_eq!(c.trunc.total(), 2);
         assert_eq!(c.full.total(), 1);
         assert_eq!(c.total_ops(), 3);
         assert!((c.truncated_fraction() - 2.0 / 3.0).abs() < 1e-12);
+        cells.clear();
+        assert_eq!(cells.snapshot().total(), 0);
     }
 
     #[test]
     fn merge_adds_fields() {
         let mut a = Counters::default();
-        a.trunc.bump(OpKind::Div);
+        a.trunc.div = 1;
         a.trunc_bytes = 10;
         let mut b = Counters::default();
-        b.trunc.bump(OpKind::Div);
-        b.full.bump(OpKind::Fma);
+        b.trunc.div = 1;
+        b.full.fma = 1;
         b.full_bytes = 5;
         a.merge(&b);
         assert_eq!(a.trunc.div, 2);

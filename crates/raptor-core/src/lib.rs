@@ -51,6 +51,50 @@
 //!   beyond a threshold are flagged per source location (§6.3, Table 2).
 //!   Requires boundary conversions ([`Tracked::mem_pre`] /
 //!   [`Tracked::mem_post`]) and supports precision *increase*.
+//!
+//! ## Runtime hot path
+//!
+//! Every [`Tracked`] operation dispatches through a per-thread **decision
+//! cache** (`context::FastPath`): the resolved
+//! `(region stack, level) → {mode, format, counting}` outcome is stored in
+//! plain `Cell` data, so the common op costs one thread-local load, one
+//! branch, and the arithmetic itself — no `RefCell` borrow, no lock, no
+//! `Arc` chase. The cache is written only when the decision inputs change:
+//!
+//! * [`region`] entry re-resolves the scope patterns and publishes the new
+//!   decision; the guard remembers the pre-push state and restores it on
+//!   drop without a re-match (unless [`set_level`] fired inside the
+//!   region, which bumps an epoch and forces a re-resolve);
+//! * [`set_level`] re-resolves against the AMR cutoff;
+//! * [`Session::install`] publishes, and the guard's drop clears the cache
+//!   back to the no-session state.
+//!
+//! **Counter flush points.** Op and byte counters accumulate in
+//! unsynchronized per-thread cells. They merge into the session (under its
+//! mutex) exactly when: (a) a [`SessionGuard`] drops, or (b)
+//! [`Session::counters`]/[`Session::reset_counters`] runs on the thread
+//! holding the live guard. Other threads' in-flight counts become visible
+//! only after their guards drop — `par_leaves` workers install per block,
+//! so totals are exact at every sweep boundary.
+//!
+//! **mem-mode sharding invariants.** Shadow slots live in the *installing
+//! thread's* shard, never behind the session mutex: a NaN-boxed handle is
+//! only meaningful on the thread that produced it, and kernels may assume
+//! exclusive, lock-free access to their own slab between barriers. Handles
+//! must not outlive [`Session::mem_clear_slab`] (the sweep barrier, called
+//! per block after outputs are post-converted) and must never cross
+//! threads — a foreign handle auto-promotes like any raw value. Flag
+//! *statistics* merge into the session when a guard drops or when
+//! [`Session::mem_flags`] is read, so per-location reports aggregate all
+//! workers while the per-op path stays unsynchronized.
+//!
+//! **Emulation short-cut.** For round-to-nearest-even and formats where
+//! double rounding through `f64` is provably innocuous
+//! ([`Format::double_round_safe`]: Figueroa's `2p + 2 <= 53` bound plus a
+//! subnormal-range margin), add/sub/mul/div/sqrt/fma run as one hardware
+//! op plus bit-twiddled roundings — bit-identical to the SoftFloat
+//! kernels, which remain the general path (and the `Big` limb path stays
+//! available as the naive baseline of Table 3).
 
 #![warn(missing_docs)]
 

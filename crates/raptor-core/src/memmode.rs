@@ -13,6 +13,18 @@
 //! nibble, so stray un-converted values are detectable (the runtime
 //! auto-promotes them and counts the event, where the paper would crash or
 //! warn).
+//!
+//! ## Sharding
+//!
+//! A [`MemState`] instance serves two roles: each thread's `ActiveCtx`
+//! owns one as its private *shard* (slots + pending flag statistics,
+//! accessed with no synchronization on the op path), and the session owns
+//! one as the *merged* repository (statistics only; its slab stays empty).
+//! Shards merge into the session via [`MemState::merge_stats`] when a
+//! session guard drops or a report is requested. Slots never merge:
+//! handles are thread-local and die at the slab-clear barrier. See the
+//! "Runtime hot path" section of the crate docs for the invariants kernels
+//! may rely on.
 
 use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
 use std::collections::HashMap;
@@ -180,6 +192,24 @@ impl MemState {
         if rel_dev > threshold {
             e.flags += 1;
         }
+    }
+
+    /// Drain another shard's flag statistics and auto-promotion count into
+    /// this (merged) state. Called at sweep barriers and on session-guard
+    /// drop; the shard's *slots* are never merged — handles are strictly
+    /// thread-local and die at the barrier.
+    pub(crate) fn merge_stats(&mut self, shard: &mut MemState) {
+        for (loc, s) in shard.stats.drain() {
+            let e = self.stats.entry(loc).or_default();
+            e.ops += s.ops;
+            e.flags += s.flags;
+            e.sum_dev += s.sum_dev;
+            if s.max_dev > e.max_dev {
+                e.max_dev = s.max_dev;
+            }
+        }
+        self.auto_promotions += shard.auto_promotions;
+        shard.auto_promotions = 0;
     }
 
     /// Sorted report: most-flagged locations first (the §6.3 heatmap).

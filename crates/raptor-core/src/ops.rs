@@ -2,25 +2,28 @@
 //! the Rust analog of `_raptor_add_f32(a, b, to_e, to_m, loc)` in Fig. 5.
 //!
 //! Every [`crate::Tracked`] arithmetic operator funnels through [`op2`],
-//! [`op_sqrt`], [`op_fma`], [`op_math`] and friends. When no session is
-//! installed, or truncation is not
-//! active for the current region/level, the op executes natively (and is
-//! optionally counted). Otherwise it is dispatched to the configured
-//! emulation path:
+//! [`op_sqrt`], [`op_fma`], [`op_math`] and friends. Dispatch reads the
+//! per-thread *decision cache* ([`crate::context`]): the resolved
+//! `(region, level) → {mode, format, counting}` outcome is plain `Cell`
+//! data, so the common op is a thread-local load, a branch, and either a
+//! hardware instruction or a SoftFloat kernel call — no `RefCell` borrow,
+//! no lock. Emulation paths:
 //!
 //! * `Soft` — operands are rounded into the target format and the operation
 //!   is performed by the single-rounding [`Format`] arithmetic (the
 //!   scratch-optimised path; Fig. 4b).
-//! * `Big` — the same computation driven through heap-allocating
-//!   [`BigFloat`] values, one allocation per operand and result, mirroring
-//!   the naive `mpfr_init2`-per-op runtime (Fig. 5a) that Table 3 compares
-//!   against.
+//! * `Big` — the same computation driven through limb-vector
+//!   [`BigFloat`] values, mirroring the naive `mpfr_init2`-per-op runtime
+//!   (Fig. 5a) that Table 3 compares against.
 //! * `Native` — hardware f32 (or f64 identity) arithmetic: RAPTOR's
 //!   zero-overhead "hardware types" path, which also models the GPU
 //!   restriction to native formats.
+//!
+//! mem-mode ops go through the slow path: they need the thread's shadow
+//! shard and `#[track_caller]` source locations.
 
-use crate::config::{Config, EmulPath, Mode};
-use crate::context::{ActiveCtx, ACTIVE};
+use crate::config::EmulPath;
+use crate::context::{ActiveCtx, Dispatch, FastPath, ACTIVE, FAST};
 use crate::counters::OpKind;
 use crate::memmode::{self, rel_deviation, SlotVal, SrcLoc};
 use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};
@@ -109,7 +112,7 @@ impl MathFn {
     }
 }
 
-#[inline]
+#[inline(always)]
 fn raw2(kind: OpKind, a: f64, b: f64) -> f64 {
     match kind {
         OpKind::Add => a + b,
@@ -125,25 +128,26 @@ fn raw2(kind: OpKind, a: f64, b: f64) -> f64 {
 #[track_caller]
 pub fn op2(kind: OpKind, a: f64, b: f64) -> f64 {
     let loc = std::panic::Location::caller();
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            None => raw2(kind, a, b),
-            Some(act) => {
-                if !act.active {
-                    if act.sess.inner.config.count_full_ops {
-                        act.local.full.bump(kind);
-                    }
-                    return raw2(kind, resolve_in_ctx(act, a), resolve_in_ctx(act, b));
-                }
-                act.local.trunc.bump(kind);
-                let cfg = &act.sess.inner.config;
-                match cfg.mode {
-                    Mode::Op => emulate2(cfg, kind, a, b),
-                    Mode::Mem => mem_op2(act, kind, a, b, loc.into()),
-                }
-            }
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => raw2(kind, a, b),
+        Dispatch::InactiveCount => {
+            f.full.bump(kind);
+            raw2(kind, a, b)
         }
+        Dispatch::Op => {
+            f.trunc.bump(kind);
+            emulate2(f.format.get(), f.round.get(), f.path.get(), kind, a, b)
+        }
+        Dispatch::Mem => with_mem(f, |act| {
+            if !act.active {
+                if act.sess.inner.config.count_full_ops {
+                    f.full.bump(kind);
+                }
+                return raw2(kind, resolve_in_ctx(act, a), resolve_in_ctx(act, b));
+            }
+            f.trunc.bump(kind);
+            mem_op2(act, kind, a, b, loc.into())
+        }),
     })
 }
 
@@ -152,25 +156,26 @@ pub fn op2(kind: OpKind, a: f64, b: f64) -> f64 {
 #[track_caller]
 pub fn op_sqrt(a: f64) -> f64 {
     let loc = std::panic::Location::caller();
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            None => a.sqrt(),
-            Some(act) => {
-                if !act.active {
-                    if act.sess.inner.config.count_full_ops {
-                        act.local.full.bump(OpKind::Sqrt);
-                    }
-                    return resolve_in_ctx(act, a).sqrt();
-                }
-                act.local.trunc.bump(OpKind::Sqrt);
-                let cfg = &act.sess.inner.config;
-                match cfg.mode {
-                    Mode::Op => emulate_sqrt(cfg, a),
-                    Mode::Mem => mem_sqrt(act, a, loc.into()),
-                }
-            }
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => a.sqrt(),
+        Dispatch::InactiveCount => {
+            f.full.bump(OpKind::Sqrt);
+            a.sqrt()
         }
+        Dispatch::Op => {
+            f.trunc.bump(OpKind::Sqrt);
+            emulate_sqrt(f.format.get(), f.round.get(), f.path.get(), a)
+        }
+        Dispatch::Mem => with_mem(f, |act| {
+            if !act.active {
+                if act.sess.inner.config.count_full_ops {
+                    f.full.bump(OpKind::Sqrt);
+                }
+                return resolve_in_ctx(act, a).sqrt();
+            }
+            f.trunc.bump(OpKind::Sqrt);
+            mem_sqrt(act, a, loc.into())
+        }),
     })
 }
 
@@ -179,52 +184,55 @@ pub fn op_sqrt(a: f64) -> f64 {
 #[track_caller]
 pub fn op_fma(a: f64, b: f64, c: f64) -> f64 {
     let loc = std::panic::Location::caller();
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            None => a.mul_add(b, c),
-            Some(act) => {
-                if !act.active {
-                    if act.sess.inner.config.count_full_ops {
-                        act.local.full.bump(OpKind::Fma);
-                    }
-                    return resolve_in_ctx(act, a).mul_add(resolve_in_ctx(act, b), resolve_in_ctx(act, c));
-                }
-                act.local.trunc.bump(OpKind::Fma);
-                let cfg = &act.sess.inner.config;
-                match cfg.mode {
-                    Mode::Op => emulate_fma(cfg, a, b, c),
-                    Mode::Mem => mem_fma(act, a, b, c, loc.into()),
-                }
-            }
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => a.mul_add(b, c),
+        Dispatch::InactiveCount => {
+            f.full.bump(OpKind::Fma);
+            a.mul_add(b, c)
         }
+        Dispatch::Op => {
+            f.trunc.bump(OpKind::Fma);
+            emulate_fma(f.format.get(), f.round.get(), f.path.get(), a, b, c)
+        }
+        Dispatch::Mem => with_mem(f, |act| {
+            if !act.active {
+                if act.sess.inner.config.count_full_ops {
+                    f.full.bump(OpKind::Fma);
+                }
+                return resolve_in_ctx(act, a)
+                    .mul_add(resolve_in_ctx(act, b), resolve_in_ctx(act, c));
+            }
+            f.trunc.bump(OpKind::Fma);
+            mem_fma(act, a, b, c, loc.into())
+        }),
     })
 }
 
 /// Math-library entry point.
 #[inline]
 #[track_caller]
-pub fn op_math(f: MathFn, a: f64) -> f64 {
+pub fn op_math(func: MathFn, a: f64) -> f64 {
     let loc = std::panic::Location::caller();
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            None => f.eval_f64(a),
-            Some(act) => {
-                if !act.active {
-                    if act.sess.inner.config.count_full_ops {
-                        act.local.full.bump(OpKind::Math);
-                    }
-                    return f.eval_f64(resolve_in_ctx(act, a));
-                }
-                act.local.trunc.bump(OpKind::Math);
-                let cfg = &act.sess.inner.config;
-                match cfg.mode {
-                    Mode::Op => emulate_math(cfg, f, a),
-                    Mode::Mem => mem_math(act, f, a, loc.into()),
-                }
-            }
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => func.eval_f64(a),
+        Dispatch::InactiveCount => {
+            f.full.bump(OpKind::Math);
+            func.eval_f64(a)
         }
+        Dispatch::Op => {
+            f.trunc.bump(OpKind::Math);
+            emulate_math(f.format.get(), f.round.get(), f.path.get(), func, a)
+        }
+        Dispatch::Mem => with_mem(f, |act| {
+            if !act.active {
+                if act.sess.inner.config.count_full_ops {
+                    f.full.bump(OpKind::Math);
+                }
+                return func.eval_f64(resolve_in_ctx(act, a));
+            }
+            f.trunc.bump(OpKind::Math);
+            mem_math(act, func, a, loc.into())
+        }),
     })
 }
 
@@ -233,37 +241,36 @@ pub fn op_math(f: MathFn, a: f64) -> f64 {
 #[track_caller]
 pub fn op_powf(a: f64, b: f64) -> f64 {
     let loc = std::panic::Location::caller();
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            None => a.powf(b),
-            Some(act) => {
-                if !act.active {
-                    if act.sess.inner.config.count_full_ops {
-                        act.local.full.bump(OpKind::Math);
-                    }
-                    return resolve_in_ctx(act, a).powf(resolve_in_ctx(act, b));
-                }
-                act.local.trunc.bump(OpKind::Math);
-                let cfg = &act.sess.inner.config;
-                match cfg.mode {
-                    Mode::Op => {
-                        let rm = cfg.round;
-                        let fmt = cfg.format;
-                        let p = fmt.precision();
-                        match cfg.resolved_path() {
-                            EmulPath::Native => native_pow(fmt, a, b),
-                            _ => {
-                                let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
-                                let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
-                                fmt.round_soft(&sa.pow(&sb, p, rm), rm).to_f64()
-                            }
-                        }
-                    }
-                    Mode::Mem => mem_pow(act, a, b, loc.into()),
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => a.powf(b),
+        Dispatch::InactiveCount => {
+            f.full.bump(OpKind::Math);
+            a.powf(b)
+        }
+        Dispatch::Op => {
+            f.trunc.bump(OpKind::Math);
+            let fmt = f.format.get();
+            let rm = f.round.get();
+            match f.path.get() {
+                EmulPath::Native => native_pow(fmt, a, b),
+                _ => {
+                    let p = fmt.precision();
+                    let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
+                    let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
+                    fmt.round_soft(&sa.pow(&sb, p, rm), rm).to_f64()
                 }
             }
         }
+        Dispatch::Mem => with_mem(f, |act| {
+            if !act.active {
+                if act.sess.inner.config.count_full_ops {
+                    f.full.bump(OpKind::Math);
+                }
+                return resolve_in_ctx(act, a).powf(resolve_in_ctx(act, b));
+            }
+            f.trunc.bump(OpKind::Math);
+            mem_pow(act, a, b, loc.into())
+        }),
     })
 }
 
@@ -276,18 +283,24 @@ pub enum SignOp {
     Abs,
 }
 
+#[inline(always)]
+fn raw_sign(a: f64, op: SignOp) -> f64 {
+    match op {
+        SignOp::Neg => -a,
+        SignOp::Abs => a.abs(),
+    }
+}
+
 /// Sign operation entry point. Exact: no rounding, no op count, no flag —
 /// but in mem-mode it must still produce a fresh shadow slot so the
 /// truncated value and the FP64 shadow both carry the sign change.
 #[inline]
 pub fn op_sign(a: f64, op: SignOp) -> f64 {
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            Some(act) if act.sess.inner.config.mode == Mode::Mem && act.active => {
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::Mem => with_mem(f, |act| {
+            if act.active {
                 if let Some(idx) = memmode::decode_handle(a) {
-                    let mut mem = act.sess.inner.mem.lock();
-                    if let Some(s) = mem.slots.get(idx) {
+                    if let Some(s) = act.mem.slots.get(idx) {
                         let (val, shadow) = match op {
                             SignOp::Neg => (
                                 match &s.val {
@@ -304,19 +317,13 @@ pub fn op_sign(a: f64, op: SignOp) -> f64 {
                                 s.shadow.abs(),
                             ),
                         };
-                        return mem.push(crate::memmode::Slot { val, shadow });
+                        return act.mem.push(crate::memmode::Slot { val, shadow });
                     }
                 }
-                match op {
-                    SignOp::Neg => -a,
-                    SignOp::Abs => a.abs(),
-                }
             }
-            _ => match op {
-                SignOp::Neg => -a,
-                SignOp::Abs => a.abs(),
-            },
-        }
+            raw_sign(a, op)
+        }),
+        _ => raw_sign(a, op),
     })
 }
 
@@ -325,50 +332,48 @@ pub fn op_sign(a: f64, op: SignOp) -> f64 {
 #[track_caller]
 pub fn op_atan2(y: f64, x: f64) -> f64 {
     let loc = std::panic::Location::caller();
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            None => y.atan2(x),
-            Some(act) => {
-                if !act.active {
-                    if act.sess.inner.config.count_full_ops {
-                        act.local.full.bump(OpKind::Math);
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => y.atan2(x),
+        Dispatch::InactiveCount => {
+            f.full.bump(OpKind::Math);
+            y.atan2(x)
+        }
+        Dispatch::Op => {
+            f.trunc.bump(OpKind::Math);
+            let fmt = f.format.get();
+            let rm = f.round.get();
+            match f.path.get() {
+                EmulPath::Native => {
+                    if fmt == Format::FP64 {
+                        y.atan2(x)
+                    } else {
+                        ((y as f32).atan2(x as f32)) as f64
                     }
-                    return resolve_in_ctx(act, y).atan2(resolve_in_ctx(act, x));
                 }
-                act.local.trunc.bump(OpKind::Math);
-                let cfg = &act.sess.inner.config;
-                let fmt = cfg.format;
-                let rm = cfg.round;
-                match cfg.mode {
-                    Mode::Op => match cfg.resolved_path() {
-                        EmulPath::Native => {
-                            if fmt == Format::FP64 {
-                                y.atan2(x)
-                            } else {
-                                ((y as f32).atan2(x as f32)) as f64
-                            }
-                        }
-                        _ => {
-                            let sy = SoftFloat::from_f64(fmt.round_f64(y, rm));
-                            let sx = SoftFloat::from_f64(fmt.round_f64(x, rm));
-                            fmt.round_soft(&sy.atan2(&sx, fmt.precision(), rm), rm).to_f64()
-                        }
-                    },
-                    Mode::Mem => {
-                        let (prec, clamp, rm, threshold) = mem_params(cfg);
-                        let mut mem = act.sess.inner.mem.lock();
-                        let (vy, shy) = mem.resolve(y, prec, clamp, rm);
-                        let (vx, shx) = mem.resolve(x, prec, clamp, rm);
-                        let shadow = shy.atan2(shx);
-                        let r = vy.to_f64().atan2(vx.to_f64());
-                        let val = memmode::make_val(r, prec, clamp, rm);
-                        mem.record(loc.into(), rel_deviation(val.to_f64(), shadow), threshold);
-                        mem.push(crate::memmode::Slot { val, shadow })
-                    }
+                _ => {
+                    let sy = SoftFloat::from_f64(fmt.round_f64(y, rm));
+                    let sx = SoftFloat::from_f64(fmt.round_f64(x, rm));
+                    fmt.round_soft(&sy.atan2(&sx, fmt.precision(), rm), rm).to_f64()
                 }
             }
         }
+        Dispatch::Mem => with_mem(f, |act| {
+            if !act.active {
+                if act.sess.inner.config.count_full_ops {
+                    f.full.bump(OpKind::Math);
+                }
+                return resolve_in_ctx(act, y).atan2(resolve_in_ctx(act, x));
+            }
+            f.trunc.bump(OpKind::Math);
+            let (prec, clamp, rm, threshold) = mem_params_act(act);
+            let (vy, shy) = act.mem.resolve(y, prec, clamp, rm);
+            let (vx, shx) = act.mem.resolve(x, prec, clamp, rm);
+            let shadow = shy.atan2(shx);
+            let r = vy.to_f64().atan2(vx.to_f64());
+            let val = memmode::make_val(r, prec, clamp, rm);
+            act.mem.record(loc.into(), rel_deviation(val.to_f64(), shadow), threshold);
+            act.mem.push(crate::memmode::Slot { val, shadow })
+        }),
     })
 }
 
@@ -377,26 +382,29 @@ pub fn op_atan2(y: f64, x: f64) -> f64 {
 /// region into untruncated arithmetic or comparisons.
 #[inline]
 pub fn resolve(x: f64) -> f64 {
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::Mem => with_mem(f, |act| resolve_in_ctx(act, x)),
+        _ => x,
+    })
+}
+
+/// Run a closure against the slow-path context. Only called when the
+/// decision cache says `Dispatch::Mem`, which implies a session is
+/// installed on this thread.
+#[inline]
+fn with_mem<R>(_f: &FastPath, body: impl FnOnce(&mut ActiveCtx) -> R) -> R {
     ACTIVE.with(|cell| {
         let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            Some(act) if act.sess.inner.config.mode == Mode::Mem => resolve_in_ctx(act, x),
-            _ => x,
-        }
+        let act = slot.as_mut().expect("Mem dispatch implies an installed session");
+        body(act)
     })
 }
 
 #[inline]
 fn resolve_in_ctx(act: &mut ActiveCtx, x: f64) -> f64 {
-    if act.sess.inner.config.mode != Mode::Mem {
-        return x;
-    }
-    if memmode::decode_handle(x).is_some() {
-        let mem = act.sess.inner.mem.lock();
-        if let Some(idx) = memmode::decode_handle(x) {
-            if let Some(s) = mem.slots.get(idx) {
-                return s.val.to_f64();
-            }
+    if let Some(idx) = memmode::decode_handle(x) {
+        if let Some(s) = act.mem.slots.get(idx) {
+            return s.val.to_f64();
         }
     }
     x
@@ -429,27 +437,57 @@ fn native_pow(fmt: Format, a: f64, b: f64) -> f64 {
     }
 }
 
-fn emulate2(cfg: &Config, kind: OpKind, a: f64, b: f64) -> f64 {
-    let fmt = cfg.format;
-    let rm = cfg.round;
-    match cfg.resolved_path() {
+#[inline]
+fn emulate2(fmt: Format, rm: RoundMode, path: EmulPath, kind: OpKind, a: f64, b: f64) -> f64 {
+    match path {
         EmulPath::Native => native2(fmt, kind, a, b),
         EmulPath::Big => {
-            // Naive path: heap-allocated arbitrary-precision values per
-            // operation (mpfr_init2/mpfr_clear analog, Fig. 5a).
-            let p = fmt.precision();
+            // Naive path: per-op arbitrary-precision values, the
+            // mpfr_init2/mpfr_clear analog (Fig. 5a). The op runs at
+            // working precision toward zero plus an away-rounded twin —
+            // the analog of MPFR's ternary flag — so the single rounding
+            // into the format (incl. its subnormal range) is exact.
             let ba = BigFloat::from_f64(fmt.round_f64(a, rm));
             let bb = BigFloat::from_f64(fmt.round_f64(b, rm));
-            let bc = match kind {
-                OpKind::Add => ba.add(&bb, p, rm),
-                OpKind::Sub => ba.sub(&bb, p, rm),
-                OpKind::Mul => ba.mul(&bb, p, rm),
-                OpKind::Div => ba.div(&bb, p, rm),
+            let (tz, sticky) = match kind {
+                OpKind::Add => ba.add_ix(&bb, 64, RoundMode::TowardZero),
+                OpKind::Sub => ba.sub_ix(&bb, 64, RoundMode::TowardZero),
+                OpKind::Mul => ba.mul_ix(&bb, 64, RoundMode::TowardZero),
+                OpKind::Div => ba.div_ix(&bb, 64, RoundMode::TowardZero),
                 _ => unreachable!(),
             };
-            fmt.round_soft(&bc.to_soft(), rm).to_f64()
+            if tz.is_zero() && !sticky {
+                // Exact cancellation: the zero's sign follows the *final*
+                // rounding direction; redo the exact-zero op under it.
+                let z = match kind {
+                    OpKind::Add => ba.add(&bb, 1, rm),
+                    OpKind::Sub => ba.sub(&bb, 1, rm),
+                    OpKind::Mul => ba.mul(&bb, 1, rm),
+                    OpKind::Div => ba.div(&bb, 1, rm),
+                    _ => unreachable!(),
+                };
+                return z.to_f64();
+            }
+            fmt.round_soft_sticky(&tz.to_soft(), sticky, rm).to_f64()
         }
         _ => {
+            // Hardware short-cut: for round-to-nearest-even and formats
+            // where double rounding through f64 is provably innocuous
+            // (Figueroa's 2p+2 <= 53 bound plus subnormal-range margin),
+            // the bit-identical result costs one hardware op and three
+            // bit-twiddled roundings — no SoftFloat at all.
+            if rm == RoundMode::NearestEven && fmt.double_round_safe() {
+                let ra = fmt.round_f64(a, rm);
+                let rb = fmt.round_f64(b, rm);
+                let r = raw2(kind, ra, rb);
+                if r.is_nan() {
+                    // Canonicalize: hardware may produce a negative quiet
+                    // NaN (x86's "indefinite"); the soft kernels emit the
+                    // canonical positive one.
+                    return f64::NAN;
+                }
+                return fmt.round_f64(r, rm);
+            }
             // Optimised path: allocation-free single-rounding format ops
             // (scratch-pad analog, Fig. 4b).
             let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
@@ -466,10 +504,9 @@ fn emulate2(cfg: &Config, kind: OpKind, a: f64, b: f64) -> f64 {
     }
 }
 
-fn emulate_sqrt(cfg: &Config, a: f64) -> f64 {
-    let fmt = cfg.format;
-    let rm = cfg.round;
-    match cfg.resolved_path() {
+#[inline]
+fn emulate_sqrt(fmt: Format, rm: RoundMode, path: EmulPath, a: f64) -> f64 {
+    match path {
         EmulPath::Native => {
             if fmt == Format::FP64 {
                 a.sqrt()
@@ -478,21 +515,30 @@ fn emulate_sqrt(cfg: &Config, a: f64) -> f64 {
             }
         }
         EmulPath::Big => {
-            let p = fmt.precision();
             let ba = BigFloat::from_f64(fmt.round_f64(a, rm));
-            fmt.round_soft(&ba.sqrt(p, rm).to_soft(), rm).to_f64()
+            let (tz, sticky) = ba.sqrt_ix(63, RoundMode::TowardZero);
+            fmt.round_soft_sticky(&tz.to_soft(), sticky, rm).to_f64()
         }
         _ => {
+            // Same innocuous-double-rounding short-cut as emulate2: f64
+            // sqrt is correctly rounded, and sqrt never leaves the safe
+            // magnitude range for qualifying formats.
+            if rm == RoundMode::NearestEven && fmt.double_round_safe() {
+                let r = fmt.round_f64(a, rm).sqrt();
+                if r.is_nan() {
+                    return f64::NAN;
+                }
+                return fmt.round_f64(r, rm);
+            }
             let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
             fmt.sqrt(&sa, rm).to_f64()
         }
     }
 }
 
-fn emulate_fma(cfg: &Config, a: f64, b: f64, c: f64) -> f64 {
-    let fmt = cfg.format;
-    let rm = cfg.round;
-    match cfg.resolved_path() {
+#[inline]
+fn emulate_fma(fmt: Format, rm: RoundMode, path: EmulPath, a: f64, b: f64, c: f64) -> f64 {
+    match path {
         EmulPath::Native => {
             if fmt == Format::FP64 {
                 a.mul_add(b, c)
@@ -500,40 +546,76 @@ fn emulate_fma(cfg: &Config, a: f64, b: f64, c: f64) -> f64 {
                 ((a as f32).mul_add(b as f32, c as f32)) as f64
             }
         }
+        EmulPath::Big => {
+            // Naive oracle: exact product through BigFloat, sticky add,
+            // single rounding — never takes the hardware shortcut, so it
+            // stays an independent reference for the Soft path below.
+            let ba = BigFloat::from_f64(fmt.round_f64(a, rm));
+            let bb = BigFloat::from_f64(fmt.round_f64(b, rm));
+            let bc = BigFloat::from_f64(fmt.round_f64(c, rm));
+            let prod = ba.mul(&bb, 128, RoundMode::NearestEven); // exact: 64+64 bits
+            let (tz, sticky) = prod.add_ix(&bc, 64, RoundMode::TowardZero);
+            if tz.is_zero() && !sticky {
+                // Exact-zero fma: sign per the final rounding direction.
+                return prod.add(&bc, 1, rm).to_f64();
+            }
+            fmt.round_soft_sticky(&tz.to_soft(), sticky, rm).to_f64()
+        }
         _ => {
-            let p = fmt.precision();
+            // Hardware short-cut: fused multiply-add double rounding
+            // through f64 is innocuous under the same 2p+2 bound (Roux,
+            // "Innocuous double rounding of basic arithmetic operations",
+            // JFR 2014, formally includes fma) — differentially tested
+            // against the exact-sticky fallback in tests/fastpath.rs.
+            if rm == RoundMode::NearestEven && fmt.double_round_safe() {
+                let r = fmt
+                    .round_f64(a, rm)
+                    .mul_add(fmt.round_f64(b, rm), fmt.round_f64(c, rm));
+                if r.is_nan() {
+                    return f64::NAN;
+                }
+                return fmt.round_f64(r, rm);
+            }
+            // Exact-until-one-rounding: fma truncated toward zero at 64
+            // bits with the inexact flag as sticky, then a single rounding
+            // into the format's precision and range.
             let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
             let sb = SoftFloat::from_f64(fmt.round_f64(b, rm));
             let sc = SoftFloat::from_f64(fmt.round_f64(c, rm));
-            fmt.round_soft(&sa.fma(&sb, &sc, p, rm), rm).to_f64()
+            let (tz, sticky) = sa.fma_rz64(&sb, &sc);
+            if tz.is_zero() && !sticky {
+                // Exact-zero fma: sign per the final rounding direction.
+                return sa.fma(&sb, &sc, 1, rm).to_f64();
+            }
+            fmt.round_soft_sticky(&tz, sticky, rm).to_f64()
         }
     }
 }
 
-fn emulate_math(cfg: &Config, f: MathFn, a: f64) -> f64 {
-    let fmt = cfg.format;
-    let rm = cfg.round;
-    match cfg.resolved_path() {
+#[inline]
+fn emulate_math(fmt: Format, rm: RoundMode, path: EmulPath, func: MathFn, a: f64) -> f64 {
+    match path {
         EmulPath::Native => {
             if fmt == Format::FP64 {
-                f.eval_f64(a)
+                func.eval_f64(a)
             } else {
-                (f.eval_f64((a as f32) as f64) as f32) as f64
+                (func.eval_f64((a as f32) as f64) as f32) as f64
             }
         }
         _ => {
             let p = fmt.precision();
             let sa = SoftFloat::from_f64(fmt.round_f64(a, rm));
-            fmt.round_soft(&f.eval_soft(&sa, p, rm), rm).to_f64()
+            fmt.round_soft(&func.eval_soft(&sa, p, rm), rm).to_f64()
         }
     }
 }
 
 // ---------------------------------------------------------------------------
-// mem-mode operations
+// mem-mode operations (slow path; state is the thread's shard, no lock)
 // ---------------------------------------------------------------------------
 
-fn mem_params(cfg: &Config) -> (u32, Option<Format>, RoundMode, f64) {
+fn mem_params_act(act: &ActiveCtx) -> (u32, Option<Format>, RoundMode, f64) {
+    let cfg = &act.sess.inner.config;
     let clamp = if cfg.mem_precision <= cfg.format.precision() {
         Some(cfg.format)
     } else {
@@ -588,8 +670,8 @@ fn slot_to_big(v: &SlotVal) -> BigFloat {
 }
 
 fn mem_op2(act: &mut ActiveCtx, kind: OpKind, a: f64, b: f64, loc: SrcLoc) -> f64 {
-    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
-    let mut mem = act.sess.inner.mem.lock();
+    let (prec, clamp, rm, threshold) = mem_params_act(act);
+    let mem = &mut act.mem;
     let (va, sha) = mem.resolve(a, prec, clamp, rm);
     let (vb, shb) = mem.resolve(b, prec, clamp, rm);
     let val = slot_op2(kind, &va, &vb, prec, clamp, rm);
@@ -599,8 +681,8 @@ fn mem_op2(act: &mut ActiveCtx, kind: OpKind, a: f64, b: f64, loc: SrcLoc) -> f6
 }
 
 fn mem_sqrt(act: &mut ActiveCtx, a: f64, loc: SrcLoc) -> f64 {
-    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
-    let mut mem = act.sess.inner.mem.lock();
+    let (prec, clamp, rm, threshold) = mem_params_act(act);
+    let mem = &mut act.mem;
     let (va, sha) = mem.resolve(a, prec, clamp, rm);
     let val = match (&va, prec <= 61) {
         (SlotVal::Soft(x), true) => {
@@ -618,8 +700,8 @@ fn mem_sqrt(act: &mut ActiveCtx, a: f64, loc: SrcLoc) -> f64 {
 }
 
 fn mem_fma(act: &mut ActiveCtx, a: f64, b: f64, c: f64, loc: SrcLoc) -> f64 {
-    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
-    let mut mem = act.sess.inner.mem.lock();
+    let (prec, clamp, rm, threshold) = mem_params_act(act);
+    let mem = &mut act.mem;
     let (va, sha) = mem.resolve(a, prec, clamp, rm);
     let (vb, shb) = mem.resolve(b, prec, clamp, rm);
     let (vc, shc) = mem.resolve(c, prec, clamp, rm);
@@ -631,15 +713,15 @@ fn mem_fma(act: &mut ActiveCtx, a: f64, b: f64, c: f64, loc: SrcLoc) -> f64 {
     mem.push(crate::memmode::Slot { val, shadow })
 }
 
-fn mem_math(act: &mut ActiveCtx, f: MathFn, a: f64, loc: SrcLoc) -> f64 {
-    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
-    let mut mem = act.sess.inner.mem.lock();
+fn mem_math(act: &mut ActiveCtx, func: MathFn, a: f64, loc: SrcLoc) -> f64 {
+    let (prec, clamp, rm, threshold) = mem_params_act(act);
+    let mem = &mut act.mem;
     let (va, sha) = mem.resolve(a, prec, clamp, rm);
     // Math functions at >62-bit precision fall back to 53-bit seeds
     // (documented limitation; add/mul/div/sqrt stay correctly rounded).
     let val = match &va {
         SlotVal::Soft(x) if prec <= 62 => {
-            let r = f.eval_soft(x, prec, rm);
+            let r = func.eval_soft(x, prec, rm);
             SlotVal::Soft(match clamp {
                 Some(fc) => fc.round_soft(&r, rm),
                 None => r,
@@ -647,17 +729,17 @@ fn mem_math(act: &mut ActiveCtx, f: MathFn, a: f64, loc: SrcLoc) -> f64 {
         }
         _ => {
             let x = slot_to_big(&va).to_f64();
-            SlotVal::Big(BigFloat::from_f64(f.eval_f64(x)).round_to_prec(prec, rm))
+            SlotVal::Big(BigFloat::from_f64(func.eval_f64(x)).round_to_prec(prec, rm))
         }
     };
-    let shadow = f.eval_f64(sha);
+    let shadow = func.eval_f64(sha);
     mem.record(loc, rel_deviation(val.to_f64(), shadow), threshold);
     mem.push(crate::memmode::Slot { val, shadow })
 }
 
 fn mem_pow(act: &mut ActiveCtx, a: f64, b: f64, loc: SrcLoc) -> f64 {
-    let (prec, clamp, rm, threshold) = mem_params(&act.sess.inner.config);
-    let mut mem = act.sess.inner.mem.lock();
+    let (prec, clamp, rm, threshold) = mem_params_act(act);
+    let mem = &mut act.mem;
     let (va, sha) = mem.resolve(a, prec, clamp, rm);
     let (vb, shb) = mem.resolve(b, prec, clamp, rm);
     let val = match (&va, &vb) {
@@ -683,17 +765,13 @@ fn mem_pow(act: &mut ActiveCtx, a: f64, b: f64, loc: SrcLoc) -> f64 {
 /// (`_raptor_pre_c` in Fig. 3c): allocate a shadow slot for `x` and return
 /// its handle.
 pub fn mem_pre(x: f64) -> f64 {
-    ACTIVE.with(|cell| {
-        let mut slot = cell.borrow_mut();
-        match slot.as_mut() {
-            Some(act) if act.sess.inner.config.mode == Mode::Mem => {
-                let (prec, clamp, rm, _) = mem_params(&act.sess.inner.config);
-                let mut mem = act.sess.inner.mem.lock();
-                let val = memmode::make_val(x, prec, clamp, rm);
-                mem.push(crate::memmode::Slot { val, shadow: x })
-            }
-            _ => x,
-        }
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::Mem => with_mem(f, |act| {
+            let (prec, clamp, rm, _) = mem_params_act(act);
+            let val = memmode::make_val(x, prec, clamp, rm);
+            act.mem.push(crate::memmode::Slot { val, shadow: x })
+        }),
+        _ => x,
     })
 }
 
@@ -821,11 +899,10 @@ mod tests {
             plain *= k;
         }
         // The shadow inside the final slot equals the untruncated chain.
-        let mem = s.inner.mem.lock();
-        let idx = crate::memmode::decode_handle(h).unwrap();
-        assert_eq!(mem.slots[idx].shadow, plain);
+        let (val, shadow) = s.debug_mem_slot(h).expect("handle resolves in this thread's shard");
+        assert_eq!(shadow, plain);
         // And the truncated value deviates (4-bit mantissa).
-        assert!((mem.slots[idx].val.to_f64() - plain).abs() > 1e-9);
+        assert!((val - plain).abs() > 1e-9);
     }
 
     #[test]
@@ -843,9 +920,8 @@ mod tests {
         let out = mem_post(diff);
         assert_eq!(out, 2f64.powi(-70), "120-bit storage preserves the tiny addend");
         // The FP64 shadow of the same chain collapses to zero.
-        let mem = s.inner.mem.lock();
-        let idx = crate::memmode::decode_handle(diff).unwrap();
-        assert_eq!(mem.slots[idx].shadow, 0.0);
+        let (_, shadow) = s.debug_mem_slot(diff).expect("handle resolves");
+        assert_eq!(shadow, 0.0);
     }
 
     #[test]
@@ -869,5 +945,24 @@ mod tests {
         let _g = s.install();
         let down = op2(OpKind::Add, 1.0, 1e-6);
         assert_eq!(down, 1.0, "toward-zero drops the tiny addend");
+    }
+
+    #[test]
+    fn mem_stats_merge_across_clear_slab_barriers() {
+        // Flag statistics survive the per-kernel slab clear (the sweep
+        // barrier merge), matching what the paper reports per run.
+        let cfg = Config::mem_functions(Format::new(11, 4), ["Kern"], 1e-12);
+        let s = Session::new(cfg).unwrap();
+        let _g = s.install();
+        let _r = crate::context::region("Kern");
+        for _ in 0..3 {
+            let x = mem_pre(1.0 / 3.0);
+            let _ = op2(OpKind::Mul, x, x);
+            s.mem_clear_slab();
+            assert_eq!(s.mem_live_slots(), 0);
+        }
+        let flags = s.mem_flags();
+        let total_ops: u64 = flags.iter().map(|f| f.stats.ops).sum();
+        assert_eq!(total_ops, 3, "one recorded op per barrier interval");
     }
 }

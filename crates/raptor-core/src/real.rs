@@ -231,7 +231,7 @@ impl Tracked {
 
 impl Add for Tracked {
     type Output = Tracked;
-    #[inline]
+    #[inline(always)]
     #[track_caller]
     fn add(self, rhs: Tracked) -> Tracked {
         Tracked(ops::op2(OpKind::Add, self.0, rhs.0))
@@ -240,7 +240,7 @@ impl Add for Tracked {
 
 impl Sub for Tracked {
     type Output = Tracked;
-    #[inline]
+    #[inline(always)]
     #[track_caller]
     fn sub(self, rhs: Tracked) -> Tracked {
         Tracked(ops::op2(OpKind::Sub, self.0, rhs.0))
@@ -249,7 +249,7 @@ impl Sub for Tracked {
 
 impl Mul for Tracked {
     type Output = Tracked;
-    #[inline]
+    #[inline(always)]
     #[track_caller]
     fn mul(self, rhs: Tracked) -> Tracked {
         Tracked(ops::op2(OpKind::Mul, self.0, rhs.0))
@@ -258,7 +258,7 @@ impl Mul for Tracked {
 
 impl Div for Tracked {
     type Output = Tracked;
-    #[inline]
+    #[inline(always)]
     #[track_caller]
     fn div(self, rhs: Tracked) -> Tracked {
         Tracked(ops::op2(OpKind::Div, self.0, rhs.0))
@@ -329,11 +329,11 @@ impl core::fmt::Display for Tracked {
 use crate::ops::SignOp;
 
 impl Real for Tracked {
-    #[inline]
+    #[inline(always)]
     fn from_f64(x: f64) -> Self {
         Tracked(x)
     }
-    #[inline]
+    #[inline(always)]
     fn to_f64(self) -> f64 {
         ops::resolve(self.0)
     }

@@ -176,3 +176,56 @@ fn truncated_data_through_guard_fill() {
         assert!(b.data.iter().all(|v| v.is_finite()), "non-finite data in {:?}", b.pos);
     }
 }
+
+/// Fast-path counter integrity: per-thread counters flushed by worker
+/// guards under `par_leaves` lose nothing and double-count nothing — the
+/// total is exactly the op count of the sequential run, at every thread
+/// count, with the persistent sweep pool in play.
+#[test]
+fn parallel_counter_flush_is_exact() {
+    use amr::{Mesh, MeshParams};
+
+    fn run_count(threads: usize) -> (u64, u64) {
+        let mut mesh = Mesh::new(MeshParams {
+            nx: 8,
+            ny: 8,
+            ng: 2,
+            nvar: 1,
+            nbx: 4,
+            nby: 4,
+            max_level: 2,
+            domain: (0.0, 1.0, 0.0, 1.0),
+        });
+        mesh.fill_initial(|x, y, _| 1.0 + x + y);
+        let sess = Session::new(
+            Config::op_functions(Format::new(11, 12), ["Kern"]).with_counting(),
+        )
+        .unwrap();
+        // Two sweeps, like the x/y pair of a hydro step (exercises the
+        // reused work buffer as well).
+        for _ in 0..2 {
+            amr::par_leaves(&mut mesh, threads, |_geom, block| {
+                let _g = sess.install();
+                let _r = raptor_core::region("Kern");
+                let mut acc = Tracked::from_f64(0.0);
+                for v in block.data.iter() {
+                    // 2 truncated ops per cell (mul + add).
+                    acc = acc + Tracked::from_f64(*v) * Tracked::from_f64(1.5);
+                }
+                // 1 full-precision (outside-region) op per block.
+                drop(_r);
+                let _ = acc + Tracked::from_f64(1.0);
+            });
+        }
+        let c = sess.counters();
+        (c.trunc.total(), c.full.total())
+    }
+
+    let (t1, f1) = run_count(1);
+    assert!(t1 > 0 && f1 > 0);
+    for threads in [2, 3, 4, 8] {
+        let (t, f) = run_count(threads);
+        assert_eq!(t, t1, "truncated ops lost/duplicated at {threads} threads");
+        assert_eq!(f, f1, "full ops lost/duplicated at {threads} threads");
+    }
+}
