@@ -23,10 +23,11 @@ pub mod compare;
 pub mod guard;
 pub mod mesh;
 pub mod par;
-mod pool;
+pub mod pool;
 
 pub use adapt::{adapt, adapt_with, block_error, init_with_refinement, AdaptResult, AdaptSpec, Decision};
 pub use compare::{norms, sample_point, sample_uniform, sfocu, Norms};
 pub use guard::{fill_guards, BcKind, BcSpec};
 pub use mesh::{minmod, Block, BlockIdx, BlockPos, Mesh, MeshParams};
 pub use par::{par_leaves, seq_leaves, LeafGeom};
+pub use pool::pool_run;

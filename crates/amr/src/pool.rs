@@ -77,7 +77,7 @@ thread_local! {
 /// hold `&mut Mesh`, so this costs nothing in practice. Re-entrant calls
 /// (a kernel sweeping another mesh) execute inline on the calling thread.
 pub(crate) fn run_indexed(n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
-    if IN_SWEEP.with(|f| f.get()) {
+    if IN_SWEEP.with(|f| f.get()) || threads <= 1 || n_items <= 1 {
         for i in 0..n_items {
             task(i);
         }
@@ -89,6 +89,25 @@ pub(crate) fn run_indexed(n_items: usize, threads: usize, task: &(dyn Fn(usize) 
     // poisoned guard instead of failing every later sweep.
     let pool = pool.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
     pool.run(n_items, threads, task);
+}
+
+/// Run `task(i)` for every `i in 0..n_items` on up to `threads` CPUs
+/// (including the calling thread) using the process-wide persistent sweep
+/// pool — the public entry point for coarse-grained fan-out such as
+/// `raptor-lab` campaign runs, sharing workers with the mesh sweeps
+/// instead of spawning fresh threads per batch.
+///
+/// Semantics match the internal sweep driver:
+///
+/// * items are handed out through an atomic cursor, so long and short
+///   items load-balance automatically;
+/// * a nested call from inside a task runs inline on the calling thread
+///   (a campaign item that itself runs `par_leaves` therefore sweeps
+///   sequentially rather than deadlocking the pool);
+/// * a panicking task propagates to the submitting thread after the
+///   batch drains, like the scoped-thread spawn it replaces.
+pub fn pool_run(n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
+    run_indexed(n_items, threads, task);
 }
 
 impl WorkerPool {
@@ -206,5 +225,52 @@ fn worker_loop(shared: Arc<PoolShared>, mut last_generation: u64) {
         if st.active == 0 {
             shared.done_cv.notify_all();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn pool_run_covers_every_index_once() {
+        for threads in [1usize, 2, 4, 8] {
+            let n = 37;
+            let hits: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+            pool_run(n, threads, &|i| {
+                hits[i].fetch_add(1, Ordering::Relaxed);
+            });
+            assert!(
+                hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_run_nested_calls_run_inline() {
+        let outer = AtomicUsize::new(0);
+        let inner = AtomicUsize::new(0);
+        pool_run(4, 4, &|_| {
+            outer.fetch_add(1, Ordering::Relaxed);
+            // A nested submission must not deadlock the pool.
+            pool_run(3, 4, &|_| {
+                inner.fetch_add(1, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(outer.load(Ordering::Relaxed), 4);
+        assert_eq!(inner.load(Ordering::Relaxed), 12);
+    }
+
+    #[test]
+    fn pool_run_handles_empty_and_single() {
+        pool_run(0, 8, &|_| panic!("no items"));
+        let n = AtomicUsize::new(0);
+        pool_run(1, 8, &|i| {
+            assert_eq!(i, 0);
+            n.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 1);
     }
 }

@@ -13,9 +13,10 @@ fn bench_hydro_step(c: &mut Harness) {
     g.bench_function("sedov_step_f64", |b| {
         let mut sim = hydro::setup(Problem::Sedov, 2, 8, ReconKind::Plm);
         let dt = hydro::compute_dt::<f64, _>(&sim.mesh, &sim.eos, &sim.hydro);
+        let sess = Session::passthrough();
         b.iter(|| {
             hydro::step::<f64, _>(
-                &mut sim.mesh, &sim.bc, &sim.eos, &sim.hydro, dt, 1, None, false,
+                &mut sim.mesh, &sim.bc, &sim.eos, &sim.hydro, dt, 1, &sess, false,
             );
             black_box(())
         });
@@ -23,9 +24,10 @@ fn bench_hydro_step(c: &mut Harness) {
     g.bench_function("sedov_step_tracked_untruncated", |b| {
         let mut sim = hydro::setup(Problem::Sedov, 2, 8, ReconKind::Plm);
         let dt = hydro::compute_dt::<f64, _>(&sim.mesh, &sim.eos, &sim.hydro);
+        let sess = Session::passthrough();
         b.iter(|| {
             hydro::step::<Tracked, _>(
-                &mut sim.mesh, &sim.bc, &sim.eos, &sim.hydro, dt, 1, None, false,
+                &mut sim.mesh, &sim.bc, &sim.eos, &sim.hydro, dt, 1, &sess, false,
             );
             black_box(())
         });
@@ -36,7 +38,7 @@ fn bench_hydro_step(c: &mut Harness) {
         let sess = Session::new(Config::op_files(Format::new(11, 12), ["Hydro"])).unwrap();
         b.iter(|| {
             hydro::step::<Tracked, _>(
-                &mut sim.mesh, &sim.bc, &sim.eos, &sim.hydro, dt, 1, Some(&sess), false,
+                &mut sim.mesh, &sim.bc, &sim.eos, &sim.hydro, dt, 1, &sess, false,
             );
             black_box(())
         });

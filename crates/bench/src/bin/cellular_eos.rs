@@ -21,7 +21,7 @@ fn main() {
     for &m in &[52u32, 48, 44, 42, 40, 38, 36, 32, 28, 24, 20, 16, 12, 8] {
         let mut sim = setup_cellular(2, 8, CellularInit::default());
         let sess = Session::new(Config::op_files(Format::new(11, m), ["Eos"])).unwrap();
-        sim.run::<Tracked>(steps, Some(&sess));
+        sim.run::<Tracked>(steps, &sess);
         let (calls, fails, mean_iter) = sim.eos.stats();
         let pct = 100.0 * fails as f64 / calls.max(1) as f64;
         println!("{m:>9} {calls:>10} {fails:>10} {pct:>8.1}% {mean_iter:>10.1}");
@@ -32,7 +32,7 @@ fn main() {
     let mut sim = setup_cellular(2, 8, CellularInit::default());
     sim.eos.newton = NewtonCfg { tol: 1e-6, max_iter: 400 };
     let sess = Session::new(Config::op_files(Format::new(11, 12), ["Eos"])).unwrap();
-    sim.run::<Tracked>(steps, Some(&sess));
+    sim.run::<Tracked>(steps, &sess);
     let (calls, fails, _) = sim.eos.stats();
     println!(
         "  {fails}/{calls} still fail -> 'we fail to get convergence for any meaningful workload'"

@@ -26,7 +26,7 @@ fn main() {
 
     // Phase 1: develop the flow at Re = 35 (paper: run to t = 3 at Re 35).
     let mut warm = setup_bubble(n, max_level, InsParams { re: 35.0, ..Default::default() });
-    warm.run::<f64>(t_warm, 100_000, None);
+    warm.run::<f64>(t_warm, 100_000, &Session::passthrough());
     eprintln!(
         "warm-up done: t = {:.3}, centroid y = {:.3}",
         warm.t,
@@ -45,8 +45,8 @@ fn main() {
         for k in 1..=snaps {
             let target = t_trunc * k as f64 / snaps as f64;
             match &sess {
-                Some(s) => sim.run::<Tracked>(target, 100_000, Some(s)),
-                None => sim.run::<f64>(target, 100_000, None),
+                Some(s) => sim.run::<Tracked>(target, 100_000, s),
+                None => sim.run::<f64>(target, 100_000, &Session::passthrough()),
             }
             contours.push((sim.interface_points(), sim.component_count(), sim.centroid().1));
             eprintln!(

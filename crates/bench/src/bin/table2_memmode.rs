@@ -21,7 +21,7 @@ fn run_case(exclusions: &[&str], fixed_dt: f64, t_end: f64, reference: &hydro::S
     let mut sim = hydro::setup(Problem::Sedov, 2, 8, ReconKind::Weno5);
     sim.fixed_dt = Some(fixed_dt);
     sim.adapt_every = 0; // fixed mesh: isolate the numerics like the paper
-    sim.run::<Tracked>(t_end, 100_000, 1, Some(&sess));
+    sim.run::<Tracked>(t_end, 100_000, 1, &sess);
     let dens = amr::sfocu(&sim.mesh, &reference.mesh, DENS).l1;
     let velx = amr::sfocu(&sim.mesh, &reference.mesh, MOMX).l1;
     let frac = sess.counters().truncated_fraction();
@@ -42,7 +42,7 @@ fn main() {
     let fixed_dt = hydro::compute_dt::<f64, _>(&reference.mesh, &reference.eos, &reference.hydro);
     reference.fixed_dt = Some(fixed_dt);
     reference.adapt_every = 0;
-    reference.run::<f64>(t_end, 100_000, 1, None);
+    reference.run::<f64>(t_end, 100_000, 1, &Session::passthrough());
     eprintln!("reference done at t = {:.4} (dt = {fixed_dt:.3e})", reference.t);
 
     println!("== Table 2: mem-mode debugging of Sedov (Spark/WENO solver, 12-bit mantissa) ==");

@@ -28,8 +28,8 @@ fn time_run(
     let mut sim = hydro::setup_with_roots(Problem::Sedov, max_level, 8, ReconKind::Plm, 4);
     let t0 = Instant::now();
     match session {
-        Some(s) => sim.run::<Tracked>(t_end, 100_000, 1, Some(s)),
-        None => sim.run::<f64>(t_end, 100_000, 1, None),
+        Some(s) => sim.run::<Tracked>(t_end, 100_000, 1, s),
+        None => sim.run::<f64>(t_end, 100_000, 1, &Session::passthrough()),
     }
     (t0.elapsed().as_secs_f64(), sim.t)
 }

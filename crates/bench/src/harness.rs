@@ -9,6 +9,7 @@
 //! median per-iteration time across samples (robust to scheduler noise).
 
 pub use std::hint::black_box;
+use raptor_core::Json;
 use std::time::Instant;
 
 /// Per-benchmark measurement driver handed to the closure.
@@ -107,20 +108,16 @@ impl Harness {
         &self.results
     }
 
-    /// Results as a JSON object `{label: ns_per_iter, ...}` (no external
-    /// serializer; labels contain no characters needing escapes).
+    /// Results as a JSON object `{label: ns_per_iter, ...}` through the
+    /// shared [`raptor_core::json`] serializer (one writer for campaign
+    /// summaries, reports, and `BENCH_*.json` files).
     pub fn to_json(&self) -> String {
-        let mut s = String::from("{\n");
-        for (i, r) in self.results.iter().enumerate() {
-            s.push_str(&format!(
-                "  \"{}\": {:.2}{}\n",
-                r.label,
-                r.ns_per_iter,
-                if i + 1 < self.results.len() { "," } else { "" }
-            ));
+        let mut doc = Json::obj();
+        for r in &self.results {
+            // Two-decimal ns keeps the files diff-friendly.
+            doc = doc.set(&r.label, (r.ns_per_iter * 100.0).round() / 100.0);
         }
-        s.push('}');
-        s
+        doc.render()
     }
 
     /// Write the JSON results to a file if `path` is Some.

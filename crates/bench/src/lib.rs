@@ -103,7 +103,7 @@ pub struct SweepPoint {
 /// Run the reference (f64) simulation for a problem.
 pub fn run_reference(problem: Problem, max_level: u32, t_end: f64) -> hydro::Simulation {
     let mut sim = hydro::setup_with_roots(problem, max_level, 8, ReconKind::Plm, bench_roots());
-    sim.run::<f64>(t_end, 100_000, threads(), None);
+    sim.run::<f64>(t_end, 100_000, threads(), &Session::passthrough());
     sim
 }
 
@@ -126,7 +126,7 @@ pub fn run_truncated_point(
         .with_counting();
     let sess = Session::new(cfg).expect("valid config");
     let mut sim = hydro::setup_with_roots(problem, max_level, 8, ReconKind::Plm, bench_roots());
-    sim.run::<Tracked>(t_end, 100_000, threads(), Some(&sess));
+    sim.run::<Tracked>(t_end, 100_000, threads(), &sess);
     let norms = amr::sfocu(&sim.mesh, &reference.mesh, DENS);
     let c = sess.counters();
     let (tg, fg) = c.giga_ops();

@@ -155,6 +155,16 @@ pub struct SpeedupEstimate {
 pub fn estimate_speedup(machine: &Machine, low: Format, counters: &Counters) -> SpeedupEstimate {
     let n_low = counters.trunc.total() as f64;
     let n_dbl = counters.full.total() as f64;
+    if n_low + n_dbl == 0.0 {
+        // No counted work (e.g. a workload outside the instrumented
+        // runtime): the model has nothing to speed up — neutral estimate
+        // instead of a 0/0.
+        return SpeedupEstimate {
+            compute_bound: 1.0,
+            memory_bound: 1.0,
+            compute_bound_applies: false,
+        };
+    }
     let t_base = machine.compute_time(low, n_low + n_dbl, 0.0);
     let t_trunc = machine.compute_time(low, n_dbl, n_low);
     let compute = t_base / t_trunc;
@@ -163,13 +173,30 @@ pub fn estimate_speedup(machine: &Machine, low: Format, counters: &Counters) -> 
     // Baseline traffic: every truncated value would have been 8 bytes.
     let values_trunc = counters.trunc_bytes as f64 / low.storage_bytes() as f64;
     let bytes_base = values_trunc * 8.0 + counters.full_bytes as f64;
-    let memory = machine.memory_time(bytes_base) / machine.memory_time(bytes_trunc.max(1.0));
+    let memory = if bytes_trunc == 0.0 {
+        1.0 // no recorded traffic: neutral, not 0x
+    } else {
+        machine.memory_time(bytes_base) / machine.memory_time(bytes_trunc)
+    };
 
     let flops = (n_low + n_dbl).max(1.0);
     SpeedupEstimate {
         compute_bound: compute,
         memory_bound: memory,
         compute_bound_applies: machine.is_compute_bound(flops, bytes_base),
+    }
+}
+
+/// The single scalar speedup the campaign engine ranks by: the §7.2
+/// estimate resolved through the roofline test — the compute-bound panel
+/// when the workload's operational intensity exceeds the machine balance,
+/// the memory-bound panel otherwise (Fig. 8 reads the applicable panel).
+pub fn predicted_speedup(machine: &Machine, low: Format, counters: &Counters) -> f64 {
+    let s = estimate_speedup(machine, low, counters);
+    if s.compute_bound_applies {
+        s.compute_bound
+    } else {
+        s.memory_bound
     }
 }
 
@@ -288,6 +315,40 @@ mod tests {
         let s_m1 = mk(0.31);
         let s_m2 = mk(0.14);
         assert!(s_m0 > s_m1 && s_m1 > s_m2, "{s_m0} > {s_m1} > {s_m2}");
+    }
+
+    #[test]
+    fn zero_counters_give_neutral_estimate() {
+        // A workload outside the instrumented runtime (no ops, no bytes)
+        // must predict 1.0x, not 0/0.
+        let m = Machine::default();
+        let s = estimate_speedup(&m, Format::FP16, &Counters::default());
+        assert_eq!(s.compute_bound, 1.0);
+        assert_eq!(s.memory_bound, 1.0);
+        assert_eq!(predicted_speedup(&m, Format::FP16, &Counters::default()), 1.0);
+        // Ops without byte traffic: memory panel stays neutral too.
+        let mut c = Counters::default();
+        c.trunc = OpCounts { mul: 100, ..Default::default() };
+        let s = estimate_speedup(&m, Format::FP16, &c);
+        assert!(s.compute_bound > 1.0);
+        assert_eq!(s.memory_bound, 1.0);
+    }
+
+    #[test]
+    fn predicted_speedup_resolves_roofline() {
+        let m = Machine::default();
+        let mut c = Counters::default();
+        c.trunc = OpCounts { add: 850_000, ..Default::default() };
+        c.full = OpCounts { add: 150_000, ..Default::default() };
+        c.trunc_bytes = 2 * 850_000;
+        c.full_bytes = 8 * 150_000;
+        let s = estimate_speedup(&m, Format::FP16, &c);
+        let p = predicted_speedup(&m, Format::FP16, &c);
+        assert_eq!(
+            p,
+            if s.compute_bound_applies { s.compute_bound } else { s.memory_bound }
+        );
+        assert!(p > 1.0);
     }
 
     #[test]

@@ -207,7 +207,7 @@ pub fn setup_cellular(nx_blocks: usize, nx_per_block: usize, init: CellularInit)
 
 impl Cellular {
     /// Advance `n` steps: hydro sweep then burn source, operator-split.
-    pub fn run<R: Real>(&mut self, n: usize, session: Option<&Session>) {
+    pub fn run<R: Real>(&mut self, n: usize, session: &Session) {
         for s in 0..n {
             let dt = hydro::compute_dt::<f64, _>(&self.mesh, &self.eos, &self.hydro);
             hydro::step::<R, _>(
@@ -227,13 +227,13 @@ impl Cellular {
     }
 
     /// Apply the burn network cell-by-cell (the `Burn` module).
-    fn burn_sweep<R: Real>(&mut self, dt: f64, session: Option<&Session>) {
+    fn burn_sweep<R: Real>(&mut self, dt: f64, session: &Session) {
         let lay = hydro::Layout::of(&self.mesh);
         let eos = &self.eos;
         let burn = self.burn;
         let mesh = &mut self.mesh;
         amr::seq_leaves(mesh, |_geom, blk| {
-            let _g = session.map(|s| s.install());
+            let _g = session.install();
             let _r = region("Burn");
             for j in 0..lay.ny {
                 for i in 0..lay.nx {
@@ -279,7 +279,7 @@ mod tests {
     fn detonation_front_propagates() {
         let mut sim = setup_cellular(4, 8, CellularInit::default());
         let f0 = sim.front_position(64);
-        sim.run::<f64>(12, None);
+        sim.run::<f64>(12, &Session::passthrough());
         let f1 = sim.front_position(64);
         assert!(f1 > f0, "front moved: {f0} -> {f1}");
         let (calls, fails, _) = sim.eos.stats();
@@ -294,7 +294,7 @@ mod tests {
         let mut sim = setup_cellular(2, 8, CellularInit::default());
         // Truncate ONLY the EOS module to 20 bits: Hypothesis 2 setup.
         let sess = Session::new(Config::op_files(Format::new(11, 20), ["Eos"])).unwrap();
-        sim.run::<Tracked>(3, Some(&sess));
+        sim.run::<Tracked>(3, &sess);
         let (calls, fails, _) = sim.eos.stats();
         assert!(calls > 0);
         assert!(
@@ -309,7 +309,7 @@ mod tests {
         use raptor_core::{Config, Tracked};
         let mut sim = setup_cellular(2, 8, CellularInit::default());
         let sess = Session::new(Config::op_files(Format::new(11, 48), ["Eos"])).unwrap();
-        sim.run::<Tracked>(3, Some(&sess));
+        sim.run::<Tracked>(3, &sess);
         let (calls, fails, _) = sim.eos.stats();
         assert!(calls > 0);
         assert_eq!(fails, 0, "48-bit EOS converges: {fails}/{calls}");

@@ -129,13 +129,14 @@ pub fn setup_with_roots(
 
 impl Simulation {
     /// Advance to `t_end` (bounded by `max_steps`), instantiated with the
-    /// numeric type `R` and an optional RAPTOR session.
+    /// numeric type `R` under a RAPTOR session. Reference runs pass
+    /// [`Session::passthrough`].
     pub fn run<R: Real>(
         &mut self,
         t_end: f64,
         max_steps: usize,
         threads: usize,
-        session: Option<&Session>,
+        session: &Session,
     ) {
         while self.t < t_end && self.nstep < max_steps {
             let dt = match self.fixed_dt {
@@ -143,7 +144,7 @@ impl Simulation {
                 None => {
                     // Driver dt under the session so it is counted as
                     // full-precision work (Fig. 7 bars).
-                    let _g = session.map(|s| s.install());
+                    let _g = session.install();
                     compute_dt::<R, _>(&self.mesh, &self.eos, &self.hydro)
                 }
             };
@@ -191,7 +192,7 @@ mod tests {
     #[test]
     fn sedov_shock_expands_radially() {
         let mut sim = setup(Problem::Sedov, 3, 8, ReconKind::Plm);
-        sim.run::<f64>(0.02, 500, 2, None);
+        sim.run::<f64>(0.02, 500, 2, &Session::passthrough());
         assert!(sim.t >= 0.02);
         // Density peak forms away from the center (shock shell).
         let line: Vec<f64> = (0..64)
@@ -221,13 +222,13 @@ mod tests {
         use raptor_core::{Config, Tracked};
         let t_end = 0.05;
         let mut reference = setup(Problem::Sod, 2, 8, ReconKind::Plm);
-        reference.run::<f64>(t_end, 200, 1, None);
+        reference.run::<f64>(t_end, 200, 1, &Session::passthrough());
         let mut errs = Vec::new();
         for m in [4u32, 12, 30] {
             let mut trunc = setup(Problem::Sod, 2, 8, ReconKind::Plm);
             let sess =
                 Session::new(Config::op_files(Format::new(11, m), ["Hydro"])).unwrap();
-            trunc.run::<Tracked>(t_end, 200, 1, Some(&sess));
+            trunc.run::<Tracked>(t_end, 200, 1, &sess);
             let n = sfocu(&trunc.mesh, &reference.mesh, DENS);
             errs.push(n.l1);
         }
@@ -245,7 +246,7 @@ mod tests {
         use raptor_core::{Config, Tracked};
         let t_end = 0.03;
         let mut reference = setup(Problem::Sedov, 3, 8, ReconKind::Plm);
-        reference.run::<f64>(t_end, 300, 1, None);
+        reference.run::<f64>(t_end, 300, 1, &Session::passthrough());
         let fmt = Format::new(11, 8);
         let mut results = Vec::new();
         for cutoff in [0u32, 1, 2] {
@@ -254,7 +255,7 @@ mod tests {
                 .with_cutoff(3, cutoff)
                 .with_counting();
             let sess = Session::new(cfg).unwrap();
-            trunc.run::<Tracked>(t_end, 300, 1, Some(&sess));
+            trunc.run::<Tracked>(t_end, 300, 1, &sess);
             let n = sfocu(&trunc.mesh, &reference.mesh, DENS);
             let frac = sess.counters().truncated_fraction();
             results.push((n.l1, frac));

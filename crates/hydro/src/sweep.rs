@@ -10,9 +10,11 @@
 //! * `Hydro/riemann` — approximate Riemann solver
 //! * `Hydro/update`  — conservative update
 //!
-//! The RAPTOR session (if provided) is installed on each worker and the
-//! block's refinement level is published before the kernel runs, enabling
-//! the M-l selective-truncation strategies of §6.
+//! The RAPTOR session is installed on each worker and the block's
+//! refinement level is published before the kernel runs, enabling the M-l
+//! selective-truncation strategies of §6. Uninstrumented reference runs
+//! pass [`Session::passthrough`], which keeps the per-op path on its
+//! no-session fast reject.
 
 use crate::recon::{plm_interface, weno5_interface, ReconKind};
 use crate::riemann::{riemann_flux, RiemannKind};
@@ -134,7 +136,7 @@ pub fn step<R: Real, E: Eos>(
     params: &HydroParams,
     dt: f64,
     threads: usize,
-    session: Option<&Session>,
+    session: &Session,
     flip: bool,
 ) {
     let axes = if flip { [1usize, 0] } else { [0usize, 1] };
@@ -152,16 +154,16 @@ pub fn sweep_axis<R: Real, E: Eos>(
     dt: f64,
     axis: usize,
     threads: usize,
-    session: Option<&Session>,
+    session: &Session,
 ) {
     let lay = Layout::of(mesh);
     // mem-mode shadow state is sharded per worker thread (handles never
     // cross blocks), so the sweep parallelizes like op-mode; each worker's
     // slab is cleared per block after results are materialized, which also
     // merges its flag statistics into the session (the sweep barrier).
-    let mem_mode = session.map_or(false, |s| s.config().mode == Mode::Mem);
+    let mem_mode = session.config().mode == Mode::Mem;
     let kernel = |geom: LeafGeom, block: &mut Block| {
-        let _guard = session.map(|s| s.install());
+        let _guard = session.install();
         set_level(Some(geom.level));
         let h = if axis == 0 { geom.dx } else { geom.dy };
         let _hydro = region("Hydro");
@@ -176,9 +178,7 @@ pub fn sweep_axis<R: Real, E: Eos>(
         }
         set_level(None);
         if mem_mode {
-            if let Some(s) = session {
-                s.mem_clear_slab();
-            }
+            session.mem_clear_slab();
         }
     };
     if threads <= 1 {
@@ -345,7 +345,7 @@ mod tests {
             let dt = compute_dt::<f64, _>(&m, &eos, &params);
             assert!(dt > 0.0 && dt.is_finite());
             let before = amr::sample_uniform(&m, DENS, 16, 16);
-            step::<f64, _>(&mut m, &bc, &eos, &params, dt, 1, None, false);
+            step::<f64, _>(&mut m, &bc, &eos, &params, dt, 1, &Session::passthrough(), false);
             let after = amr::sample_uniform(&m, DENS, 16, 16);
             for (a, b) in before.iter().zip(&after) {
                 assert!((a - b).abs() < 1e-12, "{recon:?}: {a} vs {b}");
@@ -375,7 +375,7 @@ mod tests {
         let mass0 = m.integrate(DENS);
         for s in 0..5 {
             let dt = compute_dt::<f64, _>(&m, &eos, &params);
-            step::<f64, _>(&mut m, &bc, &eos, &params, dt, 2, None, s % 2 == 1);
+            step::<f64, _>(&mut m, &bc, &eos, &params, dt, 2, &Session::passthrough(), s % 2 == 1);
         }
         let mass1 = m.integrate(DENS);
         assert!(
@@ -412,8 +412,8 @@ mod tests {
         let mut b = build();
         for s in 0..3 {
             let dt = compute_dt::<f64, _>(&a, &eos, &params);
-            step::<f64, _>(&mut a, &bc, &eos, &params, dt, 1, None, s % 2 == 1);
-            step::<f64, _>(&mut b, &bc, &eos, &params, dt, 4, None, s % 2 == 1);
+            step::<f64, _>(&mut a, &bc, &eos, &params, dt, 1, &Session::passthrough(), s % 2 == 1);
+            step::<f64, _>(&mut b, &bc, &eos, &params, dt, 4, &Session::passthrough(), s % 2 == 1);
         }
         let sa = amr::sample_uniform(&a, DENS, 32, 32);
         let sb = amr::sample_uniform(&b, DENS, 32, 32);
@@ -450,7 +450,7 @@ mod tests {
         let mut s = 0;
         while t < 0.1 {
             let dt = compute_dt::<f64, _>(&m, &eos, &params).min(0.1 - t + 1e-12);
-            step::<f64, _>(&mut m, &bc, &eos, &params, dt, 2, None, s % 2 == 1);
+            step::<f64, _>(&mut m, &bc, &eos, &params, dt, 2, &Session::passthrough(), s % 2 == 1);
             t += dt;
             s += 1;
         }
@@ -503,8 +503,8 @@ mod tests {
         .unwrap();
         for s in 0..5 {
             let dt = compute_dt::<f64, _>(&reference, &eos, &params);
-            step::<f64, _>(&mut reference, &bc, &eos, &params, dt, 1, None, s % 2 == 1);
-            step::<Tracked, _>(&mut coarse, &bc, &eos, &params, dt, 1, Some(&sess), s % 2 == 1);
+            step::<f64, _>(&mut reference, &bc, &eos, &params, dt, 1, &Session::passthrough(), s % 2 == 1);
+            step::<Tracked, _>(&mut coarse, &bc, &eos, &params, dt, 1, &sess, s % 2 == 1);
         }
         let a = amr::sample_uniform(&coarse, DENS, 32, 32);
         let b = amr::sample_uniform(&reference, DENS, 32, 32);

@@ -140,8 +140,9 @@ impl Bubble {
         }
     }
 
-    /// Advance to `t_end` (bounded by `max_steps`).
-    pub fn run<R: Real>(&mut self, t_end: f64, max_steps: usize, session: Option<&Session>) {
+    /// Advance to `t_end` (bounded by `max_steps`). Reference runs pass
+    /// [`Session::passthrough`].
+    pub fn run<R: Real>(&mut self, t_end: f64, max_steps: usize, session: &Session) {
         while self.t < t_end && self.nstep < max_steps {
             let dt = compute_dt(&self.grid, &self.params).min(t_end - self.t);
             step::<R>(&mut self.grid, &self.params, dt, Some(&self.level_map), session);
@@ -360,7 +361,7 @@ mod tests {
     fn bubble_rises() {
         let mut b = setup_bubble(32, 2, InsParams::default());
         let (_, y0) = b.centroid();
-        b.run::<f64>(0.5, 400, None);
+        b.run::<f64>(0.5, 400, &Session::passthrough());
         let (_, y1) = b.centroid();
         assert!(y1 > y0 + 0.02, "bubble rose: {y0} -> {y1}");
         // Area approximately conserved (level-set drift bounded).
@@ -375,7 +376,7 @@ mod tests {
         use raptor_core::Config;
         let params = InsParams::default();
         let mut reference = setup_bubble(32, 2, params);
-        reference.run::<f64>(0.15, 120, None);
+        reference.run::<f64>(0.15, 120, &Session::passthrough());
         let ref_pts = reference.interface_points();
         assert!(!ref_pts.is_empty(), "reference keeps an interface");
         let mut coarse = setup_bubble(32, 2, params);
@@ -384,7 +385,7 @@ mod tests {
             ["INS/advection", "INS/diffusion"],
         ))
         .unwrap();
-        coarse.run::<raptor_core::Tracked>(0.15, 120, Some(&sess));
+        coarse.run::<raptor_core::Tracked>(0.15, 120, &sess);
         let pts = coarse.interface_points();
         assert!(!pts.is_empty(), "6-bit run keeps an interface");
         let dev = interface_deviation(&pts, &ref_pts);

@@ -234,14 +234,14 @@ fn weno5_deriv<R: Real>(
 }
 
 /// One fractional-step update. `level_map[j * nx + i]` gives the AMR level
-/// of each interior cell (drives dynamic truncation); `session` is the
-/// optional RAPTOR session.
+/// of each interior cell (drives dynamic truncation); reference runs pass
+/// [`Session::passthrough`].
 pub fn step<R: Real>(
     grid: &mut Grid,
     params: &InsParams,
     dt: f64,
     level_map: Option<&[u8]>,
-    session: Option<&Session>,
+    session: &Session,
 ) {
     grid.apply_bcs();
     let (nx, ny, _ng) = (grid.nx, grid.ny, grid.ng);
@@ -252,7 +252,7 @@ pub fn step<R: Real>(
     let mut us = vec![0.0; n_int]; // predictor u*
     let mut vs = vec![0.0; n_int];
     let mut phin = vec![0.0; n_int];
-    let _g = session.map(|s| s.install());
+    let _g = session.install();
     let _ins = region("INS");
     let lvl = |i: usize, j: usize| -> Option<u32> {
         level_map.map(|m| m[j * nx + i] as u32)
@@ -656,7 +656,7 @@ mod tests {
         let params = InsParams::default();
         for _ in 0..5 {
             let dt = compute_dt(&g, &params);
-            step::<f64>(&mut g, &params, dt, None, None);
+            step::<f64>(&mut g, &params, dt, None, &Session::passthrough());
         }
         let mut vmax: f64 = 0.0;
         let mut divmax: f64 = 0.0;

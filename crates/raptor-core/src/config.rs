@@ -129,6 +129,24 @@ impl Config {
         }
     }
 
+    /// The no-op configuration: op-mode, an empty function scope, no
+    /// counting. A session over it never truncates, never counts, and
+    /// publishes no dispatch state — the uniform `run(&Session)` workload
+    /// contract uses it for uninstrumented reference runs.
+    pub fn passthrough() -> Self {
+        Config::op_functions(Format::FP64, std::iter::empty::<String>())
+    }
+
+    /// True when this configuration can never truncate nor count anything:
+    /// op-mode with an empty function scope and full-op counting off. The
+    /// runtime keeps the hot path on its no-session fast reject for such
+    /// sessions.
+    pub fn is_noop(&self) -> bool {
+        self.mode == Mode::Op
+            && !self.count_full_ops
+            && matches!(&self.scope, Scope::Functions(names) if names.is_empty())
+    }
+
     /// Op-mode config truncating the named function-scope regions.
     pub fn op_functions<S: Into<String>>(format: Format, funcs: impl IntoIterator<Item = S>) -> Self {
         let mut c = Config::op_all(format);

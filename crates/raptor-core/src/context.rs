@@ -51,6 +51,21 @@ pub struct Session {
 }
 
 impl Session {
+    /// The passthrough session: installs like any other session but never
+    /// truncates, never counts, and keeps the per-op hot path on its
+    /// no-session fast reject (the dispatch cache stays
+    /// [`Dispatch::None`]). Workload entry points take `&Session`
+    /// uniformly; uninstrumented reference runs pass this.
+    pub fn passthrough() -> Session {
+        Session::new(Config::passthrough()).expect("passthrough config is valid")
+    }
+
+    /// True when this session runs the no-op [`Config::passthrough`]
+    /// configuration.
+    pub fn is_passthrough(&self) -> bool {
+        self.inner.config.is_noop()
+    }
+
     /// Create a session from a validated configuration.
     pub fn new(config: Config) -> Result<Session, String> {
         config.validate()?;
@@ -349,6 +364,12 @@ impl ActiveCtx {
     /// Write the resolved decision into the [`FastPath`] cache.
     pub(crate) fn publish(&self) {
         let cfg = &self.sess.inner.config;
+        if cfg.is_noop() {
+            // Passthrough sessions keep the per-op path indistinguishable
+            // from "no session": one TLS load, fast reject, no counting.
+            FAST.with(|f| f.dispatch.set(Dispatch::None));
+            return;
+        }
         let d = match (cfg.mode, self.active) {
             (Mode::Mem, _) => Dispatch::Mem,
             (Mode::Op, true) => Dispatch::Op,
@@ -668,6 +689,45 @@ mod tests {
             assert_eq!(probe(), Dispatch::Op);
         }
         assert_eq!(probe(), Dispatch::InactiveCount);
+    }
+
+    #[test]
+    fn passthrough_session_is_invisible_to_the_hot_path() {
+        let s = Session::passthrough();
+        assert!(s.is_passthrough());
+        let g = s.install();
+        // The dispatch cache stays on the no-session fast reject.
+        assert_eq!(FAST.with(|f| f.dispatch.get()), Dispatch::None);
+        assert!(!is_active());
+        {
+            let _r = region("Hydro/recon");
+            assert!(!is_active());
+        }
+        set_level(Some(3));
+        assert_eq!(FAST.with(|f| f.dispatch.get()), Dispatch::None);
+        set_level(None);
+        crate::ops::op2(crate::counters::OpKind::Add, 1.0, 2.0);
+        count_field_values(16);
+        drop(g);
+        let c = s.counters();
+        assert_eq!(c.total_ops(), 0, "passthrough counts nothing");
+        assert_eq!(c.trunc_bytes + c.full_bytes, 0);
+        // Re-installable, like any session.
+        let _g2 = s.install();
+    }
+
+    #[test]
+    fn passthrough_matches_f64_bit_for_bit() {
+        let kernel = |x: crate::Tracked| {
+            use crate::Real;
+            (x * x + crate::Tracked::from_f64(0.3)).sqrt() / crate::Tracked::from_f64(1.7)
+        };
+        let s = Session::passthrough();
+        let _g = s.install();
+        use crate::Real;
+        let got = kernel(crate::Tracked::from_f64(0.9)).to_f64();
+        let want = ((0.9f64 * 0.9 + 0.3).sqrt()) / 1.7;
+        assert_eq!(got.to_bits(), want.to_bits());
     }
 
     #[test]

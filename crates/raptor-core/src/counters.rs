@@ -53,6 +53,19 @@ impl OpCounts {
         self.add + self.sub + self.mul + self.div + self.sqrt + self.fma + self.math
     }
 
+    /// JSON object with one field per op category plus the total.
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj()
+            .set("add", self.add)
+            .set("sub", self.sub)
+            .set("mul", self.mul)
+            .set("div", self.div)
+            .set("sqrt", self.sqrt)
+            .set("fma", self.fma)
+            .set("math", self.math)
+            .set("total", self.total())
+    }
+
     pub(crate) fn merge(&mut self, other: &OpCounts) {
         self.add += other.add;
         self.sub += other.sub;
@@ -173,6 +186,17 @@ impl Counters {
         self.full.merge(&other.full);
         self.trunc_bytes += other.trunc_bytes;
         self.full_bytes += other.full_bytes;
+    }
+
+    /// JSON object carrying both op tables, the byte counters, and the
+    /// derived truncated fraction (the §3.4 statistics, machine-readable).
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj()
+            .set("trunc", self.trunc.to_json())
+            .set("full", self.full.to_json())
+            .set("trunc_bytes", self.trunc_bytes)
+            .set("full_bytes", self.full_bytes)
+            .set("truncated_fraction", self.truncated_fraction())
     }
 }
 

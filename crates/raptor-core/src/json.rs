@@ -1,0 +1,457 @@
+//! A minimal JSON value type with a writer and a parser — std only.
+//!
+//! The tree must stay offline, so machine-readable output (campaign
+//! summaries, `Report::to_json`, the `BENCH_*.json` files) goes through
+//! this one hand-rolled serializer instead of per-call-site `format!`
+//! strings. The parser exists so tests (and downstream tooling) can read
+//! the emitted files back without an external crate; it accepts exactly
+//! the JSON this module emits plus ordinary standards-compliant input
+//! (no comments, no trailing commas).
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers survive up to 2^53 exactly).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object; insertion order is preserved.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Empty object, ready for [`Json::set`] chaining.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// Builder-style: insert (or replace) a key in an object. Panics when
+    /// called on a non-object — builder misuse, not data-dependent.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(entries) => {
+                let value = value.into();
+                if let Some(e) = entries.iter_mut().find(|(k, _)| k == key) {
+                    e.1 = value;
+                } else {
+                    entries.push((key.to_string(), value));
+                }
+            }
+            _ => panic!("Json::set on a non-object"),
+        }
+        self
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric accessor.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// String accessor.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Bool accessor.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Render to a string with 2-space indentation.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out
+    }
+
+    fn write(&self, out: &mut String, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&render_num(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    item.write(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                if entries.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    out.push('\n');
+                    indent(out, depth + 1);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, depth + 1);
+                    if i + 1 < entries.len() {
+                        out.push(',');
+                    }
+                }
+                out.push('\n');
+                indent(out, depth);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (the whole input must be one value).
+    pub fn parse(src: &str) -> Result<Json, String> {
+        let bytes = src.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<f64> for Json {
+    fn from(n: f64) -> Json {
+        Json::Num(n)
+    }
+}
+impl From<u64> for Json {
+    fn from(n: u64) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<u32> for Json {
+    fn from(n: u32) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<usize> for Json {
+    fn from(n: usize) -> Json {
+        Json::Num(n as f64)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
+    }
+}
+
+impl core::fmt::Display for Json {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn indent(out: &mut String, depth: usize) {
+    for _ in 0..depth {
+        out.push_str("  ");
+    }
+}
+
+/// Integers print without a decimal point; everything else uses enough
+/// digits to round-trip (`{:e}` keeps small fidelities readable).
+fn render_num(n: f64) -> String {
+    if !n.is_finite() {
+        // JSON has no Inf/NaN; report them as null like most emitters.
+        return "null".to_string();
+    }
+    if n.fract() == 0.0 && n.abs() < 9.0e15 {
+        format!("{}", n as i64)
+    } else {
+        let s = format!("{n:.17e}");
+        // Trim the mantissa back while it still round-trips.
+        for prec in 1..17 {
+            let t = format!("{n:.prec$e}");
+            if t.parse::<f64>() == Ok(n) {
+                return t;
+            }
+        }
+        s
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(format!("expected `{lit}` at byte {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'n') => expect(b, pos, "null").map(|_| Json::Null),
+        Some(b't') => expect(b, pos, "true").map(|_| Json::Bool(true)),
+        Some(b'f') => expect(b, pos, "false").map(|_| Json::Bool(false)),
+        Some(b'"') => parse_string(b, pos).map(Json::Str),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected `,` or `]` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut entries = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(entries));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                expect(b, pos, ":")?;
+                entries.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(entries));
+                    }
+                    _ => return Err(format!("expected `,` or `}}` at byte {pos}", pos = *pos)),
+                }
+            }
+        }
+        Some(_) => parse_number(b, pos),
+    }
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}", pos = *pos));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        // Surrogate pairs are not emitted by this module;
+                        // map lone surrogates to the replacement char.
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {pos}", pos = *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 scalar (input is a &str, so this is safe
+                // to do bytewise by finding the next char boundary).
+                let start = *pos;
+                *pos += 1;
+                while *pos < b.len() && (b[*pos] & 0xC0) == 0x80 {
+                    *pos += 1;
+                }
+                out.push_str(std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?);
+            }
+        }
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len()
+        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    s.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("bad number `{s}` at byte {start}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_render_parse_round_trip() {
+        let doc = Json::obj()
+            .set("name", "hydro/sedov")
+            .set("fidelity", 0.9975)
+            .set("ops", 123_456_789u64)
+            .set("accepted", true)
+            .set("cutoff", Json::Null)
+            .set(
+                "configs",
+                Json::Arr(vec![Json::obj().set("m", 12u32), Json::obj().set("m", 4u32)]),
+            );
+        let text = doc.render();
+        let back = Json::parse(&text).unwrap();
+        assert_eq!(back, doc);
+        assert_eq!(back.get("name").unwrap().as_str(), Some("hydro/sedov"));
+        assert_eq!(back.get("ops").unwrap().as_f64(), Some(123_456_789.0));
+        assert_eq!(back.get("configs").unwrap().as_arr().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn numbers_round_trip_exactly() {
+        for n in [0.0, -1.5, 1e-300, std::f64::consts::PI, 2.0f64.powi(53), 1e17] {
+            let text = Json::Num(n).render();
+            assert_eq!(Json::parse(&text).unwrap().as_f64(), Some(n), "{text}");
+        }
+        // Integers render without an exponent or decimal point.
+        assert_eq!(Json::Num(42.0).render(), "42");
+        assert_eq!(Json::Num(-7.0).render(), "-7");
+        // Non-finite maps to null.
+        assert_eq!(Json::Num(f64::NAN).render(), "null");
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "line1\nline2\t\"quoted\" back\\slash";
+        let text = Json::Str(s.to_string()).render();
+        assert_eq!(Json::parse(&text).unwrap().as_str(), Some(s));
+        // Unicode passes through raw.
+        let u = Json::Str("через".to_string()).render();
+        assert_eq!(Json::parse(&u).unwrap().as_str(), Some("через"));
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(Json::parse("").is_err());
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("{\"a\" 1}").is_err());
+        assert!(Json::parse("123 456").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn parses_standard_json_it_did_not_emit() {
+        let doc = Json::parse(
+            "{\"a\":[1,2.5,true,null],\"b\":{\"c\":\"d\"},\"e\":-1.25e-3}",
+        )
+        .unwrap();
+        assert_eq!(doc.get("e").unwrap().as_f64(), Some(-1.25e-3));
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap().len(), 4);
+    }
+}

@@ -101,6 +101,7 @@
 pub mod config;
 pub mod context;
 pub mod counters;
+pub mod json;
 pub mod memmode;
 pub mod ops;
 pub mod real;
@@ -109,6 +110,7 @@ pub mod report;
 pub use config::{Config, EmulPath, LevelCutoff, Mode, Scope};
 pub use context::{count_field_values, is_active, region, set_level, RegionGuard, Session, SessionGuard};
 pub use counters::{Counters, OpCounts, OpKind};
+pub use json::Json;
 pub use memmode::{LocReport, LocStats, SrcLoc};
 pub use ops::{MathFn, SignOp};
 pub use real::{Real, Tracked};

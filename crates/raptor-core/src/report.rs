@@ -3,6 +3,7 @@
 
 use crate::context::Session;
 use crate::counters::Counters;
+use crate::json::Json;
 use crate::memmode::LocReport;
 
 /// Everything a profiling session collected, ready for display.
@@ -32,6 +33,36 @@ impl Session {
             flags: self.mem_flags(),
             warnings: self.warnings(),
         }
+    }
+}
+
+impl Report {
+    /// Machine-readable report (the same data [`core::fmt::Display`]
+    /// prints, through the shared [`crate::json`] serializer).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("config", self.config.as_str())
+            .set("counters", self.counters.to_json())
+            .set(
+                "mem_flags",
+                Json::Arr(
+                    self.flags
+                        .iter()
+                        .map(|r| {
+                            Json::obj()
+                                .set("loc", r.loc.to_string())
+                                .set("ops", r.stats.ops)
+                                .set("flags", r.stats.flags)
+                                .set("max_dev", r.stats.max_dev)
+                                .set("mean_dev", r.mean_dev())
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "warnings",
+                Json::Arr(self.warnings.iter().map(|w| Json::from(w.as_str())).collect()),
+            )
     }
 }
 
@@ -101,6 +132,29 @@ mod tests {
         assert!(text.contains("RAPTOR profile"));
         assert!(text.contains("e5m10"));
         assert!(text.contains("truncated 2 (100.0%)"));
+    }
+
+    #[test]
+    fn report_to_json_round_trips() {
+        let s = Session::new(Config::op_all(Format::FP16).with_counting()).unwrap();
+        {
+            let _g = s.install();
+            op2(OpKind::Add, 1.0, 2.0);
+            op2(OpKind::Mul, 2.0, 3.0);
+        }
+        let doc = s.report().to_json();
+        let back = Json::parse(&doc.render()).unwrap();
+        assert_eq!(back, doc);
+        let counters = back.get("counters").unwrap();
+        assert_eq!(
+            counters.get("trunc").unwrap().get("total").unwrap().as_f64(),
+            Some(2.0)
+        );
+        assert_eq!(
+            counters.get("truncated_fraction").unwrap().as_f64(),
+            Some(1.0)
+        );
+        assert!(back.get("config").unwrap().as_str().unwrap().contains("e5m10"));
     }
 
     #[test]

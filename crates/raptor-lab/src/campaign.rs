@@ -1,0 +1,610 @@
+//! The precision-search campaign engine (§6–§7.2 as one API call).
+//!
+//! A campaign takes one scenario, a set of candidate truncation
+//! configurations (format ladder × scope × mode × AMR-level cutoff), and:
+//!
+//! 1. runs the scenario once at full precision and caches the baseline
+//!    observable;
+//! 2. runs every candidate **in parallel on the persistent sweep pool**
+//!    ([`amr::pool_run`] — campaign items share workers with mesh sweeps;
+//!    a candidate's own nested sweeps run inline, so candidates, not
+//!    blocks, are the unit of parallelism);
+//! 3. scores each candidate's fidelity against the baseline
+//!    ([`Scenario::fidelity`]) and folds the live op/byte counters into
+//!    the §7.2 co-design model ([`codesign::predicted_speedup`]);
+//! 4. ranks survivors by `(accepted, predicted speedup, fidelity)` and
+//!    emits both a human table and a machine-readable JSON summary
+//!    through the shared [`raptor_core::json`] serializer.
+//!
+//! [`precision_search`] is the greedy refinement mode: per cutoff, bisect
+//! the mantissa ladder for the minimal width that stays above the
+//! fidelity floor — the `sedov_precision_hunt` workflow as a library.
+
+use crate::scenario::{LabParams, Observable, Scenario};
+use bigfloat::Format;
+use codesign::{estimate_speedup, predicted_speedup, Machine};
+use raptor_core::{Config, Counters, Json, Mode, Report, Session};
+use std::sync::Mutex;
+
+/// Scope axis of a candidate configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScopeAxis {
+    /// Truncate the scenario's declared regions (file scope) — the
+    /// module-targeted workflow of §6.
+    Regions,
+    /// Truncate everything (`--raptor-truncate-all`, program scope).
+    Program,
+}
+
+/// One point of the campaign's configuration lattice.
+#[derive(Clone, Debug)]
+pub struct CandidateSpec {
+    /// Target format.
+    pub format: Format,
+    /// op-mode or mem-mode.
+    pub mode: Mode,
+    /// Truncation scope.
+    pub scope: ScopeAxis,
+    /// AMR cutoff `l` of an M-l strategy (`None` = static truncation).
+    pub cutoff: Option<u32>,
+    /// mem-mode deviation threshold (ignored in op-mode).
+    pub mem_threshold: f64,
+}
+
+impl CandidateSpec {
+    /// Op-mode candidate over the scenario regions, no cutoff.
+    pub fn op(format: Format) -> CandidateSpec {
+        CandidateSpec {
+            format,
+            mode: Mode::Op,
+            scope: ScopeAxis::Regions,
+            cutoff: None,
+            mem_threshold: 1e-6,
+        }
+    }
+
+    /// Builder-style: set the M-l cutoff.
+    pub fn with_cutoff(mut self, l: u32) -> CandidateSpec {
+        self.cutoff = Some(l);
+        self
+    }
+
+    /// Builder-style: program scope.
+    pub fn program_scope(mut self) -> CandidateSpec {
+        self.scope = ScopeAxis::Program;
+        self
+    }
+
+    /// Builder-style: mem-mode at the given deviation threshold
+    /// (function-scoped over the scenario regions, per Fig. 2b).
+    pub fn mem(mut self, threshold: f64) -> CandidateSpec {
+        self.mode = Mode::Mem;
+        self.mem_threshold = threshold;
+        self
+    }
+
+    /// Display label, e.g. `"e11m12 op regions M-1"`.
+    pub fn label(&self) -> String {
+        let mode = match self.mode {
+            Mode::Op => "op",
+            Mode::Mem => "mem",
+        };
+        let scope = match self.scope {
+            ScopeAxis::Regions => "regions",
+            ScopeAxis::Program => "program",
+        };
+        let cutoff = match self.cutoff {
+            Some(l) => format!(" M-{l}"),
+            None => String::new(),
+        };
+        format!("{} {mode} {scope}{cutoff}", self.format)
+    }
+
+    /// Resolve to a full [`Config`] against a scenario (counting always
+    /// on — the co-design model needs both op populations).
+    pub fn config(&self, scenario: &dyn Scenario, max_level: u32) -> Result<Config, String> {
+        let mut cfg = match (self.mode, self.scope) {
+            (Mode::Op, ScopeAxis::Regions) => {
+                Config::op_files(self.format, scenario.regions().iter().copied())
+            }
+            (Mode::Op, ScopeAxis::Program) => Config::op_all(self.format),
+            (Mode::Mem, ScopeAxis::Regions) => Config::mem_functions(
+                self.format,
+                scenario.regions().iter().copied(),
+                self.mem_threshold,
+            ),
+            (Mode::Mem, ScopeAxis::Program) => {
+                return Err("mem-mode is only supported at function scope (Fig. 2b)".into())
+            }
+        };
+        if let Some(l) = self.cutoff {
+            cfg = cfg.with_cutoff(max_level, l);
+        }
+        cfg = cfg.with_counting();
+        cfg.validate()?;
+        Ok(cfg)
+    }
+}
+
+/// The default format ladder, widest to narrowest storage.
+pub fn format_ladder() -> Vec<Format> {
+    vec![
+        Format::FP32,
+        Format::new(11, 20),
+        Format::new(11, 12),
+        Format::FP16,
+        Format::BF16,
+        Format::FP8_E5M2,
+    ]
+}
+
+/// The default candidate lattice: the format ladder crossed with the
+/// static (no cutoff) and M-1 dynamic-truncation strategies — 12 configs,
+/// the §6.1 sweep shape.
+pub fn default_candidates() -> Vec<CandidateSpec> {
+    let mut out = Vec::new();
+    for fmt in format_ladder() {
+        out.push(CandidateSpec::op(fmt));
+        out.push(CandidateSpec::op(fmt).with_cutoff(1));
+    }
+    out
+}
+
+/// A full campaign specification.
+#[derive(Clone, Debug)]
+pub struct CampaignSpec {
+    /// Scenario scale knobs.
+    pub params: LabParams,
+    /// The configuration lattice to sweep.
+    pub candidates: Vec<CandidateSpec>,
+    /// Acceptance threshold on fidelity (quality-of-result gate).
+    pub fidelity_floor: f64,
+    /// Parallel candidate runs on the sweep pool (including the calling
+    /// thread).
+    pub workers: usize,
+    /// Hardware model for the §7.2 speedup ranking.
+    pub machine: Machine,
+}
+
+impl CampaignSpec {
+    /// The default sweep at the given scale: [`default_candidates`],
+    /// a 0.99 fidelity floor, one worker per available CPU (capped by
+    /// the candidate count at run time), the default machine.
+    pub fn sweep(params: LabParams) -> CampaignSpec {
+        let workers = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+        CampaignSpec {
+            params,
+            candidates: default_candidates(),
+            fidelity_floor: 0.99,
+            workers,
+            machine: Machine::default(),
+        }
+    }
+}
+
+/// The outcome of one candidate run.
+#[derive(Clone, Debug)]
+pub struct CandidateOutcome {
+    /// The configuration swept.
+    pub spec: CandidateSpec,
+    /// Fidelity vs the cached full-precision baseline (`1.0` = exact).
+    pub fidelity: f64,
+    /// Whether fidelity cleared the campaign floor.
+    pub accepted: bool,
+    /// The roofline-resolved predicted speedup (ranking key).
+    pub predicted_speedup: f64,
+    /// Compute-bound panel of the Fig. 8 estimate.
+    pub speedup_compute: f64,
+    /// Memory-bound panel.
+    pub speedup_memory: f64,
+    /// Live counters of the run.
+    pub counters: Counters,
+    /// The session's full profiling report.
+    pub report: Report,
+    /// Set when the candidate could not run (e.g. invalid config for the
+    /// scenario); such rows rank last.
+    pub error: Option<String>,
+}
+
+/// A completed campaign over one scenario.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario crate.
+    pub crate_name: String,
+    /// Scale the campaign ran at.
+    pub params: LabParams,
+    /// The acceptance floor used.
+    pub fidelity_floor: f64,
+    /// Baseline scored against itself — `1.0` by construction; kept as a
+    /// harness self-check.
+    pub baseline_fidelity: f64,
+    /// Outcomes ranked by `(accepted, predicted speedup, fidelity)`.
+    pub outcomes: Vec<CandidateOutcome>,
+}
+
+impl CampaignReport {
+    /// The best accepted candidate, if any survived the fidelity gate.
+    pub fn best(&self) -> Option<&CandidateOutcome> {
+        self.outcomes.iter().find(|o| o.accepted && o.error.is_none())
+    }
+
+    /// Machine-readable summary through the shared serializer.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("scenario", self.scenario.as_str())
+            .set("crate", self.crate_name.as_str())
+            .set(
+                "params",
+                Json::obj()
+                    .set("scale", self.params.scale)
+                    .set("threads", self.params.threads),
+            )
+            .set("fidelity_floor", self.fidelity_floor)
+            .set("baseline_fidelity", self.baseline_fidelity)
+            .set(
+                "candidates",
+                Json::Arr(
+                    self.outcomes
+                        .iter()
+                        .map(|o| {
+                            let mut doc = Json::obj()
+                                .set("label", o.spec.label())
+                                .set("exp_bits", o.spec.format.exp_bits())
+                                .set("man_bits", o.spec.format.man_bits())
+                                .set(
+                                    "mode",
+                                    match o.spec.mode {
+                                        Mode::Op => "op",
+                                        Mode::Mem => "mem",
+                                    },
+                                )
+                                .set(
+                                    "scope",
+                                    match o.spec.scope {
+                                        ScopeAxis::Regions => "regions",
+                                        ScopeAxis::Program => "program",
+                                    },
+                                )
+                                .set(
+                                    "cutoff",
+                                    match o.spec.cutoff {
+                                        Some(l) => Json::from(l),
+                                        None => Json::Null,
+                                    },
+                                )
+                                .set("fidelity", o.fidelity)
+                                .set("accepted", o.accepted)
+                                .set("predicted_speedup", o.predicted_speedup)
+                                .set("speedup_compute", o.speedup_compute)
+                                .set("speedup_memory", o.speedup_memory)
+                                .set("truncated_fraction", o.counters.truncated_fraction())
+                                .set("report", o.report.to_json());
+                            if let Some(e) = &o.error {
+                                doc = doc.set("error", e.as_str());
+                            }
+                            doc
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Human-readable ranking table.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "campaign: {} ({} candidates, fidelity floor {})\n",
+            self.scenario,
+            self.outcomes.len(),
+            self.fidelity_floor
+        ));
+        out.push_str(&format!(
+            "{:>26} {:>10} {:>9} {:>9} {:>8}  verdict\n",
+            "config", "fidelity", "speedup", "trunc %", "Gops"
+        ));
+        for o in &self.outcomes {
+            if let Some(e) = &o.error {
+                out.push_str(&format!("{:>26} failed: {e}\n", o.spec.label()));
+                continue;
+            }
+            let (tg, fg) = o.counters.giga_ops();
+            out.push_str(&format!(
+                "{:>26} {:>10.6} {:>8.2}x {:>8.1}% {:>8.3}  {}\n",
+                o.spec.label(),
+                o.fidelity,
+                o.predicted_speedup,
+                100.0 * o.counters.truncated_fraction(),
+                tg + fg,
+                if o.accepted { "OK" } else { "too coarse" }
+            ));
+        }
+        out
+    }
+}
+
+/// Run every candidate of `spec` against `scenario` in parallel on the
+/// persistent sweep pool, rank, and report.
+///
+/// Cutoff candidates are dropped for scenarios without a refinement
+/// hierarchy (`max_level <= 1`): with no levels to spare, an M-l config
+/// is bit-identical to its static twin, and reporting it as a distinct
+/// strategy would be misleading.
+pub fn run_campaign(scenario: &dyn Scenario, spec: &CampaignSpec) -> CampaignReport {
+    // Cached full-precision baseline (run once, shared by every worker).
+    let baseline = scenario.build(&spec.params).run(&Session::passthrough());
+    let baseline_fidelity = scenario.fidelity(&baseline, &baseline);
+    let max_level = scenario.max_level(&spec.params);
+
+    let candidates: Vec<&CandidateSpec> = spec
+        .candidates
+        .iter()
+        .filter(|c| c.cutoff.is_none() || max_level > 1)
+        .collect();
+    let slots: Vec<Mutex<Option<CandidateOutcome>>> =
+        candidates.iter().map(|_| Mutex::new(None)).collect();
+    amr::pool_run(candidates.len(), spec.workers.max(1), &|i| {
+        let outcome = run_candidate(scenario, spec, candidates[i], max_level, &baseline);
+        *slots[i].lock().unwrap() = Some(outcome);
+    });
+    let mut outcomes: Vec<CandidateOutcome> = slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("pool ran every candidate"))
+        .collect();
+    rank(&mut outcomes);
+    CampaignReport {
+        scenario: scenario.name().to_string(),
+        crate_name: scenario.crate_name().to_string(),
+        params: spec.params,
+        fidelity_floor: spec.fidelity_floor,
+        baseline_fidelity,
+        outcomes,
+    }
+}
+
+/// Run campaigns for several scenarios (each scenario's candidates sweep
+/// in parallel; scenarios run back to back so baselines never contend).
+pub fn run_campaigns(scenarios: &[Box<dyn Scenario>], spec: &CampaignSpec) -> Vec<CampaignReport> {
+    scenarios.iter().map(|s| run_campaign(s.as_ref(), spec)).collect()
+}
+
+/// Bundle several campaign reports into one JSON document.
+pub fn campaigns_to_json(reports: &[CampaignReport]) -> Json {
+    Json::obj().set(
+        "campaigns",
+        Json::Arr(reports.iter().map(|r| r.to_json()).collect()),
+    )
+}
+
+fn run_candidate(
+    scenario: &dyn Scenario,
+    spec: &CampaignSpec,
+    cand: &CandidateSpec,
+    max_level: u32,
+    baseline: &Observable,
+) -> CandidateOutcome {
+    let failed = |err: String, session: &Session| CandidateOutcome {
+        spec: cand.clone(),
+        fidelity: 0.0,
+        accepted: false,
+        predicted_speedup: 1.0,
+        speedup_compute: 1.0,
+        speedup_memory: 1.0,
+        counters: Counters::default(),
+        report: session.report(),
+        error: Some(err),
+    };
+    let cfg = match cand.config(scenario, max_level) {
+        Ok(cfg) => cfg,
+        Err(e) => return failed(e, &Session::passthrough()),
+    };
+    let session = match Session::new(cfg) {
+        Ok(s) => s,
+        Err(e) => return failed(e, &Session::passthrough()),
+    };
+    let trial = scenario.build(&spec.params).run(&session);
+    let fidelity = scenario.fidelity(&trial, baseline);
+    let counters = session.counters();
+    let s = estimate_speedup(&spec.machine, cand.format, &counters);
+    CandidateOutcome {
+        spec: cand.clone(),
+        fidelity,
+        accepted: fidelity >= spec.fidelity_floor,
+        predicted_speedup: predicted_speedup(&spec.machine, cand.format, &counters),
+        speedup_compute: s.compute_bound,
+        speedup_memory: s.memory_bound,
+        counters,
+        report: session.report(),
+        error: None,
+    }
+}
+
+/// Rank: accepted first (by predicted speedup, then fidelity), rejected
+/// after (by fidelity — the least-bad first), errors last.
+fn rank(outcomes: &mut [CandidateOutcome]) {
+    outcomes.sort_by(|a, b| {
+        let key = |o: &CandidateOutcome| (o.error.is_none(), o.accepted);
+        key(b)
+            .cmp(&key(a))
+            .then_with(|| {
+                if a.accepted && b.accepted {
+                    b.predicted_speedup
+                        .partial_cmp(&a.predicted_speedup)
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                } else {
+                    core::cmp::Ordering::Equal
+                }
+            })
+            .then_with(|| b.fidelity.partial_cmp(&a.fidelity).unwrap_or(core::cmp::Ordering::Equal))
+    });
+}
+
+// ---------------------------------------------------------------------------
+// Greedy refinement: minimal-precision search
+// ---------------------------------------------------------------------------
+
+/// Greedy precision-search specification.
+#[derive(Clone, Debug)]
+pub struct SearchSpec {
+    /// Scenario scale knobs.
+    pub params: LabParams,
+    /// Exponent width of every probed format (11 = FP64's).
+    pub exp_bits: u32,
+    /// Inclusive mantissa-bit search range.
+    pub mantissa: (u32, u32),
+    /// Acceptance threshold on fidelity.
+    pub fidelity_floor: f64,
+    /// The M-l cutoffs to search independently (each gets its own row).
+    pub cutoffs: Vec<u32>,
+    /// Parallel rows on the sweep pool.
+    pub workers: usize,
+}
+
+impl SearchSpec {
+    /// Default search: mantissa 2..=52 at exponent 11, cutoffs M-0..M-2.
+    pub fn new(params: LabParams, fidelity_floor: f64) -> SearchSpec {
+        SearchSpec {
+            params,
+            exp_bits: 11,
+            mantissa: (2, 52),
+            fidelity_floor,
+            cutoffs: vec![0, 1, 2],
+            workers: 4,
+        }
+    }
+}
+
+/// One row of a precision search: the minimal safe mantissa width for a
+/// cutoff strategy, plus every probe the bisection took.
+#[derive(Clone, Debug)]
+pub struct SearchRow {
+    /// The cutoff `l` of this row's M-l strategy.
+    pub cutoff: u32,
+    /// Minimal mantissa bits with fidelity >= the floor (`None` when even
+    /// the widest probe fails).
+    pub minimal_m: Option<u32>,
+    /// Fidelity at `minimal_m` (or at the widest probe when `None`).
+    pub fidelity: f64,
+    /// Truncated-op fraction at the minimal width.
+    pub truncated_fraction: f64,
+    /// Every `(mantissa, fidelity)` probe, in probe order.
+    pub probes: Vec<(u32, f64)>,
+}
+
+/// Greedily bisect the mantissa ladder per cutoff for the minimal width
+/// that clears the fidelity floor. Rows run in parallel on the sweep
+/// pool; each probe is one full scenario run.
+pub fn precision_search(scenario: &dyn Scenario, spec: &SearchSpec) -> Vec<SearchRow> {
+    let baseline = scenario.build(&spec.params).run(&Session::passthrough());
+    let max_level = scenario.max_level(&spec.params);
+    let slots: Vec<Mutex<Option<SearchRow>>> =
+        spec.cutoffs.iter().map(|_| Mutex::new(None)).collect();
+    amr::pool_run(spec.cutoffs.len(), spec.workers.max(1), &|i| {
+        let row = search_row(scenario, spec, spec.cutoffs[i], max_level, &baseline);
+        *slots[i].lock().unwrap() = Some(row);
+    });
+    slots
+        .into_iter()
+        .map(|s| s.into_inner().unwrap().expect("pool ran every row"))
+        .collect()
+}
+
+fn search_row(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    cutoff: u32,
+    max_level: u32,
+    baseline: &Observable,
+) -> SearchRow {
+    let mut probes = Vec::new();
+    let mut probe = |m: u32| -> (f64, f64) {
+        let cand = CandidateSpec::op(Format::new(spec.exp_bits, m)).with_cutoff(cutoff);
+        let cfg = cand.config(scenario, max_level).expect("op candidates validate");
+        let session = Session::new(cfg).expect("validated");
+        let trial = scenario.build(&spec.params).run(&session);
+        let fid = scenario.fidelity(&trial, baseline);
+        probes.push((m, fid));
+        (fid, session.counters().truncated_fraction())
+    };
+    let (mut lo, mut hi) = spec.mantissa;
+    // Bracket: if even the widest mantissa fails, report and bail.
+    let (fid_hi, frac_hi) = probe(hi);
+    if fid_hi < spec.fidelity_floor {
+        return SearchRow {
+            cutoff,
+            minimal_m: None,
+            fidelity: fid_hi,
+            truncated_fraction: frac_hi,
+            probes,
+        };
+    }
+    let mut best = (hi, fid_hi, frac_hi);
+    // If the narrowest already passes, it is minimal.
+    let (fid_lo, frac_lo) = probe(lo);
+    if fid_lo >= spec.fidelity_floor {
+        return SearchRow {
+            cutoff,
+            minimal_m: Some(lo),
+            fidelity: fid_lo,
+            truncated_fraction: frac_lo,
+            probes,
+        };
+    }
+    // Invariant: lo fails, hi passes. Fidelity is monotone enough in the
+    // mantissa width for bisection (the §6.1 error ladders); occasional
+    // non-monotone blips (the Fig. 7b AMR anomaly) cost at most a
+    // slightly-wider answer, never an infinite loop.
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        let (fid, frac) = probe(mid);
+        if fid >= spec.fidelity_floor {
+            hi = mid;
+            best = (mid, fid, frac);
+        } else {
+            lo = mid;
+        }
+    }
+    SearchRow {
+        cutoff,
+        minimal_m: Some(best.0),
+        fidelity: best.1,
+        truncated_fraction: best.2,
+        probes,
+    }
+}
+
+/// JSON summary of a precision search.
+pub fn search_to_json(scenario: &str, rows: &[SearchRow]) -> Json {
+    Json::obj().set("scenario", scenario).set(
+        "rows",
+        Json::Arr(
+            rows.iter()
+                .map(|r| {
+                    Json::obj()
+                        .set("cutoff", r.cutoff)
+                        .set(
+                            "minimal_mantissa",
+                            match r.minimal_m {
+                                Some(m) => Json::from(m),
+                                None => Json::Null,
+                            },
+                        )
+                        .set("fidelity", r.fidelity)
+                        .set("truncated_fraction", r.truncated_fraction)
+                        .set(
+                            "probes",
+                            Json::Arr(
+                                r.probes
+                                    .iter()
+                                    .map(|&(m, f)| {
+                                        Json::obj().set("mantissa", m).set("fidelity", f)
+                                    })
+                                    .collect(),
+                            ),
+                        )
+                })
+                .collect(),
+        ),
+    )
+}

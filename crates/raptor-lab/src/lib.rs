@@ -1,0 +1,74 @@
+//! # raptor-lab — the unified scenario layer and campaign engine
+//!
+//! The paper's headline result is not a single truncated run but a
+//! *sweep*: many (scope, format, mode, AMR-cutoff) configurations
+//! evaluated per workload, quality-of-result metrics deciding which
+//! truncations are safe, and the §7.2 co-design model ranking the
+//! survivors by predicted speedup. This crate turns that methodology
+//! into two layers:
+//!
+//! * the [`Scenario`] trait + [`registry`] — every workload crate
+//!   (hydro, incomp, eos, raptor-ir) behind one `build → run(&Session) →
+//!   fidelity` contract;
+//! * the campaign engine ([`run_campaign`], [`precision_search`]) — the
+//!   sweep itself, fanned out over the persistent sweep pool.
+//!
+//! ## Running campaigns
+//!
+//! An enumerative sweep — 12 default configurations (format ladder ×
+//! static/M-1 cutoff), run in parallel, ranked by fidelity-gated
+//! predicted speedup. Scenarios without a refinement hierarchy (like the
+//! IR kernels here) keep only the 6 static configurations — their M-1
+//! twins would be bit-identical duplicates and are dropped:
+//!
+//! ```
+//! use raptor_lab::{find, run_campaign, CampaignSpec, LabParams};
+//!
+//! let scenario = find("ir/horner").expect("registered");
+//! let spec = CampaignSpec::sweep(LabParams::mini());
+//! assert_eq!(spec.candidates.len(), 12);
+//! let report = run_campaign(scenario.as_ref(), &spec);
+//!
+//! assert_eq!(report.baseline_fidelity, 1.0);
+//! assert_eq!(report.outcomes.len(), 6); // unrefined: cutoffs deduped
+//! println!("{}", report.render_table());          // human table
+//! let json = report.to_json().render();           // machine summary
+//! assert!(raptor_core::Json::parse(&json).is_ok());
+//! ```
+//!
+//! A greedy precision hunt — per M-l cutoff, bisect for the minimal
+//! mantissa width whose fidelity clears the floor:
+//!
+//! ```no_run
+//! use raptor_lab::{find, precision_search, LabParams, SearchSpec};
+//!
+//! let scenario = find("hydro/sedov").expect("registered");
+//! let spec = SearchSpec::new(LabParams::demo(), 0.999);
+//! for row in precision_search(scenario.as_ref(), &spec) {
+//!     println!("M-{}: minimal mantissa {:?}", row.cutoff, row.minimal_m);
+//! }
+//! ```
+//!
+//! Campaign candidates are the unit of parallelism: each runs on a
+//! worker of the process-wide sweep pool ([`amr::pool_run`]), and any
+//! mesh sweep *inside* a candidate runs inline on that worker — so a
+//! 12-candidate campaign keeps 12 CPUs busy without oversubscription.
+//! Fidelity is scenario-defined ([`Scenario::fidelity`]); `1.0` means
+//! bit-identical to the cached full-precision baseline, and the default
+//! metric maps relative-L1 distance through `1 / (1 + e)`.
+
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod registry;
+pub mod scenario;
+
+pub use campaign::{
+    campaigns_to_json, default_candidates, format_ladder, precision_search, run_campaign,
+    run_campaigns, search_to_json, CampaignReport, CampaignSpec, CandidateOutcome, CandidateSpec,
+    ScopeAxis, SearchRow, SearchSpec,
+};
+pub use registry::{find, registry};
+pub use scenario::{
+    fidelity_from_error, relative_l1, LabParams, Observable, Runnable, Scenario,
+};

@@ -43,7 +43,7 @@ fn main() {
     println!("Rising bubble (Re 35 -> truncated continuation), grid {n}x{}", 3 * n / 2);
 
     let mut reference = setup_bubble(n, 3, InsParams::default());
-    reference.run::<f64>(t_end, 10_000, None);
+    reference.run::<f64>(t_end, 10_000, &Session::passthrough());
     render(&reference, "fp64 reference");
 
     for (m, cutoff, label) in [
@@ -56,7 +56,7 @@ fn main() {
             .with_cutoff(3, cutoff)
             .with_counting();
         let sess = Session::new(cfg).unwrap();
-        sim.run::<Tracked>(t_end, 10_000, Some(&sess));
+        sim.run::<Tracked>(t_end, 10_000, &sess);
         render(&sim, label);
         let pts = sim.interface_points();
         let ref_pts = reference.interface_points();

@@ -1,42 +1,49 @@
-//! Domain scenario 4: hardware co-design advisory (§7.2 in miniature) —
-//! given a workload profile, which low-precision FPU pays off?
+//! Domain scenario 4: hardware co-design advisory (§7.2) — now a thin
+//! wrapper over a `raptor-lab` enumerative campaign: sweep the default
+//! format × cutoff lattice, gate on fidelity, rank the survivors by the
+//! roofline-resolved predicted speedup.
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin codesign_advisor
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- eos/cellular
 //! ```
 
-use bigfloat::Format;
-use codesign::{estimate_speedup, perf_density_extrapolated, Machine};
-use hydro::{Problem, ReconKind};
-use raptor_core::{Config, Session, Tracked};
+use raptor_examples::parse_lab_args;
+use raptor_lab::{run_campaign, CampaignSpec};
 
 fn main() {
-    println!("Co-design advisor: profile Sod once per candidate format, predict speedup.");
-    let machine = Machine::default();
-    let max_level = 2;
-    let t_end = 0.02;
+    let (scenario, params) = parse_lab_args("hydro/sod");
+    let spec = CampaignSpec::sweep(params);
     println!(
-        "{:>10} {:>9} {:>13} {:>13} {:>13}",
-        "format", "density", "trunc %", "compute-bnd", "memory-bnd"
+        "co-design advisor: {} — sweeping {} candidates in parallel, fidelity floor {}",
+        scenario.name(),
+        spec.candidates.len(),
+        spec.fidelity_floor
     );
-    for fmt in [Format::FP32, Format::FP16, Format::new(8, 7), Format::new(5, 2)] {
-        let cfg = Config::op_files(fmt, ["Hydro"]).with_counting();
-        let sess = Session::new(cfg).unwrap();
-        let mut sim = hydro::setup(Problem::Sod, max_level, 8, ReconKind::Plm);
-        sim.run::<Tracked>(t_end, 10_000, 2, Some(&sess));
-        let c = sess.counters();
-        let s = estimate_speedup(&machine, fmt, &c);
+    let report = run_campaign(scenario.as_ref(), &spec);
+    if report.outcomes.len() < spec.candidates.len() {
         println!(
-            "{:>10} {:>9.2} {:>12.1}% {:>12.2}x {:>12.2}x",
-            format!("{fmt}"),
-            perf_density_extrapolated(fmt),
-            100.0 * c.truncated_fraction(),
-            s.compute_bound,
-            s.memory_bound
+            "({} cutoff duplicates dropped: scenario has no refinement hierarchy)",
+            spec.candidates.len() - report.outcomes.len()
         );
+    }
+    println!();
+    print!("{}", report.render_table());
+    println!();
+    match report.best() {
+        Some(best) => println!(
+            "advice: {} — predicted {:.2}x at fidelity {:.6}",
+            best.spec.label(),
+            best.predicted_speedup,
+            best.fidelity
+        ),
+        None => println!("advice: no candidate cleared the fidelity floor; stay at FP64"),
     }
     println!();
     println!("'Collaborating with scientists for gathering data on the numerical");
     println!("behavior of software can become a powerful way to enable supercomputing");
     println!("centers to make informed decisions about future procurements.' (§7.2)");
+    println!();
+    println!("{}", report.to_json().render());
 }

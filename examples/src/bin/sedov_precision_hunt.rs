@@ -1,51 +1,52 @@
 //! Domain scenario 1: hunt for the minimum safe precision of the Sedov
 //! blast's hydro solver using AMR-level-selective truncation — the §6.1
-//! methodology in miniature.
+//! methodology, now a thin wrapper over the `raptor-lab` campaign
+//! engine's greedy precision search.
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt
+//! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- --tiny
+//! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- hydro/sod
 //! ```
+//!
+//! `--tiny` switches to the mini scale (coarse grid, few steps) for CI
+//! smoke runs; an optional scenario name hunts any registry entry.
 
-use bigfloat::Format;
-use hydro::{Problem, ReconKind, DENS};
-use raptor_core::{Config, Session, Tracked};
+use raptor_examples::parse_lab_args;
+use raptor_lab::{precision_search, search_to_json, SearchSpec};
 
 fn main() {
-    let max_level = 3;
-    let t_end = 0.015;
-    println!("Sedov precision hunt: M = {max_level}, t_end = {t_end}");
-    let mut reference = hydro::setup(Problem::Sedov, max_level, 8, ReconKind::Plm);
-    reference.run::<f64>(t_end, 10_000, 4, None);
-    println!("reference: {} leaf blocks at t = {:.3}", reference.mesh.leaf_count(), reference.t);
+    let (scenario, params) = parse_lab_args("hydro/sedov");
+    let floor = 0.999;
+    let spec = SearchSpec::new(params, floor);
+    println!(
+        "precision hunt: {} (scale {}, fidelity floor {floor}, cutoffs M-0..M-{})",
+        scenario.name(),
+        params.scale,
+        spec.cutoffs.last().unwrap()
+    );
+
+    let rows = precision_search(scenario.as_ref(), &spec);
+
     println!();
     println!(
-        "{:>9} {:>8} {:>12} {:>9}  verdict",
-        "mantissa", "cutoff", "L1(dens)", "trunc %"
+        "{:>8} {:>12} {:>12} {:>9} {:>8}",
+        "cutoff", "minimal m", "fidelity", "trunc %", "probes"
     );
-    // The scientist's loop: start aggressive, relax until acceptable.
-    let acceptable = 1e-3;
-    for &cutoff in &[0u32, 1, 2] {
-        for &m in &[4u32, 8, 12, 20] {
-            let cfg = Config::op_files(Format::new(11, m), ["Hydro"])
-                .with_cutoff(max_level, cutoff)
-                .with_counting();
-            let sess = Session::new(cfg).unwrap();
-            let mut sim = hydro::setup(Problem::Sedov, max_level, 8, ReconKind::Plm);
-            sim.run::<Tracked>(t_end, 10_000, 4, Some(&sess));
-            let err = amr::sfocu(&sim.mesh, &reference.mesh, DENS).l1;
-            let frac = sess.counters().truncated_fraction();
-            let verdict = if err < acceptable { "OK" } else { "too coarse" };
-            println!(
-                "{:>9} {:>8} {:>12.3e} {:>8.1}%  {verdict}",
-                m,
-                format!("M-{cutoff}"),
-                err,
-                100.0 * frac
-            );
-        }
+    for row in &rows {
+        println!(
+            "{:>8} {:>12} {:>12.6} {:>8.1}% {:>8}",
+            format!("M-{}", row.cutoff),
+            row.minimal_m.map_or("none".to_string(), |m| m.to_string()),
+            row.fidelity,
+            100.0 * row.truncated_fraction,
+            row.probes.len()
+        );
     }
     println!();
-    println!("Reading the table like the paper reads Fig. 7a: sparing the finest AMR");
-    println!("level (M-1) buys orders of magnitude of accuracy at a modest cost in");
-    println!("truncated-operation share.");
+    println!("Reading the rows like the paper reads Fig. 7a: sparing the finest AMR");
+    println!("level (M-1) admits a narrower mantissa at a modest cost in truncated-");
+    println!("operation share.");
+    println!();
+    println!("{}", search_to_json(scenario.name(), &rows).render());
 }

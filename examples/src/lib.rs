@@ -1,3 +1,32 @@
 //! Runnable demos for the RAPTOR reproduction — see `src/bin/`:
 //! `quickstart`, `sedov_precision_hunt`, `mem_debug`, `bubble_rising`,
 //! `codesign_advisor`.
+//!
+//! `sedov_precision_hunt` and `codesign_advisor` are thin CLI wrappers
+//! over the `raptor-lab` campaign engine: both accept an optional
+//! registry scenario name (e.g. `eos/cellular`) and a `--tiny` flag
+//! that drops to the mini scale for CI smoke runs — parsed by
+//! [`parse_lab_args`], the one arg contract both binaries share.
+
+use raptor_lab::{find, registry, LabParams, Scenario};
+
+/// Parse the campaign binaries' shared CLI: `[scenario-name] [--tiny]`.
+/// Unknown scenario names print the registry and exit with status 2.
+pub fn parse_lab_args(default_scenario: &str) -> (Box<dyn Scenario>, LabParams) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let tiny = args.iter().any(|a| a == "--tiny");
+    let name = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or(default_scenario);
+    let scenario = find(name).unwrap_or_else(|| {
+        eprintln!("unknown scenario `{name}`; registered:");
+        for s in registry() {
+            eprintln!("  {}", s.name());
+        }
+        std::process::exit(2);
+    });
+    let params = if tiny { LabParams::mini() } else { LabParams::demo() };
+    (scenario, params)
+}

@@ -13,6 +13,7 @@
 //! * [`incomp`] — incompressible multiphase flow (Bubble)
 //! * [`minimpi`] — thread-rank message passing
 //! * [`codesign`] — FPU/roofline hardware model
+//! * [`raptor_lab`] — unified scenario registry + campaign engine
 
 pub use amr;
 pub use bigfloat;
@@ -23,3 +24,4 @@ pub use incomp;
 pub use minimpi;
 pub use raptor_core;
 pub use raptor_ir;
+pub use raptor_lab;

@@ -12,7 +12,7 @@ use raptor_core::{Config, Real, Session, Tracked};
 fn sod_truncation_ladder_end_to_end() {
     let t_end = 0.02;
     let mut reference = hydro::setup(Problem::Sod, 2, 8, ReconKind::Plm);
-    reference.run::<f64>(t_end, 1000, 2, None);
+    reference.run::<f64>(t_end, 1000, 2, &Session::passthrough());
     let mut last_err = f64::MAX;
     for m in [6u32, 14, 30] {
         let sess = Session::new(
@@ -20,7 +20,7 @@ fn sod_truncation_ladder_end_to_end() {
         )
         .unwrap();
         let mut sim = hydro::setup(Problem::Sod, 2, 8, ReconKind::Plm);
-        sim.run::<Tracked>(t_end, 1000, 2, Some(&sess));
+        sim.run::<Tracked>(t_end, 1000, 2, &sess);
         let err = amr::sfocu(&sim.mesh, &reference.mesh, DENS).l1;
         assert!(err < last_err, "error ladder must descend: {err} vs {last_err} at m={m}");
         last_err = err;
@@ -95,7 +95,7 @@ fn memmode_workflow_on_hydro() {
     let mut sim = hydro::setup(Problem::Sedov, 2, 8, ReconKind::Weno5);
     sim.fixed_dt = Some(1e-4);
     sim.adapt_every = 0;
-    sim.run::<Tracked>(5.0 * 1e-4, 10, 1, Some(&sess));
+    sim.run::<Tracked>(5.0 * 1e-4, 10, 1, &sess);
     let flags = sess.mem_flags();
     assert!(!flags.is_empty(), "deviations flagged");
     assert!(flags.iter().any(|f| f.stats.flags > 0));
@@ -119,7 +119,7 @@ fn bubble_cutoff_reduces_truncated_share() {
             .with_counting();
         let sess = Session::new(cfg).unwrap();
         let mut sim = incomp::setup_bubble(32, 3, params);
-        sim.run::<Tracked>(0.05, 60, Some(&sess));
+        sim.run::<Tracked>(0.05, 60, &sess);
         assert!(!sim.interface_points().is_empty());
         fracs.push(sess.counters().truncated_fraction());
     }
@@ -136,7 +136,7 @@ fn codesign_from_live_counters() {
     let fmt = Format::FP16;
     let sess = Session::new(Config::op_files(fmt, ["Hydro"]).with_counting()).unwrap();
     let mut sim = hydro::setup(Problem::Sod, 2, 8, ReconKind::Plm);
-    sim.run::<Tracked>(0.01, 200, 1, Some(&sess));
+    sim.run::<Tracked>(0.01, 200, 1, &sess);
     let c = sess.counters();
     let s = codesign::estimate_speedup(&codesign::Machine::default(), fmt, &c);
     assert!(s.compute_bound > 1.0, "truncation should predict speedup: {}", s.compute_bound);
@@ -169,7 +169,7 @@ fn non_finite_values_flow_through() {
 fn truncated_data_through_guard_fill() {
     let mut sim = hydro::setup(Problem::Sedov, 3, 8, ReconKind::Plm);
     let sess = Session::new(Config::op_files(Format::new(11, 6), ["Hydro"])).unwrap();
-    sim.run::<Tracked>(0.01, 100, 2, Some(&sess));
+    sim.run::<Tracked>(0.01, 100, 2, &sess);
     // All guard regions finite after repeated fills of truncated data.
     for idx in sim.mesh.leaves() {
         let b = sim.mesh.block(idx);
