@@ -71,6 +71,14 @@ pub fn bench_t_end(problem: Problem) -> f64 {
                 0.15
             }
         }
+        // The shear layer winds up slowly; a few eddy turnovers.
+        Problem::KelvinHelmholtz => {
+            if full_scale() {
+                1.0
+            } else {
+                0.4
+            }
+        }
     };
     std::env::var("RAPTOR_BENCH_TEND").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }

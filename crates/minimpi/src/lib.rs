@@ -8,10 +8,18 @@
 //! truncated MPI_Allreduce is needed, a custom reduction operation can be
 //! implemented, which in turn can be truncated using RAPTOR."
 //!
-//! This crate reproduces exactly that contract with OS threads as ranks:
+//! This crate reproduces exactly that contract with OS threads as ranks,
+//! and since the distributed-campaign work it is a *typed* transport, not
+//! an f64-only toy:
 //!
-//! * point-to-point [`Comm::send`]/[`Comm::recv`] of `f64` buffers —
-//!   plain data movement, never truncated;
+//! * point-to-point [`Comm::send_bytes`]/[`Comm::recv_bytes`] of raw byte
+//!   payloads — plain data movement, never truncated;
+//! * [`Comm::send`]/[`Comm::recv`] of `f64` buffers, encoded bitwise
+//!   (every payload round-trips exactly, including NaN payloads and the
+//!   sign of zero);
+//! * collectives: [`Comm::broadcast`], [`Comm::gather_bytes`] /
+//!   [`Comm::allgather_bytes`] and their [`Wire`]-typed counterparts
+//!   [`Comm::gather_wire`] / [`Comm::allgather_wire`];
 //! * [`Comm::allreduce_sum`]/[`Comm::allreduce_max`] — *built-in*
 //!   reductions, performed at full precision like a vendor MPI library;
 //! * [`Comm::allreduce_with`] — a *user-defined* reduction whose combine
@@ -20,6 +28,31 @@
 //!   paper's custom-reduction recipe;
 //! * [`Comm::barrier`].
 //!
+//! ## Wire format
+//!
+//! Structured messages implement [`Wire`]: a value serializes to a
+//! [`Json`] document ([`Wire::to_wire`]), travels as that document's
+//! UTF-8 rendering, and parses back losslessly ([`Wire::from_wire`]).
+//! JSON numbers round-trip every finite `f64` exactly (the serializer
+//! widens the mantissa until the value re-parses bit-identically), so
+//! campaign outcome tables and search rows gathered from remote ranks are
+//! content-identical to locally computed ones. Payloads that must be
+//! bit-exact for *non-finite* values too (e.g. field observables) use the
+//! raw `f64` layer, which ships `f64::to_bits` little-endian words.
+//!
+//! ## Collective semantics
+//!
+//! All collectives are deterministic and rank-ordered:
+//!
+//! * `gather*(root)` returns, on `root` only, one entry per rank in rank
+//!   order (the root's own contribution included at its index);
+//! * `allgather*` returns the same rank-ordered vector on every rank;
+//! * `broadcast(root)` returns the root's payload on every rank;
+//! * `allreduce_with` evaluates the combine **in rank order on every
+//!   rank**, so results are deterministic and identical across ranks even
+//!   for non-associative (e.g. floating-point) combines, regardless of
+//!   how many ranks the same data is spread over.
+//!
 //! mem-mode handles must never cross ranks (the paper: "mem-mode can only
 //! be used on shared-memory systems and without MPI reductions").
 
@@ -27,6 +60,42 @@
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex};
+
+pub use raptor_core::Json;
+
+/// A message type that can cross ranks: serializes to a [`Json`] document
+/// and parses back losslessly. Campaign outcome rows, search rows, and
+/// any other structured payload implement this once and gain typed
+/// point-to-point sends and collectives.
+pub trait Wire: Sized {
+    /// Serialize to a JSON document.
+    fn to_wire(&self) -> Json;
+
+    /// Parse back from a JSON document produced by [`Wire::to_wire`].
+    fn from_wire(doc: &Json) -> Result<Self, String>;
+
+    /// Encode as bytes (the rendered JSON document, UTF-8).
+    fn to_wire_bytes(&self) -> Vec<u8> {
+        self.to_wire().render().into_bytes()
+    }
+
+    /// Decode from bytes produced by [`Wire::to_wire_bytes`].
+    fn from_wire_bytes(bytes: &[u8]) -> Result<Self, String> {
+        let text = std::str::from_utf8(bytes).map_err(|e| format!("wire payload not UTF-8: {e}"))?;
+        Self::from_wire(&Json::parse(text)?)
+    }
+}
+
+/// The identity impl: a raw JSON document is its own wire form.
+impl Wire for Json {
+    fn to_wire(&self) -> Json {
+        self.clone()
+    }
+
+    fn from_wire(doc: &Json) -> Result<Json, String> {
+        Ok(doc.clone())
+    }
+}
 
 /// An unbounded, tag-searchable mailbox (the crossbeam-channel substitute:
 /// plain std primitives so the crate builds with no external dependencies).
@@ -58,10 +127,10 @@ impl Mailbox {
     }
 }
 
-/// A message between ranks.
+/// A message between ranks: a tag plus an opaque byte payload.
 struct Message {
     tag: u64,
-    data: Vec<f64>,
+    data: Vec<u8>,
 }
 
 struct Shared {
@@ -89,21 +158,130 @@ impl Comm {
         self.shared.nranks
     }
 
-    /// Send a buffer to `dst` with a tag (non-blocking, buffered).
-    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
+    // ------------------------------------------------------------------
+    // Point-to-point
+    // ------------------------------------------------------------------
+
+    /// Send a raw byte payload to `dst` with a tag (non-blocking,
+    /// buffered).
+    pub fn send_bytes(&self, dst: usize, tag: u64, data: &[u8]) {
         self.shared.mailboxes[dst][self.rank].push(Message { tag, data: data.to_vec() });
     }
 
     /// Blocking receive from `src` with a matching tag; out-of-order tags
-    /// stay queued until their own `recv` (MPI tag matching).
-    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+    /// stay queued until their own receive (MPI tag matching).
+    pub fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
         self.shared.mailboxes[self.rank][src].pop_tag(tag).data
     }
+
+    /// Send an `f64` buffer to `dst` with a tag. Values are encoded
+    /// bitwise (`f64::to_bits`, little-endian), so the receive is
+    /// bit-identical — NaN payloads and signed zeros included.
+    pub fn send(&self, dst: usize, tag: u64, data: &[f64]) {
+        self.send_bytes(dst, tag, &f64s_to_bytes(data));
+    }
+
+    /// Blocking receive of an `f64` buffer from `src` with a matching tag.
+    pub fn recv(&self, src: usize, tag: u64) -> Vec<f64> {
+        bytes_to_f64s(&self.recv_bytes(src, tag))
+    }
+
+    /// Send a [`Wire`] message to `dst` with a tag.
+    pub fn send_wire<T: Wire>(&self, dst: usize, tag: u64, msg: &T) {
+        self.send_bytes(dst, tag, &msg.to_wire_bytes());
+    }
+
+    /// Blocking receive of a [`Wire`] message from `src`.
+    pub fn recv_wire<T: Wire>(&self, src: usize, tag: u64) -> Result<T, String> {
+        T::from_wire_bytes(&self.recv_bytes(src, tag))
+    }
+
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
 
     /// Synchronize all ranks.
     pub fn barrier(&self) {
         self.shared.barrier.wait();
     }
+
+    /// Broadcast a byte payload from `root`: every rank returns the
+    /// root's payload (`data` is ignored on non-root ranks).
+    pub fn broadcast_bytes(&self, root: usize, tag: u64, data: &[u8]) -> Vec<u8> {
+        if self.rank == root {
+            for dst in 0..self.size() {
+                if dst != root {
+                    self.send_bytes(dst, tag, data);
+                }
+            }
+            data.to_vec()
+        } else {
+            self.recv_bytes(root, tag)
+        }
+    }
+
+    /// Broadcast an `f64` buffer from `root`, bit-exactly.
+    pub fn broadcast(&self, root: usize, tag: u64, data: &[f64]) -> Vec<f64> {
+        bytes_to_f64s(&self.broadcast_bytes(root, tag, &f64s_to_bytes(data)))
+    }
+
+    /// Gather one byte payload per rank at `root`: returns
+    /// `Some(payloads)` in rank order on the root (its own payload
+    /// included at its index), `None` elsewhere.
+    pub fn gather_bytes(&self, root: usize, tag: u64, data: &[u8]) -> Option<Vec<Vec<u8>>> {
+        if self.rank != root {
+            self.send_bytes(root, tag, data);
+            return None;
+        }
+        Some(
+            (0..self.size())
+                .map(|src| if src == root { data.to_vec() } else { self.recv_bytes(src, tag) })
+                .collect(),
+        )
+    }
+
+    /// Gather every rank's byte payload on every rank, in rank order.
+    pub fn allgather_bytes(&self, tag: u64, data: &[u8]) -> Vec<Vec<u8>> {
+        for dst in 0..self.size() {
+            if dst != self.rank {
+                self.send_bytes(dst, tag, data);
+            }
+        }
+        (0..self.size())
+            .map(|src| if src == self.rank { data.to_vec() } else { self.recv_bytes(src, tag) })
+            .collect()
+    }
+
+    /// Gather one [`Wire`] message per rank at `root`, in rank order.
+    /// The root's own contribution takes the same serialize → parse path
+    /// as remote ones, so a lossy `Wire` impl cannot hide behind rank 0.
+    pub fn gather_wire<T: Wire>(
+        &self,
+        root: usize,
+        tag: u64,
+        msg: &T,
+    ) -> Result<Option<Vec<T>>, String> {
+        match self.gather_bytes(root, tag, &msg.to_wire_bytes()) {
+            None => Ok(None),
+            Some(payloads) => payloads
+                .iter()
+                .map(|p| T::from_wire_bytes(p))
+                .collect::<Result<Vec<T>, String>>()
+                .map(Some),
+        }
+    }
+
+    /// Gather every rank's [`Wire`] message on every rank, in rank order.
+    pub fn allgather_wire<T: Wire>(&self, tag: u64, msg: &T) -> Result<Vec<T>, String> {
+        self.allgather_bytes(tag, &msg.to_wire_bytes())
+            .iter()
+            .map(|p| T::from_wire_bytes(p))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Reductions
+    // ------------------------------------------------------------------
 
     /// Built-in sum allreduce: data movement plus a *full-precision*
     /// combine, like a vendor MPI library (op-mode never truncates it).
@@ -141,6 +319,22 @@ impl Comm {
         self.barrier();
         result
     }
+}
+
+fn f64s_to_bytes(data: &[f64]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 8);
+    for v in data {
+        out.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn bytes_to_f64s(bytes: &[u8]) -> Vec<f64> {
+    assert!(bytes.len() % 8 == 0, "f64 payload length must be a multiple of 8");
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunk of 8"))))
+        .collect()
 }
 
 /// Launch `nranks` rank threads running `f(comm)`; returns each rank's
@@ -199,6 +393,26 @@ mod tests {
             got[0]
         });
         assert_eq!(sums, vec![3.0, 0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn f64_transport_is_bit_exact() {
+        // NaN payloads, signed zeros, subnormals: the byte layer must not
+        // launder any of them through a decimal representation.
+        let specials =
+            [f64::from_bits(0x7ff8_dead_beef_0001), -0.0, 5e-324, f64::INFINITY, -1.5e-308];
+        let res = run(2, |c| {
+            if c.rank() == 0 {
+                c.send(1, 3, &specials);
+                Vec::new()
+            } else {
+                c.recv(0, 3)
+            }
+        });
+        assert_eq!(res[1].len(), specials.len());
+        for (a, b) in specials.iter().zip(&res[1]) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
     }
 
     #[test]

@@ -66,6 +66,20 @@ impl OpCounts {
             .set("total", self.total())
     }
 
+    /// Parse back a document produced by [`OpCounts::to_json`] (the
+    /// derived `total` field is ignored).
+    pub fn from_json(doc: &crate::Json) -> Result<OpCounts, String> {
+        Ok(OpCounts {
+            add: doc.u64_field("add")?,
+            sub: doc.u64_field("sub")?,
+            mul: doc.u64_field("mul")?,
+            div: doc.u64_field("div")?,
+            sqrt: doc.u64_field("sqrt")?,
+            fma: doc.u64_field("fma")?,
+            math: doc.u64_field("math")?,
+        })
+    }
+
     pub(crate) fn merge(&mut self, other: &OpCounts) {
         self.add += other.add;
         self.sub += other.sub;
@@ -197,6 +211,18 @@ impl Counters {
             .set("trunc_bytes", self.trunc_bytes)
             .set("full_bytes", self.full_bytes)
             .set("truncated_fraction", self.truncated_fraction())
+    }
+
+    /// Parse back a document produced by [`Counters::to_json`] — the
+    /// lossless half of the round-trip that lets outcome tables cross
+    /// the minimpi wire and the campaign resume cache.
+    pub fn from_json(doc: &crate::Json) -> Result<Counters, String> {
+        Ok(Counters {
+            trunc: OpCounts::from_json(doc.req("trunc")?)?,
+            full: OpCounts::from_json(doc.req("full")?)?,
+            trunc_bytes: doc.u64_field("trunc_bytes")?,
+            full_bytes: doc.u64_field("full_bytes")?,
+        })
     }
 }
 

@@ -80,6 +80,93 @@ impl Json {
         }
     }
 
+    /// Non-negative integer accessor (rejects fractional numbers; exact
+    /// up to 2^53, like every number in this module).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n < 9.0e15 => Some(*n as u64),
+            _ => None,
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Checked field accessors: the deserialization counterparts of the
+    // `set` builder, returning a descriptive error instead of an Option
+    // so `from_json` implementations can plumb failures with `?`.
+    // ------------------------------------------------------------------
+
+    /// Object field lookup that errors on a missing key.
+    pub fn req(&self, key: &str) -> Result<&Json, String> {
+        self.get(key).ok_or_else(|| format!("missing field `{key}`"))
+    }
+
+    /// Required numeric field.
+    pub fn f64_field(&self, key: &str) -> Result<f64, String> {
+        self.req(key)?.as_f64().ok_or_else(|| format!("field `{key}` is not a number"))
+    }
+
+    /// Required non-negative integer field.
+    pub fn u64_field(&self, key: &str) -> Result<u64, String> {
+        self.req(key)?.as_u64().ok_or_else(|| format!("field `{key}` is not an integer"))
+    }
+
+    /// Required string field.
+    pub fn str_field(&self, key: &str) -> Result<&str, String> {
+        self.req(key)?.as_str().ok_or_else(|| format!("field `{key}` is not a string"))
+    }
+
+    /// Required bool field.
+    pub fn bool_field(&self, key: &str) -> Result<bool, String> {
+        self.req(key)?.as_bool().ok_or_else(|| format!("field `{key}` is not a bool"))
+    }
+
+    /// Required array field.
+    pub fn arr_field(&self, key: &str) -> Result<&[Json], String> {
+        self.req(key)?.as_arr().ok_or_else(|| format!("field `{key}` is not an array"))
+    }
+
+    // ------------------------------------------------------------------
+    // Lossless f64 encoding: JSON has no Inf/NaN, and `Json::Num` renders
+    // them as `null`. Fields that can legitimately go non-finite (e.g. a
+    // mem-mode deviation against a zero shadow) use these instead, so
+    // outcome tables round-trip the wire and the resume cache losslessly.
+    // ------------------------------------------------------------------
+
+    /// Encode an `f64` that may be non-finite: finite values are plain
+    /// numbers; `inf`/`-inf`/`nan` become those strings.
+    pub fn from_f64_lossless(x: f64) -> Json {
+        if x.is_finite() {
+            Json::Num(x)
+        } else if x.is_nan() {
+            Json::Str("nan".to_string())
+        } else if x > 0.0 {
+            Json::Str("inf".to_string())
+        } else {
+            Json::Str("-inf".to_string())
+        }
+    }
+
+    /// Decode a value produced by [`Json::from_f64_lossless`].
+    pub fn as_f64_lossless(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            Json::Str(s) => match s.as_str() {
+                "inf" => Some(f64::INFINITY),
+                "-inf" => Some(f64::NEG_INFINITY),
+                "nan" => Some(f64::NAN),
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// Required possibly-non-finite numeric field.
+    pub fn f64_field_lossless(&self, key: &str) -> Result<f64, String> {
+        self.req(key)?
+            .as_f64_lossless()
+            .ok_or_else(|| format!("field `{key}` is not a (possibly non-finite) number"))
+    }
+
     /// Array accessor.
     pub fn as_arr(&self) -> Option<&[Json]> {
         match self {
@@ -433,6 +520,18 @@ mod tests {
         // Unicode passes through raw.
         let u = Json::Str("через".to_string()).render();
         assert_eq!(Json::parse(&u).unwrap().as_str(), Some("через"));
+    }
+
+    #[test]
+    fn lossless_f64_survives_non_finite_values() {
+        for x in [0.5, -1e308, f64::INFINITY, f64::NEG_INFINITY] {
+            let doc = Json::obj().set("v", Json::from_f64_lossless(x));
+            let back = Json::parse(&doc.render()).unwrap();
+            assert_eq!(back.f64_field_lossless("v").unwrap().to_bits(), x.to_bits());
+        }
+        let doc = Json::obj().set("v", Json::from_f64_lossless(f64::NAN));
+        let back = Json::parse(&doc.render()).unwrap();
+        assert!(back.f64_field_lossless("v").unwrap().is_nan());
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub use json::Json;
 pub use memmode::{LocReport, LocStats, SrcLoc};
 pub use ops::{MathFn, SignOp};
 pub use real::{Real, Tracked};
-pub use report::Report;
+pub use report::{FlagRow, Report};
 
 // Re-export the numeric substrate for convenience.
 pub use bigfloat::{BigFloat, Format, RoundMode, SoftFloat};

@@ -101,7 +101,7 @@ pub(crate) struct Slot {
 }
 
 /// Per-location flag statistics.
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct LocStats {
     /// Operations executed at this location.
     pub ops: u64,

@@ -4,17 +4,40 @@
 use crate::context::Session;
 use crate::counters::Counters;
 use crate::json::Json;
-use crate::memmode::LocReport;
+use crate::memmode::LocStats;
+
+/// One row of the mem-mode deviation heatmap. The source location is
+/// flattened to its `file:line:col` string so reports survive JSON
+/// round-trips (the live `SrcLoc` borrows `&'static str` file names that
+/// a parser cannot reconstruct).
+#[derive(Clone, Debug, PartialEq)]
+pub struct FlagRow {
+    /// Source location, rendered `file:line:col`.
+    pub loc: String,
+    /// Statistics collected at that location.
+    pub stats: LocStats,
+}
+
+impl FlagRow {
+    /// Mean relative deviation at this location.
+    pub fn mean_dev(&self) -> f64 {
+        if self.stats.ops == 0 {
+            0.0
+        } else {
+            self.stats.sum_dev / self.stats.ops as f64
+        }
+    }
+}
 
 /// Everything a profiling session collected, ready for display.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct Report {
     /// Human-readable configuration summary.
     pub config: String,
     /// Operation and memory counters.
     pub counters: Counters,
     /// mem-mode per-location flag statistics (empty in op-mode).
-    pub flags: Vec<LocReport>,
+    pub flags: Vec<FlagRow>,
     /// Runtime warnings.
     pub warnings: Vec<String>,
 }
@@ -30,7 +53,11 @@ impl Session {
                 cfg.cutoff
             ),
             counters: self.counters(),
-            flags: self.mem_flags(),
+            flags: self
+                .mem_flags()
+                .iter()
+                .map(|r| FlagRow { loc: r.loc.to_string(), stats: r.stats })
+                .collect(),
             warnings: self.warnings(),
         }
     }
@@ -50,11 +77,14 @@ impl Report {
                         .iter()
                         .map(|r| {
                             Json::obj()
-                                .set("loc", r.loc.to_string())
+                                .set("loc", r.loc.as_str())
                                 .set("ops", r.stats.ops)
                                 .set("flags", r.stats.flags)
-                                .set("max_dev", r.stats.max_dev)
-                                .set("mean_dev", r.mean_dev())
+                                // Deviations can be infinite (a truncated
+                                // value against a zero shadow): lossless.
+                                .set("max_dev", Json::from_f64_lossless(r.stats.max_dev))
+                                .set("sum_dev", Json::from_f64_lossless(r.stats.sum_dev))
+                                .set("mean_dev", Json::from_f64_lossless(r.mean_dev()))
                         })
                         .collect(),
                 ),
@@ -63,6 +93,42 @@ impl Report {
                 "warnings",
                 Json::Arr(self.warnings.iter().map(|w| Json::from(w.as_str())).collect()),
             )
+    }
+
+    /// Parse back a document produced by [`Report::to_json`] — campaign
+    /// outcomes embed a full report, and both the distributed gather and
+    /// the resume cache need it to round-trip losslessly.
+    pub fn from_json(doc: &Json) -> Result<Report, String> {
+        let flags = doc
+            .arr_field("mem_flags")?
+            .iter()
+            .map(|f| {
+                Ok(FlagRow {
+                    loc: f.str_field("loc")?.to_string(),
+                    stats: LocStats {
+                        ops: f.u64_field("ops")?,
+                        flags: f.u64_field("flags")?,
+                        max_dev: f.f64_field_lossless("max_dev")?,
+                        sum_dev: f.f64_field_lossless("sum_dev")?,
+                    },
+                })
+            })
+            .collect::<Result<Vec<FlagRow>, String>>()?;
+        let warnings = doc
+            .arr_field("warnings")?
+            .iter()
+            .map(|w| {
+                w.as_str()
+                    .map(str::to_string)
+                    .ok_or_else(|| "warning entry is not a string".to_string())
+            })
+            .collect::<Result<Vec<String>, String>>()?;
+        Ok(Report {
+            config: doc.str_field("config")?.to_string(),
+            counters: Counters::from_json(doc.req("counters")?)?,
+            flags,
+            warnings,
+        })
     }
 }
 
@@ -155,6 +221,22 @@ mod tests {
             Some(1.0)
         );
         assert!(back.get("config").unwrap().as_str().unwrap().contains("e5m10"));
+    }
+
+    #[test]
+    fn report_from_json_reconstructs_the_value() {
+        let s = Session::new(Config::mem_functions(Format::new(11, 4), ["K"], 1e-9)).unwrap();
+        {
+            let _g = s.install();
+            let _r = crate::context::region("K");
+            let x = crate::ops::mem_pre(1.0 / 3.0);
+            let _y = op2(OpKind::Mul, x, x);
+        }
+        let report = s.report();
+        assert!(!report.flags.is_empty(), "mem-mode flags collected");
+        let text = report.to_json().render();
+        let back = Report::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, report, "Report JSON round-trips losslessly");
     }
 
     #[test]

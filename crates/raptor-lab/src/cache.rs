@@ -1,0 +1,245 @@
+//! The campaign resume cache: per-candidate outcomes persisted to disk,
+//! keyed by `(scenario, params, candidate label)`, so an interrupted or
+//! re-run sweep — distributed or not — restarts warm and only recomputes
+//! missing candidates.
+//!
+//! The file is one JSON document through the shared serializer, so it is
+//! both human-inspectable and parseable by downstream tooling:
+//!
+//! ```json
+//! {
+//!   "version": 1,
+//!   "baselines": [ {"key": "hydro/sod|scale0|threads1", "fidelity": 1} ],
+//!   "entries":   [ {"key": "hydro/sod|scale0|threads1|e8m23 op regions",
+//!                   "outcome": { ... candidate outcome row ... }} ]
+//! }
+//! ```
+//!
+//! The candidate [`CandidateSpec::label`] is the last key component —
+//! which is why the label is injective over every spec field (see its
+//! docs): two distinct configurations can never share a cache slot.
+//! Acceptance (`accepted`) is *not* trusted from the cache: it is
+//! recomputed against the live campaign's fidelity floor at merge time,
+//! so resuming with a stricter floor re-gates cached rows instead of
+//! replaying stale verdicts.
+
+use crate::campaign::{CandidateOutcome, CandidateSpec};
+use crate::scenario::LabParams;
+use raptor_core::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// What a resumable campaign did: how many candidate rows came from the
+/// cache and how many had to be (re)computed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResumeStats {
+    /// Rows served from the cache without running the scenario.
+    pub cached: usize,
+    /// Rows computed in this invocation (and written back to the cache).
+    pub computed: usize,
+}
+
+/// A mergeable, resumable outcome table persisted as one JSON file.
+#[derive(Debug)]
+pub struct OutcomeCache {
+    path: PathBuf,
+    entries: BTreeMap<String, CandidateOutcome>,
+    baselines: BTreeMap<String, f64>,
+}
+
+fn campaign_key(scenario: &str, params: &LabParams) -> String {
+    format!("{scenario}|scale{}|threads{}", params.scale, params.threads)
+}
+
+impl OutcomeCache {
+    /// Open a cache at `path`; a missing file yields an empty cache that
+    /// [`OutcomeCache::save`] will create. A present-but-corrupt file is
+    /// an error (silently discarding completed work would be worse).
+    pub fn load(path: impl Into<PathBuf>) -> Result<OutcomeCache, String> {
+        let path = path.into();
+        let mut cache =
+            OutcomeCache { path, entries: BTreeMap::new(), baselines: BTreeMap::new() };
+        if !cache.path.exists() {
+            return Ok(cache);
+        }
+        let text = std::fs::read_to_string(&cache.path)
+            .map_err(|e| format!("read {}: {e}", cache.path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("{}: {e}", cache.path.display()))?;
+        for entry in doc.arr_field("entries")? {
+            let outcome = CandidateOutcome::from_json(entry.req("outcome")?)?;
+            cache.entries.insert(entry.str_field("key")?.to_string(), outcome);
+        }
+        for b in doc.arr_field("baselines")? {
+            cache.baselines.insert(b.str_field("key")?.to_string(), b.f64_field("fidelity")?);
+        }
+        Ok(cache)
+    }
+
+    /// Where this cache persists.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Number of cached candidate rows (across all campaigns in the file).
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no candidate rows.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The cached outcome of one candidate, if present.
+    pub fn get(
+        &self,
+        scenario: &str,
+        params: &LabParams,
+        spec: &CandidateSpec,
+    ) -> Option<&CandidateOutcome> {
+        self.entries.get(&format!("{}|{}", campaign_key(scenario, params), spec.label()))
+    }
+
+    /// Record (or refresh) one candidate outcome.
+    pub fn insert(&mut self, scenario: &str, params: &LabParams, outcome: &CandidateOutcome) {
+        self.entries.insert(
+            format!("{}|{}", campaign_key(scenario, params), outcome.spec.label()),
+            outcome.clone(),
+        );
+    }
+
+    /// The cached baseline self-fidelity of a campaign, if recorded.
+    pub fn baseline(&self, scenario: &str, params: &LabParams) -> Option<f64> {
+        self.baselines.get(&campaign_key(scenario, params)).copied()
+    }
+
+    /// Record a campaign's baseline self-fidelity, so a fully-warm resume
+    /// does not need to re-run even the reference.
+    pub fn set_baseline(&mut self, scenario: &str, params: &LabParams, fidelity: f64) {
+        self.baselines.insert(campaign_key(scenario, params), fidelity);
+    }
+
+    /// Drop every other candidate row (keeping the first, third, ... in
+    /// key order) — the resume drill used by CI: run, evict half, re-run,
+    /// and assert only the evicted half recomputes.
+    pub fn evict_half(&mut self) {
+        let keys: Vec<String> = self.entries.keys().cloned().collect();
+        for key in keys.iter().skip(1).step_by(2) {
+            self.entries.remove(key);
+        }
+    }
+
+    /// Serialize the whole table (sorted by key, so the file is diffable
+    /// and deterministic).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("version", 1u32)
+            .set(
+                "baselines",
+                Json::Arr(
+                    self.baselines
+                        .iter()
+                        .map(|(k, f)| Json::obj().set("key", k.as_str()).set("fidelity", *f))
+                        .collect(),
+                ),
+            )
+            .set(
+                "entries",
+                Json::Arr(
+                    self.entries
+                        .iter()
+                        .map(|(k, o)| {
+                            Json::obj().set("key", k.as_str()).set("outcome", o.to_json())
+                        })
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Write the cache back to its file (atomically: temp file + rename,
+    /// so an interrupt mid-save cannot corrupt completed work).
+    pub fn save(&self) -> Result<(), String> {
+        let tmp = self.path.with_extension("tmp");
+        std::fs::write(&tmp, self.to_json().render())
+            .map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &self.path)
+            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), self.path.display()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bigfloat::Format;
+    use raptor_core::{Counters, Report};
+
+    fn outcome(m: u32) -> CandidateOutcome {
+        CandidateOutcome {
+            spec: CandidateSpec::op(Format::new(11, m)),
+            fidelity: 0.5 + m as f64 * 1e-3,
+            accepted: true,
+            predicted_speedup: 1.5,
+            speedup_compute: 2.0,
+            speedup_memory: 1.25,
+            counters: Counters::default(),
+            report: Report {
+                config: format!("m={m}"),
+                counters: Counters::default(),
+                flags: Vec::new(),
+                warnings: Vec::new(),
+            },
+            error: None,
+        }
+    }
+
+    fn tmp_path(name: &str) -> PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("raptor-cache-test-{}-{name}.json", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn cache_round_trips_through_disk() {
+        let path = tmp_path("roundtrip");
+        let _ = std::fs::remove_file(&path);
+        let params = LabParams::mini();
+        let mut cache = OutcomeCache::load(&path).unwrap();
+        assert!(cache.is_empty());
+        cache.insert("hydro/sod", &params, &outcome(8));
+        cache.insert("hydro/sod", &params, &outcome(23));
+        cache.set_baseline("hydro/sod", &params, 1.0);
+        cache.save().unwrap();
+
+        let back = OutcomeCache::load(&path).unwrap();
+        assert_eq!(back.len(), 2);
+        assert_eq!(back.baseline("hydro/sod", &params), Some(1.0));
+        let spec = CandidateSpec::op(Format::new(11, 8));
+        assert_eq!(back.get("hydro/sod", &params, &spec), Some(&outcome(8)));
+        // Different params or scenario miss.
+        assert!(back.get("hydro/sod", &LabParams::demo(), &spec).is_none());
+        assert!(back.get("hydro/sedov", &params, &spec).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn evict_half_drops_every_other_entry() {
+        let path = tmp_path("evict");
+        let mut cache = OutcomeCache::load(&path).unwrap();
+        let params = LabParams::mini();
+        for m in [4u32, 8, 12, 16, 20] {
+            cache.insert("s", &params, &outcome(m));
+        }
+        cache.evict_half();
+        assert_eq!(cache.len(), 3, "5 entries -> keep 3");
+        cache.evict_half();
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn corrupt_cache_is_an_error_not_a_silent_reset() {
+        let path = tmp_path("corrupt");
+        std::fs::write(&path, "{not json").unwrap();
+        assert!(OutcomeCache::load(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

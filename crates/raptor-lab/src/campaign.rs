@@ -23,7 +23,7 @@
 use crate::scenario::{LabParams, Observable, Scenario};
 use bigfloat::Format;
 use codesign::{estimate_speedup, predicted_speedup, Machine};
-use raptor_core::{Config, Counters, Json, Mode, Report, Session};
+use raptor_core::{Config, Counters, EmulPath, Json, Mode, Report, Session};
 use std::sync::Mutex;
 
 /// Scope axis of a candidate configuration.
@@ -37,7 +37,7 @@ pub enum ScopeAxis {
 }
 
 /// One point of the campaign's configuration lattice.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CandidateSpec {
     /// Target format.
     pub format: Format,
@@ -49,6 +49,9 @@ pub struct CandidateSpec {
     pub cutoff: Option<u32>,
     /// mem-mode deviation threshold (ignored in op-mode).
     pub mem_threshold: f64,
+    /// Restrict emulation to the hardware-native path ([`EmulPath::Native`])
+    /// — the §3.6 GPU constraint. Only fp32/fp64 formats qualify.
+    pub native: bool,
 }
 
 impl CandidateSpec {
@@ -60,6 +63,7 @@ impl CandidateSpec {
             scope: ScopeAxis::Regions,
             cutoff: None,
             mem_threshold: 1e-6,
+            native: false,
         }
     }
 
@@ -83,11 +87,29 @@ impl CandidateSpec {
         self
     }
 
+    /// Builder-style: restrict to the hardware-native emulation path (the
+    /// GPU-port constraint of §3.6). The format must be fp32 or fp64.
+    pub fn native_path(mut self) -> CandidateSpec {
+        self.native = true;
+        self
+    }
+
     /// Display label, e.g. `"e11m12 op regions M-1"`.
+    ///
+    /// The label is the resume/merge key of cached and distributed
+    /// campaigns, so it is **injective**: every field that changes the
+    /// outcome appears as its own token. The format token `e{e}m{m}`
+    /// encodes both widths; the mode token carries the mem-mode threshold
+    /// (`mem@1e-3`) because distinct thresholds flag differently; the
+    /// native-path restriction gets its own token. Tokens are
+    /// space-separated and none contains a space, so no two distinct
+    /// specs can render identically (checked by the uniqueness test over
+    /// the shipped lattices).
     pub fn label(&self) -> String {
+        let native = if self.native { " native" } else { "" };
         let mode = match self.mode {
-            Mode::Op => "op",
-            Mode::Mem => "mem",
+            Mode::Op => "op".to_string(),
+            Mode::Mem => format!("mem@{:e}", self.mem_threshold),
         };
         let scope = match self.scope {
             ScopeAxis::Regions => "regions",
@@ -97,12 +119,18 @@ impl CandidateSpec {
             Some(l) => format!(" M-{l}"),
             None => String::new(),
         };
-        format!("{} {mode} {scope}{cutoff}", self.format)
+        format!("{}{native} {mode} {scope}{cutoff}", self.format)
     }
 
     /// Resolve to a full [`Config`] against a scenario (counting always
     /// on — the co-design model needs both op populations).
     pub fn config(&self, scenario: &dyn Scenario, max_level: u32) -> Result<Config, String> {
+        if self.native && !self.format.is_native() {
+            return Err(format!(
+                "native-path candidate requires a hardware format (fp32/fp64), got {}",
+                self.format
+            ));
+        }
         let mut cfg = match (self.mode, self.scope) {
             (Mode::Op, ScopeAxis::Regions) => {
                 Config::op_files(self.format, scenario.regions().iter().copied())
@@ -120,9 +148,77 @@ impl CandidateSpec {
         if let Some(l) = self.cutoff {
             cfg = cfg.with_cutoff(max_level, l);
         }
+        if self.native {
+            cfg = cfg.with_path(EmulPath::Native);
+        }
         cfg = cfg.with_counting();
         cfg.validate()?;
         Ok(cfg)
+    }
+
+    /// Machine-readable spec through the shared serializer.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("label", self.label())
+            .set("exp_bits", self.format.exp_bits())
+            .set("man_bits", self.format.man_bits())
+            .set(
+                "mode",
+                match self.mode {
+                    Mode::Op => "op",
+                    Mode::Mem => "mem",
+                },
+            )
+            .set(
+                "scope",
+                match self.scope {
+                    ScopeAxis::Regions => "regions",
+                    ScopeAxis::Program => "program",
+                },
+            )
+            .set(
+                "cutoff",
+                match self.cutoff {
+                    Some(l) => Json::from(l),
+                    None => Json::Null,
+                },
+            )
+            .set("mem_threshold", self.mem_threshold)
+            .set("native", self.native)
+    }
+
+    /// Parse back a document produced by [`CandidateSpec::to_json`] (the
+    /// derived `label` field is ignored).
+    pub fn from_json(doc: &Json) -> Result<CandidateSpec, String> {
+        let exp_bits = doc.u64_field("exp_bits")? as u32;
+        let man_bits = doc.u64_field("man_bits")? as u32;
+        if !(2..=19).contains(&exp_bits) || !(1..=236).contains(&man_bits) {
+            return Err(format!("format widths out of range: e={exp_bits} m={man_bits}"));
+        }
+        let mode = match doc.str_field("mode")? {
+            "op" => Mode::Op,
+            "mem" => Mode::Mem,
+            other => return Err(format!("unknown mode `{other}`")),
+        };
+        let scope = match doc.str_field("scope")? {
+            "regions" => ScopeAxis::Regions,
+            "program" => ScopeAxis::Program,
+            other => return Err(format!("unknown scope `{other}`")),
+        };
+        let cutoff = match doc.req("cutoff")? {
+            Json::Null => None,
+            c => Some(
+                c.as_u64().ok_or_else(|| "cutoff is not an integer".to_string())? as u32,
+            ),
+        };
+        Ok(CandidateSpec {
+            format: Format::new(exp_bits, man_bits),
+            mode,
+            scope,
+            cutoff,
+            mem_threshold: doc.f64_field("mem_threshold")?,
+            native: doc.bool_field("native")?,
+        })
     }
 }
 
@@ -147,6 +243,42 @@ pub fn default_candidates() -> Vec<CandidateSpec> {
         out.push(CandidateSpec::op(fmt));
         out.push(CandidateSpec::op(fmt).with_cutoff(1));
     }
+    out
+}
+
+/// The GPU-native lattice (ROADMAP §3.6): only formats a GPU port could
+/// execute without the soft-float ladder — fp64 and fp32 on the
+/// [`EmulPath::Native`] hardware path — each static and M-1. A campaign
+/// over these answers "what would a GPU port tolerate": fp64 is the
+/// identity reference, and the fp32 rows report whether single precision
+/// clears the fidelity floor (and at what predicted speedup).
+pub fn native_candidates() -> Vec<CandidateSpec> {
+    let mut out = Vec::new();
+    for fmt in [Format::FP64, Format::FP32] {
+        out.push(CandidateSpec::op(fmt).native_path());
+        out.push(CandidateSpec::op(fmt).with_cutoff(1).native_path());
+    }
+    out
+}
+
+/// The shear-layer lattice: 7 configs — a deliberately *prime* count, so
+/// sharding it across the typical 2/3/4-rank distributed campaigns always
+/// exercises the remainder path of the block partition (no rank count
+/// from 2 to 6 divides it). Used by the Kelvin–Helmholtz scenario's
+/// campaign tests and anywhere an uneven shard is wanted.
+pub fn shear_candidates() -> Vec<CandidateSpec> {
+    let mut out: Vec<CandidateSpec> = [
+        Format::FP32,
+        Format::new(11, 20),
+        Format::new(11, 12),
+        Format::FP16,
+        Format::BF16,
+    ]
+    .into_iter()
+    .map(CandidateSpec::op)
+    .collect();
+    out.push(CandidateSpec::op(Format::FP32).with_cutoff(1));
+    out.push(CandidateSpec::op(Format::new(11, 12)).with_cutoff(1));
     out
 }
 
@@ -183,7 +315,7 @@ impl CampaignSpec {
 }
 
 /// The outcome of one candidate run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CandidateOutcome {
     /// The configuration swept.
     pub spec: CandidateSpec,
@@ -206,8 +338,58 @@ pub struct CandidateOutcome {
     pub error: Option<String>,
 }
 
+impl CandidateOutcome {
+    /// Machine-readable outcome row: the spec's fields plus the scores,
+    /// counters, and embedded profiling report. This is the row format of
+    /// campaign summaries, the distributed gather, and the resume cache.
+    pub fn to_json(&self) -> Json {
+        // Speedup panels can go non-finite on degenerate counter
+        // populations: encode every score losslessly.
+        let mut doc = self
+            .spec
+            .to_json()
+            .set("fidelity", Json::from_f64_lossless(self.fidelity))
+            .set("accepted", self.accepted)
+            .set("predicted_speedup", Json::from_f64_lossless(self.predicted_speedup))
+            .set("speedup_compute", Json::from_f64_lossless(self.speedup_compute))
+            .set("speedup_memory", Json::from_f64_lossless(self.speedup_memory))
+            .set("truncated_fraction", self.counters.truncated_fraction())
+            .set("counters", self.counters.to_json())
+            .set("report", self.report.to_json());
+        if let Some(e) = &self.error {
+            doc = doc.set("error", e.as_str());
+        }
+        doc
+    }
+
+    /// Parse back a document produced by [`CandidateOutcome::to_json`]
+    /// — lossless for every finite field, so a row that crosses the
+    /// minimpi wire (or sleeps in a resume cache) compares equal to the
+    /// locally computed one.
+    pub fn from_json(doc: &Json) -> Result<CandidateOutcome, String> {
+        Ok(CandidateOutcome {
+            spec: CandidateSpec::from_json(doc)?,
+            fidelity: doc.f64_field_lossless("fidelity")?,
+            accepted: doc.bool_field("accepted")?,
+            predicted_speedup: doc.f64_field_lossless("predicted_speedup")?,
+            speedup_compute: doc.f64_field_lossless("speedup_compute")?,
+            speedup_memory: doc.f64_field_lossless("speedup_memory")?,
+            counters: Counters::from_json(doc.req("counters")?)?,
+            report: Report::from_json(doc.req("report")?)?,
+            error: match doc.get("error") {
+                Some(e) => Some(
+                    e.as_str()
+                        .ok_or_else(|| "error field is not a string".to_string())?
+                        .to_string(),
+                ),
+                None => None,
+            },
+        })
+    }
+}
+
 /// A completed campaign over one scenario.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct CampaignReport {
     /// Scenario name.
     pub scenario: String,
@@ -245,50 +427,28 @@ impl CampaignReport {
             .set("baseline_fidelity", self.baseline_fidelity)
             .set(
                 "candidates",
-                Json::Arr(
-                    self.outcomes
-                        .iter()
-                        .map(|o| {
-                            let mut doc = Json::obj()
-                                .set("label", o.spec.label())
-                                .set("exp_bits", o.spec.format.exp_bits())
-                                .set("man_bits", o.spec.format.man_bits())
-                                .set(
-                                    "mode",
-                                    match o.spec.mode {
-                                        Mode::Op => "op",
-                                        Mode::Mem => "mem",
-                                    },
-                                )
-                                .set(
-                                    "scope",
-                                    match o.spec.scope {
-                                        ScopeAxis::Regions => "regions",
-                                        ScopeAxis::Program => "program",
-                                    },
-                                )
-                                .set(
-                                    "cutoff",
-                                    match o.spec.cutoff {
-                                        Some(l) => Json::from(l),
-                                        None => Json::Null,
-                                    },
-                                )
-                                .set("fidelity", o.fidelity)
-                                .set("accepted", o.accepted)
-                                .set("predicted_speedup", o.predicted_speedup)
-                                .set("speedup_compute", o.speedup_compute)
-                                .set("speedup_memory", o.speedup_memory)
-                                .set("truncated_fraction", o.counters.truncated_fraction())
-                                .set("report", o.report.to_json());
-                            if let Some(e) = &o.error {
-                                doc = doc.set("error", e.as_str());
-                            }
-                            doc
-                        })
-                        .collect(),
-                ),
+                Json::Arr(self.outcomes.iter().map(|o| o.to_json()).collect()),
             )
+    }
+
+    /// Parse back a document produced by [`CampaignReport::to_json`].
+    pub fn from_json(doc: &Json) -> Result<CampaignReport, String> {
+        let params = doc.req("params")?;
+        Ok(CampaignReport {
+            scenario: doc.str_field("scenario")?.to_string(),
+            crate_name: doc.str_field("crate")?.to_string(),
+            params: LabParams {
+                scale: params.u64_field("scale")? as u32,
+                threads: params.u64_field("threads")? as usize,
+            },
+            fidelity_floor: doc.f64_field("fidelity_floor")?,
+            baseline_fidelity: doc.f64_field("baseline_fidelity")?,
+            outcomes: doc
+                .arr_field("candidates")?
+                .iter()
+                .map(CandidateOutcome::from_json)
+                .collect::<Result<Vec<CandidateOutcome>, String>>()?,
+        })
     }
 
     /// Human-readable ranking table.
@@ -337,11 +497,7 @@ pub fn run_campaign(scenario: &dyn Scenario, spec: &CampaignSpec) -> CampaignRep
     let baseline_fidelity = scenario.fidelity(&baseline, &baseline);
     let max_level = scenario.max_level(&spec.params);
 
-    let candidates: Vec<&CandidateSpec> = spec
-        .candidates
-        .iter()
-        .filter(|c| c.cutoff.is_none() || max_level > 1)
-        .collect();
+    let candidates = eligible_candidates(spec, max_level);
     let slots: Vec<Mutex<Option<CandidateOutcome>>> =
         candidates.iter().map(|_| Mutex::new(None)).collect();
     amr::pool_run(candidates.len(), spec.workers.max(1), &|i| {
@@ -352,7 +508,7 @@ pub fn run_campaign(scenario: &dyn Scenario, spec: &CampaignSpec) -> CampaignRep
         .into_iter()
         .map(|s| s.into_inner().unwrap().expect("pool ran every candidate"))
         .collect();
-    rank(&mut outcomes);
+    rank_outcomes(&mut outcomes);
     CampaignReport {
         scenario: scenario.name().to_string(),
         crate_name: scenario.crate_name().to_string(),
@@ -361,6 +517,17 @@ pub fn run_campaign(scenario: &dyn Scenario, spec: &CampaignSpec) -> CampaignRep
         baseline_fidelity,
         outcomes,
     }
+}
+
+/// The candidates a campaign actually runs at `max_level`: cutoff
+/// candidates are dropped for scenarios without a refinement hierarchy
+/// (their static twins are bit-identical). Shared by the single-node and
+/// distributed drivers so both see the same lattice in the same order.
+pub(crate) fn eligible_candidates(
+    spec: &CampaignSpec,
+    max_level: u32,
+) -> Vec<&CandidateSpec> {
+    spec.candidates.iter().filter(|c| c.cutoff.is_none() || max_level > 1).collect()
 }
 
 /// Run campaigns for several scenarios (each scenario's candidates sweep
@@ -377,7 +544,7 @@ pub fn campaigns_to_json(reports: &[CampaignReport]) -> Json {
     )
 }
 
-fn run_candidate(
+pub(crate) fn run_candidate(
     scenario: &dyn Scenario,
     spec: &CampaignSpec,
     cand: &CandidateSpec,
@@ -421,8 +588,11 @@ fn run_candidate(
 }
 
 /// Rank: accepted first (by predicted speedup, then fidelity), rejected
-/// after (by fidelity — the least-bad first), errors last.
-fn rank(outcomes: &mut [CandidateOutcome]) {
+/// after (by fidelity — the least-bad first), errors last. The sort is
+/// stable, so outcome vectors assembled in candidate-lattice order rank
+/// identically whether they were computed locally, gathered from minimpi
+/// ranks, or merged out of a resume cache.
+pub(crate) fn rank_outcomes(outcomes: &mut [CandidateOutcome]) {
     outcomes.sort_by(|a, b| {
         let key = |o: &CandidateOutcome| (o.error.is_none(), o.accepted);
         key(b)
@@ -477,7 +647,7 @@ impl SearchSpec {
 
 /// One row of a precision search: the minimal safe mantissa width for a
 /// cutoff strategy, plus every probe the bisection took.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct SearchRow {
     /// The cutoff `l` of this row's M-l strategy.
     pub cutoff: u32,
@@ -490,6 +660,56 @@ pub struct SearchRow {
     pub truncated_fraction: f64,
     /// Every `(mantissa, fidelity)` probe, in probe order.
     pub probes: Vec<(u32, f64)>,
+}
+
+impl SearchRow {
+    /// Machine-readable row through the shared serializer.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("cutoff", self.cutoff)
+            .set(
+                "minimal_mantissa",
+                match self.minimal_m {
+                    Some(m) => Json::from(m),
+                    None => Json::Null,
+                },
+            )
+            .set("fidelity", self.fidelity)
+            .set("truncated_fraction", self.truncated_fraction)
+            .set(
+                "probes",
+                Json::Arr(
+                    self.probes
+                        .iter()
+                        .map(|&(m, f)| Json::obj().set("mantissa", m).set("fidelity", f))
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Parse back a document produced by [`SearchRow::to_json`] — search
+    /// rows gathered from minimpi ranks travel in this form.
+    pub fn from_json(doc: &Json) -> Result<SearchRow, String> {
+        let minimal_m = match doc.req("minimal_mantissa")? {
+            Json::Null => None,
+            m => Some(
+                m.as_u64().ok_or_else(|| "minimal_mantissa is not an integer".to_string())?
+                    as u32,
+            ),
+        };
+        let probes = doc
+            .arr_field("probes")?
+            .iter()
+            .map(|p| Ok((p.u64_field("mantissa")? as u32, p.f64_field("fidelity")?)))
+            .collect::<Result<Vec<(u32, f64)>, String>>()?;
+        Ok(SearchRow {
+            cutoff: doc.u64_field("cutoff")? as u32,
+            minimal_m,
+            fidelity: doc.f64_field("fidelity")?,
+            truncated_fraction: doc.f64_field("truncated_fraction")?,
+            probes,
+        })
+    }
 }
 
 /// Greedily bisect the mantissa ladder per cutoff for the minimal width
@@ -510,7 +730,7 @@ pub fn precision_search(scenario: &dyn Scenario, spec: &SearchSpec) -> Vec<Searc
         .collect()
 }
 
-fn search_row(
+pub(crate) fn search_row(
     scenario: &dyn Scenario,
     spec: &SearchSpec,
     cutoff: u32,
@@ -576,35 +796,7 @@ fn search_row(
 
 /// JSON summary of a precision search.
 pub fn search_to_json(scenario: &str, rows: &[SearchRow]) -> Json {
-    Json::obj().set("scenario", scenario).set(
-        "rows",
-        Json::Arr(
-            rows.iter()
-                .map(|r| {
-                    Json::obj()
-                        .set("cutoff", r.cutoff)
-                        .set(
-                            "minimal_mantissa",
-                            match r.minimal_m {
-                                Some(m) => Json::from(m),
-                                None => Json::Null,
-                            },
-                        )
-                        .set("fidelity", r.fidelity)
-                        .set("truncated_fraction", r.truncated_fraction)
-                        .set(
-                            "probes",
-                            Json::Arr(
-                                r.probes
-                                    .iter()
-                                    .map(|&(m, f)| {
-                                        Json::obj().set("mantissa", m).set("fidelity", f)
-                                    })
-                                    .collect(),
-                            ),
-                        )
-                })
-                .collect(),
-        ),
-    )
+    Json::obj()
+        .set("scenario", scenario)
+        .set("rows", Json::Arr(rows.iter().map(|r| r.to_json()).collect()))
 }

@@ -1,0 +1,316 @@
+//! Distributed campaigns: the precision-sweep lattice sharded across
+//! [`minimpi`] ranks.
+//!
+//! [`run_campaign_distributed`] is the cluster-shaped twin of
+//! [`crate::run_campaign`]:
+//!
+//! 1. the candidate lattice is **block-partitioned by candidate index**
+//!    (rank `r` of `R` owns `[r·n/R, (r+1)·n/R)` — contiguous, and off by
+//!    at most one candidate between ranks, so lattices that do not divide
+//!    evenly still balance);
+//! 2. rank 0 runs the full-precision baseline once and broadcasts the
+//!    observable **bit-exactly** (raw `f64` bit patterns, not JSON);
+//! 3. each rank sweeps its shard through the existing fidelity-gated
+//!    [`crate::campaign::run_candidate`] path on its **own**
+//!    [`amr::Pool`], sized `workers / nranks`, so shards run concurrently
+//!    instead of serializing on the process-wide pool;
+//! 4. per-candidate [`CandidateOutcome`] rows travel to rank 0 as
+//!    [`minimpi::Wire`] messages (JSON documents whose finite `f64`
+//!    fields round-trip exactly) and are reassembled **in candidate
+//!    lattice order**, so the stable ranking sort produces a merged
+//!    [`CampaignReport`] content-identical to the single-rank sweep.
+//!
+//! [`precision_search_distributed`] fans the greedy bisection out the
+//! same way: each M-l cutoff row (a chain of bisection probes) is a shard
+//! item, and gathered [`SearchRow`]s come back in cutoff order.
+//!
+//! Resume layers on top ([`run_campaign_distributed_resumable`]): rows
+//! already present in an [`OutcomeCache`] are not re-run — only missing
+//! candidates are sharded across ranks — and freshly computed rows are
+//! written back, so an interrupted sweep restarts warm. A fully-warm
+//! resume runs **zero** scenarios (the baseline self-fidelity is cached
+//! too). Cached `accepted` verdicts are re-gated against the live
+//! fidelity floor at merge time.
+
+use crate::cache::{OutcomeCache, ResumeStats};
+use crate::campaign::{
+    eligible_candidates, rank_outcomes, run_candidate, search_row, CampaignReport, CampaignSpec,
+    CandidateOutcome, CandidateSpec, SearchRow, SearchSpec,
+};
+use crate::scenario::{Observable, Scenario};
+use minimpi::{Json, Wire};
+use raptor_core::Session;
+use std::sync::Mutex;
+
+/// Tag for the baseline-observable broadcast.
+const TAG_BASELINE: u64 = 0xBA5E;
+/// Tag for the outcome-shard gather.
+const TAG_OUTCOMES: u64 = 0x0C0E;
+/// Tag for the search-row gather.
+const TAG_ROWS: u64 = 0x5EA7;
+
+impl Wire for CandidateOutcome {
+    fn to_wire(&self) -> Json {
+        self.to_json()
+    }
+
+    fn from_wire(doc: &Json) -> Result<CandidateOutcome, String> {
+        CandidateOutcome::from_json(doc)
+    }
+}
+
+impl Wire for SearchRow {
+    fn to_wire(&self) -> Json {
+        self.to_json()
+    }
+
+    fn from_wire(doc: &Json) -> Result<SearchRow, String> {
+        SearchRow::from_json(doc)
+    }
+}
+
+/// One rank's shard of outcome rows, travelling as a JSON array.
+struct Shard<T>(Vec<T>);
+
+impl<T: Wire> Wire for Shard<T> {
+    fn to_wire(&self) -> Json {
+        Json::Arr(self.0.iter().map(|o| o.to_wire()).collect())
+    }
+
+    fn from_wire(doc: &Json) -> Result<Shard<T>, String> {
+        doc.as_arr()
+            .ok_or_else(|| "shard is not an array".to_string())?
+            .iter()
+            .map(T::from_wire)
+            .collect::<Result<Vec<T>, String>>()
+            .map(Shard)
+    }
+}
+
+/// The static block partition: rank `rank` of `nranks` owns
+/// `[rank·n/nranks, (rank+1)·n/nranks)`. Contiguous, covers `0..n`
+/// exactly once, and shard sizes differ by at most one, so remainders
+/// (e.g. 7 candidates on 2 or 3 ranks) spread evenly.
+pub fn block_range(n: usize, nranks: usize, rank: usize) -> (usize, usize) {
+    (rank * n / nranks, (rank + 1) * n / nranks)
+}
+
+/// Run a campaign sharded across `nranks` minimpi ranks and return the
+/// merged, deterministically-ordered report — content-identical to
+/// [`crate::run_campaign`] on the same scenario and spec (same labels,
+/// fidelities, predicted speedups, and ranking, for any rank count).
+pub fn run_campaign_distributed(
+    scenario: &dyn Scenario,
+    spec: &CampaignSpec,
+    nranks: usize,
+) -> CampaignReport {
+    run_campaign_distributed_resumable(scenario, spec, nranks, None).0
+}
+
+/// [`run_campaign_distributed`] with campaign resume: candidates already
+/// in `cache` are served from it (zero re-runs for a completed campaign);
+/// only missing candidates are sharded across ranks, and every row of the
+/// merged report is written back to the cache. The caller persists the
+/// cache with [`OutcomeCache::save`] when it wants durability.
+pub fn run_campaign_distributed_resumable(
+    scenario: &dyn Scenario,
+    spec: &CampaignSpec,
+    nranks: usize,
+    cache: Option<&mut OutcomeCache>,
+) -> (CampaignReport, ResumeStats) {
+    let nranks = nranks.max(1);
+    let max_level = scenario.max_level(&spec.params);
+    let candidates = eligible_candidates(spec, max_level);
+    let mut cached: Vec<Option<CandidateOutcome>> = candidates
+        .iter()
+        .map(|c| {
+            cache.as_deref().and_then(|k| k.get(scenario.name(), &spec.params, c).cloned())
+        })
+        .collect();
+    let missing: Vec<CandidateSpec> = candidates
+        .iter()
+        .zip(&cached)
+        .filter(|(_, hit)| hit.is_none())
+        .map(|(c, _)| (*c).clone())
+        .collect();
+    let stats =
+        ResumeStats { cached: candidates.len() - missing.len(), computed: missing.len() };
+
+    let (baseline_fidelity, computed): (f64, Vec<CandidateOutcome>) = if missing.is_empty() {
+        // Fully warm: nothing to run — not even the baseline (its
+        // self-fidelity is cached alongside the rows; 1.0 by construction
+        // if this cache predates baseline recording).
+        let bf = cache
+            .as_deref()
+            .and_then(|k| k.baseline(scenario.name(), &spec.params))
+            .unwrap_or(1.0);
+        (bf, Vec::new())
+    } else {
+        let rank_workers = (spec.workers / nranks).max(1);
+        let missing_ref = &missing;
+        let mut results = minimpi::run(nranks, |comm| -> Option<(f64, Vec<CandidateOutcome>)> {
+            // Rank 0 owns the full-precision baseline; every rank scores
+            // its shard against the exact same bits.
+            let (bf, baseline) = if comm.rank() == 0 {
+                let obs = scenario.build(&spec.params).run(&Session::passthrough());
+                let bf = scenario.fidelity(&obs, &obs);
+                let values = comm.broadcast(0, TAG_BASELINE, &obs.values);
+                (bf, Observable { values })
+            } else {
+                (1.0, Observable { values: comm.broadcast(0, TAG_BASELINE, &[]) })
+            };
+            let (lo, hi) = block_range(missing_ref.len(), comm.size(), comm.rank());
+            let block = &missing_ref[lo..hi];
+            // Each rank owns a right-sized pool: shards sweep concurrently
+            // instead of queueing on the process-wide submit lock.
+            let pool = amr::Pool::new();
+            let slots: Vec<Mutex<Option<CandidateOutcome>>> =
+                block.iter().map(|_| Mutex::new(None)).collect();
+            pool.run(block.len(), rank_workers, &|i| {
+                let outcome = run_candidate(scenario, spec, &block[i], max_level, &baseline);
+                *slots[i].lock().unwrap() = Some(outcome);
+            });
+            let mine: Vec<CandidateOutcome> = slots
+                .into_iter()
+                .map(|s| s.into_inner().unwrap().expect("rank ran its whole shard"))
+                .collect();
+            // Gather shards to rank 0 in rank order == candidate order
+            // (the partition is contiguous and ascending in rank).
+            let gathered = comm
+                .gather_wire(0, TAG_OUTCOMES, &Shard(mine))
+                .expect("outcome rows round-trip the wire");
+            gathered.map(|shards| {
+                (bf, shards.into_iter().flat_map(|s| s.0).collect::<Vec<CandidateOutcome>>())
+            })
+        });
+        results[0].take().expect("rank 0 gathered the merged table")
+    };
+
+    // Reassemble in candidate-lattice order — cached rows slot back in
+    // where they came from — then re-gate and rank. The stable sort makes
+    // the merged report bit-identical in content to the single-rank one.
+    let mut fresh = computed.into_iter();
+    let mut outcomes: Vec<CandidateOutcome> = cached
+        .iter_mut()
+        .map(|slot| match slot.take() {
+            Some(o) => o,
+            None => fresh.next().expect("every missing candidate was computed"),
+        })
+        .collect();
+    debug_assert!(fresh.next().is_none(), "computed rows fully consumed");
+    // Cached rows may predate this spec: re-gate acceptance against the
+    // live fidelity floor and re-score speedups against the live machine
+    // model (the counters in every row make this free). Freshly computed
+    // rows are unchanged — the recompute is deterministic on the same
+    // inputs — so the merged report stays identical to `run_campaign`.
+    for o in &mut outcomes {
+        if o.error.is_none() {
+            o.accepted = o.fidelity >= spec.fidelity_floor;
+            let s = codesign::estimate_speedup(&spec.machine, o.spec.format, &o.counters);
+            o.predicted_speedup =
+                codesign::predicted_speedup(&spec.machine, o.spec.format, &o.counters);
+            o.speedup_compute = s.compute_bound;
+            o.speedup_memory = s.memory_bound;
+        }
+    }
+    rank_outcomes(&mut outcomes);
+
+    if let Some(k) = cache {
+        for o in &outcomes {
+            k.insert(scenario.name(), &spec.params, o);
+        }
+        k.set_baseline(scenario.name(), &spec.params, baseline_fidelity);
+    }
+
+    let report = CampaignReport {
+        scenario: scenario.name().to_string(),
+        crate_name: scenario.crate_name().to_string(),
+        params: spec.params,
+        fidelity_floor: spec.fidelity_floor,
+        baseline_fidelity,
+        outcomes,
+    };
+    (report, stats)
+}
+
+/// Load the cache at `path`, run the campaign resumably across `nranks`
+/// ranks, and persist the updated cache — the `--ranks N --resume <path>`
+/// CLI flow as one call.
+pub fn run_campaign_resumed(
+    scenario: &dyn Scenario,
+    spec: &CampaignSpec,
+    nranks: usize,
+    path: impl Into<std::path::PathBuf>,
+) -> Result<(CampaignReport, ResumeStats), String> {
+    let mut cache = OutcomeCache::load(path)?;
+    let (report, stats) =
+        run_campaign_distributed_resumable(scenario, spec, nranks, Some(&mut cache));
+    cache.save()?;
+    Ok((report, stats))
+}
+
+/// The distributed twin of [`crate::precision_search`]: the M-l cutoff
+/// rows (each a chain of greedy bisection probes) are block-partitioned
+/// across `nranks` minimpi ranks, bisected on per-rank pools against the
+/// broadcast baseline, and gathered back to rank 0 in cutoff order —
+/// row-for-row identical to the single-rank search.
+pub fn precision_search_distributed(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    nranks: usize,
+) -> Vec<SearchRow> {
+    let nranks = nranks.max(1);
+    let max_level = scenario.max_level(&spec.params);
+    let rank_workers = (spec.workers / nranks).max(1);
+    let mut results = minimpi::run(nranks, |comm| -> Option<Vec<SearchRow>> {
+        let baseline = Observable {
+            values: if comm.rank() == 0 {
+                let obs = scenario.build(&spec.params).run(&Session::passthrough());
+                comm.broadcast(0, TAG_BASELINE, &obs.values)
+            } else {
+                comm.broadcast(0, TAG_BASELINE, &[])
+            },
+        };
+        let (lo, hi) = block_range(spec.cutoffs.len(), comm.size(), comm.rank());
+        let block = &spec.cutoffs[lo..hi];
+        let pool = amr::Pool::new();
+        let slots: Vec<Mutex<Option<SearchRow>>> = block.iter().map(|_| Mutex::new(None)).collect();
+        pool.run(block.len(), rank_workers, &|i| {
+            let row = search_row(scenario, spec, block[i], max_level, &baseline);
+            *slots[i].lock().unwrap() = Some(row);
+        });
+        let mine: Vec<SearchRow> = slots
+            .into_iter()
+            .map(|s| s.into_inner().unwrap().expect("rank bisected its rows"))
+            .collect();
+        let gathered = comm
+            .gather_wire(0, TAG_ROWS, &Shard(mine))
+            .expect("search rows round-trip the wire");
+        gathered.map(|shards| shards.into_iter().flat_map(|s| s.0).collect())
+    });
+    results[0].take().expect("rank 0 gathered the merged rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_partition_covers_everything_once_with_balanced_remainders() {
+        for n in [0usize, 1, 3, 7, 12, 13] {
+            for nranks in 1..=6usize {
+                let mut covered = Vec::new();
+                let mut sizes = Vec::new();
+                for r in 0..nranks {
+                    let (lo, hi) = block_range(n, nranks, r);
+                    assert!(lo <= hi && hi <= n);
+                    covered.extend(lo..hi);
+                    sizes.push(hi - lo);
+                }
+                assert_eq!(covered, (0..n).collect::<Vec<_>>(), "n={n} ranks={nranks}");
+                let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+                assert!(max - min <= 1, "balanced: n={n} ranks={nranks} sizes={sizes:?}");
+            }
+        }
+    }
+}

@@ -56,17 +56,65 @@
 //! Fidelity is scenario-defined ([`Scenario::fidelity`]); `1.0` means
 //! bit-identical to the cached full-precision baseline, and the default
 //! metric maps relative-L1 distance through `1 / (1 + e)`.
+//!
+//! ## Distributed campaigns
+//!
+//! [`run_campaign_distributed`] shards the candidate lattice across
+//! [`minimpi`] ranks — a static block partition by candidate index, one
+//! right-sized [`amr::Pool`] per rank — and gathers the per-candidate
+//! outcome rows back to rank 0 over the typed [`minimpi::Wire`]
+//! transport. The merged, deterministically-ordered [`CampaignReport`]
+//! is content-identical to the single-rank sweep for any rank count:
+//!
+//! ```
+//! use raptor_lab::{find, run_campaign, run_campaign_distributed, CampaignSpec, LabParams};
+//!
+//! let scenario = find("ir/horner").expect("registered");
+//! let spec = CampaignSpec::sweep(LabParams::mini());
+//! let single = run_campaign(scenario.as_ref(), &spec);
+//! let merged = run_campaign_distributed(scenario.as_ref(), &spec, 2);
+//! assert_eq!(merged.to_json().render(), single.to_json().render());
+//! ```
+//!
+//! Campaign **resume** layers on top: outcomes persist to an
+//! [`OutcomeCache`] file keyed by `(scenario, params, candidate label)`,
+//! so an interrupted or repeated sweep restarts warm and only recomputes
+//! missing candidates ([`run_campaign_distributed_resumable`] /
+//! [`run_campaign_resumed`]). The CLI flow through the example binaries:
+//!
+//! ```sh
+//! # Shard the sweep over 4 ranks, persisting outcomes as they complete.
+//! codesign_advisor hydro/sod --ranks 4 --resume sweep-cache.json
+//! # Re-run after an interrupt: cached rows are served, the rest computed.
+//! codesign_advisor hydro/sod --ranks 4 --resume sweep-cache.json
+//! # Fan the greedy bisection rows out across ranks, too.
+//! sedov_precision_hunt hydro/sedov --ranks 3
+//! # GPU-native lattice: what would a GPU port tolerate (fp32/fp64 only)?
+//! codesign_advisor hydro/sod --native
+//! ```
+//!
+//! [`precision_search_distributed`] fans the greedy bisection out the
+//! same way (one M-l row per shard item), and [`native_candidates`]
+//! restricts the lattice to the hardware formats a GPU port could
+//! execute (the §3.6 constraint).
 
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod campaign;
+pub mod distributed;
 pub mod registry;
 pub mod scenario;
 
+pub use cache::{OutcomeCache, ResumeStats};
 pub use campaign::{
-    campaigns_to_json, default_candidates, format_ladder, precision_search, run_campaign,
-    run_campaigns, search_to_json, CampaignReport, CampaignSpec, CandidateOutcome, CandidateSpec,
-    ScopeAxis, SearchRow, SearchSpec,
+    campaigns_to_json, default_candidates, format_ladder, native_candidates, precision_search,
+    run_campaign, run_campaigns, search_to_json, shear_candidates, CampaignReport, CampaignSpec,
+    CandidateOutcome, CandidateSpec, ScopeAxis, SearchRow, SearchSpec,
+};
+pub use distributed::{
+    block_range, precision_search_distributed, run_campaign_distributed,
+    run_campaign_distributed_resumable, run_campaign_resumed,
 };
 pub use registry::{find, registry};
 pub use scenario::{

@@ -5,7 +5,11 @@
 //!
 //! * **hydro** — Sedov blast and Sod shock tube, each in a second
 //!   parameterization (WENO5 reconstruction; HLL Riemann solver) to widen
-//!   the numerical surface precision errors can attack;
+//!   the numerical surface precision errors can attack, plus the
+//!   Kelvin–Helmholtz shear layer (periodic, chaotic error growth; its
+//!   natural campaign lattice, [`crate::shear_candidates`], has a prime
+//!   candidate count so distributed sharding's remainder path is
+//!   exercised by a real scenario);
 //! * **incomp** — the rising bubble, plus a viscous (Re 10) and a
 //!   density-contrast (100:1) variant;
 //! * **eos** — the cellular burning front, plus hot-ignition and
@@ -46,6 +50,12 @@ pub fn registry() -> Vec<Box<dyn Scenario>> {
             problem: Problem::Sod,
             recon: ReconKind::Plm,
             riemann: RiemannKind::Hll,
+        }),
+        Box::new(HydroScenario {
+            name: "hydro/kelvin-helmholtz",
+            problem: Problem::KelvinHelmholtz,
+            recon: ReconKind::Plm,
+            riemann: RiemannKind::Hllc,
         }),
         Box::new(BubbleScenario { name: "incomp/bubble", params: InsParams::default() }),
         Box::new(BubbleScenario {
@@ -399,7 +409,8 @@ mod tests {
     #[test]
     fn registry_is_wide_and_unique() {
         let reg = registry();
-        assert!(reg.len() >= 8, "at least 8 scenarios: {}", reg.len());
+        assert_eq!(reg.len(), 13, "the full registry: {}", reg.len());
+        assert!(find("hydro/kelvin-helmholtz").is_some());
         let names: BTreeSet<_> = reg.iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), reg.len(), "names unique");
         let crates: BTreeSet<_> = reg.iter().map(|s| s.crate_name()).collect();

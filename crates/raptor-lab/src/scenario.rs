@@ -17,7 +17,7 @@ use raptor_core::Session;
 /// Scale knobs shared by every scenario. Each scenario maps the abstract
 /// scale to its own grid sizes and step counts, so one `LabParams` drives
 /// heterogeneous workloads.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct LabParams {
     /// Abstract problem scale: 0 = mini (deterministic tests, CI smoke),
     /// 1 = demo (example binaries), 2+ = larger studies.

@@ -1,0 +1,260 @@
+//! Distributed-campaign acceptance tests: merged multi-rank reports
+//! content-identical to the single-rank sweep, lossless outcome JSON
+//! round-trips, warm resume with zero candidate re-runs, remainder
+//! sharding on the Kelvin–Helmholtz lattice, and label injectivity
+//! (the resume/merge key).
+
+use bigfloat::Format;
+use raptor_core::Json;
+use raptor_lab::{
+    default_candidates, find, native_candidates, precision_search, precision_search_distributed,
+    run_campaign, run_campaign_distributed, run_campaign_distributed_resumable,
+    run_campaign_resumed, shear_candidates, CampaignReport, CampaignSpec, CandidateOutcome,
+    CandidateSpec, LabParams, OutcomeCache, SearchSpec,
+};
+use std::path::PathBuf;
+
+fn mini_spec(candidates: Vec<CandidateSpec>) -> CampaignSpec {
+    CampaignSpec {
+        params: LabParams::mini(),
+        candidates,
+        fidelity_floor: 0.999,
+        workers: 4,
+        machine: codesign::Machine::default(),
+    }
+}
+
+fn tmp_cache(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("raptor-dist-test-{}-{name}.json", std::process::id()));
+    let _ = std::fs::remove_file(&p);
+    p
+}
+
+/// The acceptance criterion: same candidate labels, fidelities, predicted
+/// speedups, and ranking. Comparing the rendered JSON compares all of it
+/// at once (labels, every f64 bit-exactly, and row order).
+fn assert_reports_identical(a: &CampaignReport, b: &CampaignReport, what: &str) {
+    assert_eq!(a.to_json().render(), b.to_json().render(), "{what}");
+    assert_eq!(a, b, "{what} (structural)");
+}
+
+#[test]
+fn distributed_matches_single_rank_across_three_scenarios() {
+    // >= 3 scenarios x ranks in {1, 2, 3}: the merged report must be
+    // content-identical to the plain sweep. The 3-candidate lattice does
+    // not divide evenly by 2 ranks, so remainders are exercised here too.
+    let lattice = || {
+        vec![
+            CandidateSpec::op(Format::new(11, 24)),
+            CandidateSpec::op(Format::new(11, 12)),
+            CandidateSpec::op(Format::new(11, 6)),
+        ]
+    };
+    for name in ["ir/horner", "ir/norm3", "eos/cellular"] {
+        let scenario = find(name).unwrap();
+        let spec = mini_spec(lattice());
+        let single = run_campaign(scenario.as_ref(), &spec);
+        for ranks in [1usize, 2, 3] {
+            let merged = run_campaign_distributed(scenario.as_ref(), &spec, ranks);
+            assert_reports_identical(&merged, &single, &format!("{name} at {ranks} ranks"));
+        }
+    }
+}
+
+#[test]
+fn kelvin_helmholtz_prime_lattice_shards_with_remainders() {
+    // The KH scenario's natural lattice has 7 candidates — prime, so no
+    // rank count in 2..=6 divides it and the block partition always has
+    // uneven shards. 7 = 5 static + 2 M-1 rows (KH refines: max_level 2
+    // at mini scale, so the cutoff rows survive dedup).
+    let scenario = find("hydro/kelvin-helmholtz").unwrap();
+    assert_eq!(shear_candidates().len(), 7);
+    let spec = mini_spec(shear_candidates());
+    let single = run_campaign(scenario.as_ref(), &spec);
+    assert_eq!(single.outcomes.len(), 7, "refinement hierarchy keeps all 7");
+    assert_eq!(single.baseline_fidelity, 1.0);
+    for ranks in [2usize, 3] {
+        let merged = run_campaign_distributed(scenario.as_ref(), &spec, ranks);
+        assert_reports_identical(&merged, &single, &format!("KH at {ranks} ranks"));
+    }
+}
+
+#[test]
+fn outcome_json_round_trips_losslessly() {
+    // to_json -> render -> parse -> from_json == original, for op-mode,
+    // mem-mode (deviation flags in the report), and error rows alike.
+    let scenario = find("eos/cellular").unwrap();
+    let spec = mini_spec(vec![
+        CandidateSpec::op(Format::new(11, 24)),
+        CandidateSpec::op(Format::new(11, 10)).mem(1e-3),
+        // Program-scope mem-mode is invalid: produces an error row.
+        CandidateSpec::op(Format::new(11, 10)).mem(1e-3).program_scope(),
+    ]);
+    let report = run_campaign(scenario.as_ref(), &spec);
+    assert!(report.outcomes.iter().any(|o| o.error.is_some()), "error row present");
+    assert!(
+        report.outcomes.iter().any(|o| !o.report.flags.is_empty()),
+        "mem-mode flags present"
+    );
+    for o in &report.outcomes {
+        let text = o.to_json().render();
+        let back = CandidateOutcome::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(&back, o, "outcome row round-trips: {}", o.spec.label());
+    }
+    let text = report.to_json().render();
+    let back = CampaignReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+    assert_eq!(back, report, "whole campaign report round-trips");
+}
+
+#[test]
+fn resume_serves_cached_rows_and_reruns_only_missing_ones() {
+    let scenario = find("ir/horner").unwrap();
+    let spec = mini_spec(vec![
+        CandidateSpec::op(Format::new(11, 30)),
+        CandidateSpec::op(Format::new(11, 16)),
+        CandidateSpec::op(Format::new(11, 8)),
+        CandidateSpec::op(Format::new(11, 4)),
+    ]);
+    let path = tmp_cache("resume");
+
+    // Cold run: everything computes.
+    let (cold, s1) = run_campaign_resumed(scenario.as_ref(), &spec, 2, &path).unwrap();
+    assert_eq!((s1.cached, s1.computed), (0, 4));
+
+    // Warm resume of a completed campaign: ZERO candidate re-runs, same
+    // report (served entirely from the cache, baseline included).
+    let (warm, s2) = run_campaign_resumed(scenario.as_ref(), &spec, 2, &path).unwrap();
+    assert_eq!((s2.cached, s2.computed), (4, 0));
+    assert_reports_identical(&warm, &cold, "warm resume");
+
+    // Evict half: only the evicted half recomputes, and the merged
+    // report is still identical to the cold run.
+    let mut cache = OutcomeCache::load(&path).unwrap();
+    assert_eq!(cache.len(), 4);
+    cache.evict_half();
+    assert_eq!(cache.len(), 2);
+    cache.save().unwrap();
+    let (half, s3) = run_campaign_resumed(scenario.as_ref(), &spec, 3, &path).unwrap();
+    assert_eq!((s3.cached, s3.computed), (2, 2));
+    assert_reports_identical(&half, &cold, "half-warm resume");
+
+    // A resumed sweep under a *stricter* floor re-gates cached rows
+    // instead of replaying stale verdicts.
+    let mut strict = spec.clone();
+    strict.fidelity_floor = 1.0;
+    let (regated, s4) = run_campaign_resumed(scenario.as_ref(), &strict, 1, &path).unwrap();
+    assert_eq!(s4.computed, 0, "re-gating needs no re-runs");
+    assert!(
+        regated.outcomes.iter().all(|o| !o.accepted || o.fidelity >= 1.0),
+        "cached rows re-gated against the live floor"
+    );
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn resumable_without_cache_matches_plain_distributed() {
+    let scenario = find("ir/norm3").unwrap();
+    let spec = mini_spec(vec![
+        CandidateSpec::op(Format::new(11, 20)),
+        CandidateSpec::op(Format::new(11, 7)),
+    ]);
+    let (report, stats) =
+        run_campaign_distributed_resumable(scenario.as_ref(), &spec, 2, None);
+    assert_eq!((stats.cached, stats.computed), (0, 2));
+    assert_reports_identical(
+        &report,
+        &run_campaign(scenario.as_ref(), &spec),
+        "cacheless resumable",
+    );
+}
+
+#[test]
+fn distributed_precision_search_matches_single_rank() {
+    let scenario = find("ir/horner").unwrap();
+    let mut spec = SearchSpec::new(LabParams::mini(), 0.9999);
+    spec.cutoffs = vec![0, 1, 2];
+    let single = precision_search(scenario.as_ref(), &spec);
+    for ranks in [1usize, 2, 3] {
+        let dist = precision_search_distributed(scenario.as_ref(), &spec, ranks);
+        assert_eq!(dist, single, "search rows identical at {ranks} ranks");
+    }
+}
+
+#[test]
+fn native_lattice_answers_the_gpu_question() {
+    // fp64/fp32 on the hardware path only: fp64 rows are exact (identity
+    // truncation), and every row runs without error on the native path.
+    let scenario = find("ir/horner").unwrap();
+    let spec = mini_spec(native_candidates());
+    let report = run_campaign_distributed(scenario.as_ref(), &spec, 2);
+    // ir has no refinement hierarchy: the M-1 twins dedup away, leaving
+    // the two static native rows.
+    assert_eq!(report.outcomes.len(), 2);
+    for o in &report.outcomes {
+        assert!(o.error.is_none(), "{}: {:?}", o.spec.label(), o.error);
+        assert!(o.spec.native);
+        assert!(o.spec.format.is_native());
+        assert!(o.spec.label().contains("native"));
+    }
+    let fp64 = report.outcomes.iter().find(|o| o.spec.format == Format::FP64).unwrap();
+    assert_eq!(fp64.fidelity, 1.0, "fp64 native is the identity");
+    // A native-path spec on a non-native format is rejected as an error
+    // row, not silently soft-floated.
+    let bad = mini_spec(vec![CandidateSpec::op(Format::FP16).native_path()]);
+    let r = run_campaign(scenario.as_ref(), &bad);
+    assert!(r.outcomes[0].error.is_some());
+}
+
+#[test]
+fn candidate_labels_are_injective_across_all_shipped_lattices() {
+    // The label is the resume/merge key: every distinct spec must render
+    // a distinct label. Sweep the shipped lattices plus targeted
+    // near-collisions on every axis.
+    let mut specs: Vec<CandidateSpec> = Vec::new();
+    specs.extend(default_candidates());
+    specs.extend(native_candidates());
+    specs.extend(shear_candidates());
+    // mem thresholds differing only in the threshold.
+    specs.push(CandidateSpec::op(Format::new(11, 10)).mem(1e-3));
+    specs.push(CandidateSpec::op(Format::new(11, 10)).mem(1e-6));
+    specs.push(CandidateSpec::op(Format::new(11, 10)).mem(2.5e-4));
+    // op vs mem at the same format.
+    specs.push(CandidateSpec::op(Format::new(11, 10)));
+    // native vs soft at the same format/cutoff.
+    specs.push(CandidateSpec::op(Format::FP32));
+    // scope axis.
+    specs.push(CandidateSpec::op(Format::new(11, 10)).program_scope());
+    // cutoff axis (M-0 is distinct from static).
+    specs.push(CandidateSpec::op(Format::new(11, 10)).with_cutoff(0));
+    specs.push(CandidateSpec::op(Format::new(11, 10)).with_cutoff(1));
+    specs.push(CandidateSpec::op(Format::new(11, 10)).with_cutoff(12));
+    // e/m boundary confusion: e11m1 vs e1... (Format forbids e<2, but
+    // e2m11 vs e21m1 would collide if tokens concatenated digits).
+    specs.push(CandidateSpec::op(Format::new(2, 11)));
+    specs.push(CandidateSpec::op(Format::new(11, 2)));
+
+    // Drop exact duplicates the shipped lattices share (e.g. FP32 static
+    // appears in both default and shear lattices) — those SHOULD share a
+    // label; what must never happen is distinct specs sharing one.
+    let mut seen: Vec<(CandidateSpec, String)> = Vec::new();
+    for s in specs {
+        let label = s.label();
+        if let Some((other, _)) = seen.iter().find(|(_, l)| *l == label) {
+            assert_eq!(
+                other, &s,
+                "distinct specs collide on label `{label}`: {other:?} vs {s:?}"
+            );
+        } else {
+            seen.push((s, label));
+        }
+    }
+    assert!(seen.len() >= 25, "lattice coverage: {} distinct labels", seen.len());
+
+    // And the label survives the spec's own JSON round-trip.
+    for (s, label) in &seen {
+        let back = CandidateSpec::from_json(&Json::parse(&s.to_json().render()).unwrap()).unwrap();
+        assert_eq!(&back, s);
+        assert_eq!(&back.label(), label);
+    }
+}

@@ -1,27 +1,66 @@
-//! Domain scenario 4: hardware co-design advisory (§7.2) — now a thin
+//! Domain scenario 4: hardware co-design advisory (§7.2) — a thin
 //! wrapper over a `raptor-lab` enumerative campaign: sweep the default
 //! format × cutoff lattice, gate on fidelity, rank the survivors by the
-//! roofline-resolved predicted speedup.
+//! roofline-resolved predicted speedup. Since the distributed-campaign
+//! work the sweep shards across minimpi ranks (`--ranks N`), restarts
+//! warm from an outcome cache (`--resume <path>`), and can restrict
+//! itself to the GPU-native fp32/fp64 lattice (`--native`).
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin codesign_advisor
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- eos/cellular
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --ranks 4 --resume sweep.json
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --native
+//! # resume-drill maintenance: drop every other cached row
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --cache-evict-half sweep.json
 //! ```
 
 use raptor_examples::parse_lab_args;
-use raptor_lab::{run_campaign, CampaignSpec};
+use raptor_lab::{
+    native_candidates, run_campaign_distributed_resumable, run_campaign_resumed, CampaignSpec,
+    OutcomeCache, ResumeStats,
+};
 
 fn main() {
-    let (scenario, params) = parse_lab_args("hydro/sod");
-    let spec = CampaignSpec::sweep(params);
+    // Maintenance mode for the CI resume drill: evict half the cache and
+    // exit, so a re-run demonstrably recomputes only the evicted half.
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(i) = raw.iter().position(|a| a == "--cache-evict-half") {
+        let path = raw.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--cache-evict-half wants a cache path");
+            std::process::exit(2);
+        });
+        let mut cache = OutcomeCache::load(path).expect("load cache");
+        let before = cache.len();
+        cache.evict_half();
+        cache.save().expect("save cache");
+        println!("cache-evict: {before} -> {} entries", cache.len());
+        return;
+    }
+
+    let args = parse_lab_args("hydro/sod");
+    let mut spec = CampaignSpec::sweep(args.params);
+    if args.native {
+        spec.candidates = native_candidates();
+    }
     println!(
-        "co-design advisor: {} — sweeping {} candidates in parallel, fidelity floor {}",
-        scenario.name(),
+        "co-design advisor: {} — sweeping {} candidates across {} rank(s), fidelity floor {}{}",
+        args.scenario.name(),
         spec.candidates.len(),
-        spec.fidelity_floor
+        args.ranks,
+        spec.fidelity_floor,
+        if args.native { " (GPU-native lattice)" } else { "" }
     );
-    let report = run_campaign(scenario.as_ref(), &spec);
+
+    let (report, stats): (_, ResumeStats) = match &args.resume {
+        Some(path) => run_campaign_resumed(args.scenario.as_ref(), &spec, args.ranks, path)
+            .expect("resume cache"),
+        None => {
+            run_campaign_distributed_resumable(args.scenario.as_ref(), &spec, args.ranks, None)
+        }
+    };
+    println!("resume: cached={} computed={}", stats.cached, stats.computed);
     if report.outcomes.len() < spec.candidates.len() {
         println!(
             "({} cutoff duplicates dropped: scenario has no refinement hierarchy)",
@@ -39,6 +78,15 @@ fn main() {
             best.fidelity
         ),
         None => println!("advice: no candidate cleared the fidelity floor; stay at FP64"),
+    }
+    if args.native {
+        match report.best() {
+            Some(best) if best.spec.format != bigfloat::Format::FP64 => println!(
+                "GPU verdict: a native port tolerates {} on this workload",
+                best.spec.label()
+            ),
+            _ => println!("GPU verdict: only fp64 survives — port at full precision"),
+        }
     }
     println!();
     println!("'Collaborating with scientists for gathering data on the numerical");

@@ -1,32 +1,85 @@
 //! Domain scenario 1: hunt for the minimum safe precision of the Sedov
 //! blast's hydro solver using AMR-level-selective truncation — the §6.1
 //! methodology, now a thin wrapper over the `raptor-lab` campaign
-//! engine's greedy precision search.
+//! engine's greedy precision search. `--ranks N` fans the per-cutoff
+//! bisection rows out across minimpi ranks; `--native` answers the §3.6
+//! GPU question instead (a fp32/fp64-only campaign — bisecting mantissa
+//! widths makes no sense when only hardware formats are on the table).
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- --tiny
-//! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- hydro/sod
+//! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- hydro/sod --ranks 3
+//! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- --tiny --native
 //! ```
 //!
 //! `--tiny` switches to the mini scale (coarse grid, few steps) for CI
 //! smoke runs; an optional scenario name hunts any registry entry.
 
 use raptor_examples::parse_lab_args;
-use raptor_lab::{precision_search, search_to_json, SearchSpec};
+use raptor_lab::{
+    native_candidates, precision_search_distributed, run_campaign_distributed,
+    run_campaign_resumed, search_to_json, CampaignSpec, SearchSpec,
+};
 
 fn main() {
-    let (scenario, params) = parse_lab_args("hydro/sedov");
+    let args = parse_lab_args("hydro/sedov");
     let floor = 0.999;
-    let spec = SearchSpec::new(params, floor);
+
+    if args.native {
+        // The GPU-native hunt: no mantissa ladder to bisect — sweep the
+        // fp32/fp64 hardware lattice and report the narrowest survivor.
+        let mut spec = CampaignSpec::sweep(args.params);
+        spec.candidates = native_candidates();
+        spec.fidelity_floor = floor;
+        println!(
+            "native precision hunt: {} (scale {}, fidelity floor {floor}, {} rank(s))",
+            args.scenario.name(),
+            args.params.scale,
+            args.ranks
+        );
+        let report = match &args.resume {
+            Some(path) => {
+                let (report, stats) =
+                    run_campaign_resumed(args.scenario.as_ref(), &spec, args.ranks, path)
+                        .expect("resume cache");
+                println!("resume: cached={} computed={}", stats.cached, stats.computed);
+                report
+            }
+            None => run_campaign_distributed(args.scenario.as_ref(), &spec, args.ranks),
+        };
+        println!();
+        print!("{}", report.render_table());
+        println!();
+        match report.best() {
+            Some(best) if best.spec.format != bigfloat::Format::FP64 => println!(
+                "a GPU port tolerates {} at fidelity {:.6}",
+                best.spec.label(),
+                best.fidelity
+            ),
+            _ => println!("only fp64 clears the floor — a GPU port must stay double"),
+        }
+        println!();
+        println!("{}", report.to_json().render());
+        return;
+    }
+
+    // Bisection probes are not cached (every probe depends on the ones
+    // before it); refuse --resume rather than silently ignoring it.
+    if args.resume.is_some() {
+        eprintln!("--resume only applies to campaign sweeps (try --native, or codesign_advisor)");
+        std::process::exit(2);
+    }
+    let spec = SearchSpec::new(args.params, floor);
     println!(
-        "precision hunt: {} (scale {}, fidelity floor {floor}, cutoffs M-0..M-{})",
-        scenario.name(),
-        params.scale,
-        spec.cutoffs.last().unwrap()
+        "precision hunt: {} (scale {}, fidelity floor {floor}, cutoffs M-0..M-{}, {} rank(s))",
+        args.scenario.name(),
+        args.params.scale,
+        spec.cutoffs.last().unwrap(),
+        args.ranks
     );
 
-    let rows = precision_search(scenario.as_ref(), &spec);
+    let rows = precision_search_distributed(args.scenario.as_ref(), &spec, args.ranks);
 
     println!();
     println!(
@@ -48,5 +101,5 @@ fn main() {
     println!("level (M-1) admits a narrower mantissa at a modest cost in truncated-");
     println!("operation share.");
     println!();
-    println!("{}", search_to_json(scenario.name(), &rows).render());
+    println!("{}", search_to_json(args.scenario.name(), &rows).render());
 }

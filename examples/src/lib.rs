@@ -3,23 +3,67 @@
 //! `codesign_advisor`.
 //!
 //! `sedov_precision_hunt` and `codesign_advisor` are thin CLI wrappers
-//! over the `raptor-lab` campaign engine: both accept an optional
-//! registry scenario name (e.g. `eos/cellular`) and a `--tiny` flag
-//! that drops to the mini scale for CI smoke runs — parsed by
-//! [`parse_lab_args`], the one arg contract both binaries share.
+//! over the `raptor-lab` campaign engine. Both share one arg contract,
+//! parsed by [`parse_lab_args`]:
+//!
+//! * an optional registry scenario name (e.g. `eos/cellular`);
+//! * `--tiny` — the mini scale for CI smoke runs;
+//! * `--ranks N` — shard the campaign across `N` minimpi ranks
+//!   (`raptor_lab::run_campaign_distributed`); the merged report is
+//!   content-identical to the single-rank sweep;
+//! * `--resume <path>` — persist per-candidate outcomes to a cache file
+//!   so interrupted or repeated sweeps restart warm (campaign binaries);
+//! * `--native` — restrict the lattice to the GPU-native fp32/fp64
+//!   hardware path (`raptor_lab::native_candidates`, the §3.6 question).
 
 use raptor_lab::{find, registry, LabParams, Scenario};
+use std::path::PathBuf;
 
-/// Parse the campaign binaries' shared CLI: `[scenario-name] [--tiny]`.
-/// Unknown scenario names print the registry and exit with status 2.
-pub fn parse_lab_args(default_scenario: &str) -> (Box<dyn Scenario>, LabParams) {
+/// Parsed arguments of the campaign binaries.
+pub struct LabArgs {
+    /// The scenario to sweep.
+    pub scenario: Box<dyn Scenario>,
+    /// Scale knobs (`--tiny` selects the mini scale).
+    pub params: LabParams,
+    /// minimpi rank count (`--ranks N`, default 1).
+    pub ranks: usize,
+    /// Outcome-cache path (`--resume <path>`), if resuming.
+    pub resume: Option<PathBuf>,
+    /// Restrict to the GPU-native lattice (`--native`).
+    pub native: bool,
+}
+
+/// Parse the campaign binaries' shared CLI:
+/// `[scenario-name] [--tiny] [--ranks N] [--resume <path>] [--native]`.
+/// Unknown scenario names print the registry and exit with status 2;
+/// malformed flag values exit with status 2 as well.
+pub fn parse_lab_args(default_scenario: &str) -> LabArgs {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
-    let name = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or(default_scenario);
+    let native = args.iter().any(|a| a == "--native");
+    let ranks = match flag_value(&args, "--ranks") {
+        None => 1,
+        Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
+            eprintln!("--ranks wants a positive integer, got `{v}`");
+            std::process::exit(2);
+        }),
+    };
+    let resume = flag_value(&args, "--resume").map(PathBuf::from);
+    // The scenario name is the first bare arg that is not a flag value.
+    let mut skip_next = false;
+    let mut name = default_scenario;
+    for a in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--ranks" || a == "--resume" {
+            skip_next = true;
+        } else if !a.starts_with("--") {
+            name = a;
+            break;
+        }
+    }
     let scenario = find(name).unwrap_or_else(|| {
         eprintln!("unknown scenario `{name}`; registered:");
         for s in registry() {
@@ -28,5 +72,9 @@ pub fn parse_lab_args(default_scenario: &str) -> (Box<dyn Scenario>, LabParams) 
         std::process::exit(2);
     });
     let params = if tiny { LabParams::mini() } else { LabParams::demo() };
-    (scenario, params)
+    LabArgs { scenario, params, ranks, resume, native }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
