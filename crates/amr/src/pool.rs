@@ -118,6 +118,29 @@ pub fn pool_run(n_items: usize, threads: usize, task: &(dyn Fn(usize) + Sync)) {
     run_indexed(n_items, threads, task);
 }
 
+/// Run `f` with this thread marked as a sweep participant: any pool
+/// submission `f` makes (mesh sweeps via `par_leaves`, nested
+/// [`pool_run`] batches) executes **inline** on this thread instead of
+/// queueing on a pool's submit lock.
+///
+/// This is what pool workers get implicitly; long-lived worker threads
+/// that are *not* pool tasks — e.g. the work-stealing study stealers in
+/// `raptor-lab` — wrap their per-item work in this so that many of them
+/// running concurrently never serialize on the process-wide pool.
+/// Re-entrant calls nest (the flag restores to its previous value, also
+/// on panic).
+pub fn run_inline<T>(f: impl FnOnce() -> T) -> T {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            IN_SWEEP.with(|s| s.set(prev));
+        }
+    }
+    let _restore = Restore(IN_SWEEP.with(|s| s.replace(true)));
+    f()
+}
+
 impl Pool {
     /// A fresh pool with no workers; workers spawn lazily up to the
     /// largest `threads - 1` ever requested from [`Pool::run`].
@@ -361,6 +384,31 @@ mod tests {
             assert_eq!(count.load(Ordering::Relaxed), 16);
             drop(pool);
         }
+    }
+
+    #[test]
+    fn run_inline_marks_the_thread_and_restores_on_exit() {
+        // Inside run_inline, pool submissions execute on the calling
+        // thread (the nested-sweep rule); outside, the flag is restored.
+        let before = IN_SWEEP.with(|s| s.get());
+        assert!(!before, "test thread starts outside any sweep");
+        let n = AtomicUsize::new(0);
+        run_inline(|| {
+            assert!(IN_SWEEP.with(|s| s.get()));
+            pool_run(5, 8, &|_| {
+                n.fetch_add(1, Ordering::Relaxed);
+            });
+            // Nesting restores to the *previous* value, i.e. stays set.
+            run_inline(|| assert!(IN_SWEEP.with(|s| s.get())));
+            assert!(IN_SWEEP.with(|s| s.get()));
+        });
+        assert_eq!(n.load(Ordering::Relaxed), 5);
+        assert!(!IN_SWEEP.with(|s| s.get()), "flag restored");
+        // Restored on panic, too.
+        let _ = catch_unwind(AssertUnwindSafe(|| {
+            run_inline(|| panic!("boom"));
+        }));
+        assert!(!IN_SWEEP.with(|s| s.get()), "flag restored after panic");
     }
 
     #[test]

@@ -11,6 +11,29 @@
 //!   ratio (Fugaku's A64FX);
 //! * compute-bound time `Σ N_i / (A_i · P_i)`, memory-bound time linear in
 //!   bytes moved, and a roofline test at 1024 GB/s (Fig. 8).
+//!
+//! The campaign engine feeds live [`Counters`] from every candidate run
+//! into [`predicted_speedup`] and ranks survivors by it. Standalone use
+//! takes any op/byte population:
+//!
+//! ```
+//! use codesign::{estimate_speedup, predicted_speedup, Machine};
+//! use raptor_core::{Counters, OpCounts};
+//!
+//! // A workload with 85% of its ops truncated to fp16 storage.
+//! let mut c = Counters::default();
+//! c.trunc = OpCounts { add: 850_000, ..Default::default() };
+//! c.full = OpCounts { add: 150_000, ..Default::default() };
+//! c.trunc_bytes = 2 * 850_000;
+//! c.full_bytes = 8 * 150_000;
+//!
+//! let m = Machine::default();
+//! let s = estimate_speedup(&m, bigfloat::Format::FP16, &c);
+//! assert!(s.compute_bound > 1.0 && s.memory_bound > 1.0);
+//! // The ranking scalar resolves the roofline to the applicable panel.
+//! let p = predicted_speedup(&m, bigfloat::Format::FP16, &c);
+//! assert_eq!(p, if s.compute_bound_applies { s.compute_bound } else { s.memory_bound });
+//! ```
 
 #![warn(missing_docs)]
 

@@ -14,6 +14,10 @@
 //!
 //! * point-to-point [`Comm::send_bytes`]/[`Comm::recv_bytes`] of raw byte
 //!   payloads — plain data movement, never truncated;
+//! * any-source receive [`Comm::recv_bytes_any`] (`MPI_ANY_SOURCE`) and
+//!   the tagged request/reply round trip [`Comm::request_wire`] — the
+//!   primitives a rank-0 queue server is built from (the work-stealing
+//!   study scheduler in `raptor-lab` is one);
 //! * [`Comm::send`]/[`Comm::recv`] of `f64` buffers, encoded bitwise
 //!   (every payload round-trips exactly, including NaN payloads and the
 //!   sign of zero);
@@ -55,6 +59,26 @@
 //!
 //! mem-mode handles must never cross ranks (the paper: "mem-mode can only
 //! be used on shared-memory systems and without MPI reductions").
+//!
+//! ## Example
+//!
+//! Ranks are OS threads launched by [`run`]; each receives its own
+//! [`Comm`]. A ring exchange plus a deterministic reduction:
+//!
+//! ```
+//! let results = minimpi::run(3, |comm| {
+//!     // Pass this rank's id around the ring, bit-exactly.
+//!     let next = (comm.rank() + 1) % comm.size();
+//!     let prev = (comm.rank() + comm.size() - 1) % comm.size();
+//!     comm.send(next, 7, &[comm.rank() as f64]);
+//!     let from_prev = comm.recv(prev, 7)[0];
+//!     // Full-precision built-in reduction, identical on every rank.
+//!     let total = comm.allreduce_sum(&[from_prev])[0];
+//!     (from_prev, total)
+//! });
+//! assert_eq!(results[0], (2.0, 3.0)); // rank 0 heard from rank 2
+//! assert!(results.iter().all(|&(_, t)| t == 3.0));
+//! ```
 
 #![warn(missing_docs)]
 
@@ -125,6 +149,32 @@ impl Mailbox {
             q = self.ready.wait(q).unwrap();
         }
     }
+
+    /// Non-blocking variant of [`Mailbox::pop_tag`] for any-source scans.
+    fn try_pop_tag(&self, tag: u64) -> Option<Message> {
+        let mut q = self.queue.lock().unwrap();
+        let pos = q.iter().position(|m| m.tag == tag)?;
+        Some(q.remove(pos).expect("position valid"))
+    }
+}
+
+/// Per-destination arrival counter: bumped on *every* send to a rank, so
+/// an any-source receiver can sleep until some mailbox changed instead of
+/// spinning over all of them.
+struct Doorbell {
+    seq: Mutex<u64>,
+    ready: Condvar,
+}
+
+impl Doorbell {
+    fn new() -> Doorbell {
+        Doorbell { seq: Mutex::new(0), ready: Condvar::new() }
+    }
+
+    fn ring(&self) {
+        *self.seq.lock().unwrap() += 1;
+        self.ready.notify_all();
+    }
 }
 
 /// A message between ranks: a tag plus an opaque byte payload.
@@ -137,6 +187,8 @@ struct Shared {
     nranks: usize,
     // mailboxes[dst][src]
     mailboxes: Vec<Vec<Mailbox>>,
+    // doorbells[dst], rung on every send to dst
+    doorbells: Vec<Doorbell>,
     barrier: std::sync::Barrier,
     reduce_slots: Mutex<Vec<Vec<f64>>>,
 }
@@ -166,12 +218,48 @@ impl Comm {
     /// buffered).
     pub fn send_bytes(&self, dst: usize, tag: u64, data: &[u8]) {
         self.shared.mailboxes[dst][self.rank].push(Message { tag, data: data.to_vec() });
+        self.shared.doorbells[dst].ring();
     }
 
     /// Blocking receive from `src` with a matching tag; out-of-order tags
     /// stay queued until their own receive (MPI tag matching).
     pub fn recv_bytes(&self, src: usize, tag: u64) -> Vec<u8> {
         self.shared.mailboxes[self.rank][src].pop_tag(tag).data
+    }
+
+    /// Blocking receive of the next tag-matching message from **any**
+    /// source (`MPI_ANY_SOURCE`): returns `(source rank, payload)`.
+    ///
+    /// Messages from one source are delivered in their send order (the
+    /// mailbox is FIFO per tag), which queue servers rely on: a worker
+    /// that sends `done` before its next `request` is guaranteed to have
+    /// the `done` processed first. When several sources have a matching
+    /// message queued, the lowest source rank wins the scan — the choice
+    /// only affects service order, never delivery.
+    pub fn recv_bytes_any(&self, tag: u64) -> (usize, Vec<u8>) {
+        let bell = &self.shared.doorbells[self.rank];
+        let mut seq = bell.seq.lock().unwrap();
+        loop {
+            let seen = *seq;
+            drop(seq);
+            for src in 0..self.size() {
+                if let Some(msg) = self.shared.mailboxes[self.rank][src].try_pop_tag(tag) {
+                    return (src, msg.data);
+                }
+            }
+            // A send that raced our scan bumped the doorbell before we
+            // re-acquire it; `seen` then mismatches and we rescan.
+            seq = bell.seq.lock().unwrap();
+            while *seq == seen {
+                seq = bell.ready.wait(seq).unwrap();
+            }
+        }
+    }
+
+    /// Typed any-source receive: `(source rank, parsed message)`.
+    pub fn recv_wire_any<T: Wire>(&self, tag: u64) -> Result<(usize, T), String> {
+        let (src, bytes) = self.recv_bytes_any(tag);
+        Ok((src, T::from_wire_bytes(&bytes)?))
     }
 
     /// Send an `f64` buffer to `dst` with a tag. Values are encoded
@@ -194,6 +282,25 @@ impl Comm {
     /// Blocking receive of a [`Wire`] message from `src`.
     pub fn recv_wire<T: Wire>(&self, src: usize, tag: u64) -> Result<T, String> {
         T::from_wire_bytes(&self.recv_bytes(src, tag))
+    }
+
+    /// Tagged request/reply round trip: send `msg` to `server` on `tag`,
+    /// then block for the typed reply on `reply_tag`.
+    ///
+    /// The reply tag is the caller's *private* channel — a server thread
+    /// answering many clients replies to each on the tag the client
+    /// chose, so concurrent in-flight requests from different threads of
+    /// one rank never steal each other's replies (the work-stealing
+    /// campaign scheduler encodes a per-thread slot in its reply tags).
+    pub fn request_wire<Q: Wire, R: Wire>(
+        &self,
+        server: usize,
+        tag: u64,
+        reply_tag: u64,
+        msg: &Q,
+    ) -> Result<R, String> {
+        self.send_wire(server, tag, msg);
+        self.recv_wire(server, reply_tag)
     }
 
     // ------------------------------------------------------------------
@@ -352,6 +459,7 @@ pub fn run<T: Send>(nranks: usize, f: impl Fn(Comm) -> T + Sync) -> Vec<T> {
     let shared = Arc::new(Shared {
         nranks,
         mailboxes,
+        doorbells: (0..nranks).map(|_| Doorbell::new()).collect(),
         barrier: std::sync::Barrier::new(nranks),
         reduce_slots: Mutex::new(vec![Vec::new(); nranks]),
     });
@@ -490,6 +598,74 @@ mod tests {
         }
         // All ranks see the same (rank-order-combined) value.
         assert!(res.iter().all(|r| (r - res[0]).abs() < 1e-300));
+    }
+
+    #[test]
+    fn any_source_receive_drains_every_sender() {
+        // 3 clients send 2 messages each to rank 0; recv_bytes_any must
+        // deliver all 6 with correct source attribution and per-source
+        // FIFO order.
+        let res = run(4, |c| {
+            if c.rank() == 0 {
+                let mut got: Vec<(usize, Vec<u8>)> = Vec::new();
+                for _ in 0..6 {
+                    got.push(c.recv_bytes_any(9));
+                }
+                got
+            } else {
+                c.send_bytes(0, 9, &[c.rank() as u8, 1]);
+                c.send_bytes(0, 9, &[c.rank() as u8, 2]);
+                Vec::new()
+            }
+        });
+        let got = &res[0];
+        assert_eq!(got.len(), 6);
+        for src in 1..=3usize {
+            let mine: Vec<&Vec<u8>> =
+                got.iter().filter(|(s, _)| *s == src).map(|(_, d)| d).collect();
+            assert_eq!(mine, vec![&vec![src as u8, 1], &vec![src as u8, 2]], "src {src} FIFO");
+        }
+    }
+
+    #[test]
+    fn any_source_receive_leaves_other_tags_queued() {
+        let res = run(2, |c| {
+            if c.rank() == 1 {
+                c.send_bytes(0, 5, &[50]);
+                c.send_bytes(0, 6, &[60]);
+                (0, Vec::new(), Vec::new())
+            } else {
+                // Tag 6 first even though tag 5 arrived first.
+                let (src, six) = c.recv_bytes_any(6);
+                let five = c.recv_bytes(1, 5);
+                (src, six, five)
+            }
+        });
+        assert_eq!(res[0], (1, vec![60], vec![50]));
+    }
+
+    #[test]
+    fn request_reply_serves_many_clients() {
+        // Rank 0 runs a doubling server on one shared request tag,
+        // replying on each client's private reply tag.
+        const REQ: u64 = 100;
+        const REPLY_BASE: u64 = 200;
+        let res = run(4, |c| {
+            if c.rank() == 0 {
+                for _ in 0..(c.size() - 1) {
+                    let (src, msg) = c.recv_wire_any::<Json>(REQ).unwrap();
+                    let x = msg.as_f64().unwrap();
+                    c.send_wire(src, REPLY_BASE + src as u64, &Json::from(2.0 * x));
+                }
+                0.0
+            } else {
+                let reply: Json = c
+                    .request_wire(0, REQ, REPLY_BASE + c.rank() as u64, &Json::from(c.rank() as f64))
+                    .unwrap();
+                reply.as_f64().unwrap()
+            }
+        });
+        assert_eq!(&res[1..], &[2.0, 4.0, 6.0]);
     }
 
     #[test]

@@ -17,9 +17,9 @@
 //! involves the region stack, the scope/exclusion patterns, and the AMR
 //! level cutoff. None of those change *per operation* — only
 //! [`region`]/[`set_level`]/[`Session::install`] change them. So the
-//! resolved outcome is cached in [`FastPath`]: a `Cell`-based, plain-data
+//! resolved outcome is cached in `FastPath`: a `Cell`-based, plain-data
 //! thread local that every instrumented op reads with a single load and
-//! branch. The heavier [`ActiveCtx`] (region stack, mem-mode shard) lives
+//! branch. The heavier `ActiveCtx` (region stack, mem-mode shard) lives
 //! in a separate `RefCell` thread local that only the *slow* paths touch.
 //! Counters accumulate in unsynchronized per-thread cells and are flushed
 //! into the session under its mutex when the guard drops.
@@ -54,7 +54,7 @@ impl Session {
     /// The passthrough session: installs like any other session but never
     /// truncates, never counts, and keeps the per-op hot path on its
     /// no-session fast reject (the dispatch cache stays
-    /// [`Dispatch::None`]). Workload entry points take `&Session`
+    /// `Dispatch::None`). Workload entry points take `&Session`
     /// uniformly; uninstrumented reference runs pass this.
     pub fn passthrough() -> Session {
         Session::new(Config::passthrough()).expect("passthrough config is valid")

@@ -16,11 +16,11 @@
 //!
 //! ## Sharding
 //!
-//! A [`MemState`] instance serves two roles: each thread's `ActiveCtx`
+//! A `MemState` instance serves two roles: each thread's `ActiveCtx`
 //! owns one as its private *shard* (slots + pending flag statistics,
 //! accessed with no synchronization on the op path), and the session owns
 //! one as the *merged* repository (statistics only; its slab stays empty).
-//! Shards merge into the session via [`MemState::merge_stats`] when a
+//! Shards merge into the session via `MemState::merge_stats` when a
 //! session guard drops or a report is requested. Slots never merge:
 //! handles are thread-local and die at the slab-clear barrier. See the
 //! "Runtime hot path" section of the crate docs for the invariants kernels

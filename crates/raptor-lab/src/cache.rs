@@ -3,6 +3,12 @@
 //! re-run sweep — distributed or not — restarts warm and only recomputes
 //! missing candidates.
 //!
+//! Because the key's first component is the scenario name, **one cache
+//! file serves a whole study**: a full-registry sweep
+//! ([`crate::run_study_resumed`]) reads and writes the same file as the
+//! single-scenario campaigns, scenarios never collide, and a warm resume
+//! of a completed study performs zero runs.
+//!
 //! The file is one JSON document through the shared serializer, so it is
 //! both human-inspectable and parseable by downstream tooling:
 //!

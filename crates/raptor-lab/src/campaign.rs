@@ -587,6 +587,27 @@ pub(crate) fn run_candidate(
     }
 }
 
+/// Re-gate and re-score a merged outcome vector, then rank it.
+///
+/// Cached rows may predate the calling spec: acceptance is recomputed
+/// against the live fidelity floor and speedups against the live machine
+/// model (the counters in every row make this free). Freshly computed
+/// rows are unchanged by the recompute — it is deterministic on the same
+/// inputs — so a merged report stays identical to [`run_campaign`].
+/// Shared by the distributed campaign and study merge paths.
+pub(crate) fn regate_and_rank(outcomes: &mut [CandidateOutcome], spec: &CampaignSpec) {
+    for o in outcomes.iter_mut() {
+        if o.error.is_none() {
+            o.accepted = o.fidelity >= spec.fidelity_floor;
+            let s = estimate_speedup(&spec.machine, o.spec.format, &o.counters);
+            o.predicted_speedup = predicted_speedup(&spec.machine, o.spec.format, &o.counters);
+            o.speedup_compute = s.compute_bound;
+            o.speedup_memory = s.memory_bound;
+        }
+    }
+    rank_outcomes(outcomes);
+}
+
 /// Rank: accepted first (by predicted speedup, then fidelity), rejected
 /// after (by fidelity — the least-bad first), errors last. The sort is
 /// stable, so outcome vectors assembled in candidate-lattice order rank

@@ -11,7 +11,7 @@
 //! 2. rank 0 runs the full-precision baseline once and broadcasts the
 //!    observable **bit-exactly** (raw `f64` bit patterns, not JSON);
 //! 3. each rank sweeps its shard through the existing fidelity-gated
-//!    [`crate::campaign::run_candidate`] path on its **own**
+//!    `run_candidate` path on its **own**
 //!    [`amr::Pool`], sized `workers / nranks`, so shards run concurrently
 //!    instead of serializing on the process-wide pool;
 //! 4. per-candidate [`CandidateOutcome`] rows travel to rank 0 as
@@ -34,7 +34,7 @@
 
 use crate::cache::{OutcomeCache, ResumeStats};
 use crate::campaign::{
-    eligible_candidates, rank_outcomes, run_candidate, search_row, CampaignReport, CampaignSpec,
+    eligible_candidates, regate_and_rank, run_candidate, search_row, CampaignReport, CampaignSpec,
     CandidateOutcome, CandidateSpec, SearchRow, SearchSpec,
 };
 use crate::scenario::{Observable, Scenario};
@@ -198,22 +198,7 @@ pub fn run_campaign_distributed_resumable(
         })
         .collect();
     debug_assert!(fresh.next().is_none(), "computed rows fully consumed");
-    // Cached rows may predate this spec: re-gate acceptance against the
-    // live fidelity floor and re-score speedups against the live machine
-    // model (the counters in every row make this free). Freshly computed
-    // rows are unchanged — the recompute is deterministic on the same
-    // inputs — so the merged report stays identical to `run_campaign`.
-    for o in &mut outcomes {
-        if o.error.is_none() {
-            o.accepted = o.fidelity >= spec.fidelity_floor;
-            let s = codesign::estimate_speedup(&spec.machine, o.spec.format, &o.counters);
-            o.predicted_speedup =
-                codesign::predicted_speedup(&spec.machine, o.spec.format, &o.counters);
-            o.speedup_compute = s.compute_bound;
-            o.speedup_memory = s.memory_bound;
-        }
-    }
-    rank_outcomes(&mut outcomes);
+    regate_and_rank(&mut outcomes, spec);
 
     if let Some(k) = cache {
         for o in &outcomes {

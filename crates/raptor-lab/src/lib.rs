@@ -7,7 +7,7 @@
 //! survivors by predicted speedup. This crate turns that methodology
 //! into two layers:
 //!
-//! * the [`Scenario`] trait + [`registry`] — every workload crate
+//! * the [`Scenario`] trait + [`registry()`] — every workload crate
 //!   (hydro, incomp, eos, raptor-ir) behind one `build → run(&Session) →
 //!   fidelity` contract;
 //! * the campaign engine ([`run_campaign`], [`precision_search`]) — the
@@ -97,6 +97,32 @@
 //! same way (one M-l row per shard item), and [`native_candidates`]
 //! restricts the lattice to the hardware formats a GPU port could
 //! execute (the §3.6 constraint).
+//!
+//! ## Studies: the whole registry in one table
+//!
+//! A *study* sweeps **every** scenario (or a `--scenarios` subset, see
+//! [`study_scenarios`]) over one candidate lattice and merges the results
+//! into a single cross-scenario codesign ranking — the paper's headline
+//! Table-1-style artifact. [`run_study_distributed`] flattens the
+//! `(scenario, candidate)` pair list and distributes it with an elastic
+//! **work-stealing scheduler** (rank 0 serves pair indices from a shared
+//! queue over the minimpi mailboxes; per-scenario baselines broadcast
+//! lazily on first touch), so skewed per-pair costs no longer idle ranks
+//! the way a static block partition can. One shared [`OutcomeCache`]
+//! file covers the whole study. See the [`study`] module docs for the
+//! protocol; the result is byte-identical to the serial [`run_study`]
+//! for any rank count:
+//!
+//! ```
+//! use raptor_lab::{run_study_distributed, study_scenarios, CampaignSpec, LabParams};
+//!
+//! let scenarios = study_scenarios(Some("ir/horner,eos/cellular")).unwrap();
+//! let spec = CampaignSpec::sweep(LabParams::mini());
+//! let study = run_study_distributed(&scenarios, &spec, 2);
+//! assert_eq!(study.scenarios.len(), 2);
+//! assert_eq!(study.ranking.len(), 2);   // one codesign row per scenario
+//! println!("{}", study.render_markdown());
+//! ```
 
 #![warn(missing_docs)]
 
@@ -105,6 +131,7 @@ pub mod campaign;
 pub mod distributed;
 pub mod registry;
 pub mod scenario;
+pub mod study;
 
 pub use cache::{OutcomeCache, ResumeStats};
 pub use campaign::{
@@ -116,7 +143,11 @@ pub use distributed::{
     block_range, precision_search_distributed, run_campaign_distributed,
     run_campaign_distributed_resumable, run_campaign_resumed,
 };
-pub use registry::{find, registry};
+pub use registry::{find, registry, study_scenarios};
 pub use scenario::{
     fidelity_from_error, relative_l1, LabParams, Observable, Runnable, Scenario,
+};
+pub use study::{
+    run_study, run_study_distributed, run_study_distributed_resumable, run_study_resumed,
+    StudyReport, StudyRow, StudyStats,
 };

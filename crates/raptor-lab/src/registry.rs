@@ -85,6 +85,28 @@ pub fn find(name: &str) -> Option<Box<dyn Scenario>> {
     registry().into_iter().find(|s| s.name() == name)
 }
 
+/// Resolve a study's scenario set: `None` selects the full registry, and
+/// `Some("a,b,c")` a comma-separated subset (the CLI `--scenarios` flag).
+/// Scenarios come back in **registry order** regardless of how the subset
+/// was written, so two studies over the same set enumerate the same
+/// `(scenario, candidate)` pair lattice; unknown names and empty subsets
+/// are errors listing what is registered.
+pub fn study_scenarios(subset: Option<&str>) -> Result<Vec<Box<dyn Scenario>>, String> {
+    let all = registry();
+    let Some(subset) = subset else { return Ok(all) };
+    let wanted: Vec<&str> = subset.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    if wanted.is_empty() {
+        return Err("--scenarios wants a comma-separated list of registry names".into());
+    }
+    for name in &wanted {
+        if !all.iter().any(|s| s.name() == *name) {
+            let known: Vec<&str> = all.iter().map(|s| s.name()).collect();
+            return Err(format!("unknown scenario `{name}`; registered: {}", known.join(", ")));
+        }
+    }
+    Ok(all.into_iter().filter(|s| wanted.contains(&s.name())).collect())
+}
+
 // ---------------------------------------------------------------------------
 // hydro: compressible Euler on AMR
 // ---------------------------------------------------------------------------

@@ -1,0 +1,895 @@
+//! Full-registry studies: every scenario swept over one candidate
+//! lattice, fidelity-gated, and ranked into a single cross-scenario
+//! codesign table — the paper's headline artifact (Table 1's shape) as
+//! one API call.
+//!
+//! A *study* flattens the two-level loop the campaign engine left
+//! implicit: instead of sharding the candidates of one scenario across
+//! minimpi ranks, [`run_study_distributed`] enumerates every
+//! `(scenario, candidate)` **pair** across the whole registry (or a
+//! subset, see [`crate::study_scenarios`]) and distributes the flattened
+//! pair list with an **elastic work-stealing scheduler**:
+//!
+//! * rank 0 runs a queue server thread that serves pair indices over the
+//!   existing byte mailboxes — `request` / `grant` / `done` messages on
+//!   the [`minimpi::Wire`] layer, one shared server-bound tag so per-rank
+//!   FIFO delivery orders each worker's `done` before its next `request`;
+//! * every rank (rank 0 included) contributes `workers / nranks` stealer
+//!   threads; each steals one pair at a time, so skewed per-pair costs
+//!   (a Kelvin–Helmholtz hydro run next to a 16-call IR kernel) never
+//!   leave ranks idle the way the static block partition of
+//!   [`crate::run_campaign_distributed`] can;
+//! * the server holds the first round of grants until every stealer has
+//!   checked in, so each stealer is guaranteed at least one pair whenever
+//!   the queue is deep enough — stealing starts fair, then runs elastic;
+//! * per-scenario full-precision baselines are **broadcast lazily on
+//!   first touch**: the first stealer to need a scenario's baseline is
+//!   told to compute it and upload it; stealers that ask while it is in
+//!   flight are parked and answered the moment the upload lands, and
+//!   scenarios whose pairs are all cache hits never run a baseline at
+//!   all;
+//! * one shared [`OutcomeCache`] file covers the whole study (the cache
+//!   key already carries the scenario name), so a warm resume of a
+//!   completed study performs **zero** runs.
+//!
+//! The merged [`StudyReport`] carries one ranked [`CampaignReport`]
+//! section per scenario plus a cross-scenario codesign ranking, and its
+//! JSON rendering is **byte-identical for any rank count**: pairs are
+//! reassembled in lattice order before the deterministic re-gate + stable
+//! ranking sort, so where a pair ran never shows in the result.
+//!
+//! ```
+//! use raptor_lab::{run_study, run_study_distributed, study_scenarios, CampaignSpec, LabParams};
+//!
+//! let scenarios = study_scenarios(Some("ir/horner,ir/norm3")).unwrap();
+//! let spec = CampaignSpec::sweep(LabParams::mini());
+//! let single = run_study(&scenarios, &spec);
+//! let stolen = run_study_distributed(&scenarios, &spec, 2);
+//! assert_eq!(stolen.to_json().render(), single.to_json().render());
+//! println!("{}", stolen.render_markdown()); // the Table-1-style summary
+//! ```
+
+use crate::cache::OutcomeCache;
+use crate::campaign::{
+    eligible_candidates, regate_and_rank, run_campaign, run_candidate, CampaignReport,
+    CampaignSpec, CandidateOutcome, CandidateSpec,
+};
+use crate::scenario::{LabParams, Observable, Scenario};
+use minimpi::{Json, Wire};
+use raptor_core::Session;
+
+/// Tag for every server-bound study message. One tag on purpose: a
+/// rank's mailbox is FIFO per tag, so a stealer's `done` is always
+/// processed before the `request` it sends next — the server can shut
+/// down after the last grant knowing every outcome has landed.
+const TAG_STUDY: u64 = 0x57DD;
+/// Base of the per-stealer reply-tag range: stealer `slot` of a rank
+/// listens on `TAG_STUDY_REPLY + slot`, its private channel to rank 0.
+const TAG_STUDY_REPLY: u64 = 0x57DE_0000;
+
+fn reply_tag(slot: u64) -> u64 {
+    TAG_STUDY_REPLY + slot
+}
+
+// ---------------------------------------------------------------------------
+// Wire protocol
+// ---------------------------------------------------------------------------
+
+/// Worker → server messages of the work-stealing scheduler.
+enum ToServer {
+    /// "Give me a pair index" — `slot` picks the reply tag.
+    Request { slot: u64 },
+    /// "Pair `pair` is finished; here is its outcome row." (Boxed: the
+    /// row dwarfs the other variants.)
+    Done { pair: u64, outcome: Box<CandidateOutcome> },
+    /// "I need the full-precision baseline of scenario `scenario`."
+    BaselineReq { scenario: u64, slot: u64 },
+    /// "Here is the baseline I was told to compute."
+    BaselinePut { scenario: u64, values: Vec<f64> },
+}
+
+/// Server → worker replies, sent on the requesting stealer's reply tag.
+enum FromServer {
+    /// Run pair `pair` next.
+    Grant { pair: u64 },
+    /// The queue is empty; shut down.
+    NoMoreWork,
+    /// The requested baseline observable.
+    Baseline { values: Vec<f64> },
+    /// First touch: the requester computes the baseline and uploads it
+    /// with [`ToServer::BaselinePut`].
+    ComputeBaseline,
+}
+
+/// Baseline observables must cross the wire **bit-exactly** — every rank
+/// scores trials against the same bits, and JSON numbers cannot carry
+/// NaN payloads or the sign of zero. They travel as one hex string of
+/// 16-character `f64::to_bits` words (the Wire-layer twin of the raw-f64
+/// broadcast the block-partitioned campaigns use).
+fn values_to_json(values: &[f64]) -> Json {
+    let mut hex = String::with_capacity(values.len() * 16);
+    for v in values {
+        hex.push_str(&format!("{:016x}", v.to_bits()));
+    }
+    Json::Str(hex)
+}
+
+fn values_from_json(doc: &Json) -> Result<Vec<f64>, String> {
+    let hex = doc.as_str().ok_or_else(|| "values is not a hex string".to_string())?;
+    if hex.len() % 16 != 0 {
+        return Err(format!("hex payload length {} is not a multiple of 16", hex.len()));
+    }
+    hex.as_bytes()
+        .chunks_exact(16)
+        .map(|chunk| {
+            let word = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+            u64::from_str_radix(word, 16)
+                .map(f64::from_bits)
+                .map_err(|e| format!("bad f64 bit pattern `{word}`: {e}"))
+        })
+        .collect()
+}
+
+impl Wire for ToServer {
+    fn to_wire(&self) -> Json {
+        match self {
+            ToServer::Request { slot } => Json::obj().set("type", "request").set("slot", *slot),
+            ToServer::Done { pair, outcome } => Json::obj()
+                .set("type", "done")
+                .set("pair", *pair)
+                .set("outcome", outcome.to_json()),
+            ToServer::BaselineReq { scenario, slot } => Json::obj()
+                .set("type", "baseline_req")
+                .set("scenario", *scenario)
+                .set("slot", *slot),
+            ToServer::BaselinePut { scenario, values } => Json::obj()
+                .set("type", "baseline_put")
+                .set("scenario", *scenario)
+                .set("values", values_to_json(values)),
+        }
+    }
+
+    fn from_wire(doc: &Json) -> Result<ToServer, String> {
+        match doc.str_field("type")? {
+            "request" => Ok(ToServer::Request { slot: doc.u64_field("slot")? }),
+            "done" => Ok(ToServer::Done {
+                pair: doc.u64_field("pair")?,
+                outcome: Box::new(CandidateOutcome::from_json(doc.req("outcome")?)?),
+            }),
+            "baseline_req" => Ok(ToServer::BaselineReq {
+                scenario: doc.u64_field("scenario")?,
+                slot: doc.u64_field("slot")?,
+            }),
+            "baseline_put" => Ok(ToServer::BaselinePut {
+                scenario: doc.u64_field("scenario")?,
+                values: values_from_json(doc.req("values")?)?,
+            }),
+            other => Err(format!("unknown study message `{other}`")),
+        }
+    }
+}
+
+impl Wire for FromServer {
+    fn to_wire(&self) -> Json {
+        match self {
+            FromServer::Grant { pair } => Json::obj().set("type", "grant").set("pair", *pair),
+            FromServer::NoMoreWork => Json::obj().set("type", "no_more_work"),
+            FromServer::Baseline { values } => {
+                Json::obj().set("type", "baseline").set("values", values_to_json(values))
+            }
+            FromServer::ComputeBaseline => Json::obj().set("type", "compute_baseline"),
+        }
+    }
+
+    fn from_wire(doc: &Json) -> Result<FromServer, String> {
+        match doc.str_field("type")? {
+            "grant" => Ok(FromServer::Grant { pair: doc.u64_field("pair")? }),
+            "no_more_work" => Ok(FromServer::NoMoreWork),
+            "baseline" => {
+                Ok(FromServer::Baseline { values: values_from_json(doc.req("values")?)? })
+            }
+            "compute_baseline" => Ok(FromServer::ComputeBaseline),
+            other => Err(format!("unknown study reply `{other}`")),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reports
+// ---------------------------------------------------------------------------
+
+/// One row of the cross-scenario codesign ranking: what the study
+/// recommends for one workload (Table 1's shape — workload, the chosen
+/// truncation, its fidelity, and the predicted payoff).
+#[derive(Clone, Debug, PartialEq)]
+pub struct StudyRow {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scenario crate.
+    pub crate_name: String,
+    /// Label of the best accepted candidate (`None`: nothing cleared the
+    /// fidelity floor — stay at FP64).
+    pub recommended: Option<String>,
+    /// Fidelity of the recommended candidate (of the least-bad rejected
+    /// one when nothing was accepted).
+    pub fidelity: f64,
+    /// Predicted speedup of the recommendation (`1.0` when staying at
+    /// FP64).
+    pub predicted_speedup: f64,
+    /// Truncated-op fraction of the reported candidate.
+    pub truncated_fraction: f64,
+    /// Candidates that cleared the fidelity floor.
+    pub accepted: usize,
+    /// Candidates swept.
+    pub total: usize,
+}
+
+impl StudyRow {
+    fn from_report(report: &CampaignReport) -> StudyRow {
+        let accepted =
+            report.outcomes.iter().filter(|o| o.accepted && o.error.is_none()).count();
+        let shown = report
+            .best()
+            .or_else(|| report.outcomes.iter().find(|o| o.error.is_none()));
+        StudyRow {
+            scenario: report.scenario.clone(),
+            crate_name: report.crate_name.clone(),
+            recommended: report.best().map(|b| b.spec.label()),
+            fidelity: shown.map(|o| o.fidelity).unwrap_or(1.0),
+            predicted_speedup: report.best().map(|b| b.predicted_speedup).unwrap_or(1.0),
+            truncated_fraction: shown.map(|o| o.counters.truncated_fraction()).unwrap_or(0.0),
+            accepted,
+            total: report.outcomes.len(),
+        }
+    }
+
+    /// Machine-readable ranking row.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("scenario", self.scenario.as_str())
+            .set("crate", self.crate_name.as_str())
+            .set(
+                "recommended",
+                match &self.recommended {
+                    Some(label) => Json::from(label.as_str()),
+                    None => Json::Null,
+                },
+            )
+            .set("fidelity", Json::from_f64_lossless(self.fidelity))
+            .set("predicted_speedup", Json::from_f64_lossless(self.predicted_speedup))
+            .set("truncated_fraction", Json::from_f64_lossless(self.truncated_fraction))
+            .set("accepted", self.accepted as u64)
+            .set("total", self.total as u64)
+    }
+
+    /// Parse back a document produced by [`StudyRow::to_json`].
+    pub fn from_json(doc: &Json) -> Result<StudyRow, String> {
+        Ok(StudyRow {
+            scenario: doc.str_field("scenario")?.to_string(),
+            crate_name: doc.str_field("crate")?.to_string(),
+            recommended: match doc.req("recommended")? {
+                Json::Null => None,
+                label => Some(
+                    label
+                        .as_str()
+                        .ok_or_else(|| "recommended is not a string".to_string())?
+                        .to_string(),
+                ),
+            },
+            fidelity: doc.f64_field_lossless("fidelity")?,
+            predicted_speedup: doc.f64_field_lossless("predicted_speedup")?,
+            truncated_fraction: doc.f64_field_lossless("truncated_fraction")?,
+            accepted: doc.u64_field("accepted")? as usize,
+            total: doc.u64_field("total")? as usize,
+        })
+    }
+}
+
+/// A completed study: one ranked campaign section per scenario plus the
+/// cross-scenario codesign ranking.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StudyReport {
+    /// Scale the study ran at.
+    pub params: LabParams,
+    /// The acceptance floor used by every campaign.
+    pub fidelity_floor: f64,
+    /// Per-scenario campaign sections, in registry order.
+    pub scenarios: Vec<CampaignReport>,
+    /// Cross-scenario ranking: scenarios with an accepted candidate
+    /// first, by predicted speedup; FP64 hold-outs last. Ties break on
+    /// the scenario name so the order is total and deterministic.
+    pub ranking: Vec<StudyRow>,
+}
+
+impl StudyReport {
+    /// Build the study from its per-scenario reports (the single place
+    /// the ranking is derived, shared by the serial and distributed
+    /// drivers so both produce byte-identical output).
+    fn assemble(spec: &CampaignSpec, scenarios: Vec<CampaignReport>) -> StudyReport {
+        let mut ranking: Vec<StudyRow> = scenarios.iter().map(StudyRow::from_report).collect();
+        ranking.sort_by(|a, b| {
+            b.recommended
+                .is_some()
+                .cmp(&a.recommended.is_some())
+                .then_with(|| {
+                    b.predicted_speedup
+                        .partial_cmp(&a.predicted_speedup)
+                        .unwrap_or(core::cmp::Ordering::Equal)
+                })
+                .then_with(|| a.scenario.cmp(&b.scenario))
+        });
+        StudyReport {
+            params: spec.params,
+            fidelity_floor: spec.fidelity_floor,
+            scenarios,
+            ranking,
+        }
+    }
+
+    /// The campaign section of one scenario, if it was part of the study.
+    pub fn scenario(&self, name: &str) -> Option<&CampaignReport> {
+        self.scenarios.iter().find(|r| r.scenario == name)
+    }
+
+    /// Machine-readable study summary through the shared serializer.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set(
+                "params",
+                Json::obj()
+                    .set("scale", self.params.scale)
+                    .set("threads", self.params.threads),
+            )
+            .set("fidelity_floor", self.fidelity_floor)
+            .set(
+                "scenarios",
+                Json::Arr(self.scenarios.iter().map(|r| r.to_json()).collect()),
+            )
+            .set("ranking", Json::Arr(self.ranking.iter().map(|r| r.to_json()).collect()))
+    }
+
+    /// Parse back a document produced by [`StudyReport::to_json`].
+    pub fn from_json(doc: &Json) -> Result<StudyReport, String> {
+        let params = doc.req("params")?;
+        Ok(StudyReport {
+            params: LabParams {
+                scale: params.u64_field("scale")? as u32,
+                threads: params.u64_field("threads")? as usize,
+            },
+            fidelity_floor: doc.f64_field("fidelity_floor")?,
+            scenarios: doc
+                .arr_field("scenarios")?
+                .iter()
+                .map(CampaignReport::from_json)
+                .collect::<Result<Vec<CampaignReport>, String>>()?,
+            ranking: doc
+                .arr_field("ranking")?
+                .iter()
+                .map(StudyRow::from_json)
+                .collect::<Result<Vec<StudyRow>, String>>()?,
+        })
+    }
+
+    /// The cross-scenario ranking as a markdown table (Table-1-style),
+    /// the `codesign_advisor --study` rendering.
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "## Codesign study ({} scenarios, fidelity floor {})\n\n",
+            self.scenarios.len(),
+            self.fidelity_floor
+        ));
+        out.push_str("| scenario | crate | recommended | fidelity | speedup | trunc % | accepted |\n");
+        out.push_str("|---|---|---|---|---|---|---|\n");
+        for row in &self.ranking {
+            out.push_str(&format!(
+                "| {} | {} | {} | {:.6} | {:.2}x | {:.1}% | {}/{} |\n",
+                row.scenario,
+                row.crate_name,
+                row.recommended.as_deref().unwrap_or("*stay at FP64*"),
+                row.fidelity,
+                row.predicted_speedup,
+                100.0 * row.truncated_fraction,
+                row.accepted,
+                row.total
+            ));
+        }
+        out
+    }
+
+    /// Human-readable study summary: the ranking table plus each
+    /// scenario's campaign table.
+    pub fn render_table(&self) -> String {
+        let mut out = self.render_markdown();
+        for report in &self.scenarios {
+            out.push('\n');
+            out.push_str(&report.render_table());
+        }
+        out
+    }
+}
+
+/// What a study run did, per rank: how the work-stealing queue spread
+/// the pair list, and how much of it the shared cache absorbed. Kept out
+/// of [`StudyReport`] on purpose — the report must be byte-identical
+/// across rank counts; the stats are where the distribution shows.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct StudyStats {
+    /// Pairs served from the shared cache without running anything.
+    pub cached: usize,
+    /// Pairs computed in this invocation.
+    pub computed: usize,
+    /// Pairs completed by each rank (sums to `computed`). Length equals
+    /// the rank count; a fully-warm resume has every entry zero.
+    pub pairs_by_rank: Vec<usize>,
+}
+
+// ---------------------------------------------------------------------------
+// Drivers
+// ---------------------------------------------------------------------------
+
+/// Run the study serially in-process: one campaign per scenario (each
+/// scenario's candidates still sweep in parallel on the process-wide
+/// pool), then the cross-scenario ranking. The reference implementation
+/// the distributed driver is tested against.
+pub fn run_study(scenarios: &[Box<dyn Scenario>], spec: &CampaignSpec) -> StudyReport {
+    let reports: Vec<CampaignReport> =
+        scenarios.iter().map(|s| run_campaign(s.as_ref(), spec)).collect();
+    StudyReport::assemble(spec, reports)
+}
+
+/// One entry of the flattened `(scenario, candidate)` pair lattice.
+struct Pair {
+    /// Index into the study's scenario list.
+    scenario: usize,
+    candidate: CandidateSpec,
+}
+
+/// Run the study sharded across `nranks` minimpi ranks with the
+/// work-stealing scheduler. The merged report is byte-identical (JSON)
+/// to [`run_study`] for any rank count.
+pub fn run_study_distributed(
+    scenarios: &[Box<dyn Scenario>],
+    spec: &CampaignSpec,
+    nranks: usize,
+) -> StudyReport {
+    run_study_distributed_resumable(scenarios, spec, nranks, None).0
+}
+
+/// [`run_study_distributed`] with the shared study cache: pairs already
+/// cached are served without running anything (a fully-warm resume of a
+/// whole study performs zero runs, baselines included); only missing
+/// pairs enter the work-stealing queue, and every row of the merged
+/// report is written back.
+pub fn run_study_distributed_resumable(
+    scenarios: &[Box<dyn Scenario>],
+    spec: &CampaignSpec,
+    nranks: usize,
+    mut cache: Option<&mut OutcomeCache>,
+) -> (StudyReport, StudyStats) {
+    let nranks = nranks.max(1);
+    let max_levels: Vec<u32> = scenarios.iter().map(|s| s.max_level(&spec.params)).collect();
+
+    // The flattened pair lattice, in (scenario, candidate) order — the
+    // deterministic spine every merge below reassembles along.
+    let mut pairs: Vec<Pair> = Vec::new();
+    for (si, _) in scenarios.iter().enumerate() {
+        for c in eligible_candidates(spec, max_levels[si]) {
+            pairs.push(Pair { scenario: si, candidate: c.clone() });
+        }
+    }
+    let mut cached: Vec<Option<CandidateOutcome>> = pairs
+        .iter()
+        .map(|p| {
+            cache.as_deref().and_then(|k| {
+                k.get(scenarios[p.scenario].name(), &spec.params, &p.candidate).cloned()
+            })
+        })
+        .collect();
+    let missing: Vec<&Pair> =
+        pairs.iter().zip(&cached).filter(|(_, hit)| hit.is_none()).map(|(p, _)| p).collect();
+
+    let mut stats = StudyStats {
+        cached: pairs.len() - missing.len(),
+        computed: missing.len(),
+        pairs_by_rank: vec![0; nranks],
+    };
+
+    // Baselines of scenarios some stealer actually touched (index ==
+    // scenario index); fully-cached scenarios stay `None` and fall back
+    // to their cached baseline self-fidelity.
+    let (computed, baselines): (Vec<Option<CandidateOutcome>>, Vec<Option<Observable>>) =
+        if missing.is_empty() {
+            (Vec::new(), vec![None; scenarios.len()])
+        } else {
+            let served = steal_pairs(scenarios, spec, nranks, &missing, &max_levels);
+            stats.pairs_by_rank = served.pairs_by_rank;
+            (served.outcomes, served.baselines)
+        };
+
+    // Reassemble in pair-lattice order: cached rows slot back in where
+    // they came from, stolen rows by their pair index.
+    let mut fresh = computed.into_iter();
+    let outcomes: Vec<CandidateOutcome> = cached
+        .iter_mut()
+        .map(|slot| match slot.take() {
+            Some(o) => o,
+            None => fresh
+                .next()
+                .expect("every missing pair was stolen and completed")
+                .expect("server collected a done message per grant"),
+        })
+        .collect();
+    debug_assert!(fresh.next().is_none(), "stolen rows fully consumed");
+
+    // Per-scenario sections: group along the spine, re-gate, rank. A
+    // scenario can legitimately own zero pairs (e.g. a cutoff-only
+    // lattice on an unrefined workload); its section is just empty.
+    let mut counts = vec![0usize; scenarios.len()];
+    for p in &pairs {
+        counts[p.scenario] += 1;
+    }
+    let mut reports: Vec<CampaignReport> = Vec::with_capacity(scenarios.len());
+    let mut rows = outcomes.into_iter();
+    for (si, scenario) in scenarios.iter().enumerate() {
+        let mut section: Vec<CandidateOutcome> =
+            (0..counts[si]).map(|_| rows.next().expect("one outcome per pair")).collect();
+        regate_and_rank(&mut section, spec);
+        let baseline_fidelity = match &baselines[si] {
+            Some(obs) => scenario.fidelity(obs, obs),
+            None => cache
+                .as_deref()
+                .and_then(|k| k.baseline(scenario.name(), &spec.params))
+                .unwrap_or(1.0),
+        };
+        if let Some(k) = cache.as_deref_mut() {
+            for o in &section {
+                k.insert(scenario.name(), &spec.params, o);
+            }
+            k.set_baseline(scenario.name(), &spec.params, baseline_fidelity);
+        }
+        reports.push(CampaignReport {
+            scenario: scenario.name().to_string(),
+            crate_name: scenario.crate_name().to_string(),
+            params: spec.params,
+            fidelity_floor: spec.fidelity_floor,
+            baseline_fidelity,
+            outcomes: section,
+        });
+    }
+
+    (StudyReport::assemble(spec, reports), stats)
+}
+
+/// Load the cache at `path`, run the study resumably across `nranks`
+/// ranks, and persist the updated cache — the `--study --ranks N
+/// --resume <path>` CLI flow as one call.
+pub fn run_study_resumed(
+    scenarios: &[Box<dyn Scenario>],
+    spec: &CampaignSpec,
+    nranks: usize,
+    path: impl Into<std::path::PathBuf>,
+) -> Result<(StudyReport, StudyStats), String> {
+    let mut cache = OutcomeCache::load(path)?;
+    let (report, stats) =
+        run_study_distributed_resumable(scenarios, spec, nranks, Some(&mut cache));
+    cache.save()?;
+    Ok((report, stats))
+}
+
+// ---------------------------------------------------------------------------
+// The work-stealing scheduler
+// ---------------------------------------------------------------------------
+
+/// What the rank-0 server hands back after the queue drains.
+struct Served {
+    /// One outcome per missing pair, in missing-list order.
+    outcomes: Vec<Option<CandidateOutcome>>,
+    /// Lazily computed baselines, by scenario index.
+    baselines: Vec<Option<Observable>>,
+    /// Pairs completed per rank.
+    pairs_by_rank: Vec<usize>,
+}
+
+/// Distribute `missing` pairs across `nranks` ranks × `workers / nranks`
+/// stealer threads each, rank 0 serving the queue.
+fn steal_pairs(
+    scenarios: &[Box<dyn Scenario>],
+    spec: &CampaignSpec,
+    nranks: usize,
+    missing: &[&Pair],
+    max_levels: &[u32],
+) -> Served {
+    let rank_workers = (spec.workers / nranks).max(1);
+    let total_stealers = nranks * rank_workers;
+    let mut results = minimpi::run(nranks, |comm| -> Option<Served> {
+        // Every rank is up before the first grant can be answered; with
+        // the fair-start preamble below this guarantees each stealer one
+        // pair whenever the queue is deep enough.
+        comm.barrier();
+        let comm = &comm;
+        std::thread::scope(|sc| {
+            let server = (comm.rank() == 0).then(|| {
+                sc.spawn(move || run_server(comm, scenarios, missing, total_stealers))
+            });
+            let mut stealers = Vec::with_capacity(rank_workers);
+            for slot in 0..rank_workers {
+                stealers.push(sc.spawn(move || {
+                    run_stealer(comm, scenarios, spec, missing, max_levels, slot as u64)
+                }));
+            }
+            for s in stealers {
+                s.join().expect("stealer thread panicked");
+            }
+            server.map(|h| h.join().expect("study server panicked"))
+        })
+    });
+    results[0].take().expect("rank 0 ran the queue server")
+}
+
+/// The rank-0 queue server: one thread, one shared inbound tag,
+/// request/grant/done plus the lazy-baseline sub-protocol.
+fn run_server(
+    comm: &minimpi::Comm,
+    scenarios: &[Box<dyn Scenario>],
+    missing: &[&Pair],
+    total_stealers: usize,
+) -> Served {
+    let mut outcomes: Vec<Option<CandidateOutcome>> = (0..missing.len()).map(|_| None).collect();
+    let mut baselines: Vec<Option<Observable>> = (0..scenarios.len()).map(|_| None).collect();
+    let mut pairs_by_rank = vec![0usize; comm.size()];
+    // Baseline bookkeeping: who is computing, who is parked waiting.
+    let mut computing = vec![false; scenarios.len()];
+    let mut parked: Vec<Vec<(usize, u64)>> = (0..scenarios.len()).map(|_| Vec::new()).collect();
+
+    let mut next = 0usize;
+    let mut dones_sent = 0usize;
+
+    // Fair start: hold the first round of grants until every stealer has
+    // checked in, then grant in (rank, slot) order. Work-stealing keeps
+    // skewed costs from idling ranks *later*; this keeps a fast starter
+    // from draining a shallow queue before its peers even launch.
+    let mut first_round: Vec<(usize, u64)> = Vec::with_capacity(total_stealers);
+    while first_round.len() < total_stealers {
+        match comm.recv_wire_any::<ToServer>(TAG_STUDY).expect("study message parses") {
+            (src, ToServer::Request { slot }) => first_round.push((src, slot)),
+            _ => unreachable!("no grants issued yet, so only requests can arrive"),
+        }
+    }
+    first_round.sort_unstable();
+    for &(src, slot) in &first_round {
+        if next < missing.len() {
+            comm.send_wire(src, reply_tag(slot), &FromServer::Grant { pair: next as u64 });
+            pairs_by_rank[src] += 1;
+            next += 1;
+        } else {
+            comm.send_wire(src, reply_tag(slot), &FromServer::NoMoreWork);
+            dones_sent += 1;
+        }
+    }
+
+    // Elastic phase: serve until every stealer has been dismissed. The
+    // shared TAG_STUDY keeps each stealer's `done` ahead of its next
+    // `request` in mailbox order, so dismissal implies all outcomes in.
+    while dones_sent < total_stealers {
+        match comm.recv_wire_any::<ToServer>(TAG_STUDY).expect("study message parses") {
+            (src, ToServer::Request { slot }) => {
+                if next < missing.len() {
+                    comm.send_wire(src, reply_tag(slot), &FromServer::Grant { pair: next as u64 });
+                    pairs_by_rank[src] += 1;
+                    next += 1;
+                } else {
+                    comm.send_wire(src, reply_tag(slot), &FromServer::NoMoreWork);
+                    dones_sent += 1;
+                }
+            }
+            (_, ToServer::Done { pair, outcome }) => {
+                outcomes[pair as usize] = Some(*outcome);
+            }
+            (src, ToServer::BaselineReq { scenario, slot }) => {
+                let si = scenario as usize;
+                match &baselines[si] {
+                    Some(obs) => comm.send_wire(
+                        src,
+                        reply_tag(slot),
+                        &FromServer::Baseline { values: obs.values.clone() },
+                    ),
+                    None if !computing[si] => {
+                        // First touch: the requester computes and uploads.
+                        computing[si] = true;
+                        comm.send_wire(src, reply_tag(slot), &FromServer::ComputeBaseline);
+                    }
+                    None => parked[si].push((src, slot)),
+                }
+            }
+            (_, ToServer::BaselinePut { scenario, values }) => {
+                let si = scenario as usize;
+                for (r, slot) in parked[si].drain(..) {
+                    comm.send_wire(
+                        r,
+                        reply_tag(slot),
+                        &FromServer::Baseline { values: values.clone() },
+                    );
+                }
+                baselines[si] = Some(Observable { values });
+            }
+        }
+    }
+    debug_assert_eq!(next, missing.len(), "every pair was granted exactly once");
+    Served { outcomes, baselines, pairs_by_rank }
+}
+
+/// One stealer thread: request → (baseline on first touch of a
+/// scenario) → run the pair → done → request, until dismissed.
+fn run_stealer(
+    comm: &minimpi::Comm,
+    scenarios: &[Box<dyn Scenario>],
+    spec: &CampaignSpec,
+    missing: &[&Pair],
+    max_levels: &[u32],
+    slot: u64,
+) {
+    // Baselines this stealer has already seen (a thread-local map: a few
+    // scenarios per study, so duplicate fetches across threads are cheap
+    // and keep the protocol free of cross-thread locking).
+    let mut known: Vec<Option<Observable>> = (0..scenarios.len()).map(|_| None).collect();
+    loop {
+        let reply: FromServer = comm
+            .request_wire(0, TAG_STUDY, reply_tag(slot), &ToServer::Request { slot })
+            .expect("study reply parses");
+        let pair = match reply {
+            FromServer::Grant { pair } => pair as usize,
+            FromServer::NoMoreWork => return,
+            _ => unreachable!("work requests are answered with grant or dismissal"),
+        };
+        let Pair { scenario: si, candidate } = missing[pair];
+        let scenario = scenarios[*si].as_ref();
+        if known[*si].is_none() {
+            let reply: FromServer = comm
+                .request_wire(
+                    0,
+                    TAG_STUDY,
+                    reply_tag(slot),
+                    &ToServer::BaselineReq { scenario: *si as u64, slot },
+                )
+                .expect("study reply parses");
+            known[*si] = Some(match reply {
+                FromServer::Baseline { values } => Observable { values },
+                FromServer::ComputeBaseline => {
+                    let obs = amr::run_inline(|| {
+                        scenario.build(&spec.params).run(&Session::passthrough())
+                    });
+                    comm.send_wire(
+                        0,
+                        TAG_STUDY,
+                        &ToServer::BaselinePut { scenario: *si as u64, values: obs.values.clone() },
+                    );
+                    obs
+                }
+                _ => unreachable!("baseline requests are answered with values or compute"),
+            });
+        }
+        let baseline = known[*si].as_ref().expect("baseline resolved above");
+        // Stealers are plain threads, not pool workers: mark each pair
+        // run as in-sweep so a scenario's interior mesh sweeps
+        // (params.threads > 1) run inline instead of serializing all
+        // stealers on the process-wide pool's submit lock — the same
+        // one-level-of-parallelism rule pool workers get implicitly.
+        let outcome =
+            amr::run_inline(|| run_candidate(scenario, spec, candidate, max_levels[*si], baseline));
+        comm.send_wire(
+            0,
+            TAG_STUDY,
+            &ToServer::Done { pair: pair as u64, outcome: Box::new(outcome) },
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::study_scenarios;
+    use bigfloat::Format;
+    use codesign::Machine;
+
+    fn mini_spec(candidates: Vec<CandidateSpec>) -> CampaignSpec {
+        CampaignSpec {
+            params: LabParams::mini(),
+            candidates,
+            fidelity_floor: 0.999,
+            workers: 4,
+            machine: Machine::default(),
+        }
+    }
+
+    #[test]
+    fn protocol_messages_round_trip() {
+        let msgs = [
+            ToServer::Request { slot: 3 },
+            ToServer::BaselineReq { scenario: 7, slot: 0 },
+            ToServer::BaselinePut {
+                scenario: 2,
+                values: vec![1.5, -0.0, f64::INFINITY, f64::NAN, 5e-324],
+            },
+        ];
+        for m in &msgs {
+            let back = ToServer::from_wire_bytes(&m.to_wire_bytes()).unwrap();
+            match (m, &back) {
+                (ToServer::Request { slot: a }, ToServer::Request { slot: b }) => {
+                    assert_eq!(a, b)
+                }
+                (
+                    ToServer::BaselineReq { scenario: s1, slot: a },
+                    ToServer::BaselineReq { scenario: s2, slot: b },
+                ) => assert_eq!((s1, a), (s2, b)),
+                (
+                    ToServer::BaselinePut { scenario: s1, values: v1 },
+                    ToServer::BaselinePut { scenario: s2, values: v2 },
+                ) => {
+                    assert_eq!(s1, s2);
+                    assert_eq!(v1.len(), v2.len());
+                    for (a, b) in v1.iter().zip(v2) {
+                        assert_eq!(a.to_bits(), b.to_bits(), "lossless incl. non-finite");
+                    }
+                }
+                _ => panic!("message kind changed in round trip"),
+            }
+        }
+        let replies = [
+            FromServer::Grant { pair: 11 },
+            FromServer::NoMoreWork,
+            FromServer::Baseline { values: vec![2.0, -1.0] },
+            FromServer::ComputeBaseline,
+        ];
+        for r in &replies {
+            let back = FromServer::from_wire_bytes(&r.to_wire_bytes()).unwrap();
+            assert_eq!(
+                std::mem::discriminant(r),
+                std::mem::discriminant(&back),
+                "reply kind survives"
+            );
+        }
+    }
+
+    #[test]
+    fn study_ranking_orders_accepted_scenarios_first() {
+        let scenarios = study_scenarios(Some("ir/horner,ir/norm3")).unwrap();
+        // A floor only wide formats clear: some scenario rows accept,
+        // narrow-only lattices would not. Use one comfortable candidate.
+        let spec = mini_spec(vec![
+            CandidateSpec::op(Format::new(11, 40)),
+            CandidateSpec::op(Format::new(11, 4)),
+        ]);
+        let study = run_study(&scenarios, &spec);
+        assert_eq!(study.scenarios.len(), 2);
+        assert_eq!(study.ranking.len(), 2);
+        // Sections keep registry order; ranking is sorted by verdict.
+        assert_eq!(study.scenarios[0].scenario, "ir/horner");
+        assert_eq!(study.scenarios[1].scenario, "ir/norm3");
+        let rec: Vec<bool> = study.ranking.iter().map(|r| r.recommended.is_some()).collect();
+        assert!(rec.windows(2).all(|w| w[0] >= w[1]), "accepted first: {rec:?}");
+        for row in &study.ranking {
+            assert_eq!(row.total, 2);
+            if row.recommended.is_none() {
+                assert_eq!(row.predicted_speedup, 1.0, "FP64 hold-out is neutral");
+            }
+        }
+        // The markdown table carries every scenario.
+        let md = study.render_markdown();
+        assert!(md.contains("| ir/horner |") && md.contains("| ir/norm3 |"));
+    }
+
+    #[test]
+    fn study_report_round_trips_through_json() {
+        let scenarios = study_scenarios(Some("ir/horner")).unwrap();
+        let spec = mini_spec(vec![
+            CandidateSpec::op(Format::new(11, 30)),
+            CandidateSpec::op(Format::new(11, 6)),
+        ]);
+        let study = run_study(&scenarios, &spec);
+        let text = study.to_json().render();
+        let back = StudyReport::from_json(&Json::parse(&text).unwrap()).unwrap();
+        assert_eq!(back, study, "study report round-trips losslessly");
+        assert_eq!(back.to_json().render(), text);
+    }
+}

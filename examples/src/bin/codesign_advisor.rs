@@ -4,7 +4,12 @@
 //! roofline-resolved predicted speedup. Since the distributed-campaign
 //! work the sweep shards across minimpi ranks (`--ranks N`), restarts
 //! warm from an outcome cache (`--resume <path>`), and can restrict
-//! itself to the GPU-native fp32/fp64 lattice (`--native`).
+//! itself to the GPU-native fp32/fp64 lattice (`--native`). `--study`
+//! runs the paper's headline artifact instead: every registry scenario
+//! (or a `--scenarios a,b,c` subset) swept over the same lattice, the
+//! `(scenario, candidate)` pairs distributed with the work-stealing
+//! scheduler, and the results merged into one Table-1-style markdown
+//! ranking.
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin codesign_advisor
@@ -12,13 +17,17 @@
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- eos/cellular
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --ranks 4 --resume sweep.json
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --native
+//! # the full-registry study, work-stolen across 4 ranks, resumable
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --study --ranks 4 --resume study.json
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --study --scenarios ir/horner,eos/cellular
 //! # resume-drill maintenance: drop every other cached row
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --cache-evict-half sweep.json
 //! ```
 
 use raptor_examples::parse_lab_args;
 use raptor_lab::{
-    native_candidates, run_campaign_distributed_resumable, run_campaign_resumed, CampaignSpec,
+    native_candidates, run_campaign_distributed_resumable, run_campaign_resumed,
+    run_study_distributed_resumable, run_study_resumed, study_scenarios, CampaignSpec,
     OutcomeCache, ResumeStats,
 };
 
@@ -43,6 +52,49 @@ fn main() {
     let mut spec = CampaignSpec::sweep(args.params);
     if args.native {
         spec.candidates = native_candidates();
+    }
+
+    if args.study {
+        // The full-registry study: every scenario (or the --scenarios
+        // subset) over one lattice, pairs work-stolen across ranks,
+        // merged into the cross-scenario codesign ranking. A positional
+        // scenario name is honored as a one-scenario subset rather than
+        // silently ignored; combining it with --scenarios is ambiguous.
+        let subset = match (args.named, args.scenarios.as_deref()) {
+            (true, Some(_)) => {
+                eprintln!(
+                    "give either a scenario name or --scenarios a,b,c with --study, not both"
+                );
+                std::process::exit(2);
+            }
+            (true, None) => Some(args.scenario.name().to_string()),
+            (false, subset) => subset.map(str::to_string),
+        };
+        let scenarios = study_scenarios(subset.as_deref()).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        println!(
+            "codesign study: {} scenario(s) x {} candidates across {} rank(s), fidelity floor {}",
+            scenarios.len(),
+            spec.candidates.len(),
+            args.ranks,
+            spec.fidelity_floor
+        );
+        let (study, stats) = match &args.resume {
+            Some(path) => run_study_resumed(&scenarios, &spec, args.ranks, path)
+                .expect("resume cache"),
+            None => run_study_distributed_resumable(&scenarios, &spec, args.ranks, None),
+        };
+        println!(
+            "resume: cached={} computed={} pairs_by_rank={:?}",
+            stats.cached, stats.computed, stats.pairs_by_rank
+        );
+        println!();
+        print!("{}", study.render_markdown());
+        println!();
+        println!("{}", study.to_json().render());
+        return;
     }
     println!(
         "co-design advisor: {} — sweeping {} candidates across {} rank(s), fidelity floor {}{}",

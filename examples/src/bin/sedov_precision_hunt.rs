@@ -19,12 +19,32 @@
 use raptor_examples::parse_lab_args;
 use raptor_lab::{
     native_candidates, precision_search_distributed, run_campaign_distributed,
-    run_campaign_resumed, search_to_json, CampaignSpec, SearchSpec,
+    run_campaign_resumed, search_to_json, study_scenarios, CampaignSpec, Scenario, SearchSpec,
 };
 
 fn main() {
     let args = parse_lab_args("hydro/sedov");
     let floor = 0.999;
+
+    if args.study {
+        eprintln!("--study is a campaign sweep (use codesign_advisor --study)");
+        std::process::exit(2);
+    }
+    // --scenarios a,b,c hunts a registry subset back to back; otherwise
+    // hunt the single named (or default) scenario. Combining an explicit
+    // positional name with --scenarios is ambiguous — refuse rather than
+    // silently preferring one.
+    if args.named && args.scenarios.is_some() {
+        eprintln!("give either a scenario name or --scenarios a,b,c, not both");
+        std::process::exit(2);
+    }
+    let scenarios: Vec<Box<dyn Scenario>> = match args.scenarios.as_deref() {
+        Some(subset) => study_scenarios(Some(subset)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }),
+        None => vec![args.scenario],
+    };
 
     if args.native {
         // The GPU-native hunt: no mantissa ladder to bisect — sweep the
@@ -32,35 +52,37 @@ fn main() {
         let mut spec = CampaignSpec::sweep(args.params);
         spec.candidates = native_candidates();
         spec.fidelity_floor = floor;
-        println!(
-            "native precision hunt: {} (scale {}, fidelity floor {floor}, {} rank(s))",
-            args.scenario.name(),
-            args.params.scale,
-            args.ranks
-        );
-        let report = match &args.resume {
-            Some(path) => {
-                let (report, stats) =
-                    run_campaign_resumed(args.scenario.as_ref(), &spec, args.ranks, path)
-                        .expect("resume cache");
-                println!("resume: cached={} computed={}", stats.cached, stats.computed);
-                report
+        for scenario in &scenarios {
+            println!(
+                "native precision hunt: {} (scale {}, fidelity floor {floor}, {} rank(s))",
+                scenario.name(),
+                args.params.scale,
+                args.ranks
+            );
+            let report = match &args.resume {
+                Some(path) => {
+                    let (report, stats) =
+                        run_campaign_resumed(scenario.as_ref(), &spec, args.ranks, path)
+                            .expect("resume cache");
+                    println!("resume: cached={} computed={}", stats.cached, stats.computed);
+                    report
+                }
+                None => run_campaign_distributed(scenario.as_ref(), &spec, args.ranks),
+            };
+            println!();
+            print!("{}", report.render_table());
+            println!();
+            match report.best() {
+                Some(best) if best.spec.format != bigfloat::Format::FP64 => println!(
+                    "a GPU port tolerates {} at fidelity {:.6}",
+                    best.spec.label(),
+                    best.fidelity
+                ),
+                _ => println!("only fp64 clears the floor — a GPU port must stay double"),
             }
-            None => run_campaign_distributed(args.scenario.as_ref(), &spec, args.ranks),
-        };
-        println!();
-        print!("{}", report.render_table());
-        println!();
-        match report.best() {
-            Some(best) if best.spec.format != bigfloat::Format::FP64 => println!(
-                "a GPU port tolerates {} at fidelity {:.6}",
-                best.spec.label(),
-                best.fidelity
-            ),
-            _ => println!("only fp64 clears the floor — a GPU port must stay double"),
+            println!();
+            println!("{}", report.to_json().render());
         }
-        println!();
-        println!("{}", report.to_json().render());
         return;
     }
 
@@ -71,35 +93,37 @@ fn main() {
         std::process::exit(2);
     }
     let spec = SearchSpec::new(args.params, floor);
-    println!(
-        "precision hunt: {} (scale {}, fidelity floor {floor}, cutoffs M-0..M-{}, {} rank(s))",
-        args.scenario.name(),
-        args.params.scale,
-        spec.cutoffs.last().unwrap(),
-        args.ranks
-    );
-
-    let rows = precision_search_distributed(args.scenario.as_ref(), &spec, args.ranks);
-
-    println!();
-    println!(
-        "{:>8} {:>12} {:>12} {:>9} {:>8}",
-        "cutoff", "minimal m", "fidelity", "trunc %", "probes"
-    );
-    for row in &rows {
+    for scenario in &scenarios {
         println!(
-            "{:>8} {:>12} {:>12.6} {:>8.1}% {:>8}",
-            format!("M-{}", row.cutoff),
-            row.minimal_m.map_or("none".to_string(), |m| m.to_string()),
-            row.fidelity,
-            100.0 * row.truncated_fraction,
-            row.probes.len()
+            "precision hunt: {} (scale {}, fidelity floor {floor}, cutoffs M-0..M-{}, {} rank(s))",
+            scenario.name(),
+            args.params.scale,
+            spec.cutoffs.last().unwrap(),
+            args.ranks
         );
+
+        let rows = precision_search_distributed(scenario.as_ref(), &spec, args.ranks);
+
+        println!();
+        println!(
+            "{:>8} {:>12} {:>12} {:>9} {:>8}",
+            "cutoff", "minimal m", "fidelity", "trunc %", "probes"
+        );
+        for row in &rows {
+            println!(
+                "{:>8} {:>12} {:>12.6} {:>8.1}% {:>8}",
+                format!("M-{}", row.cutoff),
+                row.minimal_m.map_or("none".to_string(), |m| m.to_string()),
+                row.fidelity,
+                100.0 * row.truncated_fraction,
+                row.probes.len()
+            );
+        }
+        println!();
+        println!("{}", search_to_json(scenario.name(), &rows).render());
+        println!();
     }
-    println!();
     println!("Reading the rows like the paper reads Fig. 7a: sparing the finest AMR");
     println!("level (M-1) admits a narrower mantissa at a modest cost in truncated-");
     println!("operation share.");
-    println!();
-    println!("{}", search_to_json(args.scenario.name(), &rows).render());
 }

@@ -8,21 +8,32 @@
 //!
 //! * an optional registry scenario name (e.g. `eos/cellular`);
 //! * `--tiny` — the mini scale for CI smoke runs;
-//! * `--ranks N` — shard the campaign across `N` minimpi ranks
-//!   (`raptor_lab::run_campaign_distributed`); the merged report is
-//!   content-identical to the single-rank sweep;
+//! * `--ranks N` — shard the work across `N` minimpi ranks
+//!   (`raptor_lab::run_campaign_distributed` /
+//!   `raptor_lab::run_study_distributed`); merged reports are
+//!   content-identical to the single-rank run;
 //! * `--resume <path>` — persist per-candidate outcomes to a cache file
 //!   so interrupted or repeated sweeps restart warm (campaign binaries);
 //! * `--native` — restrict the lattice to the GPU-native fp32/fp64
-//!   hardware path (`raptor_lab::native_candidates`, the §3.6 question).
+//!   hardware path (`raptor_lab::native_candidates`, the §3.6 question);
+//! * `--study` — sweep the whole registry into one cross-scenario
+//!   codesign table (`codesign_advisor` only; pairs are distributed with
+//!   the work-stealing scheduler when `--ranks > 1`);
+//! * `--scenarios a,b,c` — restrict a study (or a multi-scenario hunt)
+//!   to a comma-separated registry subset, resolved in registry order.
 
 use raptor_lab::{find, registry, LabParams, Scenario};
 use std::path::PathBuf;
 
 /// Parsed arguments of the campaign binaries.
 pub struct LabArgs {
-    /// The scenario to sweep.
+    /// The scenario to sweep (single-scenario modes).
     pub scenario: Box<dyn Scenario>,
+    /// Whether the scenario name was given on the command line (`false`:
+    /// `scenario` is the binary's default). Multi-scenario modes use
+    /// this to honor — or refuse — an explicit positional name instead
+    /// of silently ignoring it.
+    pub named: bool,
     /// Scale knobs (`--tiny` selects the mini scale).
     pub params: LabParams,
     /// minimpi rank count (`--ranks N`, default 1).
@@ -31,16 +42,23 @@ pub struct LabArgs {
     pub resume: Option<PathBuf>,
     /// Restrict to the GPU-native lattice (`--native`).
     pub native: bool,
+    /// Full-registry study mode (`--study`).
+    pub study: bool,
+    /// Scenario subset for studies and multi-scenario hunts
+    /// (`--scenarios a,b,c`), resolved via
+    /// [`raptor_lab::study_scenarios`]; `None` means the full registry.
+    pub scenarios: Option<String>,
 }
 
-/// Parse the campaign binaries' shared CLI:
-/// `[scenario-name] [--tiny] [--ranks N] [--resume <path>] [--native]`.
-/// Unknown scenario names print the registry and exit with status 2;
-/// malformed flag values exit with status 2 as well.
+/// Parse the campaign binaries' shared CLI: `[scenario-name] [--tiny]
+/// [--ranks N] [--resume <path>] [--native] [--study]
+/// [--scenarios a,b,c]`. Unknown scenario names print the registry and
+/// exit with status 2; malformed flag values exit with status 2 as well.
 pub fn parse_lab_args(default_scenario: &str) -> LabArgs {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let tiny = args.iter().any(|a| a == "--tiny");
     let native = args.iter().any(|a| a == "--native");
+    let study = args.iter().any(|a| a == "--study");
     let ranks = match flag_value(&args, "--ranks") {
         None => 1,
         Some(v) => v.parse::<usize>().ok().filter(|&n| n >= 1).unwrap_or_else(|| {
@@ -49,18 +67,21 @@ pub fn parse_lab_args(default_scenario: &str) -> LabArgs {
         }),
     };
     let resume = flag_value(&args, "--resume").map(PathBuf::from);
+    let scenarios = flag_value(&args, "--scenarios").map(str::to_string);
     // The scenario name is the first bare arg that is not a flag value.
     let mut skip_next = false;
     let mut name = default_scenario;
+    let mut named = false;
     for a in &args {
         if skip_next {
             skip_next = false;
             continue;
         }
-        if a == "--ranks" || a == "--resume" {
+        if a == "--ranks" || a == "--resume" || a == "--scenarios" {
             skip_next = true;
         } else if !a.starts_with("--") {
             name = a;
+            named = true;
             break;
         }
     }
@@ -72,7 +93,7 @@ pub fn parse_lab_args(default_scenario: &str) -> LabArgs {
         std::process::exit(2);
     });
     let params = if tiny { LabParams::mini() } else { LabParams::demo() };
-    LabArgs { scenario, params, ranks, resume, native }
+    LabArgs { scenario, named, params, ranks, resume, native, study, scenarios }
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
