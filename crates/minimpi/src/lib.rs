@@ -121,6 +121,63 @@ impl Wire for Json {
     }
 }
 
+/// A bit-exact `f64` vector payload for [`Wire`]-layer protocols.
+///
+/// JSON numbers cannot carry NaN payloads or the sign of zero, so values
+/// that must cross the wire bit-identically (baseline observables, queue
+/// resources) travel as one hex string of 16-character `f64::to_bits`
+/// words — the `Wire` twin of the raw-`f64` byte layer. Used standalone
+/// or embedded in a larger document via [`F64Bits::encode`] /
+/// [`F64Bits::decode`].
+pub struct F64Bits(pub Vec<f64>);
+
+impl F64Bits {
+    /// Encode a slice as the hex-word payload document.
+    pub fn encode(values: &[f64]) -> Json {
+        use std::fmt::Write;
+        let mut hex = String::with_capacity(values.len() * 16);
+        for v in values {
+            write!(hex, "{:016x}", v.to_bits()).expect("writing to a String cannot fail");
+        }
+        Json::Str(hex)
+    }
+
+    /// Decode a document produced by [`F64Bits::encode`], bit-exactly.
+    pub fn decode(doc: &Json) -> Result<Vec<f64>, String> {
+        let hex = doc.as_str().ok_or_else(|| "f64 payload is not a hex string".to_string())?;
+        if hex.len() % 16 != 0 {
+            return Err(format!("hex payload length {} is not a multiple of 16", hex.len()));
+        }
+        hex.as_bytes()
+            .chunks_exact(16)
+            .map(|chunk| {
+                // from_str_radix tolerates a leading sign; a signed word
+                // is malformed and must not decode to a wrong value.
+                if !chunk.iter().all(u8::is_ascii_hexdigit) {
+                    return Err(format!(
+                        "bad f64 bit pattern `{}`: not 16 hex digits",
+                        String::from_utf8_lossy(chunk)
+                    ));
+                }
+                let word = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
+                u64::from_str_radix(word, 16)
+                    .map(f64::from_bits)
+                    .map_err(|e| format!("bad f64 bit pattern `{word}`: {e}"))
+            })
+            .collect()
+    }
+}
+
+impl Wire for F64Bits {
+    fn to_wire(&self) -> Json {
+        F64Bits::encode(&self.0)
+    }
+
+    fn from_wire(doc: &Json) -> Result<F64Bits, String> {
+        F64Bits::decode(doc).map(F64Bits)
+    }
+}
+
 /// An unbounded, tag-searchable mailbox (the crossbeam-channel substitute:
 /// plain std primitives so the crate builds with no external dependencies).
 struct Mailbox {
@@ -666,6 +723,43 @@ mod tests {
             }
         });
         assert_eq!(&res[1..], &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn f64bits_wire_payloads_are_bit_exact() {
+        // The hex-word encoding must survive everything JSON numbers
+        // cannot: NaN payloads, signed zeros, subnormals, infinities.
+        let specials = vec![
+            f64::from_bits(0x7ff8_dead_beef_0001),
+            -0.0,
+            5e-324,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            -1.5e-308,
+            1.5,
+        ];
+        let doc = F64Bits::encode(&specials);
+        let back = F64Bits::decode(&doc).unwrap();
+        assert_eq!(back.len(), specials.len());
+        for (a, b) in specials.iter().zip(&back) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Embedded in a larger document, through the full wire path.
+        let msg = Json::obj().set("values", F64Bits::encode(&specials));
+        let parsed = Json::from_wire_bytes(&msg.to_wire_bytes()).unwrap();
+        let values = F64Bits::decode(parsed.req("values").unwrap()).unwrap();
+        assert_eq!(values.len(), specials.len());
+        for (a, b) in specials.iter().zip(&values) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        // Malformed payloads are loud errors.
+        assert!(F64Bits::decode(&Json::Str("123".into())).is_err(), "length not 16-aligned");
+        assert!(F64Bits::decode(&Json::Str("zzzzzzzzzzzzzzzz".into())).is_err(), "non-hex");
+        assert!(
+            F64Bits::decode(&Json::Str("+ff8deadbeef0000".into())).is_err(),
+            "sign-prefixed word must not silently decode"
+        );
+        assert!(F64Bits::decode(&Json::Num(1.0)).is_err(), "not a string");
     }
 
     #[test]

@@ -182,6 +182,45 @@ impl Json {
         out
     }
 
+    /// Render to a single line with no insignificant whitespace — the
+    /// form JSONL files (one document per line) require.
+    pub fn render_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => out.push_str(&render_num(*n)),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(entries) => {
+                out.push('{');
+                for (i, (k, v)) in entries.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write(&self, out: &mut String, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -462,17 +501,55 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
     }
 }
 
+/// Parse a number by the strict JSON grammar
+/// `-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?` — deliberately
+/// narrower than `str::parse::<f64>`, which also accepts `+1`, `1.`,
+/// `.5`, `inf`, and `nan`. Cache and report files are hand-editable and
+/// read back by foreign tooling; a non-JSON spelling must fail loudly
+/// here instead of round-tripping a silently reinterpreted value.
 fn parse_number(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     let start = *pos;
-    while *pos < b.len()
-        && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-    {
+    if b.get(*pos) == Some(&b'-') {
         *pos += 1;
     }
+    match b.get(*pos) {
+        Some(b'0') => *pos += 1,
+        Some(b'1'..=b'9') => {
+            while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+                *pos += 1;
+            }
+        }
+        _ => return Err(format!("bad number at byte {start}: integer part needs a digit")),
+    }
+    if b.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            return Err(format!("bad number at byte {start}: fraction needs a digit"));
+        }
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            return Err(format!("bad number at byte {start}: exponent needs a digit"));
+        }
+        while matches!(b.get(*pos), Some(b'0'..=b'9')) {
+            *pos += 1;
+        }
+    }
     let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+    // Overflow to infinity is as silent a reinterpretation as a bad
+    // spelling: `1e999` would load as inf and re-render as `null`.
     s.parse::<f64>()
+        .ok()
+        .filter(|f| f.is_finite())
         .map(Json::Num)
-        .map_err(|_| format!("bad number `{s}` at byte {start}"))
+        .ok_or_else(|| format!("bad number `{s}` at byte {start}"))
 }
 
 #[cfg(test)]
@@ -542,6 +619,54 @@ mod tests {
         assert!(Json::parse("{\"a\" 1}").is_err());
         assert!(Json::parse("123 456").is_err());
         assert!(Json::parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn number_grammar_is_strict_json() {
+        // `str::parse::<f64>` accepts all of these; the JSON grammar does
+        // not, and hand-edited cache/report files must fail loudly rather
+        // than round-trip silently changed values.
+        for bad in ["+1", "1.", ".5", "1.e5", "1e", "1e+", "--1", "-", "inf", "nan", "01", "-01"]
+        {
+            assert!(Json::parse(bad).is_err(), "`{bad}` must be rejected");
+        }
+        // Grammar-valid but overflowing numerals would load as inf and
+        // re-render as null — reject them too.
+        assert!(Json::parse("1e999").is_err());
+        assert!(Json::parse("-1e999").is_err());
+        // Inside containers too (the array parser routes through the same
+        // number path).
+        assert!(Json::parse("[1, +2]").is_err());
+        assert!(Json::parse("{\"a\": .5}").is_err());
+        // The full legal grammar still parses.
+        for (good, want) in [
+            ("0", 0.0),
+            ("-0", -0.0),
+            ("0.5", 0.5),
+            ("-0.5e+10", -0.5e10),
+            ("1e9", 1e9),
+            ("20E-2", 0.2),
+            ("9007199254740992", 9007199254740992.0),
+        ] {
+            assert_eq!(Json::parse(good).unwrap().as_f64(), Some(want), "{good}");
+        }
+    }
+
+    #[test]
+    fn compact_rendering_is_one_line_and_parses_back() {
+        let doc = Json::obj()
+            .set("label", "study:3")
+            .set("computed", 18u64)
+            .set("pairs_by_rank", Json::Arr(vec![Json::from(9u64), Json::from(9u64)]))
+            .set("wall_s", 1.5)
+            .set("empty_obj", Json::obj())
+            .set("empty_arr", Json::Arr(Vec::new()))
+            .set("note", Json::Null);
+        let line = doc.render_compact();
+        assert!(!line.contains('\n'), "single line: {line}");
+        assert!(!line.contains(": "), "no insignificant whitespace: {line}");
+        assert_eq!(Json::parse(&line).unwrap(), doc, "compact form parses back");
+        assert!(line.contains("\"computed\":18"), "{line}");
     }
 
     #[test]

@@ -63,6 +63,7 @@ impl OutcomeCache {
     /// an error (silently discarding completed work would be worse).
     pub fn load(path: impl Into<PathBuf>) -> Result<OutcomeCache, String> {
         let path = path.into();
+        sweep_stale_temps(&path, STALE_TEMP_AGE);
         let mut cache =
             OutcomeCache { path, entries: BTreeMap::new(), baselines: BTreeMap::new() };
         if !cache.path.exists() {
@@ -164,12 +165,69 @@ impl OutcomeCache {
 
     /// Write the cache back to its file (atomically: temp file + rename,
     /// so an interrupt mid-save cannot corrupt completed work).
+    ///
+    /// The temp name is unique per process *and* per save (pid + a
+    /// process-wide counter): ranks, threads, and concurrent CLIs that
+    /// share one cache file each stage into their own sibling, so no
+    /// saver can overwrite or rename away another's half-written temp —
+    /// the last rename wins and every intermediate state of the target
+    /// is a complete document.
     pub fn save(&self) -> Result<(), String> {
-        let tmp = self.path.with_extension("tmp");
+        use std::sync::atomic::{AtomicU64, Ordering};
+        static SAVE_SEQ: AtomicU64 = AtomicU64::new(0);
+        let seq = SAVE_SEQ.fetch_add(1, Ordering::Relaxed);
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}.{seq}", std::process::id()));
         std::fs::write(&tmp, self.to_json().render())
             .map_err(|e| format!("write {}: {e}", tmp.display()))?;
-        std::fs::rename(&tmp, &self.path)
-            .map_err(|e| format!("rename {} -> {}: {e}", tmp.display(), self.path.display()))
+        std::fs::rename(&tmp, &self.path).map_err(|e| {
+            let _ = std::fs::remove_file(&tmp);
+            format!("rename {} -> {}: {e}", tmp.display(), self.path.display())
+        })
+    }
+}
+
+/// A temp sibling older than this is considered orphaned by a crashed
+/// saver. Saves hold their temp for milliseconds, so an hour leaves a
+/// ~10^6× margin for a live in-flight temp — and unlike checking pid
+/// liveness, file age stays meaningful across PID namespaces and shared
+/// filesystems where a foreign saver's pid is unknowable.
+const STALE_TEMP_AGE: std::time::Duration = std::time::Duration::from_secs(3600);
+
+/// Best-effort removal of temp siblings left behind by crashed savers.
+///
+/// Per-save temp names (`<stem>.tmp.<pid>.<seq>`) make concurrent saves
+/// safe, but a saver killed between write and rename orphans its temp
+/// forever — the fixed name used to self-overwrite. Every
+/// [`OutcomeCache::load`] sweeps matching siblings whose mtime is at
+/// least `older_than` old; anything younger might be a live saver's
+/// in-flight temp (local or remote) and is left alone.
+fn sweep_stale_temps(path: &Path, older_than: std::time::Duration) {
+    let Some(stem) = path.file_stem().and_then(|s| s.to_str()) else { return };
+    let dir = match path.parent() {
+        Some(d) if !d.as_os_str().is_empty() => d,
+        _ => Path::new("."),
+    };
+    let prefix = format!("{stem}.tmp.");
+    let Ok(entries) = std::fs::read_dir(dir) else { return };
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let Some(rest) = name.strip_prefix(&prefix) else { continue };
+        let Some((pid, seq)) = rest.split_once('.') else { continue };
+        if pid.parse::<u32>().is_err() || seq.parse::<u64>().is_err() {
+            continue;
+        }
+        let stale = entry
+            .metadata()
+            .and_then(|m| m.modified())
+            .ok()
+            .and_then(|mtime| std::time::SystemTime::now().duration_since(mtime).ok())
+            .is_some_and(|age| age >= older_than);
+        if stale {
+            let _ = std::fs::remove_file(entry.path());
+        }
     }
 }
 
@@ -239,6 +297,74 @@ mod tests {
         assert_eq!(cache.len(), 3, "5 entries -> keep 3");
         cache.evict_half();
         assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn concurrent_saves_never_corrupt_or_lose_the_file() {
+        // Regression for the fixed-temp-name race: every saver used to
+        // stage into `<path>.tmp`, so two writers could clobber each
+        // other's temp mid-rename and lose rows (or fail the rename
+        // outright). With per-process+per-save temp names, each save is
+        // independently atomic: the final file is exactly one writer's
+        // complete table, and no temp siblings survive.
+        let path = tmp_path("concurrent");
+        let _ = std::fs::remove_file(&path);
+        let params = LabParams::mini();
+        let writers = 8usize;
+        std::thread::scope(|s| {
+            for w in 0..writers {
+                let path = &path;
+                s.spawn(move || {
+                    let mut cache =
+                        OutcomeCache { path: path.clone(), entries: BTreeMap::new(), baselines: BTreeMap::new() };
+                    // Each writer's table is distinguishable by size.
+                    for m in 0..=w as u32 {
+                        cache.insert("race", &params, &outcome(m + 2));
+                    }
+                    for _ in 0..10 {
+                        cache.save().expect("concurrent save succeeds");
+                    }
+                });
+            }
+        });
+        // The surviving file is some writer's complete table.
+        let back = OutcomeCache::load(&path).unwrap();
+        assert!(
+            (1..=writers).contains(&back.len()),
+            "file holds one complete table, got {} rows",
+            back.len()
+        );
+        // No stray temp files next to the cache.
+        let dir = path.parent().unwrap();
+        let stem = path.file_name().unwrap().to_string_lossy().to_string();
+        let leftovers: Vec<String> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .map(|e| e.file_name().to_string_lossy().to_string())
+            .filter(|n| n != &stem && n.starts_with(stem.trim_end_matches(".json")))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left behind: {leftovers:?}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn load_sweeps_old_temps_but_keeps_fresh_and_foreign_siblings() {
+        let path = tmp_path("sweep");
+        let _ = std::fs::remove_file(&path);
+        let temp = path.with_extension("tmp.123.3");
+        let odd = path.with_extension("tmp.notapid.1");
+        std::fs::write(&temp, "{}").unwrap();
+        std::fs::write(&odd, "{}").unwrap();
+        // A freshly-written temp might belong to a live in-flight save:
+        // the hour-threshold sweep `load` runs must leave it alone.
+        let _ = OutcomeCache::load(&path).unwrap();
+        assert!(temp.exists(), "fresh temp untouched by load");
+        // At age >= 0 the same temp is sweepable; siblings that merely
+        // share the prefix shape are never candidates.
+        sweep_stale_temps(&path, std::time::Duration::ZERO);
+        assert!(!temp.exists(), "aged-out temp swept");
+        assert!(odd.exists(), "non-temp-shaped sibling untouched");
+        let _ = std::fs::remove_file(&odd);
     }
 
     #[test]

@@ -261,11 +261,11 @@ pub fn native_candidates() -> Vec<CandidateSpec> {
     out
 }
 
-/// The shear-layer lattice: 7 configs — a deliberately *prime* count, so
-/// sharding it across the typical 2/3/4-rank distributed campaigns always
-/// exercises the remainder path of the block partition (no rank count
-/// from 2 to 6 divides it). Used by the Kelvin–Helmholtz scenario's
-/// campaign tests and anywhere an uneven shard is wanted.
+/// The shear-layer lattice: 7 configs — a deliberately *prime* count
+/// (no rank count from 2 to 6 divides it), so distributing it across
+/// the typical 2/3/4-rank campaigns always exercises an uneven split.
+/// Used by the Kelvin–Helmholtz scenario's campaign tests and anywhere
+/// an uneven lattice is wanted.
 pub fn shear_candidates() -> Vec<CandidateSpec> {
     let mut out: Vec<CandidateSpec> = [
         Format::FP32,
@@ -751,6 +751,153 @@ pub fn precision_search(scenario: &dyn Scenario, spec: &SearchSpec) -> Vec<Searc
         .collect()
 }
 
+/// The greedy-bisection decision machine of one M-l search row,
+/// decoupled from *where* its probes run: feed it probe results, it
+/// answers with the next mantissa width to probe (or finishes).
+///
+/// Both search drivers run this exact machine — [`precision_search`]
+/// inline on a pool worker, the distributed search with each pending
+/// probe as a work-stealing task and the chain state held by the rank-0
+/// server — so their rows are identical **by construction**, probe for
+/// probe.
+///
+/// Probe order (the serial contract): bracket at `hi` (if even the
+/// widest mantissa fails, report and bail), check `lo` (if the narrowest
+/// passes, it is minimal), then bisect. Fidelity is monotone enough in
+/// the mantissa width for bisection (the §6.1 error ladders); occasional
+/// non-monotone blips (the Fig. 7b AMR anomaly) cost at most a
+/// slightly-wider answer, never an infinite loop.
+pub(crate) struct ProbeChain {
+    cutoff: u32,
+    floor: f64,
+    lo: u32,
+    hi: u32,
+    phase: ChainPhase,
+    probes: Vec<(u32, f64)>,
+    /// Narrowest passing probe so far: `(m, fidelity, truncated_fraction)`.
+    best: Option<(u32, f64, f64)>,
+    /// Set once the chain finishes: `(minimal_m, fidelity, fraction)`.
+    result: Option<(Option<u32>, f64, f64)>,
+}
+
+enum ChainPhase {
+    /// Waiting on the widest probe (`hi`).
+    Bracket,
+    /// Waiting on the narrowest probe (`lo`).
+    Narrow,
+    /// Waiting on a bisection midpoint.
+    Bisect,
+    Finished,
+}
+
+impl ProbeChain {
+    /// Start a chain; returns the machine and its first probe width.
+    pub(crate) fn new(cutoff: u32, mantissa: (u32, u32), floor: f64) -> (ProbeChain, u32) {
+        let (lo, hi) = mantissa;
+        let chain = ProbeChain {
+            cutoff,
+            floor,
+            lo,
+            hi,
+            phase: ChainPhase::Bracket,
+            probes: Vec::new(),
+            best: None,
+            result: None,
+        };
+        (chain, hi)
+    }
+
+    /// Feed the result of the pending probe at width `m`; returns the
+    /// next width to probe, or `None` once the chain is finished.
+    pub(crate) fn advance(&mut self, m: u32, fid: f64, frac: f64) -> Option<u32> {
+        self.probes.push((m, fid));
+        match self.phase {
+            ChainPhase::Bracket => {
+                if fid < self.floor {
+                    self.finish(None, fid, frac);
+                    None
+                } else {
+                    self.best = Some((self.hi, fid, frac));
+                    self.phase = ChainPhase::Narrow;
+                    Some(self.lo)
+                }
+            }
+            ChainPhase::Narrow => {
+                if fid >= self.floor {
+                    self.finish(Some(self.lo), fid, frac);
+                    None
+                } else {
+                    self.bisect_or_finish()
+                }
+            }
+            ChainPhase::Bisect => {
+                if fid >= self.floor {
+                    self.hi = m;
+                    self.best = Some((m, fid, frac));
+                } else {
+                    self.lo = m;
+                }
+                self.bisect_or_finish()
+            }
+            ChainPhase::Finished => unreachable!("no probe is pending on a finished chain"),
+        }
+    }
+
+    fn bisect_or_finish(&mut self) -> Option<u32> {
+        if self.hi - self.lo > 1 {
+            self.phase = ChainPhase::Bisect;
+            Some(self.lo + (self.hi - self.lo) / 2)
+        } else {
+            let (m, fid, frac) = self.best.expect("bracket probe passed");
+            self.finish(Some(m), fid, frac);
+            None
+        }
+    }
+
+    fn finish(&mut self, minimal_m: Option<u32>, fid: f64, frac: f64) {
+        self.phase = ChainPhase::Finished;
+        self.result = Some((minimal_m, fid, frac));
+    }
+
+    /// Whether the chain has reached its answer.
+    pub(crate) fn finished(&self) -> bool {
+        matches!(self.phase, ChainPhase::Finished)
+    }
+
+    /// The finished chain as its search row (panics on an unfinished
+    /// chain — a scheduler bug, not a data condition).
+    pub(crate) fn into_row(self) -> SearchRow {
+        let (minimal_m, fidelity, truncated_fraction) =
+            self.result.expect("chain ran to completion");
+        SearchRow {
+            cutoff: self.cutoff,
+            minimal_m,
+            fidelity,
+            truncated_fraction,
+            probes: self.probes,
+        }
+    }
+}
+
+/// Run one bisection probe: a full scenario run at `e{exp_bits}m{m}`
+/// under the M-`cutoff` strategy, scored against the baseline. Returns
+/// `(fidelity, truncated_fraction)`. Shared by the serial rows and the
+/// distributed probe tasks.
+pub(crate) fn run_probe(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    cutoff: u32,
+    m: u32,
+    max_level: u32,
+    baseline: &Observable,
+) -> (f64, f64) {
+    let cand = CandidateSpec::op(Format::new(spec.exp_bits, m)).with_cutoff(cutoff);
+    let cfg = cand.config(scenario, max_level).expect("op candidates validate");
+    let session = Session::new(cfg).expect("validated");
+    let trial = scenario.build(&spec.params).run(&session);
+    (scenario.fidelity(&trial, baseline), session.counters().truncated_fraction())
+}
+
 pub(crate) fn search_row(
     scenario: &dyn Scenario,
     spec: &SearchSpec,
@@ -758,61 +905,13 @@ pub(crate) fn search_row(
     max_level: u32,
     baseline: &Observable,
 ) -> SearchRow {
-    let mut probes = Vec::new();
-    let mut probe = |m: u32| -> (f64, f64) {
-        let cand = CandidateSpec::op(Format::new(spec.exp_bits, m)).with_cutoff(cutoff);
-        let cfg = cand.config(scenario, max_level).expect("op candidates validate");
-        let session = Session::new(cfg).expect("validated");
-        let trial = scenario.build(&spec.params).run(&session);
-        let fid = scenario.fidelity(&trial, baseline);
-        probes.push((m, fid));
-        (fid, session.counters().truncated_fraction())
-    };
-    let (mut lo, mut hi) = spec.mantissa;
-    // Bracket: if even the widest mantissa fails, report and bail.
-    let (fid_hi, frac_hi) = probe(hi);
-    if fid_hi < spec.fidelity_floor {
-        return SearchRow {
-            cutoff,
-            minimal_m: None,
-            fidelity: fid_hi,
-            truncated_fraction: frac_hi,
-            probes,
-        };
+    let (mut chain, first) = ProbeChain::new(cutoff, spec.mantissa, spec.fidelity_floor);
+    let mut pending = Some(first);
+    while let Some(m) = pending {
+        let (fid, frac) = run_probe(scenario, spec, cutoff, m, max_level, baseline);
+        pending = chain.advance(m, fid, frac);
     }
-    let mut best = (hi, fid_hi, frac_hi);
-    // If the narrowest already passes, it is minimal.
-    let (fid_lo, frac_lo) = probe(lo);
-    if fid_lo >= spec.fidelity_floor {
-        return SearchRow {
-            cutoff,
-            minimal_m: Some(lo),
-            fidelity: fid_lo,
-            truncated_fraction: frac_lo,
-            probes,
-        };
-    }
-    // Invariant: lo fails, hi passes. Fidelity is monotone enough in the
-    // mantissa width for bisection (the §6.1 error ladders); occasional
-    // non-monotone blips (the Fig. 7b AMR anomaly) cost at most a
-    // slightly-wider answer, never an infinite loop.
-    while hi - lo > 1 {
-        let mid = lo + (hi - lo) / 2;
-        let (fid, frac) = probe(mid);
-        if fid >= spec.fidelity_floor {
-            hi = mid;
-            best = (mid, fid, frac);
-        } else {
-            lo = mid;
-        }
-    }
-    SearchRow {
-        cutoff,
-        minimal_m: Some(best.0),
-        fidelity: best.1,
-        truncated_fraction: best.2,
-        probes,
-    }
+    chain.into_row()
 }
 
 /// JSON summary of a precision search.

@@ -1,53 +1,55 @@
-//! Distributed campaigns: the precision-sweep lattice sharded across
-//! [`minimpi`] ranks.
+//! Distributed campaigns: the precision-sweep lattice and the greedy
+//! bisection fanned out across [`minimpi`] ranks through the shared
+//! work-stealing [`TaskPool`].
 //!
 //! [`run_campaign_distributed`] is the cluster-shaped twin of
 //! [`crate::run_campaign`]:
 //!
-//! 1. the candidate lattice is **block-partitioned by candidate index**
-//!    (rank `r` of `R` owns `[r·n/R, (r+1)·n/R)` — contiguous, and off by
-//!    at most one candidate between ranks, so lattices that do not divide
-//!    evenly still balance);
-//! 2. rank 0 runs the full-precision baseline once and broadcasts the
-//!    observable **bit-exactly** (raw `f64` bit patterns, not JSON);
-//! 3. each rank sweeps its shard through the existing fidelity-gated
-//!    `run_candidate` path on its **own**
-//!    [`amr::Pool`], sized `workers / nranks`, so shards run concurrently
-//!    instead of serializing on the process-wide pool;
-//! 4. per-candidate [`CandidateOutcome`] rows travel to rank 0 as
-//!    [`minimpi::Wire`] messages (JSON documents whose finite `f64`
-//!    fields round-trip exactly) and are reassembled **in candidate
-//!    lattice order**, so the stable ranking sort produces a merged
-//!    [`CampaignReport`] content-identical to the single-rank sweep.
+//! 1. missing candidate indices enter the pool's queue; every rank
+//!    (rank 0 included) contributes stealer threads that pull one
+//!    candidate at a time, so skewed per-candidate costs never idle a
+//!    rank the way the retired static block partition could;
+//! 2. the full-precision baseline observable is a lazy pool *resource*:
+//!    the first stealer to need it computes and uploads it bit-exactly
+//!    (hex `f64::to_bits` words), and a fully-cached resume never runs
+//!    it at all;
+//! 3. per-candidate [`CandidateOutcome`] rows travel back to rank 0 as
+//!    `done` payloads (JSON documents whose finite `f64` fields
+//!    round-trip exactly) and are reassembled **in candidate lattice
+//!    order**, so the stable ranking sort produces a merged
+//!    [`CampaignReport`] byte-identical to the single-rank sweep.
 //!
-//! [`precision_search_distributed`] fans the greedy bisection out the
-//! same way: each M-l cutoff row (a chain of bisection probes) is a shard
-//! item, and gathered [`SearchRow`]s come back in cutoff order.
+//! [`precision_search_distributed`] steals at **probe** granularity: each
+//! greedy-bisection probe is one task, and the per-cutoff chain state
+//! (a `campaign::ProbeChain`) lives with the row owner — the rank-0
+//! queue server — which readies a chain's next probe the moment its
+//! pending one completes. Probe chains are the most skewed work in the
+//! repo (their lengths differ per cutoff), and the old row-per-rank
+//! block partition pinned each chain to one rank; stealing probes keeps
+//! every rank busy until the last chain dries up, while the shared
+//! `ProbeChain` machine keeps the merged rows identical to the serial
+//! search probe for probe.
 //!
 //! Resume layers on top ([`run_campaign_distributed_resumable`]): rows
 //! already present in an [`OutcomeCache`] are not re-run — only missing
-//! candidates are sharded across ranks — and freshly computed rows are
-//! written back, so an interrupted sweep restarts warm. A fully-warm
-//! resume runs **zero** scenarios (the baseline self-fidelity is cached
-//! too). Cached `accepted` verdicts are re-gated against the live
-//! fidelity floor at merge time.
+//! candidates enter the queue — and freshly computed rows are written
+//! back, so an interrupted sweep restarts warm. A fully-warm resume runs
+//! **zero** scenarios (the baseline self-fidelity is cached too). Cached
+//! `accepted` verdicts are re-gated against the live fidelity floor at
+//! merge time.
 
 use crate::cache::{OutcomeCache, ResumeStats};
 use crate::campaign::{
-    eligible_candidates, regate_and_rank, run_candidate, search_row, CampaignReport, CampaignSpec,
-    CandidateOutcome, CandidateSpec, SearchRow, SearchSpec,
+    eligible_candidates, regate_and_rank, run_candidate, run_probe, CampaignReport, CampaignSpec,
+    CandidateOutcome, CandidateSpec, ProbeChain, SearchRow, SearchSpec,
 };
+use crate::queue::{FixedTasks, Task, TaskPool, TaskSource};
 use crate::scenario::{Observable, Scenario};
+use crate::study::StudyStats;
 use minimpi::{Json, Wire};
 use raptor_core::Session;
-use std::sync::Mutex;
-
-/// Tag for the baseline-observable broadcast.
-const TAG_BASELINE: u64 = 0xBA5E;
-/// Tag for the outcome-shard gather.
-const TAG_OUTCOMES: u64 = 0x0C0E;
-/// Tag for the search-row gather.
-const TAG_ROWS: u64 = 0x5EA7;
+use std::collections::{HashMap, VecDeque};
+use std::time::Instant;
 
 impl Wire for CandidateOutcome {
     fn to_wire(&self) -> Json {
@@ -69,30 +71,22 @@ impl Wire for SearchRow {
     }
 }
 
-/// One rank's shard of outcome rows, travelling as a JSON array.
-struct Shard<T>(Vec<T>);
+/// The lazy-baseline resource key (campaigns and searches have exactly
+/// one shared resource: the scenario's full-precision observable).
+const BASELINE_KEY: u64 = 0;
 
-impl<T: Wire> Wire for Shard<T> {
-    fn to_wire(&self) -> Json {
-        Json::Arr(self.0.iter().map(|o| o.to_wire()).collect())
-    }
-
-    fn from_wire(doc: &Json) -> Result<Shard<T>, String> {
-        doc.as_arr()
-            .ok_or_else(|| "shard is not an array".to_string())?
-            .iter()
-            .map(T::from_wire)
-            .collect::<Result<Vec<T>, String>>()
-            .map(Shard)
-    }
-}
-
-/// The static block partition: rank `rank` of `nranks` owns
-/// `[rank·n/nranks, (rank+1)·n/nranks)`. Contiguous, covers `0..n`
-/// exactly once, and shard sizes differ by at most one, so remainders
-/// (e.g. 7 candidates on 2 or 3 ranks) spread evenly.
-pub fn block_range(n: usize, nranks: usize, rank: usize) -> (usize, usize) {
-    (rank * n / nranks, (rank + 1) * n / nranks)
+/// Run `f` against the baseline [`Observable`] for pool resource `key`,
+/// materializing it from the raw resource vector at most once per
+/// stealer (via [`TaskCtx::memo`](crate::queue::TaskCtx::memo), so the
+/// memo lives and dies with the stealer's pool run) — tasks are whole
+/// scenario runs, but there is no reason to re-clone the resource vector
+/// into an `Observable` for every one of them.
+pub(crate) fn with_baseline<T>(
+    ctx: &crate::queue::TaskCtx<'_>,
+    key: u64,
+    f: impl FnOnce(&Observable) -> T,
+) -> T {
+    ctx.memo(key, |ctx| Observable { values: (*ctx.resource(key)).clone() }, f)
 }
 
 /// Run a campaign sharded across `nranks` minimpi ranks and return the
@@ -109,15 +103,30 @@ pub fn run_campaign_distributed(
 
 /// [`run_campaign_distributed`] with campaign resume: candidates already
 /// in `cache` are served from it (zero re-runs for a completed campaign);
-/// only missing candidates are sharded across ranks, and every row of the
-/// merged report is written back to the cache. The caller persists the
-/// cache with [`OutcomeCache::save`] when it wants durability.
+/// only missing candidates enter the work-stealing queue, and every row
+/// of the merged report is written back to the cache. The caller persists
+/// the cache with [`OutcomeCache::save`] when it wants durability.
 pub fn run_campaign_distributed_resumable(
     scenario: &dyn Scenario,
     spec: &CampaignSpec,
     nranks: usize,
     cache: Option<&mut OutcomeCache>,
 ) -> (CampaignReport, ResumeStats) {
+    let (report, stats) = run_campaign_distributed_stats(scenario, spec, nranks, cache);
+    (report, ResumeStats { cached: stats.cached, computed: stats.computed })
+}
+
+/// [`run_campaign_distributed_resumable`] returning the full scheduler
+/// statistics ([`StudyStats`]: per-rank distribution, effective stealer
+/// count, queue wait, wall time) alongside the merged report — the row
+/// the stats history persists.
+pub fn run_campaign_distributed_stats(
+    scenario: &dyn Scenario,
+    spec: &CampaignSpec,
+    nranks: usize,
+    cache: Option<&mut OutcomeCache>,
+) -> (CampaignReport, StudyStats) {
+    let t0 = Instant::now();
     let nranks = nranks.max(1);
     let max_level = scenario.max_level(&spec.params);
     let candidates = eligible_candidates(spec, max_level);
@@ -133,8 +142,12 @@ pub fn run_campaign_distributed_resumable(
         .filter(|(_, hit)| hit.is_none())
         .map(|(c, _)| (*c).clone())
         .collect();
-    let stats =
-        ResumeStats { cached: candidates.len() - missing.len(), computed: missing.len() };
+    let mut stats = StudyStats {
+        cached: candidates.len() - missing.len(),
+        computed: missing.len(),
+        pairs_by_rank: vec![0; nranks],
+        ..StudyStats::default()
+    };
 
     let (baseline_fidelity, computed): (f64, Vec<CandidateOutcome>) = if missing.is_empty() {
         // Fully warm: nothing to run — not even the baseline (its
@@ -146,44 +159,54 @@ pub fn run_campaign_distributed_resumable(
             .unwrap_or(1.0);
         (bf, Vec::new())
     } else {
-        let rank_workers = (spec.workers / nranks).max(1);
+        let pool = TaskPool::new(nranks, spec.workers);
         let missing_ref = &missing;
-        let mut results = minimpi::run(nranks, |comm| -> Option<(f64, Vec<CandidateOutcome>)> {
-            // Rank 0 owns the full-precision baseline; every rank scores
-            // its shard against the exact same bits.
-            let (bf, baseline) = if comm.rank() == 0 {
-                let obs = scenario.build(&spec.params).run(&Session::passthrough());
-                let bf = scenario.fidelity(&obs, &obs);
-                let values = comm.broadcast(0, TAG_BASELINE, &obs.values);
-                (bf, Observable { values })
-            } else {
-                (1.0, Observable { values: comm.broadcast(0, TAG_BASELINE, &[]) })
-            };
-            let (lo, hi) = block_range(missing_ref.len(), comm.size(), comm.rank());
-            let block = &missing_ref[lo..hi];
-            // Each rank owns a right-sized pool: shards sweep concurrently
-            // instead of queueing on the process-wide submit lock.
-            let pool = amr::Pool::new();
-            let slots: Vec<Mutex<Option<CandidateOutcome>>> =
-                block.iter().map(|_| Mutex::new(None)).collect();
-            pool.run(block.len(), rank_workers, &|i| {
-                let outcome = run_candidate(scenario, spec, &block[i], max_level, &baseline);
-                *slots[i].lock().unwrap() = Some(outcome);
-            });
-            let mine: Vec<CandidateOutcome> = slots
-                .into_iter()
-                .map(|s| s.into_inner().unwrap().expect("rank ran its whole shard"))
-                .collect();
-            // Gather shards to rank 0 in rank order == candidate order
-            // (the partition is contiguous and ascending in rank).
-            let gathered = comm
-                .gather_wire(0, TAG_OUTCOMES, &Shard(mine))
-                .expect("outcome rows round-trip the wire");
-            gathered.map(|shards| {
-                (bf, shards.into_iter().flat_map(|s| s.0).collect::<Vec<CandidateOutcome>>())
+        let mut run = pool.run(
+            1,
+            FixedTasks::new(missing.len()),
+            // Stealers are plain threads, not pool workers: mark each
+            // candidate run as in-sweep so a scenario's interior mesh
+            // sweeps (params.threads > 1) run inline instead of
+            // serializing all stealers on the process-wide pool's
+            // submit lock.
+            &|ctx, task, _detail| {
+                with_baseline(ctx, BASELINE_KEY, |baseline| {
+                    amr::run_inline(|| {
+                        run_candidate(
+                            scenario,
+                            spec,
+                            &missing_ref[task as usize],
+                            max_level,
+                            baseline,
+                        )
+                    })
+                    .to_json()
+                })
+            },
+            &|_key| {
+                amr::run_inline(|| scenario.build(&spec.params).run(&Session::passthrough()))
+                    .values
+            },
+        );
+        stats.absorb_pool(run.stats);
+        // Some stealer computed the baseline (every task scores against
+        // it); rank 0 rebuilds the self-fidelity from the exact bits.
+        let obs = Observable {
+            values: run.resources[BASELINE_KEY as usize]
+                .take()
+                .expect("a missing candidate touched the baseline"),
+        };
+        let bf = scenario.fidelity(&obs, &obs);
+        let computed: Vec<CandidateOutcome> = run
+            .source
+            .into_payloads()
+            .into_iter()
+            .map(|p| {
+                CandidateOutcome::from_json(&p.expect("every missing candidate completed"))
+                    .expect("outcome rows round-trip the wire")
             })
-        });
-        results[0].take().expect("rank 0 gathered the merged table")
+            .collect();
+        (bf, computed)
     };
 
     // Reassemble in candidate-lattice order — cached rows slot back in
@@ -215,12 +238,16 @@ pub fn run_campaign_distributed_resumable(
         baseline_fidelity,
         outcomes,
     };
+    stats.wall_s = t0.elapsed().as_secs_f64();
     (report, stats)
 }
 
 /// Load the cache at `path`, run the campaign resumably across `nranks`
-/// ranks, and persist the updated cache — the `--ranks N --resume <path>`
-/// CLI flow as one call.
+/// ranks, persist the updated cache, and append one row to the
+/// `stats_history.jsonl` next to it — the `--ranks N --resume <path>`
+/// CLI flow as one call. The history append is best-effort
+/// observability: a failure there is reported on stderr, never allowed
+/// to discard the completed (and already persisted) run.
 pub fn run_campaign_resumed(
     scenario: &dyn Scenario,
     spec: &CampaignSpec,
@@ -229,59 +256,147 @@ pub fn run_campaign_resumed(
 ) -> Result<(CampaignReport, ResumeStats), String> {
     let mut cache = OutcomeCache::load(path)?;
     let (report, stats) =
-        run_campaign_distributed_resumable(scenario, spec, nranks, Some(&mut cache));
+        run_campaign_distributed_stats(scenario, spec, nranks, Some(&mut cache));
     cache.save()?;
-    Ok((report, stats))
+    if let Err(e) = crate::study::append_stats_history(
+        cache.path(),
+        &crate::study::StatsRecord::now(format!("campaign:{}", scenario.name()), nranks, &stats),
+    ) {
+        eprintln!("warning: scheduler stats history not recorded: {e}");
+    }
+    Ok((report, ResumeStats { cached: stats.cached, computed: stats.computed }))
 }
 
-/// The distributed twin of [`crate::precision_search`]: the M-l cutoff
-/// rows (each a chain of greedy bisection probes) are block-partitioned
-/// across `nranks` minimpi ranks, bisected on per-rank pools against the
-/// broadcast baseline, and gathered back to rank 0 in cutoff order —
+// ---------------------------------------------------------------------------
+// Probe-granularity precision search
+// ---------------------------------------------------------------------------
+
+/// The dynamic [`TaskSource`] of a distributed precision search: one
+/// [`ProbeChain`] per M-l cutoff, each exposing its single pending probe
+/// as a task. Completing a probe advances the owning chain and readies
+/// its next probe; the source is exhausted when every chain has reached
+/// its answer. Chain state never leaves the server, so the merged rows
+/// are the serial rows by construction.
+struct ChainSource {
+    chains: Vec<ProbeChain>,
+    /// `(chain index, mantissa)` probes ready to grant.
+    ready: VecDeque<(usize, u32)>,
+    /// Granted-but-unfinished probes, by task id.
+    inflight: HashMap<u64, (usize, u32)>,
+    next_id: u64,
+    probes: usize,
+}
+
+impl ChainSource {
+    fn new(spec: &SearchSpec) -> ChainSource {
+        let mut chains = Vec::with_capacity(spec.cutoffs.len());
+        let mut ready = VecDeque::with_capacity(spec.cutoffs.len());
+        for (ci, &cutoff) in spec.cutoffs.iter().enumerate() {
+            let (chain, first) = ProbeChain::new(cutoff, spec.mantissa, spec.fidelity_floor);
+            chains.push(chain);
+            ready.push_back((ci, first));
+        }
+        ChainSource { chains, ready, inflight: HashMap::new(), next_id: 0, probes: 0 }
+    }
+
+    fn into_rows(self) -> Vec<SearchRow> {
+        debug_assert!(self.inflight.is_empty(), "no probe left in flight");
+        self.chains.into_iter().map(ProbeChain::into_row).collect()
+    }
+}
+
+impl TaskSource for ChainSource {
+    fn next(&mut self) -> Option<Task> {
+        let (ci, m) = self.ready.pop_front()?;
+        let id = self.next_id;
+        self.next_id += 1;
+        self.inflight.insert(id, (ci, m));
+        Some(Task { id, detail: Json::obj().set("chain", ci).set("m", m) })
+    }
+
+    fn complete(&mut self, task: u64, payload: Json) -> Result<(), String> {
+        let (ci, m) =
+            self.inflight.remove(&task).ok_or_else(|| format!("unknown probe task {task}"))?;
+        self.probes += 1;
+        let fid = payload.f64_field_lossless("fidelity")?;
+        let frac = payload.f64_field_lossless("truncated_fraction")?;
+        if let Some(next_m) = self.chains[ci].advance(m, fid, frac) {
+            self.ready.push_back((ci, next_m));
+        }
+        Ok(())
+    }
+
+    fn exhausted(&self) -> bool {
+        self.chains.iter().all(ProbeChain::finished)
+    }
+}
+
+/// The distributed twin of [`crate::precision_search`], stolen at
+/// **probe** granularity: every greedy-bisection probe of every M-l
+/// cutoff row is one work-stealing task, with the per-cutoff chain state
+/// held by the rank-0 row owner. Rows come back in cutoff order,
 /// row-for-row identical to the single-rank search.
 pub fn precision_search_distributed(
     scenario: &dyn Scenario,
     spec: &SearchSpec,
     nranks: usize,
 ) -> Vec<SearchRow> {
+    precision_search_distributed_stats(scenario, spec, nranks).0
+}
+
+/// [`precision_search_distributed`] returning the scheduler statistics:
+/// `pairs_by_rank` counts completed *probes* per rank (`computed` is the
+/// total probe count; nothing is cached — probes depend on the probes
+/// before them).
+pub fn precision_search_distributed_stats(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    nranks: usize,
+) -> (Vec<SearchRow>, StudyStats) {
+    let t0 = Instant::now();
     let nranks = nranks.max(1);
     let max_level = scenario.max_level(&spec.params);
-    let rank_workers = (spec.workers / nranks).max(1);
-    let mut results = minimpi::run(nranks, |comm| -> Option<Vec<SearchRow>> {
-        let baseline = Observable {
-            values: if comm.rank() == 0 {
-                let obs = scenario.build(&spec.params).run(&Session::passthrough());
-                comm.broadcast(0, TAG_BASELINE, &obs.values)
-            } else {
-                comm.broadcast(0, TAG_BASELINE, &[])
-            },
-        };
-        let (lo, hi) = block_range(spec.cutoffs.len(), comm.size(), comm.rank());
-        let block = &spec.cutoffs[lo..hi];
-        let pool = amr::Pool::new();
-        let slots: Vec<Mutex<Option<SearchRow>>> = block.iter().map(|_| Mutex::new(None)).collect();
-        pool.run(block.len(), rank_workers, &|i| {
-            let row = search_row(scenario, spec, block[i], max_level, &baseline);
-            *slots[i].lock().unwrap() = Some(row);
-        });
-        let mine: Vec<SearchRow> = slots
-            .into_iter()
-            .map(|s| s.into_inner().unwrap().expect("rank bisected its rows"))
-            .collect();
-        let gathered = comm
-            .gather_wire(0, TAG_ROWS, &Shard(mine))
-            .expect("search rows round-trip the wire");
-        gathered.map(|shards| shards.into_iter().flat_map(|s| s.0).collect())
-    });
-    results[0].take().expect("rank 0 gathered the merged rows")
+    let pool = TaskPool::new(nranks, spec.workers);
+    let run = pool.run(
+        1,
+        ChainSource::new(spec),
+        &|ctx, _task, detail| {
+            let ci = detail.u64_field("chain").expect("grant carries the chain index") as usize;
+            let m = detail.u64_field("m").expect("grant carries the probe width") as u32;
+            let (fid, frac) = with_baseline(ctx, BASELINE_KEY, |baseline| {
+                amr::run_inline(|| {
+                    run_probe(scenario, spec, spec.cutoffs[ci], m, max_level, baseline)
+                })
+            });
+            Json::obj()
+                .set("fidelity", Json::from_f64_lossless(fid))
+                .set("truncated_fraction", Json::from_f64_lossless(frac))
+        },
+        &|_key| {
+            amr::run_inline(|| scenario.build(&spec.params).run(&Session::passthrough())).values
+        },
+    );
+    let mut stats = StudyStats {
+        cached: 0,
+        computed: run.source.probes,
+        ..StudyStats::default()
+    };
+    stats.absorb_pool(run.stats);
+    stats.wall_s = t0.elapsed().as_secs_f64();
+    (run.source.into_rows(), stats)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
+    /// The retired static block partition, kept only as the reference
+    /// the balance tests compare against: rank `rank` of `nranks` owned
+    /// `[rank·n/nranks, (rank+1)·n/nranks)`.
+    fn block_range(n: usize, nranks: usize, rank: usize) -> (usize, usize) {
+        (rank * n / nranks, (rank + 1) * n / nranks)
+    }
 
     #[test]
-    fn block_partition_covers_everything_once_with_balanced_remainders() {
+    fn block_partition_reference_covers_everything_once_with_balanced_remainders() {
         for n in [0usize, 1, 3, 7, 12, 13] {
             for nranks in 1..=6usize {
                 let mut covered = Vec::new();

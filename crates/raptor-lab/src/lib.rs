@@ -59,12 +59,15 @@
 //!
 //! ## Distributed campaigns
 //!
-//! [`run_campaign_distributed`] shards the candidate lattice across
-//! [`minimpi`] ranks — a static block partition by candidate index, one
-//! right-sized [`amr::Pool`] per rank — and gathers the per-candidate
-//! outcome rows back to rank 0 over the typed [`minimpi::Wire`]
-//! transport. The merged, deterministically-ordered [`CampaignReport`]
-//! is content-identical to the single-rank sweep for any rank count:
+//! [`run_campaign_distributed`] drains the candidate lattice across
+//! [`minimpi`] ranks through the shared work-stealing
+//! [`queue::TaskPool`] — every rank contributes stealer threads that
+//! pull one candidate at a time from a rank-0 queue server, and the
+//! full-precision baseline is a lazily-computed pool resource — with
+//! per-candidate outcome rows returning to rank 0 over the typed
+//! [`minimpi::Wire`] transport. The merged, deterministically-ordered
+//! [`CampaignReport`] is content-identical to the single-rank sweep for
+//! any rank count:
 //!
 //! ```
 //! use raptor_lab::{find, run_campaign, run_campaign_distributed, CampaignSpec, LabParams};
@@ -93,10 +96,13 @@
 //! codesign_advisor hydro/sod --native
 //! ```
 //!
-//! [`precision_search_distributed`] fans the greedy bisection out the
-//! same way (one M-l row per shard item), and [`native_candidates`]
-//! restricts the lattice to the hardware formats a GPU port could
-//! execute (the §3.6 constraint).
+//! [`precision_search_distributed`] steals at **probe** granularity:
+//! every greedy-bisection probe of every M-l cutoff row is one
+//! work-stealing task, with the per-cutoff chain state held by the
+//! rank-0 row owner — the most skewed work in the repo (probe counts
+//! differ per cutoff) no longer pins whole rows to ranks.
+//! [`native_candidates`] restricts the lattice to the hardware formats a
+//! GPU port could execute (the §3.6 constraint).
 //!
 //! ## Studies: the whole registry in one table
 //!
@@ -104,14 +110,15 @@
 //! [`study_scenarios`]) over one candidate lattice and merges the results
 //! into a single cross-scenario codesign ranking — the paper's headline
 //! Table-1-style artifact. [`run_study_distributed`] flattens the
-//! `(scenario, candidate)` pair list and distributes it with an elastic
-//! **work-stealing scheduler** (rank 0 serves pair indices from a shared
-//! queue over the minimpi mailboxes; per-scenario baselines broadcast
-//! lazily on first touch), so skewed per-pair costs no longer idle ranks
-//! the way a static block partition can. One shared [`OutcomeCache`]
-//! file covers the whole study. See the [`study`] module docs for the
-//! protocol; the result is byte-identical to the serial [`run_study`]
-//! for any rank count:
+//! `(scenario, candidate)` pair list and drains it through the same
+//! [`queue::TaskPool`] (rank 0 serves pair indices from a shared queue
+//! over the minimpi mailboxes; per-scenario baselines broadcast lazily
+//! on first touch), so skewed per-pair costs never idle ranks. One
+//! shared [`OutcomeCache`] file covers the whole study, and every
+//! resumed run appends its [`StudyStats`] to the `stats_history.jsonl`
+//! next to it ([`study::append_stats_history`]). See the [`queue`]
+//! module docs for the protocol; the result is byte-identical to the
+//! serial [`run_study`] for any rank count:
 //!
 //! ```
 //! use raptor_lab::{run_study_distributed, study_scenarios, CampaignSpec, LabParams};
@@ -129,6 +136,7 @@
 pub mod cache;
 pub mod campaign;
 pub mod distributed;
+pub mod queue;
 pub mod registry;
 pub mod scenario;
 pub mod study;
@@ -140,14 +148,16 @@ pub use campaign::{
     CandidateOutcome, CandidateSpec, ScopeAxis, SearchRow, SearchSpec,
 };
 pub use distributed::{
-    block_range, precision_search_distributed, run_campaign_distributed,
-    run_campaign_distributed_resumable, run_campaign_resumed,
+    precision_search_distributed, precision_search_distributed_stats, run_campaign_distributed,
+    run_campaign_distributed_resumable, run_campaign_distributed_stats, run_campaign_resumed,
 };
+pub use queue::{FixedTasks, PoolRun, PoolStats, Task, TaskCtx, TaskPool, TaskSource};
 pub use registry::{find, registry, study_scenarios};
 pub use scenario::{
     fidelity_from_error, relative_l1, LabParams, Observable, Runnable, Scenario,
 };
 pub use study::{
-    run_study, run_study_distributed, run_study_distributed_resumable, run_study_resumed,
-    StudyReport, StudyRow, StudyStats,
+    append_stats_history, load_stats_history, render_stats_history, run_study,
+    run_study_distributed, run_study_distributed_resumable, run_study_resumed,
+    stats_history_path, StatsRecord, StudyReport, StudyRow, StudyStats,
 };

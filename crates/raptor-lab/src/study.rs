@@ -4,30 +4,18 @@
 //! one API call.
 //!
 //! A *study* flattens the two-level loop the campaign engine left
-//! implicit: instead of sharding the candidates of one scenario across
-//! minimpi ranks, [`run_study_distributed`] enumerates every
-//! `(scenario, candidate)` **pair** across the whole registry (or a
-//! subset, see [`crate::study_scenarios`]) and distributes the flattened
-//! pair list with an **elastic work-stealing scheduler**:
+//! implicit: instead of sweeping one scenario's candidates,
+//! [`run_study_distributed`] enumerates every `(scenario, candidate)`
+//! **pair** across the whole registry (or a subset, see
+//! [`crate::study_scenarios`]) and drains the flattened pair list
+//! through the shared work-stealing [`TaskPool`] (see the
+//! [`crate::queue`] module docs for the protocol):
 //!
-//! * rank 0 runs a queue server thread that serves pair indices over the
-//!   existing byte mailboxes — `request` / `grant` / `done` messages on
-//!   the [`minimpi::Wire`] layer, one shared server-bound tag so per-rank
-//!   FIFO delivery orders each worker's `done` before its next `request`;
-//! * every rank (rank 0 included) contributes `workers / nranks` stealer
-//!   threads; each steals one pair at a time, so skewed per-pair costs
-//!   (a Kelvin–Helmholtz hydro run next to a 16-call IR kernel) never
-//!   leave ranks idle the way the static block partition of
-//!   [`crate::run_campaign_distributed`] can;
-//! * the server holds the first round of grants until every stealer has
-//!   checked in, so each stealer is guaranteed at least one pair whenever
-//!   the queue is deep enough — stealing starts fair, then runs elastic;
-//! * per-scenario full-precision baselines are **broadcast lazily on
-//!   first touch**: the first stealer to need a scenario's baseline is
-//!   told to compute it and upload it; stealers that ask while it is in
-//!   flight are parked and answered the moment the upload lands, and
-//!   scenarios whose pairs are all cache hits never run a baseline at
-//!   all;
+//! * each pair is one task; skewed per-pair costs (a Kelvin–Helmholtz
+//!   hydro run next to a 16-call IR kernel) never leave ranks idle;
+//! * per-scenario full-precision baselines are pool *resources*,
+//!   computed lazily on first touch and broadcast bit-exactly; scenarios
+//!   whose pairs are all cache hits never run one;
 //! * one shared [`OutcomeCache`] file covers the whole study (the cache
 //!   key already carries the scenario name), so a warm resume of a
 //!   completed study performs **zero** runs.
@@ -36,7 +24,12 @@
 //! section per scenario plus a cross-scenario codesign ranking, and its
 //! JSON rendering is **byte-identical for any rank count**: pairs are
 //! reassembled in lattice order before the deterministic re-gate + stable
-//! ranking sort, so where a pair ran never shows in the result.
+//! ranking sort, so where a pair ran never shows in the result. Where it
+//! ran *is* recorded — [`StudyStats`] — and persisted across runs:
+//! [`append_stats_history`] appends one JSON line per run to the
+//! `stats_history.jsonl` next to the cache, so scheduler changes stay
+//! measurable against the recorded baseline
+//! (`codesign_advisor --stats-history` renders the trend).
 //!
 //! ```
 //! use raptor_lab::{run_study, run_study_distributed, study_scenarios, CampaignSpec, LabParams};
@@ -54,145 +47,12 @@ use crate::campaign::{
     eligible_candidates, regate_and_rank, run_campaign, run_candidate, CampaignReport,
     CampaignSpec, CandidateOutcome, CandidateSpec,
 };
+use crate::queue::{FixedTasks, TaskPool};
 use crate::scenario::{LabParams, Observable, Scenario};
-use minimpi::{Json, Wire};
+use minimpi::Json;
 use raptor_core::Session;
-
-/// Tag for every server-bound study message. One tag on purpose: a
-/// rank's mailbox is FIFO per tag, so a stealer's `done` is always
-/// processed before the `request` it sends next — the server can shut
-/// down after the last grant knowing every outcome has landed.
-const TAG_STUDY: u64 = 0x57DD;
-/// Base of the per-stealer reply-tag range: stealer `slot` of a rank
-/// listens on `TAG_STUDY_REPLY + slot`, its private channel to rank 0.
-const TAG_STUDY_REPLY: u64 = 0x57DE_0000;
-
-fn reply_tag(slot: u64) -> u64 {
-    TAG_STUDY_REPLY + slot
-}
-
-// ---------------------------------------------------------------------------
-// Wire protocol
-// ---------------------------------------------------------------------------
-
-/// Worker → server messages of the work-stealing scheduler.
-enum ToServer {
-    /// "Give me a pair index" — `slot` picks the reply tag.
-    Request { slot: u64 },
-    /// "Pair `pair` is finished; here is its outcome row." (Boxed: the
-    /// row dwarfs the other variants.)
-    Done { pair: u64, outcome: Box<CandidateOutcome> },
-    /// "I need the full-precision baseline of scenario `scenario`."
-    BaselineReq { scenario: u64, slot: u64 },
-    /// "Here is the baseline I was told to compute."
-    BaselinePut { scenario: u64, values: Vec<f64> },
-}
-
-/// Server → worker replies, sent on the requesting stealer's reply tag.
-enum FromServer {
-    /// Run pair `pair` next.
-    Grant { pair: u64 },
-    /// The queue is empty; shut down.
-    NoMoreWork,
-    /// The requested baseline observable.
-    Baseline { values: Vec<f64> },
-    /// First touch: the requester computes the baseline and uploads it
-    /// with [`ToServer::BaselinePut`].
-    ComputeBaseline,
-}
-
-/// Baseline observables must cross the wire **bit-exactly** — every rank
-/// scores trials against the same bits, and JSON numbers cannot carry
-/// NaN payloads or the sign of zero. They travel as one hex string of
-/// 16-character `f64::to_bits` words (the Wire-layer twin of the raw-f64
-/// broadcast the block-partitioned campaigns use).
-fn values_to_json(values: &[f64]) -> Json {
-    let mut hex = String::with_capacity(values.len() * 16);
-    for v in values {
-        hex.push_str(&format!("{:016x}", v.to_bits()));
-    }
-    Json::Str(hex)
-}
-
-fn values_from_json(doc: &Json) -> Result<Vec<f64>, String> {
-    let hex = doc.as_str().ok_or_else(|| "values is not a hex string".to_string())?;
-    if hex.len() % 16 != 0 {
-        return Err(format!("hex payload length {} is not a multiple of 16", hex.len()));
-    }
-    hex.as_bytes()
-        .chunks_exact(16)
-        .map(|chunk| {
-            let word = std::str::from_utf8(chunk).map_err(|e| e.to_string())?;
-            u64::from_str_radix(word, 16)
-                .map(f64::from_bits)
-                .map_err(|e| format!("bad f64 bit pattern `{word}`: {e}"))
-        })
-        .collect()
-}
-
-impl Wire for ToServer {
-    fn to_wire(&self) -> Json {
-        match self {
-            ToServer::Request { slot } => Json::obj().set("type", "request").set("slot", *slot),
-            ToServer::Done { pair, outcome } => Json::obj()
-                .set("type", "done")
-                .set("pair", *pair)
-                .set("outcome", outcome.to_json()),
-            ToServer::BaselineReq { scenario, slot } => Json::obj()
-                .set("type", "baseline_req")
-                .set("scenario", *scenario)
-                .set("slot", *slot),
-            ToServer::BaselinePut { scenario, values } => Json::obj()
-                .set("type", "baseline_put")
-                .set("scenario", *scenario)
-                .set("values", values_to_json(values)),
-        }
-    }
-
-    fn from_wire(doc: &Json) -> Result<ToServer, String> {
-        match doc.str_field("type")? {
-            "request" => Ok(ToServer::Request { slot: doc.u64_field("slot")? }),
-            "done" => Ok(ToServer::Done {
-                pair: doc.u64_field("pair")?,
-                outcome: Box::new(CandidateOutcome::from_json(doc.req("outcome")?)?),
-            }),
-            "baseline_req" => Ok(ToServer::BaselineReq {
-                scenario: doc.u64_field("scenario")?,
-                slot: doc.u64_field("slot")?,
-            }),
-            "baseline_put" => Ok(ToServer::BaselinePut {
-                scenario: doc.u64_field("scenario")?,
-                values: values_from_json(doc.req("values")?)?,
-            }),
-            other => Err(format!("unknown study message `{other}`")),
-        }
-    }
-}
-
-impl Wire for FromServer {
-    fn to_wire(&self) -> Json {
-        match self {
-            FromServer::Grant { pair } => Json::obj().set("type", "grant").set("pair", *pair),
-            FromServer::NoMoreWork => Json::obj().set("type", "no_more_work"),
-            FromServer::Baseline { values } => {
-                Json::obj().set("type", "baseline").set("values", values_to_json(values))
-            }
-            FromServer::ComputeBaseline => Json::obj().set("type", "compute_baseline"),
-        }
-    }
-
-    fn from_wire(doc: &Json) -> Result<FromServer, String> {
-        match doc.str_field("type")? {
-            "grant" => Ok(FromServer::Grant { pair: doc.u64_field("pair")? }),
-            "no_more_work" => Ok(FromServer::NoMoreWork),
-            "baseline" => {
-                Ok(FromServer::Baseline { values: values_from_json(doc.req("values")?)? })
-            }
-            "compute_baseline" => Ok(FromServer::ComputeBaseline),
-            other => Err(format!("unknown study reply `{other}`")),
-        }
-    }
-}
+use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Reports
@@ -409,19 +269,228 @@ impl StudyReport {
     }
 }
 
-/// What a study run did, per rank: how the work-stealing queue spread
-/// the pair list, and how much of it the shared cache absorbed. Kept out
-/// of [`StudyReport`] on purpose — the report must be byte-identical
-/// across rank counts; the stats are where the distribution shows.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+// ---------------------------------------------------------------------------
+// Scheduler statistics + persistent history
+// ---------------------------------------------------------------------------
+
+/// What a scheduled run did, per rank: how the work-stealing queue
+/// spread the work, how much of it the shared cache absorbed, and what
+/// the scheduling cost. Kept out of [`StudyReport`] on purpose — the
+/// report must be byte-identical across rank counts; the stats are where
+/// the distribution shows. Shared by studies, distributed campaigns, and
+/// probe-stealing precision searches (where `pairs_by_rank` counts
+/// probes).
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct StudyStats {
-    /// Pairs served from the shared cache without running anything.
+    /// Units served from the shared cache without running anything.
     pub cached: usize,
-    /// Pairs computed in this invocation.
+    /// Units computed in this invocation.
     pub computed: usize,
-    /// Pairs completed by each rank (sums to `computed`). Length equals
+    /// Units completed by each rank (sums to `computed`). Length equals
     /// the rank count; a fully-warm resume has every entry zero.
     pub pairs_by_rank: Vec<usize>,
+    /// Effective stealer count across all ranks: `max(workers, nranks)`
+    /// (see [`crate::queue::TaskPool::new`] for the clamp rule). `0` when
+    /// the run was fully warm and no pool was spun up.
+    pub stealers: usize,
+    /// Total seconds stealers spent blocked on the queue, summed across
+    /// stealers.
+    pub queue_wait_s: f64,
+    /// Wall time of the whole run, seconds.
+    pub wall_s: f64,
+}
+
+impl StudyStats {
+    /// Fold a drained pool run's scheduling stats into this record — the
+    /// single bridge from [`crate::queue::PoolStats`], so a new pool
+    /// metric gets recorded by every driver (campaign, search, study) or
+    /// none.
+    pub fn absorb_pool(&mut self, pool: crate::queue::PoolStats) {
+        self.pairs_by_rank = pool.tasks_by_rank;
+        self.stealers = pool.stealers;
+        self.queue_wait_s = pool.queue_wait_s;
+    }
+
+    /// Machine-readable stats through the shared serializer (the row
+    /// body of the stats history).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("cached", self.cached as u64)
+            .set("computed", self.computed as u64)
+            .set(
+                "pairs_by_rank",
+                Json::Arr(self.pairs_by_rank.iter().map(|&n| Json::from(n as u64)).collect()),
+            )
+            .set("stealers", self.stealers as u64)
+            .set("queue_wait_s", Json::from_f64_lossless(self.queue_wait_s))
+            .set("wall_s", Json::from_f64_lossless(self.wall_s))
+    }
+
+    /// Parse back a document produced by [`StudyStats::to_json`].
+    pub fn from_json(doc: &Json) -> Result<StudyStats, String> {
+        Ok(StudyStats {
+            cached: doc.u64_field("cached")? as usize,
+            computed: doc.u64_field("computed")? as usize,
+            pairs_by_rank: doc
+                .arr_field("pairs_by_rank")?
+                .iter()
+                .map(|n| {
+                    n.as_u64()
+                        .map(|n| n as usize)
+                        .ok_or_else(|| "pairs_by_rank entry is not an integer".to_string())
+                })
+                .collect::<Result<Vec<usize>, String>>()?,
+            stealers: doc.u64_field("stealers")? as usize,
+            queue_wait_s: doc.f64_field_lossless("queue_wait_s")?,
+            wall_s: doc.f64_field_lossless("wall_s")?,
+        })
+    }
+}
+
+/// One appended line of the stats history: which run produced the stats,
+/// against which cache file, at how many ranks, when.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StatsRecord {
+    /// What ran: `campaign:<scenario>`, `study:<n> scenarios`, or
+    /// `search:<scenario>`.
+    pub label: String,
+    /// File name of the cache the run resumed against. The history file
+    /// is shared per directory (one `stats_history.jsonl` sibling), so
+    /// this is what keeps rows of co-located caches distinguishable.
+    /// Stamped by [`append_stats_history`].
+    pub cache: String,
+    /// minimpi rank count of the run.
+    pub ranks: usize,
+    /// Milliseconds since the Unix epoch at record time.
+    pub unix_ms: u64,
+    /// The run's scheduler statistics.
+    pub stats: StudyStats,
+}
+
+impl StatsRecord {
+    /// A record stamped with the current wall clock (the cache name is
+    /// stamped later, by [`append_stats_history`]).
+    pub fn now(label: impl Into<String>, ranks: usize, stats: &StudyStats) -> StatsRecord {
+        let unix_ms = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0);
+        StatsRecord {
+            label: label.into(),
+            cache: String::new(),
+            ranks,
+            unix_ms,
+            stats: stats.clone(),
+        }
+    }
+
+    /// One history line (flattened: the stats fields inline with the
+    /// run metadata).
+    pub fn to_json(&self) -> Json {
+        let mut doc = Json::obj()
+            .set("label", self.label.as_str())
+            .set("cache", self.cache.as_str())
+            .set("ranks", self.ranks as u64)
+            .set("unix_ms", self.unix_ms as f64);
+        if let Json::Obj(stats) = self.stats.to_json() {
+            for (k, v) in stats {
+                doc = doc.set(&k, v);
+            }
+        }
+        doc
+    }
+
+    /// Parse back one history line.
+    pub fn from_json(doc: &Json) -> Result<StatsRecord, String> {
+        Ok(StatsRecord {
+            label: doc.str_field("label")?.to_string(),
+            cache: doc.str_field("cache")?.to_string(),
+            ranks: doc.u64_field("ranks")? as usize,
+            unix_ms: doc.f64_field("unix_ms")? as u64,
+            stats: StudyStats::from_json(doc)?,
+        })
+    }
+}
+
+/// Where the stats history of the cache at `cache_path` lives: a
+/// `stats_history.jsonl` sibling in the same directory — one compact
+/// JSON document per line, append-only, so every resumed run (study or
+/// campaign) adds exactly one row and the file diffs like a log.
+pub fn stats_history_path(cache_path: &Path) -> PathBuf {
+    cache_path.parent().unwrap_or_else(|| Path::new(".")).join("stats_history.jsonl")
+}
+
+/// Append one record to the stats history next to `cache_path` and
+/// return the history path. Called by [`run_study_resumed`] and
+/// [`crate::run_campaign_resumed`] after every run, so scheduler changes
+/// are measurable against the recorded baseline.
+pub fn append_stats_history(cache_path: &Path, record: &StatsRecord) -> Result<PathBuf, String> {
+    use std::io::Write;
+    let path = stats_history_path(cache_path);
+    let mut record = record.clone();
+    record.cache = cache_path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    let mut line = record.to_json().render_compact();
+    line.push('\n');
+    let mut file = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .map_err(|e| format!("open {}: {e}", path.display()))?;
+    file.write_all(line.as_bytes()).map_err(|e| format!("append {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Load every record of a stats-history file, oldest first. Blank lines
+/// are skipped; a malformed line is an error naming its line number
+/// (silently dropping recorded measurements would defeat the log).
+pub fn load_stats_history(path: &Path) -> Result<Vec<StatsRecord>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?;
+    text.lines()
+        .enumerate()
+        .filter(|(_, line)| !line.trim().is_empty())
+        .map(|(i, line)| {
+            let doc = Json::parse(line).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))?;
+            StatsRecord::from_json(&doc).map_err(|e| format!("{}:{}: {e}", path.display(), i + 1))
+        })
+        .collect()
+}
+
+/// The stats history as a trend table (the `codesign_advisor
+/// --stats-history` rendering): one line per recorded run, oldest first,
+/// with the per-rank balance spelled out.
+pub fn render_stats_history(records: &[StatsRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## Scheduler stats history ({} runs)\n\n", records.len()));
+    out.push_str(
+        "| # | label | cache | ranks | stealers | cached | computed | by rank | queue wait s | wall s |\n",
+    );
+    out.push_str("|---|---|---|---|---|---|---|---|---|---|\n");
+    for (i, r) in records.iter().enumerate() {
+        let by_rank = r
+            .stats
+            .pairs_by_rank
+            .iter()
+            .map(|n| n.to_string())
+            .collect::<Vec<String>>()
+            .join("/");
+        out.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} | {} | {} | {:.3} | {:.3} |\n",
+            i + 1,
+            r.label,
+            r.cache,
+            r.ranks,
+            r.stats.stealers,
+            r.stats.cached,
+            r.stats.computed,
+            by_rank,
+            r.stats.queue_wait_s,
+            r.stats.wall_s,
+        ));
+    }
+    out
 }
 
 // ---------------------------------------------------------------------------
@@ -445,9 +514,9 @@ struct Pair {
     candidate: CandidateSpec,
 }
 
-/// Run the study sharded across `nranks` minimpi ranks with the
-/// work-stealing scheduler. The merged report is byte-identical (JSON)
-/// to [`run_study`] for any rank count.
+/// Run the study sharded across `nranks` minimpi ranks with the shared
+/// work-stealing [`TaskPool`]. The merged report is byte-identical
+/// (JSON) to [`run_study`] for any rank count.
 pub fn run_study_distributed(
     scenarios: &[Box<dyn Scenario>],
     spec: &CampaignSpec,
@@ -467,6 +536,7 @@ pub fn run_study_distributed_resumable(
     nranks: usize,
     mut cache: Option<&mut OutcomeCache>,
 ) -> (StudyReport, StudyStats) {
+    let t0 = Instant::now();
     let nranks = nranks.max(1);
     let max_levels: Vec<u32> = scenarios.iter().map(|s| s.max_level(&spec.params)).collect();
 
@@ -493,18 +563,66 @@ pub fn run_study_distributed_resumable(
         cached: pairs.len() - missing.len(),
         computed: missing.len(),
         pairs_by_rank: vec![0; nranks],
+        ..StudyStats::default()
     };
 
-    // Baselines of scenarios some stealer actually touched (index ==
+    // Baselines of scenarios some stealer actually touched (keyed by
     // scenario index); fully-cached scenarios stay `None` and fall back
     // to their cached baseline self-fidelity.
     let (computed, baselines): (Vec<Option<CandidateOutcome>>, Vec<Option<Observable>>) =
         if missing.is_empty() {
             (Vec::new(), vec![None; scenarios.len()])
         } else {
-            let served = steal_pairs(scenarios, spec, nranks, &missing, &max_levels);
-            stats.pairs_by_rank = served.pairs_by_rank;
-            (served.outcomes, served.baselines)
+            let pool = TaskPool::new(nranks, spec.workers);
+            let missing_ref = &missing;
+            let run = pool.run(
+                scenarios.len(),
+                FixedTasks::new(missing.len()),
+                // Stealers are plain threads, not pool workers: mark each
+                // pair run as in-sweep so a scenario's interior mesh
+                // sweeps (params.threads > 1) run inline instead of
+                // serializing all stealers on the process-wide pool's
+                // submit lock — the same one-level-of-parallelism rule
+                // pool workers get implicitly.
+                &|ctx, task, _detail| {
+                    let Pair { scenario: si, candidate } = missing_ref[task as usize];
+                    crate::distributed::with_baseline(ctx, *si as u64, |baseline| {
+                        amr::run_inline(|| {
+                            run_candidate(
+                                scenarios[*si].as_ref(),
+                                spec,
+                                candidate,
+                                max_levels[*si],
+                                baseline,
+                            )
+                        })
+                        .to_json()
+                    })
+                },
+                &|key| {
+                    amr::run_inline(|| {
+                        scenarios[key as usize].build(&spec.params).run(&Session::passthrough())
+                    })
+                    .values
+                },
+            );
+            stats.absorb_pool(run.stats);
+            let computed = run
+                .source
+                .into_payloads()
+                .into_iter()
+                .map(|p| {
+                    Some(
+                        CandidateOutcome::from_json(
+                            &p.expect("every missing pair was stolen and completed"),
+                        )
+                        .expect("outcome rows round-trip the wire"),
+                    )
+                })
+                .collect();
+            let baselines =
+                run.resources.into_iter().map(|r| r.map(|values| Observable { values })).collect();
+            (computed, baselines)
         };
 
     // Reassemble in pair-lattice order: cached rows slot back in where
@@ -558,12 +676,16 @@ pub fn run_study_distributed_resumable(
         });
     }
 
+    stats.wall_s = t0.elapsed().as_secs_f64();
     (StudyReport::assemble(spec, reports), stats)
 }
 
 /// Load the cache at `path`, run the study resumably across `nranks`
-/// ranks, and persist the updated cache — the `--study --ranks N
-/// --resume <path>` CLI flow as one call.
+/// ranks, persist the updated cache, and append one [`StatsRecord`] to
+/// the `stats_history.jsonl` next to it — the `--study --ranks N
+/// --resume <path>` CLI flow as one call. The history append is
+/// best-effort observability: a failure there is reported on stderr,
+/// never allowed to discard the completed (and already persisted) run.
 pub fn run_study_resumed(
     scenarios: &[Box<dyn Scenario>],
     spec: &CampaignSpec,
@@ -574,215 +696,13 @@ pub fn run_study_resumed(
     let (report, stats) =
         run_study_distributed_resumable(scenarios, spec, nranks, Some(&mut cache));
     cache.save()?;
+    if let Err(e) = append_stats_history(
+        cache.path(),
+        &StatsRecord::now(format!("study:{} scenarios", scenarios.len()), nranks, &stats),
+    ) {
+        eprintln!("warning: scheduler stats history not recorded: {e}");
+    }
     Ok((report, stats))
-}
-
-// ---------------------------------------------------------------------------
-// The work-stealing scheduler
-// ---------------------------------------------------------------------------
-
-/// What the rank-0 server hands back after the queue drains.
-struct Served {
-    /// One outcome per missing pair, in missing-list order.
-    outcomes: Vec<Option<CandidateOutcome>>,
-    /// Lazily computed baselines, by scenario index.
-    baselines: Vec<Option<Observable>>,
-    /// Pairs completed per rank.
-    pairs_by_rank: Vec<usize>,
-}
-
-/// Distribute `missing` pairs across `nranks` ranks × `workers / nranks`
-/// stealer threads each, rank 0 serving the queue.
-fn steal_pairs(
-    scenarios: &[Box<dyn Scenario>],
-    spec: &CampaignSpec,
-    nranks: usize,
-    missing: &[&Pair],
-    max_levels: &[u32],
-) -> Served {
-    let rank_workers = (spec.workers / nranks).max(1);
-    let total_stealers = nranks * rank_workers;
-    let mut results = minimpi::run(nranks, |comm| -> Option<Served> {
-        // Every rank is up before the first grant can be answered; with
-        // the fair-start preamble below this guarantees each stealer one
-        // pair whenever the queue is deep enough.
-        comm.barrier();
-        let comm = &comm;
-        std::thread::scope(|sc| {
-            let server = (comm.rank() == 0).then(|| {
-                sc.spawn(move || run_server(comm, scenarios, missing, total_stealers))
-            });
-            let mut stealers = Vec::with_capacity(rank_workers);
-            for slot in 0..rank_workers {
-                stealers.push(sc.spawn(move || {
-                    run_stealer(comm, scenarios, spec, missing, max_levels, slot as u64)
-                }));
-            }
-            for s in stealers {
-                s.join().expect("stealer thread panicked");
-            }
-            server.map(|h| h.join().expect("study server panicked"))
-        })
-    });
-    results[0].take().expect("rank 0 ran the queue server")
-}
-
-/// The rank-0 queue server: one thread, one shared inbound tag,
-/// request/grant/done plus the lazy-baseline sub-protocol.
-fn run_server(
-    comm: &minimpi::Comm,
-    scenarios: &[Box<dyn Scenario>],
-    missing: &[&Pair],
-    total_stealers: usize,
-) -> Served {
-    let mut outcomes: Vec<Option<CandidateOutcome>> = (0..missing.len()).map(|_| None).collect();
-    let mut baselines: Vec<Option<Observable>> = (0..scenarios.len()).map(|_| None).collect();
-    let mut pairs_by_rank = vec![0usize; comm.size()];
-    // Baseline bookkeeping: who is computing, who is parked waiting.
-    let mut computing = vec![false; scenarios.len()];
-    let mut parked: Vec<Vec<(usize, u64)>> = (0..scenarios.len()).map(|_| Vec::new()).collect();
-
-    let mut next = 0usize;
-    let mut dones_sent = 0usize;
-
-    // Fair start: hold the first round of grants until every stealer has
-    // checked in, then grant in (rank, slot) order. Work-stealing keeps
-    // skewed costs from idling ranks *later*; this keeps a fast starter
-    // from draining a shallow queue before its peers even launch.
-    let mut first_round: Vec<(usize, u64)> = Vec::with_capacity(total_stealers);
-    while first_round.len() < total_stealers {
-        match comm.recv_wire_any::<ToServer>(TAG_STUDY).expect("study message parses") {
-            (src, ToServer::Request { slot }) => first_round.push((src, slot)),
-            _ => unreachable!("no grants issued yet, so only requests can arrive"),
-        }
-    }
-    first_round.sort_unstable();
-    for &(src, slot) in &first_round {
-        if next < missing.len() {
-            comm.send_wire(src, reply_tag(slot), &FromServer::Grant { pair: next as u64 });
-            pairs_by_rank[src] += 1;
-            next += 1;
-        } else {
-            comm.send_wire(src, reply_tag(slot), &FromServer::NoMoreWork);
-            dones_sent += 1;
-        }
-    }
-
-    // Elastic phase: serve until every stealer has been dismissed. The
-    // shared TAG_STUDY keeps each stealer's `done` ahead of its next
-    // `request` in mailbox order, so dismissal implies all outcomes in.
-    while dones_sent < total_stealers {
-        match comm.recv_wire_any::<ToServer>(TAG_STUDY).expect("study message parses") {
-            (src, ToServer::Request { slot }) => {
-                if next < missing.len() {
-                    comm.send_wire(src, reply_tag(slot), &FromServer::Grant { pair: next as u64 });
-                    pairs_by_rank[src] += 1;
-                    next += 1;
-                } else {
-                    comm.send_wire(src, reply_tag(slot), &FromServer::NoMoreWork);
-                    dones_sent += 1;
-                }
-            }
-            (_, ToServer::Done { pair, outcome }) => {
-                outcomes[pair as usize] = Some(*outcome);
-            }
-            (src, ToServer::BaselineReq { scenario, slot }) => {
-                let si = scenario as usize;
-                match &baselines[si] {
-                    Some(obs) => comm.send_wire(
-                        src,
-                        reply_tag(slot),
-                        &FromServer::Baseline { values: obs.values.clone() },
-                    ),
-                    None if !computing[si] => {
-                        // First touch: the requester computes and uploads.
-                        computing[si] = true;
-                        comm.send_wire(src, reply_tag(slot), &FromServer::ComputeBaseline);
-                    }
-                    None => parked[si].push((src, slot)),
-                }
-            }
-            (_, ToServer::BaselinePut { scenario, values }) => {
-                let si = scenario as usize;
-                for (r, slot) in parked[si].drain(..) {
-                    comm.send_wire(
-                        r,
-                        reply_tag(slot),
-                        &FromServer::Baseline { values: values.clone() },
-                    );
-                }
-                baselines[si] = Some(Observable { values });
-            }
-        }
-    }
-    debug_assert_eq!(next, missing.len(), "every pair was granted exactly once");
-    Served { outcomes, baselines, pairs_by_rank }
-}
-
-/// One stealer thread: request → (baseline on first touch of a
-/// scenario) → run the pair → done → request, until dismissed.
-fn run_stealer(
-    comm: &minimpi::Comm,
-    scenarios: &[Box<dyn Scenario>],
-    spec: &CampaignSpec,
-    missing: &[&Pair],
-    max_levels: &[u32],
-    slot: u64,
-) {
-    // Baselines this stealer has already seen (a thread-local map: a few
-    // scenarios per study, so duplicate fetches across threads are cheap
-    // and keep the protocol free of cross-thread locking).
-    let mut known: Vec<Option<Observable>> = (0..scenarios.len()).map(|_| None).collect();
-    loop {
-        let reply: FromServer = comm
-            .request_wire(0, TAG_STUDY, reply_tag(slot), &ToServer::Request { slot })
-            .expect("study reply parses");
-        let pair = match reply {
-            FromServer::Grant { pair } => pair as usize,
-            FromServer::NoMoreWork => return,
-            _ => unreachable!("work requests are answered with grant or dismissal"),
-        };
-        let Pair { scenario: si, candidate } = missing[pair];
-        let scenario = scenarios[*si].as_ref();
-        if known[*si].is_none() {
-            let reply: FromServer = comm
-                .request_wire(
-                    0,
-                    TAG_STUDY,
-                    reply_tag(slot),
-                    &ToServer::BaselineReq { scenario: *si as u64, slot },
-                )
-                .expect("study reply parses");
-            known[*si] = Some(match reply {
-                FromServer::Baseline { values } => Observable { values },
-                FromServer::ComputeBaseline => {
-                    let obs = amr::run_inline(|| {
-                        scenario.build(&spec.params).run(&Session::passthrough())
-                    });
-                    comm.send_wire(
-                        0,
-                        TAG_STUDY,
-                        &ToServer::BaselinePut { scenario: *si as u64, values: obs.values.clone() },
-                    );
-                    obs
-                }
-                _ => unreachable!("baseline requests are answered with values or compute"),
-            });
-        }
-        let baseline = known[*si].as_ref().expect("baseline resolved above");
-        // Stealers are plain threads, not pool workers: mark each pair
-        // run as in-sweep so a scenario's interior mesh sweeps
-        // (params.threads > 1) run inline instead of serializing all
-        // stealers on the process-wide pool's submit lock — the same
-        // one-level-of-parallelism rule pool workers get implicitly.
-        let outcome =
-            amr::run_inline(|| run_candidate(scenario, spec, candidate, max_levels[*si], baseline));
-        comm.send_wire(
-            0,
-            TAG_STUDY,
-            &ToServer::Done { pair: pair as u64, outcome: Box::new(outcome) },
-        );
-    }
 }
 
 #[cfg(test)]
@@ -803,52 +723,76 @@ mod tests {
     }
 
     #[test]
-    fn protocol_messages_round_trip() {
-        let msgs = [
-            ToServer::Request { slot: 3 },
-            ToServer::BaselineReq { scenario: 7, slot: 0 },
-            ToServer::BaselinePut {
-                scenario: 2,
-                values: vec![1.5, -0.0, f64::INFINITY, f64::NAN, 5e-324],
-            },
-        ];
-        for m in &msgs {
-            let back = ToServer::from_wire_bytes(&m.to_wire_bytes()).unwrap();
-            match (m, &back) {
-                (ToServer::Request { slot: a }, ToServer::Request { slot: b }) => {
-                    assert_eq!(a, b)
-                }
-                (
-                    ToServer::BaselineReq { scenario: s1, slot: a },
-                    ToServer::BaselineReq { scenario: s2, slot: b },
-                ) => assert_eq!((s1, a), (s2, b)),
-                (
-                    ToServer::BaselinePut { scenario: s1, values: v1 },
-                    ToServer::BaselinePut { scenario: s2, values: v2 },
-                ) => {
-                    assert_eq!(s1, s2);
-                    assert_eq!(v1.len(), v2.len());
-                    for (a, b) in v1.iter().zip(v2) {
-                        assert_eq!(a.to_bits(), b.to_bits(), "lossless incl. non-finite");
-                    }
-                }
-                _ => panic!("message kind changed in round trip"),
-            }
-        }
-        let replies = [
-            FromServer::Grant { pair: 11 },
-            FromServer::NoMoreWork,
-            FromServer::Baseline { values: vec![2.0, -1.0] },
-            FromServer::ComputeBaseline,
-        ];
-        for r in &replies {
-            let back = FromServer::from_wire_bytes(&r.to_wire_bytes()).unwrap();
-            assert_eq!(
-                std::mem::discriminant(r),
-                std::mem::discriminant(&back),
-                "reply kind survives"
-            );
-        }
+    fn study_stats_and_records_round_trip_through_json() {
+        let stats = StudyStats {
+            cached: 3,
+            computed: 9,
+            pairs_by_rank: vec![4, 5],
+            stealers: 4,
+            queue_wait_s: 0.25,
+            wall_s: 1.5,
+        };
+        let back = StudyStats::from_json(&Json::parse(&stats.to_json().render()).unwrap()).unwrap();
+        assert_eq!(back, stats);
+
+        let record = StatsRecord {
+            label: "study:3 scenarios".to_string(),
+            cache: "study-cache.json".to_string(),
+            ranks: 2,
+            unix_ms: 1_753_000_000_000,
+            stats,
+        };
+        let line = record.to_json().render_compact();
+        assert!(!line.contains('\n'), "history rows are one line: {line}");
+        let back = StatsRecord::from_json(&Json::parse(&line).unwrap()).unwrap();
+        assert_eq!(back, record);
+        // The trend table names the run, its cache, and its balance.
+        let table = render_stats_history(&[back]);
+        assert!(
+            table.contains("study:3 scenarios")
+                && table.contains("study-cache.json")
+                && table.contains("4/5"),
+            "{table}"
+        );
+    }
+
+    #[test]
+    fn stats_history_appends_and_loads_in_order() {
+        let dir = std::env::temp_dir().join(format!(
+            "raptor-stats-unit-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let cache_path = dir.join("cache.json");
+        let mk = |computed: usize| StudyStats {
+            cached: 0,
+            computed,
+            pairs_by_rank: vec![computed],
+            stealers: 1,
+            queue_wait_s: 0.0,
+            wall_s: 0.1,
+        };
+        let p1 =
+            append_stats_history(&cache_path, &StatsRecord::now("study:1 scenarios", 1, &mk(5)))
+                .unwrap();
+        let p2 =
+            append_stats_history(&cache_path, &StatsRecord::now("study:1 scenarios", 2, &mk(0)))
+                .unwrap();
+        assert_eq!(p1, p2, "appends share one sibling file");
+        assert_eq!(p1, stats_history_path(&cache_path));
+        let records = load_stats_history(&p1).unwrap();
+        assert_eq!(records.len(), 2, "one row per run");
+        assert_eq!(records[0].stats.computed, 5, "oldest first");
+        assert_eq!(records[1].stats.computed, 0);
+        assert_eq!(records[1].ranks, 2);
+        // Rows are attributable to their cache even though co-located
+        // caches share one history file.
+        assert!(records.iter().all(|r| r.cache == "cache.json"), "{:?}", records[0].cache);
+        // Malformed lines are loud errors, not silent drops.
+        std::fs::write(&p1, "{\"label\": \"x\"}\n").unwrap();
+        assert!(load_stats_history(&p1).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

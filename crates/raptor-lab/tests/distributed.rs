@@ -8,9 +8,9 @@ use bigfloat::Format;
 use raptor_core::Json;
 use raptor_lab::{
     default_candidates, find, native_candidates, precision_search, precision_search_distributed,
-    run_campaign, run_campaign_distributed, run_campaign_distributed_resumable,
-    run_campaign_resumed, shear_candidates, CampaignReport, CampaignSpec, CandidateOutcome,
-    CandidateSpec, LabParams, OutcomeCache, SearchSpec,
+    precision_search_distributed_stats, run_campaign, run_campaign_distributed,
+    run_campaign_distributed_resumable, run_campaign_resumed, shear_candidates, CampaignReport,
+    CampaignSpec, CandidateOutcome, CandidateSpec, LabParams, OutcomeCache, SearchSpec,
 };
 use std::path::PathBuf;
 
@@ -65,8 +65,8 @@ fn distributed_matches_single_rank_across_three_scenarios() {
 #[test]
 fn kelvin_helmholtz_prime_lattice_shards_with_remainders() {
     // The KH scenario's natural lattice has 7 candidates — prime, so no
-    // rank count in 2..=6 divides it and the block partition always has
-    // uneven shards. 7 = 5 static + 2 M-1 rows (KH refines: max_level 2
+    // rank count in 2..=6 divides it and the work distribution is always
+    // uneven. 7 = 5 static + 2 M-1 rows (KH refines: max_level 2
     // at mini scale, so the cutoff rows survive dedup).
     let scenario = find("hydro/kelvin-helmholtz").unwrap();
     assert_eq!(shear_candidates().len(), 7);
@@ -179,6 +179,80 @@ fn distributed_precision_search_matches_single_rank() {
         let dist = precision_search_distributed(scenario.as_ref(), &spec, ranks);
         assert_eq!(dist, single, "search rows identical at {ranks} ranks");
     }
+}
+
+#[test]
+fn probe_stealing_balances_skewed_chains_and_matches_serial() {
+    // hydro/sedov at mini scale produces deliberately skewed probe
+    // chains: M-0 bisects the full mantissa ladder (8 probes) while M-1
+    // and M-2 spare the refined levels and finish after their 2 bracket
+    // probes. The retired block partition pinned one whole chain per
+    // rank — [8, 2, 2] at 3 ranks, a spread of 6 — because a chain's
+    // probes are sequential and could never leave their rank. Stealing
+    // at probe granularity keeps the merged rows identical to the serial
+    // search while the sequential tail rotates through parked stealers.
+    let scenario = find("hydro/sedov").unwrap();
+    let mut spec = SearchSpec::new(LabParams::mini(), 0.999);
+    spec.cutoffs = vec![0, 1, 2];
+    let single = precision_search(scenario.as_ref(), &spec);
+    let lengths: Vec<usize> = single.iter().map(|r| r.probes.len()).collect();
+    let total: usize = lengths.iter().sum();
+    assert!(
+        lengths.iter().max().unwrap() - lengths.iter().min().unwrap() >= 4,
+        "chains are skewed enough to matter: {lengths:?}"
+    );
+    for ranks in [2usize, 3] {
+        spec.workers = ranks; // one stealer per rank
+        let (rows, stats) =
+            precision_search_distributed_stats(scenario.as_ref(), &spec, ranks);
+        assert_eq!(rows, single, "rows row-for-row identical at {ranks} ranks");
+        assert_eq!(stats.stealers, ranks);
+        assert_eq!((stats.cached, stats.computed), (0, total));
+        assert_eq!(stats.pairs_by_rank.len(), ranks);
+        assert_eq!(stats.pairs_by_rank.iter().sum::<usize>(), total);
+        assert!(
+            stats.pairs_by_rank.iter().all(|&n| n >= 1),
+            "fair start feeds every rank at {ranks} ranks: {:?}",
+            stats.pairs_by_rank
+        );
+        if ranks == 3 {
+            // The bound the block partition deterministically fails:
+            // chain-per-rank pinning yields a spread of 6 ([8, 2, 2]);
+            // probe stealing must stay well under it.
+            let (min, max) = (
+                *stats.pairs_by_rank.iter().min().unwrap(),
+                *stats.pairs_by_rank.iter().max().unwrap(),
+            );
+            assert!(
+                max - min <= 4,
+                "probe stealing beats chain pinning: {:?}",
+                stats.pairs_by_rank
+            );
+        }
+    }
+}
+
+#[test]
+fn distributed_search_handles_empty_and_single_chain_lattices() {
+    let scenario = find("ir/horner").unwrap();
+    let mut spec = SearchSpec::new(LabParams::mini(), 0.9999);
+
+    // Empty lattice: the pool dismisses every stealer at the fair start
+    // without a deadlock; no baseline ever runs.
+    spec.cutoffs = Vec::new();
+    let (rows, stats) = precision_search_distributed_stats(scenario.as_ref(), &spec, 2);
+    assert!(rows.is_empty());
+    assert_eq!((stats.cached, stats.computed), (0, 0));
+    assert_eq!(stats.pairs_by_rank, vec![0, 0]);
+
+    // Single chain on more stealers than ever-ready probes: the chain's
+    // sequential probes drain one at a time and the result still matches
+    // the serial row.
+    spec.cutoffs = vec![1];
+    let single = precision_search(scenario.as_ref(), &spec);
+    let (rows, stats) = precision_search_distributed_stats(scenario.as_ref(), &spec, 3);
+    assert_eq!(rows, single);
+    assert_eq!(stats.pairs_by_rank.iter().sum::<usize>(), single[0].probes.len());
 }
 
 #[test]

@@ -137,6 +137,45 @@ fn campaign_and_study_share_one_cache_file() {
 }
 
 #[test]
+fn consecutive_study_runs_append_distinct_stats_history_rows() {
+    // Every resumed run appends exactly one scheduler-stats row to the
+    // stats_history.jsonl next to the cache — the measurable baseline
+    // future scheduler changes are compared against.
+    let dir = std::env::temp_dir().join(format!("raptor-study-stats-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("study-cache.json");
+    let hist = raptor_lab::stats_history_path(&path);
+    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&hist);
+
+    let scenarios = study_scenarios(Some("ir/horner,ir/norm3")).unwrap();
+    let spec = mini_spec(
+        vec![CandidateSpec::op(Format::new(11, 21)), CandidateSpec::op(Format::new(11, 10))],
+        4,
+    );
+    let (_, s1) = run_study_resumed(&scenarios, &spec, 2, &path).unwrap();
+    let (_, s2) = run_study_resumed(&scenarios, &spec, 3, &path).unwrap();
+    assert_eq!((s1.cached, s1.computed), (0, 4));
+    assert_eq!(s1.stealers, 4, "workers >= nranks: the budget is honored");
+    assert!(s1.wall_s > 0.0);
+    assert_eq!((s2.cached, s2.computed), (4, 0));
+    assert_eq!(s2.stealers, 0, "a fully-warm resume spins up no pool");
+
+    let text = std::fs::read_to_string(&hist).unwrap();
+    assert_eq!(text.lines().filter(|l| !l.trim().is_empty()).count(), 2, "one line per run");
+    let records = raptor_lab::load_stats_history(&hist).unwrap();
+    assert_eq!(records.len(), 2);
+    assert_eq!((records[0].ranks, records[0].stats.computed), (2, 4), "cold row first");
+    assert_eq!((records[1].ranks, records[1].stats.computed), (3, 0), "warm row second");
+    assert!(records[0].label.contains("study:2 scenarios"), "{}", records[0].label);
+    assert_ne!(records[0], records[1], "consecutive rows are distinct");
+    // The rendered trend carries both runs.
+    let table = raptor_lab::render_stats_history(&records);
+    assert_eq!(table.matches("study:2 scenarios").count(), 2, "{table}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn skewed_lattice_still_feeds_every_rank() {
     // Deliberate cost skew: eos/cellular pairs run orders of magnitude
     // longer than the 16-call IR kernels. With one stealer per rank and
@@ -161,6 +200,9 @@ fn skewed_lattice_still_feeds_every_rank() {
             "every rank stole work at {ranks} ranks: {:?}",
             stats.pairs_by_rank
         );
+        // The documented clamp: total stealers = max(workers, nranks),
+        // surfaced in the stats rather than silently oversubscribed.
+        assert_eq!(stats.stealers, 3usize.max(ranks));
         assert_studies_identical(&stolen, &single, &format!("skewed study at {ranks} ranks"));
     }
 }

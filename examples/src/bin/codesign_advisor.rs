@@ -22,13 +22,15 @@
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --study --scenarios ir/horner,eos/cellular
 //! # resume-drill maintenance: drop every other cached row
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --cache-evict-half sweep.json
+//! # render the scheduler-stats trend recorded next to a cache
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --stats-history stats_history.jsonl
 //! ```
 
 use raptor_examples::parse_lab_args;
 use raptor_lab::{
-    native_candidates, run_campaign_distributed_resumable, run_campaign_resumed,
-    run_study_distributed_resumable, run_study_resumed, study_scenarios, CampaignSpec,
-    OutcomeCache, ResumeStats,
+    load_stats_history, native_candidates, render_stats_history,
+    run_campaign_distributed_resumable, run_campaign_resumed, run_study_distributed_resumable,
+    run_study_resumed, study_scenarios, CampaignSpec, OutcomeCache, ResumeStats,
 };
 
 fn main() {
@@ -45,6 +47,21 @@ fn main() {
         cache.evict_half();
         cache.save().expect("save cache");
         println!("cache-evict: {before} -> {} entries", cache.len());
+        return;
+    }
+    // Reporting mode: render the scheduler-stats trend that resumed runs
+    // append next to their cache, so scheduler changes stay measurable
+    // against the recorded baseline.
+    if let Some(i) = raw.iter().position(|a| a == "--stats-history") {
+        let path = raw.get(i + 1).unwrap_or_else(|| {
+            eprintln!("--stats-history wants a stats_history.jsonl path");
+            std::process::exit(2);
+        });
+        let records = load_stats_history(std::path::Path::new(path)).unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+        print!("{}", render_stats_history(&records));
         return;
     }
 
@@ -87,14 +104,34 @@ fn main() {
             None => run_study_distributed_resumable(&scenarios, &spec, args.ranks, None),
         };
         println!(
-            "resume: cached={} computed={} pairs_by_rank={:?}",
-            stats.cached, stats.computed, stats.pairs_by_rank
+            "resume: cached={} computed={} pairs_by_rank={:?} stealers={} queue_wait={:.3}s wall={:.3}s",
+            stats.cached,
+            stats.computed,
+            stats.pairs_by_rank,
+            stats.stealers,
+            stats.queue_wait_s,
+            stats.wall_s
         );
+        if let Some(path) = &args.resume {
+            // The append itself is best-effort (a failure is warned on
+            // stderr by the library); this line is a pointer, not a
+            // receipt.
+            println!(
+                "stats history: {}",
+                raptor_lab::stats_history_path(path).display()
+            );
+        }
         println!();
         print!("{}", study.render_markdown());
         println!();
         println!("{}", study.to_json().render());
         return;
+    }
+    // A scenario subset only means something for a study; dropping it
+    // silently would sweep the wrong workload.
+    if args.scenarios.is_some() {
+        eprintln!("--scenarios requires --study (single-scenario sweeps take a positional name)");
+        std::process::exit(2);
     }
     println!(
         "co-design advisor: {} — sweeping {} candidates across {} rank(s), fidelity floor {}{}",
@@ -113,6 +150,14 @@ fn main() {
         }
     };
     println!("resume: cached={} computed={}", stats.cached, stats.computed);
+    if let Some(path) = &args.resume {
+        // Best-effort append (failures are warned on stderr); this line
+        // is a pointer, not a receipt.
+        println!(
+            "stats history: {}",
+            raptor_lab::stats_history_path(path).display()
+        );
+    }
     if report.outcomes.len() < spec.candidates.len() {
         println!(
             "({} cutoff duplicates dropped: scenario has no refinement hierarchy)",

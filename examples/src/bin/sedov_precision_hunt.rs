@@ -1,10 +1,13 @@
 //! Domain scenario 1: hunt for the minimum safe precision of the Sedov
 //! blast's hydro solver using AMR-level-selective truncation — the §6.1
 //! methodology, now a thin wrapper over the `raptor-lab` campaign
-//! engine's greedy precision search. `--ranks N` fans the per-cutoff
-//! bisection rows out across minimpi ranks; `--native` answers the §3.6
-//! GPU question instead (a fp32/fp64-only campaign — bisecting mantissa
-//! widths makes no sense when only hardware formats are on the table).
+//! engine's greedy precision search. `--ranks N` steals the individual
+//! bisection *probes* across minimpi ranks through the shared
+//! work-stealing `TaskPool` (per-cutoff chain state stays with the
+//! rank-0 row owner, so rows are identical to the serial search);
+//! `--native` answers the §3.6 GPU question instead (a fp32/fp64-only
+//! campaign — bisecting mantissa widths makes no sense when only
+//! hardware formats are on the table).
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt
@@ -18,7 +21,7 @@
 
 use raptor_examples::parse_lab_args;
 use raptor_lab::{
-    native_candidates, precision_search_distributed, run_campaign_distributed,
+    native_candidates, precision_search_distributed_stats, run_campaign_distributed,
     run_campaign_resumed, search_to_json, study_scenarios, CampaignSpec, Scenario, SearchSpec,
 };
 
@@ -102,7 +105,12 @@ fn main() {
             args.ranks
         );
 
-        let rows = precision_search_distributed(scenario.as_ref(), &spec, args.ranks);
+        let (rows, stats) =
+            precision_search_distributed_stats(scenario.as_ref(), &spec, args.ranks);
+        println!(
+            "steal: probes={} probes_by_rank={:?} stealers={} queue_wait={:.3}s",
+            stats.computed, stats.pairs_by_rank, stats.stealers, stats.queue_wait_s
+        );
 
         println!();
         println!(

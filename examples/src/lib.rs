@@ -8,12 +8,16 @@
 //!
 //! * an optional registry scenario name (e.g. `eos/cellular`);
 //! * `--tiny` — the mini scale for CI smoke runs;
-//! * `--ranks N` — shard the work across `N` minimpi ranks
-//!   (`raptor_lab::run_campaign_distributed` /
-//!   `raptor_lab::run_study_distributed`); merged reports are
+//! * `--ranks N` — distribute the work across `N` minimpi ranks through
+//!   the shared work-stealing `raptor_lab::queue::TaskPool` (campaign
+//!   candidates, study pairs, and individual precision-search probes are
+//!   all stolen from a rank-0 queue); merged reports are
 //!   content-identical to the single-rank run;
 //! * `--resume <path>` — persist per-candidate outcomes to a cache file
 //!   so interrupted or repeated sweeps restart warm (campaign binaries);
+//!   every resumed run also appends its scheduler stats to the
+//!   `stats_history.jsonl` next to the cache, rendered by
+//!   `codesign_advisor --stats-history <path>`;
 //! * `--native` — restrict the lattice to the GPU-native fp32/fp64
 //!   hardware path (`raptor_lab::native_candidates`, the §3.6 question);
 //! * `--study` — sweep the whole registry into one cross-scenario
