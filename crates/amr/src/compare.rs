@@ -113,6 +113,48 @@ pub fn sfocu(mesh: &Mesh, reference: &Mesh, var: usize) -> Norms {
     norms(&a, &b)
 }
 
+/// First bitwise difference between two meshes' interior leaf data, or
+/// `None` if they are exactly identical.
+///
+/// Unlike [`sfocu`], this demands *exact* equality: the same leaf
+/// structure (count and positions, in iteration order) and bit-for-bit
+/// identical interior cell values — NaN payloads and signed zeros
+/// included. It is the oracle for "two code paths must produce
+/// byte-identical observables" checks, e.g. the batch-kernel vs scalar
+/// differential tests and the CI bit-identity smoke.
+pub fn bitwise_diff(a: &Mesh, b: &Mesh) -> Option<String> {
+    let la = a.leaves();
+    let lb = b.leaves();
+    if la.len() != lb.len() {
+        return Some(format!("leaf count differs: {} vs {}", la.len(), lb.len()));
+    }
+    for (&ia, &ib) in la.iter().zip(&lb) {
+        let ba = a.block(ia);
+        let bb = b.block(ib);
+        if ba.pos != bb.pos {
+            return Some(format!("leaf position differs: {:?} vs {:?}", ba.pos, bb.pos));
+        }
+        for var in 0..a.params.nvar {
+            for j in 0..a.params.ny {
+                for i in 0..a.params.nx {
+                    let xa = ba.data[a.index_int(var, i, j)];
+                    let xb = bb.data[b.index_int(var, i, j)];
+                    if xa.to_bits() != xb.to_bits() {
+                        return Some(format!(
+                            "block {:?} var {var} cell ({i},{j}): \
+                             {xa:e} ({:#018x}) vs {xb:e} ({:#018x})",
+                            ba.pos,
+                            xa.to_bits(),
+                            xb.to_bits()
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -186,6 +228,28 @@ mod tests {
         // the same floor sfocu sees when truncation perturbs refinement.
         let n = sfocu(&a, &b, 0);
         assert!(n.l1 > 0.0 && n.l1 < 0.01, "l1 = {}", n.l1);
+    }
+
+    #[test]
+    fn bitwise_diff_catches_one_ulp() {
+        let mut a = Mesh::new(params());
+        let mut b = Mesh::new(params());
+        a.fill_initial(|x, y, _| x * y + 1.0);
+        b.fill_initial(|x, y, _| x * y + 1.0);
+        assert_eq!(bitwise_diff(&a, &b), None);
+        // Flip the lowest mantissa bit of one interior cell.
+        let idx = a.find(BlockPos { level: 1, ix: 0, iy: 0 }).unwrap();
+        let f = a.index_int(0, 2, 5);
+        let v = a.block(idx).data[f];
+        a.block_mut(idx).data[f] = f64::from_bits(v.to_bits() ^ 1);
+        let d = bitwise_diff(&a, &b).expect("1-ulp difference must be reported");
+        assert!(d.contains("cell (2,5)"), "diff: {d}");
+        // Structural differences are reported too.
+        let mut c = Mesh::new(params());
+        c.fill_initial(|x, y, _| x * y + 1.0);
+        crate::guard::fill_guards(&mut c, &crate::guard::BcSpec::all_outflow(1));
+        c.refine(idx);
+        assert!(bitwise_diff(&c, &b).unwrap().contains("leaf count"));
     }
 
     #[test]

@@ -26,7 +26,7 @@ pub mod par;
 pub mod pool;
 
 pub use adapt::{adapt, adapt_with, block_error, init_with_refinement, AdaptResult, AdaptSpec, Decision};
-pub use compare::{norms, sample_point, sample_uniform, sfocu, Norms};
+pub use compare::{bitwise_diff, norms, sample_point, sample_uniform, sfocu, Norms};
 pub use guard::{fill_guards, BcKind, BcSpec};
 pub use mesh::{minmod, Block, BlockIdx, BlockPos, Mesh, MeshParams};
 pub use par::{par_leaves, seq_leaves, LeafGeom};

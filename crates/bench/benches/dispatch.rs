@@ -3,7 +3,9 @@
 //!
 //! Covers the matrix the ISSUE names: op-mode (naive `Big` and optimised
 //! `Soft` paths), mem-mode, and counting-only (an inactive region with
-//! full-op counting), plus the no-session passthrough floor.
+//! full-op counting), plus the no-session passthrough floor — and
+//! per-element rows for the `raptor_core::batch` slice kernels, which
+//! amortize that dispatch over whole slices.
 //!
 //! Set `RAPTOR_BENCH_JSON=path.json` to capture the numbers
 //! (`BENCH_dispatch.json` at the repo root holds the committed
@@ -63,6 +65,40 @@ fn bench_dispatch(c: &mut Harness) {
         g.bench_function("counting_only_fma", |b| {
             b.iter(|| black_box(black_box(x).mul_add(black_box(y), black_box(z))))
         });
+    }
+
+    // Batch kernels: per-element cost of op-mode slice ops through the
+    // monomorphized fast path — one dispatch + one bulk counter add per
+    // slice instead of per op. Reported per element so the rows compare
+    // directly against the scalar opmode_soft_* rows above.
+    {
+        use raptor_core::batch::{batch_add, batch_fma};
+        for (flabel, bfmt) in [
+            ("e11m12", Format::new(11, 12)),
+            ("fp16", Format::new(5, 10)),
+            ("bf16", Format::new(8, 7)),
+        ] {
+            let sess = Session::new(Config::op_all(bfmt)).unwrap();
+            let _g = sess.install();
+            for n in [64usize, 4096] {
+                let a: Vec<f64> = (0..n).map(|i| 0.1 + i as f64 * 1e-3).collect();
+                let bv: Vec<f64> = (0..n).map(|i| 0.7 + i as f64 * 1e-3).collect();
+                let cv: Vec<f64> = (0..n).map(|i| 1.3 - i as f64 * 1e-4).collect();
+                let mut out = vec![0.0; n];
+                g.bench_per_element(&format!("batch_add_{flabel}_{n}"), n, |b| {
+                    b.iter(|| {
+                        batch_add(black_box(&a), black_box(&bv), &mut out);
+                        black_box(out[0])
+                    })
+                });
+                g.bench_per_element(&format!("batch_fma_{flabel}_{n}"), n, |b| {
+                    b.iter(|| {
+                        batch_fma(black_box(&a), black_box(&bv), black_box(&cv), &mut out);
+                        black_box(out[0])
+                    })
+                });
+            }
+        }
     }
 
     // Mem-mode: shadow-slab op (slab cleared per iteration to stay bounded).

@@ -82,6 +82,24 @@ impl Group<'_> {
         self
     }
 
+    /// Measure one benchmark whose closure processes `n` elements per
+    /// iteration, reporting *per-element* time (`ns/iter / n`). Lets
+    /// slice-kernel rows sit in the same table as scalar per-op rows.
+    pub fn bench_per_element(
+        &mut self,
+        name: &str,
+        n: usize,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let mut b = Bencher { samples: self.samples, result_ns: f64::NAN };
+        f(&mut b);
+        let per_elem = b.result_ns / n as f64;
+        let label = format!("{}/{}", self.name, name);
+        println!("{label:<44} {per_elem:>12.2} ns/elem");
+        self.results.push(BenchResult { label, ns_per_iter: per_elem });
+        self
+    }
+
     /// No-op terminator for criterion-API parity.
     pub fn finish(&mut self) {}
 }

@@ -344,77 +344,13 @@ impl Format {
     }
 
     /// Bit-twiddled round-to-nearest-even path (the common case in the
-    /// RAPTOR runtime). Differential-tested against the `SoftFloat` path.
+    /// RAPTOR runtime). The algorithm lives in [`crate::kernel`] so the
+    /// batch emulation kernels can monomorphize the same core with
+    /// const-generic widths; differential-tested against the `SoftFloat`
+    /// path there and in `raptor-core/tests/fastpath.rs`.
     #[inline]
     fn round_f64_rne_fast(&self, x: f64) -> f64 {
-        let bits = x.to_bits();
-        let sign = bits & (1 << 63);
-        let mag = bits & !(1 << 63);
-        if mag == 0 {
-            return x;
-        }
-        let emin = self.emin();
-        let emax = self.emax();
-        // Decompose |x| = mant * 2^(exp - 52) with mant in [2^52, 2^53)
-        // (subnormal f64 inputs are normalized first).
-        let biased = (mag >> 52) as i32;
-        let (exp, mant) = if biased == 0 {
-            let frac = mag;
-            let lz = frac.leading_zeros(); // >= 12 for subnormals
-            (-1011 - lz as i32, frac << (lz - 11))
-        } else {
-            (biased - 1023, (1u64 << 52) | (mag & ((1u64 << 52) - 1)))
-        };
-        // Bits to drop from the 53-bit significand: precision loss plus the
-        // extra loss below the target's normal range (gradual underflow).
-        let extra = (emin - exp).max(0);
-        let drop = (52 - self.man_bits as i32) + extra;
-        if drop <= 0 {
-            if exp > emax {
-                return f64::from_bits(sign | f64::INFINITY.to_bits());
-            }
-            return x;
-        }
-        if drop >= 54 {
-            // |x| < half of the minimum subnormal: rounds to zero.
-            return f64::from_bits(sign);
-        }
-        let drop = drop as u32;
-        let half = 1u64 << (drop - 1);
-        let low = mant & ((1u64 << drop) - 1);
-        let trunc = mant >> drop;
-        let round_up = low > half || (low == half && trunc & 1 == 1);
-        let rmant = trunc + round_up as u64;
-        if rmant == 0 {
-            return f64::from_bits(sign);
-        }
-        // Reconstruct exactly: the kept significand times the ulp of the
-        // kept position. Both factors are exact f64s and the product is
-        // representable (<= 53 bits at lsb exponent >= emin - man_bits
-        // >= -1074 for every format this path accepts).
-        let res = (rmant as f64) * exp2i(exp - 52 + drop as i32);
-        // Overflow check without materializing max_finite (powi is a
-        // function call; this path is the op-mode hot loop): the result
-        // sits on the format's mantissa grid, so it exceeds max_finite
-        // exactly when its unbiased exponent exceeds emax.
-        let e_res = ((res.to_bits() >> 52) & 0x7FF) as i32 - 1023;
-        if e_res > emax {
-            return f64::from_bits(sign | f64::INFINITY.to_bits());
-        }
-        f64::from_bits(res.to_bits() | sign)
-    }
-}
-
-/// Exact power of two as f64 for exponents representable in f64's range.
-fn exp2i(e: i32) -> f64 {
-    if e >= -1022 && e <= 1023 {
-        f64::from_bits(((e + 1023) as u64) << 52)
-    } else if e < -1022 && e >= -1074 {
-        f64::from_bits(1u64 << (e + 1074))
-    } else if e < -1074 {
-        0.0
-    } else {
-        f64::INFINITY
+        crate::kernel::round_rne_core(x, self.exp_bits, self.man_bits)
     }
 }
 

@@ -39,6 +39,7 @@
 
 pub mod big;
 pub mod format;
+pub mod kernel;
 pub mod round;
 pub mod soft;
 pub mod soft_math;

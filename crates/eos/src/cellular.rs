@@ -122,6 +122,15 @@ impl Eos for TableHelmholtz {
         let gamma1 = R::one() + p / (rho * eint);
         (gamma1 * p / rho).sqrt()
     }
+
+    // Deliberately scalar-only: the table inversions iterate Newton /
+    // bisection with per-cell convergence behavior, which a slice-shaped
+    // batch kernel cannot reproduce op-for-op. The hydro sweep sees
+    // `batch_supported() == false` (the trait default) and keeps this EOS
+    // on the per-op path.
+    fn batch_supported(&self) -> bool {
+        false
+    }
 }
 
 /// Cellular simulation state.

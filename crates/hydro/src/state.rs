@@ -5,7 +5,7 @@
 //! trait so the Cellular workload can plug in the table-based Helmholtz
 //! substitute from the `eos` crate (paper §4.2, Hypothesis 2).
 
-use raptor_core::Real;
+use raptor_core::{batch, Real};
 
 /// Index of the density variable in mesh storage.
 pub const DENS: usize = 0;
@@ -45,6 +45,14 @@ pub struct Prim<R: Real> {
 }
 
 /// Equation of state abstraction (Flash-X `Eos` unit).
+///
+/// Besides the scalar evaluators, an EOS may opt into *batch* evaluation
+/// ([`Eos::batch_supported`]): slice-shaped variants that route through
+/// [`raptor_core::batch`], letting the hydro sweep retire per-op dispatch
+/// for whole mesh lines. A batch implementation must execute exactly the
+/// same operation sequence as its scalar counterpart (same ops, same
+/// order per element) so results stay bit-identical and operation counts
+/// stay exactly equal between the two paths.
 pub trait Eos: Sync + Send {
     /// Pressure from density and specific internal energy.
     fn pressure<R: Real>(&self, rho: R, eint: R) -> R;
@@ -52,6 +60,32 @@ pub trait Eos: Sync + Send {
     fn eint<R: Real>(&self, rho: R, p: R) -> R;
     /// Adiabatic sound speed from density and pressure.
     fn sound_speed<R: Real>(&self, rho: R, p: R) -> R;
+
+    /// Whether the slice-shaped evaluators below are implemented. When
+    /// `false` (the default) callers must stay on the scalar path.
+    fn batch_supported(&self) -> bool {
+        false
+    }
+
+    /// Slice variant of [`Eos::pressure`]. `scratch` and `out` must be the
+    /// same length as the inputs. Only called when
+    /// [`Eos::batch_supported`] is true.
+    fn pressure_batch(&self, rho: &[f64], eint: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        let _ = (rho, eint, scratch, out);
+        unimplemented!("EOS does not provide batch kernels; gate on batch_supported()")
+    }
+
+    /// Slice variant of [`Eos::eint`].
+    fn eint_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        let _ = (rho, p, scratch, out);
+        unimplemented!("EOS does not provide batch kernels; gate on batch_supported()")
+    }
+
+    /// Slice variant of [`Eos::sound_speed`].
+    fn sound_speed_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        let _ = (rho, p, scratch, out);
+        unimplemented!("EOS does not provide batch kernels; gate on batch_supported()")
+    }
 }
 
 /// Ideal-gas gamma-law EOS.
@@ -79,6 +113,29 @@ impl Eos for GammaLaw {
     #[inline]
     fn sound_speed<R: Real>(&self, rho: R, p: R) -> R {
         (R::from_f64(self.gamma) * p / rho).sqrt()
+    }
+
+    fn batch_supported(&self) -> bool {
+        true
+    }
+
+    // The batch variants mirror the scalar ASTs op for op: `(g-1)*rho` is
+    // one broadcast multiply, etc., so values and operation counts are
+    // identical to a per-element scalar evaluation.
+    fn pressure_batch(&self, rho: &[f64], eint: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        batch::batch_rmul_s(self.gamma - 1.0, rho, scratch);
+        batch::batch_mul(scratch, eint, out);
+    }
+
+    fn eint_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        batch::batch_rmul_s(self.gamma - 1.0, rho, scratch);
+        batch::batch_div(p, scratch, out);
+    }
+
+    fn sound_speed_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        batch::batch_rmul_s(self.gamma, p, out);
+        batch::batch_div(out, rho, scratch);
+        batch::batch_sqrt(scratch, out);
     }
 }
 

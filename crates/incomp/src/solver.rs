@@ -290,41 +290,56 @@ pub fn step<R: Real>(
     let mut diff_v = vec![0.0; n_int];
     {
         let _r = region("INS/diffusion");
-        let inv_re = R::from_f64(1.0 / params.re);
-        let inv_h2 = R::from_f64(1.0 / (h * h));
-        for j in 0..ny {
-            for i in 0..nx {
-                set_level(lvl(i, j));
-                let (ii, jj) = (i as isize, j as isize);
-                let mu_at = |di: isize, dj: isize| -> f64 {
-                    viscosity(params, grid.phi[grid.at(ii + di, jj + dj)], eps)
-                };
-                let rho_c = density(params, grid.phi[grid.at(ii, jj)], eps);
-                // Harmonic-mean face viscosity: at a 100:1 contrast the
-                // arithmetic mean pairs a large face mu with a tiny cell
-                // rho, yielding an effective diffusivity far above the
-                // explicit stability bound; the harmonic mean is dominated
-                // by the smaller side and keeps nu_eff <= 2 nu_phase.
-                let harm = |a: f64, b: f64| 2.0 * a * b / (a + b);
-                let mu_e = R::from_f64(harm(mu_at(0, 0), mu_at(1, 0)));
-                let mu_w = R::from_f64(harm(mu_at(0, 0), mu_at(-1, 0)));
-                let mu_n = R::from_f64(harm(mu_at(0, 0), mu_at(0, 1)));
-                let mu_s = R::from_f64(harm(mu_at(0, 0), mu_at(0, -1)));
-                let lap = |f: &[f64]| -> R {
-                    let c = R::from_f64(f[grid.at(ii, jj)]);
-                    let e = R::from_f64(f[grid.at(ii + 1, jj)]);
-                    let w = R::from_f64(f[grid.at(ii - 1, jj)]);
-                    let n = R::from_f64(f[grid.at(ii, jj + 1)]);
-                    let s = R::from_f64(f[grid.at(ii, jj - 1)]);
-                    (mu_e * (e - c) - mu_w * (c - w) + mu_n * (n - c) - mu_s * (c - s)) * inv_h2
-                };
-                let k = j * nx + i;
-                let scale = inv_re / R::from_f64(rho_c);
-                diff_u[k] = Real::to_f64(lap(&grid.u) * scale);
-                diff_v[k] = Real::to_f64(lap(&grid.v) * scale);
+        // Batch-kernel fast path: the five-point stencil has no per-cell
+        // control flow, so when every cell shares one truncation decision
+        // (no AMR level map) the instrumented build evaluates it row by
+        // row through `raptor_core::batch` — one dispatch per slice
+        // instead of per op, same ops in the same order, bit-identical
+        // results (the scalar loop below is the reference AST and the
+        // mem-mode / level-mapped path). `ready()` is checked inside the
+        // region so mem-mode sessions and the differential-test toggle
+        // fall through to scalar.
+        let use_batch = R::IS_TRACKED && level_map.is_none();
+        if use_batch && raptor_core::batch::ready() {
+            diffusion_batch(grid, params, eps, &mut diff_u, &mut diff_v);
+        } else {
+            let inv_re = R::from_f64(1.0 / params.re);
+            let inv_h2 = R::from_f64(1.0 / (h * h));
+            for j in 0..ny {
+                for i in 0..nx {
+                    set_level(lvl(i, j));
+                    let (ii, jj) = (i as isize, j as isize);
+                    let mu_at = |di: isize, dj: isize| -> f64 {
+                        viscosity(params, grid.phi[grid.at(ii + di, jj + dj)], eps)
+                    };
+                    let rho_c = density(params, grid.phi[grid.at(ii, jj)], eps);
+                    // Harmonic-mean face viscosity: at a 100:1 contrast the
+                    // arithmetic mean pairs a large face mu with a tiny cell
+                    // rho, yielding an effective diffusivity far above the
+                    // explicit stability bound; the harmonic mean is dominated
+                    // by the smaller side and keeps nu_eff <= 2 nu_phase.
+                    let harm = |a: f64, b: f64| 2.0 * a * b / (a + b);
+                    let mu_e = R::from_f64(harm(mu_at(0, 0), mu_at(1, 0)));
+                    let mu_w = R::from_f64(harm(mu_at(0, 0), mu_at(-1, 0)));
+                    let mu_n = R::from_f64(harm(mu_at(0, 0), mu_at(0, 1)));
+                    let mu_s = R::from_f64(harm(mu_at(0, 0), mu_at(0, -1)));
+                    let lap = |f: &[f64]| -> R {
+                        let c = R::from_f64(f[grid.at(ii, jj)]);
+                        let e = R::from_f64(f[grid.at(ii + 1, jj)]);
+                        let w = R::from_f64(f[grid.at(ii - 1, jj)]);
+                        let n = R::from_f64(f[grid.at(ii, jj + 1)]);
+                        let s = R::from_f64(f[grid.at(ii, jj - 1)]);
+                        (mu_e * (e - c) - mu_w * (c - w) + mu_n * (n - c) - mu_s * (c - s))
+                            * inv_h2
+                    };
+                    let k = j * nx + i;
+                    let scale = inv_re / R::from_f64(rho_c);
+                    diff_u[k] = Real::to_f64(lap(&grid.u) * scale);
+                    diff_v[k] = Real::to_f64(lap(&grid.v) * scale);
+                }
             }
+            set_level(None);
         }
-        set_level(None);
     }
 
     // Body forces (gravity and CSF surface tension) are applied as
@@ -488,6 +503,88 @@ pub fn step<R: Real>(
         grid.p = p;
     }
     grid.apply_bcs();
+}
+
+/// Row-sliced batch evaluation of the viscous terms: bit-identical to the
+/// scalar diffusion loop in [`step`] (same operations, same order per
+/// cell) but with one truncation-dispatch per row slice instead of per
+/// op. Face viscosities, densities, and harmonic means are plain-`f64`
+/// coefficient prep in both paths and stay untracked here too.
+fn diffusion_batch(
+    grid: &Grid,
+    params: &InsParams,
+    eps: f64,
+    diff_u: &mut [f64],
+    diff_v: &mut [f64],
+) {
+    use raptor_core::batch::{batch_add, batch_mul, batch_mul_s, batch_rdiv_s, batch_sub};
+    let (nx, ny) = (grid.nx, grid.ny);
+    let h = grid.h;
+    let inv_re = 1.0 / params.re;
+    let inv_h2 = 1.0 / (h * h);
+    let harm = |a: f64, b: f64| 2.0 * a * b / (a + b);
+    // Untracked per-row coefficients.
+    let mut mu_e = vec![0.0; nx];
+    let mut mu_w = vec![0.0; nx];
+    let mut mu_n = vec![0.0; nx];
+    let mut mu_s = vec![0.0; nx];
+    let mut rho = vec![0.0; nx];
+    let mut scale = vec![0.0; nx];
+    // Stencil rows and scratch.
+    let mut rc = vec![0.0; nx];
+    let mut re_ = vec![0.0; nx];
+    let mut rw = vec![0.0; nx];
+    let mut rn = vec![0.0; nx];
+    let mut rs = vec![0.0; nx];
+    let mut t = vec![0.0; nx];
+    let mut pa = vec![0.0; nx];
+    let mut pb = vec![0.0; nx];
+    let mut acc = vec![0.0; nx];
+    let mut acc2 = vec![0.0; nx];
+    for j in 0..ny {
+        let jj = j as isize;
+        for i in 0..nx {
+            let ii = i as isize;
+            let mu_at = |di: isize, dj: isize| -> f64 {
+                viscosity(params, grid.phi[grid.at(ii + di, jj + dj)], eps)
+            };
+            let mu_c = mu_at(0, 0);
+            mu_e[i] = harm(mu_c, mu_at(1, 0));
+            mu_w[i] = harm(mu_c, mu_at(-1, 0));
+            mu_n[i] = harm(mu_c, mu_at(0, 1));
+            mu_s[i] = harm(mu_c, mu_at(0, -1));
+            rho[i] = density(params, grid.phi[grid.at(ii, jj)], eps);
+        }
+        // scale = inv_re / rho_c (one tracked div per cell, as in scalar).
+        batch_rdiv_s(inv_re, &rho, &mut scale);
+        let out_row = j * nx..(j + 1) * nx;
+        for (f, out) in [(&grid.u, &mut diff_u[out_row.clone()]), (&grid.v, &mut diff_v[out_row])]
+        {
+            for i in 0..nx {
+                let ii = i as isize;
+                rc[i] = f[grid.at(ii, jj)];
+                re_[i] = f[grid.at(ii + 1, jj)];
+                rw[i] = f[grid.at(ii - 1, jj)];
+                rn[i] = f[grid.at(ii, jj + 1)];
+                rs[i] = f[grid.at(ii, jj - 1)];
+            }
+            // (mu_e*(e-c) - mu_w*(c-w) + mu_n*(n-c) - mu_s*(c-s)) * inv_h2
+            batch_sub(&re_, &rc, &mut t);
+            batch_mul(&mu_e, &t, &mut pa);
+            batch_sub(&rc, &rw, &mut t);
+            batch_mul(&mu_w, &t, &mut pb);
+            batch_sub(&pa, &pb, &mut acc);
+            batch_sub(&rn, &rc, &mut t);
+            batch_mul(&mu_n, &t, &mut pb);
+            batch_add(&acc, &pb, &mut acc2);
+            batch_sub(&rc, &rs, &mut t);
+            batch_mul(&mu_s, &t, &mut pb);
+            batch_sub(&acc2, &pb, &mut acc);
+            batch_mul_s(&acc, inv_h2, &mut t);
+            // lap * scale
+            batch_mul(&t, &scale, out);
+        }
+    }
 }
 
 /// Interface curvature at a cell: `∇·(∇φ/|∇φ|)` by central differences.
@@ -672,6 +769,50 @@ mod tests {
         }
         assert!(vmax.is_finite() && vmax < 10.0, "vmax {vmax}");
         assert!(divmax < 5.0, "divergence {divmax}");
+    }
+
+    /// The batched diffusion operator must match the scalar loop bit for
+    /// bit and op count for op count — across a table-served format and
+    /// the per-element fallback format — while the advection terms stay
+    /// scalar in both runs.
+    #[test]
+    fn batch_diffusion_bit_identical_to_scalar() {
+        use bigfloat::Format;
+        use raptor_core::{batch, Config, Tracked};
+        for fmt in [Format::new(11, 10), Format::new(11, 20)] {
+            let run = |force_scalar: bool| {
+                batch::set_force_scalar(force_scalar);
+                let mut g = circle_grid(24, 24);
+                let params = InsParams::default();
+                let sess = Session::new(
+                    Config::op_files(fmt, ["INS"]).with_counting(),
+                )
+                .unwrap();
+                for _ in 0..3 {
+                    let dt = compute_dt(&g, &params);
+                    step::<Tracked>(&mut g, &params, dt, None, &sess);
+                }
+                batch::set_force_scalar(false);
+                (g, sess.counters())
+            };
+            let (gs, cs) = run(true);
+            let (gb, cb) = run(false);
+            for (name, a, b) in [
+                ("u", &gs.u, &gb.u),
+                ("v", &gs.v, &gb.v),
+                ("phi", &gs.phi, &gb.phi),
+            ] {
+                for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{fmt:?} field {name} index {k}: {x:e} vs {y:e}"
+                    );
+                }
+            }
+            assert_eq!(cs, cb, "{fmt:?}: op counters must match exactly");
+            assert!(cs.trunc.div > 0, "{fmt:?}: diffusion divs counted");
+        }
     }
 
     #[test]

@@ -1,0 +1,838 @@
+//! Batch-specialized emulation kernels: slice-shaped ops that read the
+//! published [`FastPath`](crate::context) decision **once per call**, then
+//! run the whole slice through a monomorphized kernel — no per-element TLS
+//! load, no per-element dispatch branch, no per-element counter bump.
+//!
+//! This is the RAPTOR answer to what r2vm's DBT does for instruction
+//! dispatch: the scalar [`crate::ops`] entry points are the interpreter
+//! slow path (kept verbatim as the differential oracle); a leaf's worth of
+//! cells goes through `batch_add`/`batch_mul`/... instead, which jump
+//! through a small static dispatch table to a `softfp`-style const-generic
+//! kernel instantiated for the shipped format ladder. Counters are
+//! bulk-added once per call ([`CellCounts::bump_n`](crate::counters)), so
+//! totals are *exactly* what the scalar path would have produced.
+//!
+//! ## Dispatch tiers (fastest first)
+//!
+//! 1. **No session / inactive region** — plain hardware loops (plus one
+//!    bulk `full` count when the session counts full ops).
+//! 2. **Op-mode, monomorphized** — round-to-nearest-even and an
+//!    innocuous-double-rounding format in the static table: the
+//!    `round → hardware op → round` shortcut with const-generic widths,
+//!    bit-identical to the scalar Soft path by construction (both funnel
+//!    through [`bigfloat::kernel::round_rne_core`]).
+//! 3. **Op-mode, generic shortcut** — safe format outside the table: the
+//!    same loop with runtime widths.
+//! 4. **Op-mode fallback** — Native/Big paths, directed rounding modes,
+//!    or wide formats: per-element emulation (same functions the scalar
+//!    path calls), still with one dispatch read and one bulk count.
+//! 5. **mem-mode** — defensive per-element [`crate::ops`] calls. Consumers
+//!    should gate with [`ready`] and keep their scalar path instead:
+//!    mem-mode needs per-op source locations, which a batch call cannot
+//!    attribute.
+//!
+//! All slices must have equal length; the functions panic otherwise.
+
+use crate::config::{Config, EmulPath};
+use crate::context::{Dispatch, FastPath, FAST};
+use crate::counters::OpKind;
+use crate::ops;
+use bigfloat::kernel::{round_rne, round_rne_core};
+use bigfloat::RoundMode;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// ---------------------------------------------------------------------------
+// Consumer gating
+// ---------------------------------------------------------------------------
+
+static FORCE_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Test/diagnostic toggle: when set, [`ready`] reports `false` so gated
+/// consumers take their scalar path. Global (all threads), so differential
+/// runs under `par_leaves` flip every worker at once.
+pub fn set_force_scalar(on: bool) {
+    FORCE_SCALAR.store(on, Ordering::SeqCst);
+}
+
+/// Whether [`set_force_scalar`] is currently set.
+pub fn force_scalar() -> bool {
+    FORCE_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Whether batch calls are profitable *and* semantics-preserving for the
+/// current thread state: false under mem-mode sessions (per-op source
+/// locations cannot be attributed from a slice loop) and under
+/// [`set_force_scalar`]. True otherwise, including with no session at all.
+pub fn ready() -> bool {
+    if force_scalar() {
+        return false;
+    }
+    FAST.with(|f| {
+        !matches!(
+            f.dispatch.get(),
+            Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount
+        )
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Public slice ops
+// ---------------------------------------------------------------------------
+
+/// `out[i] = a[i] + b[i]` under the current truncation decision.
+pub fn batch_add(a: &[f64], b: &[f64], out: &mut [f64]) {
+    bin(OpKind::Add, a, b, out)
+}
+
+/// `out[i] = a[i] - b[i]` under the current truncation decision.
+pub fn batch_sub(a: &[f64], b: &[f64], out: &mut [f64]) {
+    bin(OpKind::Sub, a, b, out)
+}
+
+/// `out[i] = a[i] * b[i]` under the current truncation decision.
+pub fn batch_mul(a: &[f64], b: &[f64], out: &mut [f64]) {
+    bin(OpKind::Mul, a, b, out)
+}
+
+/// `out[i] = a[i] / b[i]` under the current truncation decision.
+pub fn batch_div(a: &[f64], b: &[f64], out: &mut [f64]) {
+    bin(OpKind::Div, a, b, out)
+}
+
+/// `out[i] = a[i] + s` (scalar broadcast on the right).
+pub fn batch_add_s(a: &[f64], s: f64, out: &mut [f64]) {
+    bin_s(OpKind::Add, a, s, out)
+}
+
+/// `out[i] = a[i] - s` (scalar broadcast on the right).
+pub fn batch_sub_s(a: &[f64], s: f64, out: &mut [f64]) {
+    bin_s(OpKind::Sub, a, s, out)
+}
+
+/// `out[i] = a[i] * s` (scalar broadcast on the right).
+pub fn batch_mul_s(a: &[f64], s: f64, out: &mut [f64]) {
+    bin_s(OpKind::Mul, a, s, out)
+}
+
+/// `out[i] = a[i] / s` (scalar broadcast on the right).
+pub fn batch_div_s(a: &[f64], s: f64, out: &mut [f64]) {
+    bin_s(OpKind::Div, a, s, out)
+}
+
+/// `out[i] = s - b[i]` (scalar broadcast on the left).
+pub fn batch_rsub_s(s: f64, b: &[f64], out: &mut [f64]) {
+    bin_rs(OpKind::Sub, s, b, out)
+}
+
+/// `out[i] = s * b[i]` (scalar broadcast on the left).
+pub fn batch_rmul_s(s: f64, b: &[f64], out: &mut [f64]) {
+    bin_rs(OpKind::Mul, s, b, out)
+}
+
+/// `out[i] = s / b[i]` (scalar broadcast on the left).
+pub fn batch_rdiv_s(s: f64, b: &[f64], out: &mut [f64]) {
+    bin_rs(OpKind::Div, s, b, out)
+}
+
+/// `out[i] = sqrt(a[i])` under the current truncation decision.
+pub fn batch_sqrt(a: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), out.len());
+    let n = out.len() as u64;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x.sqrt();
+            }
+        }
+        Dispatch::InactiveCount => {
+            f.full.bump_n(OpKind::Sqrt, n);
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x.sqrt();
+            }
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(OpKind::Sqrt, n);
+            if let Some(ks) = f.kernels.get() {
+                (ks.sqrt)(a, out);
+            } else {
+                op_sqrt_fallback(f, a, out);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = ops::op_sqrt(x);
+            }
+        }
+    })
+}
+
+/// `out[i] = fma(a[i], b[i], c[i])` under the current truncation decision.
+pub fn batch_fma(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), out.len());
+    assert_eq!(b.len(), out.len());
+    assert_eq!(c.len(), out.len());
+    let n = out.len() as u64;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => {
+            for (((o, &x), &y), &z) in out.iter_mut().zip(a).zip(b).zip(c) {
+                *o = x.mul_add(y, z);
+            }
+        }
+        Dispatch::InactiveCount => {
+            f.full.bump_n(OpKind::Fma, n);
+            for (((o, &x), &y), &z) in out.iter_mut().zip(a).zip(b).zip(c) {
+                *o = x.mul_add(y, z);
+            }
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(OpKind::Fma, n);
+            if let Some(ks) = f.kernels.get() {
+                (ks.fma)(a, b, c, out);
+            } else {
+                op_fma_fallback(f, a, b, c, out);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for (((o, &x), &y), &z) in out.iter_mut().zip(a).zip(b).zip(c) {
+                *o = ops::op_fma(x, y, z);
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Binary dispatch skeletons
+// ---------------------------------------------------------------------------
+
+fn bin(kind: OpKind, a: &[f64], b: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), out.len());
+    assert_eq!(b.len(), out.len());
+    let n = out.len() as u64;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => raw_bin(kind, a, b, out),
+        Dispatch::InactiveCount => {
+            f.full.bump_n(kind, n);
+            raw_bin(kind, a, b, out)
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(kind, n);
+            if let Some(ks) = f.kernels.get() {
+                (ks.bin)(kind, a, b, out);
+            } else {
+                op_bin_fallback(f, kind, a, b, out);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                *o = ops::op2(kind, x, y);
+            }
+        }
+    })
+}
+
+fn bin_s(kind: OpKind, a: &[f64], s: f64, out: &mut [f64]) {
+    assert_eq!(a.len(), out.len());
+    let n = out.len() as u64;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => raw_bin_s(kind, a, s, out),
+        Dispatch::InactiveCount => {
+            f.full.bump_n(kind, n);
+            raw_bin_s(kind, a, s, out)
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(kind, n);
+            if let Some(ks) = f.kernels.get() {
+                (ks.bin_s)(kind, a, s, out);
+            } else {
+                op_bin_s_fallback(f, kind, a, s, out);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = ops::op2(kind, x, s);
+            }
+        }
+    })
+}
+
+fn bin_rs(kind: OpKind, s: f64, b: &[f64], out: &mut [f64]) {
+    assert_eq!(b.len(), out.len());
+    let n = out.len() as u64;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => raw_bin_rs(kind, s, b, out),
+        Dispatch::InactiveCount => {
+            f.full.bump_n(kind, n);
+            raw_bin_rs(kind, s, b, out)
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(kind, n);
+            if let Some(ks) = f.kernels.get() {
+                (ks.bin_rs)(kind, s, b, out);
+            } else {
+                op_bin_rs_fallback(f, kind, s, b, out);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = ops::op2(kind, s, y);
+            }
+        }
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Hardware loops
+// ---------------------------------------------------------------------------
+
+macro_rules! raw_loop2 {
+    ($kind:expr, $a:expr, $b:expr, $out:expr, $op:tt) => {
+        for ((o, &x), &y) in $out.iter_mut().zip($a).zip($b) {
+            *o = x $op y;
+        }
+    };
+}
+
+fn raw_bin(kind: OpKind, a: &[f64], b: &[f64], out: &mut [f64]) {
+    match kind {
+        OpKind::Add => raw_loop2!(kind, a, b, out, +),
+        OpKind::Sub => raw_loop2!(kind, a, b, out, -),
+        OpKind::Mul => raw_loop2!(kind, a, b, out, *),
+        OpKind::Div => raw_loop2!(kind, a, b, out, /),
+        _ => unreachable!("binary batch ops only"),
+    }
+}
+
+fn raw_bin_s(kind: OpKind, a: &[f64], s: f64, out: &mut [f64]) {
+    match kind {
+        OpKind::Add => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x + s;
+            }
+        }
+        OpKind::Sub => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x - s;
+            }
+        }
+        OpKind::Mul => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x * s;
+            }
+        }
+        OpKind::Div => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x / s;
+            }
+        }
+        _ => unreachable!("binary batch ops only"),
+    }
+}
+
+fn raw_bin_rs(kind: OpKind, s: f64, b: &[f64], out: &mut [f64]) {
+    match kind {
+        OpKind::Add => {
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = s + y;
+            }
+        }
+        OpKind::Sub => {
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = s - y;
+            }
+        }
+        OpKind::Mul => {
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = s * y;
+            }
+        }
+        OpKind::Div => {
+            for (o, &y) in out.iter_mut().zip(b) {
+                *o = s / y;
+            }
+        }
+        _ => unreachable!("binary batch ops only"),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Op-mode fallbacks (Native path, generic-width shortcut, per-element
+// emulation). One dispatch read and one bulk count already happened.
+// ---------------------------------------------------------------------------
+
+fn op_bin_fallback(f: &FastPath, kind: OpKind, a: &[f64], b: &[f64], out: &mut [f64]) {
+    let fmt = f.format.get();
+    let rm = f.round.get();
+    let path = f.path.get();
+    match path {
+        EmulPath::Native => {
+            if fmt == bigfloat::Format::FP64 {
+                raw_bin(kind, a, b, out);
+            } else {
+                for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                    *o = ops::raw2(kind, (x as f32) as f64, (y as f32) as f64) as f32 as f64;
+                }
+            }
+        }
+        _ => {
+            if path != EmulPath::Big && rm == RoundMode::NearestEven && fmt.double_round_safe() {
+                // Safe format outside the static table: same shortcut with
+                // runtime widths.
+                let (e, m) = (fmt.exp_bits(), fmt.man_bits());
+                for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                    let r = ops::raw2(kind, round_rne_core(x, e, m), round_rne_core(y, e, m));
+                    *o = if r.is_nan() { f64::NAN } else { round_rne_core(r, e, m) };
+                }
+            } else {
+                for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                    *o = ops::emulate2(fmt, rm, path, kind, x, y);
+                }
+            }
+        }
+    }
+}
+
+fn op_bin_s_fallback(f: &FastPath, kind: OpKind, a: &[f64], s: f64, out: &mut [f64]) {
+    let fmt = f.format.get();
+    let rm = f.round.get();
+    let path = f.path.get();
+    if path != EmulPath::Native
+        && path != EmulPath::Big
+        && rm == RoundMode::NearestEven
+        && fmt.double_round_safe()
+    {
+        let (e, m) = (fmt.exp_bits(), fmt.man_bits());
+        let rs = round_rne_core(s, e, m);
+        for (o, &x) in out.iter_mut().zip(a) {
+            let r = ops::raw2(kind, round_rne_core(x, e, m), rs);
+            *o = if r.is_nan() { f64::NAN } else { round_rne_core(r, e, m) };
+        }
+    } else {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = ops::emulate2(fmt, rm, path, kind, x, s);
+        }
+    }
+}
+
+fn op_bin_rs_fallback(f: &FastPath, kind: OpKind, s: f64, b: &[f64], out: &mut [f64]) {
+    let fmt = f.format.get();
+    let rm = f.round.get();
+    let path = f.path.get();
+    if path != EmulPath::Native
+        && path != EmulPath::Big
+        && rm == RoundMode::NearestEven
+        && fmt.double_round_safe()
+    {
+        let (e, m) = (fmt.exp_bits(), fmt.man_bits());
+        let rs = round_rne_core(s, e, m);
+        for (o, &y) in out.iter_mut().zip(b) {
+            let r = ops::raw2(kind, rs, round_rne_core(y, e, m));
+            *o = if r.is_nan() { f64::NAN } else { round_rne_core(r, e, m) };
+        }
+    } else {
+        for (o, &y) in out.iter_mut().zip(b) {
+            *o = ops::emulate2(fmt, rm, path, kind, s, y);
+        }
+    }
+}
+
+fn op_sqrt_fallback(f: &FastPath, a: &[f64], out: &mut [f64]) {
+    let fmt = f.format.get();
+    let rm = f.round.get();
+    let path = f.path.get();
+    if path != EmulPath::Native
+        && path != EmulPath::Big
+        && rm == RoundMode::NearestEven
+        && fmt.double_round_safe()
+    {
+        let (e, m) = (fmt.exp_bits(), fmt.man_bits());
+        for (o, &x) in out.iter_mut().zip(a) {
+            let r = round_rne_core(x, e, m).sqrt();
+            *o = if r.is_nan() { f64::NAN } else { round_rne_core(r, e, m) };
+        }
+    } else {
+        for (o, &x) in out.iter_mut().zip(a) {
+            *o = ops::emulate_sqrt(fmt, rm, path, x);
+        }
+    }
+}
+
+fn op_fma_fallback(f: &FastPath, a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+    let fmt = f.format.get();
+    let rm = f.round.get();
+    let path = f.path.get();
+    if path != EmulPath::Native
+        && path != EmulPath::Big
+        && rm == RoundMode::NearestEven
+        && fmt.double_round_safe()
+    {
+        let (e, m) = (fmt.exp_bits(), fmt.man_bits());
+        for (((o, &x), &y), &z) in out.iter_mut().zip(a).zip(b).zip(c) {
+            let r = round_rne_core(x, e, m)
+                .mul_add(round_rne_core(y, e, m), round_rne_core(z, e, m));
+            *o = if r.is_nan() { f64::NAN } else { round_rne_core(r, e, m) };
+        }
+    } else {
+        for (((o, &x), &y), &z) in out.iter_mut().zip(a).zip(b).zip(c) {
+            *o = ops::emulate_fma(fmt, rm, path, x, y, z);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monomorphized kernels and the static dispatch table
+// ---------------------------------------------------------------------------
+
+/// One format's worth of monomorphized kernels, selected once per publish
+/// and cached in the decision cache.
+pub(crate) struct KernelSet {
+    pub(crate) bin: fn(OpKind, &[f64], &[f64], &mut [f64]),
+    pub(crate) bin_s: fn(OpKind, &[f64], f64, &mut [f64]),
+    pub(crate) bin_rs: fn(OpKind, f64, &[f64], &mut [f64]),
+    pub(crate) sqrt: fn(&[f64], &mut [f64]),
+    pub(crate) fma: fn(&[f64], &[f64], &[f64], &mut [f64]),
+}
+
+/// Finish one shortcut op: canonicalize hardware NaNs (x86's negative
+/// "indefinite" vs the soft kernels' positive quiet NaN), then the final
+/// rounding. Mirrors the scalar shortcut in [`crate::ops`] exactly.
+#[inline(always)]
+fn finish<const E: u32, const M: u32>(r: f64) -> f64 {
+    if r.is_nan() {
+        f64::NAN
+    } else {
+        round_rne::<E, M>(r)
+    }
+}
+
+/// Branchless RNE rounding for magnitudes whose rounded value stays in
+/// the target format's *normal* range: the classic add-half-and-truncate
+/// on the raw bit pattern (carry out of the mantissa bumps the biased
+/// exponent exactly as IEEE encoding requires). For anything the trick
+/// cannot serve exactly — non-finite input, a nonzero magnitude below
+/// the format's normal range (target-subnormal, variable shift), or a
+/// result past `emax` (overflow to infinity) — it *flags* `slow` instead
+/// of handling the case, and the caller re-runs that chunk through the
+/// precise [`round_rne`] path. ±0 passes through the fast path
+/// unchanged. The split keeps the hot loop free of data-dependent
+/// branches so it auto-vectorizes.
+#[inline(always)]
+fn fast_round<const E: u32, const M: u32>(x: f64, slow: &mut bool) -> f64 {
+    let drop = 52 - M;
+    let bias = (1i32 << (E - 1)) - 1;
+    let (emin, emax) = (1 - bias, bias);
+    let bits = x.to_bits();
+    let mag = bits & !(1u64 << 63);
+    let exp = ((bits >> 52) & 0x7FF) as i32 - 1023;
+    let lsb = (bits >> drop) & 1;
+    let rbits = bits.wrapping_add((1u64 << (drop - 1)) - 1 + lsb) & !((1u64 << drop) - 1);
+    let rexp = ((rbits >> 52) & 0x7FF) as i32 - 1023;
+    *slow |= (exp >= 1024) | ((exp < emin) & (mag != 0)) | (rexp > emax);
+    f64::from_bits(rbits)
+}
+
+/// Chunk size for the fast/precise split: small enough that one stray
+/// subnormal only re-runs a cacheline-scale stretch, large enough to
+/// amortize the flag check.
+const CHUNK: usize = 128;
+
+fn k_bin<const E: u32, const M: u32>(kind: OpKind, a: &[f64], b: &[f64], out: &mut [f64]) {
+    macro_rules! lp {
+        ($op:tt) => {{
+            let n = out.len();
+            let mut i0 = 0;
+            while i0 < n {
+                let i1 = (i0 + CHUNK).min(n);
+                let mut slow = false;
+                for ((o, &x), &y) in out[i0..i1].iter_mut().zip(&a[i0..i1]).zip(&b[i0..i1]) {
+                    let r = fast_round::<E, M>(x, &mut slow) $op fast_round::<E, M>(y, &mut slow);
+                    *o = fast_round::<E, M>(r, &mut slow);
+                }
+                if slow {
+                    for ((o, &x), &y) in out[i0..i1].iter_mut().zip(&a[i0..i1]).zip(&b[i0..i1]) {
+                        *o = finish::<E, M>(round_rne::<E, M>(x) $op round_rne::<E, M>(y));
+                    }
+                }
+                i0 = i1;
+            }
+        }};
+    }
+    match kind {
+        OpKind::Add => lp!(+),
+        OpKind::Sub => lp!(-),
+        OpKind::Mul => lp!(*),
+        OpKind::Div => lp!(/),
+        _ => unreachable!("binary batch ops only"),
+    }
+}
+
+fn k_bin_s<const E: u32, const M: u32>(kind: OpKind, a: &[f64], s: f64, out: &mut [f64]) {
+    // Rounding is deterministic and idempotent, so the broadcast operand is
+    // rounded once up front — bit-identical to rounding it per element.
+    let rs = round_rne::<E, M>(s);
+    macro_rules! lp {
+        ($op:tt) => {{
+            let n = out.len();
+            let mut i0 = 0;
+            while i0 < n {
+                let i1 = (i0 + CHUNK).min(n);
+                let mut slow = false;
+                for (o, &x) in out[i0..i1].iter_mut().zip(&a[i0..i1]) {
+                    let r = fast_round::<E, M>(x, &mut slow) $op rs;
+                    *o = fast_round::<E, M>(r, &mut slow);
+                }
+                if slow {
+                    for (o, &x) in out[i0..i1].iter_mut().zip(&a[i0..i1]) {
+                        *o = finish::<E, M>(round_rne::<E, M>(x) $op rs);
+                    }
+                }
+                i0 = i1;
+            }
+        }};
+    }
+    match kind {
+        OpKind::Add => lp!(+),
+        OpKind::Sub => lp!(-),
+        OpKind::Mul => lp!(*),
+        OpKind::Div => lp!(/),
+        _ => unreachable!("binary batch ops only"),
+    }
+}
+
+fn k_bin_rs<const E: u32, const M: u32>(kind: OpKind, s: f64, b: &[f64], out: &mut [f64]) {
+    let rs = round_rne::<E, M>(s);
+    macro_rules! lp {
+        ($op:tt) => {{
+            let n = out.len();
+            let mut i0 = 0;
+            while i0 < n {
+                let i1 = (i0 + CHUNK).min(n);
+                let mut slow = false;
+                for (o, &y) in out[i0..i1].iter_mut().zip(&b[i0..i1]) {
+                    let r = rs $op fast_round::<E, M>(y, &mut slow);
+                    *o = fast_round::<E, M>(r, &mut slow);
+                }
+                if slow {
+                    for (o, &y) in out[i0..i1].iter_mut().zip(&b[i0..i1]) {
+                        *o = finish::<E, M>(rs $op round_rne::<E, M>(y));
+                    }
+                }
+                i0 = i1;
+            }
+        }};
+    }
+    match kind {
+        OpKind::Add => lp!(+),
+        OpKind::Sub => lp!(-),
+        OpKind::Mul => lp!(*),
+        OpKind::Div => lp!(/),
+        _ => unreachable!("binary batch ops only"),
+    }
+}
+
+fn k_sqrt<const E: u32, const M: u32>(a: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + CHUNK).min(n);
+        let mut slow = false;
+        for (o, &x) in out[i0..i1].iter_mut().zip(&a[i0..i1]) {
+            let r = fast_round::<E, M>(x, &mut slow).sqrt();
+            *o = fast_round::<E, M>(r, &mut slow);
+        }
+        if slow {
+            for (o, &x) in out[i0..i1].iter_mut().zip(&a[i0..i1]) {
+                *o = finish::<E, M>(round_rne::<E, M>(x).sqrt());
+            }
+        }
+        i0 = i1;
+    }
+}
+
+fn k_fma<const E: u32, const M: u32>(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
+    let n = out.len();
+    let mut i0 = 0;
+    while i0 < n {
+        let i1 = (i0 + CHUNK).min(n);
+        let mut slow = false;
+        for (((o, &x), &y), &z) in
+            out[i0..i1].iter_mut().zip(&a[i0..i1]).zip(&b[i0..i1]).zip(&c[i0..i1])
+        {
+            let r = fast_round::<E, M>(x, &mut slow)
+                .mul_add(fast_round::<E, M>(y, &mut slow), fast_round::<E, M>(z, &mut slow));
+            *o = fast_round::<E, M>(r, &mut slow);
+        }
+        if slow {
+            for (((o, &x), &y), &z) in
+                out[i0..i1].iter_mut().zip(&a[i0..i1]).zip(&b[i0..i1]).zip(&c[i0..i1])
+            {
+                *o = finish::<E, M>(
+                    round_rne::<E, M>(x).mul_add(round_rne::<E, M>(y), round_rne::<E, M>(z)),
+                );
+            }
+        }
+        i0 = i1;
+    }
+}
+
+macro_rules! kernel_set {
+    ($e:literal, $m:literal) => {{
+        const KS: KernelSet = KernelSet {
+            bin: k_bin::<$e, $m>,
+            bin_s: k_bin_s::<$e, $m>,
+            bin_rs: k_bin_rs::<$e, $m>,
+            sqrt: k_sqrt::<$e, $m>,
+            fma: k_fma::<$e, $m>,
+        };
+        &KS
+    }};
+}
+
+/// The static dispatch table: the shipped format ladder (fp8 variants,
+/// fp16, bf16, tf32-shaped e8m10, fp32, the paper's e5m14, and the e11
+/// mantissa-truncation ladder the campaigns bisect). Every entry satisfies
+/// [`bigfloat::Format::double_round_safe`]; safe formats outside the table
+/// use the generic-width shortcut loop instead.
+fn kernel_table(e: u32, m: u32) -> Option<&'static KernelSet> {
+    Some(match (e, m) {
+        (4, 3) => kernel_set!(4, 3),
+        (5, 2) => kernel_set!(5, 2),
+        (5, 10) => kernel_set!(5, 10),
+        (5, 14) => kernel_set!(5, 14),
+        (8, 7) => kernel_set!(8, 7),
+        (8, 10) => kernel_set!(8, 10),
+        (8, 23) => kernel_set!(8, 23),
+        (11, 4) => kernel_set!(11, 4),
+        (11, 6) => kernel_set!(11, 6),
+        (11, 8) => kernel_set!(11, 8),
+        (11, 10) => kernel_set!(11, 10),
+        (11, 12) => kernel_set!(11, 12),
+        (11, 14) => kernel_set!(11, 14),
+        (11, 16) => kernel_set!(11, 16),
+        _ => return None,
+    })
+}
+
+/// Resolve a config to its monomorphized kernel set, if the op-mode
+/// decision qualifies for the hardware shortcut (Soft path, round to
+/// nearest even, innocuous double rounding) and the format is in the
+/// static table. Called from `ActiveCtx::publish`.
+pub(crate) fn kernels_for_config(cfg: &Config) -> Option<&'static KernelSet> {
+    if cfg.resolved_path() != EmulPath::Soft
+        || cfg.round != RoundMode::NearestEven
+        || !cfg.format.double_round_safe()
+    {
+        return None;
+    }
+    kernel_table(cfg.format.exp_bits(), cfg.format.man_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Config;
+    use crate::context::Session;
+    use bigfloat::Format;
+
+    fn splitmix(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    #[test]
+    fn no_session_is_hardware() {
+        let a = [0.1, 0.2, 0.3];
+        let b = [1.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        batch_add(&a, &b, &mut out);
+        assert_eq!(out, [0.1 + 1.0, 0.2 + 2.0, 0.3 + 3.0]);
+        batch_sqrt(&b, &mut out);
+        assert_eq!(out[1], 2f64.sqrt());
+    }
+
+    #[test]
+    fn op_mode_matches_scalar_path_bitwise() {
+        let mut state = 1u64;
+        let mut a = vec![0.0; 257];
+        let mut b = vec![0.0; 257];
+        for i in 0..a.len() {
+            a[i] = f64::from_bits(splitmix(&mut state));
+            b[i] = f64::from_bits(splitmix(&mut state));
+        }
+        for fmt in [Format::FP16, Format::new(11, 12), Format::new(11, 20)] {
+            let s = Session::new(Config::op_all(fmt)).unwrap();
+            let _g = s.install();
+            let mut out = vec![0.0; a.len()];
+            for kind in [OpKind::Add, OpKind::Sub, OpKind::Mul, OpKind::Div] {
+                bin(kind, &a, &b, &mut out);
+                for i in 0..a.len() {
+                    let want = crate::ops::op2(kind, a[i], b[i]);
+                    assert_eq!(
+                        out[i].to_bits(),
+                        want.to_bits(),
+                        "{fmt:?} {kind:?} lane {i}: {} vs {}",
+                        out[i],
+                        want
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bulk_counters_match_scalar_counts() {
+        let fmt = Format::FP16;
+        let s = Session::new(Config::op_functions(fmt, ["K"]).with_counting()).unwrap();
+        let g = s.install();
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [0.5; 4];
+        let mut out = [0.0; 4];
+        {
+            let _r = crate::context::region("K");
+            batch_mul(&a, &b, &mut out); // 4 trunc muls
+        }
+        batch_add(&a, &b, &mut out); // 4 full adds (counted, inactive)
+        drop(g);
+        let c = s.counters();
+        assert_eq!(c.trunc.mul, 4);
+        assert_eq!(c.full.add, 4);
+    }
+
+    #[test]
+    fn broadcast_variants_match_elementwise() {
+        let fmt = Format::new(11, 8);
+        let s = Session::new(Config::op_all(fmt)).unwrap();
+        let _g = s.install();
+        let a = [0.1, -7.25, 1e20, f64::NAN, 5e-310];
+        let k = 0.7;
+        let mut got = [0.0; 5];
+        batch_mul_s(&a, k, &mut got);
+        for i in 0..a.len() {
+            let want = crate::ops::op2(OpKind::Mul, a[i], k);
+            assert_eq!(got[i].to_bits(), want.to_bits());
+        }
+        batch_rdiv_s(k, &a, &mut got);
+        for i in 0..a.len() {
+            let want = crate::ops::op2(OpKind::Div, k, a[i]);
+            assert_eq!(got[i].to_bits(), want.to_bits());
+        }
+    }
+
+    #[test]
+    fn ready_reflects_mode_and_force_toggle() {
+        assert!(ready(), "no session: batch loops are plain hardware");
+        {
+            let s = Session::new(Config::op_all(Format::FP16)).unwrap();
+            let _g = s.install();
+            assert!(ready());
+            set_force_scalar(true);
+            assert!(!ready());
+            set_force_scalar(false);
+        }
+        let s = Session::new(Config::mem_functions(Format::FP16, ["K"], 1e-6)).unwrap();
+        let _g = s.install();
+        assert!(!ready(), "mem-mode needs per-op source locations");
+    }
+}

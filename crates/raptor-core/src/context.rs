@@ -269,9 +269,15 @@ pub(crate) enum Dispatch {
     InactiveCount,
     /// Truncation active in op-mode: emulate with the cached parameters.
     Op,
-    /// mem-mode session (active or not): take the slow path, which needs
-    /// the shadow shard and `#[track_caller]` locations.
+    /// mem-mode session, truncation *active*: take the slow path, which
+    /// needs the shadow shard and `#[track_caller]` locations.
     Mem,
+    /// mem-mode session, truncation inactive, counting off: raw hardware
+    /// arithmetic unless an operand is a NaN-boxed handle (cheap bit test;
+    /// the shard is only borrowed to resolve actual handles).
+    MemInactive,
+    /// Like [`Dispatch::MemInactive`] with full-op counting on.
+    MemInactiveCount,
 }
 
 /// Plain-data decision cache + per-thread counters (no `RefCell`).
@@ -283,6 +289,11 @@ pub(crate) struct FastPath {
     pub(crate) path: Cell<EmulPath>,
     /// `format.storage_bytes()`, for the §3.4 memory model.
     pub(crate) fmt_bytes: Cell<u64>,
+    /// Monomorphized batch kernels for the cached op-mode decision, looked
+    /// up from the static format table at publish time. `Some` only when
+    /// `dispatch == Op` resolves to the Soft path with round-to-nearest-even
+    /// and an innocuous-double-rounding format in the shipped ladder.
+    pub(crate) kernels: Cell<Option<&'static crate::batch::KernelSet>>,
     /// Per-thread op counts (truncated / full precision).
     pub(crate) trunc: CellCounts,
     pub(crate) full: CellCounts,
@@ -298,6 +309,7 @@ impl FastPath {
             round: Cell::new(RoundMode::NearestEven),
             path: Cell::new(EmulPath::Native),
             fmt_bytes: Cell::new(8),
+            kernels: Cell::new(None),
             trunc: CellCounts::new(),
             full: CellCounts::new(),
             trunc_bytes: Cell::new(0),
@@ -371,7 +383,14 @@ impl ActiveCtx {
             return;
         }
         let d = match (cfg.mode, self.active) {
-            (Mode::Mem, _) => Dispatch::Mem,
+            (Mode::Mem, true) => Dispatch::Mem,
+            (Mode::Mem, false) => {
+                if cfg.count_full_ops {
+                    Dispatch::MemInactiveCount
+                } else {
+                    Dispatch::MemInactive
+                }
+            }
             (Mode::Op, true) => Dispatch::Op,
             (Mode::Op, false) => {
                 if cfg.count_full_ops {
@@ -387,6 +406,11 @@ impl ActiveCtx {
             f.round.set(cfg.round);
             f.path.set(cfg.resolved_path());
             f.fmt_bytes.set(cfg.format.storage_bytes() as u64);
+            f.kernels.set(if d == Dispatch::Op {
+                crate::batch::kernels_for_config(cfg)
+            } else {
+                None
+            });
         });
     }
 }
@@ -529,13 +553,11 @@ pub fn count_field_values(n: u64) {
         Dispatch::Inactive | Dispatch::InactiveCount => {
             f.full_bytes.set(f.full_bytes.get() + n * 8)
         }
-        Dispatch::Mem => {
-            // mem-mode activation needs the slow context.
-            if is_active() {
-                f.trunc_bytes.set(f.trunc_bytes.get() + n * f.fmt_bytes.get());
-            } else {
-                f.full_bytes.set(f.full_bytes.get() + n * 8);
-            }
+        // mem-mode activation is baked into the dispatch variant, so byte
+        // accounting no longer needs the slow `is_active()` context borrow.
+        Dispatch::Mem => f.trunc_bytes.set(f.trunc_bytes.get() + n * f.fmt_bytes.get()),
+        Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            f.full_bytes.set(f.full_bytes.get() + n * 8)
         }
     });
 }

@@ -124,6 +124,13 @@ impl CellCounts {
 
     #[inline(always)]
     pub(crate) fn bump(&self, kind: OpKind) {
+        self.bump_n(kind, 1);
+    }
+
+    /// Bulk accumulation for the batch kernels: one add per slice call
+    /// instead of one per element.
+    #[inline(always)]
+    pub(crate) fn bump_n(&self, kind: OpKind, n: u64) {
         let c = match kind {
             OpKind::Add => &self.add,
             OpKind::Sub => &self.sub,
@@ -133,7 +140,7 @@ impl CellCounts {
             OpKind::Fma => &self.fma,
             OpKind::Math => &self.math,
         };
-        c.set(c.get() + 1);
+        c.set(c.get() + n);
     }
 
     pub(crate) fn snapshot(&self) -> OpCounts {

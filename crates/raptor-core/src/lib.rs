@@ -95,9 +95,24 @@
 //! op plus bit-twiddled roundings — bit-identical to the SoftFloat
 //! kernels, which remain the general path (and the `Big` limb path stays
 //! available as the naive baseline of Table 3).
+//!
+//! **Batch kernels.** Even the cached per-op path pays a thread-local
+//! load, a dispatch branch, and a counter bump *per operation*. The
+//! [`batch`] module retires that overhead for leaf-granular inner loops:
+//! `batch_add`/`batch_mul`/... read the decision cache once per slice,
+//! bulk-add counters once per call, and jump through a static table to a
+//! kernel monomorphized over the format's exponent/mantissa widths
+//! (const-generic instantiations of the short-cut above), so the rounding
+//! mask arithmetic constant-folds and the loop auto-vectorizes. Decisions
+//! the table can't serve (Big/Native paths, directed rounding, wide
+//! formats) fall back to per-element emulation inside the same single
+//! dispatch — results are bit-identical to the scalar path in every tier.
+//! Consumers gate on [`batch::ready`] and keep their scalar code as the
+//! mem-mode path and differential oracle.
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod config;
 pub mod context;
 pub mod counters;

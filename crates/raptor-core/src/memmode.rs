@@ -75,6 +75,14 @@ pub(crate) fn decode_handle(x: f64) -> Option<usize> {
     }
 }
 
+/// Cheap handle test: one mask-and-compare on the bit pattern. The
+/// inactive mem-mode dispatch uses this to skip the shard borrow entirely
+/// for plain values.
+#[inline(always)]
+pub(crate) fn is_handle(x: f64) -> bool {
+    x.to_bits() & HANDLE_MASK == HANDLE_TAG
+}
+
 /// The truncated representation stored per value: allocation-free for
 /// precisions the SoftFloat path covers, limb-based beyond (mem-mode
 /// precision *increase*).
@@ -139,6 +147,12 @@ impl LocReport {
 pub(crate) struct MemState {
     pub(crate) slots: Vec<Slot>,
     pub(crate) stats: HashMap<SrcLoc, LocStats>,
+    /// One-entry write-back cache in front of `stats`: instrumented loops
+    /// hit the same source location op after op, so the common `record`
+    /// touches plain fields instead of hashing into the map. Flushed on
+    /// merge/reset/report.
+    last_loc: Option<SrcLoc>,
+    last_stats: LocStats,
     pub(crate) auto_promotions: u64,
 }
 
@@ -153,7 +167,24 @@ impl MemState {
 
     pub(crate) fn reset_stats(&mut self) {
         self.stats.clear();
+        self.last_loc = None;
+        self.last_stats = LocStats::default();
         self.auto_promotions = 0;
+    }
+
+    /// Write the one-entry cache back into the map.
+    fn flush_last(&mut self) {
+        if let Some(loc) = self.last_loc.take() {
+            let s = self.last_stats;
+            self.last_stats = LocStats::default();
+            let e = self.stats.entry(loc).or_default();
+            e.ops += s.ops;
+            e.flags += s.flags;
+            e.sum_dev += s.sum_dev;
+            if s.max_dev > e.max_dev {
+                e.max_dev = s.max_dev;
+            }
+        }
     }
 
     /// Insert a slot and return its handle.
@@ -181,9 +212,15 @@ impl MemState {
         (make_val(x, prec, clamp, round), x)
     }
 
-    /// Record an operation's deviation at a location.
+    /// Record an operation's deviation at a location. The hot case — the
+    /// same location as the previous op, i.e. an instrumented loop — stays
+    /// in the one-entry cache and never hashes.
     pub(crate) fn record(&mut self, loc: SrcLoc, rel_dev: f64, threshold: f64) {
-        let e = self.stats.entry(loc).or_default();
+        if self.last_loc != Some(loc) {
+            self.flush_last();
+            self.last_loc = Some(loc);
+        }
+        let e = &mut self.last_stats;
         e.ops += 1;
         e.sum_dev += rel_dev;
         if rel_dev > e.max_dev {
@@ -199,6 +236,7 @@ impl MemState {
     /// drop; the shard's *slots* are never merged — handles are strictly
     /// thread-local and die at the barrier.
     pub(crate) fn merge_stats(&mut self, shard: &mut MemState) {
+        shard.flush_last();
         for (loc, s) in shard.stats.drain() {
             let e = self.stats.entry(loc).or_default();
             e.ops += s.ops;
@@ -219,6 +257,21 @@ impl MemState {
             .iter()
             .map(|(loc, stats)| LocReport { loc: *loc, stats: *stats })
             .collect();
+        // Fold in a pending cache entry (only shards carry one; the merged
+        // session state is fed exclusively through `merge_stats`).
+        if let Some(loc) = self.last_loc {
+            let s = self.last_stats;
+            if let Some(r) = v.iter_mut().find(|r| r.loc == loc) {
+                r.stats.ops += s.ops;
+                r.stats.flags += s.flags;
+                r.stats.sum_dev += s.sum_dev;
+                if s.max_dev > r.stats.max_dev {
+                    r.stats.max_dev = s.max_dev;
+                }
+            } else {
+                v.push(LocReport { loc, stats: s });
+            }
+        }
         v.sort_by(|a, b| {
             b.stats
                 .flags

@@ -113,7 +113,7 @@ impl MathFn {
 }
 
 #[inline(always)]
-fn raw2(kind: OpKind, a: f64, b: f64) -> f64 {
+pub(crate) fn raw2(kind: OpKind, a: f64, b: f64) -> f64 {
     match kind {
         OpKind::Add => a + b,
         OpKind::Sub => a - b,
@@ -139,15 +139,14 @@ pub fn op2(kind: OpKind, a: f64, b: f64) -> f64 {
             emulate2(f.format.get(), f.round.get(), f.path.get(), kind, a, b)
         }
         Dispatch::Mem => with_mem(f, |act| {
-            if !act.active {
-                if act.sess.inner.config.count_full_ops {
-                    f.full.bump(kind);
-                }
-                return raw2(kind, resolve_in_ctx(act, a), resolve_in_ctx(act, b));
-            }
             f.trunc.bump(kind);
             mem_op2(act, kind, a, b, loc.into())
         }),
+        Dispatch::MemInactive => raw2(kind, resolve_fast(f, a), resolve_fast(f, b)),
+        Dispatch::MemInactiveCount => {
+            f.full.bump(kind);
+            raw2(kind, resolve_fast(f, a), resolve_fast(f, b))
+        }
     })
 }
 
@@ -167,15 +166,14 @@ pub fn op_sqrt(a: f64) -> f64 {
             emulate_sqrt(f.format.get(), f.round.get(), f.path.get(), a)
         }
         Dispatch::Mem => with_mem(f, |act| {
-            if !act.active {
-                if act.sess.inner.config.count_full_ops {
-                    f.full.bump(OpKind::Sqrt);
-                }
-                return resolve_in_ctx(act, a).sqrt();
-            }
             f.trunc.bump(OpKind::Sqrt);
             mem_sqrt(act, a, loc.into())
         }),
+        Dispatch::MemInactive => resolve_fast(f, a).sqrt(),
+        Dispatch::MemInactiveCount => {
+            f.full.bump(OpKind::Sqrt);
+            resolve_fast(f, a).sqrt()
+        }
     })
 }
 
@@ -195,16 +193,16 @@ pub fn op_fma(a: f64, b: f64, c: f64) -> f64 {
             emulate_fma(f.format.get(), f.round.get(), f.path.get(), a, b, c)
         }
         Dispatch::Mem => with_mem(f, |act| {
-            if !act.active {
-                if act.sess.inner.config.count_full_ops {
-                    f.full.bump(OpKind::Fma);
-                }
-                return resolve_in_ctx(act, a)
-                    .mul_add(resolve_in_ctx(act, b), resolve_in_ctx(act, c));
-            }
             f.trunc.bump(OpKind::Fma);
             mem_fma(act, a, b, c, loc.into())
         }),
+        Dispatch::MemInactive => {
+            resolve_fast(f, a).mul_add(resolve_fast(f, b), resolve_fast(f, c))
+        }
+        Dispatch::MemInactiveCount => {
+            f.full.bump(OpKind::Fma);
+            resolve_fast(f, a).mul_add(resolve_fast(f, b), resolve_fast(f, c))
+        }
     })
 }
 
@@ -224,15 +222,14 @@ pub fn op_math(func: MathFn, a: f64) -> f64 {
             emulate_math(f.format.get(), f.round.get(), f.path.get(), func, a)
         }
         Dispatch::Mem => with_mem(f, |act| {
-            if !act.active {
-                if act.sess.inner.config.count_full_ops {
-                    f.full.bump(OpKind::Math);
-                }
-                return func.eval_f64(resolve_in_ctx(act, a));
-            }
             f.trunc.bump(OpKind::Math);
             mem_math(act, func, a, loc.into())
         }),
+        Dispatch::MemInactive => func.eval_f64(resolve_fast(f, a)),
+        Dispatch::MemInactiveCount => {
+            f.full.bump(OpKind::Math);
+            func.eval_f64(resolve_fast(f, a))
+        }
     })
 }
 
@@ -262,15 +259,14 @@ pub fn op_powf(a: f64, b: f64) -> f64 {
             }
         }
         Dispatch::Mem => with_mem(f, |act| {
-            if !act.active {
-                if act.sess.inner.config.count_full_ops {
-                    f.full.bump(OpKind::Math);
-                }
-                return resolve_in_ctx(act, a).powf(resolve_in_ctx(act, b));
-            }
             f.trunc.bump(OpKind::Math);
             mem_pow(act, a, b, loc.into())
         }),
+        Dispatch::MemInactive => resolve_fast(f, a).powf(resolve_fast(f, b)),
+        Dispatch::MemInactiveCount => {
+            f.full.bump(OpKind::Math);
+            resolve_fast(f, a).powf(resolve_fast(f, b))
+        }
     })
 }
 
@@ -357,13 +353,12 @@ pub fn op_atan2(y: f64, x: f64) -> f64 {
                 }
             }
         }
+        Dispatch::MemInactive => resolve_fast(f, y).atan2(resolve_fast(f, x)),
+        Dispatch::MemInactiveCount => {
+            f.full.bump(OpKind::Math);
+            resolve_fast(f, y).atan2(resolve_fast(f, x))
+        }
         Dispatch::Mem => with_mem(f, |act| {
-            if !act.active {
-                if act.sess.inner.config.count_full_ops {
-                    f.full.bump(OpKind::Math);
-                }
-                return resolve_in_ctx(act, y).atan2(resolve_in_ctx(act, x));
-            }
             f.trunc.bump(OpKind::Math);
             let (prec, clamp, rm, threshold) = mem_params_act(act);
             let (vy, shy) = act.mem.resolve(y, prec, clamp, rm);
@@ -384,8 +379,21 @@ pub fn op_atan2(y: f64, x: f64) -> f64 {
 pub fn resolve(x: f64) -> f64 {
     FAST.with(|f| match f.dispatch.get() {
         Dispatch::Mem => with_mem(f, |act| resolve_in_ctx(act, x)),
+        Dispatch::MemInactive | Dispatch::MemInactiveCount => resolve_fast(f, x),
         _ => x,
     })
+}
+
+/// Resolve a carrier value without borrowing the shard unless the bit
+/// pattern actually is a NaN-boxed handle. This is the hoisted inactive
+/// mem-mode fast path: for plain values it costs one bit test.
+#[inline(always)]
+fn resolve_fast(f: &FastPath, x: f64) -> f64 {
+    if memmode::is_handle(x) {
+        with_mem(f, |act| resolve_in_ctx(act, x))
+    } else {
+        x
+    }
 }
 
 /// Run a closure against the slow-path context. Only called when the
@@ -438,7 +446,7 @@ fn native_pow(fmt: Format, a: f64, b: f64) -> f64 {
 }
 
 #[inline]
-fn emulate2(fmt: Format, rm: RoundMode, path: EmulPath, kind: OpKind, a: f64, b: f64) -> f64 {
+pub(crate) fn emulate2(fmt: Format, rm: RoundMode, path: EmulPath, kind: OpKind, a: f64, b: f64) -> f64 {
     match path {
         EmulPath::Native => native2(fmt, kind, a, b),
         EmulPath::Big => {
@@ -505,7 +513,7 @@ fn emulate2(fmt: Format, rm: RoundMode, path: EmulPath, kind: OpKind, a: f64, b:
 }
 
 #[inline]
-fn emulate_sqrt(fmt: Format, rm: RoundMode, path: EmulPath, a: f64) -> f64 {
+pub(crate) fn emulate_sqrt(fmt: Format, rm: RoundMode, path: EmulPath, a: f64) -> f64 {
     match path {
         EmulPath::Native => {
             if fmt == Format::FP64 {
@@ -537,7 +545,7 @@ fn emulate_sqrt(fmt: Format, rm: RoundMode, path: EmulPath, a: f64) -> f64 {
 }
 
 #[inline]
-fn emulate_fma(fmt: Format, rm: RoundMode, path: EmulPath, a: f64, b: f64, c: f64) -> f64 {
+pub(crate) fn emulate_fma(fmt: Format, rm: RoundMode, path: EmulPath, a: f64, b: f64, c: f64) -> f64 {
     match path {
         EmulPath::Native => {
             if fmt == Format::FP64 {
@@ -593,7 +601,7 @@ fn emulate_fma(fmt: Format, rm: RoundMode, path: EmulPath, a: f64, b: f64, c: f6
 }
 
 #[inline]
-fn emulate_math(fmt: Format, rm: RoundMode, path: EmulPath, func: MathFn, a: f64) -> f64 {
+pub(crate) fn emulate_math(fmt: Format, rm: RoundMode, path: EmulPath, func: MathFn, a: f64) -> f64 {
     match path {
         EmulPath::Native => {
             if fmt == Format::FP64 {
@@ -766,7 +774,7 @@ fn mem_pow(act: &mut ActiveCtx, a: f64, b: f64, loc: SrcLoc) -> f64 {
 /// its handle.
 pub fn mem_pre(x: f64) -> f64 {
     FAST.with(|f| match f.dispatch.get() {
-        Dispatch::Mem => with_mem(f, |act| {
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => with_mem(f, |act| {
             let (prec, clamp, rm, _) = mem_params_act(act);
             let val = memmode::make_val(x, prec, clamp, rm);
             act.mem.push(crate::memmode::Slot { val, shadow: x })

@@ -37,6 +37,13 @@ pub trait Real:
     + MulAssign
     + DivAssign
 {
+    /// Whether this instantiation routes through the RAPTOR runtime.
+    /// `false` for the `f64` reference build, `true` for [`Tracked`].
+    /// Lets kernels gate batch-call rewrites (`crate::batch`) to the
+    /// instrumented build without a trait-object or feature flag — the
+    /// reference build keeps its scalar loops and the constant folds away.
+    const IS_TRACKED: bool = false;
+
     /// Lift a constant. In a truncated region the constant participates in
     /// truncated arithmetic like any other operand.
     fn from_f64(x: f64) -> Self;
@@ -199,6 +206,7 @@ impl Real for f64 {
 /// mem-mode flags carry the *user's* source location, exactly like the
 /// LLVM debug locations RAPTOR embeds (`LOC_A = "f.cpp:10:11"`, Fig. 4a).
 #[derive(Clone, Copy, Debug, Default)]
+#[repr(transparent)]
 pub struct Tracked(pub f64);
 
 impl Tracked {
@@ -212,6 +220,24 @@ impl Tracked {
     #[inline]
     pub fn raw(self) -> f64 {
         self.0
+    }
+
+    /// View a `Tracked` slice as its raw `f64` carriers (zero-copy; the
+    /// type is `repr(transparent)`). Intended for handing whole fields to
+    /// the [`crate::batch`] slice ops. Carriers may be NaN-boxed mem-mode
+    /// handles — batch consumers gate on [`crate::batch::ready`], which is
+    /// false under mem-mode sessions.
+    #[inline]
+    pub fn raw_slice(xs: &[Tracked]) -> &[f64] {
+        // SAFETY: Tracked is repr(transparent) over f64.
+        unsafe { core::slice::from_raw_parts(xs.as_ptr().cast::<f64>(), xs.len()) }
+    }
+
+    /// Mutable variant of [`Tracked::raw_slice`].
+    #[inline]
+    pub fn raw_slice_mut(xs: &mut [Tracked]) -> &mut [f64] {
+        // SAFETY: Tracked is repr(transparent) over f64.
+        unsafe { core::slice::from_raw_parts_mut(xs.as_mut_ptr().cast::<f64>(), xs.len()) }
     }
 
     /// mem-mode boundary conversion into the truncated region
@@ -329,6 +355,8 @@ impl core::fmt::Display for Tracked {
 use crate::ops::SignOp;
 
 impl Real for Tracked {
+    const IS_TRACKED: bool = true;
+
     #[inline(always)]
     fn from_f64(x: f64) -> Self {
         Tracked(x)

@@ -1,0 +1,67 @@
+//! Batch-vs-scalar bit-identity smoke: run a tiny Sedov blast through the
+//! instrumented hydro solver twice — once with `raptor_core::batch` slice
+//! kernels enabled (the default) and once with [`batch::set_force_scalar`]
+//! pinning
+//! every consumer to its per-op scalar path — then byte-compare every cell
+//! of every variable and the session op counters.
+//!
+//! ```sh
+//! cargo run --release -p raptor-examples --bin batch_diff
+//! ```
+//!
+//! Exits nonzero (and names the first differing cell) on any mismatch.
+//! This is the CI gate for the batch tier's core contract: the fast path
+//! is an *optimization*, never a semantic change.
+
+use bigfloat::Format;
+use hydro::{setup, Problem, ReconKind};
+use raptor_core::{batch, Config, Counters, Session, Tracked};
+
+/// One tiny Sedov run (max_level=2, 3 threads, a handful of steps) under
+/// an op-mode counting session; returns the final mesh and the counters.
+fn run(fmt: Format, force_scalar: bool) -> (amr::Mesh, Counters) {
+    batch::set_force_scalar(force_scalar);
+    let mut sim = setup(Problem::Sedov, 2, 8, ReconKind::Plm);
+    let sess = Session::new(Config::op_files(fmt, ["Hydro"]).with_counting())
+        .expect("valid config");
+    sim.run::<Tracked>(0.02, 12, 3, &sess);
+    batch::set_force_scalar(false);
+    (sim.mesh, sess.counters())
+}
+
+fn main() {
+    let mut failed = false;
+    // e11m12 exercises the monomorphized kernel table; e11m20 fails the
+    // double-rounding bound and exercises the per-element fallback tier.
+    for (e, m) in [(11u32, 12u32), (11, 20)] {
+        let fmt = Format::new(e, m);
+        let (mesh_b, count_b) = run(fmt, false);
+        let (mesh_s, count_s) = run(fmt, true);
+        let cells = match amr::bitwise_diff(&mesh_b, &mesh_s) {
+            None => true,
+            Some(diff) => {
+                println!("batch-vs-scalar: MISMATCH at {fmt}: {diff}");
+                false
+            }
+        };
+        let counters = count_b == count_s;
+        if !counters {
+            println!(
+                "batch-vs-scalar: COUNTER MISMATCH at {fmt}: batch trunc={} scalar trunc={}",
+                count_b.trunc.total(),
+                count_s.trunc.total()
+            );
+        }
+        if cells && counters {
+            println!(
+                "batch-vs-scalar: bit-identical at {fmt} ({} truncated ops)",
+                count_b.trunc.total()
+            );
+        } else {
+            failed = true;
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
