@@ -101,6 +101,62 @@ fn bench_dispatch(c: &mut Harness) {
         }
     }
 
+    // Fused WENO5 stencil kernel: 65 tracked ops per element through one
+    // dispatch — what the sweep and the incomp advection pay per
+    // interface. The matching scalar_weno5 rows run the per-op Tracked
+    // reconstruction on the same windows: the path the fused kernel
+    // retired, and the "before" column for the committed JSON.
+    {
+        use raptor_core::batch::batch_weno5;
+        for (flabel, bfmt) in [
+            ("e11m12", Format::new(11, 12)),
+            ("fp16", Format::new(5, 10)),
+            ("bf16", Format::new(8, 7)),
+        ] {
+            let sess = Session::new(Config::op_all(bfmt)).unwrap();
+            let _g = sess.install();
+            for n in [64usize, 4096] {
+                let w: Vec<f64> = (0..n + 4)
+                    .map(|i| (i as f64 * 0.37).sin() * (1.0 + 0.2 * (i as f64 * 0.11).cos()))
+                    .collect();
+                let mut out = vec![0.0; n];
+                g.bench_per_element(&format!("batch_weno5_{flabel}_{n}"), n, |b| {
+                    b.iter(|| {
+                        batch_weno5(
+                            black_box(&w[0..n]),
+                            black_box(&w[1..n + 1]),
+                            black_box(&w[2..n + 2]),
+                            black_box(&w[3..n + 3]),
+                            black_box(&w[4..n + 4]),
+                            &mut out,
+                        );
+                        black_box(out[0])
+                    })
+                });
+            }
+            let n = 64usize;
+            let w: Vec<f64> = (0..n + 4)
+                .map(|i| (i as f64 * 0.37).sin() * (1.0 + 0.2 * (i as f64 * 0.11).cos()))
+                .collect();
+            let wt: Vec<Tracked> = w.iter().copied().map(Tracked::from_f64).collect();
+            g.bench_per_element(&format!("scalar_weno5_{flabel}_{n}"), n, |b| {
+                b.iter(|| {
+                    let mut acc = Tracked::from_f64(0.0);
+                    for i in 0..n {
+                        acc = hydro::weno5(black_box([
+                            wt[i],
+                            wt[i + 1],
+                            wt[i + 2],
+                            wt[i + 3],
+                            wt[i + 4],
+                        ]));
+                    }
+                    black_box(acc)
+                })
+            });
+        }
+    }
+
     // Mem-mode: shadow-slab op (slab cleared per iteration to stay bounded).
     {
         let sess = Session::new(Config::mem_functions(fmt, ["K"], 1e-6)).unwrap();

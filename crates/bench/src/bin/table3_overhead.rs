@@ -23,9 +23,10 @@ struct Row {
 fn time_run(
     max_level: u32,
     t_end: f64,
+    recon: ReconKind,
     session: Option<&Session>,
 ) -> (f64, f64) {
-    let mut sim = hydro::setup_with_roots(Problem::Sedov, max_level, 8, ReconKind::Plm, 4);
+    let mut sim = hydro::setup_with_roots(Problem::Sedov, max_level, 8, recon, 4);
     let t0 = Instant::now();
     match session {
         Some(s) => sim.run::<Tracked>(t_end, 100_000, 1, s),
@@ -35,11 +36,18 @@ fn time_run(
 }
 
 fn main() {
+    // `RAPTOR_BATCH_FORCE_SCALAR=1` pins every batch consumer to its
+    // scalar per-op path — the "before" column of the committed
+    // before/after pair in BENCH_overhead.json.
+    if std::env::var_os("RAPTOR_BATCH_FORCE_SCALAR").is_some() {
+        raptor_core::batch::set_force_scalar(true);
+        println!("batch slice kernels DISABLED (RAPTOR_BATCH_FORCE_SCALAR)");
+    }
     let max_level = 3;
     let t_end = 0.015;
     let fmt = Format::new(11, 12);
     // Native baseline.
-    let (native_s, _) = time_run(max_level, t_end, None);
+    let (native_s, _) = time_run(max_level, t_end, ReconKind::Plm, None);
     println!("native f64 baseline: {native_s:.3} s");
     let mut rows: Vec<Row> = Vec::new();
     for (mode_label, path, counting) in [
@@ -56,7 +64,7 @@ fn main() {
                 cfg = cfg.with_counting();
             }
             let sess = Session::new(cfg).unwrap();
-            let (secs, _) = time_run(max_level, t_end, Some(&sess));
+            let (secs, _) = time_run(max_level, t_end, ReconKind::Plm, Some(&sess));
             let frac = sess.counters().truncated_fraction();
             rows.push(Row {
                 label: format!("{mode_label} M-{cutoff}"),
@@ -73,13 +81,32 @@ fn main() {
             .with_exclude(excl)
             .with_counting();
         let sess = Session::new(cfg).unwrap();
-        let (secs, _) = time_run(2, t_end * 0.5, Some(&sess));
-        let (nat_small, _) = time_run(2, t_end * 0.5, None);
+        let (secs, _) = time_run(2, t_end * 0.5, ReconKind::Plm, Some(&sess));
+        let (nat_small, _) = time_run(2, t_end * 0.5, ReconKind::Plm, None);
         rows.push(Row {
             label: label.to_string(),
             trunc_frac: sess.counters().truncated_fraction(),
             seconds: secs,
             overhead: secs / nat_small,
+        });
+    }
+    // WENO5 reconstruction row: the division-heavy stencil routed through
+    // the fused batch kernel (op-mode opt., everything truncated). Its
+    // native baseline is a WENO5 f64 run of the same problem.
+    {
+        let (nat_weno, _) = time_run(max_level, t_end, ReconKind::Weno5, None);
+        let sess = Session::new(
+            Config::op_files(fmt, ["Hydro"])
+                .with_cutoff(max_level, 0)
+                .with_path(EmulPath::Soft),
+        )
+        .unwrap();
+        let (secs, _) = time_run(max_level, t_end, ReconKind::Weno5, Some(&sess));
+        rows.push(Row {
+            label: "sedov-weno5 op-mode opt. M-0".to_string(),
+            trunc_frac: sess.counters().truncated_fraction(),
+            seconds: secs,
+            overhead: secs / nat_weno,
         });
     }
     println!("== Table 3: slowdown of RAPTOR in practice (Sedov, 12-bit mantissa) ==");

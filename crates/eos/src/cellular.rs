@@ -14,7 +14,9 @@
 //! candidate for reducing precision").
 
 use crate::burn::{burn_cell, BurnCfg};
-use crate::newton::{invert_temperature, NewtonCfg, NewtonResult};
+use crate::newton::{
+    invert_temperature, invert_temperature_batch, NewtonCfg, NewtonResult, NewtonScratch,
+};
 use crate::table::EosTable;
 use hydro::{Eos, HydroParams, ReconKind, RiemannKind};
 use amr::{BcSpec, Mesh, MeshParams};
@@ -80,6 +82,26 @@ impl TableHelmholtz {
         }
         r
     }
+
+    /// Batched counterpart of `invert`: one Newton lockstep over a slice
+    /// of `(rho, eint)` states via [`invert_temperature_batch`], with the
+    /// same per-inversion statistics accumulated in bulk.
+    pub fn invert_batch(
+        &self,
+        rho: &[f64],
+        eint: &[f64],
+        out: &mut [NewtonResult<f64>],
+        ws: &mut NewtonScratch,
+    ) {
+        invert_temperature_batch(&self.table, rho, eint, 3e8, &self.newton, out, ws);
+        self.calls.fetch_add(rho.len() as u64, Ordering::Relaxed);
+        let iters: u64 = out.iter().map(|r| r.iters as u64).sum();
+        self.iters.fetch_add(iters, Ordering::Relaxed);
+        let fails = out.iter().filter(|r| !r.converged).count() as u64;
+        if fails > 0 {
+            self.failures.fetch_add(fails, Ordering::Relaxed);
+        }
+    }
 }
 
 impl Default for TableHelmholtz {
@@ -123,11 +145,13 @@ impl Eos for TableHelmholtz {
         (gamma1 * p / rho).sqrt()
     }
 
-    // Deliberately scalar-only: the table inversions iterate Newton /
-    // bisection with per-cell convergence behavior, which a slice-shaped
-    // batch kernel cannot reproduce op-for-op. The hydro sweep sees
-    // `batch_supported() == false` (the trait default) and keeps this EOS
-    // on the per-op path.
+    // Deliberately scalar-only on the hydro-facing trait: `eint` runs a
+    // data-dependent bisection that a slice-shaped kernel cannot reproduce
+    // op-for-op, so the hydro sweep sees `batch_supported() == false` and
+    // keeps this EOS on the per-op path. The *burn sweep* still batches
+    // its temperature inversions through `invert_batch` — the Newton loop
+    // compacts its active set, which preserves per-cell convergence
+    // behaviour exactly.
     fn batch_supported(&self) -> bool {
         false
     }
@@ -236,6 +260,13 @@ impl Cellular {
     }
 
     /// Apply the burn network cell-by-cell (the `Burn` module).
+    ///
+    /// On instrumented op-mode runs the per-cell Newton temperature
+    /// inversions batch row by row through
+    /// [`TableHelmholtz::invert_batch`] — the plain-`f64` state prep and
+    /// the stiff `burn_cell` integration stay scalar, so the fast path is
+    /// bit- and counter-identical to the per-cell loop (the mem-mode path
+    /// and differential oracle).
     fn burn_sweep<R: Real>(&mut self, dt: f64, session: &Session) {
         let lay = hydro::Layout::of(&self.mesh);
         let eos = &self.eos;
@@ -244,6 +275,38 @@ impl Cellular {
         amr::seq_leaves(mesh, |_geom, blk| {
             let _g = session.install();
             let _r = region("Burn");
+            if R::IS_TRACKED && raptor_core::batch::ready() {
+                let mut ws = NewtonScratch::default();
+                let mut rho_row = vec![0.0; lay.nx];
+                let mut eint_row = vec![0.0; lay.nx];
+                let none = NewtonResult { t: 0.0, iters: 0, converged: false, resid: 0.0 };
+                let mut res_row = vec![none; lay.nx];
+                for j in 0..lay.ny {
+                    for i in 0..lay.nx {
+                        let (pi, pj) = (i + lay.ng, j + lay.ng);
+                        let rho = blk.data[lay.at(hydro::DENS, pi, pj)];
+                        let ener = blk.data[lay.at(hydro::ENER, pi, pj)];
+                        let mx = blk.data[lay.at(hydro::MOMX, pi, pj)];
+                        let my = blk.data[lay.at(hydro::MOMY, pi, pj)];
+                        let ke = 0.5 * (mx * mx + my * my) / rho;
+                        let eint = (ener - ke) / rho;
+                        rho_row[i] = rho;
+                        eint_row[i] = eint.max(1e-30);
+                    }
+                    eos.invert_batch(&rho_row, &eint_row, &mut res_row, &mut ws);
+                    for i in 0..lay.nx {
+                        let (pi, pj) = (i + lay.ng, j + lay.ng);
+                        let ener = blk.data[lay.at(hydro::ENER, pi, pj)];
+                        let rho = rho_row[i];
+                        let x = blk.data[lay.at(XCARBON, pi, pj)];
+                        let t = res_row[i].t;
+                        let r = burn_cell::<R>(&burn, R::from_f64(x), R::from_f64(t), dt);
+                        blk.data[lay.at(XCARBON, pi, pj)] = Real::to_f64(r.x);
+                        blk.data[lay.at(hydro::ENER, pi, pj)] = ener + rho * Real::to_f64(r.de);
+                    }
+                }
+                return;
+            }
             for j in 0..lay.ny {
                 for i in 0..lay.nx {
                     let (pi, pj) = (i + lay.ng, j + lay.ng);
@@ -310,6 +373,46 @@ mod tests {
             fails * 2 > calls,
             "most inversions fail at 20 bits: {fails}/{calls}"
         );
+    }
+
+    /// The row-batched burn-sweep inversion must reproduce the per-cell
+    /// scalar sweep bit for bit — mesh bytes, op counters, and Newton
+    /// statistics — at a converging format and at one where most
+    /// inversions exhaust the iteration cap (so the active-set compaction
+    /// and failure accounting are both exercised).
+    #[test]
+    fn batch_burn_inversion_bit_identical_to_scalar() {
+        use bigfloat::Format;
+        use raptor_core::{batch, Config, Tracked};
+        for mant in [48u32, 20] {
+            let fmt = Format::new(11, mant);
+            let run = |force_scalar: bool| {
+                batch::set_force_scalar(force_scalar);
+                let mut sim = setup_cellular(2, 8, CellularInit::default());
+                let sess =
+                    Session::new(Config::op_files(fmt, ["Eos"]).with_counting()).unwrap();
+                sim.run::<Tracked>(3, &sess);
+                batch::set_force_scalar(false);
+                let stats = sim.eos.stats();
+                (sim, sess.counters(), stats)
+            };
+            let (ss, cs, sts) = run(true);
+            let (sb, cb, stb) = run(false);
+            assert_eq!(
+                amr::bitwise_diff(&ss.mesh, &sb.mesh),
+                None,
+                "mant {mant}: meshes must be bit-identical"
+            );
+            assert_eq!(cs, cb, "mant {mant}: op counters must match exactly");
+            assert_eq!(sts.0, stb.0, "mant {mant}: inversion calls");
+            assert_eq!(sts.1, stb.1, "mant {mant}: inversion failures");
+            assert_eq!(
+                sts.2.to_bits(),
+                stb.2.to_bits(),
+                "mant {mant}: mean iterations"
+            );
+            assert!(cs.trunc.math > 0, "mant {mant}: table log10s counted");
+        }
     }
 
     #[test]

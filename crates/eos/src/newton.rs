@@ -11,7 +11,8 @@
 //! the iteration cap does not help (§6.1), which is exactly the behaviour
 //! this module reproduces.
 
-use crate::table::EosTable;
+use crate::table::{DeDtScratch, EosTable, InterpScratch};
+use raptor_core::batch::{batch_add_s, batch_div, batch_mul_s, batch_sub};
 use raptor_core::{region, Real};
 
 /// Newton solver configuration.
@@ -82,6 +83,190 @@ pub fn invert_temperature<R: Real>(
         t = t_new;
     }
     NewtonResult { t, iters: cfg.max_iter, converged: false, resid }
+}
+
+/// Scratch buffers for [`invert_temperature_batch`], reused across calls.
+#[derive(Default)]
+pub struct NewtonScratch {
+    rho_a: Vec<f64>,
+    e_a: Vec<f64>,
+    t_a: Vec<f64>,
+    e_v: Vec<f64>,
+    diff: Vec<f64>,
+    rel: Vec<f64>,
+    dedt: Vec<f64>,
+    stepv: Vec<f64>,
+    t_new: Vec<f64>,
+    cl_idx: Vec<usize>,
+    cl_t: Vec<f64>,
+    cl_a: Vec<f64>,
+    cl_b: Vec<f64>,
+    interp: InterpScratch,
+    dedt_ws: DeDtScratch,
+}
+
+impl NewtonScratch {
+    fn resize(&mut self, n: usize) {
+        for v in [
+            &mut self.rho_a,
+            &mut self.e_a,
+            &mut self.t_a,
+            &mut self.e_v,
+            &mut self.diff,
+            &mut self.rel,
+            &mut self.dedt,
+            &mut self.stepv,
+            &mut self.t_new,
+        ] {
+            v.resize(n, 0.0);
+        }
+    }
+}
+
+/// The scalar damped-clamp update `t_new = (t + bound) * 1/2`, applied
+/// only to the cells whose raw `t_new` crosses `bound` (the same plain
+/// `f64` comparison the scalar path makes on the resolved iterate). Both
+/// tracked ops run only for the clamped subset, preserving counter parity.
+#[allow(clippy::too_many_arguments)]
+fn clamp_half(
+    t_orig: &[f64],
+    t_new: &mut [f64],
+    bound: f64,
+    low: bool,
+    idx: &mut Vec<usize>,
+    g: &mut Vec<f64>,
+    a: &mut Vec<f64>,
+    b: &mut Vec<f64>,
+) {
+    idx.clear();
+    for (z, &tn) in t_new.iter().enumerate() {
+        if (low && tn <= bound) || (!low && tn >= bound) {
+            idx.push(z);
+        }
+    }
+    if idx.is_empty() {
+        return;
+    }
+    let k = idx.len();
+    g.resize(k, 0.0);
+    a.resize(k, 0.0);
+    b.resize(k, 0.0);
+    for (w, &z) in idx.iter().enumerate() {
+        g[w] = t_orig[z];
+    }
+    batch_add_s(&g[..k], bound, &mut a[..k]);
+    batch_mul_s(&a[..k], 0.5, &mut b[..k]);
+    for (w, &z) in idx.iter().enumerate() {
+        t_new[z] = b[w];
+    }
+}
+
+/// Batched counterpart of [`invert_temperature`]: one Newton lockstep over
+/// slices of `(rho, e_target)` states, bit- and counter-identical to
+/// calling the scalar inversion per element under the tracked type.
+///
+/// Cells march in lockstep through the iteration; the only per-cell
+/// control flow in the scalar loop is *when a cell stops* (convergence)
+/// and the two range clamps, so the active set compacts as cells converge
+/// and the clamp arithmetic runs gather/scatter on the crossing subset.
+/// Per iteration the active cells evaluate the batched interpolant,
+/// residual, derivative, and update with exactly the scalar op AST; a
+/// cell that converges at iteration `it` has performed precisely the ops
+/// the scalar early-return performs.
+pub fn invert_temperature_batch(
+    table: &EosTable,
+    rho: &[f64],
+    e_target: &[f64],
+    t_guess: f64,
+    cfg: &NewtonCfg,
+    out: &mut [NewtonResult<f64>],
+    ws: &mut NewtonScratch,
+) {
+    let n = rho.len();
+    assert_eq!(e_target.len(), n);
+    assert_eq!(out.len(), n);
+    let _r = region("Eos/newton");
+    let (t_lo, t_hi) = table.t_bounds();
+    let mut t_cur = vec![t_guess; n];
+    let mut resid = vec![f64::MAX; n];
+    let mut active: Vec<usize> = (0..n).collect();
+    for it in 0..cfg.max_iter {
+        if active.is_empty() {
+            break;
+        }
+        let m = active.len();
+        ws.resize(m);
+        for (z, &c) in active.iter().enumerate() {
+            ws.rho_a[z] = rho[c];
+            ws.e_a[z] = e_target[c];
+            ws.t_a[z] = t_cur[c];
+        }
+        table.eint_of_batch(&ws.rho_a, &ws.t_a, &mut ws.e_v, &mut ws.interp);
+        batch_sub(&ws.e_v, &ws.e_a, &mut ws.diff);
+        batch_div(&ws.diff, &ws.e_a, &mut ws.rel);
+        // Convergence partition: `|rel| < tol` exactly as the scalar test
+        // (abs and compare are exact and uncounted; NaN stays active).
+        let mut still: Vec<usize> = Vec::with_capacity(m);
+        for z in 0..m {
+            let r = ws.rel[z].abs();
+            let c = active[z];
+            resid[c] = r;
+            if r < cfg.tol {
+                out[c] = NewtonResult { t: t_cur[c], iters: it, converged: true, resid: r };
+            } else {
+                still.push(z);
+            }
+        }
+        if still.len() < m {
+            for (w, &z) in still.iter().enumerate() {
+                ws.rho_a[w] = ws.rho_a[z];
+                ws.t_a[w] = ws.t_a[z];
+                ws.diff[w] = ws.diff[z];
+            }
+            active = still.iter().map(|&z| active[z]).collect();
+        }
+        let m = active.len();
+        if m == 0 {
+            break;
+        }
+        table.de_dt_batch(&ws.rho_a[..m], &ws.t_a[..m], &mut ws.dedt[..m], &mut ws.dedt_ws);
+        batch_div(&ws.diff[..m], &ws.dedt[..m], &mut ws.stepv[..m]);
+        batch_sub(&ws.t_a[..m], &ws.stepv[..m], &mut ws.t_new[..m]);
+        // Damped update, clamped to the table range — low clamp first on
+        // the raw update, then the high clamp on the (possibly low-
+        // clamped) iterate, both halving toward the *original* t.
+        clamp_half(
+            &ws.t_a[..m],
+            &mut ws.t_new[..m],
+            t_lo,
+            true,
+            &mut ws.cl_idx,
+            &mut ws.cl_t,
+            &mut ws.cl_a,
+            &mut ws.cl_b,
+        );
+        clamp_half(
+            &ws.t_a[..m],
+            &mut ws.t_new[..m],
+            t_hi,
+            false,
+            &mut ws.cl_idx,
+            &mut ws.cl_t,
+            &mut ws.cl_a,
+            &mut ws.cl_b,
+        );
+        for (z, &c) in active.iter().enumerate() {
+            t_cur[c] = ws.t_new[z];
+        }
+    }
+    for &c in &active {
+        out[c] = NewtonResult {
+            t: t_cur[c],
+            iters: cfg.max_iter,
+            converged: false,
+            resid: resid[c],
+        };
+    }
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //! values are used — like the real Helmholtz table, the interpolant is the
 //! ground truth the solver sees.
 
+use raptor_core::batch::{
+    batch_add, batch_div, batch_div_s, batch_log10, batch_mul, batch_mul_s, batch_rmul_s,
+    batch_sub,
+};
 use raptor_core::Real;
 
 /// Ideal-gas constant over mean molecular weight (erg / (g K), mu = 1).
@@ -150,6 +154,177 @@ impl EosTable {
     pub fn t_bounds(&self) -> (f64, f64) {
         (10f64.powf(self.ltemp[0]), 10f64.powf(*self.ltemp.last().unwrap()))
     }
+
+    /// Batched bilinear interpolation over raw `f64` slices: the exact op
+    /// AST of [`Self::interp`] per element (2 log10, then the corner
+    /// weighted sums), evaluated slice-at-a-time through
+    /// [`raptor_core::batch`]. The corner gather and the `clamp01` weight
+    /// selects are exact and uncounted, like the scalar `max`/`min` pair.
+    fn interp_batch(
+        &self,
+        table: &[f64],
+        rho: &[f64],
+        t: &[f64],
+        out: &mut [f64],
+        ws: &mut InterpScratch,
+    ) {
+        let n = rho.len();
+        assert_eq!(t.len(), n);
+        assert_eq!(out.len(), n);
+        ws.resize(n);
+        batch_log10(rho, &mut ws.lr);
+        batch_log10(t, &mut ws.lt);
+        let nrho = self.lrho.len();
+        for k in 0..n {
+            let (ir, _) = Self::grid_pos(&self.lrho, ws.lr[k]);
+            let (it, _) = Self::grid_pos(&self.ltemp, ws.lt[k]);
+            ws.v00[k] = table[it * nrho + ir];
+            ws.v01[k] = table[it * nrho + ir + 1];
+            ws.v10[k] = table[(it + 1) * nrho + ir];
+            ws.v11[k] = table[(it + 1) * nrho + ir + 1];
+            ws.gr0[k] = self.lrho[ir];
+            ws.gt0[k] = self.ltemp[it];
+        }
+        let gr_step = self.lrho[1] - self.lrho[0];
+        let gt_step = self.ltemp[1] - self.ltemp[0];
+        batch_sub(&ws.lr, &ws.gr0, &mut ws.t1);
+        batch_div_s(&ws.t1, gr_step, &mut ws.wr);
+        clamp01(&mut ws.wr);
+        batch_sub(&ws.lt, &ws.gt0, &mut ws.t1);
+        batch_div_s(&ws.t1, gt_step, &mut ws.wt);
+        clamp01(&mut ws.wt);
+        // lo = v00 + (v01 - v00) * wr ; hi = v10 + (v11 - v10) * wr.
+        batch_sub(&ws.v01, &ws.v00, &mut ws.t1);
+        batch_mul(&ws.t1, &ws.wr, &mut ws.t2);
+        batch_add(&ws.v00, &ws.t2, &mut ws.lo);
+        batch_sub(&ws.v11, &ws.v10, &mut ws.t1);
+        batch_mul(&ws.t1, &ws.wr, &mut ws.t2);
+        batch_add(&ws.v10, &ws.t2, &mut ws.hi);
+        // out = lo + (hi - lo) * wt.
+        batch_sub(&ws.hi, &ws.lo, &mut ws.t1);
+        batch_mul(&ws.t1, &ws.wt, &mut ws.t2);
+        batch_add(&ws.lo, &ws.t2, out);
+    }
+
+    /// Batched [`Self::eint_of`]: bit- and counter-identical to the scalar
+    /// interpolation per element under the tracked number type.
+    pub fn eint_of_batch(&self, rho: &[f64], t: &[f64], out: &mut [f64], ws: &mut InterpScratch) {
+        self.interp_batch(&self.e, rho, t, out, ws);
+    }
+
+    /// Batched [`Self::pres_of`].
+    pub fn pres_of_batch(&self, rho: &[f64], t: &[f64], out: &mut [f64], ws: &mut InterpScratch) {
+        self.interp_batch(&self.p, rho, t, out, ws);
+    }
+
+    /// Batched [`Self::de_dt`]: the central-difference derivative with the
+    /// scalar op AST per element (`h = t * 1e-4`, two interpolations at
+    /// `t ± h`, `(ep - em) / (2 h)`).
+    pub fn de_dt_batch(&self, rho: &[f64], t: &[f64], out: &mut [f64], ws: &mut DeDtScratch) {
+        let n = rho.len();
+        assert_eq!(t.len(), n);
+        assert_eq!(out.len(), n);
+        ws.resize(n);
+        batch_mul_s(t, 1e-4, &mut ws.h);
+        batch_add(t, &ws.h, &mut ws.tp);
+        batch_sub(t, &ws.h, &mut ws.tm);
+        self.interp_batch(&self.e, rho, &ws.tp, &mut ws.ep, &mut ws.interp);
+        self.interp_batch(&self.e, rho, &ws.tm, &mut ws.em, &mut ws.interp);
+        batch_sub(&ws.ep, &ws.em, &mut ws.num);
+        batch_rmul_s(2.0, &ws.h, &mut ws.den);
+        batch_div(&ws.num, &ws.den, out);
+    }
+}
+
+/// The scalar AST's `.max(0).min(1)` weight clamp: exact, uncounted
+/// selects (a NaN weight passes through unchanged, as in the scalar pair).
+// Written as the scalar path's two selects, not `f64::clamp`, so the
+// comparison order stays literally identical to the oracle loop.
+#[allow(clippy::manual_clamp)]
+fn clamp01(w: &mut [f64]) {
+    for x in w.iter_mut() {
+        if 0.0 > *x {
+            *x = 0.0;
+        }
+        if 1.0 < *x {
+            *x = 1.0;
+        }
+    }
+}
+
+/// Scratch buffers for [`EosTable::eint_of_batch`] /
+/// [`EosTable::pres_of_batch`] — reused across calls so the per-row fast
+/// path allocates nothing in steady state.
+#[derive(Default)]
+pub struct InterpScratch {
+    lr: Vec<f64>,
+    lt: Vec<f64>,
+    v00: Vec<f64>,
+    v01: Vec<f64>,
+    v10: Vec<f64>,
+    v11: Vec<f64>,
+    gr0: Vec<f64>,
+    gt0: Vec<f64>,
+    wr: Vec<f64>,
+    wt: Vec<f64>,
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+}
+
+impl InterpScratch {
+    fn resize(&mut self, n: usize) {
+        for v in [
+            &mut self.lr,
+            &mut self.lt,
+            &mut self.v00,
+            &mut self.v01,
+            &mut self.v10,
+            &mut self.v11,
+            &mut self.gr0,
+            &mut self.gt0,
+            &mut self.wr,
+            &mut self.wt,
+            &mut self.t1,
+            &mut self.t2,
+            &mut self.lo,
+            &mut self.hi,
+        ] {
+            v.resize(n, 0.0);
+        }
+    }
+}
+
+/// Scratch buffers for [`EosTable::de_dt_batch`].
+#[derive(Default)]
+pub struct DeDtScratch {
+    h: Vec<f64>,
+    tp: Vec<f64>,
+    tm: Vec<f64>,
+    ep: Vec<f64>,
+    em: Vec<f64>,
+    num: Vec<f64>,
+    den: Vec<f64>,
+    /// Inner interpolation scratch (field-disjoint from the buffers above
+    /// so the two `interp_batch` calls borrow-split).
+    interp: InterpScratch,
+}
+
+impl DeDtScratch {
+    fn resize(&mut self, n: usize) {
+        for v in [
+            &mut self.h,
+            &mut self.tp,
+            &mut self.tm,
+            &mut self.ep,
+            &mut self.em,
+            &mut self.num,
+            &mut self.den,
+        ] {
+            v.resize(n, 0.0);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -197,6 +372,87 @@ mod tests {
         let e_hi = tab.eint_of(1e12, 1e11);
         assert!(e_low.is_finite() && e_low > 0.0);
         assert!(e_hi.is_finite() && e_hi > 0.0);
+    }
+
+    /// Tentpole bit-identity for the EOS consumer layer: the batched
+    /// interpolation and central-difference derivative must match the
+    /// scalar ASTs bit for bit and op count for op count — across a
+    /// kernel-table format, a wide format that takes the per-element
+    /// fallback tier, and directed rounding (which also bypasses the
+    /// double-rounding shortcut). Sample states run past both table edges
+    /// so the clamped weight selects are exercised.
+    #[test]
+    fn batch_interp_bit_identical_and_counter_parity() {
+        use bigfloat::Format;
+        use raptor_core::{Config, RoundMode, Session, Tracked};
+        let tab = EosTable::cellular_default();
+        let n = 40;
+        let rho: Vec<f64> = (0..n)
+            .map(|k| 10f64.powf(3.0 + 0.2 * k as f64 / 1.0) * (1.0 + 0.013 * k as f64))
+            .collect();
+        let t: Vec<f64> = (0..n)
+            .map(|k| 10f64.powf(6.5 + 0.12 * k as f64) * (1.0 + 0.007 * k as f64))
+            .collect();
+        let mut directed = Config::op_all(Format::new(11, 12));
+        directed.round = RoundMode::TowardZero;
+        let configs = vec![
+            Config::op_all(Format::new(5, 10)),
+            Config::op_all(Format::new(11, 12)),
+            Config::op_all(Format::new(11, 20)),
+            directed,
+        ];
+        for cfg in configs {
+            let fmt = cfg.format;
+            // Scalar reference: per-element tracked interpolation.
+            let sess_s = Session::new(cfg.clone().with_counting()).unwrap();
+            let (want_e, want_d) = {
+                let _g = sess_s.install();
+                let e: Vec<f64> = (0..n)
+                    .map(|k| {
+                        tab.eint_of(Tracked::from_f64(rho[k]), Tracked::from_f64(t[k])).to_f64()
+                    })
+                    .collect();
+                let d: Vec<f64> = (0..n)
+                    .map(|k| {
+                        tab.de_dt(Tracked::from_f64(rho[k]), Tracked::from_f64(t[k])).to_f64()
+                    })
+                    .collect();
+                (e, d)
+            };
+            // Batched run under an identical fresh session.
+            let sess_b = Session::new(cfg.with_counting()).unwrap();
+            let mut got_e = vec![0.0; n];
+            let mut got_d = vec![0.0; n];
+            {
+                let _g = sess_b.install();
+                let mut iws = InterpScratch::default();
+                let mut dws = DeDtScratch::default();
+                tab.eint_of_batch(&rho, &t, &mut got_e, &mut iws);
+                tab.de_dt_batch(&rho, &t, &mut got_d, &mut dws);
+            }
+            for k in 0..n {
+                assert_eq!(
+                    got_e[k].to_bits(),
+                    want_e[k].to_bits(),
+                    "{fmt:?} eint lane {k}: {} vs {}",
+                    got_e[k],
+                    want_e[k]
+                );
+                assert_eq!(
+                    got_d[k].to_bits(),
+                    want_d[k].to_bits(),
+                    "{fmt:?} de_dt lane {k}: {} vs {}",
+                    got_d[k],
+                    want_d[k]
+                );
+            }
+            let (cs, cb) = (sess_s.counters(), sess_b.counters());
+            assert_eq!(cs, cb, "{fmt:?}: op counters must match exactly");
+            // eint: 2 log10s per element; de_dt: 4 more inside the two
+            // interpolations at t ± h.
+            assert_eq!(cb.trunc.math, 6 * n as u64, "{fmt:?}: log10 census");
+            assert!(cb.trunc.div > 0, "{fmt:?}: weight divisions counted");
+        }
     }
 
     #[test]

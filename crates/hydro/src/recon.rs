@@ -53,30 +53,36 @@ pub fn plm_interface<R: Real>(u: [R; 4]) -> (R, R) {
 }
 
 /// WENO5 reconstruction of the *left* interface state at i+1/2 from the
-/// five upwind-biased cells `[i-2, i-1, i, i+1, i+2]` (Jiang–Shu weights).
+/// five upwind-biased cells `[i-2, i-1, i, i+1, i+2]` (Jiang–Shu weights,
+/// coefficient set shared with `incomp` via [`raptor_core::weno`]).
+///
+/// This is the scalar oracle for [`raptor_core::batch::batch_weno5`]: the
+/// fused kernel evaluates exactly this op AST per element, so the batch
+/// sweep is bit-identical and counter-identical to this loop.
 #[inline]
 pub fn weno5<R: Real>(v: [R; 5]) -> R {
-    let c13 = R::from_f64(13.0 / 12.0);
-    let quarter = R::from_f64(0.25);
-    let eps = R::from_f64(1e-6);
+    use raptor_core::weno as w;
+    let c13 = R::from_f64(w::C13_12);
+    let quarter = R::from_f64(w::QUARTER);
+    let eps = R::from_f64(w::EPS);
 
     let b0 = c13 * (v[0] - R::two() * v[1] + v[2]).powi(2)
-        + quarter * (v[0] - R::from_f64(4.0) * v[1] + R::from_f64(3.0) * v[2]).powi(2);
+        + quarter * (v[0] - R::from_f64(w::FOUR) * v[1] + R::from_f64(w::THREE) * v[2]).powi(2);
     let b1 = c13 * (v[1] - R::two() * v[2] + v[3]).powi(2) + quarter * (v[1] - v[3]).powi(2);
     let b2 = c13 * (v[2] - R::two() * v[3] + v[4]).powi(2)
-        + quarter * (R::from_f64(3.0) * v[2] - R::from_f64(4.0) * v[3] + v[4]).powi(2);
+        + quarter * (R::from_f64(w::THREE) * v[2] - R::from_f64(w::FOUR) * v[3] + v[4]).powi(2);
 
-    let a0 = R::from_f64(0.1) / (eps + b0).powi(2);
-    let a1 = R::from_f64(0.6) / (eps + b1).powi(2);
-    let a2 = R::from_f64(0.3) / (eps + b2).powi(2);
+    let a0 = R::from_f64(w::W0) / (eps + b0).powi(2);
+    let a1 = R::from_f64(w::W1) / (eps + b1).powi(2);
+    let a2 = R::from_f64(w::W2) / (eps + b2).powi(2);
     let asum = a0 + a1 + a2;
 
-    let p0 = R::from_f64(1.0 / 3.0) * v[0] - R::from_f64(7.0 / 6.0) * v[1]
-        + R::from_f64(11.0 / 6.0) * v[2];
-    let p1 = R::from_f64(-1.0 / 6.0) * v[1] + R::from_f64(5.0 / 6.0) * v[2]
-        + R::from_f64(1.0 / 3.0) * v[3];
-    let p2 = R::from_f64(1.0 / 3.0) * v[2] + R::from_f64(5.0 / 6.0) * v[3]
-        - R::from_f64(1.0 / 6.0) * v[4];
+    let p0 = R::from_f64(w::P_1_3) * v[0] - R::from_f64(w::P_7_6) * v[1]
+        + R::from_f64(w::P_11_6) * v[2];
+    let p1 = R::from_f64(w::P_M1_6) * v[1] + R::from_f64(w::P_5_6) * v[2]
+        + R::from_f64(w::P_1_3) * v[3];
+    let p2 = R::from_f64(w::P_1_3) * v[2] + R::from_f64(w::P_5_6) * v[3]
+        - R::from_f64(w::P_1_6) * v[4];
 
     (a0 * p0 + a1 * p1 + a2 * p2) / asum
 }
@@ -134,6 +140,24 @@ mod tests {
         // Left state biased to the left plateau, right to the right.
         assert!(l > 0.9);
         assert!(r < 0.1);
+    }
+
+    /// The fused batch kernel and this module's scalar AST must stay
+    /// op-for-op identical — checked bitwise on the hardware tier (no
+    /// session), where any drift in either expression shows up.
+    #[test]
+    fn batch_kernel_matches_scalar_weno5_bitwise() {
+        let w: Vec<f64> = (0..37)
+            .map(|i| (i as f64 * 0.71).sin() * (1.0 + 0.3 * (i as f64 * 1.3).cos()))
+            .collect();
+        let n = w.len() - 5;
+        let win = |s: usize| &w[s..s + n];
+        let mut out = vec![0.0; n];
+        raptor_core::batch::batch_weno5(win(0), win(1), win(2), win(3), win(4), &mut out);
+        for i in 0..n {
+            let want = weno5([w[i], w[i + 1], w[i + 2], w[i + 3], w[i + 4]]);
+            assert_eq!(out[i].to_bits(), want.to_bits(), "lane {i}");
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::state::{cons_to_prim, Cons, Eos, Floors, Prim, DENS, ENER, MOMX, MOMY
 use amr::{fill_guards, par_leaves, BcSpec, Block, LeafGeom, Mesh};
 use raptor_core::batch::{
     batch_add, batch_div, batch_mul, batch_mul_s, batch_rdiv_s, batch_rmul_s, batch_sub,
+    batch_weno5,
 };
 use raptor_core::{count_field_values, region, set_level, Mode, Real, Session};
 
@@ -166,14 +167,16 @@ pub fn sweep_axis<R: Real, E: Eos>(
     // merges its flag statistics into the session (the sweep barrier).
     let mem_mode = session.config().mode == Mode::Mem;
     // Batch-kernel rewrite of the sweep: only for the instrumented build
-    // (the f64 reference build keeps its scalar loops), only for PLM
-    // (WENO5's nonlinear weights stay scalar), and only when the EOS ships
-    // slice kernels. `batch::ready()` is checked per block *after* the
-    // session is installed — it rejects mem-mode sessions, whose per-op
-    // source-location attribution a slice loop cannot reproduce, and the
-    // `set_force_scalar` differential-testing toggle.
-    let use_batch =
-        R::IS_TRACKED && params.recon == ReconKind::Plm && eos.batch_supported();
+    // (the f64 reference build keeps its scalar loops), for PLM and WENO5
+    // (the latter through the fused `batch_weno5` stencil kernel), and
+    // only when the EOS ships slice kernels. `batch::ready()` is checked
+    // per block *after* the session is installed — it rejects mem-mode
+    // sessions, whose per-op source-location attribution a slice loop
+    // cannot reproduce, and the `set_force_scalar` differential-testing
+    // toggle.
+    let use_batch = R::IS_TRACKED
+        && matches!(params.recon, ReconKind::Plm | ReconKind::Weno5)
+        && eos.batch_supported();
     let kernel = |geom: LeafGeom, block: &mut Block| {
         let _guard = session.install();
         set_level(Some(geom.level));
@@ -452,6 +455,19 @@ fn plm_b(w: &[f64], ng: usize, k: usize, t: &mut Tmp, ol: &mut Vec<f64>, or_: &m
     batch_sub(u2, &t.e, or_);
 }
 
+/// Batch WENO5 over one component array: interface `f = 0..k` reads the
+/// six padded cells `ng+f-3 .. ng+f+2`; the left state comes from the five
+/// upwind cells, the right state from the mirrored stencil, exactly like
+/// the scalar `recon::weno5_interface`. The whole nonlinear combination is
+/// one fused [`batch_weno5`] call per side.
+fn weno5_b(w: &[f64], ng: usize, k: usize, ol: &mut Vec<f64>, or_: &mut Vec<f64>) {
+    ol.resize(k, 0.0);
+    or_.resize(k, 0.0);
+    let win = |s: usize| &w[ng - 3 + s..ng - 3 + s + k];
+    batch_weno5(win(0), win(1), win(2), win(3), win(4), ol);
+    batch_weno5(win(5), win(4), win(3), win(2), win(1), or_);
+}
+
 /// Batch HLLC star-region flux for one branch's compacted interfaces:
 /// `out = fphys + (star(w, u, s, un) - u) * s`.
 #[allow(clippy::too_many_arguments)]
@@ -639,15 +655,25 @@ fn sweep_block_batch<E: Eos>(
             eos.pressure_batch(&b.prim.rho, &b.t.d, &mut b.t.a, &mut b.prim.p);
             floor_sel(&mut b.prim.p, params.floors.small_p);
         }
-        // ---- Hydro/recon: PLM interface states, component-wise ----
+        // ---- Hydro/recon: interface states, component-wise ----
         {
             let _r = region("Hydro/recon");
             b.wl.resize(k);
             b.wr.resize(k);
-            plm_b(&b.prim.rho, ng, k, &mut b.t, &mut b.wl.rho, &mut b.wr.rho);
-            plm_b(&b.prim.vx, ng, k, &mut b.t, &mut b.wl.vx, &mut b.wr.vx);
-            plm_b(&b.prim.vy, ng, k, &mut b.t, &mut b.wl.vy, &mut b.wr.vy);
-            plm_b(&b.prim.p, ng, k, &mut b.t, &mut b.wl.p, &mut b.wr.p);
+            match params.recon {
+                ReconKind::Plm => {
+                    plm_b(&b.prim.rho, ng, k, &mut b.t, &mut b.wl.rho, &mut b.wr.rho);
+                    plm_b(&b.prim.vx, ng, k, &mut b.t, &mut b.wl.vx, &mut b.wr.vx);
+                    plm_b(&b.prim.vy, ng, k, &mut b.t, &mut b.wl.vy, &mut b.wr.vy);
+                    plm_b(&b.prim.p, ng, k, &mut b.t, &mut b.wl.p, &mut b.wr.p);
+                }
+                ReconKind::Weno5 => {
+                    weno5_b(&b.prim.rho, ng, k, &mut b.wl.rho, &mut b.wr.rho);
+                    weno5_b(&b.prim.vx, ng, k, &mut b.wl.vx, &mut b.wr.vx);
+                    weno5_b(&b.prim.vy, ng, k, &mut b.wl.vy, &mut b.wr.vy);
+                    weno5_b(&b.prim.p, ng, k, &mut b.wl.p, &mut b.wr.p);
+                }
+            }
             // assemble() floors (fixed 1e-12, independent of params.floors)
             floor_sel(&mut b.wl.rho, 1e-12);
             floor_sel(&mut b.wl.p, 1e-12);
@@ -1064,10 +1090,12 @@ mod tests {
     /// bits in every cell and the exact same operation counts as the
     /// scalar path, across table-served formats ((11,12), fp16), the
     /// per-element emulation fallback ((11,20) fails
-    /// `double_round_safe`), both Riemann solvers, and a supersonic
-    /// drift that exercises the upwind early-out branches. Runs with
-    /// 3 worker threads so the bulk counter accounting is validated
-    /// under `par_leaves` guard-drop merging too.
+    /// `double_round_safe`), both reconstructions (PLM component slices,
+    /// WENO5 through the fused stencil kernel), both Riemann solvers,
+    /// and a supersonic drift that exercises the upwind early-out
+    /// branches. Runs with 3 worker threads so the bulk counter
+    /// accounting is validated under `par_leaves` guard-drop merging
+    /// too.
     #[test]
     fn batch_sweep_bit_identical_to_scalar() {
         use bigfloat::Format;
@@ -1091,13 +1119,23 @@ mod tests {
                 }
             })
         };
-        for fmt in [Format::new(11, 12), Format::new(5, 10), Format::new(11, 20)] {
+        for (recon, fmt) in [
+            // PLM: full format spread (table, fp16, emulation fallback).
+            (ReconKind::Plm, Format::new(11, 12)),
+            (ReconKind::Plm, Format::new(5, 10)),
+            (ReconKind::Plm, Format::new(11, 20)),
+            // WENO5 through the fused stencil kernel: one table-served
+            // format and the per-element emulation fallback.
+            (ReconKind::Weno5, Format::new(11, 12)),
+            (ReconKind::Weno5, Format::new(11, 20)),
+        ] {
             for kind in [RiemannKind::Hllc, RiemannKind::Hll] {
                 for vx0 in [0.0, 3.0] {
-                    let params = HydroParams { riemann: kind, ..Default::default() };
+                    let params =
+                        HydroParams { riemann: kind, recon, ..Default::default() };
                     let run = |force_scalar: bool| {
                         batch::set_force_scalar(force_scalar);
-                        let mut m = mesh(ReconKind::Plm);
+                        let mut m = mesh(recon);
                         init(&mut m, vx0);
                         let sess = Session::new(
                             Config::op_files(fmt, ["Hydro"]).with_counting(),
@@ -1112,7 +1150,7 @@ mod tests {
                     };
                     let (m_scalar, c_scalar) = run(true);
                     let (m_batch, c_batch) = run(false);
-                    let label = format!("{fmt:?} {kind:?} vx0={vx0}");
+                    let label = format!("{recon:?} {fmt:?} {kind:?} vx0={vx0}");
                     assert_eq!(
                         amr::bitwise_diff(&m_batch, &m_scalar),
                         None,

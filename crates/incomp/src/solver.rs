@@ -186,24 +186,32 @@ pub fn viscosity(params: &InsParams, phi: f64, eps: f64) -> f64 {
     params.mu_air + (1.0 - params.mu_air) * hw
 }
 
-/// Jiang–Shu WENO5 approximation from five first-differences.
+/// Jiang–Shu WENO5 approximation from five first-differences (coefficient
+/// set shared with `hydro::recon` via [`raptor_core::weno`]).
+///
+/// The tail differs from the hydro variant — `inv = 1/asum` then a
+/// multiply, rather than a direct division — which is why the fused batch
+/// kernel ships both as [`raptor_core::batch::batch_weno5_adv`] and
+/// [`raptor_core::batch::batch_weno5`]: this function is the scalar oracle
+/// for the former, op AST for op AST.
 #[inline]
 fn weno5_core<R: Real>(v1: R, v2: R, v3: R, v4: R, v5: R) -> R {
-    let c13 = R::from_f64(13.0 / 12.0);
-    let quarter = R::from_f64(0.25);
-    let eps = R::from_f64(1e-6);
+    use raptor_core::weno as w;
+    let c13 = R::from_f64(w::C13_12);
+    let quarter = R::from_f64(w::QUARTER);
+    let eps = R::from_f64(w::EPS);
     let s1 = c13 * (v1 - R::two() * v2 + v3).powi(2)
-        + quarter * (v1 - R::from_f64(4.0) * v2 + R::from_f64(3.0) * v3).powi(2);
+        + quarter * (v1 - R::from_f64(w::FOUR) * v2 + R::from_f64(w::THREE) * v3).powi(2);
     let s2 = c13 * (v2 - R::two() * v3 + v4).powi(2) + quarter * (v2 - v4).powi(2);
     let s3 = c13 * (v3 - R::two() * v4 + v5).powi(2)
-        + quarter * (R::from_f64(3.0) * v3 - R::from_f64(4.0) * v4 + v5).powi(2);
-    let a1 = R::from_f64(0.1) / (eps + s1).powi(2);
-    let a2 = R::from_f64(0.6) / (eps + s2).powi(2);
-    let a3 = R::from_f64(0.3) / (eps + s3).powi(2);
+        + quarter * (R::from_f64(w::THREE) * v3 - R::from_f64(w::FOUR) * v4 + v5).powi(2);
+    let a1 = R::from_f64(w::W0) / (eps + s1).powi(2);
+    let a2 = R::from_f64(w::W1) / (eps + s2).powi(2);
+    let a3 = R::from_f64(w::W2) / (eps + s3).powi(2);
     let inv = R::one() / (a1 + a2 + a3);
-    let p1 = R::from_f64(1.0 / 3.0) * v1 - R::from_f64(7.0 / 6.0) * v2 + R::from_f64(11.0 / 6.0) * v3;
-    let p2 = R::from_f64(-1.0 / 6.0) * v2 + R::from_f64(5.0 / 6.0) * v3 + R::from_f64(1.0 / 3.0) * v4;
-    let p3 = R::from_f64(1.0 / 3.0) * v3 + R::from_f64(5.0 / 6.0) * v4 - R::from_f64(1.0 / 6.0) * v5;
+    let p1 = R::from_f64(w::P_1_3) * v1 - R::from_f64(w::P_7_6) * v2 + R::from_f64(w::P_11_6) * v3;
+    let p2 = R::from_f64(w::P_M1_6) * v2 + R::from_f64(w::P_5_6) * v3 + R::from_f64(w::P_1_3) * v4;
+    let p3 = R::from_f64(w::P_1_3) * v3 + R::from_f64(w::P_5_6) * v4 - R::from_f64(w::P_1_6) * v5;
     (a1 * p1 + a2 * p2 + a3 * p3) * inv
 }
 
@@ -261,28 +269,40 @@ pub fn step<R: Real>(
     // ---- INS/advection: velocity and level-set advection terms ----
     {
         let _r = region("INS/advection");
-        for j in 0..ny {
-            for i in 0..nx {
-                set_level(lvl(i, j));
-                let (ii, jj) = (i as isize, j as isize);
-                let uc = R::from_f64(grid.u[grid.at(ii, jj)]);
-                let vc = R::from_f64(grid.v[grid.at(ii, jj)]);
-                let dudx = weno5_deriv(grid, &grid.u, ii, jj, 0, uc, inv_h);
-                let dudy = weno5_deriv(grid, &grid.u, ii, jj, 1, vc, inv_h);
-                let dvdx = weno5_deriv(grid, &grid.v, ii, jj, 0, uc, inv_h);
-                let dvdy = weno5_deriv(grid, &grid.v, ii, jj, 1, vc, inv_h);
-                let dpx = weno5_deriv(grid, &grid.phi, ii, jj, 0, uc, inv_h);
-                let dpy = weno5_deriv(grid, &grid.phi, ii, jj, 1, vc, inv_h);
-                let adv_u = uc * dudx + vc * dudy;
-                let adv_v = uc * dvdx + vc * dvdy;
-                let adv_p = uc * dpx + vc * dpy;
-                let k = j * nx + i;
-                us[k] = Real::to_f64(adv_u);
-                vs[k] = Real::to_f64(adv_v);
-                phin[k] = grid.phi[grid.at(ii, jj)] - dt * Real::to_f64(adv_p);
+        // Batch fast path: the WENO5 upwind derivative is data-dependent
+        // only through the wind *sign*, so a row partitions into a
+        // plus-wind and a minus-wind set per axis; each set runs its
+        // branch's exact op chain through the fused `batch_weno5_adv`
+        // kernel. Like diffusion, this requires one shared truncation
+        // decision (no AMR level map); the scalar loop below stays as the
+        // mem-mode path and the differential oracle.
+        let use_batch = R::IS_TRACKED && level_map.is_none();
+        if use_batch && raptor_core::batch::ready() {
+            advection_batch(grid, dt, 1.0 / h, &mut us, &mut vs, &mut phin);
+        } else {
+            for j in 0..ny {
+                for i in 0..nx {
+                    set_level(lvl(i, j));
+                    let (ii, jj) = (i as isize, j as isize);
+                    let uc = R::from_f64(grid.u[grid.at(ii, jj)]);
+                    let vc = R::from_f64(grid.v[grid.at(ii, jj)]);
+                    let dudx = weno5_deriv(grid, &grid.u, ii, jj, 0, uc, inv_h);
+                    let dudy = weno5_deriv(grid, &grid.u, ii, jj, 1, vc, inv_h);
+                    let dvdx = weno5_deriv(grid, &grid.v, ii, jj, 0, uc, inv_h);
+                    let dvdy = weno5_deriv(grid, &grid.v, ii, jj, 1, vc, inv_h);
+                    let dpx = weno5_deriv(grid, &grid.phi, ii, jj, 0, uc, inv_h);
+                    let dpy = weno5_deriv(grid, &grid.phi, ii, jj, 1, vc, inv_h);
+                    let adv_u = uc * dudx + vc * dudy;
+                    let adv_v = uc * dvdx + vc * dvdy;
+                    let adv_p = uc * dpx + vc * dpy;
+                    let k = j * nx + i;
+                    us[k] = Real::to_f64(adv_u);
+                    vs[k] = Real::to_f64(adv_v);
+                    phin[k] = grid.phi[grid.at(ii, jj)] - dt * Real::to_f64(adv_p);
+                }
             }
+            set_level(None);
         }
-        set_level(None);
     }
 
     // ---- INS/diffusion: viscous terms ----
@@ -351,12 +371,24 @@ pub fn step<R: Real>(
     // paper's untruncated force assembly).
     let kappa_cell: Vec<f64> = {
         let _r = region("INS/forces");
-        (0..n_int)
-            .map(|k| {
-                let (i, j) = (k % nx, k / nx);
-                curvature(grid, i as isize, j as isize, h)
-            })
-            .collect()
+        if raptor_core::batch::ready() {
+            // Row-sliced CSF curvature: same plain-f64 AST per cell,
+            // evaluated a row at a time (linear indexing, vectorizable
+            // coefficient prep). Bit-identical to the per-cell map below,
+            // which remains the oracle under `set_force_scalar`.
+            let mut kc = vec![0.0; n_int];
+            for j in 0..ny {
+                curvature_row(grid, j, &mut kc[j * nx..(j + 1) * nx]);
+            }
+            kc
+        } else {
+            (0..n_int)
+                .map(|k| {
+                    let (i, j) = (k % nx, k / nx);
+                    curvature(grid, i as isize, j as isize, h)
+                })
+                .collect()
+        }
     };
 
     // Predictor.
@@ -587,6 +619,176 @@ fn diffusion_batch(
     }
 }
 
+/// Gather/difference scratch for [`advection_batch`], reused across rows.
+#[derive(Default)]
+struct AdvScratch {
+    g: [Vec<f64>; 6],
+    d: [Vec<f64>; 5],
+    t: Vec<f64>,
+    res: Vec<f64>,
+}
+
+/// Fused WENO5 upwind derivative for one wind-sign partition of a row:
+/// gathers the six stencil values per cell, forms the five tracked first
+/// differences, and runs the whole nonlinear combination through
+/// [`raptor_core::batch::batch_weno5_adv`]. `left_biased` selects the
+/// same stencil (and argument order) as the scalar [`weno5_deriv`]
+/// branches; ops run *only* for the partition's cells, so counter totals
+/// match the scalar loop exactly.
+#[allow(clippy::too_many_arguments)]
+fn weno5_deriv_part(
+    grid: &Grid,
+    f: &[f64],
+    j: usize,
+    axis: usize,
+    part: &[usize],
+    left_biased: bool,
+    inv_h: f64,
+    ws: &mut AdvScratch,
+    out_row: &mut [f64],
+) {
+    use raptor_core::batch::{batch_mul_s, batch_sub, batch_weno5_adv};
+    let m = part.len();
+    if m == 0 {
+        return;
+    }
+    // Left-biased stencils read offsets -3..=2, right-biased -2..=3.
+    let base: isize = if left_biased { -3 } else { -2 };
+    for (s, gs) in ws.g.iter_mut().enumerate() {
+        let k = base + s as isize;
+        gs.clear();
+        gs.extend(part.iter().map(|&i| {
+            let idx = if axis == 0 {
+                grid.at(i as isize + k, j as isize)
+            } else {
+                grid.at(i as isize, j as isize + k)
+            };
+            f[idx]
+        }));
+    }
+    ws.t.resize(m, 0.0);
+    ws.res.resize(m, 0.0);
+    // d(k) = (get(k+1) - get(k)) * inv_h, five consecutive differences.
+    for s in 0..5 {
+        ws.d[s].resize(m, 0.0);
+        batch_sub(&ws.g[s + 1], &ws.g[s], &mut ws.t);
+        batch_mul_s(&ws.t, inv_h, &mut ws.d[s]);
+    }
+    if left_biased {
+        batch_weno5_adv(&ws.d[0], &ws.d[1], &ws.d[2], &ws.d[3], &ws.d[4], &mut ws.res);
+    } else {
+        // Mirrored: weno5_core(d(2), d(1), d(0), d(-1), d(-2)).
+        batch_weno5_adv(&ws.d[4], &ws.d[3], &ws.d[2], &ws.d[1], &ws.d[0], &mut ws.res);
+    }
+    for (z, &i) in part.iter().enumerate() {
+        out_row[i] = ws.res[z];
+    }
+}
+
+/// Row-granular batch evaluation of the advection terms: bit- and
+/// counter-identical to the scalar loop in [`step`]. Each row is
+/// partitioned by wind sign per axis (the only data-dependent control
+/// flow in [`weno5_deriv`]), each partition's derivative goes through the
+/// fused stencil kernel, and the final `uc*d/dx + vc*d/dy` combinations
+/// run as row slices. The level-set update tail stays plain `f64` like
+/// the scalar path.
+fn advection_batch(
+    grid: &Grid,
+    dt: f64,
+    inv_h: f64,
+    us: &mut [f64],
+    vs: &mut [f64],
+    phin: &mut [f64],
+) {
+    use raptor_core::batch::{batch_add, batch_mul};
+    let (nx, ny, ng) = (grid.nx, grid.ny, grid.ng);
+    let stride = nx + 2 * ng;
+    let mut ws = AdvScratch::default();
+    let mut px: Vec<usize> = Vec::with_capacity(nx);
+    let mut mx: Vec<usize> = Vec::with_capacity(nx);
+    let mut py: Vec<usize> = Vec::with_capacity(nx);
+    let mut my: Vec<usize> = Vec::with_capacity(nx);
+    let mut dudx = vec![0.0; nx];
+    let mut dudy = vec![0.0; nx];
+    let mut dvdx = vec![0.0; nx];
+    let mut dvdy = vec![0.0; nx];
+    let mut dpx = vec![0.0; nx];
+    let mut dpy = vec![0.0; nx];
+    let mut t1 = vec![0.0; nx];
+    let mut t2 = vec![0.0; nx];
+    let mut ap = vec![0.0; nx];
+    for j in 0..ny {
+        let row0 = (j + ng) * stride + ng;
+        let uc = &grid.u[row0..row0 + nx];
+        let vc = &grid.v[row0..row0 + nx];
+        px.clear();
+        mx.clear();
+        py.clear();
+        my.clear();
+        for i in 0..nx {
+            // Same predicate as the scalar `wind >= 0` (NaN upwinds right).
+            if uc[i] >= 0.0 {
+                px.push(i);
+            } else {
+                mx.push(i);
+            }
+            if vc[i] >= 0.0 {
+                py.push(i);
+            } else {
+                my.push(i);
+            }
+        }
+        for (f, outx, outy) in [
+            (&grid.u, &mut dudx, &mut dudy),
+            (&grid.v, &mut dvdx, &mut dvdy),
+            (&grid.phi, &mut dpx, &mut dpy),
+        ] {
+            weno5_deriv_part(grid, f, j, 0, &px, true, inv_h, &mut ws, outx);
+            weno5_deriv_part(grid, f, j, 0, &mx, false, inv_h, &mut ws, outx);
+            weno5_deriv_part(grid, f, j, 1, &py, true, inv_h, &mut ws, outy);
+            weno5_deriv_part(grid, f, j, 1, &my, false, inv_h, &mut ws, outy);
+        }
+        let out = j * nx..(j + 1) * nx;
+        // adv = uc * d/dx + vc * d/dy, per advected field.
+        batch_mul(uc, &dudx, &mut t1);
+        batch_mul(vc, &dudy, &mut t2);
+        batch_add(&t1, &t2, &mut us[out.clone()]);
+        batch_mul(uc, &dvdx, &mut t1);
+        batch_mul(vc, &dvdy, &mut t2);
+        batch_add(&t1, &t2, &mut vs[out]);
+        batch_mul(uc, &dpx, &mut t1);
+        batch_mul(vc, &dpy, &mut t2);
+        batch_add(&t1, &t2, &mut ap);
+        for i in 0..nx {
+            phin[j * nx + i] = grid.phi[row0 + i] - dt * ap[i];
+        }
+    }
+}
+
+/// Row-sliced CSF curvature: evaluates [`curvature`]'s exact plain-`f64`
+/// AST for one interior row with linear indexing, so the untracked force
+/// prep vectorizes. Bit-identical to per-cell [`curvature`] calls by
+/// construction.
+pub fn curvature_row(grid: &Grid, j: usize, out: &mut [f64]) {
+    let phi = &grid.phi;
+    let h = grid.h;
+    let stride = (grid.nx + 2 * grid.ng) as isize;
+    let base = (j + grid.ng) * stride as usize + grid.ng;
+    for (i, o) in out.iter_mut().enumerate() {
+        let c = (base + i) as isize;
+        let f = |di: isize, dj: isize| phi[(c + di + dj * stride) as usize];
+        let px = (f(1, 0) - f(-1, 0)) / (2.0 * h);
+        let py = (f(0, 1) - f(0, -1)) / (2.0 * h);
+        let pxx = (f(1, 0) - 2.0 * f(0, 0) + f(-1, 0)) / (h * h);
+        let pyy = (f(0, 1) - 2.0 * f(0, 0) + f(0, -1)) / (h * h);
+        let pxy = (f(1, 1) - f(1, -1) - f(-1, 1) + f(-1, -1)) / (4.0 * h * h);
+        let g2 = px * px + py * py;
+        let g = g2.sqrt().max(1e-12);
+        *o = ((pxx * py * py - 2.0 * px * py * pxy + pyy * px * px) / (g2 * g))
+            .clamp(-2.0 / h, 2.0 / h);
+    }
+}
+
 /// Interface curvature at a cell: `∇·(∇φ/|∇φ|)` by central differences.
 pub fn curvature(grid: &Grid, i: isize, j: isize, h: f64) -> f64 {
     let phi = &grid.phi;
@@ -773,8 +975,9 @@ mod tests {
 
     /// The batched diffusion operator must match the scalar loop bit for
     /// bit and op count for op count — across a table-served format and
-    /// the per-element fallback format — while the advection terms stay
-    /// scalar in both runs.
+    /// the per-element fallback format. (The quiescent bubble has zero
+    /// initial velocity, so this run leans on diffusion/CSF; the seeded
+    /// advection test below stresses the upwind partitions.)
     #[test]
     fn batch_diffusion_bit_identical_to_scalar() {
         use bigfloat::Format;
@@ -812,6 +1015,76 @@ mod tests {
             }
             assert_eq!(cs, cb, "{fmt:?}: op counters must match exactly");
             assert!(cs.trunc.div > 0, "{fmt:?}: diffusion divs counted");
+        }
+    }
+
+    /// Row-sliced curvature is the same AST as the per-cell function —
+    /// pinned bitwise so the batch CSF path cannot drift.
+    #[test]
+    fn curvature_row_matches_per_cell() {
+        let g = circle_grid(32, 32);
+        let mut row = vec![0.0; 32];
+        for j in 0..32 {
+            curvature_row(&g, j, &mut row);
+            for (i, &r) in row.iter().enumerate() {
+                let want = curvature(&g, i as isize, j as isize, g.h);
+                assert_eq!(r.to_bits(), want.to_bits(), "cell ({i},{j})");
+            }
+        }
+    }
+
+    /// The batched advection path (wind-partitioned fused WENO5) and the
+    /// row-sliced CSF curvature must match the scalar loops bit for bit
+    /// and op count for op count. Velocities are seeded with both signs in
+    /// both axes so all four upwind partitions carry cells, across a
+    /// kernel-table format and the per-element fallback format.
+    #[test]
+    fn batch_advection_and_csf_bit_identical_to_scalar() {
+        use bigfloat::Format;
+        use raptor_core::{batch, Config, Tracked};
+        for fmt in [Format::new(11, 10), Format::new(11, 20)] {
+            let run = |force_scalar: bool| {
+                batch::set_force_scalar(force_scalar);
+                let mut g = circle_grid(24, 24);
+                for j in 0..24 {
+                    for i in 0..24 {
+                        let (x, y) = g.xy(i, j);
+                        let c = g.at(i as isize, j as isize);
+                        g.u[c] = 0.3 * (3.1 * x).sin() * (2.3 * y + 0.4).cos();
+                        g.v[c] = -0.2 * (2.7 * y).sin() * (1.9 * x - 0.2).cos();
+                    }
+                }
+                g.apply_bcs();
+                let params = InsParams::default();
+                let sess = Session::new(
+                    Config::op_files(fmt, ["INS"]).with_counting(),
+                )
+                .unwrap();
+                for _ in 0..3 {
+                    let dt = compute_dt(&g, &params);
+                    step::<Tracked>(&mut g, &params, dt, None, &sess);
+                }
+                batch::set_force_scalar(false);
+                (g, sess.counters())
+            };
+            let (gs, cs) = run(true);
+            let (gb, cb) = run(false);
+            for (name, a, b) in [
+                ("u", &gs.u, &gb.u),
+                ("v", &gs.v, &gb.v),
+                ("phi", &gs.phi, &gb.phi),
+            ] {
+                for (k, (x, y)) in a.iter().zip(b.iter()).enumerate() {
+                    assert_eq!(
+                        x.to_bits(),
+                        y.to_bits(),
+                        "{fmt:?} field {name} index {k}: {x:e} vs {y:e}"
+                    );
+                }
+            }
+            assert_eq!(cs, cb, "{fmt:?}: op counters must match exactly");
+            assert!(cs.trunc.div > 0, "{fmt:?}: advection divs counted");
+            assert!(cs.trunc.mul > 0, "{fmt:?}: advection muls counted");
         }
     }
 

@@ -200,6 +200,58 @@ pub fn batch_fma(a: &[f64], b: &[f64], c: &[f64], out: &mut [f64]) {
     })
 }
 
+/// Fused Jiang–Shu WENO5 over five stencil slices: `out[i]` is exactly what
+/// `hydro::recon::weno5([v0[i], v1[i], v2[i], v3[i], v4[i]])` computes on
+/// the scalar path — same op AST per element (19 adds, 8 subs, 34 muls,
+/// 4 divs), one `FastPath` read and one bulk counter add per call.
+pub fn batch_weno5(v0: &[f64], v1: &[f64], v2: &[f64], v3: &[f64], v4: &[f64], out: &mut [f64]) {
+    weno5_dispatch::<false>([v0, v1, v2, v3, v4], out)
+}
+
+/// Fused WENO5, `incomp::solver::weno5_core` variant: the combination ends
+/// in `inv = 1 / asum; .. * inv` instead of a direct division (19 adds,
+/// 8 subs, 35 muls, 4 divs per element). Bit- and counter-identical to the
+/// incomp scalar AST.
+pub fn batch_weno5_adv(v0: &[f64], v1: &[f64], v2: &[f64], v3: &[f64], v4: &[f64], out: &mut [f64]) {
+    weno5_dispatch::<true>([v0, v1, v2, v3, v4], out)
+}
+
+/// `out[i] = log10(a[i])` under the current truncation decision. Math
+/// functions have no monomorphized table entry (SoftFloat evaluation
+/// dominates the cost); the win here is one dispatch read and one bulk
+/// `Math` counter add instead of per-element TLS traffic.
+pub fn batch_log10(a: &[f64], out: &mut [f64]) {
+    assert_eq!(a.len(), out.len());
+    let n = out.len() as u64;
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x.log10();
+            }
+        }
+        Dispatch::InactiveCount => {
+            f.full.bump_n(OpKind::Math, n);
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = x.log10();
+            }
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(OpKind::Math, n);
+            let fmt = f.format.get();
+            let rm = f.round.get();
+            let path = f.path.get();
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = ops::emulate_math(fmt, rm, path, ops::MathFn::Log10, x);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for (o, &x) in out.iter_mut().zip(a) {
+                *o = ops::op_math(ops::MathFn::Log10, x);
+            }
+        }
+    })
+}
+
 // ---------------------------------------------------------------------------
 // Binary dispatch skeletons
 // ---------------------------------------------------------------------------
@@ -490,6 +542,8 @@ pub(crate) struct KernelSet {
     pub(crate) bin_rs: fn(OpKind, f64, &[f64], &mut [f64]),
     pub(crate) sqrt: fn(&[f64], &mut [f64]),
     pub(crate) fma: fn(&[f64], &[f64], &[f64], &mut [f64]),
+    pub(crate) weno5: for<'a> fn([&'a [f64]; 5], &mut [f64]),
+    pub(crate) weno5_adv: for<'a> fn([&'a [f64]; 5], &mut [f64]),
 }
 
 /// Finish one shortcut op: canonicalize hardware NaNs (x86's negative
@@ -674,6 +728,300 @@ fn k_fma<const E: u32, const M: u32>(a: &[f64], b: &[f64], c: &[f64], out: &mut 
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fused WENO5 stencil kernels
+// ---------------------------------------------------------------------------
+//
+// The WENO5 combination is 65 dependent scalar ops per element — squares of
+// three-term stencils, three regularized divisions, a final normalization.
+// Dispatching each through the per-op path costs 65 TLS loads and counter
+// bumps per cell; fusing the whole AST into one batch call pays the
+// dispatch once and lets the monomorphized rounding constant-fold through
+// the entire chain. The AST below is written once, generic over a per-op
+// executor, so every tier (hardware, fast/precise monomorphized, generic
+// shortcut, per-element emulation, defensive mem-mode) evaluates *exactly*
+// the same operations in the same order as the scalar consumers.
+
+/// Per-op executor for the fused stencil kernels. Implementations mirror
+/// one dispatch tier's semantics for a single binary op.
+trait WenoExec {
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64;
+}
+
+/// The Jiang–Shu WENO5 combination, op-for-op identical to
+/// `hydro::recon::weno5` (INV_TAIL = false: final `/ asum`) and
+/// `incomp::solver::weno5_core` (INV_TAIL = true: `inv = 1/asum`, final
+/// `* inv`). Both `powi(2)` calls lower to a single self-multiply, exactly
+/// like `Tracked::powi`'s square-and-multiply chain.
+#[inline(always)]
+fn weno5_elem<X: WenoExec, const INV_TAIL: bool>(
+    x: &mut X,
+    v0: f64,
+    v1: f64,
+    v2: f64,
+    v3: f64,
+    v4: f64,
+) -> f64 {
+    use crate::weno as w;
+    // Operands go through temporaries so nested invocations finish their
+    // borrow of the executor before the outer op starts.
+    macro_rules! add {
+        ($a:expr, $b:expr) => {{
+            let (a, b) = ($a, $b);
+            x.bin(OpKind::Add, a, b)
+        }};
+    }
+    macro_rules! sub {
+        ($a:expr, $b:expr) => {{
+            let (a, b) = ($a, $b);
+            x.bin(OpKind::Sub, a, b)
+        }};
+    }
+    macro_rules! mul {
+        ($a:expr, $b:expr) => {{
+            let (a, b) = ($a, $b);
+            x.bin(OpKind::Mul, a, b)
+        }};
+    }
+    macro_rules! div {
+        ($a:expr, $b:expr) => {{
+            let (a, b) = ($a, $b);
+            x.bin(OpKind::Div, a, b)
+        }};
+    }
+    // Smoothness indicators.
+    let b0 = {
+        let q = add!(sub!(v0, mul!(2.0, v1)), v2);
+        let q2 = mul!(q, q);
+        let r = add!(sub!(v0, mul!(w::FOUR, v1)), mul!(w::THREE, v2));
+        let r2 = mul!(r, r);
+        add!(mul!(w::C13_12, q2), mul!(w::QUARTER, r2))
+    };
+    let b1 = {
+        let q = add!(sub!(v1, mul!(2.0, v2)), v3);
+        let q2 = mul!(q, q);
+        let r = sub!(v1, v3);
+        let r2 = mul!(r, r);
+        add!(mul!(w::C13_12, q2), mul!(w::QUARTER, r2))
+    };
+    let b2 = {
+        let q = add!(sub!(v2, mul!(2.0, v3)), v4);
+        let q2 = mul!(q, q);
+        let r = add!(sub!(mul!(w::THREE, v2), mul!(w::FOUR, v3)), v4);
+        let r2 = mul!(r, r);
+        add!(mul!(w::C13_12, q2), mul!(w::QUARTER, r2))
+    };
+    // Regularized nonlinear weights.
+    let a0 = {
+        let d = add!(w::EPS, b0);
+        let d2 = mul!(d, d);
+        div!(w::W0, d2)
+    };
+    let a1 = {
+        let d = add!(w::EPS, b1);
+        let d2 = mul!(d, d);
+        div!(w::W1, d2)
+    };
+    let a2 = {
+        let d = add!(w::EPS, b2);
+        let d2 = mul!(d, d);
+        div!(w::W2, d2)
+    };
+    let asum = add!(add!(a0, a1), a2);
+    // Candidate polynomials.
+    let p0 = add!(sub!(mul!(w::P_1_3, v0), mul!(w::P_7_6, v1)), mul!(w::P_11_6, v2));
+    let p1 = add!(add!(mul!(w::P_M1_6, v1), mul!(w::P_5_6, v2)), mul!(w::P_1_3, v3));
+    let p2 = sub!(add!(mul!(w::P_1_3, v2), mul!(w::P_5_6, v3)), mul!(w::P_1_6, v4));
+    let num = add!(add!(mul!(a0, p0), mul!(a1, p1)), mul!(a2, p2));
+    if INV_TAIL {
+        let inv = div!(1.0, asum);
+        mul!(num, inv)
+    } else {
+        div!(num, asum)
+    }
+}
+
+/// Per-element op totals of [`weno5_elem`] (the `bool` is `INV_TAIL`):
+/// `(add, sub, mul, div)`. The bulk counter adds below use these so the
+/// session totals are exactly what the scalar consumer would have bumped.
+const fn weno5_counts(inv_tail: bool) -> (u64, u64, u64, u64) {
+    (19, 8, 34 + inv_tail as u64, 4)
+}
+
+/// Hardware tier: plain `f64` ops, no rounding.
+struct HwExec;
+impl WenoExec for HwExec {
+    #[inline(always)]
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64 {
+        ops::raw2(kind, a, b)
+    }
+}
+
+/// Monomorphized fast tier: branchless [`fast_round`] around every operand
+/// and result, accumulating the shared `slow` flag. When the flag trips,
+/// the caller discards the element and re-runs it through [`PreciseExec`];
+/// when it doesn't, every intermediate is bit-identical to the precise
+/// chain (that is the fast-round contract the chunked binary kernels
+/// already rely on), so chaining is safe.
+struct FastExec<const E: u32, const M: u32> {
+    slow: bool,
+}
+impl<const E: u32, const M: u32> WenoExec for FastExec<E, M> {
+    #[inline(always)]
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64 {
+        let r = ops::raw2(
+            kind,
+            fast_round::<E, M>(a, &mut self.slow),
+            fast_round::<E, M>(b, &mut self.slow),
+        );
+        fast_round::<E, M>(r, &mut self.slow)
+    }
+}
+
+/// Monomorphized precise tier: the exact `round → op → finish` shortcut
+/// the scalar Soft path takes for double-round-safe formats.
+struct PreciseExec<const E: u32, const M: u32>;
+impl<const E: u32, const M: u32> WenoExec for PreciseExec<E, M> {
+    #[inline(always)]
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64 {
+        finish::<E, M>(ops::raw2(kind, round_rne::<E, M>(a), round_rne::<E, M>(b)))
+    }
+}
+
+/// Generic-width shortcut tier: safe formats outside the static table.
+struct GenericExec {
+    e: u32,
+    m: u32,
+}
+impl WenoExec for GenericExec {
+    #[inline(always)]
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64 {
+        let r = ops::raw2(
+            kind,
+            round_rne_core(a, self.e, self.m),
+            round_rne_core(b, self.e, self.m),
+        );
+        if r.is_nan() {
+            f64::NAN
+        } else {
+            round_rne_core(r, self.e, self.m)
+        }
+    }
+}
+
+/// Emulation tier: Native/Big paths, directed rounding, wide formats — the
+/// same per-op [`ops::emulate2`] the scalar path calls, with the decision
+/// captured once.
+struct EmulExec {
+    fmt: bigfloat::Format,
+    rm: RoundMode,
+    path: EmulPath,
+}
+impl WenoExec for EmulExec {
+    #[inline(always)]
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64 {
+        ops::emulate2(self.fmt, self.rm, self.path, kind, a, b)
+    }
+}
+
+/// Defensive mem-mode tier: full per-op scalar entry points (each op
+/// re-reads the dispatch and bumps its own counters), for callers that
+/// ignore the [`ready`] gate.
+struct OpsExec;
+impl WenoExec for OpsExec {
+    #[inline(always)]
+    fn bin(&mut self, kind: OpKind, a: f64, b: f64) -> f64 {
+        ops::op2(kind, a, b)
+    }
+}
+
+/// Monomorphized fused WENO5 kernel: fast-rounded chain per element with a
+/// per-element precise re-run when any rounding in the chain trips the
+/// slow flag (element granularity, not chunk granularity — one subnormal
+/// intermediate re-runs 65 ops, not 128 elements' worth).
+fn k_weno5<const E: u32, const M: u32, const INV_TAIL: bool>(v: [&[f64]; 5], out: &mut [f64]) {
+    for (i, o) in out.iter_mut().enumerate() {
+        let mut fast = FastExec::<E, M> { slow: false };
+        let r =
+            weno5_elem::<_, INV_TAIL>(&mut fast, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+        *o = if fast.slow {
+            weno5_elem::<_, INV_TAIL>(
+                &mut PreciseExec::<E, M>,
+                v[0][i],
+                v[1][i],
+                v[2][i],
+                v[3][i],
+                v[4][i],
+            )
+        } else {
+            r
+        };
+    }
+}
+
+fn weno5_dispatch<const INV_TAIL: bool>(v: [&[f64]; 5], out: &mut [f64]) {
+    for s in &v {
+        assert_eq!(s.len(), out.len());
+    }
+    let n = out.len() as u64;
+    let (ca, cs, cm, cd) = weno5_counts(INV_TAIL);
+    FAST.with(|f| match f.dispatch.get() {
+        Dispatch::None | Dispatch::Inactive => {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = weno5_elem::<_, INV_TAIL>(&mut HwExec, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+            }
+        }
+        Dispatch::InactiveCount => {
+            f.full.bump_n(OpKind::Add, ca * n);
+            f.full.bump_n(OpKind::Sub, cs * n);
+            f.full.bump_n(OpKind::Mul, cm * n);
+            f.full.bump_n(OpKind::Div, cd * n);
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = weno5_elem::<_, INV_TAIL>(&mut HwExec, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+            }
+        }
+        Dispatch::Op => {
+            f.trunc.bump_n(OpKind::Add, ca * n);
+            f.trunc.bump_n(OpKind::Sub, cs * n);
+            f.trunc.bump_n(OpKind::Mul, cm * n);
+            f.trunc.bump_n(OpKind::Div, cd * n);
+            if let Some(ks) = f.kernels.get() {
+                (if INV_TAIL { ks.weno5_adv } else { ks.weno5 })(v, out);
+            } else {
+                op_weno5_fallback::<INV_TAIL>(f, v, out);
+            }
+        }
+        Dispatch::Mem | Dispatch::MemInactive | Dispatch::MemInactiveCount => {
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = weno5_elem::<_, INV_TAIL>(&mut OpsExec, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+            }
+        }
+    })
+}
+
+fn op_weno5_fallback<const INV_TAIL: bool>(f: &FastPath, v: [&[f64]; 5], out: &mut [f64]) {
+    let fmt = f.format.get();
+    let rm = f.round.get();
+    let path = f.path.get();
+    if path != EmulPath::Native
+        && path != EmulPath::Big
+        && rm == RoundMode::NearestEven
+        && fmt.double_round_safe()
+    {
+        let mut x = GenericExec { e: fmt.exp_bits(), m: fmt.man_bits() };
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = weno5_elem::<_, INV_TAIL>(&mut x, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+        }
+    } else {
+        // Native included: `emulate2` funnels it to the same f32/FP64
+        // double-cast the scalar path uses.
+        let mut x = EmulExec { fmt, rm, path };
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = weno5_elem::<_, INV_TAIL>(&mut x, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+        }
+    }
+}
+
 macro_rules! kernel_set {
     ($e:literal, $m:literal) => {{
         const KS: KernelSet = KernelSet {
@@ -682,6 +1030,8 @@ macro_rules! kernel_set {
             bin_rs: k_bin_rs::<$e, $m>,
             sqrt: k_sqrt::<$e, $m>,
             fma: k_fma::<$e, $m>,
+            weno5: k_weno5::<$e, $m, false>,
+            weno5_adv: k_weno5::<$e, $m, true>,
         };
         &KS
     }};
@@ -817,6 +1167,156 @@ mod tests {
         for i in 0..a.len() {
             let want = crate::ops::op2(OpKind::Div, k, a[i]);
             assert_eq!(got[i].to_bits(), want.to_bits());
+        }
+    }
+
+    /// Scalar oracle for the fused kernels: the same AST element by
+    /// element through the per-op scalar entry points.
+    fn weno5_scalar<const INV_TAIL: bool>(v: [&[f64]; 5], out: &mut [f64]) {
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = weno5_elem::<_, INV_TAIL>(&mut OpsExec, v[0][i], v[1][i], v[2][i], v[3][i], v[4][i]);
+        }
+    }
+
+    fn random_windows(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        // Mostly smooth data with raw-bit outliers sprinkled in, so both
+        // the fast chain and the precise re-run (inf/NaN/subnormal
+        // intermediates) are exercised.
+        (0..n + 5)
+            .map(|i| {
+                let r = splitmix(&mut state);
+                if i % 7 == 3 {
+                    f64::from_bits(r)
+                } else {
+                    (r >> 11) as f64 / (1u64 << 53) as f64 * 4.0 - 2.0
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fused_weno5_matches_scalar_composition_bitwise() {
+        let w = random_windows(193, 42);
+        let n = w.len() - 5;
+        let win = |s: usize| &w[s..s + n];
+        let v = [win(0), win(1), win(2), win(3), win(4)];
+        // Monomorphized table, generic-width fallback, and a directed
+        // rounding mode that forces per-element emulation — plus the
+        // no-session hardware tier.
+        let mut configs = vec![
+            Config::op_all(Format::FP16),
+            Config::op_all(Format::new(11, 12)),
+            // Safe format outside the static table (generic-width
+            // shortcut) and a wide format past the double-round bound
+            // (per-element emulation).
+            Config::op_all(Format::new(11, 5)),
+            Config::op_all(Format::new(11, 20)),
+        ];
+        let mut directed = Config::op_all(Format::new(11, 12));
+        directed.round = RoundMode::TowardZero;
+        configs.push(directed);
+        for cfg in configs {
+            let s = Session::new(cfg).unwrap();
+            let _g = s.install();
+            let mut got = vec![0.0; n];
+            let mut want = vec![0.0; n];
+            batch_weno5(v[0], v[1], v[2], v[3], v[4], &mut got);
+            weno5_scalar::<false>(v, &mut want);
+            for i in 0..n {
+                assert_eq!(got[i].to_bits(), want[i].to_bits(), "hydro tail, lane {i}");
+            }
+            batch_weno5_adv(v[0], v[1], v[2], v[3], v[4], &mut got);
+            weno5_scalar::<true>(v, &mut want);
+            for i in 0..n {
+                assert_eq!(got[i].to_bits(), want[i].to_bits(), "incomp tail, lane {i}");
+            }
+        }
+        let mut hw = vec![0.0; n];
+        let mut hw_want = vec![0.0; n];
+        batch_weno5(v[0], v[1], v[2], v[3], v[4], &mut hw);
+        weno5_scalar::<false>(v, &mut hw_want);
+        for i in 0..n {
+            assert_eq!(hw[i].to_bits(), hw_want[i].to_bits(), "hardware tier, lane {i}");
+        }
+    }
+
+    #[test]
+    fn fused_weno5_counter_parity_with_scalar() {
+        let w = random_windows(67, 7);
+        let n = w.len() - 5;
+        let win = |s: usize| &w[s..s + n];
+        let v = [win(0), win(1), win(2), win(3), win(4)];
+        let run = |fused: bool, inv_tail: bool| {
+            let s = Session::new(Config::op_functions(Format::FP16, ["K"]).with_counting())
+                .unwrap();
+            let g = s.install();
+            let mut out = vec![0.0; n];
+            {
+                let _r = crate::context::region("K");
+                match (fused, inv_tail) {
+                    (true, false) => batch_weno5(v[0], v[1], v[2], v[3], v[4], &mut out),
+                    (true, true) => batch_weno5_adv(v[0], v[1], v[2], v[3], v[4], &mut out),
+                    (false, false) => weno5_scalar::<false>(v, &mut out),
+                    (false, true) => weno5_scalar::<true>(v, &mut out),
+                }
+            }
+            // An inactive fused call must bulk-count full ops like the
+            // scalar chain would.
+            match (fused, inv_tail) {
+                (true, false) => batch_weno5(v[0], v[1], v[2], v[3], v[4], &mut out),
+                (true, true) => batch_weno5_adv(v[0], v[1], v[2], v[3], v[4], &mut out),
+                (false, false) => weno5_scalar::<false>(v, &mut out),
+                (false, true) => weno5_scalar::<true>(v, &mut out),
+            }
+            drop(g);
+            s.counters()
+        };
+        for inv_tail in [false, true] {
+            let fused = run(true, inv_tail);
+            let scalar = run(false, inv_tail);
+            assert_eq!(fused, scalar, "inv_tail={inv_tail}");
+            let (ca, cs, cm, cd) = weno5_counts(inv_tail);
+            assert_eq!(fused.trunc.add, ca * n as u64);
+            assert_eq!(fused.trunc.sub, cs * n as u64);
+            assert_eq!(fused.trunc.mul, cm * n as u64);
+            assert_eq!(fused.trunc.div, cd * n as u64);
+            assert_eq!(fused.full.div, cd * n as u64);
+        }
+    }
+
+    #[test]
+    fn batch_log10_matches_scalar_and_counts() {
+        let mut state = 3u64;
+        let a: Vec<f64> = (0..129)
+            .map(|i| {
+                let r = splitmix(&mut state);
+                if i % 5 == 0 {
+                    f64::from_bits(r)
+                } else {
+                    (r >> 11) as f64 / (1u64 << 40) as f64 + 1e-3
+                }
+            })
+            .collect();
+        let mut directed = Config::op_all(Format::new(11, 12));
+        directed.round = RoundMode::TowardZero;
+        for cfg in [
+            Config::op_all(Format::FP16),
+            Config::op_all(Format::new(11, 20)),
+            directed,
+        ] {
+            let s = Session::new(cfg.with_counting()).unwrap();
+            let g = s.install();
+            let mut got = vec![0.0; a.len()];
+            batch_log10(&a, &mut got);
+            for (i, (&y, &x)) in got.iter().zip(&a).enumerate() {
+                let want = crate::ops::op_math(crate::ops::MathFn::Log10, x);
+                assert_eq!(y.to_bits(), want.to_bits(), "lane {i}");
+            }
+            drop(g);
+            // One bulk count for the batch call + one per-element bump each
+            // from the oracle loop.
+            assert_eq!(s.counters().trunc.math, 2 * a.len() as u64);
         }
     }
 

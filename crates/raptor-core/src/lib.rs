@@ -121,6 +121,7 @@ pub mod memmode;
 pub mod ops;
 pub mod real;
 pub mod report;
+pub mod weno;
 
 pub use config::{Config, EmulPath, LevelCutoff, Mode, Scope};
 pub use context::{count_field_values, is_active, region, set_level, RegionGuard, Session, SessionGuard};

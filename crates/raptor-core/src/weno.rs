@@ -1,0 +1,58 @@
+//! The WENO5 (Jiang–Shu) coefficient set, shared by every discretization
+//! in the workspace.
+//!
+//! Both `hydro::recon::weno5` (interface reconstruction) and
+//! `incomp::solver::weno5_core` (upwind derivative) evaluate the same
+//! fifth-order weighted stencil; historically each hard-coded its own copy
+//! of the smoothness-indicator, ideal-weight, and candidate-polynomial
+//! constants. They are defined once here — and consumed by the fused batch
+//! kernels in [`crate::batch`] — so the discretizations cannot silently
+//! drift. Every constant is the exact `f64` the original literals
+//! produced; swapping `R::from_f64(13.0 / 12.0)` for
+//! `R::from_f64(weno::C13_12)` is bit-identical.
+
+/// `13/12`, the leading smoothness-indicator coefficient.
+pub const C13_12: f64 = 13.0 / 12.0;
+/// `1/4`, the second smoothness-indicator coefficient.
+pub const QUARTER: f64 = 0.25;
+/// Smoothness regularization `eps` in `alpha_k = w_k / (eps + beta_k)^2`.
+pub const EPS: f64 = 1e-6;
+/// Stencil coefficient `3` inside `beta_0`/`beta_2`.
+pub const THREE: f64 = 3.0;
+/// Stencil coefficient `4` inside `beta_0`/`beta_2`.
+pub const FOUR: f64 = 4.0;
+/// Ideal weight of the left-shifted candidate stencil.
+pub const W0: f64 = 0.1;
+/// Ideal weight of the centered candidate stencil.
+pub const W1: f64 = 0.6;
+/// Ideal weight of the right-shifted candidate stencil.
+pub const W2: f64 = 0.3;
+/// Candidate-polynomial coefficient `1/3`.
+pub const P_1_3: f64 = 1.0 / 3.0;
+/// Candidate-polynomial coefficient `7/6`.
+pub const P_7_6: f64 = 7.0 / 6.0;
+/// Candidate-polynomial coefficient `11/6`.
+pub const P_11_6: f64 = 11.0 / 6.0;
+/// Candidate-polynomial coefficient `1/6`.
+pub const P_1_6: f64 = 1.0 / 6.0;
+/// Candidate-polynomial coefficient `-1/6`.
+pub const P_M1_6: f64 = -1.0 / 6.0;
+/// Candidate-polynomial coefficient `5/6`.
+pub const P_5_6: f64 = 5.0 / 6.0;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The ideal weights are a convex combination and the candidate
+    /// polynomial coefficients sum to one per stencil — the usual sanity
+    /// pins on a hand-copied coefficient table.
+    #[test]
+    fn coefficient_sums_pin() {
+        assert_eq!(W0 + W1 + W2, 1.0);
+        assert!((P_1_3 - P_7_6 + P_11_6 - 1.0).abs() < 1e-15);
+        assert!((P_M1_6 + P_5_6 + P_1_3 - 1.0).abs() < 1e-15);
+        assert!((P_1_3 + P_5_6 - P_1_6 - 1.0).abs() < 1e-15);
+        assert_eq!(P_M1_6, -P_1_6);
+    }
+}

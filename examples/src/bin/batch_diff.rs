@@ -1,9 +1,16 @@
-//! Batch-vs-scalar bit-identity smoke: run a tiny Sedov blast through the
-//! instrumented hydro solver twice — once with `raptor_core::batch` slice
-//! kernels enabled (the default) and once with [`batch::set_force_scalar`]
-//! pinning
-//! every consumer to its per-op scalar path — then byte-compare every cell
-//! of every variable and the session op counters.
+//! Batch-vs-scalar bit-identity smoke: run each batched consumer twice —
+//! once with `raptor_core::batch` slice kernels enabled (the default) and
+//! once with [`batch::set_force_scalar`] pinning every consumer to its
+//! per-op scalar path — then byte-compare every cell of every variable and
+//! the session op counters.
+//!
+//! Three consumers are exercised both ways:
+//! - a tiny Sedov blast with PLM reconstruction (the element-wise sweep
+//!   chains),
+//! - the same blast with WENO5 reconstruction (the fused five-point
+//!   stencil kernel),
+//! - a tiny two-phase bubble step loop (fused WENO5 upwind advection,
+//!   diffusion, and the row-sliced CSF curvature).
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin batch_diff
@@ -15,18 +22,89 @@
 
 use bigfloat::Format;
 use hydro::{setup, Problem, ReconKind};
+use incomp::{compute_dt, step, Grid, InsParams};
 use raptor_core::{batch, Config, Counters, Session, Tracked};
 
 /// One tiny Sedov run (max_level=2, 3 threads, a handful of steps) under
 /// an op-mode counting session; returns the final mesh and the counters.
-fn run(fmt: Format, force_scalar: bool) -> (amr::Mesh, Counters) {
+fn run_sedov(fmt: Format, recon: ReconKind, force_scalar: bool) -> (amr::Mesh, Counters) {
     batch::set_force_scalar(force_scalar);
-    let mut sim = setup(Problem::Sedov, 2, 8, ReconKind::Plm);
+    let mut sim = setup(Problem::Sedov, 2, 8, recon);
     let sess = Session::new(Config::op_files(fmt, ["Hydro"]).with_counting())
         .expect("valid config");
     sim.run::<Tracked>(0.02, 12, 3, &sess);
     batch::set_force_scalar(false);
     (sim.mesh, sess.counters())
+}
+
+/// A few steps of the incompressible solver on a tiny two-phase grid with
+/// mixed-sign seeded velocities (both upwind partitions carry cells) and
+/// no AMR level map, so the batched advection/diffusion/CSF paths engage.
+fn run_bubble(fmt: Format, force_scalar: bool) -> (Grid, Counters) {
+    batch::set_force_scalar(force_scalar);
+    let n = 24;
+    let h = 2.0 / n as f64;
+    let mut g = Grid::new(n, n, h, (-1.0, -1.0));
+    for j in 0..n {
+        for i in 0..n {
+            let (x, y) = g.xy(i, j);
+            let c = g.at(i as isize, j as isize);
+            g.phi[c] = 0.5 - (x * x + y * y).sqrt();
+            g.u[c] = 0.3 * (3.1 * x).sin() * (2.3 * y + 0.4).cos();
+            g.v[c] = -0.2 * (2.7 * y).sin() * (1.9 * x - 0.2).cos();
+        }
+    }
+    g.apply_bcs();
+    let params = InsParams::default();
+    let sess = Session::new(Config::op_files(fmt, ["INS"]).with_counting())
+        .expect("valid config");
+    for _ in 0..3 {
+        let dt = compute_dt(&g, &params);
+        step::<Tracked>(&mut g, &params, dt, None, &sess);
+    }
+    batch::set_force_scalar(false);
+    (g, sess.counters())
+}
+
+/// Compare one consumer's batch and scalar runs; print the verdict line
+/// CI greps for and return whether they matched.
+fn report(label: &str, cell_diff: Option<String>, count_b: Counters, count_s: Counters) -> bool {
+    let cells = match cell_diff {
+        None => true,
+        Some(diff) => {
+            println!("batch-vs-scalar: MISMATCH at {label}: {diff}");
+            false
+        }
+    };
+    let counters = count_b == count_s;
+    if !counters {
+        println!(
+            "batch-vs-scalar: COUNTER MISMATCH at {label}: batch trunc={} scalar trunc={}",
+            count_b.trunc.total(),
+            count_s.trunc.total()
+        );
+    }
+    if cells && counters {
+        println!(
+            "batch-vs-scalar: bit-identical at {label} ({} truncated ops)",
+            count_b.trunc.total()
+        );
+        true
+    } else {
+        false
+    }
+}
+
+/// First bitwise difference between two flow grids, if any.
+fn grid_diff(a: &Grid, b: &Grid) -> Option<String> {
+    for (name, fa, fb) in [("u", &a.u, &b.u), ("v", &a.v, &b.v), ("phi", &a.phi, &b.phi)] {
+        for (k, (x, y)) in fa.iter().zip(fb.iter()).enumerate() {
+            if x.to_bits() != y.to_bits() {
+                return Some(format!("field {name} index {k}: {x:e} vs {y:e}"));
+            }
+        }
+    }
+    None
 }
 
 fn main() {
@@ -35,29 +113,18 @@ fn main() {
     // double-rounding bound and exercises the per-element fallback tier.
     for (e, m) in [(11u32, 12u32), (11, 20)] {
         let fmt = Format::new(e, m);
-        let (mesh_b, count_b) = run(fmt, false);
-        let (mesh_s, count_s) = run(fmt, true);
-        let cells = match amr::bitwise_diff(&mesh_b, &mesh_s) {
-            None => true,
-            Some(diff) => {
-                println!("batch-vs-scalar: MISMATCH at {fmt}: {diff}");
-                false
+        for recon in [ReconKind::Plm, ReconKind::Weno5] {
+            let (mesh_b, count_b) = run_sedov(fmt, recon, false);
+            let (mesh_s, count_s) = run_sedov(fmt, recon, true);
+            let label = format!("sedov-{recon:?} {fmt}").to_lowercase();
+            if !report(&label, amr::bitwise_diff(&mesh_b, &mesh_s), count_b, count_s) {
+                failed = true;
             }
-        };
-        let counters = count_b == count_s;
-        if !counters {
-            println!(
-                "batch-vs-scalar: COUNTER MISMATCH at {fmt}: batch trunc={} scalar trunc={}",
-                count_b.trunc.total(),
-                count_s.trunc.total()
-            );
         }
-        if cells && counters {
-            println!(
-                "batch-vs-scalar: bit-identical at {fmt} ({} truncated ops)",
-                count_b.trunc.total()
-            );
-        } else {
+        let (grid_b, count_b) = run_bubble(fmt, false);
+        let (grid_s, count_s) = run_bubble(fmt, true);
+        let label = format!("bubble {fmt}").to_lowercase();
+        if !report(&label, grid_diff(&grid_b, &grid_s), count_b, count_s) {
             failed = true;
         }
     }
