@@ -157,6 +157,108 @@ fn bench_dispatch(c: &mut Harness) {
         }
     }
 
+    // Partitioned Riemann solver: per-interface cost of a whole line
+    // through `riemann_flux_batch` (classification, compaction, and the
+    // fused HLL/HLLC chains under slice dispatch), against the per-op
+    // scalar solver on the same states — the pair behind the sod-hll
+    // overhead row.
+    {
+        use hydro::{riemann_flux, riemann_flux_batch, GammaLaw, Prim, RiemannKind};
+        use hydro::{RiemannScratch, C4, P4};
+        let eos = GammaLaw { gamma: 1.4 };
+        for (flabel, bfmt) in [("e11m12", Format::new(11, 12)), ("fp16", Format::new(5, 10))] {
+            let sess = Session::new(Config::op_all(bfmt)).unwrap();
+            let _g = sess.install();
+            for n in [64usize, 1024] {
+                // Mixed population: strong drifts at the ends put lanes in
+                // the supersonic classes; the middle stays subsonic with
+                // both contact-speed signs.
+                let mut wl = P4::new();
+                let mut wr = P4::new();
+                wl.resize(n);
+                wr.resize(n);
+                for i in 0..n {
+                    let t = i as f64 / n as f64;
+                    let drift = if t < 0.2 { 8.0 } else if t > 0.8 { -8.0 } else { t - 0.5 };
+                    wl.rho[i] = 1.0 + 0.3 * (7.0 * t).sin();
+                    wl.vx[i] = drift;
+                    wl.vy[i] = 0.2 * (5.0 * t).cos();
+                    wl.p[i] = 1.0 + 0.4 * (3.0 * t).cos();
+                    wr.rho[i] = 0.5 + 0.2 * (9.0 * t).cos();
+                    wr.vx[i] = drift + 0.1;
+                    wr.vy[i] = -0.1 * (4.0 * t).sin();
+                    wr.p[i] = 0.6 + 0.3 * (6.0 * t).sin();
+                }
+                let mut out = C4::new();
+                let mut rs = RiemannScratch::new();
+                let mut ws = Vec::new();
+                for kind in [RiemannKind::Hll, RiemannKind::Hllc] {
+                    let klabel = format!("{kind:?}").to_lowercase();
+                    g.bench_per_element(
+                        &format!("batch_riemann_{klabel}_{flabel}_{n}"),
+                        n,
+                        |b| {
+                            b.iter(|| {
+                                riemann_flux_batch(
+                                    kind,
+                                    &eos,
+                                    0,
+                                    black_box(&wl),
+                                    black_box(&wr),
+                                    &mut out,
+                                    &mut rs,
+                                    &mut ws,
+                                );
+                                black_box(out.rho[0])
+                            })
+                        },
+                    );
+                }
+                if n == 64 {
+                    let tl: Vec<Prim<Tracked>> = (0..n)
+                        .map(|i| Prim {
+                            rho: Tracked::from_f64(wl.rho[i]),
+                            vx: Tracked::from_f64(wl.vx[i]),
+                            vy: Tracked::from_f64(wl.vy[i]),
+                            p: Tracked::from_f64(wl.p[i]),
+                        })
+                        .collect();
+                    let tr: Vec<Prim<Tracked>> = (0..n)
+                        .map(|i| Prim {
+                            rho: Tracked::from_f64(wr.rho[i]),
+                            vx: Tracked::from_f64(wr.vx[i]),
+                            vy: Tracked::from_f64(wr.vy[i]),
+                            p: Tracked::from_f64(wr.p[i]),
+                        })
+                        .collect();
+                    for kind in [RiemannKind::Hll, RiemannKind::Hllc] {
+                        let klabel = format!("{kind:?}").to_lowercase();
+                        g.bench_per_element(
+                            &format!("scalar_riemann_{klabel}_{flabel}_{n}"),
+                            n,
+                            |b| {
+                                b.iter(|| {
+                                    let mut acc = Tracked::from_f64(0.0);
+                                    for i in 0..n {
+                                        let f = riemann_flux(
+                                            kind,
+                                            black_box(tl[i]),
+                                            black_box(tr[i]),
+                                            &eos,
+                                            0,
+                                        );
+                                        acc = f.rho;
+                                    }
+                                    black_box(acc)
+                                })
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     // Mem-mode: shadow-slab op (slab cleared per iteration to stay bounded).
     {
         let sess = Session::new(Config::mem_functions(fmt, ["K"], 1e-6)).unwrap();

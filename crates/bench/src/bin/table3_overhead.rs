@@ -9,7 +9,7 @@
 //! cheaper than naive, mem-mode costliest — is the reproduction target.
 
 use bigfloat::Format;
-use hydro::{Problem, ReconKind};
+use hydro::{Problem, ReconKind, RiemannKind};
 use raptor_core::{Config, EmulPath, Session, Tracked};
 use std::time::Instant;
 
@@ -20,19 +20,33 @@ struct Row {
     overhead: f64,
 }
 
-fn time_run(
+fn time_problem(
+    problem: Problem,
+    riemann: Option<RiemannKind>,
     max_level: u32,
     t_end: f64,
     recon: ReconKind,
     session: Option<&Session>,
 ) -> (f64, f64) {
-    let mut sim = hydro::setup_with_roots(Problem::Sedov, max_level, 8, recon, 4);
+    let mut sim = hydro::setup_with_roots(problem, max_level, 8, recon, 4);
+    if let Some(r) = riemann {
+        sim.hydro.riemann = r;
+    }
     let t0 = Instant::now();
     match session {
         Some(s) => sim.run::<Tracked>(t_end, 100_000, 1, s),
         None => sim.run::<f64>(t_end, 100_000, 1, &Session::passthrough()),
     }
     (t0.elapsed().as_secs_f64(), sim.t)
+}
+
+fn time_run(
+    max_level: u32,
+    t_end: f64,
+    recon: ReconKind,
+    session: Option<&Session>,
+) -> (f64, f64) {
+    time_problem(Problem::Sedov, None, max_level, t_end, recon, session)
 }
 
 fn main() {
@@ -107,6 +121,34 @@ fn main() {
             trunc_frac: sess.counters().truncated_fraction(),
             seconds: secs,
             overhead: secs / nat_weno,
+        });
+    }
+    // Sod/HLL row: the shock tube spends its instrumented time in the
+    // partitioned Riemann tier (supersonic and subsonic interface classes,
+    // the HLL middle flux) — the consumer batched by the Riemann
+    // partition-gather-scatter path. Own native baseline, same problem.
+    {
+        let (nat_sod, _) =
+            time_problem(Problem::Sod, Some(RiemannKind::Hll), max_level, t_end, ReconKind::Plm, None);
+        let sess = Session::new(
+            Config::op_files(fmt, ["Hydro"])
+                .with_cutoff(max_level, 0)
+                .with_path(EmulPath::Soft),
+        )
+        .unwrap();
+        let (secs, _) = time_problem(
+            Problem::Sod,
+            Some(RiemannKind::Hll),
+            max_level,
+            t_end,
+            ReconKind::Plm,
+            Some(&sess),
+        );
+        rows.push(Row {
+            label: "sod-hll op-mode opt. M-0".to_string(),
+            trunc_frac: sess.counters().truncated_fraction(),
+            seconds: secs,
+            overhead: secs / nat_sod,
         });
     }
     println!("== Table 3: slowdown of RAPTOR in practice (Sedov, 12-bit mantissa) ==");

@@ -17,9 +17,12 @@ use crate::burn::{burn_cell, BurnCfg};
 use crate::newton::{
     invert_temperature, invert_temperature_batch, NewtonCfg, NewtonResult, NewtonScratch,
 };
-use crate::table::EosTable;
+use crate::table::{EosTable, InterpScratch};
 use hydro::{Eos, HydroParams, ReconKind, RiemannKind};
 use amr::{BcSpec, Mesh, MeshParams};
+use raptor_core::batch::{
+    batch_add, batch_div, batch_mul, batch_mul_s, batch_radd_s, batch_sqrt,
+};
 use raptor_core::{region, Real, Session};
 use std::sync::atomic::{AtomicU64, Ordering};
 
@@ -111,6 +114,8 @@ impl Default for TableHelmholtz {
 }
 
 impl Eos for TableHelmholtz {
+    type BatchScratch = HelmBatchScratch;
+
     fn pressure<R: Real>(&self, rho: R, eint: R) -> R {
         let _r = region("Eos/helmholtz");
         let t = self.invert(rho, eint).t;
@@ -145,16 +150,111 @@ impl Eos for TableHelmholtz {
         (gamma1 * p / rho).sqrt()
     }
 
-    // Deliberately scalar-only on the hydro-facing trait: `eint` runs a
-    // data-dependent bisection that a slice-shaped kernel cannot reproduce
-    // op-for-op, so the hydro sweep sees `batch_supported() == false` and
-    // keeps this EOS on the per-op path. The *burn sweep* still batches
-    // its temperature inversions through `invert_batch` — the Newton loop
-    // compacts its active set, which preserves per-cell convergence
-    // behaviour exactly.
+    // The hydro-facing trait path batches too: `eint`'s bisection runs a
+    // *fixed* 60 iterations — the data-dependent comparison only selects
+    // which bound each lane updates, never how many ops run — so it is
+    // lockstep-batchable with exact per-lane selects, and `pressure`'s
+    // Newton inversion compacts its active set in
+    // [`invert_temperature_batch`], preserving per-cell convergence
+    // behaviour (and op counts) exactly. With `batch_supported() == true`
+    // the hydro sweep routes its pressure/sound-speed lookups through the
+    // slice kernels below; the scalar methods above remain the mem-mode
+    // path and the differential oracle.
     fn batch_supported(&self) -> bool {
-        false
+        true
     }
+
+    fn pressure_batch(
+        &self,
+        rho: &[f64],
+        eint: &[f64],
+        ws: &mut HelmBatchScratch,
+        out: &mut [f64],
+    ) {
+        let _r = region("Eos/helmholtz");
+        let n = rho.len();
+        let none = NewtonResult { t: 0.0, iters: 0, converged: false, resid: 0.0 };
+        ws.results.clear();
+        ws.results.resize(n, none);
+        self.invert_batch(rho, eint, &mut ws.results, &mut ws.newton);
+        ws.t.resize(n, 0.0);
+        for k in 0..n {
+            ws.t[k] = ws.results[k].t;
+        }
+        self.table.pres_of_batch(rho, &ws.t, out, &mut ws.interp);
+    }
+
+    fn eint_batch(&self, rho: &[f64], p: &[f64], ws: &mut HelmBatchScratch, out: &mut [f64]) {
+        let _r = region("Eos/helmholtz");
+        let n = rho.len();
+        let (t_lo, t_hi) = self.table.t_bounds();
+        ws.lo.clear();
+        ws.lo.resize(n, t_lo);
+        ws.hi.clear();
+        ws.hi.resize(n, t_hi);
+        ws.mid.resize(n, 0.0);
+        ws.pm.resize(n, 0.0);
+        ws.a.resize(n, 0.0);
+        for _ in 0..60 {
+            // mid = (lo + hi) * half — same AST, so same two counted ops;
+            // the comparison is an exact, uncounted per-lane select.
+            batch_add(&ws.lo, &ws.hi, &mut ws.a);
+            batch_mul_s(&ws.a, 0.5, &mut ws.mid);
+            self.table.pres_of_batch(rho, &ws.mid, &mut ws.pm, &mut ws.interp);
+            for k in 0..n {
+                if ws.pm[k] < p[k] {
+                    ws.lo[k] = ws.mid[k];
+                } else {
+                    ws.hi[k] = ws.mid[k];
+                }
+            }
+        }
+        batch_add(&ws.lo, &ws.hi, &mut ws.a);
+        batch_mul_s(&ws.a, 0.5, &mut ws.mid);
+        self.table.eint_of_batch(rho, &ws.mid, out, &mut ws.interp);
+    }
+
+    fn sound_speed_batch(
+        &self,
+        rho: &[f64],
+        p: &[f64],
+        ws: &mut HelmBatchScratch,
+        out: &mut [f64],
+    ) {
+        let _r = region("Eos/helmholtz");
+        let n = rho.len();
+        let mut eint = std::mem::take(&mut ws.eint);
+        eint.clear();
+        eint.resize(n, 0.0);
+        self.eint_batch(rho, p, ws, &mut eint);
+        ws.a.resize(n, 0.0);
+        ws.t.resize(n, 0.0);
+        // gamma1 = 1 + p/(rho*eint); c = sqrt(gamma1*p/rho)
+        batch_mul(rho, &eint, &mut ws.a);
+        batch_div(p, &ws.a, &mut ws.t);
+        batch_radd_s(1.0, &ws.t, &mut ws.a);
+        batch_mul(&ws.a, p, &mut ws.t);
+        batch_div(&ws.t, rho, &mut ws.a);
+        batch_sqrt(&ws.a, out);
+        ws.eint = eint;
+    }
+}
+
+/// Reusable scratch for [`TableHelmholtz`]'s slice-shaped `Eos` methods:
+/// Newton active-set state, bilinear-interpolation lane buffers, and the
+/// bisection bound/midpoint slices.
+#[derive(Default)]
+pub struct HelmBatchScratch {
+    newton: NewtonScratch,
+    interp: InterpScratch,
+    results: Vec<NewtonResult<f64>>,
+    t: Vec<f64>,
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    mid: Vec<f64>,
+    pm: Vec<f64>,
+    a: Vec<f64>,
+    eint: Vec<f64>,
 }
 
 /// Cellular simulation state.
@@ -412,6 +512,49 @@ mod tests {
                 "mant {mant}: mean iterations"
             );
             assert!(cs.trunc.math > 0, "mant {mant}: table log10s counted");
+        }
+    }
+
+    /// With `batch_supported() == true` the hydro sweep routes its
+    /// pressure/sound-speed lookups through the slice-shaped trait
+    /// methods (Newton inversion, fixed-iteration pressure bisection,
+    /// bilinear table lookups). That path must reproduce the per-cell
+    /// scalar trait calls bit for bit with exact counter parity, both
+    /// when the Eos region is *inside* the truncation scope and when it
+    /// is outside it (Hydro scope → the table ops bulk-count as
+    /// full-precision via `InactiveCount`).
+    #[test]
+    fn batch_eos_trait_path_bit_identical_to_scalar() {
+        use bigfloat::Format;
+        use raptor_core::{batch, Config, Tracked};
+        let cases: [(&[&str], Format); 2] = [
+            (&["Hydro"], Format::new(11, 12)),
+            (&["Eos", "Hydro"], Format::new(11, 48)),
+        ];
+        for (scope, fmt) in cases {
+            let run = |force_scalar: bool| {
+                batch::set_force_scalar(force_scalar);
+                let mut sim = setup_cellular(2, 8, CellularInit::default());
+                let sess = Session::new(
+                    Config::op_files(fmt, scope.iter().copied()).with_counting(),
+                )
+                .unwrap();
+                sim.run::<Tracked>(2, &sess);
+                batch::set_force_scalar(false);
+                let stats = sim.eos.stats();
+                (sim, sess.counters(), stats)
+            };
+            let (ss, cs, sts) = run(true);
+            let (sb, cb, stb) = run(false);
+            assert_eq!(
+                amr::bitwise_diff(&ss.mesh, &sb.mesh),
+                None,
+                "{scope:?}: meshes must be bit-identical"
+            );
+            assert_eq!(cs, cb, "{scope:?}: op counters must match exactly");
+            assert_eq!(sts.0, stb.0, "{scope:?}: inversion calls");
+            assert_eq!(sts.1, stb.1, "{scope:?}: inversion failures");
+            assert_eq!(sts.2.to_bits(), stb.2.to_bits(), "{scope:?}: mean iterations");
         }
     }
 

@@ -21,9 +21,11 @@ pub mod sweep;
 
 pub use problems::{initial_condition, setup, setup_with_roots, Problem, Simulation};
 pub use recon::{plm_interface, weno5, weno5_interface, ReconKind};
-pub use riemann::{hll_flux, hllc_flux, riemann_flux, RiemannKind};
+pub use riemann::{
+    hll_flux, hllc_flux, riemann_flux, riemann_flux_batch, RiemannKind, RiemannScratch,
+};
 pub use state::{
-    cons_to_prim, physical_flux, prim_to_cons, Cons, Eos, Floors, GammaLaw, Prim, DENS, ENER,
-    MOMX, MOMY, NVAR,
+    cons_to_prim, physical_flux, physical_flux_batch, prim_to_cons, prim_to_cons_batch, Cons,
+    Eos, Floors, GammaLaw, Prim, Tmp, C4, P4, DENS, ENER, MOMX, MOMY, NVAR,
 };
 pub use sweep::{compute_dt, step, sweep_axis, HydroParams, Layout};

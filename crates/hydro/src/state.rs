@@ -51,9 +51,20 @@ pub struct Prim<R: Real> {
 /// [`raptor_core::batch`], letting the hydro sweep retire per-op dispatch
 /// for whole mesh lines. A batch implementation must execute exactly the
 /// same operation sequence as its scalar counterpart (same ops, same
-/// order per element) so results stay bit-identical and operation counts
-/// stay exactly equal between the two paths.
+/// order per element, same regions pushed) so results stay bit-identical
+/// and operation counts stay exactly equal between the two paths.
+///
+/// Each implementation names its own reusable workspace type
+/// ([`Eos::BatchScratch`]): a plain `Vec<f64>` suffices for the closed-form
+/// gamma law, while the tabulated Helmholtz EOS carries Newton/interp
+/// scratch and a bisection state. Callers build it with `Default` and
+/// thread one instance through a whole sweep; the evaluators size it
+/// internally.
 pub trait Eos: Sync + Send {
+    /// Reusable workspace for the slice-shaped evaluators. Built by the
+    /// caller via `Default`, resized internally by the implementation.
+    type BatchScratch: Default;
+
     /// Pressure from density and specific internal energy.
     fn pressure<R: Real>(&self, rho: R, eint: R) -> R;
     /// Specific internal energy from density and pressure.
@@ -67,23 +78,22 @@ pub trait Eos: Sync + Send {
         false
     }
 
-    /// Slice variant of [`Eos::pressure`]. `scratch` and `out` must be the
-    /// same length as the inputs. Only called when
-    /// [`Eos::batch_supported`] is true.
-    fn pressure_batch(&self, rho: &[f64], eint: &[f64], scratch: &mut [f64], out: &mut [f64]) {
-        let _ = (rho, eint, scratch, out);
+    /// Slice variant of [`Eos::pressure`]. `out` must be the same length
+    /// as the inputs. Only called when [`Eos::batch_supported`] is true.
+    fn pressure_batch(&self, rho: &[f64], eint: &[f64], ws: &mut Self::BatchScratch, out: &mut [f64]) {
+        let _ = (rho, eint, ws, out);
         unimplemented!("EOS does not provide batch kernels; gate on batch_supported()")
     }
 
     /// Slice variant of [`Eos::eint`].
-    fn eint_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
-        let _ = (rho, p, scratch, out);
+    fn eint_batch(&self, rho: &[f64], p: &[f64], ws: &mut Self::BatchScratch, out: &mut [f64]) {
+        let _ = (rho, p, ws, out);
         unimplemented!("EOS does not provide batch kernels; gate on batch_supported()")
     }
 
     /// Slice variant of [`Eos::sound_speed`].
-    fn sound_speed_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
-        let _ = (rho, p, scratch, out);
+    fn sound_speed_batch(&self, rho: &[f64], p: &[f64], ws: &mut Self::BatchScratch, out: &mut [f64]) {
+        let _ = (rho, p, ws, out);
         unimplemented!("EOS does not provide batch kernels; gate on batch_supported()")
     }
 }
@@ -102,6 +112,8 @@ impl Default for GammaLaw {
 }
 
 impl Eos for GammaLaw {
+    type BatchScratch = Vec<f64>;
+
     #[inline]
     fn pressure<R: Real>(&self, rho: R, eint: R) -> R {
         R::from_f64(self.gamma - 1.0) * rho * eint
@@ -122,20 +134,23 @@ impl Eos for GammaLaw {
     // The batch variants mirror the scalar ASTs op for op: `(g-1)*rho` is
     // one broadcast multiply, etc., so values and operation counts are
     // identical to a per-element scalar evaluation.
-    fn pressure_batch(&self, rho: &[f64], eint: &[f64], scratch: &mut [f64], out: &mut [f64]) {
-        batch::batch_rmul_s(self.gamma - 1.0, rho, scratch);
-        batch::batch_mul(scratch, eint, out);
+    fn pressure_batch(&self, rho: &[f64], eint: &[f64], ws: &mut Vec<f64>, out: &mut [f64]) {
+        ws.resize(out.len(), 0.0);
+        batch::batch_rmul_s(self.gamma - 1.0, rho, ws);
+        batch::batch_mul(ws, eint, out);
     }
 
-    fn eint_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
-        batch::batch_rmul_s(self.gamma - 1.0, rho, scratch);
-        batch::batch_div(p, scratch, out);
+    fn eint_batch(&self, rho: &[f64], p: &[f64], ws: &mut Vec<f64>, out: &mut [f64]) {
+        ws.resize(out.len(), 0.0);
+        batch::batch_rmul_s(self.gamma - 1.0, rho, ws);
+        batch::batch_div(p, ws, out);
     }
 
-    fn sound_speed_batch(&self, rho: &[f64], p: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+    fn sound_speed_batch(&self, rho: &[f64], p: &[f64], ws: &mut Vec<f64>, out: &mut [f64]) {
+        ws.resize(out.len(), 0.0);
         batch::batch_rmul_s(self.gamma, p, out);
-        batch::batch_div(out, rho, scratch);
-        batch::batch_sqrt(scratch, out);
+        batch::batch_div(out, rho, ws);
+        batch::batch_sqrt(ws, out);
     }
 }
 
@@ -214,6 +229,153 @@ impl<R: Real> Cons<R> {
     pub fn scale(self, s: R) -> Cons<R> {
         Cons { rho: self.rho * s, mx: self.mx * s, my: self.my * s, e: self.e * s }
     }
+}
+
+// ---------------------------------------------------------------------------
+// Slice-shaped state (structure-of-arrays lines for the batch kernels)
+// ---------------------------------------------------------------------------
+
+/// Four primitive-component arrays: one mesh line (or a compacted subset
+/// of one) in structure-of-arrays form, the unit of work for the batch
+/// kernels.
+#[derive(Default)]
+pub struct P4 {
+    /// Densities.
+    pub rho: Vec<f64>,
+    /// x-velocities.
+    pub vx: Vec<f64>,
+    /// y-velocities.
+    pub vy: Vec<f64>,
+    /// Pressures.
+    pub p: Vec<f64>,
+}
+
+/// Four conserved-component arrays (see [`P4`]).
+#[derive(Default)]
+pub struct C4 {
+    /// Mass densities.
+    pub rho: Vec<f64>,
+    /// x-momentum densities.
+    pub mx: Vec<f64>,
+    /// y-momentum densities.
+    pub my: Vec<f64>,
+    /// Total energy densities.
+    pub e: Vec<f64>,
+}
+
+impl P4 {
+    /// Empty storage (alias of `Default`, kept for call-site symmetry).
+    pub fn new() -> P4 {
+        P4::default()
+    }
+    /// Resize every component array to `n` elements.
+    pub fn resize(&mut self, n: usize) {
+        self.rho.resize(n, 0.0);
+        self.vx.resize(n, 0.0);
+        self.vy.resize(n, 0.0);
+        self.p.resize(n, 0.0);
+    }
+}
+
+impl C4 {
+    /// Empty storage.
+    pub fn new() -> C4 {
+        C4::default()
+    }
+    /// Resize every component array to `n` elements.
+    pub fn resize(&mut self, n: usize) {
+        self.rho.resize(n, 0.0);
+        self.mx.resize(n, 0.0);
+        self.my.resize(n, 0.0);
+        self.e.resize(n, 0.0);
+    }
+}
+
+/// Five-slot temporary slice pool (resized once per stage, reused across
+/// lines) shared by the batch sweep stages and the partitioned Riemann
+/// solver.
+#[derive(Default)]
+pub struct Tmp {
+    /// Scratch slot.
+    pub a: Vec<f64>,
+    /// Scratch slot.
+    pub b: Vec<f64>,
+    /// Scratch slot.
+    pub c: Vec<f64>,
+    /// Scratch slot.
+    pub d: Vec<f64>,
+    /// Scratch slot.
+    pub e: Vec<f64>,
+}
+
+impl Tmp {
+    /// Empty pool.
+    pub fn new() -> Tmp {
+        Tmp::default()
+    }
+    /// Resize every slot to `n` elements.
+    pub fn resize(&mut self, n: usize) {
+        self.a.resize(n, 0.0);
+        self.b.resize(n, 0.0);
+        self.c.resize(n, 0.0);
+        self.d.resize(n, 0.0);
+        self.e.resize(n, 0.0);
+    }
+}
+
+/// Batch [`prim_to_cons`]: same AST as the scalar version
+/// (`eint = eos.eint(rho, p)`, `ke = 0.5*rho*(vx²+vy²)`, then the four
+/// conserved components), one slice op per node.
+pub fn prim_to_cons_batch<E: Eos>(
+    eos: &E,
+    w: &P4,
+    out: &mut C4,
+    t: &mut Tmp,
+    ws: &mut E::BatchScratch,
+) {
+    let n = w.rho.len();
+    out.resize(n);
+    t.resize(n);
+    eos.eint_batch(&w.rho, &w.p, ws, &mut t.b); // eint -> t.b
+    batch::batch_rmul_s(0.5, &w.rho, &mut t.c); // half*rho
+    batch::batch_mul(&w.vx, &w.vx, &mut t.d);
+    batch::batch_mul(&w.vy, &w.vy, &mut t.e);
+    batch::batch_add(&t.d, &t.e, &mut t.a);
+    batch::batch_mul(&t.c, &t.a, &mut t.d); // ke -> t.d
+    out.rho.copy_from_slice(&w.rho);
+    batch::batch_mul(&w.rho, &w.vx, &mut out.mx);
+    batch::batch_mul(&w.rho, &w.vy, &mut out.my);
+    batch::batch_mul(&w.rho, &t.b, &mut t.c); // rho*eint
+    batch::batch_add(&t.c, &t.d, &mut out.e);
+}
+
+/// Batch [`physical_flux`]: [`prim_to_cons_batch`] (into `ucons`) plus the
+/// axis flux tail.
+pub fn physical_flux_batch<E: Eos>(
+    eos: &E,
+    w: &P4,
+    axis: usize,
+    ucons: &mut C4,
+    out: &mut C4,
+    t: &mut Tmp,
+    ws: &mut E::BatchScratch,
+) {
+    prim_to_cons_batch(eos, w, ucons, t, ws);
+    let n = w.rho.len();
+    out.resize(n);
+    let vn = if axis == 0 { &w.vx } else { &w.vy };
+    batch::batch_mul(&ucons.rho, vn, &mut out.rho);
+    if axis == 0 {
+        batch::batch_mul(&ucons.mx, vn, &mut t.a);
+        batch::batch_add(&t.a, &w.p, &mut out.mx);
+        batch::batch_mul(&ucons.my, vn, &mut out.my);
+    } else {
+        batch::batch_mul(&ucons.mx, vn, &mut out.mx);
+        batch::batch_mul(&ucons.my, vn, &mut t.a);
+        batch::batch_add(&t.a, &w.p, &mut out.my);
+    }
+    batch::batch_add(&ucons.e, &w.p, &mut t.b);
+    batch::batch_mul(&t.b, vn, &mut out.e);
 }
 
 #[cfg(test)]

@@ -17,12 +17,11 @@
 //! no-session fast reject.
 
 use crate::recon::{plm_interface, weno5_interface, ReconKind};
-use crate::riemann::{riemann_flux, RiemannKind};
-use crate::state::{cons_to_prim, Cons, Eos, Floors, Prim, DENS, ENER, MOMX, MOMY};
+use crate::riemann::{riemann_flux, riemann_flux_batch, RiemannKind, RiemannScratch};
+use crate::state::{cons_to_prim, Cons, Eos, Floors, Prim, Tmp, C4, P4, DENS, ENER, MOMX, MOMY};
 use amr::{fill_guards, par_leaves, BcSpec, Block, LeafGeom, Mesh};
 use raptor_core::batch::{
-    batch_add, batch_div, batch_mul, batch_mul_s, batch_rdiv_s, batch_rmul_s, batch_sub,
-    batch_weno5,
+    batch_add, batch_div, batch_mul, batch_mul_s, batch_rmul_s, batch_sub, batch_weno5,
 };
 use raptor_core::{count_field_values, region, set_level, Mode, Real, Session};
 
@@ -277,73 +276,13 @@ fn sweep_block<R: Real, E: Eos>(
 // so observables stay bit-identical and op counts exactly equal.
 //
 // Data-dependent branches (supersonic upwinding, the HLLC `sm >= 0` split)
-// are handled by partitioning interfaces and running each branch's batch
-// ops on a compacted index set, mirroring which ops the scalar path would
-// have run per interface. Comparisons and min/max/floor selections are
-// exact, uncounted operations in the scalar path and stay plain f64
-// selects here.
-
-/// Four primitive-component arrays (structure-of-arrays line storage).
-struct P4 {
-    rho: Vec<f64>,
-    vx: Vec<f64>,
-    vy: Vec<f64>,
-    p: Vec<f64>,
-}
-
-/// Four conserved-component arrays.
-struct C4 {
-    rho: Vec<f64>,
-    mx: Vec<f64>,
-    my: Vec<f64>,
-    e: Vec<f64>,
-}
-
-impl P4 {
-    fn new() -> P4 {
-        P4 { rho: Vec::new(), vx: Vec::new(), vy: Vec::new(), p: Vec::new() }
-    }
-    fn resize(&mut self, n: usize) {
-        self.rho.resize(n, 0.0);
-        self.vx.resize(n, 0.0);
-        self.vy.resize(n, 0.0);
-        self.p.resize(n, 0.0);
-    }
-}
-
-impl C4 {
-    fn new() -> C4 {
-        C4 { rho: Vec::new(), mx: Vec::new(), my: Vec::new(), e: Vec::new() }
-    }
-    fn resize(&mut self, n: usize) {
-        self.rho.resize(n, 0.0);
-        self.mx.resize(n, 0.0);
-        self.my.resize(n, 0.0);
-        self.e.resize(n, 0.0);
-    }
-}
-
-/// Temporary slice pool (resized once per stage, reused across lines).
-struct Tmp {
-    a: Vec<f64>,
-    b: Vec<f64>,
-    c: Vec<f64>,
-    d: Vec<f64>,
-    e: Vec<f64>,
-}
-
-impl Tmp {
-    fn new() -> Tmp {
-        Tmp { a: Vec::new(), b: Vec::new(), c: Vec::new(), d: Vec::new(), e: Vec::new() }
-    }
-    fn resize(&mut self, n: usize) {
-        self.a.resize(n, 0.0);
-        self.b.resize(n, 0.0);
-        self.c.resize(n, 0.0);
-        self.d.resize(n, 0.0);
-        self.e.resize(n, 0.0);
-    }
-}
+// are handled by `riemann::riemann_flux_batch`, which partitions interfaces
+// and runs each branch's batch ops on a compacted index set, mirroring
+// which ops the scalar path would have run per interface (the
+// interface-partition invariant — see `crate::riemann`). Comparisons and
+// min/max/floor selections are exact, uncounted operations in the scalar
+// path and stay plain f64 selects here. The SoA line containers (`P4`,
+// `C4`, `Tmp`) and the batch prim/flux helpers live in `crate::state`.
 
 /// `Tracked::max(v, f)` as an in-place select: `if f > v { f } else { v }`
 /// (keeps NaN `v`, exactly like the scalar floor).
@@ -370,66 +309,6 @@ fn minmod_sel(a: &[f64], b: &[f64], out: &mut [f64]) {
             0.0
         };
     }
-}
-
-fn gather(src: &[f64], idx: &[usize], dst: &mut Vec<f64>) {
-    dst.clear();
-    dst.extend(idx.iter().map(|&i| src[i]));
-}
-
-fn gather_p4(src: &P4, idx: &[usize], dst: &mut P4) {
-    gather(&src.rho, idx, &mut dst.rho);
-    gather(&src.vx, idx, &mut dst.vx);
-    gather(&src.vy, idx, &mut dst.vy);
-    gather(&src.p, idx, &mut dst.p);
-}
-
-fn gather_c4(src: &C4, idx: &[usize], dst: &mut C4) {
-    gather(&src.rho, idx, &mut dst.rho);
-    gather(&src.mx, idx, &mut dst.mx);
-    gather(&src.my, idx, &mut dst.my);
-    gather(&src.e, idx, &mut dst.e);
-}
-
-/// Batch `prim_to_cons`: same AST as the scalar version
-/// (`eint = eos.eint(rho, p)`, `ke = 0.5*rho*(vx²+vy²)`, then the four
-/// conserved components).
-fn p2c_b<E: Eos>(eos: &E, w: &P4, out: &mut C4, t: &mut Tmp) {
-    let n = w.rho.len();
-    out.resize(n);
-    t.resize(n);
-    eos.eint_batch(&w.rho, &w.p, &mut t.a, &mut t.b); // eint -> t.b
-    batch_rmul_s(0.5, &w.rho, &mut t.c); // half*rho
-    batch_mul(&w.vx, &w.vx, &mut t.d);
-    batch_mul(&w.vy, &w.vy, &mut t.e);
-    batch_add(&t.d, &t.e, &mut t.a);
-    batch_mul(&t.c, &t.a, &mut t.d); // ke -> t.d
-    out.rho.copy_from_slice(&w.rho);
-    batch_mul(&w.rho, &w.vx, &mut out.mx);
-    batch_mul(&w.rho, &w.vy, &mut out.my);
-    batch_mul(&w.rho, &t.b, &mut t.c); // rho*eint
-    batch_add(&t.c, &t.d, &mut out.e);
-}
-
-/// Batch `physical_flux`: `prim_to_cons` (into `ucons`) plus the axis flux
-/// tail.
-fn pflux_b<E: Eos>(eos: &E, w: &P4, axis: usize, ucons: &mut C4, out: &mut C4, t: &mut Tmp) {
-    p2c_b(eos, w, ucons, t);
-    let n = w.rho.len();
-    out.resize(n);
-    let vn = if axis == 0 { &w.vx } else { &w.vy };
-    batch_mul(&ucons.rho, vn, &mut out.rho);
-    if axis == 0 {
-        batch_mul(&ucons.mx, vn, &mut t.a);
-        batch_add(&t.a, &w.p, &mut out.mx);
-        batch_mul(&ucons.my, vn, &mut out.my);
-    } else {
-        batch_mul(&ucons.mx, vn, &mut out.mx);
-        batch_mul(&ucons.my, vn, &mut t.a);
-        batch_add(&t.a, &w.p, &mut out.my);
-    }
-    batch_add(&ucons.e, &w.p, &mut t.b);
-    batch_mul(&t.b, vn, &mut out.e);
 }
 
 /// Batch PLM over one component array: interfaces `f = 0..k` read cells
@@ -468,100 +347,15 @@ fn weno5_b(w: &[f64], ng: usize, k: usize, ol: &mut Vec<f64>, or_: &mut Vec<f64>
     batch_weno5(win(5), win(4), win(3), win(2), win(1), or_);
 }
 
-/// Batch HLLC star-region flux for one branch's compacted interfaces:
-/// `out = fphys + (star(w, u, s, un) - u) * s`.
-#[allow(clippy::too_many_arguments)]
-fn star_flux_b(
-    axis: usize,
-    w: &P4,
-    u: &C4,
-    s: &[f64],
-    un: &[f64],
-    sm: &[f64],
-    fphys: &C4,
-    star: &mut C4,
-    out: &mut C4,
-    t: &mut Tmp,
-) {
-    let n = s.len();
-    star.resize(n);
-    out.resize(n);
-    t.resize(n);
-    // factor = rho*(s-un)/(s-sm)  (becomes the star density)
-    batch_sub(s, un, &mut t.a);
-    batch_mul(&w.rho, &t.a, &mut t.b);
-    batch_sub(s, sm, &mut t.c);
-    batch_div(&t.b, &t.c, &mut star.rho);
-    // e_star = u.e/rho + (sm-un)*(sm + p/(rho*(s-un)))   — (s-un) recomputed
-    batch_div(&u.e, &w.rho, &mut t.a);
-    batch_sub(sm, un, &mut t.b);
-    batch_sub(s, un, &mut t.c);
-    batch_mul(&w.rho, &t.c, &mut t.d);
-    batch_div(&w.p, &t.d, &mut t.c);
-    batch_add(sm, &t.c, &mut t.d);
-    batch_mul(&t.b, &t.d, &mut t.c);
-    batch_add(&t.a, &t.c, &mut t.e); // e_star
-    if axis == 0 {
-        batch_mul(&star.rho, sm, &mut star.mx);
-        batch_mul(&star.rho, &w.vy, &mut star.my);
-    } else {
-        batch_mul(&star.rho, &w.vx, &mut star.mx);
-        batch_mul(&star.rho, sm, &mut star.my);
-    }
-    batch_mul(&star.rho, &t.e, &mut star.e);
-    // out_c = fphys_c + (star_c - u_c) * s
-    let comps = [
-        (&star.rho, &u.rho, &fphys.rho, &mut out.rho),
-        (&star.mx, &u.mx, &fphys.mx, &mut out.mx),
-        (&star.my, &u.my, &fphys.my, &mut out.my),
-        (&star.e, &u.e, &fphys.e, &mut out.e),
-    ];
-    for (sc, uc, fc, oc) in comps {
-        batch_sub(sc, uc, &mut t.a);
-        batch_mul(&t.a, s, &mut t.b);
-        batch_add(fc, &t.b, oc);
-    }
-}
-
 /// All per-block scratch for the batch sweep, allocated once per block.
 struct BatchBufs {
     ucons: C4,
     prim: P4,
     wl: P4,
     wr: P4,
-    cl: Vec<f64>,
-    cr: Vec<f64>,
-    slv: Vec<f64>,
-    srv: Vec<f64>,
-    uc_scratch: C4,
-    fl: C4,
-    fr: C4,
     flux: C4,
     t: Tmp,
-    // subsonic compaction
-    idx: Vec<usize>,
-    swl: P4,
-    swr: P4,
-    ssl: Vec<f64>,
-    ssr: Vec<f64>,
-    sfl: C4,
-    sfr: C4,
-    sul: C4,
-    sur: C4,
-    num: Vec<f64>,
-    den: Vec<f64>,
-    smv: Vec<f64>,
-    sres: C4,
-    // HLLC sm-sign split
-    bidx: Vec<usize>,
-    bw: P4,
-    bu: C4,
-    bs: Vec<f64>,
-    bun: Vec<f64>,
-    bsm: Vec<f64>,
-    bf: C4,
-    bstar: C4,
-    bres: C4,
+    rs: RiemannScratch,
 }
 
 impl BatchBufs {
@@ -571,37 +365,9 @@ impl BatchBufs {
             prim: P4::new(),
             wl: P4::new(),
             wr: P4::new(),
-            cl: Vec::new(),
-            cr: Vec::new(),
-            slv: Vec::new(),
-            srv: Vec::new(),
-            uc_scratch: C4::new(),
-            fl: C4::new(),
-            fr: C4::new(),
             flux: C4::new(),
             t: Tmp::new(),
-            idx: Vec::new(),
-            swl: P4::new(),
-            swr: P4::new(),
-            ssl: Vec::new(),
-            ssr: Vec::new(),
-            sfl: C4::new(),
-            sfr: C4::new(),
-            sul: C4::new(),
-            sur: C4::new(),
-            num: Vec::new(),
-            den: Vec::new(),
-            smv: Vec::new(),
-            sres: C4::new(),
-            bidx: Vec::new(),
-            bw: P4::new(),
-            bu: C4::new(),
-            bs: Vec::new(),
-            bun: Vec::new(),
-            bsm: Vec::new(),
-            bf: C4::new(),
-            bstar: C4::new(),
-            bres: C4::new(),
+            rs: RiemannScratch::new(),
         }
     }
 }
@@ -624,6 +390,7 @@ fn sweep_block_batch<E: Eos>(
     let k = n_along + 1; // interface count
     let dt_h = dt / h;
     let b = &mut BatchBufs::new();
+    let ws = &mut E::BatchScratch::default();
     for c in 0..n_cross {
         let at = |var: usize, a: usize| -> usize {
             let (i, j) = if axis == 0 { (a, c + ng) } else { (c + ng, a) };
@@ -652,7 +419,7 @@ fn sweep_block_batch<E: Eos>(
             batch_mul(&b.t.a, &b.t.d, &mut b.t.b); // ke
             batch_sub(&b.ucons.e, &b.t.b, &mut b.t.c);
             batch_div(&b.t.c, &b.prim.rho, &mut b.t.d); // eint
-            eos.pressure_batch(&b.prim.rho, &b.t.d, &mut b.t.a, &mut b.prim.p);
+            eos.pressure_batch(&b.prim.rho, &b.t.d, ws, &mut b.prim.p);
             floor_sel(&mut b.prim.p, params.floors.small_p);
         }
         // ---- Hydro/recon: interface states, component-wise ----
@@ -680,54 +447,12 @@ fn sweep_block_batch<E: Eos>(
             floor_sel(&mut b.wr.rho, 1e-12);
             floor_sel(&mut b.wr.p, 1e-12);
         }
-        // ---- Hydro/riemann ----
+        // ---- Hydro/riemann: partitioned batch solver ----
         {
             let _r = region("Hydro/riemann");
-            b.t.resize(k);
-            b.cl.resize(k, 0.0);
-            b.cr.resize(k, 0.0);
-            b.slv.resize(k, 0.0);
-            b.srv.resize(k, 0.0);
-            b.flux.resize(k);
-            // Davis wave speeds for every interface.
-            eos.sound_speed_batch(&b.wl.rho, &b.wl.p, &mut b.t.a, &mut b.cl);
-            eos.sound_speed_batch(&b.wr.rho, &b.wr.p, &mut b.t.a, &mut b.cr);
-            let (unl, unr) = if axis == 0 { (&b.wl.vx, &b.wr.vx) } else { (&b.wl.vy, &b.wr.vy) };
-            batch_sub(unl, &b.cl, &mut b.t.a);
-            batch_sub(unr, &b.cr, &mut b.t.b);
-            for f in 0..k {
-                // min: Tracked::min keeps the left value on ties/NaN
-                b.slv[f] = if b.t.b[f] < b.t.a[f] { b.t.b[f] } else { b.t.a[f] };
-            }
-            batch_add(unl, &b.cl, &mut b.t.a);
-            batch_add(unr, &b.cr, &mut b.t.b);
-            for f in 0..k {
-                b.srv[f] = if b.t.b[f] > b.t.a[f] { b.t.b[f] } else { b.t.a[f] };
-            }
-            // Physical fluxes on both sides of every interface.
-            pflux_b(eos, &b.wl, axis, &mut b.uc_scratch, &mut b.fl, &mut b.t);
-            pflux_b(eos, &b.wr, axis, &mut b.uc_scratch, &mut b.fr, &mut b.t);
-            // Upwind classification (same test order as the scalar early
-            // returns; NaN wave speeds fall through to the subsonic case).
-            b.idx.clear();
-            for f in 0..k {
-                if b.slv[f] >= 0.0 {
-                    b.flux.rho[f] = b.fl.rho[f];
-                    b.flux.mx[f] = b.fl.mx[f];
-                    b.flux.my[f] = b.fl.my[f];
-                    b.flux.e[f] = b.fl.e[f];
-                } else if b.srv[f] <= 0.0 {
-                    b.flux.rho[f] = b.fr.rho[f];
-                    b.flux.mx[f] = b.fr.mx[f];
-                    b.flux.my[f] = b.fr.my[f];
-                    b.flux.e[f] = b.fr.e[f];
-                } else {
-                    b.idx.push(f);
-                }
-            }
-            if !b.idx.is_empty() {
-                subsonic_flux_b(eos, params.riemann, axis, b);
-            }
+            riemann_flux_batch(
+                params.riemann, eos, axis, &b.wl, &b.wr, &mut b.flux, &mut b.rs, ws,
+            );
         }
         // ---- Hydro/update: conservative update ----
         {
@@ -750,114 +475,6 @@ fn sweep_block_batch<E: Eos>(
                 }
             }
         }
-    }
-}
-
-/// Subsonic interfaces of one line: gather the compact index set, run the
-/// solver's interior expressions, scatter fluxes back.
-fn subsonic_flux_b<E: Eos>(eos: &E, kind: RiemannKind, axis: usize, b: &mut BatchBufs) {
-    gather_p4(&b.wl, &b.idx, &mut b.swl);
-    gather_p4(&b.wr, &b.idx, &mut b.swr);
-    gather(&b.slv, &b.idx, &mut b.ssl);
-    gather(&b.srv, &b.idx, &mut b.ssr);
-    gather_c4(&b.fl, &b.idx, &mut b.sfl);
-    gather_c4(&b.fr, &b.idx, &mut b.sfr);
-    let s = b.idx.len();
-    b.sres.resize(s);
-    p2c_b(eos, &b.swl, &mut b.sul, &mut b.t);
-    p2c_b(eos, &b.swr, &mut b.sur, &mut b.t);
-    b.t.resize(s);
-    match kind {
-        RiemannKind::Hll => {
-            // inv = 1/(sr - sl), then per component
-            // (fl*sr - fr*sl + sr*sl*(ur - ul)) * inv  — `sr*sl` recomputed
-            // per component like the scalar AST.
-            batch_sub(&b.ssr, &b.ssl, &mut b.t.a);
-            b.num.resize(s, 0.0); // reuse as `inv`
-            batch_rdiv_s(1.0, &b.t.a, &mut b.num);
-            let comps = [
-                (&b.sfl.rho, &b.sfr.rho, &b.sul.rho, &b.sur.rho, &mut b.sres.rho),
-                (&b.sfl.mx, &b.sfr.mx, &b.sul.mx, &b.sur.mx, &mut b.sres.mx),
-                (&b.sfl.my, &b.sfr.my, &b.sul.my, &b.sur.my, &mut b.sres.my),
-                (&b.sfl.e, &b.sfr.e, &b.sul.e, &b.sur.e, &mut b.sres.e),
-            ];
-            for (flc, frc, ulc, urc, oc) in comps {
-                batch_mul(flc, &b.ssr, &mut b.t.a);
-                batch_mul(frc, &b.ssl, &mut b.t.b);
-                batch_sub(&b.t.a, &b.t.b, &mut b.t.c);
-                batch_mul(&b.ssr, &b.ssl, &mut b.t.a);
-                batch_sub(urc, ulc, &mut b.t.b);
-                batch_mul(&b.t.a, &b.t.b, &mut b.t.d);
-                batch_add(&b.t.c, &b.t.d, &mut b.t.a);
-                batch_mul(&b.t.a, &b.num, oc);
-            }
-        }
-        RiemannKind::Hllc => {
-            let (sunl, sunr) =
-                if axis == 0 { (&b.swl.vx, &b.swr.vx) } else { (&b.swl.vy, &b.swr.vy) };
-            b.num.resize(s, 0.0);
-            b.den.resize(s, 0.0);
-            b.smv.resize(s, 0.0);
-            // num = wr.p - wl.p + wl.rho*unl*(sl-unl) - wr.rho*unr*(sr-unr)
-            batch_sub(&b.swr.p, &b.swl.p, &mut b.t.a);
-            batch_mul(&b.swl.rho, sunl, &mut b.t.b);
-            batch_sub(&b.ssl, sunl, &mut b.t.c);
-            batch_mul(&b.t.b, &b.t.c, &mut b.t.d);
-            batch_add(&b.t.a, &b.t.d, &mut b.t.e);
-            batch_mul(&b.swr.rho, sunr, &mut b.t.a);
-            batch_sub(&b.ssr, sunr, &mut b.t.b);
-            batch_mul(&b.t.a, &b.t.b, &mut b.t.c);
-            batch_sub(&b.t.e, &b.t.c, &mut b.num);
-            // den = wl.rho*(sl-unl) - wr.rho*(sr-unr)  — differences recomputed
-            batch_sub(&b.ssl, sunl, &mut b.t.a);
-            batch_mul(&b.swl.rho, &b.t.a, &mut b.t.b);
-            batch_sub(&b.ssr, sunr, &mut b.t.c);
-            batch_mul(&b.swr.rho, &b.t.c, &mut b.t.d);
-            batch_sub(&b.t.b, &b.t.d, &mut b.den);
-            batch_div(&b.num, &b.den, &mut b.smv);
-            // Split on the contact speed's sign (NaN goes right, like the
-            // scalar `if sm >= zero { .. } else { .. }`).
-            for side in 0..2 {
-                b.bidx.clear();
-                for (j, &sm) in b.smv.iter().enumerate() {
-                    if (sm >= 0.0) == (side == 0) {
-                        b.bidx.push(j);
-                    }
-                }
-                if b.bidx.is_empty() {
-                    continue;
-                }
-                let (w, u, sv, unv, fv) = if side == 0 {
-                    (&b.swl, &b.sul, &b.ssl, sunl, &b.sfl)
-                } else {
-                    (&b.swr, &b.sur, &b.ssr, sunr, &b.sfr)
-                };
-                gather_p4(w, &b.bidx, &mut b.bw);
-                gather_c4(u, &b.bidx, &mut b.bu);
-                gather(sv, &b.bidx, &mut b.bs);
-                gather(unv, &b.bidx, &mut b.bun);
-                gather(&b.smv, &b.bidx, &mut b.bsm);
-                gather_c4(fv, &b.bidx, &mut b.bf);
-                star_flux_b(
-                    axis, &b.bw, &b.bu, &b.bs, &b.bun, &b.bsm, &b.bf, &mut b.bstar,
-                    &mut b.bres, &mut b.t,
-                );
-                for (jj, &j) in b.bidx.iter().enumerate() {
-                    b.sres.rho[j] = b.bres.rho[jj];
-                    b.sres.mx[j] = b.bres.mx[jj];
-                    b.sres.my[j] = b.bres.my[jj];
-                    b.sres.e[j] = b.bres.e[jj];
-                }
-                b.t.resize(s);
-            }
-        }
-    }
-    // Scatter subsonic fluxes back into the full interface arrays.
-    for (j, &f) in b.idx.iter().enumerate() {
-        b.flux.rho[f] = b.sres.rho[j];
-        b.flux.mx[f] = b.sres.mx[j];
-        b.flux.my[f] = b.sres.my[j];
-        b.flux.e[f] = b.sres.e[j];
     }
 }
 

@@ -149,7 +149,7 @@ impl Bubble {
             self.t += dt;
             self.nstep += 1;
             if self.nstep % self.params.reinit_every == 0 {
-                reinitialize(&mut self.grid, 8);
+                reinitialize::<R>(&mut self.grid, 8, session);
             }
             if self.nstep % self.regrid_every == 0 {
                 self.update_shadow();

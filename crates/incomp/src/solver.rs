@@ -805,34 +805,27 @@ pub fn curvature(grid: &Grid, i: isize, j: isize, h: f64) -> f64 {
 
 /// PDE-based level-set reinitialization toward a signed-distance function
 /// (`|∇φ| = 1`), Godunov Hamiltonian, a few pseudo-time iterations.
-pub fn reinitialize(grid: &mut Grid, iters: usize) {
+///
+/// Instrumented in the `INS/levelset` region: instantiate with `f64` for
+/// the reference run and [`raptor_core::Tracked`] under an installed
+/// session to truncate/count the Hamiltonian's operations. Tracked
+/// op-mode runs take the row-sliced batch path below (sign partition on
+/// `s` with exact per-lane selects); mem-mode and forced-scalar runs stay
+/// on the per-cell generic loop, which remains the differential oracle.
+/// The pseudo-time buffer is allocated once and reused across iterations.
+pub fn reinitialize<R: Real>(grid: &mut Grid, iters: usize, session: &Session) {
+    let _guard = session.install();
     let _r = region("INS/levelset");
     let (nx, ny) = (grid.nx, grid.ny);
-    let h = grid.h;
-    let dtau = 0.5 * h;
+    let dtau = 0.5 * grid.h;
+    let mut new_phi = vec![0.0; nx * ny];
+    let mut ws = ReinitScratch::default();
     for _ in 0..iters {
         grid.apply_bcs();
-        let mut new_phi = vec![0.0; nx * ny];
-        for j in 0..ny {
-            for i in 0..nx {
-                let (ii, jj) = (i as isize, j as isize);
-                let c = grid.phi[grid.at(ii, jj)];
-                let s = c / (c * c + h * h).sqrt();
-                let dxm = (c - grid.phi[grid.at(ii - 1, jj)]) / h;
-                let dxp = (grid.phi[grid.at(ii + 1, jj)] - c) / h;
-                let dym = (c - grid.phi[grid.at(ii, jj - 1)]) / h;
-                let dyp = (grid.phi[grid.at(ii, jj + 1)] - c) / h;
-                // Godunov scheme.
-                let (a, b) = if s >= 0.0 {
-                    (dxm.max(0.0).powi(2).max(dxp.min(0.0).powi(2)),
-                     dym.max(0.0).powi(2).max(dyp.min(0.0).powi(2)))
-                } else {
-                    (dxm.min(0.0).powi(2).max(dxp.max(0.0).powi(2)),
-                     dym.min(0.0).powi(2).max(dyp.max(0.0).powi(2)))
-                };
-                let grad = (a + b).sqrt();
-                new_phi[j * nx + i] = c - dtau * s * (grad - 1.0);
-            }
+        if R::IS_TRACKED && raptor_core::batch::ready() {
+            reinit_rows_batch(grid, dtau, &mut new_phi, &mut ws);
+        } else {
+            reinit_cells::<R>(grid, dtau, &mut new_phi);
         }
         for j in 0..ny {
             for i in 0..nx {
@@ -842,6 +835,142 @@ pub fn reinitialize(grid: &mut Grid, iters: usize) {
         }
     }
     grid.apply_bcs();
+}
+
+/// Per-cell Godunov Hamiltonian update (one pseudo-time iteration) into
+/// `new_phi` — the scalar path and batch oracle.
+fn reinit_cells<R: Real>(grid: &Grid, dtau: f64, new_phi: &mut [f64]) {
+    let (nx, ny) = (grid.nx, grid.ny);
+    let h = R::from_f64(grid.h);
+    let h2 = R::from_f64(grid.h * grid.h);
+    let dtau_r = R::from_f64(dtau);
+    let z = R::zero();
+    for j in 0..ny {
+        for i in 0..nx {
+            let (ii, jj) = (i as isize, j as isize);
+            let c = R::from_f64(grid.phi[grid.at(ii, jj)]);
+            let s = c / (c * c + h2).sqrt();
+            let dxm = (c - R::from_f64(grid.phi[grid.at(ii - 1, jj)])) / h;
+            let dxp = (R::from_f64(grid.phi[grid.at(ii + 1, jj)]) - c) / h;
+            let dym = (c - R::from_f64(grid.phi[grid.at(ii, jj - 1)])) / h;
+            let dyp = (R::from_f64(grid.phi[grid.at(ii, jj + 1)]) - c) / h;
+            // Godunov scheme.
+            let (a, b) = if s >= z {
+                (dxm.max(z).powi(2).max(dxp.min(z).powi(2)),
+                 dym.max(z).powi(2).max(dyp.min(z).powi(2)))
+            } else {
+                (dxm.min(z).powi(2).max(dxp.max(z).powi(2)),
+                 dym.min(z).powi(2).max(dyp.max(z).powi(2)))
+            };
+            let grad = (a + b).sqrt();
+            new_phi[j * nx + i] = (c - dtau_r * s * (grad - R::one())).to_f64();
+        }
+    }
+}
+
+/// Row-slice buffers for the batch reinitialization path.
+#[derive(Default)]
+struct ReinitScratch {
+    sgn: Vec<f64>,
+    dxm: Vec<f64>,
+    dxp: Vec<f64>,
+    dym: Vec<f64>,
+    dyp: Vec<f64>,
+    x1: Vec<f64>,
+    x2: Vec<f64>,
+    y1: Vec<f64>,
+    y2: Vec<f64>,
+    q1: Vec<f64>,
+    q2: Vec<f64>,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    t1: Vec<f64>,
+    t2: Vec<f64>,
+}
+
+impl ReinitScratch {
+    fn resize(&mut self, n: usize) {
+        for v in [
+            &mut self.sgn, &mut self.dxm, &mut self.dxp, &mut self.dym, &mut self.dyp,
+            &mut self.x1, &mut self.x2, &mut self.y1, &mut self.y2, &mut self.q1,
+            &mut self.q2, &mut self.a, &mut self.b, &mut self.t1, &mut self.t2,
+        ] {
+            v.resize(n, 0.0);
+        }
+    }
+}
+
+/// One pseudo-time iteration over whole interior rows through the batch
+/// slice kernels. Per cell the op AST is exactly `reinit_cells`'s —
+/// including the four Godunov squarings as counted muls — while the sign
+/// of `s` and the upwind `max(·,0)`/`min(·,0)`/outer-max choices are
+/// exact, uncounted per-lane selects, mirroring the scalar `Tracked`
+/// comparisons.
+fn reinit_rows_batch(grid: &Grid, dtau: f64, new_phi: &mut [f64], ws: &mut ReinitScratch) {
+    use raptor_core::batch::{
+        batch_add, batch_add_s, batch_div, batch_div_s, batch_mul, batch_rmul_s, batch_sqrt,
+        batch_sub, batch_sub_s,
+    };
+    let (nx, ny, ng) = (grid.nx, grid.ny, grid.ng);
+    let stride = nx + 2 * ng;
+    let h = grid.h;
+    ws.resize(nx);
+    for j in 0..ny {
+        let base = (j + ng) * stride + ng;
+        let c = &grid.phi[base..base + nx];
+        let west = &grid.phi[base - 1..base - 1 + nx];
+        let east = &grid.phi[base + 1..base + 1 + nx];
+        let south = &grid.phi[base - stride..base - stride + nx];
+        let north = &grid.phi[base + stride..base + stride + nx];
+        let out = &mut new_phi[j * nx..(j + 1) * nx];
+        // s = c / sqrt(c*c + h*h)
+        batch_mul(c, c, &mut ws.t1);
+        batch_add_s(&ws.t1, h * h, &mut ws.t2);
+        batch_sqrt(&ws.t2, &mut ws.t1);
+        batch_div(c, &ws.t1, &mut ws.sgn);
+        // One-sided differences.
+        batch_sub(c, west, &mut ws.t1);
+        batch_div_s(&ws.t1, h, &mut ws.dxm);
+        batch_sub(east, c, &mut ws.t1);
+        batch_div_s(&ws.t1, h, &mut ws.dxp);
+        batch_sub(c, south, &mut ws.t1);
+        batch_div_s(&ws.t1, h, &mut ws.dym);
+        batch_sub(north, c, &mut ws.t1);
+        batch_div_s(&ws.t1, h, &mut ws.dyp);
+        // Godunov sign partition: upwind selects per lane.
+        for i in 0..nx {
+            let max0 = |v: f64| if 0.0 > v { 0.0 } else { v };
+            let min0 = |v: f64| if 0.0 < v { 0.0 } else { v };
+            if ws.sgn[i] >= 0.0 {
+                ws.x1[i] = max0(ws.dxm[i]);
+                ws.x2[i] = min0(ws.dxp[i]);
+                ws.y1[i] = max0(ws.dym[i]);
+                ws.y2[i] = min0(ws.dyp[i]);
+            } else {
+                ws.x1[i] = min0(ws.dxm[i]);
+                ws.x2[i] = max0(ws.dxp[i]);
+                ws.y1[i] = min0(ws.dym[i]);
+                ws.y2[i] = max0(ws.dyp[i]);
+            }
+        }
+        batch_mul(&ws.x1, &ws.x1, &mut ws.q1);
+        batch_mul(&ws.x2, &ws.x2, &mut ws.q2);
+        for i in 0..nx {
+            ws.a[i] = if ws.q2[i] > ws.q1[i] { ws.q2[i] } else { ws.q1[i] };
+        }
+        batch_mul(&ws.y1, &ws.y1, &mut ws.q1);
+        batch_mul(&ws.y2, &ws.y2, &mut ws.q2);
+        for i in 0..nx {
+            ws.b[i] = if ws.q2[i] > ws.q1[i] { ws.q2[i] } else { ws.q1[i] };
+        }
+        // grad = sqrt(a + b); phi_new = c - dtau*s*(grad - 1)
+        batch_add(&ws.a, &ws.b, &mut ws.t1);
+        batch_sqrt(&ws.t1, &mut ws.t2);
+        batch_sub_s(&ws.t2, 1.0, &mut ws.t1);
+        batch_rmul_s(dtau, &ws.sgn, &mut ws.t2);
+        batch_mul(&ws.t2, &ws.t1, &mut ws.a);
+        batch_sub(c, &ws.a, out);
+    }
 }
 
 /// Stable timestep: convective, viscous, capillary, and force limits.
@@ -929,7 +1058,7 @@ mod tests {
         for v in g.phi.iter_mut() {
             *v *= 3.0;
         }
-        reinitialize(&mut g, 40);
+        reinitialize::<f64>(&mut g, 40, &Session::passthrough());
         // Check |grad phi| ~ 1 near the interface.
         let mut worst: f64 = 0.0;
         for j in 8..56 {
@@ -1085,6 +1214,47 @@ mod tests {
             assert_eq!(cs, cb, "{fmt:?}: op counters must match exactly");
             assert!(cs.trunc.div > 0, "{fmt:?}: advection divs counted");
             assert!(cs.trunc.mul > 0, "{fmt:?}: advection muls counted");
+        }
+    }
+
+    /// The row-sliced batch reinitialization must reproduce the per-cell
+    /// generic loop bit for bit with exact op-counter parity, at a format
+    /// that perturbs the Hamiltonian ((11,10)) and at the emulation
+    /// fallback ((11,20)). A ×2.5 distortion keeps `phi` away from a
+    /// fixed point so both signs of `s` (and all upwind selects) are
+    /// exercised through all 12 pseudo-time iterations.
+    #[test]
+    fn batch_reinit_bit_identical_to_scalar() {
+        use bigfloat::Format;
+        use raptor_core::{batch, Config, Tracked};
+        for fmt in [Format::new(11, 10), Format::new(11, 20)] {
+            let run = |force_scalar: bool| {
+                batch::set_force_scalar(force_scalar);
+                let mut g = circle_grid(24, 24);
+                for v in g.phi.iter_mut() {
+                    *v *= 2.5;
+                }
+                g.apply_bcs();
+                let sess = Session::new(
+                    Config::op_files(fmt, ["INS"]).with_counting(),
+                )
+                .unwrap();
+                reinitialize::<Tracked>(&mut g, 12, &sess);
+                batch::set_force_scalar(false);
+                (g, sess.counters())
+            };
+            let (gs, cs) = run(true);
+            let (gb, cb) = run(false);
+            for (k, (x, y)) in gs.phi.iter().zip(gb.phi.iter()).enumerate() {
+                assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "{fmt:?} phi index {k}: {x:e} vs {y:e}"
+                );
+            }
+            assert_eq!(cs, cb, "{fmt:?}: op counters must match exactly");
+            assert!(cs.trunc.sqrt > 0, "{fmt:?}: Hamiltonian sqrts counted");
+            assert!(cs.trunc.mul > 0, "{fmt:?}: Godunov squarings counted");
         }
     }
 

@@ -119,6 +119,11 @@ pub fn batch_div_s(a: &[f64], s: f64, out: &mut [f64]) {
     bin_s(OpKind::Div, a, s, out)
 }
 
+/// `out[i] = s + b[i]` (scalar broadcast on the left).
+pub fn batch_radd_s(s: f64, b: &[f64], out: &mut [f64]) {
+    bin_rs(OpKind::Add, s, b, out)
+}
+
 /// `out[i] = s - b[i]` (scalar broadcast on the left).
 pub fn batch_rsub_s(s: f64, b: &[f64], out: &mut [f64]) {
     bin_rs(OpKind::Sub, s, b, out)
@@ -1166,6 +1171,11 @@ mod tests {
         batch_rdiv_s(k, &a, &mut got);
         for i in 0..a.len() {
             let want = crate::ops::op2(OpKind::Div, k, a[i]);
+            assert_eq!(got[i].to_bits(), want.to_bits());
+        }
+        batch_radd_s(k, &a, &mut got);
+        for i in 0..a.len() {
+            let want = crate::ops::op2(OpKind::Add, k, a[i]);
             assert_eq!(got[i].to_bits(), want.to_bits());
         }
     }

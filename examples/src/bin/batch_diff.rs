@@ -4,13 +4,17 @@
 //! per-op scalar path — then byte-compare every cell of every variable and
 //! the session op counters.
 //!
-//! Three consumers are exercised both ways:
+//! Five consumers are exercised both ways:
 //! - a tiny Sedov blast with PLM reconstruction (the element-wise sweep
 //!   chains),
 //! - the same blast with WENO5 reconstruction (the fused five-point
 //!   stencil kernel),
+//! - a Sod shock tube solved with HLL (the partitioned Riemann solver's
+//!   supersonic/subsonic interface classes and the HLL middle flux),
 //! - a tiny two-phase bubble step loop (fused WENO5 upwind advection,
-//!   diffusion, and the row-sliced CSF curvature).
+//!   diffusion, and the row-sliced CSF curvature),
+//! - the same bubble grid through level-set reinitialization pseudo-time
+//!   iterations (the sign-partitioned Godunov Hamiltonian rows).
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin batch_diff
@@ -21,8 +25,8 @@
 //! is an *optimization*, never a semantic change.
 
 use bigfloat::Format;
-use hydro::{setup, Problem, ReconKind};
-use incomp::{compute_dt, step, Grid, InsParams};
+use hydro::{setup, Problem, ReconKind, RiemannKind};
+use incomp::{compute_dt, reinitialize, step, Grid, InsParams};
 use raptor_core::{batch, Config, Counters, Session, Tracked};
 
 /// One tiny Sedov run (max_level=2, 3 threads, a handful of steps) under
@@ -37,11 +41,23 @@ fn run_sedov(fmt: Format, recon: ReconKind, force_scalar: bool) -> (amr::Mesh, C
     (sim.mesh, sess.counters())
 }
 
-/// A few steps of the incompressible solver on a tiny two-phase grid with
-/// mixed-sign seeded velocities (both upwind partitions carry cells) and
-/// no AMR level map, so the batched advection/diffusion/CSF paths engage.
-fn run_bubble(fmt: Format, force_scalar: bool) -> (Grid, Counters) {
+/// A Sod shock tube solved with the HLL flux: the tube's supersonic and
+/// subsonic interface populations cover the Riemann partition's classes,
+/// and the HLL middle flux (absent from the default-HLLC Sedov runs) goes
+/// through its per-component batch chain.
+fn run_sod_hll(fmt: Format, force_scalar: bool) -> (amr::Mesh, Counters) {
     batch::set_force_scalar(force_scalar);
+    let mut sim = setup(Problem::Sod, 2, 8, ReconKind::Plm);
+    sim.hydro.riemann = RiemannKind::Hll;
+    let sess = Session::new(Config::op_files(fmt, ["Hydro"]).with_counting())
+        .expect("valid config");
+    sim.run::<Tracked>(0.02, 12, 3, &sess);
+    batch::set_force_scalar(false);
+    (sim.mesh, sess.counters())
+}
+
+/// Seeded two-phase grid shared by the bubble and reinit runs.
+fn bubble_grid() -> Grid {
     let n = 24;
     let h = 2.0 / n as f64;
     let mut g = Grid::new(n, n, h, (-1.0, -1.0));
@@ -55,6 +71,15 @@ fn run_bubble(fmt: Format, force_scalar: bool) -> (Grid, Counters) {
         }
     }
     g.apply_bcs();
+    g
+}
+
+/// A few steps of the incompressible solver on a tiny two-phase grid with
+/// mixed-sign seeded velocities (both upwind partitions carry cells) and
+/// no AMR level map, so the batched advection/diffusion/CSF paths engage.
+fn run_bubble(fmt: Format, force_scalar: bool) -> (Grid, Counters) {
+    batch::set_force_scalar(force_scalar);
+    let mut g = bubble_grid();
     let params = InsParams::default();
     let sess = Session::new(Config::op_files(fmt, ["INS"]).with_counting())
         .expect("valid config");
@@ -62,6 +87,23 @@ fn run_bubble(fmt: Format, force_scalar: bool) -> (Grid, Counters) {
         let dt = compute_dt(&g, &params);
         step::<Tracked>(&mut g, &params, dt, None, &sess);
     }
+    batch::set_force_scalar(false);
+    (g, sess.counters())
+}
+
+/// Level-set reinitialization on the seeded bubble grid, distorted away
+/// from a distance function so the pseudo-time loop does real work: the
+/// sign-partitioned Godunov rows vs the per-cell generic loop.
+fn run_bubble_reinit(fmt: Format, force_scalar: bool) -> (Grid, Counters) {
+    batch::set_force_scalar(force_scalar);
+    let mut g = bubble_grid();
+    for v in g.phi.iter_mut() {
+        *v *= 2.5;
+    }
+    g.apply_bcs();
+    let sess = Session::new(Config::op_files(fmt, ["INS"]).with_counting())
+        .expect("valid config");
+    reinitialize::<Tracked>(&mut g, 12, &sess);
     batch::set_force_scalar(false);
     (g, sess.counters())
 }
@@ -121,9 +163,21 @@ fn main() {
                 failed = true;
             }
         }
+        let (mesh_b, count_b) = run_sod_hll(fmt, false);
+        let (mesh_s, count_s) = run_sod_hll(fmt, true);
+        let label = format!("sod-hll {fmt}").to_lowercase();
+        if !report(&label, amr::bitwise_diff(&mesh_b, &mesh_s), count_b, count_s) {
+            failed = true;
+        }
         let (grid_b, count_b) = run_bubble(fmt, false);
         let (grid_s, count_s) = run_bubble(fmt, true);
         let label = format!("bubble {fmt}").to_lowercase();
+        if !report(&label, grid_diff(&grid_b, &grid_s), count_b, count_s) {
+            failed = true;
+        }
+        let (grid_b, count_b) = run_bubble_reinit(fmt, false);
+        let (grid_s, count_s) = run_bubble_reinit(fmt, true);
+        let label = format!("bubble-reinit {fmt}").to_lowercase();
         if !report(&label, grid_diff(&grid_b, &grid_s), count_b, count_s) {
             failed = true;
         }
