@@ -1,0 +1,41 @@
+//! Parser for the retired whole-file cache format (version 1): one JSON
+//! document holding every outcome and baseline, atomically rewritten on
+//! each save. [`super::OutcomeCache::load`] migrates such a file into
+//! the sharded directory layout exactly once — see the migration notes
+//! on `load` — and this module only knows how to *read* the old shape.
+
+use crate::campaign::CandidateOutcome;
+use raptor_core::Json;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// The decoded contents of a legacy single-file cache.
+pub(crate) struct LegacyCache {
+    pub(crate) entries: BTreeMap<String, CandidateOutcome>,
+    pub(crate) baselines: BTreeMap<String, f64>,
+}
+
+/// Parse the legacy whole-file document. A corrupt legacy file is an
+/// error, exactly as it was when this format was live — silently
+/// discarding completed work would be worse.
+pub(crate) fn parse(text: &str, path: &Path) -> Result<LegacyCache, String> {
+    let doc = Json::parse(text).map_err(|e| format!("{}: {e}", path.display()))?;
+    let mut cache = LegacyCache { entries: BTreeMap::new(), baselines: BTreeMap::new() };
+    for entry in doc.arr_field("entries")? {
+        let outcome = CandidateOutcome::from_json(entry.req("outcome")?)?;
+        cache.entries.insert(entry.str_field("key")?.to_string(), outcome);
+    }
+    for b in doc.arr_field("baselines")? {
+        cache.baselines.insert(b.str_field("key")?.to_string(), b.f64_field("fidelity")?);
+    }
+    Ok(cache)
+}
+
+/// Where a legacy file is parked during migration: a `.legacy-v1`
+/// sibling of the cache directory that replaces it. The sibling is
+/// absorbed (and only then deleted) on the next load, so a crash at any
+/// point of the migration redoes cleanly instead of losing rows.
+pub(crate) fn legacy_sibling(path: &Path) -> PathBuf {
+    let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("cache");
+    path.with_file_name(format!("{name}.legacy-v1"))
+}

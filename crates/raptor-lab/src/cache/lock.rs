@@ -1,0 +1,95 @@
+//! Per-shard advisory file locks.
+//!
+//! Every mutation of a shard file — appending rows, or rewriting it
+//! during compaction — happens under an OS advisory lock
+//! ([`std::fs::File::lock`], i.e. `flock` on Unix) on a dedicated
+//! `shardK.lock` sibling. The lock file is separate from the data file
+//! on purpose: compaction replaces the data file by rename, and a lock
+//! held on the *old* inode would not exclude a writer that opened the
+//! *new* one. The lock sibling is never renamed, so its inode is the
+//! stable rendezvous point for every process touching the shard.
+//!
+//! Because the lock is advisory and owned by the kernel, a writer killed
+//! mid-append releases it automatically — no stale-lock breaking, no pid
+//! liveness probing. (What a killed writer *can* leave behind is a torn
+//! last line in the data file; the replay layer absorbs that — see the
+//! [`super::shard`] docs.)
+//!
+//! **Lock order:** at most one shard lock is ever held at a time, by
+//! construction — [`super::shard::append_lines`] and
+//! [`super::shard::rewrite_shard`] each acquire one lock and release it
+//! before returning, and nothing in the cache layer nests them. One lock
+//! at a time means no lock-order cycles and therefore no deadlocks, no
+//! matter how many processes share the cache directory.
+
+use std::fs::OpenOptions;
+use std::path::Path;
+
+/// A held advisory lock on one shard. Released on drop (and by the OS if
+/// the process dies first).
+pub(crate) struct ShardLock {
+    file: std::fs::File,
+}
+
+impl ShardLock {
+    /// Block until the shard lock at `lock_path` is exclusively held.
+    /// Creates the lock file if missing (its *contents* are irrelevant —
+    /// only the kernel lock on it matters).
+    pub(crate) fn acquire(lock_path: &Path) -> Result<ShardLock, String> {
+        let file = OpenOptions::new()
+            .create(true)
+            .truncate(false)
+            .write(true)
+            .open(lock_path)
+            .map_err(|e| format!("open lock {}: {e}", lock_path.display()))?;
+        file.lock().map_err(|e| format!("lock {}: {e}", lock_path.display()))?;
+        Ok(ShardLock { file })
+    }
+}
+
+impl Drop for ShardLock {
+    fn drop(&mut self) {
+        // Best-effort: closing the file releases the lock anyway.
+        let _ = self.file.unlock();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn lock_excludes_concurrent_holders() {
+        let dir = std::env::temp_dir()
+            .join(format!("raptor-lock-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("shard0.lock");
+        // A counter only ever incremented under the lock: if exclusion
+        // failed, two threads could observe the same pre-value and the
+        // final count would fall short.
+        static IN_CRIT: AtomicUsize = AtomicUsize::new(0);
+        let total = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let path = &path;
+                    s.spawn(move || {
+                        let mut done = 0;
+                        for _ in 0..25 {
+                            let _g = ShardLock::acquire(path).unwrap();
+                            let now = IN_CRIT.fetch_add(1, Ordering::SeqCst) + 1;
+                            assert_eq!(now, 1, "two holders inside the critical section");
+                            std::thread::yield_now();
+                            IN_CRIT.fetch_sub(1, Ordering::SeqCst);
+                            done += 1;
+                        }
+                        done
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<usize>()
+        });
+        assert_eq!(total, 100);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,11 +20,12 @@
 //! the mantissa ladder for the minimal width that stays above the
 //! fidelity floor — the `sedov_precision_hunt` workflow as a library.
 
+use crate::cache::{OutcomeCache, ResumeStats};
 use crate::scenario::{LabParams, Observable, Scenario};
 use bigfloat::Format;
 use codesign::{estimate_speedup, predicted_speedup, Machine};
 use raptor_core::{Config, Counters, EmulPath, Json, Mode, Report, Session};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Scope axis of a candidate configuration.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -737,18 +738,72 @@ impl SearchRow {
 /// that clears the fidelity floor. Rows run in parallel on the sweep
 /// pool; each probe is one full scenario run.
 pub fn precision_search(scenario: &dyn Scenario, spec: &SearchSpec) -> Vec<SearchRow> {
-    let baseline = scenario.build(&spec.params).run(&Session::passthrough());
+    precision_search_resumable(scenario, spec, None).0
+}
+
+/// [`precision_search`] against a probe cache. Every bisection probe is
+/// a deterministic `(scenario, scale, threads, exp_bits, cutoff, m)`
+/// point, so a cached `(fidelity, truncated_fraction)` is served without
+/// running the scenario and the chain advances exactly as if the probe
+/// had run. The baseline reference run is built lazily, only when some
+/// probe actually misses — a fully-warm re-hunt of a completed search
+/// performs **zero** scenario runs. Fresh probes are recorded back into
+/// the cache (staged; the caller saves).
+pub fn precision_search_resumable(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    cache: Option<&mut OutcomeCache>,
+) -> (Vec<SearchRow>, ResumeStats) {
     let max_level = scenario.max_level(&spec.params);
+    let baseline: OnceLock<Observable> = OnceLock::new();
+    let cache = Mutex::new(cache);
+    let stats = Mutex::new(ResumeStats::default());
     let slots: Vec<Mutex<Option<SearchRow>>> =
         spec.cutoffs.iter().map(|_| Mutex::new(None)).collect();
     amr::pool_run(spec.cutoffs.len(), spec.workers.max(1), &|i| {
-        let row = search_row(scenario, spec, spec.cutoffs[i], max_level, &baseline);
-        *slots[i].lock().unwrap() = Some(row);
+        let cutoff = spec.cutoffs[i];
+        let (mut chain, first) = ProbeChain::new(cutoff, spec.mantissa, spec.fidelity_floor);
+        let mut pending = Some(first);
+        while let Some(m) = pending {
+            let hit = cache
+                .lock()
+                .unwrap()
+                .as_deref()
+                .and_then(|c| c.get_probe(scenario.name(), &spec.params, spec.exp_bits, cutoff, m));
+            let (fid, frac) = match hit {
+                Some(v) => {
+                    stats.lock().unwrap().cached += 1;
+                    v
+                }
+                None => {
+                    let base = baseline
+                        .get_or_init(|| scenario.build(&spec.params).run(&Session::passthrough()));
+                    let v = run_probe(scenario, spec, cutoff, m, max_level, base);
+                    if let Some(c) = cache.lock().unwrap().as_deref_mut() {
+                        c.insert_probe(
+                            scenario.name(),
+                            &spec.params,
+                            spec.exp_bits,
+                            cutoff,
+                            m,
+                            v.0,
+                            v.1,
+                        );
+                    }
+                    stats.lock().unwrap().computed += 1;
+                    v
+                }
+            };
+            pending = chain.advance(m, fid, frac);
+        }
+        *slots[i].lock().unwrap() = Some(chain.into_row());
     });
-    slots
+    let rows = slots
         .into_iter()
         .map(|s| s.into_inner().unwrap().expect("pool ran every row"))
-        .collect()
+        .collect();
+    let stats = *stats.lock().unwrap();
+    (rows, stats)
 }
 
 /// The greedy-bisection decision machine of one M-l search row,
@@ -896,22 +951,6 @@ pub(crate) fn run_probe(
     let session = Session::new(cfg).expect("validated");
     let trial = scenario.build(&spec.params).run(&session);
     (scenario.fidelity(&trial, baseline), session.counters().truncated_fraction())
-}
-
-pub(crate) fn search_row(
-    scenario: &dyn Scenario,
-    spec: &SearchSpec,
-    cutoff: u32,
-    max_level: u32,
-    baseline: &Observable,
-) -> SearchRow {
-    let (mut chain, first) = ProbeChain::new(cutoff, spec.mantissa, spec.fidelity_floor);
-    let mut pending = Some(first);
-    while let Some(m) = pending {
-        let (fid, frac) = run_probe(scenario, spec, cutoff, m, max_level, baseline);
-        pending = chain.advance(m, fid, frac);
-    }
-    chain.into_row()
 }
 
 /// JSON summary of a precision search.

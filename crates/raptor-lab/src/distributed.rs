@@ -36,7 +36,11 @@
 //! back, so an interrupted sweep restarts warm. A fully-warm resume runs
 //! **zero** scenarios (the baseline self-fidelity is cached too). Cached
 //! `accepted` verdicts are re-gated against the live fidelity floor at
-//! merge time.
+//! merge time. Precision hunts resume the same way
+//! ([`precision_search_resumed`]): every bisection probe is a
+//! deterministic `(scenario, scale, cutoff, m)` point, so cached probes
+//! advance the chains without granting tasks and a warm re-hunt skips
+//! the pool — and the baseline — entirely.
 
 use crate::cache::{OutcomeCache, ResumeStats};
 use crate::campaign::{
@@ -279,16 +283,28 @@ pub fn run_campaign_resumed(
 /// are the serial rows by construction.
 struct ChainSource {
     chains: Vec<ProbeChain>,
+    /// The cutoff of each chain (index-aligned with `chains`).
+    cutoffs: Vec<u32>,
     /// `(chain index, mantissa)` probes ready to grant.
     ready: VecDeque<(usize, u32)>,
     /// Granted-but-unfinished probes, by task id.
     inflight: HashMap<u64, (usize, u32)>,
     next_id: u64,
+    /// Probes computed by pool workers this run.
     probes: usize,
+    /// Probes served from the cache snapshot without running anything.
+    cached: usize,
+    /// Cached `(cutoff, m) -> (fidelity, truncated_fraction)` points,
+    /// snapshotted before the pool starts (the source lives on the
+    /// rank-0 server thread; it cannot touch the caller's cache).
+    snapshot: HashMap<(u32, u32), (f64, f64)>,
+    /// Probes computed this run, for write-back after the pool drains:
+    /// `(cutoff, m, fidelity, truncated_fraction)`.
+    fresh: Vec<(u32, u32, f64, f64)>,
 }
 
 impl ChainSource {
-    fn new(spec: &SearchSpec) -> ChainSource {
+    fn new(spec: &SearchSpec, snapshot: HashMap<(u32, u32), (f64, f64)>) -> ChainSource {
         let mut chains = Vec::with_capacity(spec.cutoffs.len());
         let mut ready = VecDeque::with_capacity(spec.cutoffs.len());
         for (ci, &cutoff) in spec.cutoffs.iter().enumerate() {
@@ -296,7 +312,39 @@ impl ChainSource {
             chains.push(chain);
             ready.push_back((ci, first));
         }
-        ChainSource { chains, ready, inflight: HashMap::new(), next_id: 0, probes: 0 }
+        let mut source = ChainSource {
+            chains,
+            cutoffs: spec.cutoffs.clone(),
+            ready,
+            inflight: HashMap::new(),
+            next_id: 0,
+            probes: 0,
+            cached: 0,
+            snapshot,
+            fresh: Vec::new(),
+        };
+        source.drain_cached();
+        source
+    }
+
+    /// Advance every chain through consecutively-cached probes without
+    /// granting them as tasks. Runs at construction (so a fully-warm
+    /// source is exhausted before the pool even starts) and after every
+    /// completion (a computed probe's successor may well be cached —
+    /// partial warmth from an interrupted hunt).
+    fn drain_cached(&mut self) {
+        let mut pending = std::mem::take(&mut self.ready);
+        while let Some((ci, m)) = pending.pop_front() {
+            match self.snapshot.get(&(self.cutoffs[ci], m)) {
+                Some(&(fid, frac)) => {
+                    self.cached += 1;
+                    if let Some(next) = self.chains[ci].advance(m, fid, frac) {
+                        pending.push_back((ci, next));
+                    }
+                }
+                None => self.ready.push_back((ci, m)),
+            }
+        }
     }
 
     fn into_rows(self) -> Vec<SearchRow> {
@@ -320,8 +368,10 @@ impl TaskSource for ChainSource {
         self.probes += 1;
         let fid = payload.f64_field_lossless("fidelity")?;
         let frac = payload.f64_field_lossless("truncated_fraction")?;
+        self.fresh.push((self.cutoffs[ci], m, fid, frac));
         if let Some(next_m) = self.chains[ci].advance(m, fid, frac) {
             self.ready.push_back((ci, next_m));
+            self.drain_cached();
         }
         Ok(())
     }
@@ -346,20 +396,60 @@ pub fn precision_search_distributed(
 
 /// [`precision_search_distributed`] returning the scheduler statistics:
 /// `pairs_by_rank` counts completed *probes* per rank (`computed` is the
-/// total probe count; nothing is cached — probes depend on the probes
-/// before them).
+/// total probe count; nothing is cached without a cache — see
+/// [`precision_search_distributed_resumable`]).
 pub fn precision_search_distributed_stats(
     scenario: &dyn Scenario,
     spec: &SearchSpec,
     nranks: usize,
 ) -> (Vec<SearchRow>, StudyStats) {
+    precision_search_distributed_resumable(scenario, spec, nranks, None)
+}
+
+/// [`precision_search_distributed`] against a probe cache: cached
+/// `(cutoff, m)` points are snapshotted into the `ChainSource`, which
+/// advances chains through them without granting tasks. When every chain
+/// drains from the snapshot alone — a warm re-hunt — the pool (and the
+/// baseline reference run) is skipped entirely: **zero** scenario runs.
+/// Fresh probes are recorded back into the cache (staged; the caller
+/// saves). `cached`/`computed` in the returned stats count probes served
+/// from the cache vs. run by pool workers.
+pub fn precision_search_distributed_resumable(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    nranks: usize,
+    cache: Option<&mut OutcomeCache>,
+) -> (Vec<SearchRow>, StudyStats) {
     let t0 = Instant::now();
     let nranks = nranks.max(1);
     let max_level = scenario.max_level(&spec.params);
+    let mut snapshot = HashMap::new();
+    if let Some(c) = cache.as_deref() {
+        for &cutoff in &spec.cutoffs {
+            for m in spec.mantissa.0..=spec.mantissa.1 {
+                if let Some(v) =
+                    c.get_probe(scenario.name(), &spec.params, spec.exp_bits, cutoff, m)
+                {
+                    snapshot.insert((cutoff, m), v);
+                }
+            }
+        }
+    }
+    let source = ChainSource::new(spec, snapshot);
+    if source.exhausted() {
+        // Fully warm: every chain reached its answer from cached probes.
+        // No pool, no baseline run, no scenario runs at all. Per-rank
+        // counts stay sized by the rank count (all zero: no pool ran).
+        let mut stats =
+            StudyStats { cached: source.cached, computed: 0, ..StudyStats::default() };
+        stats.pairs_by_rank = vec![0; nranks];
+        stats.wall_s = t0.elapsed().as_secs_f64();
+        return (source.into_rows(), stats);
+    }
     let pool = TaskPool::new(nranks, spec.workers);
     let run = pool.run(
         1,
-        ChainSource::new(spec),
+        source,
         &|ctx, _task, detail| {
             let ci = detail.u64_field("chain").expect("grant carries the chain index") as usize;
             let m = detail.u64_field("m").expect("grant carries the probe width") as u32;
@@ -376,14 +466,42 @@ pub fn precision_search_distributed_stats(
             amr::run_inline(|| scenario.build(&spec.params).run(&Session::passthrough())).values
         },
     );
+    if let Some(c) = cache {
+        for &(cutoff, m, fid, frac) in &run.source.fresh {
+            c.insert_probe(scenario.name(), &spec.params, spec.exp_bits, cutoff, m, fid, frac);
+        }
+    }
     let mut stats = StudyStats {
-        cached: 0,
+        cached: run.source.cached,
         computed: run.source.probes,
         ..StudyStats::default()
     };
     stats.absorb_pool(run.stats);
     stats.wall_s = t0.elapsed().as_secs_f64();
     (run.source.into_rows(), stats)
+}
+
+/// Run a cache-backed precision hunt end to end: load (or migrate) the
+/// cache at `path`, search with cached probes, persist fresh ones, and
+/// append one scheduler-stats record (labelled `hunt:<scenario>`) to the
+/// cache's stats history. The hunt twin of [`run_campaign_resumed`].
+pub fn precision_search_resumed(
+    scenario: &dyn Scenario,
+    spec: &SearchSpec,
+    nranks: usize,
+    path: impl Into<std::path::PathBuf>,
+) -> Result<(Vec<SearchRow>, StudyStats), String> {
+    let mut cache = OutcomeCache::load(path)?;
+    let (rows, stats) =
+        precision_search_distributed_resumable(scenario, spec, nranks, Some(&mut cache));
+    cache.save()?;
+    if let Err(e) = crate::study::append_stats_history(
+        cache.path(),
+        &crate::study::StatsRecord::now(format!("hunt:{}", scenario.name()), nranks, &stats),
+    ) {
+        eprintln!("warning: scheduler stats history not recorded: {e}");
+    }
+    Ok((rows, stats))
 }
 
 #[cfg(test)]

@@ -87,22 +87,29 @@
 //!
 //! ```sh
 //! # Shard the sweep over 4 ranks, persisting outcomes as they complete.
-//! codesign_advisor hydro/sod --ranks 4 --resume sweep-cache.json
+//! codesign_advisor hydro/sod --ranks 4 --resume sweep-cache
 //! # Re-run after an interrupt: cached rows are served, the rest computed.
-//! codesign_advisor hydro/sod --ranks 4 --resume sweep-cache.json
-//! # Fan the greedy bisection rows out across ranks, too.
-//! sedov_precision_hunt hydro/sedov --ranks 3
+//! codesign_advisor hydro/sod --ranks 4 --resume sweep-cache
+//! # Fan the greedy bisection rows out across ranks, caching probes too.
+//! sedov_precision_hunt hydro/sedov --ranks 3 --resume sweep-cache
 //! # GPU-native lattice: what would a GPU port tolerate (fp32/fp64 only)?
 //! codesign_advisor hydro/sod --native
 //! ```
+//!
+//! The cache path names a *directory* of per-scenario, per-shard JSONL
+//! files that any number of concurrent processes append to under
+//! advisory locks (a legacy single-file cache migrates in place on
+//! first load — see the [`cache`] module docs).
 //!
 //! [`precision_search_distributed`] steals at **probe** granularity:
 //! every greedy-bisection probe of every M-l cutoff row is one
 //! work-stealing task, with the per-cutoff chain state held by the
 //! rank-0 row owner — the most skewed work in the repo (probe counts
-//! differ per cutoff) no longer pins whole rows to ranks.
-//! [`native_candidates`] restricts the lattice to the hardware formats a
-//! GPU port could execute (the §3.6 constraint).
+//! differ per cutoff) no longer pins whole rows to ranks. Probes are
+//! cached too ([`precision_search_resumed`]): each is a deterministic
+//! `(scenario, scale, cutoff, m)` point, so a warm re-hunt performs
+//! zero scenario runs. [`native_candidates`] restricts the lattice to
+//! the hardware formats a GPU port could execute (the §3.6 constraint).
 //!
 //! ## Studies: the whole registry in one table
 //!
@@ -114,9 +121,9 @@
 //! [`queue::TaskPool`] (rank 0 serves pair indices from a shared queue
 //! over the minimpi mailboxes; per-scenario baselines broadcast lazily
 //! on first touch), so skewed per-pair costs never idle ranks. One
-//! shared [`OutcomeCache`] file covers the whole study, and every
+//! shared [`OutcomeCache`] directory covers the whole study, and every
 //! resumed run appends its [`StudyStats`] to the `stats_history.jsonl`
-//! next to it ([`study::append_stats_history`]). See the [`queue`]
+//! inside it ([`study::append_stats_history`]). See the [`queue`]
 //! module docs for the protocol; the result is byte-identical to the
 //! serial [`run_study`] for any rank count:
 //!
@@ -144,11 +151,13 @@ pub mod study;
 pub use cache::{OutcomeCache, ResumeStats};
 pub use campaign::{
     campaigns_to_json, default_candidates, format_ladder, native_candidates, precision_search,
-    run_campaign, run_campaigns, search_to_json, shear_candidates, CampaignReport, CampaignSpec,
-    CandidateOutcome, CandidateSpec, ScopeAxis, SearchRow, SearchSpec,
+    precision_search_resumable, run_campaign, run_campaigns, search_to_json, shear_candidates,
+    CampaignReport, CampaignSpec, CandidateOutcome, CandidateSpec, ScopeAxis, SearchRow,
+    SearchSpec,
 };
 pub use distributed::{
-    precision_search_distributed, precision_search_distributed_stats, run_campaign_distributed,
+    precision_search_distributed, precision_search_distributed_resumable,
+    precision_search_distributed_stats, precision_search_resumed, run_campaign_distributed,
     run_campaign_distributed_resumable, run_campaign_distributed_stats, run_campaign_resumed,
 };
 pub use queue::{FixedTasks, PoolRun, PoolStats, Task, TaskCtx, TaskPool, TaskSource};

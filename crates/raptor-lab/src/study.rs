@@ -413,10 +413,15 @@ impl StatsRecord {
 }
 
 /// Where the stats history of the cache at `cache_path` lives: a
-/// `stats_history.jsonl` sibling in the same directory — one compact
-/// JSON document per line, append-only, so every resumed run (study or
-/// campaign) adds exactly one row and the file diffs like a log.
+/// `stats_history.jsonl` — one compact JSON document per line,
+/// append-only, so every resumed run (study, campaign, or hunt) adds
+/// exactly one row and the file diffs like a log. For a sharded cache
+/// directory the history lives *inside* it (top level, next to the
+/// scenario shard dirs); for a legacy file path it is a sibling.
 pub fn stats_history_path(cache_path: &Path) -> PathBuf {
+    if cache_path.is_dir() {
+        return cache_path.join("stats_history.jsonl");
+    }
     cache_path.parent().unwrap_or_else(|| Path::new(".")).join("stats_history.jsonl")
 }
 

@@ -8,9 +8,10 @@ use bigfloat::Format;
 use raptor_core::Json;
 use raptor_lab::{
     default_candidates, find, native_candidates, precision_search, precision_search_distributed,
-    precision_search_distributed_stats, run_campaign, run_campaign_distributed,
-    run_campaign_distributed_resumable, run_campaign_resumed, shear_candidates, CampaignReport,
-    CampaignSpec, CandidateOutcome, CandidateSpec, LabParams, OutcomeCache, SearchSpec,
+    precision_search_distributed_stats, precision_search_resumable, precision_search_resumed,
+    run_campaign, run_campaign_distributed, run_campaign_distributed_resumable,
+    run_campaign_resumed, shear_candidates, CampaignReport, CampaignSpec, CandidateOutcome,
+    CandidateSpec, LabParams, OutcomeCache, SearchSpec,
 };
 use std::path::PathBuf;
 
@@ -26,8 +27,8 @@ fn mini_spec(candidates: Vec<CandidateSpec>) -> CampaignSpec {
 
 fn tmp_cache(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
-    p.push(format!("raptor-dist-test-{}-{name}.json", std::process::id()));
-    let _ = std::fs::remove_file(&p);
+    p.push(format!("raptor-dist-test-{}-{name}-cache", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
     p
 }
 
@@ -149,7 +150,7 @@ fn resume_serves_cached_rows_and_reruns_only_missing_ones() {
         regated.outcomes.iter().all(|o| !o.accepted || o.fidelity >= 1.0),
         "cached rows re-gated against the live floor"
     );
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
@@ -179,6 +180,39 @@ fn distributed_precision_search_matches_single_rank() {
         let dist = precision_search_distributed(scenario.as_ref(), &spec, ranks);
         assert_eq!(dist, single, "search rows identical at {ranks} ranks");
     }
+}
+
+#[test]
+fn warm_hunt_replays_probes_with_zero_runs() {
+    // The acceptance criterion of the probe cache: a warm resume of a
+    // completed precision search performs ZERO scenario runs — every
+    // probe is served from the cache, the chains drain before the pool
+    // starts, and even the baseline reference run is skipped.
+    let scenario = find("ir/horner").unwrap();
+    let mut spec = SearchSpec::new(LabParams::mini(), 0.9999);
+    spec.cutoffs = vec![0, 1, 2];
+    let path = tmp_cache("hunt");
+
+    let (cold, s1) = precision_search_resumed(scenario.as_ref(), &spec, 2, &path).unwrap();
+    assert_eq!(s1.cached, 0);
+    assert!(s1.computed > 0, "cold hunt computes probes");
+
+    let (warm, s2) = precision_search_resumed(scenario.as_ref(), &spec, 3, &path).unwrap();
+    assert_eq!(s2.computed, 0, "warm re-hunt performs zero scenario runs");
+    assert_eq!(s2.cached, s1.computed, "every probe served from the cache");
+    assert!(s2.pairs_by_rank.iter().all(|&n| n == 0), "{:?}", s2.pairs_by_rank);
+    assert_eq!(warm, cold, "warm rows identical to the cold hunt");
+
+    // The serial resumable driver replays the same cache to the same
+    // rows — the ProbeChain contract holds across both drivers.
+    let mut cache = OutcomeCache::load(&path).unwrap();
+    let (serial, st) = precision_search_resumable(scenario.as_ref(), &spec, Some(&mut cache));
+    assert_eq!((st.cached, st.computed), (s1.computed, 0));
+    assert_eq!(serial, cold, "serial warm replay matches");
+
+    // And the plain (uncached) search still agrees.
+    assert_eq!(precision_search(scenario.as_ref(), &spec), cold);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]

@@ -24,8 +24,8 @@ fn mini_spec(candidates: Vec<CandidateSpec>, workers: usize) -> CampaignSpec {
 
 fn tmp_cache(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
-    p.push(format!("raptor-study-test-{}-{name}.json", std::process::id()));
-    let _ = std::fs::remove_file(&p);
+    p.push(format!("raptor-study-test-{}-{name}-cache", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
     p
 }
 
@@ -111,11 +111,11 @@ fn warm_resume_of_a_full_study_performs_zero_runs() {
     let (half, s3) = run_study_resumed(&scenarios, &spec, 2, &path).unwrap();
     assert_eq!((s3.cached, s3.computed), (3, 3));
     assert_studies_identical(&half, &cold, "half-warm study resume");
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
-fn campaign_and_study_share_one_cache_file() {
+fn campaign_and_study_share_one_cache_dir() {
     // A standalone distributed campaign warms the cache; the study then
     // reuses those rows (the key already carries the scenario name) and
     // only computes the other scenario's pairs.
@@ -133,20 +133,18 @@ fn campaign_and_study_share_one_cache_file() {
     let (study, stats) = run_study_resumed(&scenarios, &spec, 2, &path).unwrap();
     assert_eq!((stats.cached, stats.computed), (2, 2), "horner rows reused");
     assert_eq!(study.scenarios.len(), 2);
-    let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_dir_all(&path);
 }
 
 #[test]
 fn consecutive_study_runs_append_distinct_stats_history_rows() {
     // Every resumed run appends exactly one scheduler-stats row to the
-    // stats_history.jsonl next to the cache — the measurable baseline
-    // future scheduler changes are compared against.
+    // stats_history.jsonl inside the cache directory — the measurable
+    // baseline future scheduler changes are compared against.
     let dir = std::env::temp_dir().join(format!("raptor-study-stats-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
-    let path = dir.join("study-cache.json");
-    let hist = raptor_lab::stats_history_path(&path);
-    let _ = std::fs::remove_file(&path);
-    let _ = std::fs::remove_file(&hist);
+    let path = dir.join("study-cache");
 
     let scenarios = study_scenarios(Some("ir/horner,ir/norm3")).unwrap();
     let spec = mini_spec(
@@ -155,6 +153,10 @@ fn consecutive_study_runs_append_distinct_stats_history_rows() {
     );
     let (_, s1) = run_study_resumed(&scenarios, &spec, 2, &path).unwrap();
     let (_, s2) = run_study_resumed(&scenarios, &spec, 3, &path).unwrap();
+    // The cache is a directory after the first run; the history lives
+    // inside it.
+    let hist = raptor_lab::stats_history_path(&path);
+    assert_eq!(hist, path.join("stats_history.jsonl"));
     assert_eq!((s1.cached, s1.computed), (0, 4));
     assert_eq!(s1.stealers, 4, "workers >= nranks: the budget is honored");
     assert!(s1.wall_s > 0.0);

@@ -3,8 +3,11 @@
 //! format × cutoff lattice, gate on fidelity, rank the survivors by the
 //! roofline-resolved predicted speedup. Since the distributed-campaign
 //! work the sweep shards across minimpi ranks (`--ranks N`), restarts
-//! warm from an outcome cache (`--resume <path>`), and can restrict
-//! itself to the GPU-native fp32/fp64 lattice (`--native`). `--study`
+//! warm from an outcome cache (`--resume <dir>` — a sharded cache
+//! directory that any number of concurrent processes append to; a
+//! legacy single-file cache migrates in place on first load), and can
+//! restrict itself to the GPU-native fp32/fp64 lattice (`--native`).
+//! `--study`
 //! runs the paper's headline artifact instead: every registry scenario
 //! (or a `--scenarios a,b,c` subset) swept over the same lattice, the
 //! `(scenario, candidate)` pairs distributed with the work-stealing
@@ -15,15 +18,15 @@
 //! cargo run --release -p raptor-examples --bin codesign_advisor
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- eos/cellular
-//! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --ranks 4 --resume sweep.json
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --ranks 4 --resume sweep-cache
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --native
 //! # the full-registry study, work-stolen across 4 ranks, resumable
-//! cargo run --release -p raptor-examples --bin codesign_advisor -- --study --ranks 4 --resume study.json
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --study --ranks 4 --resume study-cache
 //! cargo run --release -p raptor-examples --bin codesign_advisor -- --tiny --study --scenarios ir/horner,eos/cellular
 //! # resume-drill maintenance: drop every other cached row
-//! cargo run --release -p raptor-examples --bin codesign_advisor -- --cache-evict-half sweep.json
-//! # render the scheduler-stats trend recorded next to a cache
-//! cargo run --release -p raptor-examples --bin codesign_advisor -- --stats-history stats_history.jsonl
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --cache-evict-half sweep-cache
+//! # render the scheduler-stats trend recorded inside a cache dir
+//! cargo run --release -p raptor-examples --bin codesign_advisor -- --stats-history sweep-cache/stats_history.jsonl
 //! ```
 
 use raptor_examples::parse_lab_args;

@@ -7,13 +7,16 @@
 //! rank-0 row owner, so rows are identical to the serial search);
 //! `--native` answers the §3.6 GPU question instead (a fp32/fp64-only
 //! campaign — bisecting mantissa widths makes no sense when only
-//! hardware formats are on the table).
+//! hardware formats are on the table); `--resume DIR` hunts against a
+//! sharded probe cache, so interrupted hunts restart warm and a
+//! completed hunt replays with zero scenario runs.
 //!
 //! ```sh
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- --tiny
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- hydro/sod --ranks 3
 //! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- --tiny --native
+//! cargo run --release -p raptor-examples --bin sedov_precision_hunt -- --tiny --resume cache-dir
 //! ```
 //!
 //! `--tiny` switches to the mini scale (coarse grid, few steps) for CI
@@ -21,8 +24,9 @@
 
 use raptor_examples::parse_lab_args;
 use raptor_lab::{
-    native_candidates, precision_search_distributed_stats, run_campaign_distributed,
-    run_campaign_resumed, search_to_json, study_scenarios, CampaignSpec, Scenario, SearchSpec,
+    native_candidates, precision_search_distributed_stats, precision_search_resumed,
+    run_campaign_distributed, run_campaign_resumed, search_to_json, study_scenarios,
+    CampaignSpec, Scenario, SearchSpec,
 };
 
 fn main() {
@@ -89,12 +93,6 @@ fn main() {
         return;
     }
 
-    // Bisection probes are not cached (every probe depends on the ones
-    // before it); refuse --resume rather than silently ignoring it.
-    if args.resume.is_some() {
-        eprintln!("--resume only applies to campaign sweeps (try --native, or codesign_advisor)");
-        std::process::exit(2);
-    }
     let spec = SearchSpec::new(args.params, floor);
     for scenario in &scenarios {
         println!(
@@ -105,11 +103,18 @@ fn main() {
             args.ranks
         );
 
-        let (rows, stats) =
-            precision_search_distributed_stats(scenario.as_ref(), &spec, args.ranks);
+        // `--resume DIR` hunts against the sharded probe cache: every
+        // bisection probe is a deterministic (scenario, scale, cutoff, m)
+        // point, so a warm re-hunt replays the chains with zero scenario
+        // runs — and any number of concurrent hunts share the cache.
+        let (rows, stats) = match &args.resume {
+            Some(path) => precision_search_resumed(scenario.as_ref(), &spec, args.ranks, path)
+                .expect("resume cache"),
+            None => precision_search_distributed_stats(scenario.as_ref(), &spec, args.ranks),
+        };
         println!(
-            "steal: probes={} probes_by_rank={:?} stealers={} queue_wait={:.3}s",
-            stats.computed, stats.pairs_by_rank, stats.stealers, stats.queue_wait_s
+            "steal: probes cached={} computed={} probes_by_rank={:?} stealers={} queue_wait={:.3}s",
+            stats.cached, stats.computed, stats.pairs_by_rank, stats.stealers, stats.queue_wait_s
         );
 
         println!();

@@ -13,10 +13,13 @@
 //!   candidates, study pairs, and individual precision-search probes are
 //!   all stolen from a rank-0 queue); merged reports are
 //!   content-identical to the single-rank run;
-//! * `--resume <path>` — persist per-candidate outcomes to a cache file
-//!   so interrupted or repeated sweeps restart warm (campaign binaries);
-//!   every resumed run also appends its scheduler stats to the
-//!   `stats_history.jsonl` next to the cache, rendered by
+//! * `--resume <dir>` — persist per-candidate outcomes (and, for
+//!   precision hunts, per-probe results) to a sharded cache directory so
+//!   interrupted or repeated runs restart warm; any number of concurrent
+//!   processes share one cache (per-shard advisory locks), a legacy
+//!   single-file cache migrates in place on first load, and every
+//!   resumed run appends its scheduler stats to the
+//!   `stats_history.jsonl` inside the cache, rendered by
 //!   `codesign_advisor --stats-history <path>`;
 //! * `--native` — restrict the lattice to the GPU-native fp32/fp64
 //!   hardware path (`raptor_lab::native_candidates`, the §3.6 question);
@@ -42,7 +45,7 @@ pub struct LabArgs {
     pub params: LabParams,
     /// minimpi rank count (`--ranks N`, default 1).
     pub ranks: usize,
-    /// Outcome-cache path (`--resume <path>`), if resuming.
+    /// Outcome-cache directory (`--resume <dir>`), if resuming.
     pub resume: Option<PathBuf>,
     /// Restrict to the GPU-native lattice (`--native`).
     pub native: bool,
