@@ -45,6 +45,12 @@ impl WorkPtr {
     /// `i` must be in bounds and claimed by exactly one thread.
     #[allow(clippy::mut_from_ref)]
     unsafe fn item(&self, i: usize) -> &mut (LeafGeom, Block) {
+        // SAFETY: aliasing — the caller upholds the contract above — `i` is in
+        // bounds of the buffer the pointer was derived from, and the pool's
+        // atomic cursor hands each index to exactly one thread, so no other
+        // `&mut` to this element exists for the lifetime of the returned
+        // reference. The buffer itself outlives the sweep (the submitter
+        // blocks until every item is retired).
         unsafe { &mut *self.0.add(i) }
     }
 }

@@ -39,8 +39,11 @@ struct Job {
     max_workers: usize,
 }
 
-// The raw task pointer is only dereferenced while the submitter blocks in
-// the submit path, which keeps the underlying closure alive.
+// SAFETY: `Job` is Send despite the raw task pointer because the pointer is
+// only dereferenced while the submitting thread blocks inside `submit`, which
+// keeps the underlying closure (and everything it borrows) alive on the
+// submitter's stack; workers never retain the pointer past job completion, and
+// the generation counter ensures no worker touches a stale job.
 unsafe impl Send for Job {}
 
 struct PoolState {

@@ -17,6 +17,8 @@
 //! finishes in minutes while `RAPTOR_BENCH_FULL=1` gets closer to the
 //! paper's resolutions.
 
+#![forbid(unsafe_code)]
+
 use bigfloat::Format;
 use hydro::{Problem, ReconKind, DENS};
 use raptor_core::{Config, Session, Tracked};

@@ -37,6 +37,8 @@
 //! assert_eq!(sum.to_f64(), 1.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod big;
 pub mod format;
 pub mod kernel;

@@ -11,16 +11,27 @@ struct CountingAlloc;
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
 
+// SAFETY: pure pass-through to `System`; the counter is an atomic with no
+// allocator interaction, so all of `GlobalAlloc`'s layout/uniqueness
+// obligations are exactly those `System` already satisfies.
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: caller obligations forwarded verbatim to `System.alloc`.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `layout` is the caller's valid non-zero-size layout.
         unsafe { System.alloc(layout) }
     }
+    // SAFETY: caller obligations forwarded verbatim to `System.dealloc`.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` was returned by this allocator (i.e. by `System`)
+        // with the same `layout`, per the GlobalAlloc contract.
         unsafe { System.dealloc(ptr, layout) }
     }
+    // SAFETY: caller obligations forwarded verbatim to `System.realloc`.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCS.fetch_add(1, Ordering::Relaxed);
+        // SAFETY: `ptr`/`layout` describe a live allocation from `System`
+        // and `new_size` is non-zero, per the GlobalAlloc contract.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

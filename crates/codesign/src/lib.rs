@@ -35,6 +35,8 @@
 //! assert_eq!(p, if s.compute_bound_applies { s.compute_bound } else { s.memory_bound });
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 use bigfloat::Format;

@@ -80,6 +80,7 @@ pub fn burn_cell<R: Real>(cfg: &BurnCfg, x0: R, t0: R, dt: f64) -> BurnResult<R>
         // Choose a substep so X changes at most max_dx (explicit estimate).
         let r_now = rate(cfg, t);
         let tau = R::one() / (r_now + tiny);
+        // lint: allow(native-float, substep-size selection: dt bookkeeping around the Tracked update)
         let h = remaining.min(cfg.max_dx * tau.to_f64()).max(remaining * 1e-12);
         // Backward Euler with the rate lagged one Newton step on T:
         //   x1 = x / (1 + h r(T1)),  T1 from energy feedback.
@@ -97,7 +98,7 @@ pub fn burn_cell<R: Real>(cfg: &BurnCfg, x0: R, t0: R, dt: f64) -> BurnResult<R>
         de_total += de;
         x = x1;
         t = t1;
-        remaining -= h;
+        remaining -= h; // lint: allow(native-float, dt bookkeeping)
         substeps += 1;
         if x.to_f64() < 1e-12 {
             break;

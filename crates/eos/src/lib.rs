@@ -9,6 +9,8 @@
 //! inversion stops converging below ~40 mantissa bits, and loosening the
 //! tolerance does not rescue it (§6.1).
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod burn;

@@ -394,4 +394,27 @@ mod tests {
             "threshold {th} should sit near 40 bits (paper: 42)"
         );
     }
+
+    /// Batch-pairing twin: `invert_temperature_batch` against per-element
+    /// scalar `invert_temperature` — temperatures, iteration counts, and
+    /// convergence flags must agree exactly on plain f64.
+    #[test]
+    fn invert_temperature_batch_matches_scalar_per_element() {
+        let tab = EosTable::cellular_default();
+        let cfg = NewtonCfg::default();
+        let n = 24;
+        let rho: Vec<f64> = (0..n).map(|k| 10f64.powf(5.0 + 0.1 * (k % 10) as f64)).collect();
+        let t_true: Vec<f64> = (0..n).map(|k| 10f64.powf(7.5 + 0.08 * k as f64)).collect();
+        let e: Vec<f64> = (0..n).map(|k| tab.eint_of(rho[k], t_true[k])).collect();
+        let mut out =
+            vec![NewtonResult { t: 0.0f64, iters: 0, converged: false, resid: 0.0 }; n];
+        let mut ws = NewtonScratch::default();
+        invert_temperature_batch(&tab, &rho, &e, 1e8, &cfg, &mut out, &mut ws);
+        for k in 0..n {
+            let r = invert_temperature(&tab, rho[k], e[k], 1e8, &cfg);
+            assert_eq!(out[k].t.to_bits(), r.t.to_bits(), "t k={k}");
+            assert_eq!(out[k].iters, r.iters, "iters k={k}");
+            assert_eq!(out[k].converged, r.converged, "converged k={k}");
+        }
+    }
 }

@@ -11,6 +11,8 @@
 //! `f64` for the reference run and [`raptor_core::Tracked`] for the
 //! instrumented run.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod problems;

@@ -1,6 +1,8 @@
 //! Problem setups and the simulation driver: the **Sedov** blast wave and
 //! **Sod** shock tube workloads of the paper (§4.2, Fig. 6) plus a generic
 //! time-stepping loop with AMR regridding.
+//!
+//! lint: allow(native-float, problem setup and driver: initial-condition geometry and dt/t bookkeeping; the kernel math lives in recon/riemann/sweep behind Real)
 
 use crate::recon::ReconKind;
 use crate::state::{prim_to_cons, GammaLaw, Prim, DENS, ENER, MOMX, MOMY, NVAR};

@@ -431,4 +431,70 @@ mod tests {
         assert_eq!(physical_flux(w, &eos, 0).rho, 6.0);
         assert_eq!(physical_flux(w, &eos, 1).rho, -2.0);
     }
+
+    /// Differential twins required by the batch-pairing lint rule: the
+    /// `GammaLaw` slice evaluators must reproduce their scalar twins bit
+    /// for bit on plain f64 — the batch tier's contract with Tracked
+    /// dispatch (see `crates/raptor-lint`).
+    #[test]
+    fn eos_batch_twins_bit_identical_to_scalar() {
+        let eos = GammaLaw { gamma: 1.4 };
+        let n = 17;
+        let rho: Vec<f64> = (0..n).map(|k| 0.3 + 0.11 * k as f64).collect();
+        let val: Vec<f64> = (0..n).map(|k| 0.8 + 0.07 * k as f64).collect();
+        let mut ws: Vec<f64> = Vec::new();
+        let mut out = vec![0.0; n];
+        eos.pressure_batch(&rho, &val, &mut ws, &mut out);
+        for k in 0..n {
+            assert_eq!(out[k].to_bits(), eos.pressure::<f64>(rho[k], val[k]).to_bits());
+        }
+        eos.eint_batch(&rho, &val, &mut ws, &mut out);
+        for k in 0..n {
+            assert_eq!(out[k].to_bits(), eos.eint::<f64>(rho[k], val[k]).to_bits());
+        }
+        eos.sound_speed_batch(&rho, &val, &mut ws, &mut out);
+        for k in 0..n {
+            assert_eq!(out[k].to_bits(), eos.sound_speed::<f64>(rho[k], val[k]).to_bits());
+        }
+    }
+
+    /// Batch-pairing twins for the conversion layer: `prim_to_cons_batch`
+    /// and `physical_flux_batch` against per-element scalar conversions.
+    #[test]
+    fn conversion_batch_twins_bit_identical_to_scalar() {
+        let eos = GammaLaw { gamma: 1.4 };
+        let n = 23;
+        let mut w = P4::new();
+        w.resize(n);
+        for k in 0..n {
+            let x = k as f64;
+            w.rho[k] = 0.4 + 0.13 * x;
+            w.vx[k] = (0.7 * x).sin();
+            w.vy[k] = (0.4 * x).cos() - 0.5;
+            w.p[k] = 0.9 + 0.08 * x;
+        }
+        let mut u = C4::new();
+        let mut t = Tmp::new();
+        let mut ws: Vec<f64> = Vec::new();
+        prim_to_cons_batch(&eos, &w, &mut u, &mut t, &mut ws);
+        for k in 0..n {
+            let s = prim_to_cons(Prim { rho: w.rho[k], vx: w.vx[k], vy: w.vy[k], p: w.p[k] }, &eos);
+            assert_eq!(u.rho[k].to_bits(), s.rho.to_bits(), "rho k={k}");
+            assert_eq!(u.mx[k].to_bits(), s.mx.to_bits(), "mx k={k}");
+            assert_eq!(u.my[k].to_bits(), s.my.to_bits(), "my k={k}");
+            assert_eq!(u.e[k].to_bits(), s.e.to_bits(), "e k={k}");
+        }
+        let mut f = C4::new();
+        for axis in [0usize, 1] {
+            physical_flux_batch(&eos, &w, axis, &mut u, &mut f, &mut t, &mut ws);
+            for k in 0..n {
+                let wk = Prim { rho: w.rho[k], vx: w.vx[k], vy: w.vy[k], p: w.p[k] };
+                let s = physical_flux(wk, &eos, axis);
+                assert_eq!(f.rho[k].to_bits(), s.rho.to_bits(), "rho axis={axis} k={k}");
+                assert_eq!(f.mx[k].to_bits(), s.mx.to_bits(), "mx axis={axis} k={k}");
+                assert_eq!(f.my[k].to_bits(), s.my.to_bits(), "my axis={axis} k={k}");
+                assert_eq!(f.e[k].to_bits(), s.e.to_bits(), "e axis={axis} k={k}");
+            }
+        }
+    }
 }

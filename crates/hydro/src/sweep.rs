@@ -218,6 +218,7 @@ fn sweep_block<R: Real, E: Eos>(
 ) {
     let (n_along, n_cross) = if axis == 0 { (lay.nx, lay.ny) } else { (lay.ny, lay.nx) };
     let ng = lay.ng;
+    // lint: allow(native-float, dt/h is the per-sweep CFL ratio lifted once at the kernel boundary)
     let dt_h = R::from_f64(dt / h);
     // Padded line of primitives, reused per line.
     let mut line: Vec<Prim<R>> = Vec::with_capacity(n_along + 2 * ng);

@@ -8,6 +8,8 @@
 //! of the deepest AMR level); an AMR *shadow mesh* tracks the interface
 //! and provides the per-cell level map used for dynamic truncation —
 //! the same information Flash-X's real octree provides.
+//!
+//! lint: allow(native-float, benchmark driver: initial geometry and shadow-mesh banding plus diagnostics (centroid/area/interface sampling); all truncation-targeted flow math lives in solver::step)
 
 use crate::solver::{compute_dt, reinitialize, step, Grid, InsParams};
 use amr::{adapt_with, BcSpec, Decision, Mesh, MeshParams};

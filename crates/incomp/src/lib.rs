@@ -7,6 +7,8 @@
 //! PDE level-set reinitialization, and an AMR shadow mesh that provides
 //! the per-cell refinement level for the selective truncation strategies.
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod bubble;

@@ -9,6 +9,8 @@
 //! V-cycles with red-black Gauss–Seidel smoothing, half-weighting
 //! restriction and bilinear prolongation; the null space (constants) is
 //! projected out of both the RHS and the iterates.
+//!
+//! lint: allow(native-float, Hypre-substitute multigrid: an external-library stand-in that is never truncated (paper §3.6) and runs entirely in plain f64 by design)
 
 /// A scalar field on a uniform `nx x ny` grid (no ghosts; Neumann handled
 /// by one-sided stencils).

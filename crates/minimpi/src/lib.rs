@@ -80,6 +80,8 @@
 //! assert!(results.iter().all(|&(_, t)| t == 3.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;

@@ -229,14 +229,22 @@ impl Tracked {
     /// false under mem-mode sessions.
     #[inline]
     pub fn raw_slice(xs: &[Tracked]) -> &[f64] {
-        // SAFETY: Tracked is repr(transparent) over f64.
+        // SAFETY: `Tracked` is `repr(transparent)` over `f64`, so the two
+        // types have identical size, alignment, and validity, and a pointer
+        // to `[Tracked; n]` is a valid pointer to `[f64; n]`. The returned
+        // slice borrows `xs` for the same lifetime (tied by the signature),
+        // so the shared borrow rules prevent any concurrent `&mut` aliasing.
         unsafe { core::slice::from_raw_parts(xs.as_ptr().cast::<f64>(), xs.len()) }
     }
 
     /// Mutable variant of [`Tracked::raw_slice`].
     #[inline]
     pub fn raw_slice_mut(xs: &mut [Tracked]) -> &mut [f64] {
-        // SAFETY: Tracked is repr(transparent) over f64.
+        // SAFETY: same layout argument as `raw_slice` (`repr(transparent)`
+        // guarantees identical size/alignment/validity). Exclusivity holds
+        // because the `&mut [Tracked]` input is the unique borrow of the
+        // buffer and the output reborrows it for the same lifetime — the
+        // original slice is inaccessible while the `&mut [f64]` view lives.
         unsafe { core::slice::from_raw_parts_mut(xs.as_mut_ptr().cast::<f64>(), xs.len()) }
     }
 

@@ -138,6 +138,8 @@
 //! println!("{}", study.render_markdown());
 //! ```
 
+#![forbid(unsafe_code)]
+
 #![warn(missing_docs)]
 
 pub mod cache;

@@ -1,0 +1,448 @@
+//! A lightweight hand-rolled Rust lexer — just enough fidelity for the
+//! repo's lint rules, in the same spirit as the hand-rolled JSON layer in
+//! `raptor-core`.
+//!
+//! The lexer splits a source file into a token stream (identifiers,
+//! literals, punctuation — comments and whitespace stripped) plus a
+//! parallel list of [`Comment`]s with their own line numbers, because two
+//! of the lint rules are *about* comments (`// SAFETY:` justifications and
+//! the `// lint: allow(...)` annotation grammar). It understands exactly
+//! the constructs that would otherwise corrupt a token-level analysis:
+//! strings (plain / raw / byte), char literals vs. lifetimes, nested block
+//! comments, float vs. integer literals (including `1e-6`, `1_000.0`, and
+//! type suffixes), and multi-character operators (`+=`, `::`, `->`, ...).
+//! It does **not** build a syntax tree — the rules do their own shallow,
+//! brace-depth-based scoping on the stream.
+
+/// Token classification.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (the rules treat keywords by name).
+    Ident,
+    /// Integer literal (any base, integer suffix or none).
+    Int,
+    /// Floating-point literal (has a fractional part, an exponent, or an
+    /// `f32`/`f64` suffix).
+    Float,
+    /// String literal (plain, raw, or byte; contents dropped).
+    Str,
+    /// Character literal.
+    Char,
+    /// Lifetime (`'a`).
+    Lifetime,
+    /// Punctuation / operator, possibly multi-character (`+=`, `::`).
+    Punct,
+}
+
+/// One lexed token.
+#[derive(Clone, Debug)]
+pub struct Token {
+    /// Kind of token.
+    pub kind: TokKind,
+    /// Source text (for `Str`/`Char` a placeholder, not the contents).
+    pub text: String,
+    /// 1-based source line.
+    pub line: usize,
+}
+
+/// One comment, line or block, doc or plain.
+#[derive(Clone, Debug)]
+pub struct Comment {
+    /// Full text including the `//` / `/*` sigils.
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// True for inner doc comments (`//!` / `/*!`): these attach to the
+    /// enclosing file/module rather than the next item.
+    pub inner_doc: bool,
+    /// True if nothing but whitespace precedes the comment on its line
+    /// (an "own-line" comment); false for trailing comments.
+    pub own_line: bool,
+}
+
+/// Lexed file: token stream + comment list.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// Multi-character operators, longest first so the greedy match wins.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lex `src` into tokens and comments. Never fails: unrecognized bytes
+/// become single-character punctuation, which is safe for every rule.
+pub fn lex(src: &str) -> Lexed {
+    let b = src.as_bytes();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    // Whether any non-whitespace token/comment has been seen on `line`.
+    let mut line_has_code = false;
+
+    while i < b.len() {
+        let c = b[i];
+        if c == b'\n' {
+            line += 1;
+            line_has_code = false;
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Line comment.
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'/' {
+            let start = i;
+            while i < b.len() && b[i] != b'\n' {
+                i += 1;
+            }
+            let text = src[start..i].to_string();
+            out.comments.push(Comment {
+                inner_doc: text.starts_with("//!"),
+                own_line: !line_has_code,
+                text,
+                line,
+            });
+            continue;
+        }
+        // Block comment (nested, as in Rust).
+        if c == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 0usize;
+            while i < b.len() {
+                if b[i] == b'/' && i + 1 < b.len() && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < b.len() && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    if b[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+            let text = src[start..i.min(b.len())].to_string();
+            out.comments.push(Comment {
+                inner_doc: text.starts_with("/*!"),
+                own_line: !line_has_code,
+                text,
+                line: start_line,
+            });
+            line_has_code = true;
+            continue;
+        }
+        line_has_code = true;
+        // Raw / byte strings: r"..", r#".."#, br"..", b"..".
+        if c == b'r' || c == b'b' {
+            if let Some(next) = lex_raw_or_byte_string(b, i, &mut line) {
+                out.tokens.push(Token { kind: TokKind::Str, text: "\"..\"".into(), line });
+                i = next;
+                continue;
+            }
+        }
+        // Plain string.
+        if c == b'"' {
+            i = lex_string(b, i, &mut line);
+            out.tokens.push(Token { kind: TokKind::Str, text: "\"..\"".into(), line });
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == b'\'' {
+            if let Some(next) = try_lex_char(b, i) {
+                out.tokens.push(Token { kind: TokKind::Char, text: "'.'".into(), line });
+                i = next;
+                continue;
+            }
+            // Lifetime: consume `'ident`.
+            let mut j = i + 1;
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            out.tokens.push(Token { kind: TokKind::Lifetime, text: src[i..j].to_string(), line });
+            i = j;
+            continue;
+        }
+        // Number.
+        if c.is_ascii_digit() {
+            let (next, kind, text) = lex_number(src, b, i);
+            out.tokens.push(Token { kind, text, line });
+            i = next;
+            continue;
+        }
+        // Identifier / keyword (including raw identifiers `r#type` —
+        // the `r` path above only fires for quotes).
+        if c == b'_' || c.is_ascii_alphabetic() {
+            let start = i;
+            let mut j = i;
+            if c == b'r' && i + 1 < b.len() && b[i + 1] == b'#' {
+                j += 2; // raw identifier sigil
+            }
+            while j < b.len() && (b[j] == b'_' || b[j].is_ascii_alphanumeric()) {
+                j += 1;
+            }
+            out.tokens.push(Token { kind: TokKind::Ident, text: src[start..j].to_string(), line });
+            i = j;
+            continue;
+        }
+        // Multi-char operator.
+        let rest = &src[i..];
+        if let Some(op) = MULTI_PUNCT.iter().find(|op| rest.starts_with(**op)) {
+            out.tokens.push(Token { kind: TokKind::Punct, text: (*op).to_string(), line });
+            i += op.len();
+            continue;
+        }
+        // Single-char punctuation (also the fallback for any stray byte).
+        let ch_len = src[i..].chars().next().map(char::len_utf8).unwrap_or(1);
+        out.tokens.push(Token { kind: TokKind::Punct, text: src[i..i + ch_len].to_string(), line });
+        i += ch_len;
+    }
+    out
+}
+
+/// Consume a plain `"..."` string starting at `i` (which is the quote).
+fn lex_string(b: &[u8], mut i: usize, line: &mut usize) -> usize {
+    i += 1;
+    while i < b.len() {
+        match b[i] {
+            b'\\' => i += 2,
+            b'"' => return i + 1,
+            b'\n' => {
+                *line += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    i
+}
+
+/// Try to consume `r".."` / `r#".."#` / `b".."` / `br".."` starting at the
+/// `r`/`b`. Returns the index past the string, or None if this is not a
+/// string (e.g. just an identifier starting with r/b).
+fn lex_raw_or_byte_string(b: &[u8], start: usize, line: &mut usize) -> Option<usize> {
+    let mut i = start;
+    if b[i] == b'b' {
+        i += 1;
+        if i < b.len() && b[i] == b'"' {
+            return Some(lex_string(b, i, line));
+        }
+        if i >= b.len() || b[i] != b'r' {
+            return None;
+        }
+    }
+    // At `r`: raw string if followed by `#`* then `"`.
+    i += 1;
+    let mut hashes = 0usize;
+    while i < b.len() && b[i] == b'#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= b.len() || b[i] != b'"' {
+        return None;
+    }
+    i += 1;
+    // Scan for `"` followed by `hashes` hashes.
+    while i < b.len() {
+        if b[i] == b'\n' {
+            *line += 1;
+        }
+        if b[i] == b'"' {
+            let mut j = i + 1;
+            let mut h = 0usize;
+            while j < b.len() && b[j] == b'#' && h < hashes {
+                h += 1;
+                j += 1;
+            }
+            if h == hashes {
+                return Some(j);
+            }
+        }
+        i += 1;
+    }
+    Some(i)
+}
+
+/// Try to consume a char literal `'x'` / `'\n'`. Returns None for
+/// lifetimes.
+fn try_lex_char(b: &[u8], i: usize) -> Option<usize> {
+    // i points at the opening quote.
+    let mut j = i + 1;
+    if j >= b.len() {
+        return None;
+    }
+    if b[j] == b'\\' {
+        j += 2;
+        // Escapes like \u{1F600} run to the closing brace.
+        while j < b.len() && b[j] != b'\'' {
+            j += 1;
+        }
+        return if j < b.len() { Some(j + 1) } else { None };
+    }
+    // Multi-byte UTF-8 scalar or single byte, then a closing quote.
+    let ch_len = if b[j] < 0x80 {
+        1
+    } else {
+        match b[j] {
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    };
+    j += ch_len;
+    if j < b.len() && b[j] == b'\'' {
+        Some(j + 1)
+    } else {
+        None // `'a` with no closing quote: a lifetime
+    }
+}
+
+/// Lex a number starting at a digit. Distinguishes float from integer:
+/// a `.` followed by a digit (or end-of-primary), an exponent, or an
+/// `f32`/`f64` suffix makes it a float. `1.max(2)` stays an integer plus
+/// a method call; `0..5` stays a range of integers.
+fn lex_number(src: &str, b: &[u8], start: usize) -> (usize, TokKind, String) {
+    let mut i = start;
+    let mut is_float = false;
+    // Hex/oct/bin literals are always integers.
+    if b[i] == b'0' && i + 1 < b.len() && matches!(b[i + 1], b'x' | b'o' | b'b') {
+        i += 2;
+        while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_') {
+            i += 1;
+        }
+        return (i, TokKind::Int, src[start..i].to_string());
+    }
+    while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+        i += 1;
+    }
+    // Fractional part: `.` not followed by another `.` (range) or an
+    // identifier char (method call / tuple field).
+    if i < b.len() && b[i] == b'.' {
+        let after = b.get(i + 1).copied();
+        let next_is_digit = after.is_some_and(|c| c.is_ascii_digit());
+        let next_blocks = after.is_some_and(|c| c == b'.' || c == b'_' || c.is_ascii_alphabetic());
+        if next_is_digit || !next_blocks {
+            is_float = true;
+            i += 1;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Exponent.
+    if i < b.len() && (b[i] == b'e' || b[i] == b'E') {
+        let mut j = i + 1;
+        if j < b.len() && (b[j] == b'+' || b[j] == b'-') {
+            j += 1;
+        }
+        if j < b.len() && b[j].is_ascii_digit() {
+            is_float = true;
+            i = j;
+            while i < b.len() && (b[i].is_ascii_digit() || b[i] == b'_') {
+                i += 1;
+            }
+        }
+    }
+    // Suffix.
+    let suf_start = i;
+    while i < b.len() && (b[i] == b'_' || b[i].is_ascii_alphanumeric()) {
+        i += 1;
+    }
+    let suffix = &src[suf_start..i];
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    } else if !suffix.is_empty() {
+        is_float = false; // u8/i64/usize/... integer suffix
+    }
+    let kind = if is_float { TokKind::Float } else { TokKind::Int };
+    (i, kind, src[start..i].to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn numbers_classify() {
+        let toks = kinds("1 2.0 1e-6 1_000.5 3f64 7u32 0xff 0.5e3 2. 1.max(2)");
+        let floats: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Float).map(|(_, t)| t.clone()).collect();
+        assert_eq!(floats, ["2.0", "1e-6", "1_000.5", "3f64", "0.5e3", "2."]);
+        let ints: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Int).map(|(_, t)| t.clone()).collect();
+        assert_eq!(ints, ["1", "7u32", "0xff", "1", "2"]);
+    }
+
+    #[test]
+    fn ranges_are_not_floats() {
+        let toks = kinds("for i in 0..5 { x[i] }");
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Float));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+    }
+
+    #[test]
+    fn strings_chars_lifetimes() {
+        let toks = kinds(r#"let s = "a * 2.0"; let c = '*'; fn f<'a>(x: &'a str) {}"#);
+        assert!(toks.iter().all(|(k, _)| *k != TokKind::Float), "no float inside string");
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Str));
+        assert!(toks.iter().any(|(k, _)| *k == TokKind::Char));
+        assert!(toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).count() == 2);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let lexed = lex("let x = r#\"2.0 * 3.0\"#; /* outer /* 5.0 */ 6.0 */ let y = 1;");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Float));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("outer"));
+    }
+
+    #[test]
+    fn comments_track_lines_and_ownership() {
+        let src = "let a = 1; // trailing\n// own line\nlet b = 2.0;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].own_line);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].own_line);
+        assert_eq!(lexed.comments[1].line, 2);
+        let b_tok = lexed.tokens.iter().find(|t| t.text == "2.0").unwrap();
+        assert_eq!(b_tok.line, 3);
+    }
+
+    #[test]
+    fn multi_char_operators_lex_greedily() {
+        let toks = kinds("a += b; c ::< d -> e => f <<= g ..= h");
+        let puncts: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Punct).map(|(_, t)| t.as_str()).collect();
+        assert!(puncts.contains(&"+="));
+        assert!(puncts.contains(&"::"));
+        assert!(puncts.contains(&"->"));
+        assert!(puncts.contains(&"=>"));
+        assert!(puncts.contains(&"<<="));
+        assert!(puncts.contains(&"..="));
+    }
+
+    #[test]
+    fn doc_comment_floats_ignored() {
+        let lexed = lex("/// computes `a * 2.0`\n//! module: 3.0\nfn f() {}");
+        assert!(lexed.tokens.iter().all(|t| t.kind != TokKind::Float));
+        assert!(lexed.comments[1].inner_doc);
+    }
+}

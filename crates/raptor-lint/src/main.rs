@@ -1,0 +1,68 @@
+//! CLI for `raptor-lint`. Usage:
+//!
+//! ```text
+//! cargo run -p raptor-lint            # lint the workspace, text output
+//! cargo run -p raptor-lint -- --json  # machine-readable findings
+//! cargo run -p raptor-lint -- <root>  # lint another workspace root
+//! ```
+//!
+//! Exit status: 0 when clean, 1 with findings, 2 on usage/IO errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--help" | "-h" => {
+                eprintln!("usage: raptor-lint [--json] [workspace-root]");
+                return ExitCode::SUCCESS;
+            }
+            other if root.is_none() && !other.starts_with('-') => {
+                root = Some(PathBuf::from(other))
+            }
+            other => {
+                eprintln!("raptor-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let findings = match raptor_lint::lint_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("raptor-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", raptor_lint::report::render_json(&findings));
+    } else {
+        print!("{}", raptor_lint::report::render_text(&findings));
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+/// Default root: the current directory if it looks like the workspace,
+/// otherwise two levels up from this crate's manifest (so the binary
+/// works from any cwd under `cargo run -p raptor-lint`).
+fn default_root() -> PathBuf {
+    let cwd = PathBuf::from(".");
+    if cwd.join("crates").is_dir() {
+        return cwd;
+    }
+    if let Ok(manifest) = std::env::var("CARGO_MANIFEST_DIR") {
+        let ws = PathBuf::from(manifest).join("../..");
+        if ws.join("crates").is_dir() {
+            return ws;
+        }
+    }
+    cwd
+}

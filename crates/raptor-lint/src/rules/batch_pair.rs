@@ -1,0 +1,238 @@
+//! Rule 4 — **batch-pairing**: every public `*_batch` kernel keeps its
+//! contract visible.
+//!
+//! The batch tier's whole claim is *bit-identity with the scalar path*
+//! (see `ROADMAP.md`): a `foo_batch` without a scalar `foo` twin has
+//! nothing to be identical *to*, and a pair nobody differential-tests
+//! can drift silently. So for each public `fn *_batch` (including
+//! methods of public traits) outside test code:
+//!
+//! * a scalar twin — a function of the same name minus `_batch` — must
+//!   exist in the same crate;
+//! * the batch name must be referenced from test code somewhere in the
+//!   workspace: a `#[cfg(test)]` region, an integration-test/bench
+//!   file, or the `raptor-examples` crate (home of the `batch_diff`
+//!   smoke).
+
+use crate::report::Finding;
+use crate::{collect_fns, FileKind, SourceFile, TokKind, Workspace};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Run the rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    // (crate, fn name) -> first definition site, public batch fns only.
+    let mut batch: BTreeMap<(String, String), (String, usize)> = BTreeMap::new();
+    // All fn names per crate (any visibility) for twin lookup.
+    let mut names: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &ws.files {
+        if f.kind != FileKind::Src {
+            continue;
+        }
+        let pub_traits = pub_trait_ranges(f);
+        for item in collect_fns(f) {
+            names.entry(f.crate_name.clone()).or_default().insert(item.name.clone());
+            if !item.name.ends_with("_batch") || f.in_test(item.line) {
+                continue;
+            }
+            let in_pub_trait =
+                pub_traits.iter().any(|&(s, e)| s < item.fn_idx && item.fn_idx < e);
+            if !(is_pub_fn(f, item.fn_idx) || in_pub_trait) {
+                continue;
+            }
+            batch
+                .entry((f.crate_name.clone(), item.name.clone()))
+                .or_insert((f.rel.clone(), item.line));
+        }
+    }
+
+    let mut out = Vec::new();
+    for ((crate_name, name), (rel, line)) in &batch {
+        let scalar = name.trim_end_matches("_batch");
+        let has_twin = names.get(crate_name).is_some_and(|n| n.contains(scalar));
+        if !has_twin {
+            out.push(Finding::new(
+                "batch-pairing",
+                rel,
+                *line,
+                format!("pub `{name}` has no scalar twin `{scalar}` in crate `{crate_name}`"),
+            ));
+        }
+        if !referenced_by_tests(ws, name, rel, *line) {
+            out.push(Finding::new(
+                "batch-pairing",
+                rel,
+                *line,
+                format!(
+                    "pub `{name}` is not referenced by any differential test or smoke \
+                     (tests, #[cfg(test)], or raptor-examples)"
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// Whether the `fn` at `fn_idx` is `pub` (unrestricted). `pub(crate)`
+/// and friends are internal API and exempt from pairing.
+fn is_pub_fn(file: &SourceFile, fn_idx: usize) -> bool {
+    let toks = &file.lexed.tokens;
+    let mut k = fn_idx;
+    while k > 0 {
+        k -= 1;
+        match toks[k].text.as_str() {
+            "unsafe" | "const" | "async" | "extern" => continue,
+            ")" => {
+                // `pub(crate)` / `pub(super)`: restricted visibility.
+                let Some(open) = file.matching(k) else { return false };
+                if open >= 1 && toks[open - 1].text == "pub" {
+                    return false;
+                }
+                return false;
+            }
+            "pub" => return true,
+            _ => {
+                // Extern ABI string (`extern "C"`) is the only non-ident
+                // modifier; anything else ends the modifier run.
+                if toks[k].kind == TokKind::Str {
+                    continue;
+                }
+                return false;
+            }
+        }
+    }
+    false
+}
+
+/// Token-index ranges `(open, close)` of `pub trait` bodies.
+fn pub_trait_ranges(file: &SourceFile) -> Vec<(usize, usize)> {
+    let toks = &file.lexed.tokens;
+    let mut out = Vec::new();
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "trait" || !(i >= 1 && toks[i - 1].text == "pub") {
+            continue;
+        }
+        let mut k = i + 1;
+        while let Some(t) = toks.get(k) {
+            match t.text.as_str() {
+                "{" => {
+                    if let Some(close) = file.matching(k) {
+                        out.push((k, close));
+                    }
+                    break;
+                }
+                ";" => break,
+                "(" | "[" => k = file.matching(k).unwrap_or(k),
+                _ => {}
+            }
+            k += 1;
+        }
+    }
+    out
+}
+
+/// Whether `name` appears as an identifier anywhere test-shaped: a Test
+/// file, a `#[cfg(test)]` region, or `raptor-examples` — excluding the
+/// definition site itself.
+fn referenced_by_tests(ws: &Workspace, name: &str, def_rel: &str, def_line: usize) -> bool {
+    for f in &ws.files {
+        for t in &f.lexed.tokens {
+            if t.kind != TokKind::Ident || t.text != name {
+                continue;
+            }
+            if f.rel == def_rel && t.line == def_line {
+                continue; // the definition itself
+            }
+            if f.kind == FileKind::Test
+                || f.crate_name == "raptor-examples"
+                || f.in_test(t.line)
+            {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileKind, SourceFile, Workspace};
+
+    fn ws(files: Vec<(&str, &str, FileKind, &str)>) -> Workspace {
+        Workspace {
+            files: files
+                .into_iter()
+                .map(|(rel, krate, kind, src)| {
+                    SourceFile::new(rel.into(), krate.into(), kind, src)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn paired_and_tested_is_clean() {
+        let w = ws(vec![(
+            "crates/hydro/src/k.rs",
+            "hydro",
+            FileKind::Src,
+            "pub fn flux(u: f64) -> f64 { u }\npub fn flux_batch(u: &[f64]) {}\n#[cfg(test)]\nmod tests {\n    #[test]\n    fn diff() { super::flux_batch(&[]); }\n}",
+        )]);
+        assert!(check(&w).is_empty());
+    }
+
+    #[test]
+    fn missing_twin_flagged() {
+        let w = ws(vec![(
+            "crates/hydro/src/k.rs",
+            "hydro",
+            FileKind::Src,
+            "pub fn flux_batch(u: &[f64]) {}\n#[cfg(test)]\nmod t { #[test] fn d() { super::flux_batch(&[]); } }",
+        )]);
+        let out = check(&w);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("no scalar twin"));
+    }
+
+    #[test]
+    fn untested_batch_flagged() {
+        let w = ws(vec![(
+            "crates/hydro/src/k.rs",
+            "hydro",
+            FileKind::Src,
+            "pub fn flux(u: f64) -> f64 { u }\npub fn flux_batch(u: &[f64]) {}",
+        )]);
+        let out = check(&w);
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert!(out[0].msg.contains("not referenced"));
+    }
+
+    #[test]
+    fn private_batch_exempt() {
+        let w = ws(vec![(
+            "crates/hydro/src/k.rs",
+            "hydro",
+            FileKind::Src,
+            "fn helper_batch(u: &[f64]) {}\npub(crate) fn also_batch(u: &[f64]) {}",
+        )]);
+        assert!(check(&w).is_empty());
+    }
+
+    #[test]
+    fn examples_reference_counts() {
+        let w = ws(vec![
+            (
+                "crates/hydro/src/k.rs",
+                "hydro",
+                FileKind::Src,
+                "pub fn flux(u: f64) -> f64 { u }\npub fn flux_batch(u: &[f64]) {}",
+            ),
+            (
+                "examples/src/bin/batch_diff.rs",
+                "raptor-examples",
+                FileKind::Src,
+                "fn main() { hydro::flux_batch(&[]); }",
+            ),
+        ]);
+        assert!(check(&w).is_empty());
+    }
+}

@@ -1,0 +1,7 @@
+//! The four repo-specific rules. Each module exposes
+//! `check(&Workspace) -> Vec<Finding>`.
+
+pub mod batch_pair;
+pub mod locks;
+pub mod tracked;
+pub mod unsafe_audit;

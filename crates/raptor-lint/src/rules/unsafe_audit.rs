@@ -1,0 +1,227 @@
+//! Rule 2 — **unsafe-audit**: every `unsafe` site carries a written
+//! justification, and crates with no unsafe at all say so in the
+//! compiler's language.
+//!
+//! * An `unsafe {}` block or `unsafe impl` must have a `// SAFETY:`
+//!   comment on the same line or on the contiguous comment/attribute
+//!   lines directly above it.
+//! * An `unsafe fn` may instead carry a `# Safety` section in its doc
+//!   comment — that is the idiomatic place for the *caller's*
+//!   obligations, while `SAFETY:` comments argue the *implementation*.
+//! * A crate whose `src/` contains zero `unsafe` tokens must declare
+//!   `#![forbid(unsafe_code)]` in its crate root, so the audit surface
+//!   cannot grow silently: adding unsafe to such a crate is a compile
+//!   error until the forbid is consciously removed (and then this rule
+//!   starts demanding justifications).
+//!
+//! Unlike the float rule, this one applies to test code too — the
+//! `GlobalAlloc` shim in `bigfloat/tests` is every bit as capable of UB
+//! as kernel code.
+
+use crate::report::Finding;
+use crate::{tokens_by_line, FileKind, SourceFile, Workspace};
+use std::collections::{BTreeMap, HashMap};
+
+/// Run the rule over the workspace.
+pub fn check(ws: &Workspace) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for f in &ws.files {
+        check_file(f, &mut out);
+    }
+    check_forbids(ws, &mut out);
+    out
+}
+
+/// What an `unsafe` token introduces.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Site {
+    Block,
+    Impl,
+    Fn,
+    Trait,
+}
+
+fn check_file(file: &SourceFile, out: &mut Vec<Finding>) {
+    let toks = &file.lexed.tokens;
+    let by_line = tokens_by_line(file);
+    for (i, t) in toks.iter().enumerate() {
+        if t.text != "unsafe" {
+            continue;
+        }
+        // Classify by the next token: `unsafe {`, `unsafe impl`,
+        // `unsafe fn`, `unsafe trait`, `unsafe extern` (treated as a
+        // block-like site).
+        let site = match toks.get(i + 1).map(|n| n.text.as_str()) {
+            Some("impl") => Site::Impl,
+            Some("fn") => Site::Fn,
+            Some("trait") => Site::Trait,
+            _ => Site::Block,
+        };
+        if justified(file, &by_line, t.line, site) {
+            continue;
+        }
+        let what = match site {
+            Site::Block => "unsafe block",
+            Site::Impl => "unsafe impl",
+            Site::Fn => "unsafe fn",
+            Site::Trait => "unsafe trait",
+        };
+        let hint = if site == Site::Fn {
+            "`// SAFETY:` comment or `# Safety` doc section"
+        } else {
+            "`// SAFETY:` comment"
+        };
+        out.push(Finding::new(
+            "unsafe-audit",
+            &file.rel,
+            t.line,
+            format!("{what} without a {hint}"),
+        ));
+    }
+}
+
+/// Whether the `unsafe` at `line` has a justification: a `SAFETY:`
+/// comment trailing on the line itself, or in the contiguous run of
+/// comment/attribute lines directly above (`# Safety` docs also count
+/// for `unsafe fn`).
+fn justified(
+    file: &SourceFile,
+    by_line: &HashMap<usize, Vec<usize>>,
+    line: usize,
+    site: Site,
+) -> bool {
+    let accepts = |text: &str| {
+        text.contains("SAFETY:") || (site == Site::Fn && text.contains("# Safety"))
+    };
+    if file.lexed.comments.iter().any(|c| c.line == line && accepts(&c.text)) {
+        return true;
+    }
+    let mut l = line;
+    while l > 1 {
+        l -= 1;
+        let comments_here: Vec<_> =
+            file.lexed.comments.iter().filter(|c| c.line == l).collect();
+        if !comments_here.is_empty() {
+            if comments_here.iter().any(|c| accepts(&c.text)) {
+                return true;
+            }
+            continue; // keep walking up the comment run
+        }
+        // An attribute line (e.g. `#[inline]`) does not break the run.
+        let first_tok =
+            by_line.get(&l).and_then(|idxs| idxs.first()).map(|&i| &file.lexed.tokens[i]);
+        match first_tok {
+            Some(t) if t.text == "#" => continue,
+            // A code line (or a blank line with no comment) ends the run.
+            _ => return false,
+        }
+    }
+    false
+}
+
+/// Crates whose `src/` has zero unsafe must anchor that with
+/// `#![forbid(unsafe_code)]` in the crate root (`src/lib.rs`). Binary-
+/// only members are skipped — the satellite invariant is about library
+/// surfaces.
+fn check_forbids(ws: &Workspace, out: &mut Vec<Finding>) {
+    let mut crates: BTreeMap<&str, bool> = BTreeMap::new();
+    for f in &ws.files {
+        if f.kind == FileKind::Src {
+            let has_unsafe =
+                f.lexed.tokens.iter().any(|t| t.text == "unsafe");
+            *crates.entry(f.crate_name.as_str()).or_insert(false) |= has_unsafe;
+        }
+    }
+    for (name, has_unsafe) in crates {
+        if has_unsafe {
+            continue;
+        }
+        let Some(root) = ws
+            .files
+            .iter()
+            .find(|f| f.crate_name == name && f.rel.ends_with("src/lib.rs"))
+        else {
+            continue;
+        };
+        if !has_forbid_unsafe(root) {
+            out.push(Finding::new(
+                "unsafe-audit",
+                &root.rel,
+                1,
+                format!("crate `{name}` has no unsafe code but lacks `#![forbid(unsafe_code)]`"),
+            ));
+        }
+    }
+}
+
+/// Look for the inner attribute `#![forbid(unsafe_code)]` (possibly
+/// with other lints in the same `forbid`).
+fn has_forbid_unsafe(file: &SourceFile) -> bool {
+    let toks = &file.lexed.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if t.text == "#"
+            && toks.get(i + 1).is_some_and(|a| a.text == "!")
+            && toks.get(i + 2).is_some_and(|a| a.text == "[")
+        {
+            if let Some(close) = file.matching(i + 2) {
+                let inner: Vec<&str> =
+                    toks[i + 3..close].iter().map(|t| t.text.as_str()).collect();
+                if inner.first() == Some(&"forbid") && inner.contains(&"unsafe_code") {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FileKind, SourceFile};
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("crates/x/src/lib.rs".into(), "x".into(), FileKind::Src, src)
+    }
+
+    #[test]
+    fn safety_comment_above_accepted() {
+        let f = file("fn f() {\n    // SAFETY: ptr is valid for the whole call.\n    unsafe { g() }\n}");
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn attribute_does_not_break_comment_run() {
+        let f = file(
+            "// SAFETY: the impl upholds Send because T is owned.\n#[allow(dead_code)]\nunsafe impl Send for X {}",
+        );
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn missing_safety_flagged() {
+        let f = file("fn f() {\n    unsafe { g() }\n}");
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(out[0].msg.contains("unsafe block"));
+    }
+
+    #[test]
+    fn unsafe_fn_accepts_safety_doc() {
+        let f = file("/// Does things.\n///\n/// # Safety\n/// Caller must keep `p` alive.\nunsafe fn g(p: *const u8) {}");
+        let mut out = Vec::new();
+        check_file(&f, &mut out);
+        assert!(out.is_empty(), "{out:?}");
+    }
+
+    #[test]
+    fn forbid_attr_detected() {
+        assert!(has_forbid_unsafe(&file("#![forbid(unsafe_code)]\npub fn f() {}")));
+        assert!(!has_forbid_unsafe(&file("#![deny(missing_docs)]\npub fn f() {}")));
+    }
+}

@@ -1,0 +1,4 @@
+//! Unsafe-free crate that forgot `#![forbid(unsafe_code)]` — the
+//! forbid-audit seed.
+
+pub fn nothing() {}

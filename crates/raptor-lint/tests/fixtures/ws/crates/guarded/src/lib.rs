@@ -1,0 +1,6 @@
+//! Unsafe-free crate that anchors the invariant properly — must stay
+//! finding-free.
+
+#![forbid(unsafe_code)]
+
+pub fn nothing() {}

@@ -1,0 +1,58 @@
+//! Seeded violations for the tracked-escape, annotation, and
+//! batch-pairing rules. This fixture names itself `hydro` so it lands in
+//! the linter's kernel-crate set.
+
+#![forbid(unsafe_code)]
+
+pub fn escaped(a: f64, b: f64) -> f64 {
+    a * b
+}
+
+pub fn annotated(a: f64, b: f64) -> f64 {
+    a * b // lint: allow(native-float, seeded suppression for the fixture test)
+}
+
+pub fn missing_reason(a: f64) -> f64 {
+    a + 1.0 // lint: allow(native-float)
+}
+
+pub fn unknown_rule(a: f64) -> f64 {
+    a - 1.0 // lint: allow(no-such-rule, the rule name is wrong on purpose)
+}
+
+pub fn kernel_batch(xs: &[f64], out: &mut [f64]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x + 1.0;
+    }
+}
+
+pub fn paired(x: f64) -> f64 {
+    x
+}
+
+pub fn paired_batch(xs: &[f64], out: &mut [f64]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x;
+    }
+}
+
+pub fn tested(x: f64) -> f64 {
+    x
+}
+
+pub fn tested_batch(xs: &[f64], out: &mut [f64]) {
+    for (o, x) in out.iter_mut().zip(xs) {
+        *o = *x;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn twin() {
+        let xs = [1.0];
+        let mut out = [0.0];
+        super::tested_batch(&xs, &mut out);
+        assert_eq!(out[0], super::tested(xs[0]));
+    }
+}

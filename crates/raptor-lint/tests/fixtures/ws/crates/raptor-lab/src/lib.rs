@@ -1,0 +1,54 @@
+//! Seeded lock-discipline violations: nested shard scopes, a shard lock
+//! held across a cache entry point, and a two-mutex ordering cycle. The
+//! crate names itself `raptor-lab` so its files land in the linter's lock
+//! scope.
+
+#![forbid(unsafe_code)]
+
+use std::path::Path;
+use std::sync::Mutex;
+
+pub struct ShardLock;
+
+impl ShardLock {
+    pub fn acquire(_p: &Path) -> Result<ShardLock, ()> {
+        Ok(ShardLock)
+    }
+}
+
+pub fn nested(a: &Path, b: &Path) {
+    let _l1 = ShardLock::acquire(a).unwrap();
+    let _l2 = ShardLock::acquire(b).unwrap();
+}
+
+pub fn append_lines(dir: &Path) {
+    let _lock = ShardLock::acquire(dir).unwrap();
+}
+
+pub fn reenter(dir: &Path) {
+    let _lock = ShardLock::acquire(dir).unwrap();
+    append_lines(dir);
+}
+
+pub struct Two {
+    pub a: Mutex<u32>,
+    pub b: Mutex<u32>,
+}
+
+pub fn lock_ab(s: &Two) {
+    let _a = s.a.lock().unwrap();
+    grab_b(s);
+}
+
+pub fn grab_b(s: &Two) {
+    let _b = s.b.lock().unwrap();
+}
+
+pub fn lock_ba(s: &Two) {
+    let _b = s.b.lock().unwrap();
+    grab_a(s);
+}
+
+pub fn grab_a(s: &Two) {
+    let _a = s.a.lock().unwrap();
+}

@@ -1,0 +1,15 @@
+//! Seeded unsafe-audit violations: one justified unsafe pair, one
+//! unjustified block.
+
+/// Dereference with a documented contract.
+///
+/// # Safety
+/// `p` must be valid for reads.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn undocumented(x: &u64) -> u64 {
+    unsafe { *(x as *const u64) }
+}

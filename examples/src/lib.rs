@@ -29,6 +29,8 @@
 //! * `--scenarios a,b,c` — restrict a study (or a multi-scenario hunt)
 //!   to a comma-separated registry subset, resolved in registry order.
 
+#![forbid(unsafe_code)]
+
 use raptor_lab::{find, registry, LabParams, Scenario};
 use std::path::PathBuf;
 

@@ -15,6 +15,8 @@
 //! * [`codesign`] — FPU/roofline hardware model
 //! * [`raptor_lab`] — unified scenario registry + campaign engine
 
+#![forbid(unsafe_code)]
+
 pub use amr;
 pub use bigfloat;
 pub use codesign;
